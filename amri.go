@@ -1,0 +1,325 @@
+// Package amri is the public face of this repository: a Go implementation
+// of the Adaptive Multi-Route Index from "Index Tuning for Adaptive
+// Multi-Route Data Stream Systems" (Works, Rundensteiner, Agu — IPPS 2010),
+// together with the full adaptive multi-route stream system it was
+// evaluated in.
+//
+// Three layers are exposed, smallest first:
+//
+//   - AdaptiveIndex — the paper's contribution as an embeddable component:
+//     a bit-address index over one state's join attributes whose
+//     configuration (bits per attribute) is continuously re-selected from
+//     compact access-pattern statistics (SRIA / CSRIA / DIA / CDIA) using
+//     the Equation 1 cost model. Use this to index your own tuple store.
+//
+//   - Engine — a complete Eddy-style adaptive multi-route engine on a
+//     deterministic simulation substrate: synthetic drifting streams, a
+//     selectivity-driven router, STeM states over pluggable index backends
+//     (AMRI, multi-hash-index, scan), window expiry, CPU budgets, memory
+//     caps. Use this to compare indexing strategies under load.
+//
+//   - Experiments — regenerators for every table and figure in the paper's
+//     evaluation (see cmd/amribench and the root bench_test.go).
+//
+// The quickest tour is examples/quickstart; the architecture is documented
+// in DESIGN.md and the reproduced results in EXPERIMENTS.md.
+package amri
+
+import (
+	"io"
+
+	"amri/internal/agg"
+	"amri/internal/bench"
+	"amri/internal/bitindex"
+	"amri/internal/core"
+	"amri/internal/cost"
+	"amri/internal/engine"
+	"amri/internal/hashindex"
+	"amri/internal/metrics"
+	"amri/internal/multiquery"
+	"amri/internal/pipeline"
+	"amri/internal/query"
+	"amri/internal/stream"
+	"amri/internal/tuple"
+)
+
+// Tuple is one stream element; join attributes are uint64 values.
+type Tuple = tuple.Tuple
+
+// Value is a single join attribute value.
+type Value = tuple.Value
+
+// NewTuple builds a tuple for the given stream with the attribute values.
+func NewTuple(streamID int, seq uint64, ts int64, attrs []Value) *Tuple {
+	return tuple.New(streamID, seq, ts, attrs)
+}
+
+// Pattern is a search access pattern over a state's join attribute set:
+// bit i set means attribute i is constrained, clear means wildcard.
+type Pattern = query.Pattern
+
+// PatternOf builds a pattern from attribute positions.
+func PatternOf(attrs ...int) Pattern { return query.PatternOf(attrs...) }
+
+// FullPattern constrains all n attributes.
+func FullPattern(n int) Pattern { return query.FullPattern(n) }
+
+// ParsePattern parses the paper's vector notation, e.g. "<A,*,C>".
+func ParsePattern(s string) (Pattern, error) { return query.ParsePattern(s) }
+
+// IndexConfig is an index configuration (the index key map IC): bits per
+// join attribute.
+type IndexConfig = bitindex.Config
+
+// NewIndexConfig builds a configuration from per-attribute bit counts.
+func NewIndexConfig(bits ...uint8) IndexConfig { return bitindex.NewConfig(bits...) }
+
+// AdaptiveIndex is the paper's contribution: a self-tuning bit-address
+// index for one state. See core.Options for every knob.
+type AdaptiveIndex = core.AdaptiveIndex
+
+// IndexOptions configure an AdaptiveIndex.
+type IndexOptions = core.Options
+
+// Assessment method selectors for IndexOptions.Method.
+const (
+	CDIAHighest = core.MethodCDIAHighest
+	CDIARandom  = core.MethodCDIARandom
+	SRIA        = core.MethodSRIA
+	CSRIA       = core.MethodCSRIA
+	DIA         = core.MethodDIA
+)
+
+// NewAdaptiveIndex builds an AdaptiveIndex.
+func NewAdaptiveIndex(opts IndexOptions) (*AdaptiveIndex, error) { return core.New(opts) }
+
+// APStat is one assessed access pattern with its frequency.
+type APStat = cost.APStat
+
+// MultiHashIndex is the state-of-the-art baseline the paper compares
+// against (Raman et al. access modules): several fixed hash indices over
+// one tuple store. Exposed so the Section I-A example can be reproduced
+// directly; AMRI exists because this design pays one key entry per index
+// per stored tuple.
+type MultiHashIndex = hashindex.Store
+
+// NewMultiHashIndex builds a multi-hash-index state over numAttrs join
+// attributes (attrMap nil = identity) with one hash index per pattern.
+func NewMultiHashIndex(numAttrs int, attrMap []int, patterns []Pattern) (*MultiHashIndex, error) {
+	if attrMap == nil {
+		attrMap = make([]int, numAttrs)
+		for i := range attrMap {
+			attrMap[i] = i
+		}
+	}
+	return hashindex.New(numAttrs, attrMap, nil, patterns)
+}
+
+// IndexStats reports the work one index operation performed (hashes,
+// buckets probed, tuples scanned, key entries maintained).
+type IndexStats = bitindex.Stats
+
+// CostParams are the Table I workload rates and operation costs.
+type CostParams = cost.Params
+
+// Query is a compiled SPJ stream query.
+type Query = query.Query
+
+// FourWayQuery is the paper's experimental query: 4 streams, every pair
+// joined on its own attribute, windowTicks-long sliding windows.
+func FourWayQuery(windowTicks int64) *Query { return query.FourWay(windowTicks) }
+
+// PackageTrackingQuery is the sensor schema of the paper's Section I-A
+// example (priority code, package id, location id).
+func PackageTrackingQuery(windowTicks int64) *Query { return query.PackageTracking(windowTicks) }
+
+// ChainQuery builds an n-way chain join (each stream joined to the next).
+func ChainQuery(n int, windowTicks int64) *Query { return query.Chain(n, windowTicks) }
+
+// StarQuery builds an n-way star join around a hub stream; the hub state
+// carries n-1 join attributes and 2^(n-1)-1 possible access patterns.
+func StarQuery(n int, windowTicks int64) *Query { return query.Star(n, windowTicks) }
+
+// CompileQuery builds a query from streams and equality join predicates.
+func CompileQuery(streams []query.StreamSpec, preds []query.Predicate, windowTicks int64) (*Query, error) {
+	return query.Compile(streams, preds, windowTicks)
+}
+
+// StreamSpec and Predicate describe a query's FROM and WHERE clauses.
+type (
+	StreamSpec = query.StreamSpec
+	Predicate  = query.Predicate
+)
+
+// WorkloadProfile describes a synthetic workload (rates, drift, skew).
+type WorkloadProfile = stream.Profile
+
+// DriftingWorkload is the paper's Figure 6/7 synthetic workload.
+func DriftingWorkload() WorkloadProfile { return stream.DriftProfile() }
+
+// StableWorkload disables selectivity drift.
+func StableWorkload() WorkloadProfile { return stream.StableProfile() }
+
+// SkewedWorkload adds hot keys (the real-data stand-in).
+func SkewedWorkload() WorkloadProfile { return stream.SkewedProfile() }
+
+// RunConfig is the shared workload/machine configuration of an engine run.
+type RunConfig = engine.RunConfig
+
+// DefaultRunConfig returns the calibrated Figure 6/7 configuration.
+func DefaultRunConfig() RunConfig { return engine.DefaultRunConfig() }
+
+// System describes one contender (index backend + assessment + adaptivity).
+type System = engine.System
+
+// Contender constructors.
+var (
+	// AMRISystem is the paper's system with the given assessment method.
+	AMRISystem = engine.AMRI
+	// HashSystem is the multi-hash-index baseline with k access modules.
+	HashSystem = engine.HashSystem
+	// StaticBitmapSystem is the non-adapting bitmap baseline.
+	StaticBitmapSystem = engine.StaticBitmap
+	// ScanSystem is the no-index floor.
+	ScanSystem = engine.ScanSystem
+)
+
+// Assessment method selectors for System construction.
+const (
+	AssessSRIA        = engine.AssessSRIA
+	AssessCSRIA       = engine.AssessCSRIA
+	AssessDIA         = engine.AssessDIA
+	AssessCDIARandom  = engine.AssessCDIARandom
+	AssessCDIAHighest = engine.AssessCDIAHighest
+)
+
+// Engine executes one contender over one workload.
+type Engine = engine.Engine
+
+// NewEngine builds an engine; identical RunConfig + seed across systems
+// compares them on exactly the same workload.
+func NewEngine(run RunConfig, sys System) (*Engine, error) { return engine.New(run, sys) }
+
+// RunResult is a run's sampled throughput series and summary.
+type RunResult = metrics.RunResult
+
+// ResultsTable renders a comparison table of several runs.
+func ResultsTable(runs []*RunResult) string { return metrics.Table(runs) }
+
+// ResultsChart renders an ASCII cumulative-throughput chart.
+func ResultsChart(runs []*RunResult, width, height int) string {
+	return metrics.Chart(runs, width, height)
+}
+
+// Aggregation over join results (the SPJ template's Select agg-func list):
+// attach an Aggregator via RunConfig.OnResult.
+type (
+	Aggregator      = agg.Aggregator
+	AggSpec         = agg.Spec
+	AggRef          = agg.Ref
+	AggWindowResult = agg.WindowResult
+)
+
+// Aggregate function selectors.
+const (
+	AggCount = agg.Count
+	AggSum   = agg.Sum
+	AggAvg   = agg.Avg
+	AggMin   = agg.Min
+	AggMax   = agg.Max
+)
+
+// NewAggregator builds a tumbling-window aggregator over join results.
+func NewAggregator(specs []AggSpec, groupBy *AggRef, windowTicks int64) (*Aggregator, error) {
+	return agg.New(specs, groupBy, windowTicks)
+}
+
+// Filter is a WHERE-clause selection predicate, attached via
+// Query.AddFilter and applied at ingest.
+type Filter = query.Filter
+
+// Comparison operators for filters.
+const (
+	OpEq = query.OpEq
+	OpNe = query.OpNe
+	OpLt = query.OpLt
+	OpLe = query.OpLe
+	OpGt = query.OpGt
+	OpGe = query.OpGe
+)
+
+// Composite is a (partial or complete) join result; OnResult consumers
+// receive complete ones.
+type Composite = tuple.Composite
+
+// NewComposite starts a join result around one tuple, sized for nStreams
+// streams; Extend adds components.
+func NewComposite(nStreams int, t *Tuple) *Composite {
+	return tuple.NewComposite(nStreams, t)
+}
+
+// Trace is a replayable recorded workload (the cmd/amrigen CSV format).
+type Trace = stream.Trace
+
+// ParseTrace loads a workload CSV; replayed tuples carry payloadBytes of
+// simulated payload. Assign the result to RunConfig.Source to drive the
+// engine from a recording instead of the synthetic generator.
+func ParseTrace(r io.Reader, payloadBytes int) (*Trace, error) {
+	return stream.ParseTrace(r, payloadBytes)
+}
+
+// PipelineConfig configures the concurrent (goroutine-per-operator) engine,
+// and PipelineResult is its summary. Unlike the simulation engine, the
+// pipeline runs on real goroutines and measures wall-clock time; its result
+// set is identical to the simulation engine's on the same workload.
+type (
+	PipelineConfig = pipeline.Config
+	PipelineResult = pipeline.Result
+)
+
+// RunPipeline executes the workload on the concurrent engine.
+func RunPipeline(cfg PipelineConfig) (*PipelineResult, error) { return pipeline.Run(cfg) }
+
+// MultiQueryWorkload and friends expose the multiple-SPJ-queries extension:
+// shared per-stream states whose single AMRI serves every query's access
+// patterns at once.
+type (
+	MultiQueryWorkload  = multiquery.Workload
+	MultiQuerySpec      = multiquery.QuerySpec
+	MultiQueryRunConfig = multiquery.RunConfig
+	MultiQueryResult    = multiquery.Result
+)
+
+// TwoQueryWorkload is the packaged two-query demonstration workload.
+func TwoQueryWorkload() MultiQueryWorkload { return multiquery.TwoQueryWorkload() }
+
+// RunMultiQuery executes a multi-query workload over shared AMRI states.
+func RunMultiQuery(cfg MultiQueryRunConfig) (*MultiQueryResult, error) { return multiquery.Run(cfg) }
+
+// Experiments returns the registry of paper-artifact regenerators
+// (Figure 6, Figure 7, Table II, the cost model, and the ablations).
+func Experiments() []bench.Experiment { return bench.Registry() }
+
+// RunExperiment runs one experiment by id, writing its report to w.
+func RunExperiment(id string, quick bool, w io.Writer) error {
+	exp, ok := bench.Lookup(id)
+	if !ok {
+		ids := ""
+		for _, e := range bench.Registry() {
+			ids += " " + e.ID
+		}
+		return &UnknownExperimentError{ID: id, Known: ids}
+	}
+	return exp.Run(bench.Options{Quick: quick}, w)
+}
+
+// UnknownExperimentError reports a bad experiment id.
+type UnknownExperimentError struct {
+	ID    string
+	Known string
+}
+
+// Error implements error.
+func (e *UnknownExperimentError) Error() string {
+	return "amri: unknown experiment " + e.ID + "; known:" + e.Known
+}

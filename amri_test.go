@@ -1,0 +1,207 @@
+package amri_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"amri"
+)
+
+func TestPatternHelpers(t *testing.T) {
+	p := amri.PatternOf(0, 2)
+	if !p.Has(0) || p.Has(1) || !p.Has(2) {
+		t.Fatalf("PatternOf wrong: %v", p)
+	}
+	if amri.FullPattern(3) != amri.PatternOf(0, 1, 2) {
+		t.Fatal("FullPattern wrong")
+	}
+	parsed, err := amri.ParsePattern("<A,*,C>")
+	if err != nil || parsed != p {
+		t.Fatalf("ParsePattern = %v, %v", parsed, err)
+	}
+}
+
+func TestIndexConfigHelper(t *testing.T) {
+	cfg := amri.NewIndexConfig(5, 2, 3)
+	if cfg.TotalBits() != 10 {
+		t.Fatalf("TotalBits = %d", cfg.TotalBits())
+	}
+}
+
+func TestAdaptiveIndexRoundTrip(t *testing.T) {
+	ix, err := amri.NewAdaptiveIndex(amri.IndexOptions{NumAttrs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := amri.NewTuple(0, 1, 0, []amri.Value{7, 9})
+	ix.Insert(tp)
+	found := false
+	ix.Search(amri.PatternOf(0), []amri.Value{7, 0}, func(x *amri.Tuple) bool {
+		found = found || x == tp
+		return true
+	})
+	if !found {
+		t.Fatal("facade index lost a tuple")
+	}
+}
+
+func TestMultiHashIndexFacade(t *testing.T) {
+	h, err := amri.NewMultiHashIndex(3, nil, []amri.Pattern{amri.PatternOf(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Insert(amri.NewTuple(0, 1, 0, []amri.Value{1, 2, 3}))
+	if h.Len() != 1 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	if h.BestIndex(amri.PatternOf(2)) != 0 {
+		t.Fatal("location-only request should have no suitable index")
+	}
+}
+
+func TestQueryBuilders(t *testing.T) {
+	q := amri.FourWayQuery(60)
+	if q.NumStreams() != 4 {
+		t.Fatalf("FourWayQuery streams = %d", q.NumStreams())
+	}
+	pt := amri.PackageTrackingQuery(60)
+	if pt.States[0].NumAttrs() != 3 {
+		t.Fatal("PackageTrackingQuery shape")
+	}
+	if _, err := amri.CompileQuery(nil, nil, 10); err == nil {
+		t.Fatal("CompileQuery must validate")
+	}
+}
+
+func TestWorkloadBuilders(t *testing.T) {
+	if amri.DriftingWorkload().EpochTicks == 0 {
+		t.Fatal("drifting workload must drift")
+	}
+	if amri.StableWorkload().EpochTicks != 0 {
+		t.Fatal("stable workload must not drift")
+	}
+	if amri.SkewedWorkload().HotProb == 0 {
+		t.Fatal("skewed workload must skew")
+	}
+}
+
+func TestEngineFacadeSmoke(t *testing.T) {
+	run := amri.DefaultRunConfig()
+	run.Profile.LambdaD = 10
+	run.Profile.Domains = []uint64{8, 12, 18, 27, 40, 60}
+	run.MaxTicks = 100
+	run.WarmupTicks = 25
+	run.MemCap = 0
+	eng, err := amri.NewEngine(run, amri.AMRISystem(amri.AssessCDIAHighest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := eng.Run()
+	if r.TotalResults == 0 {
+		t.Fatal("engine produced nothing")
+	}
+	tbl := amri.ResultsTable([]*amri.RunResult{r})
+	if !strings.Contains(tbl, "AMRI/CDIA-highest") {
+		t.Fatalf("table missing system name:\n%s", tbl)
+	}
+	if amri.ResultsChart([]*amri.RunResult{r}, 40, 8) == "" {
+		t.Fatal("chart empty")
+	}
+}
+
+func TestExperimentRegistryFacade(t *testing.T) {
+	exps := amri.Experiments()
+	if len(exps) < 8 {
+		t.Fatalf("only %d experiments exposed", len(exps))
+	}
+	var buf bytes.Buffer
+	if err := amri.RunExperiment("table2", true, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table II") {
+		t.Fatalf("report = %q", buf.String())
+	}
+	err := amri.RunExperiment("bogus", true, &buf)
+	if err == nil {
+		t.Fatal("bogus experiment should error")
+	}
+	if !strings.Contains(err.Error(), "fig6") {
+		t.Fatalf("error should list known ids: %v", err)
+	}
+}
+
+func TestSystemConstructorsFacade(t *testing.T) {
+	if amri.AMRISystem(amri.AssessCDIAHighest).Name != "AMRI/CDIA-highest" {
+		t.Fatal("AMRISystem name")
+	}
+	if amri.HashSystem(3).HashIndexCount != 3 {
+		t.Fatal("HashSystem count")
+	}
+	if amri.StaticBitmapSystem().Adaptive {
+		t.Fatal("static bitmap must not adapt")
+	}
+	if amri.ScanSystem().Name != "scan" {
+		t.Fatal("ScanSystem name")
+	}
+}
+
+func TestFacadeTopologyBuilders(t *testing.T) {
+	if amri.ChainQuery(4, 60).NumStreams() != 4 {
+		t.Fatal("ChainQuery")
+	}
+	if amri.StarQuery(5, 60).States[0].NumAttrs() != 4 {
+		t.Fatal("StarQuery hub")
+	}
+}
+
+func TestFacadeTraceParse(t *testing.T) {
+	tr, err := amri.ParseTrace(strings.NewReader("tick,stream,seq,attr0\n0,0,0,7\n"), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 || tr.Arity() != 1 {
+		t.Fatalf("trace shape: %d/%d", tr.Len(), tr.Arity())
+	}
+}
+
+func TestFacadePipelineSmoke(t *testing.T) {
+	prof := amri.DriftingWorkload()
+	prof.LambdaD = 5
+	prof.Domains = []uint64{6, 9, 14, 20, 30, 45}
+	r, err := amri.RunPipeline(amri.PipelineConfig{Profile: prof, Seed: 1, Ticks: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TuplesIngested == 0 {
+		t.Fatal("pipeline ingested nothing")
+	}
+}
+
+func TestFacadeMultiQuerySmoke(t *testing.T) {
+	prof := amri.DriftingWorkload()
+	prof.LambdaD = 5
+	prof.Domains = []uint64{8, 12, 18, 27, 40, 60, 90, 130}
+	r, err := amri.RunMultiQuery(amri.MultiQueryRunConfig{
+		Workload: amri.TwoQueryWorkload(),
+		Profile:  prof,
+		Seed:     2,
+		Ticks:    40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PerQueryResults) != 2 {
+		t.Fatal("per-query results missing")
+	}
+}
+
+func TestFacadeFilters(t *testing.T) {
+	q := amri.FourWayQuery(60)
+	if err := q.AddFilter(amri.Filter{Stream: 0, Attr: 0, Op: amri.OpGe, Value: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if !q.Accepts(amri.NewTuple(0, 0, 0, []amri.Value{1, 2, 3})) {
+		t.Fatal("tautological filter rejected a tuple")
+	}
+}

@@ -1,0 +1,125 @@
+// Command amribench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	amribench -list
+//	amribench -exp fig6 [-quick] [-seeds 1,2,3]
+//	amribench -all [-quick]
+//
+// Each experiment runs the relevant contenders over the calibrated
+// synthetic workload and prints the same rows/series the paper reports,
+// plus the headline ratios (who wins, by roughly what factor, who runs out
+// of memory when). Full-scale runs take tens of seconds per experiment;
+// -quick shrinks the horizon five-fold.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"amri/internal/bench"
+	"amri/internal/metrics"
+)
+
+// writeSeriesCSV re-runs the named figure experiment through its typed API
+// and dumps the sampled series for external plotting.
+func writeSeriesCSV(exp string, opts bench.Options, path string) error {
+	var runs []*metrics.RunResult
+	switch exp {
+	case "fig6":
+		r, err := bench.Fig6(opts)
+		if err != nil {
+			return err
+		}
+		runs = r.Runs()
+	case "fig6hash":
+		r, err := bench.Fig6Hash(opts)
+		if err != nil {
+			return err
+		}
+		runs = r.Runs()
+	case "fig7":
+		r, err := bench.Fig7(opts)
+		if err != nil {
+			return err
+		}
+		runs = r.Runs()
+	default:
+		return fmt.Errorf("-csv supports fig6, fig6hash and fig7, not %q", exp)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return metrics.WriteCSV(f, runs)
+}
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiments and exit")
+		exp   = flag.String("exp", "", "experiment id to run (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		quick = flag.Bool("quick", false, "shrink the horizon ~5x")
+		seeds = flag.String("seeds", "1", "comma-separated workload seeds to average over")
+		csv   = flag.String("csv", "", "also write the figure series (fig6/fig6hash/fig7) as CSV to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := bench.Options{Quick: *quick}
+	for _, s := range strings.Split(*seeds, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "amribench: bad seed %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		opts.Seeds = append(opts.Seeds, v)
+	}
+
+	run := func(e bench.Experiment) {
+		fmt.Printf("### %s — %s\n\n", e.ID, e.Title)
+		if err := e.Run(opts, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "amribench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	if *csv != "" {
+		if err := writeSeriesCSV(*exp, opts, *csv); err != nil {
+			fmt.Fprintln(os.Stderr, "amribench:", err)
+			os.Exit(1)
+		}
+	}
+
+	switch {
+	case *all:
+		for _, e := range bench.Registry() {
+			run(e)
+		}
+	case *exp != "":
+		e, ok := bench.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "amribench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		run(e)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

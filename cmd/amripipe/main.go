@@ -1,0 +1,76 @@
+// Command amripipe runs the concurrent goroutine-per-operator engine on the
+// synthetic workload and reports real wall-clock throughput — the live twin
+// of the simulation that cmd/amribench measures in virtual time.
+//
+// Usage:
+//
+//	amripipe [-ticks 300] [-seed 1] [-method cdia-h] [-rate 50] [-procs N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"amri/internal/core"
+	"amri/internal/pipeline"
+	"amri/internal/stream"
+)
+
+func main() {
+	var (
+		ticks  = flag.Int64("ticks", 300, "workload ticks to process")
+		seed   = flag.Uint64("seed", 1, "workload seed")
+		rate   = flag.Int("rate", 0, "override tuples per stream per tick")
+		method = flag.String("method", "cdia-h", "assessment: sria, csria, dia, cdia-r, cdia-h")
+		procs  = flag.Int("procs", 0, "GOMAXPROCS override (0 = runtime default)")
+	)
+	flag.Parse()
+
+	if *procs > 0 {
+		runtime.GOMAXPROCS(*procs)
+	}
+
+	var m core.Method
+	switch *method {
+	case "sria":
+		m = core.MethodSRIA
+	case "csria":
+		m = core.MethodCSRIA
+	case "dia":
+		m = core.MethodDIA
+	case "cdia-r":
+		m = core.MethodCDIARandom
+	case "cdia-h":
+		m = core.MethodCDIAHighest
+	default:
+		fmt.Fprintf(os.Stderr, "amripipe: unknown method %q\n", *method)
+		os.Exit(2)
+	}
+
+	prof := stream.DriftProfile()
+	if *rate > 0 {
+		prof.LambdaD = *rate
+	}
+
+	r, err := pipeline.Run(pipeline.Config{
+		Profile: prof,
+		Seed:    *seed,
+		Ticks:   *ticks,
+		Method:  m,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amripipe:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("GOMAXPROCS:      %d\n", runtime.GOMAXPROCS(0))
+	fmt.Printf("ticks:           %d (%d tuples)\n", *ticks, r.TuplesIngested)
+	fmt.Printf("join results:    %d\n", r.Results)
+	fmt.Printf("search requests: %d\n", r.Probes)
+	fmt.Printf("index retunes:   %d\n", r.Retunes)
+	fmt.Printf("wall time:       %v\n", r.Wall)
+	fmt.Printf("throughput:      %.0f tuples/s, %.0f probes/s (wall clock)\n",
+		float64(r.TuplesIngested)/r.Wall.Seconds(), float64(r.Probes)/r.Wall.Seconds())
+}

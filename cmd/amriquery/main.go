@@ -1,0 +1,110 @@
+// Command amriquery runs an arbitrary SPJ query (described in JSON) over a
+// recorded workload (the cmd/amrigen CSV format) or the synthetic
+// generator, printing the run summary and final index configurations.
+//
+// Usage:
+//
+//	amriquery -dump-fourway > q.json        # emit a template query spec
+//	amrigen -ticks 300 > trace.csv
+//	amriquery -query q.json -trace trace.csv -system amri
+//	amriquery -query q.json -ticks 300 -system hash-4
+//
+// Systems: amri (CDIA-highest), amri-sria, amri-csria, static, scan, or
+// hash-K for K access modules.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"amri/internal/engine"
+	"amri/internal/metrics"
+	"amri/internal/query"
+	"amri/internal/stream"
+)
+
+func main() {
+	var (
+		queryPath = flag.String("query", "", "path to the JSON query spec (empty = the paper's 4-way join)")
+		tracePath = flag.String("trace", "", "replay this workload CSV instead of generating")
+		system    = flag.String("system", "amri", "contender: amri, amri-sria, amri-csria, static, scan, hash-K")
+		ticks     = flag.Int64("ticks", 600, "run horizon (generated workloads)")
+		seed      = flag.Uint64("seed", 1, "workload seed (generated workloads)")
+		dump      = flag.Bool("dump-fourway", false, "print the 4-way join as a JSON spec and exit")
+	)
+	flag.Parse()
+
+	if *dump {
+		b, err := query.FourWay(60).MarshalJSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amriquery:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(b))
+		return
+	}
+
+	run := engine.DefaultRunConfig()
+	run.Seed = *seed
+	run.MaxTicks = *ticks
+
+	if *queryPath != "" {
+		f, err := os.Open(*queryPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amriquery:", err)
+			os.Exit(1)
+		}
+		q, err := query.ParseJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amriquery:", err)
+			os.Exit(1)
+		}
+		run.Query = q
+	}
+
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amriquery:", err)
+			os.Exit(1)
+		}
+		tr, err := stream.ParseTrace(f, run.Profile.PayloadBytes)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amriquery:", err)
+			os.Exit(1)
+		}
+		run.Source = tr
+		if tr.MaxTick()+1 < run.MaxTicks {
+			run.MaxTicks = tr.MaxTick() + 1
+		}
+		if run.WarmupTicks >= run.MaxTicks {
+			run.WarmupTicks = run.MaxTicks / 4
+		}
+	}
+
+	sys, err := engine.ParseSystem(*system)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amriquery:", err)
+		os.Exit(2)
+	}
+	eng, err := engine.New(run, sys)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amriquery:", err)
+		os.Exit(1)
+	}
+	r := eng.Run()
+	fmt.Println(metrics.Table([]*metrics.RunResult{r}))
+	fmt.Println(r.Latency.String())
+	fmt.Println("final index configurations:")
+	for _, c := range r.FinalConfigs {
+		fmt.Println(" ", c)
+	}
+	if len(r.CostBreakdown) > 0 {
+		fmt.Printf("cost breakdown: maintain %.0f%%, search %.0f%%, assess %.0f%%, route %.0f%%\n",
+			100*r.CostBreakdown["maintain"], 100*r.CostBreakdown["search"],
+			100*r.CostBreakdown["assess"], 100*r.CostBreakdown["route"])
+	}
+}

@@ -1,0 +1,111 @@
+// Command amritune runs one-shot index selection from an access-pattern
+// workload description: feed it pattern:percent pairs and a bit budget, and
+// it prints what each assessment method reports and the index configuration
+// the tuner selects from that report — the Table II exercise on arbitrary
+// inputs.
+//
+// Usage:
+//
+//	amritune -budget 4 "<A,*,*>:4" "<*,B,*>:10" "<*,*,C>:10" \
+//	         "<A,B,*>:4" "<A,*,C>:16" "<*,B,C>:10" "<A,B,C>:46"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"amri/internal/assess"
+	"amri/internal/cost"
+	"amri/internal/hh"
+	"amri/internal/query"
+	"amri/internal/tuner"
+)
+
+func main() {
+	var (
+		budget  = flag.Int("budget", 12, "total IC bits to allocate")
+		theta   = flag.Float64("theta", 0.05, "assessment threshold")
+		epsilon = flag.Float64("epsilon", 0.001, "assessment error rate")
+		reqs    = flag.Int("requests", 10000, "synthetic requests to replay")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, `amritune: need pattern:percent arguments, e.g. "<A,B,*>:4"`)
+		os.Exit(2)
+	}
+
+	type mix struct {
+		p   query.Pattern
+		pct int
+	}
+	var mixes []mix
+	numAttrs := 0
+	for _, arg := range flag.Args() {
+		i := strings.LastIndex(arg, ":")
+		if i < 0 {
+			fmt.Fprintf(os.Stderr, "amritune: %q is not pattern:percent\n", arg)
+			os.Exit(2)
+		}
+		p, err := query.ParsePattern(arg[:i])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amritune:", err)
+			os.Exit(2)
+		}
+		pct, err := strconv.Atoi(arg[i+1:])
+		if err != nil || pct <= 0 {
+			fmt.Fprintf(os.Stderr, "amritune: bad percent in %q\n", arg)
+			os.Exit(2)
+		}
+		n := strings.Count(arg[:i], ",") + 1
+		if n > numAttrs {
+			numAttrs = n
+		}
+		mixes = append(mixes, mix{p: p, pct: pct})
+	}
+
+	cs, err := assess.NewCSRIA(*epsilon)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amritune:", err)
+		os.Exit(1)
+	}
+	cdr, _ := assess.NewCDIA(numAttrs, *epsilon, hh.RollupRandom, 1)
+	cdh, _ := assess.NewCDIA(numAttrs, *epsilon, hh.RollupHighestCount, 1)
+	sria := assess.NewSRIA()
+	methods := []assess.Assessor{sria, cs, cdr, cdh}
+
+	total := 0
+	for _, m := range mixes {
+		total += m.pct
+	}
+	rounds := *reqs / total
+	if rounds < 1 {
+		rounds = 1
+	}
+	for r := 0; r < rounds; r++ {
+		for _, m := range mixes {
+			for i := 0; i < m.pct; i++ {
+				for _, a := range methods {
+					a.Observe(m.p)
+				}
+			}
+		}
+	}
+
+	params := cost.Params{LambdaD: 100, LambdaR: 100, Ch: 0.001, Cc: 1, Window: 60}
+	opt := tuner.Options{RequireFullBudget: true}
+	for _, a := range methods {
+		stats := a.Results(*theta)
+		fmt.Printf("%s reports %d patterns:\n", a.Name(), len(stats))
+		for _, s := range stats {
+			fmt.Printf("  %-12s %6.2f%%\n", s.P.StringN(numAttrs), 100*s.Freq)
+		}
+		cfg, err := tuner.Exhaustive(numAttrs, *budget, params, stats, opt)
+		if err != nil {
+			cfg = tuner.Greedy(numAttrs, *budget, params, stats, opt)
+		}
+		fmt.Printf("  -> tuned %v (C_D = %.1f)\n\n", cfg, cost.CD(params, cfg, stats))
+	}
+}

@@ -1,0 +1,82 @@
+package amri_test
+
+import (
+	"fmt"
+
+	"amri"
+)
+
+// ExampleNewAdaptiveIndex shows the smallest useful AMRI: index a state on
+// two join attributes, search it, and let it retune to the workload.
+func ExampleNewAdaptiveIndex() {
+	ix, _ := amri.NewAdaptiveIndex(amri.IndexOptions{NumAttrs: 2, BitBudget: 6, Seed: 1})
+
+	for i := 0; i < 1000; i++ {
+		ix.Insert(amri.NewTuple(0, uint64(i), 0, []amri.Value{
+			amri.Value(i % 50), amri.Value(i % 40)}))
+	}
+	// The workload only ever constrains attribute B.
+	for i := 0; i < 3000; i++ {
+		ix.Search(amri.PatternOf(1), []amri.Value{0, amri.Value(i % 40)},
+			func(*amri.Tuple) bool { return true })
+	}
+	migrated, cfg := ix.Tune()
+	fmt.Println("migrated:", migrated)
+	fmt.Println("bits on A:", cfg.Bits[0], "bits on B:", cfg.Bits[1] > cfg.Bits[0])
+	// Output:
+	// migrated: true
+	// bits on A: 0 bits on B: true
+}
+
+// ExamplePatternOf shows the paper's access-pattern notation round trip.
+func ExamplePatternOf() {
+	p := amri.PatternOf(0, 2)
+	fmt.Println(p.StringN(3))
+	back, _ := amri.ParsePattern("<A,*,C>")
+	fmt.Println(back == p)
+	// Output:
+	// <A,*,C>
+	// true
+}
+
+// ExampleNewMultiHashIndex reproduces the Section I-A selection rule: sr1
+// finds a suitable index, sr2 does not.
+func ExampleNewMultiHashIndex() {
+	h, _ := amri.NewMultiHashIndex(3, nil, []amri.Pattern{
+		amri.PatternOf(0),    // A1
+		amri.PatternOf(0, 1), // A1&A2
+		amri.PatternOf(1, 2), // A2&A3
+	})
+	sr1 := amri.PatternOf(0, 2)
+	sr2 := amri.PatternOf(2)
+	fmt.Println("sr1 best index:", h.BestIndex(sr1).StringN(3))
+	fmt.Println("sr2 has index:", h.BestIndex(sr2) != 0)
+	// Output:
+	// sr1 best index: <A,*,*>
+	// sr2 has index: false
+}
+
+// ExampleNewAggregator computes tumbling-window aggregates over a stream of
+// join results.
+func ExampleNewAggregator() {
+	aggr, _ := amri.NewAggregator([]amri.AggSpec{
+		{Func: amri.AggCount},
+		{Func: amri.AggSum, Arg: amri.AggRef{Stream: 1, Attr: 0}},
+	}, nil, 10)
+
+	emit := func(tick int64, v amri.Value) {
+		a := amri.NewTuple(0, 0, tick, []amri.Value{1})
+		b := amri.NewTuple(1, 0, tick, []amri.Value{v})
+		aggr.Observe(amri.NewComposite(2, a).Extend(b), tick)
+	}
+	emit(1, 5)
+	emit(3, 7)
+	emit(12, 100)
+
+	for _, w := range aggr.Flush() {
+		fmt.Printf("window %d: count=%v sum=%v\n", w.WindowStart, w.Values[0], w.Values[1])
+	}
+	// Output:
+	// window 0: count=2 sum=12
+	// window 10: count=1 sum=100
+}

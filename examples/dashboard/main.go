@@ -1,0 +1,61 @@
+// Dashboard — the full SPJ surface: a filtered 4-way join whose results
+// feed tumbling-window aggregates (the Select <agg-func-list> of the
+// paper's Figure 2 template), all on top of the self-tuning AMRI states.
+//
+//	go run ./examples/dashboard
+package main
+
+import (
+	"fmt"
+
+	"amri"
+)
+
+func main() {
+	run := amri.DefaultRunConfig()
+	run.Profile.LambdaD = 20
+	run.MaxTicks = 600
+	run.WarmupTicks = 120
+	run.Seed = 4
+	// Bursty market: arrival rate swings ±50% every 2 virtual minutes.
+	run.Profile.RateAmplitude = 0.5
+	run.Profile.RatePeriod = 120
+
+	// WHERE: only "high priority" stream-A tuples join (attribute 0 small).
+	q := amri.FourWayQuery(60)
+	if err := q.AddFilter(amri.Filter{Stream: 0, Attr: 0, Op: amri.OpLt, Value: 20}); err != nil {
+		panic(err)
+	}
+	run.Query = q
+
+	// SELECT count(*), avg(B.a0), max(C.a1) ... GROUP BY nothing,
+	// tumbling 60-tick windows.
+	aggr, err := amri.NewAggregator([]amri.AggSpec{
+		{Func: amri.AggCount},
+		{Func: amri.AggAvg, Arg: amri.AggRef{Stream: 1, Attr: 0}},
+		{Func: amri.AggMax, Arg: amri.AggRef{Stream: 2, Attr: 1}},
+	}, nil, 60)
+	if err != nil {
+		panic(err)
+	}
+	run.OnResult = func(c *amri.Composite, tick int64) { aggr.Observe(c, tick) }
+
+	eng, err := amri.NewEngine(run, amri.AMRISystem(amri.AssessCDIAHighest))
+	if err != nil {
+		panic(err)
+	}
+	r := eng.Run()
+
+	fmt.Println(r.Summary())
+	fmt.Println(r.Latency.String())
+	fmt.Println()
+	fmt.Printf("%-10s %10s %14s %14s\n", "window", "count(*)", "avg(B.a0)", "max(C.a1)")
+	for _, w := range aggr.Flush() {
+		fmt.Printf("%5d-%-5d %10.0f %14.2f %14.0f\n",
+			w.WindowStart, w.WindowStart+60, w.Values[0], w.Values[1], w.Values[2])
+	}
+	fmt.Println("\nfinal index configurations after drift:")
+	for _, c := range r.FinalConfigs {
+		fmt.Println(" ", c)
+	}
+}

@@ -1,0 +1,67 @@
+// Trace replay — record a workload, replay it through the engine, and
+// verify the replay is indistinguishable from the live run. This is how a
+// recorded production stream (any CSV in the cmd/amrigen format) would be
+// fed through AMRI for offline index-tuning studies.
+//
+//	go run ./examples/tracereplay
+package main
+
+import (
+	"bytes"
+	"fmt"
+
+	"amri"
+	"amri/internal/stream"
+)
+
+func main() {
+	run := amri.DefaultRunConfig()
+	run.Profile.LambdaD = 15
+	run.MaxTicks = 300
+	run.WarmupTicks = 60
+	run.Seed = 11
+
+	// Live run from the synthetic generator.
+	live, err := amri.NewEngine(run, amri.AMRISystem(amri.AssessCDIAHighest))
+	if err != nil {
+		panic(err)
+	}
+	liveRes := live.Run()
+
+	// Record the identical workload to CSV (what `amrigen` would emit).
+	gen, err := stream.New(amri.FourWayQuery(60), run.Profile, run.Seed)
+	if err != nil {
+		panic(err)
+	}
+	var csv bytes.Buffer
+	fmt.Fprintln(&csv, "tick,stream,seq,attr0,attr1,attr2")
+	rows := 0
+	for tick := int64(0); tick < run.MaxTicks; tick++ {
+		for _, t := range gen.Tick(tick) {
+			fmt.Fprintf(&csv, "%d,%d,%d,%d,%d,%d\n",
+				tick, t.Stream, t.Seq, t.Attrs[0], t.Attrs[1], t.Attrs[2])
+			rows++
+		}
+	}
+	fmt.Printf("recorded %d tuples (%d bytes of CSV)\n", rows, csv.Len())
+
+	// Replay it.
+	trace, err := amri.ParseTrace(&csv, run.Profile.PayloadBytes)
+	if err != nil {
+		panic(err)
+	}
+	run.Source = trace
+	replayEng, err := amri.NewEngine(run, amri.AMRISystem(amri.AssessCDIAHighest))
+	if err != nil {
+		panic(err)
+	}
+	replayRes := replayEng.Run()
+
+	fmt.Printf("live run:   %d results, %d retunes\n", liveRes.TotalResults, liveRes.Retunes)
+	fmt.Printf("trace run:  %d results, %d retunes\n", replayRes.TotalResults, replayRes.Retunes)
+	if liveRes.TotalResults == replayRes.TotalResults {
+		fmt.Println("replay is exact — recorded workloads drive the engine unchanged")
+	} else {
+		fmt.Println("MISMATCH — this should never happen")
+	}
+}

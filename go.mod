@@ -1,0 +1,3 @@
+module amri
+
+go 1.24

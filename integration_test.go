@@ -1,0 +1,153 @@
+package amri_test
+
+import (
+	"fmt"
+	"testing"
+
+	"amri"
+)
+
+// TestIntegrationMatrix sweeps every contender over every packaged topology
+// at a small scale through the public facade only — the safety net that the
+// whole public surface composes.
+func TestIntegrationMatrix(t *testing.T) {
+	topologies := []struct {
+		name string
+		q    *amri.Query
+	}{
+		{"clique-4", amri.FourWayQuery(40)},
+		{"chain-4", amri.ChainQuery(4, 40)},
+		{"star-4", amri.StarQuery(4, 40)},
+	}
+	systems := []amri.System{
+		amri.AMRISystem(amri.AssessCDIAHighest),
+		amri.AMRISystem(amri.AssessCDIARandom),
+		amri.AMRISystem(amri.AssessSRIA),
+		amri.AMRISystem(amri.AssessCSRIA),
+		amri.AMRISystem(amri.AssessDIA),
+		amri.HashSystem(1),
+		amri.HashSystem(3),
+		amri.StaticBitmapSystem(),
+		amri.ScanSystem(),
+	}
+	for _, topo := range topologies {
+		for _, sys := range systems {
+			t.Run(fmt.Sprintf("%s/%s", topo.name, sys.Name), func(t *testing.T) {
+				run := amri.DefaultRunConfig()
+				run.Query = topo.q
+				run.Profile.LambdaD = 8
+				run.Profile.Domains = []uint64{6, 9, 14, 20, 30, 45}
+				run.Profile.EpochTicks = 30
+				run.MaxTicks = 90
+				run.WarmupTicks = 20
+				run.AssessInterval = 15
+				run.MemCap = 0
+				eng, err := amri.NewEngine(run, sys)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r := eng.Run()
+				if r.TotalResults == 0 {
+					t.Fatalf("%s on %s produced nothing", sys.Name, topo.name)
+				}
+				if r.Probes == 0 {
+					t.Fatal("no probes executed")
+				}
+				if r.Latency.Count != r.TotalResults {
+					t.Fatalf("latency accounting mismatch: %d vs %d",
+						r.Latency.Count, r.TotalResults)
+				}
+			})
+		}
+	}
+}
+
+// TestIntegrationResultParityAcrossIndexes: with unlimited CPU, every index
+// backend finds exactly the same result set on the same workload — indexing
+// changes cost, never answers.
+func TestIntegrationResultParityAcrossIndexes(t *testing.T) {
+	for _, topo := range []struct {
+		name string
+		q    *amri.Query
+	}{
+		{"clique-4", amri.FourWayQuery(30)},
+		{"star-4", amri.StarQuery(4, 30)},
+	} {
+		run := amri.DefaultRunConfig()
+		run.Query = topo.q
+		run.Profile.LambdaD = 6
+		run.Profile.Domains = []uint64{5, 8, 12, 18, 26, 38}
+		run.MaxTicks = 60
+		run.WarmupTicks = 15
+		run.CPUBudget = 1 << 30
+		run.MemCap = 0
+		run.Explore = 0.1
+		run.ExploreBurst = 0
+
+		var want uint64
+		for i, sys := range []amri.System{
+			amri.AMRISystem(amri.AssessCDIAHighest),
+			amri.HashSystem(2),
+			amri.ScanSystem(),
+			amri.StaticBitmapSystem(),
+		} {
+			eng, err := amri.NewEngine(run, sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := eng.Run().TotalResults
+			if i == 0 {
+				want = got
+				if want == 0 {
+					t.Fatalf("%s: no results at all", topo.name)
+				}
+				continue
+			}
+			if got != want {
+				t.Fatalf("%s: %s found %d results, others found %d",
+					topo.name, sys.Name, got, want)
+			}
+		}
+	}
+}
+
+// TestIntegrationAggregation attaches the aggregation layer to an engine
+// run through the public facade and checks its windows partition the
+// result stream exactly.
+func TestIntegrationAggregation(t *testing.T) {
+	run := amri.DefaultRunConfig()
+	run.Profile.LambdaD = 8
+	run.Profile.Domains = []uint64{6, 9, 14, 20, 30, 45}
+	run.MaxTicks = 90
+	run.WarmupTicks = 20
+	run.MemCap = 0
+
+	aggr, err := amri.NewAggregator([]amri.AggSpec{
+		{Func: amri.AggCount},
+		{Func: amri.AggMax, Arg: amri.AggRef{Stream: 0, Attr: 0}},
+	}, nil, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.OnResult = func(c *amri.Composite, tick int64) { aggr.Observe(c, tick) }
+
+	eng, err := amri.NewEngine(run, amri.AMRISystem(amri.AssessCDIAHighest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := eng.Run()
+	windows := aggr.Flush()
+	if len(windows) == 0 {
+		t.Fatal("no aggregate windows produced")
+	}
+	var counted uint64
+	for _, w := range windows {
+		counted += w.Rows
+		if w.Rows == 0 {
+			t.Fatal("empty window emitted")
+		}
+	}
+	if counted != r.TotalResults {
+		t.Fatalf("aggregated %d rows, engine emitted %d", counted, r.TotalResults)
+	}
+}

@@ -1,0 +1,236 @@
+// Package agg implements the projection/aggregation surface of the paper's
+// SPJ template (Figure 2: "Select <agg-func-list>"): tumbling-window
+// aggregates computed over the join results an engine emits, optionally
+// grouped by one attribute of one component stream. It consumes composites
+// through a sink callback, so it composes with the simulation engine, the
+// concurrent pipeline, or any other result producer.
+package agg
+
+import (
+	"fmt"
+	"sort"
+
+	"amri/internal/tuple"
+)
+
+// Func is an aggregate function.
+type Func int
+
+// Aggregate functions of the SPJ template.
+const (
+	Count Func = iota
+	Sum
+	Avg
+	Min
+	Max
+)
+
+// String implements fmt.Stringer.
+func (f Func) String() string {
+	switch f {
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	case Avg:
+		return "avg"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	default:
+		return fmt.Sprintf("Func(%d)", int(f))
+	}
+}
+
+// ParseFunc parses the lower-case function names.
+func ParseFunc(s string) (Func, error) {
+	switch s {
+	case "count":
+		return Count, nil
+	case "sum":
+		return Sum, nil
+	case "avg":
+		return Avg, nil
+	case "min":
+		return Min, nil
+	case "max":
+		return Max, nil
+	default:
+		return 0, fmt.Errorf("agg: unknown function %q", s)
+	}
+}
+
+// Ref addresses one attribute of one component stream within a result.
+type Ref struct {
+	Stream int
+	Attr   int
+}
+
+// Spec is one aggregate column: Func over Arg (Arg ignored for Count).
+type Spec struct {
+	Func Func
+	Arg  Ref
+}
+
+// String renders like "sum(S1.a0)".
+func (s Spec) String() string {
+	if s.Func == Count {
+		return "count(*)"
+	}
+	return fmt.Sprintf("%s(S%d.a%d)", s.Func, s.Arg.Stream, s.Arg.Attr)
+}
+
+// WindowResult is one closed window's output for one group.
+type WindowResult struct {
+	// WindowStart is the tick the tumbling window began at.
+	WindowStart int64
+	// Group is the grouping key value (0 when ungrouped).
+	Group tuple.Value
+	// Values holds one value per Spec, in spec order. Avg is reported as
+	// a float; everything else as its natural integer widened to float64.
+	Values []float64
+	// Rows is the number of results that fell into the window/group.
+	Rows uint64
+}
+
+// Aggregator computes tumbling-window aggregates over join results.
+type Aggregator struct {
+	specs   []Spec
+	groupBy *Ref // nil = a single global group
+	window  int64
+
+	curStart int64
+	groups   map[tuple.Value]*groupState
+	closed   []WindowResult
+}
+
+type groupState struct {
+	rows  uint64
+	sum   []float64
+	min   []tuple.Value
+	max   []tuple.Value
+	first bool
+}
+
+// New builds an aggregator with the given tumbling window length (ticks).
+// groupBy may be nil for a single global group.
+func New(specs []Spec, groupBy *Ref, windowTicks int64) (*Aggregator, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("agg: no aggregate columns")
+	}
+	if windowTicks <= 0 {
+		return nil, fmt.Errorf("agg: window must be positive")
+	}
+	return &Aggregator{
+		specs:   specs,
+		groupBy: groupBy,
+		window:  windowTicks,
+		groups:  make(map[tuple.Value]*groupState),
+	}, nil
+}
+
+// Observe feeds one join result produced at the given tick. Windows close
+// automatically as the tick advances (ticks must be non-decreasing).
+func (a *Aggregator) Observe(c *tuple.Composite, tick int64) {
+	a.advance(tick)
+	var key tuple.Value
+	if a.groupBy != nil {
+		part := c.Parts[a.groupBy.Stream]
+		if part == nil {
+			return // result lacks the grouping stream; skip defensively
+		}
+		key = part.Attrs[a.groupBy.Attr]
+	}
+	g := a.groups[key]
+	if g == nil {
+		g = &groupState{
+			sum:   make([]float64, len(a.specs)),
+			min:   make([]tuple.Value, len(a.specs)),
+			max:   make([]tuple.Value, len(a.specs)),
+			first: true,
+		}
+		a.groups[key] = g
+	}
+	g.rows++
+	for i, sp := range a.specs {
+		if sp.Func == Count {
+			continue
+		}
+		part := c.Parts[sp.Arg.Stream]
+		if part == nil {
+			continue
+		}
+		v := part.Attrs[sp.Arg.Attr]
+		g.sum[i] += float64(v)
+		if g.first || v < g.min[i] {
+			g.min[i] = v
+		}
+		if g.first || v > g.max[i] {
+			g.max[i] = v
+		}
+	}
+	g.first = false
+}
+
+// advance closes every window boundary crossed up to the tick.
+func (a *Aggregator) advance(tick int64) {
+	for tick >= a.curStart+a.window {
+		a.closeWindow()
+		a.curStart += a.window
+	}
+}
+
+func (a *Aggregator) closeWindow() {
+	if len(a.groups) == 0 {
+		return
+	}
+	keys := make([]tuple.Value, 0, len(a.groups))
+	for k := range a.groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		g := a.groups[k]
+		out := WindowResult{WindowStart: a.curStart, Group: k, Rows: g.rows,
+			Values: make([]float64, len(a.specs))}
+		for i, sp := range a.specs {
+			switch sp.Func {
+			case Count:
+				out.Values[i] = float64(g.rows)
+			case Sum:
+				out.Values[i] = g.sum[i]
+			case Avg:
+				if g.rows > 0 {
+					out.Values[i] = g.sum[i] / float64(g.rows)
+				}
+			case Min:
+				out.Values[i] = float64(g.min[i])
+			case Max:
+				out.Values[i] = float64(g.max[i])
+			}
+		}
+		a.closed = append(a.closed, out)
+	}
+	a.groups = make(map[tuple.Value]*groupState)
+}
+
+// Flush closes the current window regardless of tick progress and returns
+// every closed window so far, clearing the output buffer.
+func (a *Aggregator) Flush() []WindowResult {
+	a.closeWindow()
+	out := a.closed
+	a.closed = nil
+	return out
+}
+
+// Drain returns windows closed so far by tick advancement without forcing
+// the current window shut.
+func (a *Aggregator) Drain() []WindowResult {
+	out := a.closed
+	a.closed = nil
+	return out
+}
+
+// Specs returns the aggregate column specs.
+func (a *Aggregator) Specs() []Spec { return a.specs }

@@ -1,0 +1,157 @@
+package agg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"amri/internal/tuple"
+)
+
+func result(ts int64, vals ...tuple.Value) *tuple.Composite {
+	c := tuple.NewComposite(len(vals), tuple.New(0, 0, ts, []tuple.Value{vals[0]}))
+	for s := 1; s < len(vals); s++ {
+		c = c.Extend(tuple.New(s, 0, ts, []tuple.Value{vals[s]}))
+	}
+	return c
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(nil, nil, 10); err == nil {
+		t.Error("no specs should fail")
+	}
+	if _, err := New([]Spec{{Func: Count}}, nil, 0); err == nil {
+		t.Error("zero window should fail")
+	}
+	if _, err := New([]Spec{{Func: Count}}, nil, 10); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFuncStringsAndParse(t *testing.T) {
+	for _, f := range []Func{Count, Sum, Avg, Min, Max} {
+		back, err := ParseFunc(f.String())
+		if err != nil || back != f {
+			t.Errorf("round trip %v failed", f)
+		}
+	}
+	if _, err := ParseFunc("median"); err == nil {
+		t.Error("unknown func should fail")
+	}
+	if (Spec{Func: Count}).String() != "count(*)" {
+		t.Error("count spec string")
+	}
+	if (Spec{Func: Sum, Arg: Ref{1, 0}}).String() != "sum(S1.a0)" {
+		t.Error("sum spec string")
+	}
+}
+
+func TestSingleWindowAggregates(t *testing.T) {
+	a, _ := New([]Spec{
+		{Func: Count},
+		{Func: Sum, Arg: Ref{Stream: 1, Attr: 0}},
+		{Func: Avg, Arg: Ref{Stream: 1, Attr: 0}},
+		{Func: Min, Arg: Ref{Stream: 1, Attr: 0}},
+		{Func: Max, Arg: Ref{Stream: 1, Attr: 0}},
+	}, nil, 100)
+	for _, v := range []tuple.Value{5, 9, 1, 9} {
+		a.Observe(result(10, 0, v), 10)
+	}
+	out := a.Flush()
+	if len(out) != 1 {
+		t.Fatalf("windows = %d", len(out))
+	}
+	w := out[0]
+	if w.Rows != 4 {
+		t.Fatalf("rows = %d", w.Rows)
+	}
+	want := []float64{4, 24, 6, 1, 9}
+	for i, v := range want {
+		if w.Values[i] != v {
+			t.Errorf("col %d = %g, want %g", i, w.Values[i], v)
+		}
+	}
+}
+
+func TestTumblingWindowsClose(t *testing.T) {
+	a, _ := New([]Spec{{Func: Count}}, nil, 10)
+	a.Observe(result(3, 0, 0), 3)
+	a.Observe(result(7, 0, 0), 7)
+	// Crossing into the next window closes the first.
+	a.Observe(result(12, 0, 0), 12)
+	got := a.Drain()
+	if len(got) != 1 {
+		t.Fatalf("closed windows = %d", len(got))
+	}
+	if got[0].WindowStart != 0 || got[0].Rows != 2 {
+		t.Fatalf("first window = %+v", got[0])
+	}
+	rest := a.Flush()
+	if len(rest) != 1 || rest[0].WindowStart != 10 || rest[0].Rows != 1 {
+		t.Fatalf("second window = %+v", rest)
+	}
+}
+
+func TestEmptyWindowsProduceNothing(t *testing.T) {
+	a, _ := New([]Spec{{Func: Count}}, nil, 5)
+	a.Observe(result(2, 0, 0), 2)
+	// Jump several windows ahead: only the non-empty one closes.
+	a.Observe(result(23, 0, 0), 23)
+	got := a.Drain()
+	if len(got) != 1 {
+		t.Fatalf("closed windows = %d, want only the non-empty one", len(got))
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	gb := &Ref{Stream: 0, Attr: 0}
+	a, _ := New([]Spec{{Func: Count}, {Func: Sum, Arg: Ref{Stream: 1, Attr: 0}}}, gb, 100)
+	a.Observe(result(1, 7, 10), 1)
+	a.Observe(result(2, 7, 20), 2)
+	a.Observe(result(3, 8, 5), 3)
+	out := a.Flush()
+	if len(out) != 2 {
+		t.Fatalf("groups = %d", len(out))
+	}
+	// Sorted by group key.
+	if out[0].Group != 7 || out[0].Rows != 2 || out[0].Values[1] != 30 {
+		t.Fatalf("group 7 = %+v", out[0])
+	}
+	if out[1].Group != 8 || out[1].Rows != 1 || out[1].Values[1] != 5 {
+		t.Fatalf("group 8 = %+v", out[1])
+	}
+}
+
+func TestMissingStreamsAreSkipped(t *testing.T) {
+	gb := &Ref{Stream: 2, Attr: 0}
+	a, _ := New([]Spec{{Func: Count}}, gb, 100)
+	// Composite without stream 2: must not panic, must not count.
+	c := tuple.NewComposite(3, tuple.New(0, 0, 0, []tuple.Value{1}))
+	a.Observe(c, 0)
+	if got := a.Flush(); len(got) != 0 {
+		t.Fatalf("grouping on a missing stream counted: %+v", got)
+	}
+}
+
+// Property: count equals the number of observations per window; sum equals
+// an independently computed total.
+func TestAggregationMatchesDirectComputation(t *testing.T) {
+	f := func(vals []uint16) bool {
+		a, _ := New([]Spec{{Func: Count}, {Func: Sum, Arg: Ref{Stream: 1, Attr: 0}}}, nil, 1<<40)
+		var sum float64
+		for _, v := range vals {
+			a.Observe(result(1, 0, tuple.Value(v)), 1)
+			sum += float64(v)
+		}
+		out := a.Flush()
+		if len(vals) == 0 {
+			return len(out) == 0
+		}
+		return len(out) == 1 &&
+			out[0].Rows == uint64(len(vals)) &&
+			out[0].Values[0] == float64(len(vals)) &&
+			out[0].Values[1] == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

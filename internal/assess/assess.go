@@ -1,0 +1,245 @@
+// Package assess implements the paper's Section IV index assessment
+// methods. Each assessor tracks, for one state, how often every access
+// pattern is used by incoming search requests, and reports the statistics
+// the tuner ranks configurations by:
+//
+//   - SRIA  — exact counts, every observed pattern reported (no reduction).
+//   - CSRIA — SRIA + lossy counting; only patterns above the threshold are
+//     reported, and the mass of everything below it is lost.
+//   - DIA   — the lattice-organized twin of SRIA; per the paper they share
+//     a code base and report identical results.
+//   - CDIA  — DIA + hierarchical heavy hitters; sub-threshold patterns roll
+//     their counts into lattice ancestors (random or highest-count parent),
+//     so their mass survives in generalized form.
+//
+// The tuning consequences are exactly the paper's: SRIA/DIA hand the
+// optimizer every low-frequency exploration pattern (bits get spent on
+// noise), CSRIA hides them entirely (bits miss real shared demand), CDIA
+// concentrates them into the ancestors that an index can actually serve.
+package assess
+
+import (
+	"fmt"
+	"sort"
+
+	"amri/internal/cost"
+	"amri/internal/hh"
+	"amri/internal/query"
+)
+
+// Assessor is the contract every assessment method satisfies.
+type Assessor interface {
+	// Observe records one search request's access pattern.
+	Observe(p query.Pattern)
+	// Results reports the assessed pattern frequencies for the threshold.
+	// The live statistics are not modified.
+	Results(theta float64) []cost.APStat
+	// N returns the number of observations.
+	N() uint64
+	// Len returns the number of patterns currently tracked.
+	Len() int
+	// MemBytes returns the simulated resident size of the statistics.
+	MemBytes() int
+	// Reset clears the statistics for a new assessment window.
+	Reset()
+	// Name identifies the method in reports ("SRIA", "CDIA-highest", ...).
+	Name() string
+}
+
+// PatternHierarchy is the access-pattern search-benefit lattice over a JAS
+// of numAttrs attributes, in the shape hh.HierarchicalCounter consumes.
+func PatternHierarchy(numAttrs int) hh.Hierarchy[query.Pattern] {
+	_ = numAttrs // the subset lattice needs no width; kept for clarity of intent
+	return hh.Hierarchy[query.Pattern]{
+		Parents: func(p query.Pattern, dst []query.Pattern) []query.Pattern {
+			return p.Parents(dst)
+		},
+		Ancestor: func(a, b query.Pattern) bool { return a.Benefits(b) },
+		Level:    func(p query.Pattern) int { return p.Count() },
+		Order:    func(p query.Pattern) uint64 { return uint64(p.BR()) },
+	}
+}
+
+// SRIA is the basic Self Reliant Index Assessment: an exact count per
+// observed pattern, keyed by the binary representation BR(ap).
+type SRIA struct {
+	counts map[query.Pattern]uint64
+	n      uint64
+	name   string
+}
+
+// NewSRIA returns an empty SRIA table.
+func NewSRIA() *SRIA {
+	return &SRIA{counts: make(map[query.Pattern]uint64), name: "SRIA"}
+}
+
+// Observe increments the pattern's count.
+func (s *SRIA) Observe(p query.Pattern) {
+	s.counts[p]++
+	s.n++
+}
+
+// Results reports every tracked pattern's frequency. Basic SRIA performs no
+// reduction: the threshold is ignored, which is precisely why exploration
+// noise leaks into the tuner.
+func (s *SRIA) Results(theta float64) []cost.APStat {
+	_ = theta
+	if s.n == 0 {
+		return nil
+	}
+	out := make([]cost.APStat, 0, len(s.counts))
+	for p, c := range s.counts {
+		out = append(out, cost.APStat{P: p, Freq: float64(c) / float64(s.n)})
+	}
+	sortStats(out)
+	return out
+}
+
+// N returns the number of observations.
+func (s *SRIA) N() uint64 { return s.n }
+
+// Len returns the number of tracked patterns.
+func (s *SRIA) Len() int { return len(s.counts) }
+
+// MemBytes returns the simulated resident size of the table.
+func (s *SRIA) MemBytes() int { return 96 + 48*len(s.counts) }
+
+// Reset clears the table.
+func (s *SRIA) Reset() {
+	s.counts = make(map[query.Pattern]uint64)
+	s.n = 0
+}
+
+// Name identifies the method.
+func (s *SRIA) Name() string { return s.name }
+
+// NewDIA returns the Dependent Index Assessment twin of SRIA: the paper
+// stores DIA nodes in the same SRIA table and notes their results are equal
+// ("both approaches share the same code base ... and do not reduce any
+// nodes"); the lattice structure only becomes load-bearing in CDIA.
+func NewDIA() *SRIA {
+	d := NewSRIA()
+	d.name = "DIA"
+	return d
+}
+
+// CSRIA is Compact SRIA: SRIA with Manku–Motwani lossy counting. Patterns
+// whose frequency cannot reach the error bar are evicted each segment, and
+// Results reports only patterns clearing θ−ε — the mass of everything else
+// is simply gone.
+type CSRIA struct {
+	lc *hh.LossyCounter[query.Pattern]
+}
+
+// NewCSRIA returns a CSRIA assessor with error rate epsilon.
+func NewCSRIA(epsilon float64) (*CSRIA, error) {
+	lc, err := hh.NewLossyCounter[query.Pattern](epsilon)
+	if err != nil {
+		return nil, err
+	}
+	return &CSRIA{lc: lc}, nil
+}
+
+// Observe records the pattern, compressing at segment boundaries.
+func (c *CSRIA) Observe(p query.Pattern) { c.lc.Observe(p) }
+
+// Results reports the heavy-hitter patterns for the threshold.
+func (c *CSRIA) Results(theta float64) []cost.APStat {
+	n := c.lc.N()
+	if n == 0 {
+		return nil
+	}
+	var out []cost.APStat
+	for _, r := range c.lc.Result(theta) {
+		out = append(out, cost.APStat{P: r.Key, Freq: r.Freq(n)})
+	}
+	sortStats(out)
+	return out
+}
+
+// N returns the number of observations.
+func (c *CSRIA) N() uint64 { return c.lc.N() }
+
+// Len returns the number of tracked patterns.
+func (c *CSRIA) Len() int { return c.lc.Len() }
+
+// MemBytes returns the simulated resident size.
+func (c *CSRIA) MemBytes() int { return c.lc.MemBytes() }
+
+// Reset clears the statistics.
+func (c *CSRIA) Reset() { c.lc.Reset() }
+
+// Name identifies the method.
+func (c *CSRIA) Name() string { return "CSRIA" }
+
+// Epsilon returns the configured error rate.
+func (c *CSRIA) Epsilon() float64 { return c.lc.Epsilon() }
+
+// CDIA is Compact DIA: the lattice-aware compact assessor. Eviction rolls a
+// pattern's count into a lattice parent instead of deleting it, and the
+// final-results walk promotes sub-threshold counts upward before reporting,
+// so shared demand always surfaces on some servable ancestor.
+type CDIA struct {
+	hc     *hh.HierarchicalCounter[query.Pattern]
+	rollup hh.Rollup
+}
+
+// NewCDIA returns a CDIA assessor over a JAS of numAttrs attributes with
+// the given error rate, combination method, and RNG seed (used only by the
+// random combination).
+func NewCDIA(numAttrs int, epsilon float64, rollup hh.Rollup, seed uint64) (*CDIA, error) {
+	hc, err := hh.NewHierarchicalCounter(epsilon, PatternHierarchy(numAttrs), rollup, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &CDIA{hc: hc, rollup: rollup}, nil
+}
+
+// Observe records the pattern, compressing at segment boundaries.
+func (c *CDIA) Observe(p query.Pattern) { c.hc.Observe(p) }
+
+// Results reports the hierarchical heavy hitters for the threshold.
+func (c *CDIA) Results(theta float64) []cost.APStat {
+	n := c.hc.N()
+	if n == 0 {
+		return nil
+	}
+	var out []cost.APStat
+	for _, r := range c.hc.Result(theta) {
+		out = append(out, cost.APStat{P: r.Key, Freq: r.Freq(n)})
+	}
+	sortStats(out)
+	return out
+}
+
+// N returns the number of observations.
+func (c *CDIA) N() uint64 { return c.hc.N() }
+
+// Len returns the number of tracked patterns.
+func (c *CDIA) Len() int { return c.hc.Len() }
+
+// MemBytes returns the simulated resident size.
+func (c *CDIA) MemBytes() int { return c.hc.MemBytes() }
+
+// Reset clears the statistics (RNG position is retained).
+func (c *CDIA) Reset() { c.hc.Reset() }
+
+// Name identifies the method including the combination strategy.
+func (c *CDIA) Name() string { return fmt.Sprintf("CDIA-%s", c.rollup) }
+
+// sortStats orders by descending frequency, then ascending BR, for
+// deterministic reports.
+func sortStats(stats []cost.APStat) {
+	sort.Slice(stats, func(i, j int) bool {
+		if stats[i].Freq != stats[j].Freq {
+			return stats[i].Freq > stats[j].Freq
+		}
+		return stats[i].P < stats[j].P
+	})
+}
+
+var (
+	_ Assessor = (*SRIA)(nil)
+	_ Assessor = (*CSRIA)(nil)
+	_ Assessor = (*CDIA)(nil)
+)

@@ -1,0 +1,303 @@
+package assess
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"amri/internal/bitindex"
+	"amri/internal/cost"
+	"amri/internal/hh"
+	"amri/internal/query"
+	"amri/internal/tuner"
+)
+
+// feedTable2 replays the paper's Table II workload: 10000 requests in the
+// exact published proportions, interleaved so every segment sees the same
+// mix (frequencies are stationary in the example).
+func feedTable2(a Assessor) {
+	mix := []struct {
+		p     query.Pattern
+		count int
+	}{
+		{query.PatternOf(0), 4},        // <A,*,*> 4%
+		{query.PatternOf(1), 10},       // <*,B,*> 10%
+		{query.PatternOf(2), 10},       // <*,*,C> 10%
+		{query.PatternOf(0, 1), 4},     // <A,B,*> 4%
+		{query.PatternOf(0, 2), 16},    // <A,*,C> 16%
+		{query.PatternOf(1, 2), 10},    // <*,B,C> 10%
+		{query.PatternOf(0, 1, 2), 46}, // <A,B,C> 46%
+	}
+	for round := 0; round < 100; round++ {
+		for _, m := range mix {
+			for i := 0; i < m.count; i++ {
+				a.Observe(m.p)
+			}
+		}
+	}
+}
+
+func statFor(stats []cost.APStat, p query.Pattern) (cost.APStat, bool) {
+	for _, s := range stats {
+		if s.P == p {
+			return s, true
+		}
+	}
+	return cost.APStat{}, false
+}
+
+func TestSRIAExactCounts(t *testing.T) {
+	s := NewSRIA()
+	feedTable2(s)
+	if s.N() != 10000 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Len() != 7 {
+		t.Fatalf("Len = %d, want 7 patterns", s.Len())
+	}
+	stats := s.Results(0.1)
+	// Basic SRIA reports everything, threshold notwithstanding.
+	if len(stats) != 7 {
+		t.Fatalf("SRIA reported %d patterns, want all 7", len(stats))
+	}
+	a, _ := statFor(stats, query.PatternOf(0))
+	if math.Abs(a.Freq-0.04) > 1e-12 {
+		t.Fatalf("<A,*,*> freq = %g, want 0.04", a.Freq)
+	}
+	// Sorted by descending frequency: ABC first.
+	if stats[0].P != query.PatternOf(0, 1, 2) {
+		t.Fatalf("top pattern = %v", stats[0].P)
+	}
+}
+
+func TestDIAEqualsSRIA(t *testing.T) {
+	s, d := NewSRIA(), NewDIA()
+	feedTable2(s)
+	feedTable2(d)
+	if d.Name() != "DIA" {
+		t.Fatalf("Name = %q", d.Name())
+	}
+	ss, ds := s.Results(0.1), d.Results(0.1)
+	if len(ss) != len(ds) {
+		t.Fatalf("SRIA %d vs DIA %d results", len(ss), len(ds))
+	}
+	for i := range ss {
+		if ss[i] != ds[i] {
+			t.Fatalf("result %d differs: %v vs %v", i, ss[i], ds[i])
+		}
+	}
+}
+
+// TestTable2WorkedExample is experiment T2: with θ=5% and ε=0.1%, CSRIA
+// fails to report <A,*,*> and <A,B,*> (both 4%), while CDIA with random
+// combination folds <A,B,*> into <A,*,*> and reports the combined 8%.
+func TestTable2WorkedExample(t *testing.T) {
+	const theta = 0.05
+	const epsilon = 0.001
+
+	cs, err := NewCSRIA(epsilon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedTable2(cs)
+	csStats := cs.Results(theta)
+	if _, found := statFor(csStats, query.PatternOf(0)); found {
+		t.Fatal("CSRIA should not report <A,*,*> (4% < θ)")
+	}
+	if _, found := statFor(csStats, query.PatternOf(0, 1)); found {
+		t.Fatal("CSRIA should not report <A,B,*> (4% < θ)")
+	}
+	if len(csStats) != 5 {
+		t.Fatalf("CSRIA reported %d patterns, want the 5 heavy ones", len(csStats))
+	}
+
+	cd, err := NewCDIA(3, epsilon, hh.RollupRandom, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedTable2(cd)
+	cdStats := cd.Results(theta)
+	a, found := statFor(cdStats, query.PatternOf(0))
+	if !found {
+		t.Fatalf("CDIA-random must report <A,*,*>; got %v", cdStats)
+	}
+	if math.Abs(a.Freq-0.08) > 0.005 {
+		t.Fatalf("<A,*,*> combined freq = %g, want ~0.08 (4%%+4%%)", a.Freq)
+	}
+	if _, found := statFor(cdStats, query.PatternOf(0, 1)); found {
+		t.Fatal("<A,B,*> should have been folded away, not reported")
+	}
+}
+
+// TestTable2EndToEndTuning chains assessment into the optimizer: CDIA's
+// statistics yield the paper's true optimal IC[1,1,2]; CSRIA's reduced
+// statistics yield the suboptimal IC[0,1,3].
+func TestTable2EndToEndTuning(t *testing.T) {
+	const theta = 0.05
+	params := cost.Params{LambdaD: 100, LambdaR: 100, Ch: 0.001, Cc: 1, Window: 60}
+	opt := tuner.Options{RequireFullBudget: true}
+
+	cd, _ := NewCDIA(3, 0.001, hh.RollupRandom, 1)
+	feedTable2(cd)
+	cdCfg, err := tuner.Exhaustive(3, 4, params, cd.Results(theta), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cdCfg.Equal(bitindex.NewConfig(1, 1, 2)) {
+		t.Fatalf("CDIA-tuned IC = %v, want IC[1,1,2]", cdCfg)
+	}
+
+	cs, _ := NewCSRIA(0.001)
+	feedTable2(cs)
+	csCfg, err := tuner.Exhaustive(3, 4, params, cs.Results(theta), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !csCfg.Equal(bitindex.NewConfig(0, 1, 3)) {
+		t.Fatalf("CSRIA-tuned IC = %v, want IC[0,1,3]", csCfg)
+	}
+}
+
+func TestCDIAHighestCountFoldsTowardHeavyParent(t *testing.T) {
+	cd, _ := NewCDIA(3, 0.001, hh.RollupHighestCount, 1)
+	feedTable2(cd)
+	stats := cd.Results(0.05)
+	// Highest-count combination folds <A,B,*> into <*,B,*> (10% > 4%),
+	// and <A,*,*> itself (4%) then rolls to the top unreported.
+	b, found := statFor(stats, query.PatternOf(1))
+	if !found {
+		t.Fatalf("<*,B,*> missing from %v", stats)
+	}
+	if b.Freq < 0.13 {
+		t.Fatalf("<*,B,*> should have absorbed <A,B,*>: freq %g", b.Freq)
+	}
+}
+
+func TestCSRIAEvictsTrueNoise(t *testing.T) {
+	cs, _ := NewCSRIA(0.01)
+	// 99% one pattern, occasional one-off noise patterns.
+	for i := 0; i < 5000; i++ {
+		cs.Observe(query.PatternOf(0, 1, 2))
+		if i%500 == 0 {
+			cs.Observe(query.Pattern(uint32(i/500) % 7))
+		}
+	}
+	if cs.Len() > 3 {
+		t.Fatalf("CSRIA tracks %d patterns; noise should be evicted", cs.Len())
+	}
+}
+
+func TestNamesAndValidation(t *testing.T) {
+	if NewSRIA().Name() != "SRIA" {
+		t.Fatal("SRIA name")
+	}
+	if _, err := NewCSRIA(0); err == nil {
+		t.Fatal("CSRIA epsilon 0 should fail")
+	}
+	if _, err := NewCDIA(3, 2, hh.RollupRandom, 1); err == nil {
+		t.Fatal("CDIA epsilon 2 should fail")
+	}
+	cd, _ := NewCDIA(3, 0.1, hh.RollupHighestCount, 1)
+	if cd.Name() != "CDIA-highest-count" {
+		t.Fatalf("CDIA name = %q", cd.Name())
+	}
+	cs, _ := NewCSRIA(0.25)
+	if cs.Epsilon() != 0.25 {
+		t.Fatalf("Epsilon = %g", cs.Epsilon())
+	}
+}
+
+func TestResetAll(t *testing.T) {
+	cs, _ := NewCSRIA(0.1)
+	cd, _ := NewCDIA(3, 0.1, hh.RollupRandom, 1)
+	for _, a := range []Assessor{NewSRIA(), cs, cd} {
+		a.Observe(query.PatternOf(0))
+		a.Reset()
+		if a.N() != 0 || a.Len() != 0 {
+			t.Errorf("%s Reset left N=%d Len=%d", a.Name(), a.N(), a.Len())
+		}
+		if got := a.Results(0.1); got != nil {
+			t.Errorf("%s Results after reset = %v", a.Name(), got)
+		}
+	}
+}
+
+func TestMemBytesOrdering(t *testing.T) {
+	// On a wide pattern space with heavy noise, compact assessors must use
+	// less memory than SRIA.
+	sria := NewSRIA()
+	cs, _ := NewCSRIA(0.02)
+	cd, _ := NewCDIA(10, 0.02, hh.RollupHighestCount, 1)
+	full := query.FullPattern(10)
+	for i := 0; i < 20000; i++ {
+		p := query.Pattern(uint32(i*2654435761) % uint32(full+1))
+		sria.Observe(p)
+		cs.Observe(p)
+		cd.Observe(p)
+	}
+	if !(cs.MemBytes() < sria.MemBytes() && cd.MemBytes() < sria.MemBytes()) {
+		t.Fatalf("compact assessors should be smaller: SRIA=%d CSRIA=%d CDIA=%d",
+			sria.MemBytes(), cs.MemBytes(), cd.MemBytes())
+	}
+}
+
+// Property: SRIA frequencies over any observation sequence sum to 1.
+func TestSRIAFrequenciesSumToOne(t *testing.T) {
+	f := func(seq []uint8) bool {
+		if len(seq) == 0 {
+			return true
+		}
+		s := NewSRIA()
+		for _, x := range seq {
+			s.Observe(query.Pattern(x) & query.FullPattern(3))
+		}
+		var sum float64
+		for _, st := range s.Results(0) {
+			sum += st.Freq
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every pattern CDIA reports is either observed or a lattice
+// ancestor of an observed pattern, and reported frequencies never exceed 1.
+func TestCDIAReportsOnlyAncestors(t *testing.T) {
+	f := func(seq []uint8, rollupBit bool) bool {
+		if len(seq) == 0 {
+			return true
+		}
+		roll := hh.RollupRandom
+		if rollupBit {
+			roll = hh.RollupHighestCount
+		}
+		cd, _ := NewCDIA(3, 0.1, roll, 7)
+		observed := map[query.Pattern]bool{}
+		for _, x := range seq {
+			p := query.Pattern(x) & query.FullPattern(3)
+			observed[p] = true
+			cd.Observe(p)
+		}
+		for _, st := range cd.Results(0.2) {
+			if st.Freq > 1+1e-9 {
+				return false
+			}
+			anyDescendant := false
+			for o := range observed {
+				if st.P.Benefits(o) {
+					anyDescendant = true
+					break
+				}
+			}
+			if !anyDescendant {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+package assess
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"amri/internal/hh"
+	"amri/internal/query"
+)
+
+func benchPatterns(n int) []query.Pattern {
+	rng := rand.New(rand.NewPCG(1, 1))
+	out := make([]query.Pattern, n)
+	for i := range out {
+		out[i] = query.Pattern(rng.Uint32N(8))
+	}
+	return out
+}
+
+func BenchmarkSRIAObserve(b *testing.B) {
+	s := NewSRIA()
+	pats := benchPatterns(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Observe(pats[i%len(pats)])
+	}
+}
+
+func BenchmarkCSRIAObserve(b *testing.B) {
+	c, _ := NewCSRIA(0.005)
+	pats := benchPatterns(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Observe(pats[i%len(pats)])
+	}
+}
+
+func BenchmarkCDIAObserve(b *testing.B) {
+	c, _ := NewCDIA(3, 0.005, hh.RollupHighestCount, 1)
+	pats := benchPatterns(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Observe(pats[i%len(pats)])
+	}
+}
+
+func BenchmarkCDIAResults(b *testing.B) {
+	c, _ := NewCDIA(3, 0.005, hh.RollupHighestCount, 1)
+	for _, p := range benchPatterns(50000) {
+		c.Observe(p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := c.Results(0.04); len(got) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}

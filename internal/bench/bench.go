@@ -1,0 +1,153 @@
+// Package bench regenerates the paper's tables and figures: each experiment
+// runs the relevant contenders over the synthetic workload and prints the
+// same rows/series the paper reports, plus the headline ratios (who wins,
+// by what factor, who dies when). cmd/amribench exposes them on the command
+// line; the root bench_test.go wires them into testing.B.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"amri/internal/engine"
+	"amri/internal/metrics"
+)
+
+// Options control an experiment run.
+type Options struct {
+	// Run is the base workload/machine configuration; zero value means
+	// engine.DefaultRunConfig().
+	Run engine.RunConfig
+	// Seeds are the workload seeds to average over (default {1}).
+	Seeds []uint64
+	// Quick shrinks the horizon (~1/5) for use inside testing.B loops.
+	Quick bool
+}
+
+func (o Options) runConfig() engine.RunConfig {
+	run := o.Run
+	if run.MaxTicks == 0 {
+		run = engine.DefaultRunConfig()
+	}
+	if o.Quick {
+		run.MaxTicks /= 5
+		if run.WarmupTicks >= run.MaxTicks {
+			run.WarmupTicks = run.MaxTicks / 4
+		}
+	}
+	return run
+}
+
+func (o Options) seeds() []uint64 {
+	if len(o.Seeds) == 0 {
+		return []uint64{1}
+	}
+	return o.Seeds
+}
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	// ID is the flag value ("fig6", "table2", ...).
+	ID string
+	// Title describes the paper artifact.
+	Title string
+	// Run executes the experiment and writes its report.
+	Run func(o Options, w io.Writer) error
+}
+
+// Registry lists every experiment in a stable order.
+func Registry() []Experiment {
+	return []Experiment{
+		{ID: "fig6", Title: "Figure 6: index assessment methods (SRIA, CSRIA, DIA, CDIA)", Run: RunFig6},
+		{ID: "fig6hash", Title: "Figure 6: state-of-the-art multi-hash-index AMR states (k=1..7)", Run: RunFig6Hash},
+		{ID: "fig7", Title: "Figure 7: AMRI vs best hash configuration vs non-adapting bitmap", Run: RunFig7},
+		{ID: "table2", Title: "Table II: CSRIA vs CDIA worked example and tuned ICs", Run: RunTable2},
+		{ID: "costmodel", Title: "Table I / Eq. 1: cost model predictions vs measured index work", Run: RunCostModel},
+		{ID: "abl-dir", Title: "Ablation A1: dense vs sparse directory across bit budgets", Run: RunDirectoryAblation},
+		{ID: "abl-opt", Title: "Ablation A2: greedy vs exhaustive bit allocation", Run: RunOptimizerAblation},
+		{ID: "abl-explore", Title: "Ablation A3: router exploration rate vs throughput", Run: RunExploreAblation},
+		{ID: "abl-mig", Title: "Ablation A4: stop-the-world vs incremental index migration", Run: RunMigrationAblation},
+		{ID: "abl-window", Title: "Ablation A5: assessment window policy (reset vs cumulative)", Run: RunWindowAblation},
+		{ID: "abl-content", Title: "Ablation A6: aggregate vs content-based routing", Run: RunContentAblation},
+		{ID: "abl-budget", Title: "Ablation A7: fixed vs adaptive IC bit budget", Run: RunBudgetAblation},
+		{ID: "multiquery", Title: "Extension: multiple SPJ queries over shared AMRI states", Run: RunMultiQuery},
+		{ID: "topology", Title: "Extension: join topologies (clique, chain, star)", Run: RunTopologyExperiment},
+	}
+}
+
+// Lookup finds an experiment by id.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// comparison runs a set of systems over the options' seeds and returns the
+// per-system mean results plus the individual runs.
+type comparison struct {
+	systems []engine.System
+	totals  map[string]float64 // mean cumulative results
+	endTick map[string]float64 // mean end tick
+	ooms    map[string]int     // runs that died of memory
+	runs    map[string][]*runRecord
+}
+
+type runRecord struct {
+	seed uint64
+	res  *metrics.RunResult
+}
+
+func compare(o Options, systems []engine.System) (*comparison, error) {
+	c := &comparison{
+		systems: systems,
+		totals:  map[string]float64{},
+		endTick: map[string]float64{},
+		ooms:    map[string]int{},
+		runs:    map[string][]*runRecord{},
+	}
+	for _, sys := range systems {
+		for _, seed := range o.seeds() {
+			run := o.runConfig()
+			run.Seed = seed
+			e, err := engine.New(run, sys)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s: %w", sys.Name, err)
+			}
+			r := e.Run()
+			c.totals[sys.Name] += float64(r.TotalResults)
+			c.endTick[sys.Name] += float64(r.EndTick)
+			if r.End == metrics.EndOOM {
+				c.ooms[sys.Name]++
+			}
+			c.runs[sys.Name] = append(c.runs[sys.Name], &runRecord{seed: seed, res: r})
+		}
+		n := float64(len(o.seeds()))
+		c.totals[sys.Name] /= n
+		c.endTick[sys.Name] /= n
+	}
+	return c, nil
+}
+
+// best returns the system (among names) with the highest mean results.
+func (c *comparison) best(names []string) string {
+	sort.Strings(names)
+	bestName, bestVal := "", -1.0
+	for _, n := range names {
+		if c.totals[n] > bestVal {
+			bestName, bestVal = n, c.totals[n]
+		}
+	}
+	return bestName
+}
+
+// gain returns the percentage by which a's mean results exceed b's.
+func (c *comparison) gain(a, b string) float64 {
+	if c.totals[b] == 0 {
+		return 0
+	}
+	return 100 * (c.totals[a] - c.totals[b]) / c.totals[b]
+}

@@ -1,0 +1,290 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"amri/internal/bitindex"
+	"amri/internal/engine"
+	"amri/internal/stream"
+)
+
+// fastOptions keeps bench tests quick: tiny workload, short horizon.
+func fastOptions() Options {
+	run := engine.DefaultRunConfig()
+	run.Profile = stream.Profile{
+		LambdaD:      10,
+		PayloadBytes: 40,
+		EpochTicks:   40,
+		Domains:      []uint64{8, 12, 18, 27, 40, 60},
+	}
+	run.MaxTicks = 150
+	run.WarmupTicks = 30
+	run.AssessInterval = 15
+	run.CPUBudget = 30000
+	run.MemCap = 0
+	return Options{Run: run}
+}
+
+func TestRegistryAndLookup(t *testing.T) {
+	reg := Registry()
+	if len(reg) < 8 {
+		t.Fatalf("registry has %d experiments", len(reg))
+	}
+	seen := map[string]bool{}
+	for _, e := range reg {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, ok := Lookup("fig7"); !ok {
+		t.Fatal("fig7 not found")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("bogus id found")
+	}
+}
+
+func TestQuickOptionShrinksHorizon(t *testing.T) {
+	o := Options{Quick: true}
+	run := o.runConfig()
+	def := engine.DefaultRunConfig()
+	if run.MaxTicks >= def.MaxTicks {
+		t.Fatalf("quick horizon %d not shrunk from %d", run.MaxTicks, def.MaxTicks)
+	}
+	if run.WarmupTicks >= run.MaxTicks {
+		t.Fatal("quick warmup exceeds horizon")
+	}
+}
+
+func TestFig6ProducesAllMethods(t *testing.T) {
+	r, err := Fig6(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"AMRI/SRIA", "AMRI/CSRIA", "AMRI/DIA", "AMRI/CDIA-random", "AMRI/CDIA-highest"} {
+		if _, ok := r.Results[name]; !ok {
+			t.Errorf("missing %s", name)
+		}
+	}
+	// DIA and SRIA share a code base: identical results.
+	if r.Results["AMRI/DIA"] != r.Results["AMRI/SRIA"] {
+		t.Fatalf("DIA %f != SRIA %f", r.Results["AMRI/DIA"], r.Results["AMRI/SRIA"])
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	r, err := Table2(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.CDIAConfig.Equal(bitindex.NewConfig(1, 1, 2)) {
+		t.Fatalf("CDIA IC = %v, want IC[1,1,2]", r.CDIAConfig)
+	}
+	if !r.CSRIAConfig.Equal(bitindex.NewConfig(0, 1, 3)) {
+		t.Fatalf("CSRIA IC = %v, want IC[0,1,3]", r.CSRIAConfig)
+	}
+	if len(r.CSRIAStats) != 5 {
+		t.Fatalf("CSRIA reported %d patterns, want 5", len(r.CSRIAStats))
+	}
+	if len(r.CDIAStats) != 6 {
+		t.Fatalf("CDIA reported %d patterns, want 6", len(r.CDIAStats))
+	}
+}
+
+func TestCostModelPredictsMeasurement(t *testing.T) {
+	cfg := bitindex.NewConfig(5, 3, 4)
+	r, err := CostModel(4096, 200, cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 8 {
+		t.Fatalf("%d rows, want 8 patterns", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.MeasuredBuckets != row.PredictedBuckets {
+			t.Errorf("%v: bucket fan-out %g != predicted %g",
+				row.Pattern, row.MeasuredBuckets, row.PredictedBuckets)
+		}
+		// Tuple scans are stochastic; within 25% at this sample size.
+		if row.PredictedTuples > 0 {
+			rel := (row.MeasuredTuples - row.PredictedTuples) / row.PredictedTuples
+			if rel < -0.25 || rel > 0.25 {
+				t.Errorf("%v: tuples %g vs predicted %g (%.0f%% off)",
+					row.Pattern, row.MeasuredTuples, row.PredictedTuples, 100*rel)
+			}
+		}
+	}
+}
+
+func TestDirectoryAblationShape(t *testing.T) {
+	rows, err := DirectoryAblation(1024, 50, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dense memory grows with bits; sparse stays bounded by occupancy.
+	var dense6, dense18, sparse24, sparse64 int
+	for _, r := range rows {
+		switch {
+		case r.Dense && r.TotalBits == 6:
+			dense6 = r.MemBytes
+		case r.Dense && r.TotalBits == 18:
+			dense18 = r.MemBytes
+		case !r.Dense && r.TotalBits == 24:
+			sparse24 = r.MemBytes
+		case !r.Dense && r.TotalBits == 64:
+			sparse64 = r.MemBytes
+		}
+	}
+	if dense18 <= dense6 {
+		t.Fatal("dense memory should grow with bits")
+	}
+	if sparse64 > 2*sparse24 {
+		t.Fatalf("sparse memory should track occupancy, got %d vs %d", sparse64, sparse24)
+	}
+}
+
+func TestOptimizerAblationBounds(t *testing.T) {
+	r, err := OptimizerAblation(150, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MeanRatio < 1 || r.MeanRatio > 1.1 {
+		t.Fatalf("mean greedy/exhaustive ratio %g out of expected band", r.MeanRatio)
+	}
+	if r.GreedyFails > r.Instances/20 {
+		t.Fatalf("greedy failed badly on %d/%d instances", r.GreedyFails, r.Instances)
+	}
+}
+
+func TestExploreAblationRuns(t *testing.T) {
+	rows, err := ExploreAblation(fastOptions(), []float64{0, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Results == 0 && rows[1].Results == 0 {
+		t.Fatal("no results in either configuration")
+	}
+}
+
+func TestRunnersRenderReports(t *testing.T) {
+	o := fastOptions()
+	cases := []struct {
+		run  func(Options, *bytes.Buffer) error
+		want string
+	}{
+		{func(o Options, b *bytes.Buffer) error { return RunTable2(o, b) }, "Table II"},
+		{func(o Options, b *bytes.Buffer) error { return RunCostModel(o, b) }, "cost model"},
+		{func(o Options, b *bytes.Buffer) error { return RunOptimizerAblation(o, b) }, "greedy"},
+		{func(o Options, b *bytes.Buffer) error { return RunDirectoryAblation(o, b) }, "dense"},
+	}
+	for _, c := range cases {
+		var buf bytes.Buffer
+		oo := o
+		oo.Quick = true
+		if err := c.run(oo, &buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(strings.ToLower(buf.String()), strings.ToLower(c.want)) {
+			t.Errorf("report missing %q:\n%s", c.want, buf.String())
+		}
+	}
+}
+
+func TestFig7Runs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFig7(fastOptions(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"Figure 7", "AMRI", "hash-7", "static-bitmap"} {
+		if !strings.Contains(buf.String(), frag) {
+			t.Errorf("fig7 report missing %q", frag)
+		}
+	}
+}
+
+func TestFig6HashRunsOnTinyWorkload(t *testing.T) {
+	r, err := Fig6Hash(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Results) != 8 { // AMRI + hash-1..7
+		t.Fatalf("contenders = %d", len(r.Results))
+	}
+	if r.AMRIResults == 0 {
+		t.Fatal("AMRI reference produced nothing")
+	}
+}
+
+func TestMigrationAblationModes(t *testing.T) {
+	rows, err := MigrationAblation(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("modes = %d, want 5 (incl. bursty variants)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Results == 0 {
+			t.Fatalf("mode %s produced nothing", r.Mode)
+		}
+	}
+}
+
+func TestWindowAblationPolicies(t *testing.T) {
+	rows, err := WindowAblation(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("policies = %d", len(rows))
+	}
+}
+
+func TestContentAblationCells(t *testing.T) {
+	rows, err := ContentAblation(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("cells = %d", len(rows))
+	}
+}
+
+func TestTopologyExperimentCells(t *testing.T) {
+	rows, err := TopologyExperiment(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("cells = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Results == 0 {
+			t.Fatalf("%s/%s produced nothing", r.Topology, r.System)
+		}
+	}
+}
+
+func TestMultiQueryExperiment(t *testing.T) {
+	r, err := MultiQuery(60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MemSavingPercent <= 0 {
+		t.Fatalf("sharing saved nothing: %+v", r)
+	}
+	for q := range r.SharedResults {
+		if r.SharedResults[q] != r.DedicatedResults[q] {
+			t.Fatalf("query %d results diverge", q)
+		}
+	}
+}

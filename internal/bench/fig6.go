@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"amri/internal/engine"
+	"amri/internal/metrics"
+)
+
+// Fig6Result carries the assessment-method comparison for programmatic use
+// (bench_test.go asserts its shape).
+type Fig6Result struct {
+	// Mean cumulative results per assessment method.
+	Results map[string]float64
+	// Headline ratios, analogous to the paper's 19% and 30%.
+	CDIAHighestOverSRIA  float64
+	CDIAHighestOverCSRIA float64
+	// Runs for rendering.
+	runs []*metrics.RunResult
+}
+
+// Runs returns the seed-1 run series per contender (for CSV export).
+func (r *Fig6Result) Runs() []*metrics.RunResult { return r.runs }
+
+// Fig6Systems are the paper's Figure 6 assessment contenders: all five
+// methods driving the same AMRI bit index.
+func Fig6Systems() []engine.System {
+	return []engine.System{
+		engine.AMRI(engine.AssessSRIA),
+		engine.AMRI(engine.AssessCSRIA),
+		engine.AMRI(engine.AssessDIA),
+		engine.AMRI(engine.AssessCDIARandom),
+		engine.AMRI(engine.AssessCDIAHighest),
+	}
+}
+
+// Fig6 computes the Figure 6 assessment comparison.
+func Fig6(o Options) (*Fig6Result, error) {
+	systems := Fig6Systems()
+	c, err := compare(o, systems)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig6Result{Results: map[string]float64{}}
+	for _, sys := range systems {
+		out.Results[sys.Name] = c.totals[sys.Name]
+		out.runs = append(out.runs, c.runs[sys.Name][0].res)
+	}
+	out.CDIAHighestOverSRIA = c.gain("AMRI/CDIA-highest", "AMRI/SRIA")
+	out.CDIAHighestOverCSRIA = c.gain("AMRI/CDIA-highest", "AMRI/CSRIA")
+	return out, nil
+}
+
+// RunFig6 regenerates the assessment-method half of Figure 6.
+func RunFig6(o Options, w io.Writer) error {
+	r, err := Fig6(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== Figure 6 — index assessment methods (cumulative throughput) ==")
+	fmt.Fprintln(w, metrics.Table(r.runs))
+	fmt.Fprintln(w, metrics.Chart(r.runs, 72, 14))
+	fmt.Fprintf(w, "CDIA-highest vs SRIA/DIA: %+.1f%%   (paper: +19%%)\n", r.CDIAHighestOverSRIA)
+	fmt.Fprintf(w, "CDIA-highest vs CSRIA:    %+.1f%%   (paper: +30%%)\n", r.CDIAHighestOverCSRIA)
+	fmt.Fprintln(w, "expected shape: CDIA variants lead; DIA == SRIA; CSRIA trails")
+	return nil
+}
+
+// Fig6HashResult carries the hash-baseline sweep.
+type Fig6HashResult struct {
+	// Results maps "hash-k" to mean cumulative results.
+	Results map[string]float64
+	// OOMTick maps "hash-k" to its mean end tick (== horizon when it
+	// survived); Died says whether every seeded run hit the memory cap.
+	OOMTick map[string]float64
+	Died    map[string]bool
+	// AMRIResults is the reference AMRI/CDIA-highest mean.
+	AMRIResults float64
+	// AMRIGainOverBestHash is the paper's 93% analogue.
+	AMRIGainOverBestHash float64
+	runs                 []*metrics.RunResult
+}
+
+// Runs returns the seed-1 run series per contender (for CSV export).
+func (r *Fig6HashResult) Runs() []*metrics.RunResult { return r.runs }
+
+// Fig6Hash sweeps the multi-hash-index baseline from 1 to 7 access modules
+// against AMRI.
+func Fig6Hash(o Options) (*Fig6HashResult, error) {
+	systems := []engine.System{engine.AMRI(engine.AssessCDIAHighest)}
+	for k := 1; k <= 7; k++ {
+		systems = append(systems, engine.HashSystem(k))
+	}
+	c, err := compare(o, systems)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig6HashResult{
+		Results: map[string]float64{},
+		OOMTick: map[string]float64{},
+		Died:    map[string]bool{},
+	}
+	var hashNames []string
+	for _, sys := range systems {
+		out.Results[sys.Name] = c.totals[sys.Name]
+		out.OOMTick[sys.Name] = c.endTick[sys.Name]
+		out.Died[sys.Name] = c.ooms[sys.Name] == len(o.seeds())
+		out.runs = append(out.runs, c.runs[sys.Name][0].res)
+		if sys.Index == engine.IndexHash {
+			hashNames = append(hashNames, sys.Name)
+		}
+	}
+	best := c.best(hashNames)
+	out.AMRIResults = c.totals["AMRI/CDIA-highest"]
+	out.AMRIGainOverBestHash = c.gain("AMRI/CDIA-highest", best)
+	return out, nil
+}
+
+// RunFig6Hash regenerates the hash-baseline half of Figure 6.
+func RunFig6Hash(o Options, w io.Writer) error {
+	r, err := Fig6Hash(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== Figure 6 — multi-hash-index AMR states, k = 1..7 access modules ==")
+	fmt.Fprintln(w, metrics.Table(r.runs))
+	fmt.Fprintln(w, metrics.Chart(r.runs, 72, 14))
+	fmt.Fprintf(w, "AMRI vs best hash configuration: %+.1f%%   (paper: +93%%)\n", r.AMRIGainOverBestHash)
+	fmt.Fprintln(w, "expected shape: every hash variant backlogs and dies (paper: none survived")
+	fmt.Fprintln(w, "past 12.5 of 30 minutes) or starves on full scans; AMRI runs to the end")
+	return nil
+}

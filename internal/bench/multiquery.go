@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"amri/internal/multiquery"
+	"amri/internal/stream"
+)
+
+// MultiQueryResult compares the shared-state design against dedicated
+// per-query indexes on the packaged two-query workload.
+type MultiQueryResult struct {
+	SharedResults    []uint64
+	DedicatedResults []uint64
+	SharedMemBytes   int
+	DedicatedMem     int
+	MemSavingPercent float64
+}
+
+// MultiQuery runs the extension experiment: one AMRI per shared state
+// serving two queries, versus one index per (state, query).
+func MultiQuery(ticks int64, seed uint64) (*MultiQueryResult, error) {
+	prof := stream.Profile{
+		LambdaD:      10,
+		PayloadBytes: 60,
+		EpochTicks:   60,
+		Domains:      []uint64{10, 16, 25, 40, 64, 100, 160, 250},
+	}
+	base := multiquery.RunConfig{
+		Workload: multiquery.TwoQueryWorkload(),
+		Profile:  prof,
+		Seed:     seed,
+		Ticks:    ticks,
+	}
+	shared, err := multiquery.Run(base)
+	if err != nil {
+		return nil, err
+	}
+	ded := base
+	ded.Dedicated = true
+	dedicated, err := multiquery.Run(ded)
+	if err != nil {
+		return nil, err
+	}
+	out := &MultiQueryResult{
+		SharedResults:    shared.PerQueryResults,
+		DedicatedResults: dedicated.PerQueryResults,
+		SharedMemBytes:   shared.IndexMemBytes,
+		DedicatedMem:     dedicated.IndexMemBytes,
+	}
+	if dedicated.IndexMemBytes > 0 {
+		out.MemSavingPercent = 100 * (1 - float64(shared.IndexMemBytes)/float64(dedicated.IndexMemBytes))
+	}
+	return out, nil
+}
+
+// RunMultiQuery prints the multi-query extension experiment.
+func RunMultiQuery(o Options, w io.Writer) error {
+	ticks := int64(300)
+	if o.Quick {
+		ticks = 100
+	}
+	r, err := MultiQuery(ticks, o.seeds()[0])
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== Extension — multiple SPJ queries over shared AMRI states ==")
+	fmt.Fprintf(w, "%-12s %14s %14s\n", "query", "shared-AMRI", "dedicated")
+	for q := range r.SharedResults {
+		fmt.Fprintf(w, "Q%-11d %14d %14d\n", q, r.SharedResults[q], r.DedicatedResults[q])
+	}
+	fmt.Fprintf(w, "index memory: shared %d bytes vs dedicated %d bytes (%.0f%% saved)\n",
+		r.SharedMemBytes, r.DedicatedMem, r.MemSavingPercent)
+	fmt.Fprintln(w, "expected shape: identical per-query results (indexes are lossless),")
+	fmt.Fprintln(w, "with the shared design paying for one index per state instead of one")
+	fmt.Fprintln(w, "per (state, query)")
+	return nil
+}

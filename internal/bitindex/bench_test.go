@@ -1,0 +1,81 @@
+package bitindex
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"amri/internal/query"
+	"amri/internal/tuple"
+)
+
+func benchIndex(b *testing.B, cfg Config, n int) (*Index, []*tuple.Tuple) {
+	b.Helper()
+	ix, err := New(cfg, []int{0, 1, 2}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	tuples := make([]*tuple.Tuple, n)
+	for i := range tuples {
+		tuples[i] = tuple.New(0, uint64(i), 0, []tuple.Value{
+			tuple.Value(rng.Uint64()), tuple.Value(rng.Uint64()), tuple.Value(rng.Uint64())})
+	}
+	return ix, tuples
+}
+
+func BenchmarkInsert(b *testing.B) {
+	ix, tuples := benchIndex(b, NewConfig(4, 4, 4), 1)
+	proto := tuples[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Insert(proto)
+	}
+}
+
+func BenchmarkInsertDelete(b *testing.B) {
+	ix, tuples := benchIndex(b, NewConfig(4, 4, 4), 1)
+	proto := tuples[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Insert(proto)
+		ix.Delete(proto)
+	}
+}
+
+func benchSearch(b *testing.B, cfg Config, p query.Pattern) {
+	ix, tuples := benchIndex(b, cfg, 4096)
+	for _, t := range tuples {
+		ix.Insert(t)
+	}
+	vals := []tuple.Value{1, 2, 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search(p, vals, func(*tuple.Tuple) bool { return true })
+	}
+}
+
+func BenchmarkSearchFullPattern(b *testing.B) {
+	benchSearch(b, NewConfig(4, 4, 4), query.FullPattern(3))
+}
+
+func BenchmarkSearchOneAttr(b *testing.B) {
+	benchSearch(b, NewConfig(4, 4, 4), query.PatternOf(0))
+}
+
+func BenchmarkSearchOneAttrSparse64(b *testing.B) {
+	benchSearch(b, NewConfig(22, 21, 21), query.PatternOf(0))
+}
+
+func BenchmarkMigrate(b *testing.B) {
+	cfgs := []Config{NewConfig(6, 3, 3), NewConfig(3, 3, 6)}
+	ix, tuples := benchIndex(b, cfgs[0], 4096)
+	for _, t := range tuples {
+		ix.Insert(t)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Migrate(cfgs[(i+1)%2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

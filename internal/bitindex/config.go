@@ -1,0 +1,203 @@
+// Package bitindex implements the paper's Section III physical design: a
+// single bit-address index per state. An index configuration (the "index
+// key map" IC) assigns a number of bits to each join attribute; the
+// concatenation of the low bits of each attribute's hash forms a bucket id,
+// and tuples are stored directly in the addressed bucket. One index serves
+// every access pattern: attributes a search request does not constrain
+// contribute a wildcard span of bucket ids.
+//
+// Tuples live in the buckets themselves — unlike the multi-hash-index
+// approach there are no per-index key links, which is the design's memory
+// and maintenance advantage.
+package bitindex
+
+import (
+	"fmt"
+	"strings"
+
+	"amri/internal/query"
+)
+
+// MaxTotalBits bounds the bucket-id width. Bucket ids are uint64.
+const MaxTotalBits = 64
+
+// Config is an index configuration: Bits[i] is the number of bucket-id bits
+// assigned to join attribute i of the state's JAS. A zero entry means the
+// attribute is not indexed.
+type Config struct {
+	Bits []uint8
+}
+
+// NewConfig copies bits into a fresh Config.
+func NewConfig(bits ...uint8) Config {
+	b := make([]uint8, len(bits))
+	copy(b, bits)
+	return Config{Bits: b}
+}
+
+// Uniform spreads totalBits across n attributes as evenly as possible,
+// giving earlier attributes the remainder.
+func Uniform(n, totalBits int) Config {
+	bits := make([]uint8, n)
+	for i := 0; i < totalBits; i++ {
+		bits[i%n]++
+	}
+	return Config{Bits: bits}
+}
+
+// Validate checks the configuration against a JAS of numAttrs attributes.
+func (c Config) Validate(numAttrs int) error {
+	if len(c.Bits) != numAttrs {
+		return fmt.Errorf("bitindex: config has %d attributes, state has %d", len(c.Bits), numAttrs)
+	}
+	if c.TotalBits() > MaxTotalBits {
+		return fmt.Errorf("bitindex: %d total bits exceeds max %d", c.TotalBits(), MaxTotalBits)
+	}
+	return nil
+}
+
+// NumAttrs returns the number of JAS attributes the config covers.
+func (c Config) NumAttrs() int { return len(c.Bits) }
+
+// TotalBits returns the width of the bucket id.
+func (c Config) TotalBits() int {
+	total := 0
+	for _, b := range c.Bits {
+		total += int(b)
+	}
+	return total
+}
+
+// NumBuckets returns the size of the bucket-id space, 2^TotalBits.
+func (c Config) NumBuckets() uint64 {
+	tb := c.TotalBits()
+	if tb >= 64 {
+		return ^uint64(0) // 2^64-1; the id space saturates the uint64 range
+	}
+	return 1 << uint(tb)
+}
+
+// BitsFor returns B_ap: the number of bits assigned to the attributes the
+// pattern constrains. Searches with pattern ap scan 2^(TotalBits-B_ap)
+// buckets, i.e. a 2^-B_ap fraction of the id space.
+func (c Config) BitsFor(p query.Pattern) int {
+	total := 0
+	for i, b := range c.Bits {
+		if p.Has(i) {
+			total += int(b)
+		}
+	}
+	return total
+}
+
+// IndexedAttrs returns N_A: the number of attributes with at least one bit.
+func (c Config) IndexedAttrs() int {
+	n := 0
+	for _, b := range c.Bits {
+		if b > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// IndexedIn returns N_{A,ap}: the number of indexed attributes the pattern
+// constrains — the per-request hash computations a search performs.
+func (c Config) IndexedIn(p query.Pattern) int {
+	n := 0
+	for i, b := range c.Bits {
+		if b > 0 && p.Has(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// Equal reports whether two configurations assign identical bits.
+func (c Config) Equal(o Config) bool {
+	if len(c.Bits) != len(o.Bits) {
+		return false
+	}
+	for i := range c.Bits {
+		if c.Bits[i] != o.Bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy.
+func (c Config) Clone() Config {
+	return NewConfig(c.Bits...)
+}
+
+// String renders like "IC[5,2,3]".
+func (c Config) String() string {
+	var b strings.Builder
+	b.WriteString("IC[")
+	for i, bits := range c.Bits {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", bits)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// layout precomputes each attribute's field position inside the bucket id.
+// Attribute 0 occupies the most significant field, matching the paper's
+// worked example where t.A1,t.A2,t.A3 = 00111,11,010 concatenate to
+// 0011111010 (bucket 250).
+type layout struct {
+	shift []uint   // left shift of attribute i's field
+	mask  []uint64 // in-place mask of attribute i's field (0 when no bits)
+	total int
+}
+
+func newLayout(c Config) layout {
+	l := layout{shift: make([]uint, len(c.Bits)), mask: make([]uint64, len(c.Bits)), total: c.TotalBits()}
+	pos := l.total
+	for i, b := range c.Bits {
+		pos -= int(b)
+		l.shift[i] = uint(pos)
+		if b > 0 {
+			l.mask[i] = ((uint64(1) << uint(b)) - 1) << uint(pos)
+		}
+	}
+	return l
+}
+
+// fieldOf places the low bits of hash h into attribute i's field.
+func (l layout) fieldOf(i int, h uint64, bits uint8) uint64 {
+	if bits == 0 {
+		return 0
+	}
+	return (h & ((1 << uint(bits)) - 1)) << l.shift[i]
+}
+
+// patternMask returns the union of field masks of the attributes in p.
+func (l layout) patternMask(p query.Pattern) uint64 {
+	var m uint64
+	for i := range l.mask {
+		if p.Has(i) {
+			m |= l.mask[i]
+		}
+	}
+	return m
+}
+
+// Balance summarizes how evenly an index's tuples spread over its occupied
+// buckets — the paper's stated goal for a good index key map is "no bucket
+// stores more tuples than any other".
+type Balance struct {
+	// Occupied is the number of non-empty buckets; Tuples the stored count.
+	Occupied int
+	Tuples   int
+	// MaxBucket is the largest bucket's size; Mean the average over
+	// occupied buckets.
+	MaxBucket int
+	Mean      float64
+	// Imbalance is MaxBucket / Mean (1.0 = perfectly even); 0 when empty.
+	Imbalance float64
+}

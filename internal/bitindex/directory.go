@@ -1,0 +1,124 @@
+package bitindex
+
+import "amri/internal/tuple"
+
+// directory is the bucket container behind an Index. Two implementations:
+// a dense flat array for narrow bucket-id spaces and a sparse map for wide
+// ones (the practical reading of the paper's 64-bit configurations — 2^64
+// materialized buckets cannot exist, so wide ICs must hash occupied ids).
+type directory interface {
+	put(id uint64, t *tuple.Tuple)
+	remove(id uint64, t *tuple.Tuple) bool
+	bucket(id uint64) []*tuple.Tuple
+	forEach(fn func(id uint64, b []*tuple.Tuple) bool)
+	occupied() int
+	memBytes() int
+}
+
+func newDirectory(cfg Config, denseLimit int) directory {
+	if tb := cfg.TotalBits(); tb <= denseLimit {
+		return &denseDir{buckets: make([][]*tuple.Tuple, uint64(1)<<uint(tb))}
+	}
+	return &sparseDir{buckets: make(map[uint64][]*tuple.Tuple)}
+}
+
+// denseDir materializes every bucket slot in a flat array: O(1) addressing,
+// 24 bytes of slice header per slot.
+type denseDir struct {
+	buckets [][]*tuple.Tuple
+	occ     int
+	stored  int
+}
+
+func (d *denseDir) put(id uint64, t *tuple.Tuple) {
+	if len(d.buckets[id]) == 0 {
+		d.occ++
+	}
+	d.buckets[id] = append(d.buckets[id], t)
+	d.stored++
+}
+
+func (d *denseDir) remove(id uint64, t *tuple.Tuple) bool {
+	b := d.buckets[id]
+	for i, x := range b {
+		if x == t {
+			b[i] = b[len(b)-1]
+			b[len(b)-1] = nil
+			d.buckets[id] = b[:len(b)-1]
+			d.stored--
+			if len(d.buckets[id]) == 0 {
+				d.occ--
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func (d *denseDir) bucket(id uint64) []*tuple.Tuple { return d.buckets[id] }
+
+func (d *denseDir) forEach(fn func(id uint64, b []*tuple.Tuple) bool) {
+	for id, b := range d.buckets {
+		if len(b) == 0 {
+			continue
+		}
+		if !fn(uint64(id), b) {
+			return
+		}
+	}
+}
+
+func (d *denseDir) occupied() int { return d.occ }
+
+func (d *denseDir) memBytes() int {
+	return 24*len(d.buckets) + 16*d.stored
+}
+
+// sparseDir keys occupied buckets in a map: memory proportional to
+// occupancy, masked iteration for wide wildcard searches. Iteration order
+// of forEach is unspecified; callers that need determinism (none of the
+// hot paths do — search visits are order-insensitive candidate sets) must
+// sort themselves.
+type sparseDir struct {
+	buckets map[uint64][]*tuple.Tuple
+	stored  int
+}
+
+func (d *sparseDir) put(id uint64, t *tuple.Tuple) {
+	d.buckets[id] = append(d.buckets[id], t)
+	d.stored++
+}
+
+func (d *sparseDir) remove(id uint64, t *tuple.Tuple) bool {
+	b := d.buckets[id]
+	for i, x := range b {
+		if x == t {
+			b[i] = b[len(b)-1]
+			b[len(b)-1] = nil
+			if len(b) == 1 {
+				delete(d.buckets, id)
+			} else {
+				d.buckets[id] = b[:len(b)-1]
+			}
+			d.stored--
+			return true
+		}
+	}
+	return false
+}
+
+func (d *sparseDir) bucket(id uint64) []*tuple.Tuple { return d.buckets[id] }
+
+func (d *sparseDir) forEach(fn func(id uint64, b []*tuple.Tuple) bool) {
+	for id, b := range d.buckets {
+		if !fn(id, b) {
+			return
+		}
+	}
+}
+
+func (d *sparseDir) occupied() int { return len(d.buckets) }
+
+func (d *sparseDir) memBytes() int {
+	return 64*len(d.buckets) + 16*d.stored
+}

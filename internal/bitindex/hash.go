@@ -1,0 +1,26 @@
+package bitindex
+
+import "amri/internal/tuple"
+
+// Hasher maps a join attribute value to the 64-bit hash whose low bits
+// address the attribute's bucket-id field. The attribute position is part
+// of the input so equal values in different attributes decorrelate.
+type Hasher func(attr int, v tuple.Value) uint64
+
+// DefaultHasher is a splitmix64-style finalizer salted by the attribute
+// position: cheap, stateless and well mixed in the low bits, which is what
+// the field extraction uses.
+func DefaultHasher(attr int, v tuple.Value) uint64 {
+	x := v + 0x9e3779b97f4a7c15*uint64(attr+1)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// IdentityHasher uses the attribute value directly. The paper's Section III
+// example assumes this (values 00111, 11, 010 appear verbatim in the bucket
+// id); it is also useful for tests that need full control of placement.
+func IdentityHasher(_ int, v tuple.Value) uint64 { return v }

@@ -1,0 +1,470 @@
+package bitindex
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"amri/internal/query"
+	"amri/internal/tuple"
+)
+
+func mustNew(t *testing.T, cfg Config, attrMap []int, h Hasher, opts ...Option) *Index {
+	t.Helper()
+	ix, err := New(cfg, attrMap, h, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestConfigBasics(t *testing.T) {
+	c := NewConfig(5, 2, 3)
+	if c.TotalBits() != 10 {
+		t.Fatalf("TotalBits = %d", c.TotalBits())
+	}
+	if c.NumBuckets() != 1024 {
+		t.Fatalf("NumBuckets = %d", c.NumBuckets())
+	}
+	if c.IndexedAttrs() != 3 {
+		t.Fatalf("IndexedAttrs = %d", c.IndexedAttrs())
+	}
+	if got := c.BitsFor(query.PatternOf(0, 2)); got != 8 {
+		t.Fatalf("BitsFor(<A,*,C>) = %d, want 8", got)
+	}
+	if got := c.IndexedIn(query.PatternOf(0, 2)); got != 2 {
+		t.Fatalf("IndexedIn = %d, want 2", got)
+	}
+	if c.String() != "IC[5,2,3]" {
+		t.Fatalf("String = %q", c.String())
+	}
+	if !c.Equal(NewConfig(5, 2, 3)) || c.Equal(NewConfig(5, 2, 2)) || c.Equal(NewConfig(5, 2)) {
+		t.Fatal("Equal is wrong")
+	}
+}
+
+func TestConfigZeroBitsAttr(t *testing.T) {
+	c := NewConfig(4, 0, 4)
+	if c.IndexedAttrs() != 2 {
+		t.Fatalf("IndexedAttrs = %d, want 2", c.IndexedAttrs())
+	}
+	if got := c.IndexedIn(query.PatternOf(1)); got != 0 {
+		t.Fatalf("IndexedIn(<*,B,*>) = %d, want 0 (B unindexed)", got)
+	}
+	if got := c.BitsFor(query.PatternOf(0, 1)); got != 4 {
+		t.Fatalf("BitsFor = %d, want 4", got)
+	}
+}
+
+func TestUniformConfig(t *testing.T) {
+	c := Uniform(3, 10)
+	if c.TotalBits() != 10 {
+		t.Fatalf("TotalBits = %d", c.TotalBits())
+	}
+	// 10 over 3: 4,3,3.
+	if c.Bits[0] != 4 || c.Bits[1] != 3 || c.Bits[2] != 3 {
+		t.Fatalf("Uniform = %v", c.Bits)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := NewConfig(4, 4).Validate(3); err == nil {
+		t.Error("wrong attr count should fail")
+	}
+	bits := make([]uint8, 2)
+	bits[0], bits[1] = 40, 40
+	if err := (Config{Bits: bits}).Validate(2); err == nil {
+		t.Error("80 bits should exceed MaxTotalBits")
+	}
+	if err := NewConfig(4, 4, 4).Validate(3); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+// TestPaperSection3Example reproduces the worked example: IC with 5 bits
+// for A1, 2 for A2, 3 for A3; tuple values 00111, 11, 010 land in bucket
+// 0011111010 = 250; search request sr1 (A1=00111, A3=010, A2 wild) scans
+// buckets 226, 234, 242, 250.
+func TestPaperSection3Example(t *testing.T) {
+	cfg := NewConfig(5, 2, 3)
+	ix := mustNew(t, cfg, []int{0, 1, 2}, IdentityHasher)
+
+	tp := tuple.New(0, 1, 0, []tuple.Value{0b00111, 0b11, 0b010})
+	id, hashes := ix.BucketID(tp)
+	if id != 250 {
+		t.Fatalf("bucket id = %d, want 250", id)
+	}
+	if hashes != 3 {
+		t.Fatalf("hashes = %d, want 3", hashes)
+	}
+	ix.Insert(tp)
+
+	// sr1: priority code and location id constrained, package id wild.
+	var visited []*tuple.Tuple
+	probed := map[uint64]bool{}
+	st := ix.Search(query.PatternOf(0, 2), []tuple.Value{0b00111, 0, 0b010}, func(x *tuple.Tuple) bool {
+		visited = append(visited, x)
+		return true
+	})
+	if st.Buckets != 4 {
+		t.Fatalf("buckets probed = %d, want 4 (wildcard span of A2's 2 bits)", st.Buckets)
+	}
+	if st.Hashes != 2 {
+		t.Fatalf("hashes = %d, want 2", st.Hashes)
+	}
+	if len(visited) != 1 || visited[0] != tp {
+		t.Fatalf("visited = %v", visited)
+	}
+	_ = probed
+
+	// Verify the exact bucket ids by planting markers in each.
+	for _, want := range []uint64{226, 234, 242, 250} {
+		a2 := (want >> 3) & 0b11
+		mk := tuple.New(0, 2, 0, []tuple.Value{0b00111, a2, 0b010})
+		got, _ := ix.BucketID(mk)
+		if got != want {
+			t.Errorf("A2=%b lands in bucket %d, want %d", a2, got, want)
+		}
+	}
+}
+
+func TestSearchFullPatternSingleBucket(t *testing.T) {
+	cfg := NewConfig(3, 3, 3)
+	ix := mustNew(t, cfg, []int{0, 1, 2}, nil)
+	tp := tuple.New(0, 1, 0, []tuple.Value{11, 22, 33})
+	ix.Insert(tp)
+	st := ix.Search(query.FullPattern(3), []tuple.Value{11, 22, 33}, func(x *tuple.Tuple) bool { return true })
+	if st.Buckets != 1 {
+		t.Fatalf("full pattern should probe exactly 1 bucket, got %d", st.Buckets)
+	}
+	if st.Tuples != 1 {
+		t.Fatalf("tuples = %d, want 1", st.Tuples)
+	}
+}
+
+func TestSearchFindsAllCandidates(t *testing.T) {
+	cfg := NewConfig(4, 4)
+	ix := mustNew(t, cfg, []int{0, 1}, nil)
+	// Insert tuples sharing attribute 0 = 7 with varying attribute 1.
+	var want int
+	for i := 0; i < 50; i++ {
+		v0 := tuple.Value(i % 5)
+		tp := tuple.New(0, uint64(i), 0, []tuple.Value{v0, tuple.Value(i)})
+		ix.Insert(tp)
+		if v0 == 3 {
+			want++
+		}
+	}
+	got := 0
+	ix.Search(query.PatternOf(0), []tuple.Value{3, 0}, func(x *tuple.Tuple) bool {
+		if x.Attrs[0] == 3 {
+			got++
+		}
+		return true
+	})
+	if got != want {
+		t.Fatalf("found %d candidates with attr0=3, want %d", got, want)
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	ix := mustNew(t, NewConfig(2), []int{0}, nil)
+	for i := 0; i < 10; i++ {
+		ix.Insert(tuple.New(0, uint64(i), 0, []tuple.Value{1}))
+	}
+	n := 0
+	ix.Search(query.PatternOf(0), []tuple.Value{1}, func(x *tuple.Tuple) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("early stop visited %d, want 3", n)
+	}
+}
+
+func TestDeleteAndLen(t *testing.T) {
+	ix := mustNew(t, NewConfig(4, 4), []int{0, 1}, nil)
+	t1 := tuple.New(0, 1, 0, []tuple.Value{5, 6})
+	t2 := tuple.New(0, 2, 0, []tuple.Value{5, 6}) // same bucket
+	ix.Insert(t1)
+	ix.Insert(t2)
+	if ix.Len() != 2 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	if _, ok := ix.Delete(t1); !ok {
+		t.Fatal("delete of stored tuple failed")
+	}
+	if _, ok := ix.Delete(t1); ok {
+		t.Fatal("double delete succeeded")
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("Len after delete = %d", ix.Len())
+	}
+	// t2 must still be findable.
+	found := false
+	ix.Search(query.FullPattern(2), []tuple.Value{5, 6}, func(x *tuple.Tuple) bool {
+		found = found || x == t2
+		return true
+	})
+	if !found {
+		t.Fatal("surviving bucket-mate lost by delete")
+	}
+}
+
+func TestMigrateRelocatesEverything(t *testing.T) {
+	ix := mustNew(t, NewConfig(6, 0, 0), []int{0, 1, 2}, nil)
+	var tuples []*tuple.Tuple
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < 200; i++ {
+		tp := tuple.New(0, uint64(i), 0, []tuple.Value{
+			tuple.Value(rng.Uint64N(64)), tuple.Value(rng.Uint64N(64)), tuple.Value(rng.Uint64N(64))})
+		tuples = append(tuples, tp)
+		ix.Insert(tp)
+	}
+	newCfg := NewConfig(2, 2, 2)
+	st, err := ix.Migrate(newCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tuples != 200 {
+		t.Fatalf("migrated %d tuples, want 200", st.Tuples)
+	}
+	if st.Hashes != 200*3 {
+		t.Fatalf("migration hashes = %d, want 600", st.Hashes)
+	}
+	if !ix.Config().Equal(newCfg) {
+		t.Fatalf("config not updated: %v", ix.Config())
+	}
+	if ix.Len() != 200 {
+		t.Fatalf("Len after migrate = %d", ix.Len())
+	}
+	// Every tuple must be findable under the new configuration.
+	for _, tp := range tuples {
+		found := false
+		ix.Search(query.FullPattern(3), tp.Attrs, func(x *tuple.Tuple) bool {
+			if x == tp {
+				found = true
+				return false
+			}
+			return true
+		})
+		if !found {
+			t.Fatalf("tuple %v lost by migration", tp)
+		}
+	}
+}
+
+func TestMigrateRejectsBadConfig(t *testing.T) {
+	ix := mustNew(t, NewConfig(4, 4), []int{0, 1}, nil)
+	if _, err := ix.Migrate(NewConfig(4)); err == nil {
+		t.Fatal("migrate to wrong-arity config should fail")
+	}
+}
+
+func TestDenseSparseSelection(t *testing.T) {
+	dense := mustNew(t, NewConfig(8, 8), []int{0, 1}, nil)
+	if !dense.Dense() {
+		t.Fatal("16-bit config should be dense by default")
+	}
+	sparse := mustNew(t, NewConfig(16, 16), []int{0, 1}, nil)
+	if sparse.Dense() {
+		t.Fatal("32-bit config should be sparse by default")
+	}
+	forced := mustNew(t, NewConfig(8, 8), []int{0, 1}, nil, WithDenseLimit(0))
+	if forced.Dense() {
+		t.Fatal("WithDenseLimit(0) should force sparse")
+	}
+}
+
+func TestScan(t *testing.T) {
+	ix := mustNew(t, NewConfig(4, 4), []int{0, 1}, nil)
+	for i := 0; i < 25; i++ {
+		ix.Insert(tuple.New(0, uint64(i), 0, []tuple.Value{tuple.Value(i), tuple.Value(i * 2)}))
+	}
+	n := 0
+	st := ix.Scan(func(x *tuple.Tuple) bool { n++; return true })
+	if n != 25 || st.Tuples != 25 {
+		t.Fatalf("Scan visited %d (stats %d), want 25", n, st.Tuples)
+	}
+}
+
+func TestMemBytesAccounting(t *testing.T) {
+	ix := mustNew(t, NewConfig(4, 4), []int{0, 1}, nil)
+	m0 := ix.MemBytes()
+	tp := tuple.New(0, 1, 0, []tuple.Value{1, 2})
+	tp.PayloadBytes = 1000
+	ix.Insert(tp)
+	m1 := ix.MemBytes()
+	if m1-m0 < 1000 {
+		t.Fatalf("insert of 1000-byte payload grew memory by %d", m1-m0)
+	}
+	ix.Delete(tp)
+	if got := ix.MemBytes(); got != m0 {
+		t.Fatalf("delete did not release memory: %d != %d", got, m0)
+	}
+}
+
+func TestSixtyFourBitConfig(t *testing.T) {
+	// The paper's 64-bit IC: representable only with the sparse directory.
+	cfg := NewConfig(22, 21, 21)
+	ix := mustNew(t, cfg, []int{0, 1, 2}, nil)
+	if ix.Dense() {
+		t.Fatal("64-bit config must be sparse")
+	}
+	rng := rand.New(rand.NewPCG(2, 2))
+	var sample *tuple.Tuple
+	for i := 0; i < 500; i++ {
+		tp := tuple.New(0, uint64(i), 0, []tuple.Value{
+			tuple.Value(rng.Uint64()), tuple.Value(rng.Uint64()), tuple.Value(rng.Uint64())})
+		ix.Insert(tp)
+		if i == 250 {
+			sample = tp
+		}
+	}
+	// A one-attribute search has a 2^42 wildcard span: must fall back to
+	// masked iteration rather than enumerating ids.
+	found := false
+	st := ix.Search(query.PatternOf(0), []tuple.Value{sample.Attrs[0], 0, 0}, func(x *tuple.Tuple) bool {
+		found = found || x == sample
+		return true
+	})
+	if !found {
+		t.Fatal("sample not found under 64-bit config")
+	}
+	if st.DirScans == 0 {
+		t.Fatal("wide wildcard search should use masked iteration")
+	}
+}
+
+// Property: dense and sparse directories return identical candidate sets
+// for the same inserts and searches.
+func TestDenseSparseEquivalence(t *testing.T) {
+	type op struct {
+		V0, V1, V2 uint8
+	}
+	f := func(inserts []op, pat uint8, s0, s1, s2 uint8) bool {
+		cfg := NewConfig(3, 2, 3)
+		am := []int{0, 1, 2}
+		dense, _ := New(cfg, am, nil)
+		sparse, _ := New(cfg, am, nil, WithDenseLimit(0))
+		for i, o := range inserts {
+			tp := tuple.New(0, uint64(i), 0, []tuple.Value{tuple.Value(o.V0), tuple.Value(o.V1), tuple.Value(o.V2)})
+			dense.Insert(tp)
+			sparse.Insert(tp)
+		}
+		p := query.Pattern(pat) & query.FullPattern(3)
+		vals := []tuple.Value{tuple.Value(s0), tuple.Value(s1), tuple.Value(s2)}
+		collect := func(ix *Index) []uint64 {
+			var seqs []uint64
+			ix.Search(p, vals, func(x *tuple.Tuple) bool {
+				seqs = append(seqs, x.Seq)
+				return true
+			})
+			sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+			return seqs
+		}
+		a, b := collect(dense), collect(sparse)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every inserted tuple is findable via any access pattern when
+// searched with its own attribute values (bucket candidates always include
+// the exact-match tuple).
+func TestInsertedAlwaysFindable(t *testing.T) {
+	f := func(vals [][3]uint16, pat uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		cfg := NewConfig(4, 4, 4)
+		ix, _ := New(cfg, []int{0, 1, 2}, nil)
+		var tuples []*tuple.Tuple
+		for i, v := range vals {
+			tp := tuple.New(0, uint64(i), 0, []tuple.Value{tuple.Value(v[0]), tuple.Value(v[1]), tuple.Value(v[2])})
+			tuples = append(tuples, tp)
+			ix.Insert(tp)
+		}
+		p := query.Pattern(pat) & query.FullPattern(3)
+		target := tuples[len(tuples)/2]
+		found := false
+		ix.Search(p, target.Attrs, func(x *tuple.Tuple) bool {
+			if x == target {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the number of buckets probed by a search is exactly
+// 2^(TotalBits - BitsFor(p)) on a dense directory.
+func TestBucketFanOutMatchesFormula(t *testing.T) {
+	f := func(pat uint8) bool {
+		cfg := NewConfig(3, 1, 2)
+		ix, _ := New(cfg, []int{0, 1, 2}, nil)
+		ix.Insert(tuple.New(0, 0, 0, []tuple.Value{1, 2, 3}))
+		p := query.Pattern(pat) & query.FullPattern(3)
+		st := ix.Search(p, []tuple.Value{9, 9, 9}, func(*tuple.Tuple) bool { return true })
+		want := 1 << uint(cfg.TotalBits()-cfg.BitsFor(p))
+		return st.Buckets == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketBalance(t *testing.T) {
+	ix := mustNew(t, NewConfig(6, 0, 0), []int{0, 1, 2}, nil)
+	if b := ix.BucketBalance(); b.Occupied != 0 || b.Imbalance != 0 {
+		t.Fatalf("empty index balance = %+v", b)
+	}
+	// Uniform values: near-even spread.
+	rng := rand.New(rand.NewPCG(5, 5))
+	for i := 0; i < 4096; i++ {
+		ix.Insert(tuple.New(0, uint64(i), 0, []tuple.Value{
+			tuple.Value(rng.Uint64()), 0, 0}))
+	}
+	uniform := ix.BucketBalance()
+	if uniform.Tuples != 4096 || uniform.Occupied == 0 {
+		t.Fatalf("balance = %+v", uniform)
+	}
+	if uniform.Imbalance > 3 {
+		t.Fatalf("uniform data should spread well: %+v", uniform)
+	}
+
+	// Heavy value skew: one hot value dominates one bucket, and no hash
+	// can help — imbalance must be clearly worse.
+	skewed := mustNew(t, NewConfig(6, 0, 0), []int{0, 1, 2}, nil)
+	for i := 0; i < 4096; i++ {
+		v := tuple.Value(rng.Uint64())
+		if i%2 == 0 {
+			v = 42
+		}
+		skewed.Insert(tuple.New(0, uint64(i), 0, []tuple.Value{v, 0, 0}))
+	}
+	sb := skewed.BucketBalance()
+	if sb.Imbalance <= uniform.Imbalance*3 {
+		t.Fatalf("skewed imbalance %.1f not clearly worse than uniform %.1f",
+			sb.Imbalance, uniform.Imbalance)
+	}
+	if sb.MaxBucket < 2048 {
+		t.Fatalf("hot bucket should hold the hot half: %+v", sb)
+	}
+}

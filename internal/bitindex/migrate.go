@@ -1,0 +1,172 @@
+package bitindex
+
+import (
+	"fmt"
+
+	"amri/internal/query"
+	"amri/internal/tuple"
+)
+
+// Incremental migration: the paper's BI₁→BI₂ adaptation relocates every
+// stored tuple at once, which stalls a loaded state for a full window's
+// worth of work. An incremental migration keeps both directories live and
+// moves tuples in bounded steps:
+//
+//   - inserts go to the new directory;
+//   - deletes try the old directory first, then the new;
+//   - searches probe both directories (the old one only while it still
+//     holds tuples);
+//   - MigrateStep moves up to n tuples per call until the old directory
+//     drains.
+//
+// The trade-off is a bounded search overhead during the transition (two
+// bucket spans instead of one) in exchange for never spending more than the
+// step budget of maintenance time in one tick — ablated by
+// BenchmarkMigrationAblation.
+
+// migration tracks an in-progress incremental migration.
+type migration struct {
+	oldCfg Config
+	oldLay layout
+	oldDir directory
+	// pending lists buckets not yet drained (ids into oldDir).
+	pending []uint64
+}
+
+// Migrating reports whether an incremental migration is in progress.
+func (ix *Index) Migrating() bool { return ix.mig != nil }
+
+// StartMigration begins an incremental migration to newCfg. It fails if a
+// migration is already running or the configuration is invalid. The new
+// configuration becomes active immediately for inserts and searches; stored
+// tuples drain via MigrateStep.
+func (ix *Index) StartMigration(newCfg Config) error {
+	if ix.mig != nil {
+		return fmt.Errorf("bitindex: migration already in progress")
+	}
+	if err := newCfg.Validate(len(ix.attrMap)); err != nil {
+		return err
+	}
+	if newCfg.Equal(ix.cfg) {
+		return fmt.Errorf("bitindex: migration to identical configuration")
+	}
+	m := &migration{oldCfg: ix.cfg, oldLay: ix.lay, oldDir: ix.dir}
+	m.oldDir.forEach(func(id uint64, _ []*tuple.Tuple) bool {
+		m.pending = append(m.pending, id)
+		return true
+	})
+	ix.cfg = newCfg.Clone()
+	ix.lay = newLayout(ix.cfg)
+	ix.dir = newDirectory(ix.cfg, ix.opts.denseLimit)
+	ix.mig = m
+	return nil
+}
+
+// MigrateStep relocates up to n tuples from the old directory into the new
+// one, returning the work done and whether the migration completed. Calling
+// it with no migration in progress is a no-op reporting done.
+func (ix *Index) MigrateStep(n int) (st Stats, done bool) {
+	m := ix.mig
+	if m == nil {
+		return Stats{}, true
+	}
+	for n > 0 && len(m.pending) > 0 {
+		id := m.pending[len(m.pending)-1]
+		bucket := m.oldDir.bucket(id)
+		if len(bucket) == 0 {
+			m.pending = m.pending[:len(m.pending)-1]
+			continue
+		}
+		// Move from the bucket's tail so removal is O(1).
+		t := bucket[len(bucket)-1]
+		m.oldDir.remove(id, t)
+		newID, hashes := ix.BucketID(t)
+		ix.dir.put(newID, t)
+		st.Hashes += hashes
+		st.Tuples++
+		n--
+	}
+	if len(m.pending) == 0 {
+		ix.mig = nil
+		return st, true
+	}
+	return st, false
+}
+
+// migDelete removes t from the old directory during a migration; reports
+// whether it was found there.
+func (ix *Index) migDelete(t *tuple.Tuple) (Stats, bool) {
+	m := ix.mig
+	var id uint64
+	hashes := 0
+	for i, bits := range m.oldCfg.Bits {
+		if bits == 0 {
+			continue
+		}
+		h := ix.hasher(i, t.Attrs[ix.attrMap[i]])
+		id |= m.oldLay.fieldOf(i, h, bits)
+		hashes++
+	}
+	ok := m.oldDir.remove(id, t)
+	return Stats{Hashes: hashes}, ok
+}
+
+// migSearch runs the search against the old directory with the old layout.
+func (ix *Index) migSearch(p query.Pattern, vals []tuple.Value, visit func(*tuple.Tuple) bool) Stats {
+	m := ix.mig
+	var st Stats
+	var base uint64
+	var wild []wildField
+	wildBits := 0
+	for i, bits := range m.oldCfg.Bits {
+		if bits == 0 {
+			continue
+		}
+		if p.Has(i) {
+			h := ix.hasher(i, vals[i])
+			base |= m.oldLay.fieldOf(i, h, bits)
+			st.Hashes++
+		} else {
+			wild = append(wild, wildField{shift: m.oldLay.shift[i], bits: bits})
+			wildBits += int(bits)
+		}
+	}
+	enumerate := true
+	if _, sparse := m.oldDir.(*sparseDir); sparse {
+		if wildBits >= 63 || (1<<uint(wildBits)) > uint64(m.oldDir.occupied()) {
+			enumerate = false
+		}
+	}
+	if enumerate {
+		span := uint64(1) << uint(wildBits)
+		for c := uint64(0); c < span; c++ {
+			id := base
+			cc := c
+			for _, f := range wild {
+				id |= (cc & ((1 << uint(f.bits)) - 1)) << f.shift
+				cc >>= uint(f.bits)
+			}
+			st.Buckets++
+			if !scanBucket(m.oldDir.bucket(id), &st, visit) {
+				return st
+			}
+		}
+		return st
+	}
+	mask := uint64(0)
+	for i := range m.oldLay.mask {
+		if p.Has(i) {
+			mask |= m.oldLay.mask[i]
+		}
+	}
+	want := base & mask
+	m.oldDir.forEach(func(id uint64, b []*tuple.Tuple) bool {
+		st.DirScans++
+		if id&mask != want {
+			return true
+		}
+		st.Buckets++
+		return scanBucket(b, &st, visit)
+	})
+	return st
+}

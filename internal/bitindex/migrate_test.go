@@ -1,0 +1,249 @@
+package bitindex
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"amri/internal/query"
+	"amri/internal/tuple"
+)
+
+func populated(t *testing.T, n int) (*Index, []*tuple.Tuple) {
+	t.Helper()
+	ix, err := New(NewConfig(6, 0, 0), []int{0, 1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(4, 4))
+	var tuples []*tuple.Tuple
+	for i := 0; i < n; i++ {
+		tp := tuple.New(0, uint64(i), 0, []tuple.Value{
+			tuple.Value(rng.Uint64N(64)), tuple.Value(rng.Uint64N(64)), tuple.Value(rng.Uint64N(64))})
+		tuples = append(tuples, tp)
+		ix.Insert(tp)
+	}
+	return ix, tuples
+}
+
+func TestStartMigrationValidation(t *testing.T) {
+	ix, _ := populated(t, 10)
+	if err := ix.StartMigration(NewConfig(6, 0, 0)); err == nil {
+		t.Error("identical config should be rejected")
+	}
+	if err := ix.StartMigration(NewConfig(4)); err == nil {
+		t.Error("wrong arity should be rejected")
+	}
+	if err := ix.StartMigration(NewConfig(2, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Migrating() {
+		t.Fatal("migration should be in progress")
+	}
+	if err := ix.StartMigration(NewConfig(1, 1, 1)); err == nil {
+		t.Error("second concurrent migration should be rejected")
+	}
+}
+
+func TestMigrateStepDrains(t *testing.T) {
+	ix, _ := populated(t, 100)
+	if err := ix.StartMigration(NewConfig(2, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	steps := 0
+	for {
+		st, done := ix.MigrateStep(7)
+		moved += st.Tuples
+		steps++
+		if done {
+			break
+		}
+		if st.Tuples != 7 {
+			t.Fatalf("step moved %d, want 7", st.Tuples)
+		}
+	}
+	if moved != 100 {
+		t.Fatalf("moved %d total, want 100", moved)
+	}
+	if ix.Migrating() {
+		t.Fatal("migration should be complete")
+	}
+	if steps < 100/7 {
+		t.Fatalf("only %d steps", steps)
+	}
+	// No-op after completion.
+	if st, done := ix.MigrateStep(10); !done || st.Tuples != 0 {
+		t.Fatal("MigrateStep after completion must be a no-op")
+	}
+}
+
+// TestSearchDuringMigration: every stored tuple stays findable at every
+// point of the migration, and Len never changes.
+func TestSearchDuringMigration(t *testing.T) {
+	ix, tuples := populated(t, 200)
+	if err := ix.StartMigration(NewConfig(1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	checkAll := func(stage string) {
+		if ix.Len() != len(tuples) {
+			t.Fatalf("%s: Len = %d, want %d", stage, ix.Len(), len(tuples))
+		}
+		for _, want := range tuples {
+			found := false
+			ix.Search(query.FullPattern(3), want.Attrs, func(x *tuple.Tuple) bool {
+				if x == want {
+					found = true
+					return false
+				}
+				return true
+			})
+			if !found {
+				t.Fatalf("%s: tuple %v unfindable", stage, want)
+			}
+		}
+	}
+	checkAll("just started")
+	ix.MigrateStep(50)
+	checkAll("quarter migrated")
+	ix.MigrateStep(100)
+	checkAll("three quarters migrated")
+	ix.MigrateStep(1000)
+	checkAll("complete")
+}
+
+func TestInsertDuringMigrationGoesToNewConfig(t *testing.T) {
+	ix, _ := populated(t, 50)
+	if err := ix.StartMigration(NewConfig(2, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	fresh := tuple.New(0, 999, 0, []tuple.Value{1, 2, 3})
+	ix.Insert(fresh)
+	// Complete the migration; the fresh tuple must not be moved again.
+	st := Stats{}
+	for {
+		s, done := ix.MigrateStep(1 << 10)
+		st.Add(s)
+		if done {
+			break
+		}
+	}
+	if st.Tuples != 50 {
+		t.Fatalf("migration moved %d tuples, want only the 50 old ones", st.Tuples)
+	}
+	found := false
+	ix.Search(query.FullPattern(3), fresh.Attrs, func(x *tuple.Tuple) bool {
+		found = found || x == fresh
+		return true
+	})
+	if !found {
+		t.Fatal("fresh tuple lost")
+	}
+}
+
+func TestDeleteDuringMigration(t *testing.T) {
+	ix, tuples := populated(t, 80)
+	if err := ix.StartMigration(NewConfig(2, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	ix.MigrateStep(40)
+	// Delete a mix of moved and unmoved tuples.
+	for i := 0; i < 20; i++ {
+		if _, ok := ix.Delete(tuples[i*4]); !ok {
+			t.Fatalf("delete of tuple %d failed mid-migration", i*4)
+		}
+	}
+	if ix.Len() != 60 {
+		t.Fatalf("Len = %d, want 60", ix.Len())
+	}
+	ix.MigrateStep(1 << 10)
+	if ix.Len() != 60 {
+		t.Fatalf("Len after drain = %d, want 60", ix.Len())
+	}
+}
+
+func TestStopTheWorldMigrateFinishesIncremental(t *testing.T) {
+	ix, tuples := populated(t, 60)
+	if err := ix.StartMigration(NewConfig(2, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	ix.MigrateStep(10)
+	// A full Migrate while incremental is in flight must drain everything
+	// and land every tuple in the final configuration.
+	if _, err := ix.Migrate(NewConfig(3, 3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Migrating() {
+		t.Fatal("no migration should remain")
+	}
+	if !ix.Config().Equal(NewConfig(3, 3, 0)) {
+		t.Fatalf("config = %v", ix.Config())
+	}
+	for _, want := range tuples {
+		found := false
+		ix.Search(query.FullPattern(3), want.Attrs, func(x *tuple.Tuple) bool {
+			if x == want {
+				found = true
+				return false
+			}
+			return true
+		})
+		if !found {
+			t.Fatalf("tuple %v lost", want)
+		}
+	}
+}
+
+func TestMemBytesIncludesOldDirectory(t *testing.T) {
+	ix, _ := populated(t, 100)
+	before := ix.MemBytes()
+	if err := ix.StartMigration(NewConfig(2, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	during := ix.MemBytes()
+	if during <= before {
+		t.Fatalf("migration should cost memory: %d vs %d", during, before)
+	}
+	ix.MigrateStep(1 << 10)
+	after := ix.MemBytes()
+	if after >= during {
+		t.Fatalf("completing the migration should release the old directory: %d vs %d", after, during)
+	}
+}
+
+// Property: at any migration progress, a search by any pattern over a
+// random tuple's own attributes finds it.
+func TestMigrationFindabilityProperty(t *testing.T) {
+	f := func(seed uint64, stepPct uint8, pat uint8) bool {
+		ix, err := New(NewConfig(5, 1, 0), []int{0, 1, 2}, nil)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewPCG(seed, seed))
+		var tuples []*tuple.Tuple
+		for i := 0; i < 64; i++ {
+			tp := tuple.New(0, uint64(i), 0, []tuple.Value{
+				tuple.Value(rng.Uint64N(32)), tuple.Value(rng.Uint64N(32)), tuple.Value(rng.Uint64N(32))})
+			tuples = append(tuples, tp)
+			ix.Insert(tp)
+		}
+		if err := ix.StartMigration(NewConfig(2, 2, 2)); err != nil {
+			return false
+		}
+		ix.MigrateStep(int(stepPct) % 65)
+		target := tuples[seed%uint64(len(tuples))]
+		p := query.Pattern(pat) & query.FullPattern(3)
+		found := false
+		ix.Search(p, target.Attrs, func(x *tuple.Tuple) bool {
+			if x == target {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,274 @@
+// Package core assembles the paper's primary contribution — the Adaptive
+// Multi-Route Index (AMRI) — into one embeddable component: a bit-address
+// index whose configuration is continuously re-selected from compact
+// access-pattern statistics. It glues together internal/bitindex (the
+// physical design of Section III), internal/assess (the assessment methods
+// of Section IV) and internal/tuner (index selection over the Equation 1
+// cost model), and is the type the public amri package exposes.
+//
+// The engine in internal/engine drives the same machinery inside a full
+// stream system; AdaptiveIndex exists so a downstream user can put an AMRI
+// on any tuple store they like without adopting the whole engine.
+package core
+
+import (
+	"fmt"
+
+	"amri/internal/assess"
+	"amri/internal/bitindex"
+	"amri/internal/cost"
+	"amri/internal/hh"
+	"amri/internal/query"
+	"amri/internal/tuner"
+	"amri/internal/tuple"
+)
+
+// Method selects the assessment method watching the index.
+type Method int
+
+const (
+	// MethodCDIAHighest compacts hierarchically, rolling into the
+	// highest-count parent — the paper's best performer and the default.
+	MethodCDIAHighest Method = iota
+	// MethodCDIARandom compacts hierarchically, rolling into a random
+	// lattice parent.
+	MethodCDIARandom
+	// MethodSRIA keeps exact counts for every observed pattern.
+	MethodSRIA
+	// MethodCSRIA compacts with lossy counting (drops sub-threshold mass).
+	MethodCSRIA
+	// MethodDIA is the lattice twin of SRIA (identical reports).
+	MethodDIA
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodSRIA:
+		return "SRIA"
+	case MethodCSRIA:
+		return "CSRIA"
+	case MethodDIA:
+		return "DIA"
+	case MethodCDIARandom:
+		return "CDIA-random"
+	case MethodCDIAHighest:
+		return "CDIA-highest"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Options configure an AdaptiveIndex.
+type Options struct {
+	// NumAttrs is the size of the state's join attribute set (required).
+	NumAttrs int
+	// AttrMap maps IC field i to the tuple attribute position it reads;
+	// nil means the identity mapping.
+	AttrMap []int
+	// BitBudget is the total IC bits (default 12).
+	BitBudget int
+	// DenseLimit is the dense/sparse directory crossover in total bits
+	// (default bitindex.DefaultDenseLimit).
+	DenseLimit int
+	// Method is the assessment method (default MethodCDIAHighest).
+	Method Method
+	// Theta is the heavy-hitter threshold (default 0.04), Epsilon the
+	// error rate (default 0.005).
+	Theta, Epsilon float64
+	// AutoTuneEvery triggers a tuning pass after that many observed
+	// search requests; 0 disables auto-tuning (call Tune yourself).
+	AutoTuneEvery uint64
+	// MinGain is the migration hysteresis (default 0.02).
+	MinGain float64
+	// MaxBitsPerAttr optionally caps per-attribute bits at the attribute's
+	// cardinality.
+	MaxBitsPerAttr []uint8
+	// Hasher overrides the attribute hash (default bitindex.DefaultHasher).
+	Hasher bitindex.Hasher
+	// Cost carries the workload rates for Equation 1. Leave it zero to
+	// self-calibrate: the expected scan size is taken from the live state
+	// size and the request rate from the observed request/insert ratio.
+	Cost cost.Params
+	// Seed fixes the random-combination RNG.
+	Seed uint64
+
+	autoCost bool
+}
+
+func (o *Options) fill() error {
+	if o.NumAttrs <= 0 || o.NumAttrs > query.MaxAttrs {
+		return fmt.Errorf("core: NumAttrs %d out of range", o.NumAttrs)
+	}
+	if o.AttrMap == nil {
+		o.AttrMap = make([]int, o.NumAttrs)
+		for i := range o.AttrMap {
+			o.AttrMap[i] = i
+		}
+	}
+	if len(o.AttrMap) != o.NumAttrs {
+		return fmt.Errorf("core: AttrMap has %d entries, want %d", len(o.AttrMap), o.NumAttrs)
+	}
+	if o.BitBudget == 0 {
+		o.BitBudget = 12
+	}
+	if o.DenseLimit == 0 {
+		o.DenseLimit = bitindex.DefaultDenseLimit
+	}
+	if o.Theta == 0 {
+		o.Theta = 0.04
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.005
+	}
+	if o.MinGain == 0 {
+		o.MinGain = 0.02
+	}
+	if o.Cost.LambdaD == 0 {
+		o.autoCost = true
+		o.Cost = cost.Params{LambdaD: 1, LambdaR: 1, Ch: 1, Cc: 0.25, Window: 1}
+	}
+	return nil
+}
+
+// AdaptiveIndex is a self-tuning bit-address index for one state.
+type AdaptiveIndex struct {
+	opts Options
+	ix   *bitindex.Index
+	asr  assess.Assessor
+
+	inserts   uint64
+	requests  uint64
+	sinceTune uint64
+	retunes   int
+}
+
+// New builds an AdaptiveIndex with a uniform starting configuration.
+func New(opts Options) (*AdaptiveIndex, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	ix, err := bitindex.New(bitindex.Uniform(opts.NumAttrs, opts.BitBudget), opts.AttrMap,
+		opts.Hasher, bitindex.WithDenseLimit(opts.DenseLimit))
+	if err != nil {
+		return nil, err
+	}
+	var asr assess.Assessor
+	switch opts.Method {
+	case MethodSRIA:
+		asr = assess.NewSRIA()
+	case MethodDIA:
+		asr = assess.NewDIA()
+	case MethodCSRIA:
+		asr, err = assess.NewCSRIA(opts.Epsilon)
+	case MethodCDIARandom:
+		asr, err = assess.NewCDIA(opts.NumAttrs, opts.Epsilon, hh.RollupRandom, opts.Seed)
+	case MethodCDIAHighest:
+		asr, err = assess.NewCDIA(opts.NumAttrs, opts.Epsilon, hh.RollupHighestCount, opts.Seed)
+	default:
+		return nil, fmt.Errorf("core: unknown method %v", opts.Method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &AdaptiveIndex{opts: opts, ix: ix, asr: asr}, nil
+}
+
+// Insert stores a tuple.
+func (a *AdaptiveIndex) Insert(t *tuple.Tuple) bitindex.Stats {
+	a.inserts++
+	return a.ix.Insert(t)
+}
+
+// Delete removes a stored tuple (pointer identity).
+func (a *AdaptiveIndex) Delete(t *tuple.Tuple) (bitindex.Stats, bool) {
+	return a.ix.Delete(t)
+}
+
+// Search executes one search request: the access pattern is recorded by the
+// assessor, the matching bucket span is scanned, and — when auto-tuning is
+// enabled — a tuning pass runs once enough requests have been observed.
+// Visited tuples are bucket candidates; the caller applies its predicates.
+func (a *AdaptiveIndex) Search(p query.Pattern, vals []tuple.Value, visit func(*tuple.Tuple) bool) bitindex.Stats {
+	a.asr.Observe(p)
+	a.requests++
+	a.sinceTune++
+	st := a.ix.Search(p, vals, visit)
+	if a.opts.AutoTuneEvery > 0 && a.sinceTune >= a.opts.AutoTuneEvery {
+		a.Tune()
+	}
+	return st
+}
+
+// Tune runs one assessment + index-selection pass, migrating the index when
+// the modelled improvement clears the hysteresis. It reports whether a
+// migration happened and the now-active configuration, and resets the
+// assessment window.
+func (a *AdaptiveIndex) Tune() (migrated bool, active bitindex.Config) {
+	stats := a.asr.Results(a.opts.Theta)
+	params := a.opts.Cost
+	if a.opts.autoCost {
+		// Self-calibrate Eq. 1: the expected scan LambdaD·Window is the
+		// observed state size, and the request rate is relative to the
+		// insert rate seen so far.
+		params.Window = float64(max(1, a.ix.Len()))
+		if a.inserts > 0 {
+			params.LambdaR = params.LambdaD * float64(a.requests) / float64(a.inserts)
+		}
+	}
+	a.asr.Reset()
+	a.sinceTune = 0
+	if len(stats) == 0 {
+		return false, a.ix.Config()
+	}
+	ctl := &tuner.Controller{
+		Params:        params,
+		Budget:        a.opts.BitBudget,
+		MinGain:       a.opts.MinGain,
+		UseExhaustive: a.opts.NumAttrs <= 4 && a.opts.BitBudget <= 16,
+		Opt:           tuner.Options{MaxBitsPerAttr: a.opts.MaxBitsPerAttr},
+	}
+	next, improve := ctl.Propose(a.ix.Config(), stats)
+	if !improve {
+		return false, a.ix.Config()
+	}
+	if _, err := a.ix.Migrate(next); err != nil {
+		return false, a.ix.Config()
+	}
+	a.retunes++
+	return true, next
+}
+
+// Config returns the active index configuration.
+func (a *AdaptiveIndex) Config() bitindex.Config { return a.ix.Config() }
+
+// Len returns the number of stored tuples.
+func (a *AdaptiveIndex) Len() int { return a.ix.Len() }
+
+// MemBytes returns the simulated resident size (index + statistics).
+func (a *AdaptiveIndex) MemBytes() int { return a.ix.MemBytes() + a.asr.MemBytes() }
+
+// Requests returns the number of search requests observed.
+func (a *AdaptiveIndex) Requests() uint64 { return a.requests }
+
+// Retunes returns the number of migrations performed.
+func (a *AdaptiveIndex) Retunes() int { return a.retunes }
+
+// Method returns the active assessment method's name.
+func (a *AdaptiveIndex) Method() string { return a.asr.Name() }
+
+// Stats exposes the assessor's current report (for inspection and demos).
+func (a *AdaptiveIndex) Stats() []cost.APStat { return a.asr.Results(a.opts.Theta) }
+
+// String summarizes the adaptive index.
+func (a *AdaptiveIndex) String() string {
+	return fmt.Sprintf("AMRI{%v, %s, %d tuples, %d retunes}",
+		a.ix.Config(), a.asr.Name(), a.ix.Len(), a.retunes)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

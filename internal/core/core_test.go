@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"amri/internal/bitindex"
+	"amri/internal/query"
+	"amri/internal/tuple"
+)
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := New(Options{NumAttrs: 0}); err == nil {
+		t.Error("zero attrs should fail")
+	}
+	if _, err := New(Options{NumAttrs: 3, AttrMap: []int{0}}); err == nil {
+		t.Error("short AttrMap should fail")
+	}
+	if _, err := New(Options{NumAttrs: 3, Method: Method(42)}); err == nil {
+		t.Error("unknown method should fail")
+	}
+	a, err := New(Options{NumAttrs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Config().TotalBits() != 12 {
+		t.Fatalf("default budget = %d", a.Config().TotalBits())
+	}
+	if a.Method() != "CDIA-highest-count" {
+		t.Fatalf("default method = %s", a.Method())
+	}
+}
+
+func TestMethodStrings(t *testing.T) {
+	for m, want := range map[Method]string{
+		MethodSRIA: "SRIA", MethodCSRIA: "CSRIA", MethodDIA: "DIA",
+		MethodCDIARandom: "CDIA-random", MethodCDIAHighest: "CDIA-highest",
+	} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q", m, m.String())
+		}
+	}
+	if !strings.Contains(Method(9).String(), "9") {
+		t.Error("unknown method string")
+	}
+}
+
+func TestInsertSearchDelete(t *testing.T) {
+	a, _ := New(Options{NumAttrs: 2, Seed: 1})
+	t1 := tuple.New(0, 1, 0, []tuple.Value{5, 9})
+	a.Insert(t1)
+	if a.Len() != 1 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	found := false
+	a.Search(query.PatternOf(0), []tuple.Value{5, 0}, func(x *tuple.Tuple) bool {
+		found = found || x == t1
+		return true
+	})
+	if !found {
+		t.Fatal("search missed the stored tuple")
+	}
+	if a.Requests() != 1 {
+		t.Fatalf("Requests = %d", a.Requests())
+	}
+	if _, ok := a.Delete(t1); !ok {
+		t.Fatal("delete failed")
+	}
+	if a.Len() != 0 {
+		t.Fatalf("Len after delete = %d", a.Len())
+	}
+}
+
+// TestAdaptsToWorkload drives a skewed request mix and checks that tuning
+// migrates bits toward the hot attribute.
+func TestAdaptsToWorkload(t *testing.T) {
+	a, err := New(Options{
+		NumAttrs:  3,
+		BitBudget: 6,
+		Method:    MethodCDIAHighest,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 3))
+	for i := 0; i < 2000; i++ {
+		a.Insert(tuple.New(0, uint64(i), 0, []tuple.Value{
+			tuple.Value(rng.Uint64N(256)), tuple.Value(rng.Uint64N(256)), tuple.Value(rng.Uint64N(256))}))
+	}
+	// 90% of searches constrain only attribute 2.
+	for i := 0; i < 3000; i++ {
+		p := query.PatternOf(2)
+		if i%10 == 0 {
+			p = query.FullPattern(3)
+		}
+		a.Search(p, []tuple.Value{1, 2, tuple.Value(rng.Uint64N(256))}, func(*tuple.Tuple) bool { return true })
+	}
+	migrated, cfg := a.Tune()
+	if !migrated {
+		t.Fatalf("expected a migration away from uniform; still %v", a.Config())
+	}
+	if cfg.Bits[2] <= cfg.Bits[0] || cfg.Bits[2] <= cfg.Bits[1] {
+		t.Fatalf("hot attribute should get the most bits: %v", cfg)
+	}
+	if a.Retunes() != 1 {
+		t.Fatalf("Retunes = %d", a.Retunes())
+	}
+}
+
+func TestAutoTune(t *testing.T) {
+	a, _ := New(Options{NumAttrs: 2, BitBudget: 4, AutoTuneEvery: 500, Seed: 1})
+	rng := rand.New(rand.NewPCG(5, 5))
+	for i := 0; i < 1000; i++ {
+		a.Insert(tuple.New(0, uint64(i), 0, []tuple.Value{tuple.Value(rng.Uint64N(64)), tuple.Value(rng.Uint64N(64))}))
+	}
+	for i := 0; i < 1200; i++ {
+		a.Search(query.PatternOf(1), []tuple.Value{0, tuple.Value(rng.Uint64N(64))}, func(*tuple.Tuple) bool { return true })
+	}
+	if a.Retunes() == 0 {
+		t.Fatal("auto-tune never fired")
+	}
+	cfg := a.Config()
+	if cfg.Bits[1] <= cfg.Bits[0] {
+		t.Fatalf("auto-tune should favor the only searched attribute: %v", cfg)
+	}
+}
+
+func TestTuneWithoutStatsKeepsConfig(t *testing.T) {
+	a, _ := New(Options{NumAttrs: 2, Seed: 1})
+	before := a.Config()
+	migrated, after := a.Tune()
+	if migrated || !after.Equal(before) {
+		t.Fatal("tuning with no observations must be a no-op")
+	}
+}
+
+func TestSearchAfterMigrationStillFindsEverything(t *testing.T) {
+	a, _ := New(Options{NumAttrs: 2, BitBudget: 6, Seed: 1})
+	var tuples []*tuple.Tuple
+	rng := rand.New(rand.NewPCG(9, 9))
+	for i := 0; i < 300; i++ {
+		tp := tuple.New(0, uint64(i), 0, []tuple.Value{tuple.Value(rng.Uint64N(32)), tuple.Value(rng.Uint64N(32))})
+		tuples = append(tuples, tp)
+		a.Insert(tp)
+	}
+	for i := 0; i < 1000; i++ {
+		a.Search(query.PatternOf(0), []tuple.Value{tuple.Value(rng.Uint64N(32)), 0}, func(*tuple.Tuple) bool { return true })
+	}
+	a.Tune()
+	for _, want := range tuples {
+		found := false
+		a.Search(query.FullPattern(2), want.Attrs, func(x *tuple.Tuple) bool {
+			if x == want {
+				found = true
+				return false
+			}
+			return true
+		})
+		if !found {
+			t.Fatalf("tuple %v lost after migration to %v", want, a.Config())
+		}
+	}
+}
+
+func TestMemBytesAndStringer(t *testing.T) {
+	a, _ := New(Options{NumAttrs: 2, Seed: 1})
+	if a.MemBytes() <= 0 {
+		t.Fatal("MemBytes must be positive")
+	}
+	if !strings.Contains(a.String(), "AMRI{") {
+		t.Fatalf("String = %q", a.String())
+	}
+	if !bitindex.Uniform(2, 12).Equal(a.Config()) {
+		t.Fatal("fresh index should be uniform")
+	}
+}
+
+func TestStatsExposesAssessment(t *testing.T) {
+	a, _ := New(Options{NumAttrs: 3, Method: MethodSRIA, Seed: 1})
+	a.Insert(tuple.New(0, 0, 0, []tuple.Value{1, 2, 3}))
+	for i := 0; i < 10; i++ {
+		a.Search(query.PatternOf(0), []tuple.Value{1, 0, 0}, func(*tuple.Tuple) bool { return true })
+	}
+	stats := a.Stats()
+	if len(stats) != 1 || stats[0].P != query.PatternOf(0) {
+		t.Fatalf("Stats = %v", stats)
+	}
+}

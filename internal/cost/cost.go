@@ -1,0 +1,90 @@
+// Package cost implements the paper's Section IV-A cost model: the index
+// configuration dependent cost C_D of Equation 1, built from the Table I
+// notation. The tuner ranks candidate configurations by this quantity; the
+// cost-model experiment validates its scan-count predictions against the
+// measured behaviour of the bit-address index.
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"amri/internal/bitindex"
+	"amri/internal/query"
+)
+
+// Params carries the workload rates and per-operation costs of Table I.
+type Params struct {
+	// LambdaD is the number of incoming tuples per stream per time unit.
+	LambdaD float64
+	// LambdaR is the number of search requests per time unit.
+	LambdaR float64
+	// Ch is the average cost of computing one hash function.
+	Ch float64
+	// Cc is the average cost of one value comparison.
+	Cc float64
+	// Window is the window length W in time units; the expected state size
+	// is LambdaD * Window.
+	Window float64
+}
+
+// Validate rejects non-positive rates and costs.
+func (p Params) Validate() error {
+	if p.LambdaD <= 0 || p.LambdaR < 0 || p.Ch <= 0 || p.Cc <= 0 || p.Window <= 0 {
+		return fmt.Errorf("cost: invalid params %+v", p)
+	}
+	return nil
+}
+
+// APStat is one assessed access pattern with its relative frequency
+// (F_ap in Table I; frequencies over a stat set need not sum to 1 when the
+// assessor reports only heavy hitters).
+type APStat struct {
+	P    query.Pattern
+	Freq float64
+}
+
+// CD evaluates Equation 1 for the configuration:
+//
+//	C_D = λ_d·N_A·C_h  +  λ_r·Σ_ap ( N_{A,ap}·C_h + (λ_d·W·F_ap / 2^B_ap)·C_c )
+//
+// The first term is insert-side hashing (every indexed attribute of every
+// arriving tuple), the second is per-request hashing plus the expected
+// bucket scan, which shrinks by half for every bit assigned to an attribute
+// the pattern constrains.
+func CD(p Params, cfg bitindex.Config, stats []APStat) float64 {
+	maintain := p.LambdaD * float64(cfg.IndexedAttrs()) * p.Ch
+	var search float64
+	for _, s := range stats {
+		bap := cfg.BitsFor(s.P)
+		scan := p.LambdaD * p.Window * s.Freq / math.Pow(2, float64(bap))
+		search += float64(cfg.IndexedIn(s.P))*p.Ch + scan*p.Cc
+	}
+	return maintain + p.LambdaR*search
+}
+
+// ExpectedTuplesScanned predicts how many stored tuples one search with the
+// given pattern compares against: stateSize / 2^B_ap, the scan factor inside
+// Equation 1. It assumes the configuration distributes tuples evenly over
+// buckets (the paper's stated ideal).
+func ExpectedTuplesScanned(cfg bitindex.Config, p query.Pattern, stateSize int) float64 {
+	return float64(stateSize) / math.Pow(2, float64(cfg.BitsFor(p)))
+}
+
+// ExpectedBucketsProbed predicts the bucket fan-out of one search:
+// 2^(TotalBits - B_ap).
+func ExpectedBucketsProbed(cfg bitindex.Config, p query.Pattern) float64 {
+	return math.Pow(2, float64(cfg.TotalBits()-cfg.BitsFor(p)))
+}
+
+// HashCost returns the pure hashing component of one search request under
+// the configuration: N_{A,ap}·C_h.
+func HashCost(p Params, cfg bitindex.Config, ap query.Pattern) float64 {
+	return float64(cfg.IndexedIn(ap)) * p.Ch
+}
+
+// MaintainCost returns the per-time-unit insert-side hashing cost:
+// λ_d·N_A·C_h.
+func MaintainCost(p Params, cfg bitindex.Config) float64 {
+	return p.LambdaD * float64(cfg.IndexedAttrs()) * p.Ch
+}

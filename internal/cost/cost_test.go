@@ -1,0 +1,133 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"amri/internal/bitindex"
+	"amri/internal/query"
+)
+
+func baseParams() Params {
+	return Params{LambdaD: 100, LambdaR: 50, Ch: 1, Cc: 0.25, Window: 60}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := baseParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := baseParams()
+	bad.Ch = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero Ch should fail")
+	}
+	bad = baseParams()
+	bad.Window = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative window should fail")
+	}
+}
+
+func TestCDHandComputed(t *testing.T) {
+	// One pattern <A,*> with freq 1 under IC[2,0]:
+	//   maintain = 100 * 1 * 1 = 100       (one indexed attribute)
+	//   search   = 50 * (1*1 + 100*60*1/4 * 0.25) = 50 * (1 + 375) = 18800
+	p := baseParams()
+	cfg := bitindex.NewConfig(2, 0)
+	stats := []APStat{{P: query.PatternOf(0), Freq: 1}}
+	got := CD(p, cfg, stats)
+	want := 100.0 + 50*(1+375.0)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("CD = %g, want %g", got, want)
+	}
+}
+
+func TestCDZeroBitsMeansFullScan(t *testing.T) {
+	p := baseParams()
+	cfg := bitindex.NewConfig(0, 0)
+	stats := []APStat{{P: query.PatternOf(0, 1), Freq: 1}}
+	got := CD(p, cfg, stats)
+	// No indexed attrs: no hashing anywhere; scan the whole window state.
+	want := p.LambdaR * p.LambdaD * p.Window * p.Cc
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("CD = %g, want %g", got, want)
+	}
+}
+
+func TestCDBitOnConstrainedAttrHalvesScan(t *testing.T) {
+	p := baseParams()
+	stats := []APStat{{P: query.PatternOf(0), Freq: 1}}
+	scan := func(cfg bitindex.Config) float64 {
+		return CD(p, cfg, stats) - MaintainCost(p, cfg) - p.LambdaR*HashCost(p, cfg, stats[0].P)
+	}
+	s1 := scan(bitindex.NewConfig(1, 0))
+	s2 := scan(bitindex.NewConfig(2, 0))
+	if math.Abs(s1/s2-2) > 1e-9 {
+		t.Fatalf("scan term should halve per bit: %g vs %g", s1, s2)
+	}
+}
+
+func TestCDBitsOnWildAttrDoNotHelp(t *testing.T) {
+	p := baseParams()
+	stats := []APStat{{P: query.PatternOf(0), Freq: 1}}
+	// Bits on attribute 1 (wild in the only pattern) cannot reduce the
+	// scan; they only add insert-side hashing.
+	a := CD(p, bitindex.NewConfig(3, 0), stats)
+	b := CD(p, bitindex.NewConfig(3, 3), stats)
+	if b <= a {
+		t.Fatalf("wasted bits should cost more: with=%g without=%g", b, a)
+	}
+}
+
+func TestExpectedTuplesScanned(t *testing.T) {
+	cfg := bitindex.NewConfig(3, 2)
+	if got := ExpectedTuplesScanned(cfg, query.PatternOf(0), 800); got != 100 {
+		t.Fatalf("got %g, want 800/2^3", got)
+	}
+	if got := ExpectedTuplesScanned(cfg, 0, 800); got != 800 {
+		t.Fatalf("full scan expectation = %g, want 800", got)
+	}
+}
+
+func TestExpectedBucketsProbed(t *testing.T) {
+	cfg := bitindex.NewConfig(5, 2, 3)
+	// The Section III example: sr1 constrains A1 and A3, A2's 2 bits fan out.
+	if got := ExpectedBucketsProbed(cfg, query.PatternOf(0, 2)); got != 4 {
+		t.Fatalf("buckets = %g, want 4", got)
+	}
+}
+
+// Property: C_D is monotonically non-increasing in bits granted to an
+// attribute that some pattern constrains with weight, holding hashing free.
+func TestCDScanMonotonicity(t *testing.T) {
+	f := func(b1 uint8, freq8 uint8) bool {
+		b := int(b1 % 10)
+		freq := float64(freq8%100)/100 + 0.01
+		p := baseParams()
+		p.Ch = 1e-12 // isolate the scan term
+		stats := []APStat{{P: query.PatternOf(0), Freq: freq}}
+		lo := CD(p, bitindex.NewConfig(uint8(b), 0), stats)
+		hi := CD(p, bitindex.NewConfig(uint8(b+1), 0), stats)
+		return hi <= lo+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CD is linear in pattern frequency for the scan component.
+func TestCDAdditiveOverStats(t *testing.T) {
+	f := func(f1, f2 uint8) bool {
+		p := baseParams()
+		cfg := bitindex.NewConfig(2, 2)
+		a := []APStat{{P: query.PatternOf(0), Freq: float64(f1) / 255}}
+		b := []APStat{{P: query.PatternOf(1), Freq: float64(f2) / 255}}
+		both := append(append([]APStat(nil), a...), b...)
+		sum := CD(p, cfg, a) + CD(p, cfg, b) - MaintainCost(p, cfg)
+		return math.Abs(CD(p, cfg, both)-sum) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,530 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"amri/internal/metrics"
+	"amri/internal/query"
+	"amri/internal/stream"
+	"amri/internal/tuple"
+)
+
+// quickConfig is a small, fast workload for mechanics tests: low rate,
+// short horizon, no memory cap unless a test sets one.
+func quickConfig() RunConfig {
+	run := DefaultRunConfig()
+	run.Profile = stream.Profile{
+		LambdaD:      10,
+		PayloadBytes: 40,
+		EpochTicks:   40,
+		Domains:      []uint64{8, 12, 18, 27, 40, 60},
+	}
+	run.MaxTicks = 120
+	run.WarmupTicks = 30
+	run.AssessInterval = 15
+	run.CPUBudget = 50000
+	run.MemCap = 0
+	run.SampleEvery = 5
+	return run
+}
+
+func mustRun(t *testing.T, run RunConfig, sys System) *metrics.RunResult {
+	t.Helper()
+	e, err := New(run, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.Run()
+}
+
+func TestValidation(t *testing.T) {
+	bad := quickConfig()
+	bad.MaxTicks = 0
+	if _, err := New(bad, AMRI(AssessSRIA)); err == nil {
+		t.Error("zero horizon should fail")
+	}
+	bad = quickConfig()
+	bad.WarmupTicks = bad.MaxTicks
+	if _, err := New(bad, AMRI(AssessSRIA)); err == nil {
+		t.Error("warmup >= horizon should fail")
+	}
+	bad = quickConfig()
+	bad.Theta = 0.001 // below epsilon
+	if _, err := New(bad, AMRI(AssessSRIA)); err == nil {
+		t.Error("theta <= epsilon should fail")
+	}
+	bad = quickConfig()
+	bad.BitBudget = 100
+	if _, err := New(bad, AMRI(AssessSRIA)); err == nil {
+		t.Error("100-bit budget should fail")
+	}
+	if _, err := New(quickConfig(), HashSystem(0)); err == nil {
+		t.Error("hash system with 0 indices should fail")
+	}
+	// Over-asking is clamped to each state's pattern count, not rejected —
+	// heterogeneous topologies (chain ends, star satellites) host fewer
+	// indices than their neighbours.
+	if e, err := New(quickConfig(), HashSystem(8)); err != nil || e == nil {
+		t.Errorf("hash system with 8 indices should clamp to 7: %v", err)
+	}
+	if _, err := New(quickConfig(), System{Name: "x", Index: IndexKind(99)}); err == nil {
+		t.Error("unknown index kind should fail")
+	}
+	if _, err := New(quickConfig(), System{Name: "x", Index: IndexBit, Assess: AssessKind(99)}); err == nil {
+		t.Error("unknown assess kind should fail")
+	}
+}
+
+func TestRunProducesResults(t *testing.T) {
+	r := mustRun(t, quickConfig(), AMRI(AssessCDIAHighest))
+	if r.TotalResults == 0 {
+		t.Fatal("no join results produced")
+	}
+	if r.End != metrics.EndCompleted {
+		t.Fatalf("run ended %s", r.End)
+	}
+	if r.EndTick != 120 {
+		t.Fatalf("EndTick = %d", r.EndTick)
+	}
+	if len(r.Points) == 0 {
+		t.Fatal("no samples recorded")
+	}
+	if r.Probes == 0 || r.CostUnits == 0 {
+		t.Fatal("no work recorded")
+	}
+	// Cumulative results never decrease.
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].Results < r.Points[i-1].Results {
+			t.Fatal("cumulative results decreased")
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := mustRun(t, quickConfig(), AMRI(AssessCDIAHighest))
+	b := mustRun(t, quickConfig(), AMRI(AssessCDIAHighest))
+	if a.TotalResults != b.TotalResults || a.CostUnits != b.CostUnits || a.Retunes != b.Retunes {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+}
+
+func TestSeedChangesRun(t *testing.T) {
+	run := quickConfig()
+	a := mustRun(t, run, AMRI(AssessCDIAHighest))
+	run.Seed = 99
+	b := mustRun(t, run, AMRI(AssessCDIAHighest))
+	if a.TotalResults == b.TotalResults && a.CostUnits == b.CostUnits {
+		t.Fatal("different seeds produced identical runs (suspicious)")
+	}
+}
+
+func TestMemCapTriggersOOM(t *testing.T) {
+	run := quickConfig()
+	run.MemCap = 200 << 10 // absurdly small: states alone exceed it
+	r := mustRun(t, run, AMRI(AssessSRIA))
+	if r.End != metrics.EndOOM {
+		t.Fatalf("expected OOM, got %s", r.End)
+	}
+	if r.EndTick >= run.MaxTicks {
+		t.Fatal("OOM should end the run early")
+	}
+}
+
+func TestStaticSystemTunesOnceAndFreezes(t *testing.T) {
+	run := quickConfig()
+	r := mustRun(t, run, StaticBitmap())
+	// One migration per state at warmup end, at most.
+	if r.Retunes > 4 {
+		t.Fatalf("static system retuned %d times", r.Retunes)
+	}
+	ad := mustRun(t, run, AMRI(AssessCDIAHighest))
+	if ad.Retunes <= r.Retunes {
+		t.Fatalf("adaptive system should retune more: %d vs %d", ad.Retunes, r.Retunes)
+	}
+}
+
+func TestAssessNoneNeverTunes(t *testing.T) {
+	r := mustRun(t, quickConfig(), ScanSystem())
+	if r.Retunes != 0 {
+		t.Fatalf("scan system retuned %d times", r.Retunes)
+	}
+}
+
+func TestDIAMatchesSRIA(t *testing.T) {
+	// The paper: DIA and SRIA share a code base and report equal results;
+	// their engine runs must be identical.
+	a := mustRun(t, quickConfig(), AMRI(AssessSRIA))
+	b := mustRun(t, quickConfig(), AMRI(AssessDIA))
+	if a.TotalResults != b.TotalResults || a.Retunes != b.Retunes {
+		t.Fatalf("DIA diverged from SRIA: %d/%d vs %d/%d",
+			a.TotalResults, a.Retunes, b.TotalResults, b.Retunes)
+	}
+}
+
+func TestIndexedBeatsScanUnderPressure(t *testing.T) {
+	run := quickConfig()
+	// Tighten the CPU so indexing matters.
+	run.CPUBudget = 6000
+	amri := mustRun(t, run, AMRI(AssessCDIAHighest))
+	scan := mustRun(t, run, ScanSystem())
+	if amri.TotalResults <= scan.TotalResults {
+		t.Fatalf("AMRI (%d) should beat full scans (%d) when CPU-bound",
+			amri.TotalResults, scan.TotalResults)
+	}
+}
+
+func TestBacklogGrowsWhenOverloaded(t *testing.T) {
+	run := quickConfig()
+	run.CPUBudget = 1500 // far below demand
+	r := mustRun(t, run, ScanSystem())
+	last := r.Points[len(r.Points)-1]
+	if last.Backlog == 0 {
+		t.Fatal("overloaded system should have a backlog")
+	}
+}
+
+func TestHashOneFallsBehindHashSeven(t *testing.T) {
+	// hash-1 serves only one access pattern and full-scans the rest
+	// ("a backlog of active search requests occurs from the processing
+	// delay caused by the large number of complete scans"); hash-7 indexes
+	// every pattern. Under CPU pressure hash-1 must trail badly.
+	run := quickConfig()
+	run.CPUBudget = 8000
+	one := mustRun(t, run, HashSystem(1))
+	seven := mustRun(t, run, HashSystem(7))
+	if one.TotalResults*2 >= seven.TotalResults {
+		t.Fatalf("hash-1 (%d results) should trail hash-7 (%d) badly",
+			one.TotalResults, seven.TotalResults)
+	}
+	lastOne := one.Points[len(one.Points)-1]
+	if lastOne.Backlog == 0 {
+		t.Fatal("scan-bound hash-1 should be backlogged")
+	}
+}
+
+func TestSystemConstructors(t *testing.T) {
+	if AMRI(AssessCDIAHighest).Name != "AMRI/CDIA-highest" {
+		t.Fatal("AMRI name")
+	}
+	if HashSystem(3).Name != "hash-3" || !HashSystem(3).Adaptive {
+		t.Fatal("HashSystem shape")
+	}
+	if StaticHashSystem(2).Adaptive {
+		t.Fatal("StaticHashSystem must be non-adaptive")
+	}
+	if StaticBitmap().Adaptive {
+		t.Fatal("StaticBitmap must be non-adaptive")
+	}
+	if ScanSystem().Index != IndexScan {
+		t.Fatal("ScanSystem index kind")
+	}
+	// Stringers.
+	if IndexBit.String() != "bit" || IndexHash.String() != "hash" || IndexScan.String() != "scan" {
+		t.Fatal("IndexKind strings")
+	}
+	if AssessCDIARandom.String() != "CDIA-random" || AssessNone.String() != "none" {
+		t.Fatal("AssessKind strings")
+	}
+}
+
+func TestWarmupEqualStartAcrossSystems(t *testing.T) {
+	// Before the warmup ends no contender has tuned: bit-index systems'
+	// early samples should be very similar since they run the same uniform
+	// configuration over the same workload.
+	run := quickConfig()
+	a := mustRun(t, run, AMRI(AssessCDIAHighest))
+	b := mustRun(t, run, StaticBitmap())
+	// Compare the sample taken just before warmup end (tick 25).
+	if a.At(25) != b.At(25) {
+		t.Fatalf("pre-warmup divergence: %d vs %d", a.At(25), b.At(25))
+	}
+}
+
+// TestTraceReplayMatchesGenerator: running the engine from a Trace recorded
+// off the generator reproduces the generator-driven run exactly.
+func TestTraceReplayMatchesGenerator(t *testing.T) {
+	run := quickConfig()
+	live := mustRun(t, run, AMRI(AssessCDIAHighest))
+
+	// Record the same workload to CSV and replay it.
+	gen, err := stream.New(query.FourWay(60), run.Profile, run.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	fmt.Fprintln(&buf, "tick,stream,seq,attr0,attr1,attr2")
+	for tick := int64(0); tick < run.MaxTicks; tick++ {
+		for _, tp := range gen.Tick(tick) {
+			fmt.Fprintf(&buf, "%d,%d,%d,%d,%d,%d\n", tick, tp.Stream, tp.Seq,
+				tp.Attrs[0], tp.Attrs[1], tp.Attrs[2])
+		}
+	}
+	tr, err := stream.ParseTrace(&buf, run.Profile.PayloadBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Source = tr
+	replay := mustRun(t, run, AMRI(AssessCDIAHighest))
+	if replay.TotalResults != live.TotalResults {
+		t.Fatalf("trace replay results %d != live %d", replay.TotalResults, live.TotalResults)
+	}
+}
+
+func TestIncrementalMigrationRuns(t *testing.T) {
+	run := quickConfig()
+	run.IncrementalMigration = true
+	run.MigrateStepTuples = 50
+	r := mustRun(t, run, AMRI(AssessCDIAHighest))
+	if r.Retunes == 0 {
+		t.Fatal("incremental mode should still migrate")
+	}
+	if r.TotalResults == 0 {
+		t.Fatal("no results under incremental migration")
+	}
+	// Correctness parity: the stop-the-world run over the same workload
+	// finds a similar number of results (indexes never lose tuples either
+	// way; only timing differs).
+	base := mustRun(t, quickConfig(), AMRI(AssessCDIAHighest))
+	lo, hi := float64(base.TotalResults)*0.9, float64(base.TotalResults)*1.1
+	if got := float64(r.TotalResults); got < lo || got > hi {
+		t.Fatalf("incremental results %d too far from stop-the-world %d",
+			r.TotalResults, base.TotalResults)
+	}
+}
+
+func TestContentRoutingRuns(t *testing.T) {
+	run := quickConfig()
+	run.ContentRouting = true
+	r := mustRun(t, run, AMRI(AssessCDIAHighest))
+	if r.TotalResults == 0 {
+		t.Fatal("content routing produced nothing")
+	}
+	// Determinism holds for the content router too.
+	r2 := mustRun(t, run, AMRI(AssessCDIAHighest))
+	if r.TotalResults != r2.TotalResults {
+		t.Fatal("content routing nondeterministic")
+	}
+}
+
+func TestLatencySummaryPopulated(t *testing.T) {
+	r := mustRun(t, quickConfig(), AMRI(AssessCDIAHighest))
+	if r.Latency.Count == 0 || r.Latency.Count != r.TotalResults {
+		t.Fatalf("latency count %d != results %d", r.Latency.Count, r.TotalResults)
+	}
+	if r.Latency.P99Tick < r.Latency.P50Tick || r.Latency.MaxTick < r.Latency.P99Tick {
+		t.Fatalf("latency quantiles disordered: %+v", r.Latency)
+	}
+}
+
+// TestTopologies: the engine handles chain and star joins, not just the
+// paper's clique — and never takes cartesian hops (a satellite is probed
+// only after the hub links it to the coverage).
+func TestTopologies(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		q    *query.Query
+	}{
+		{"chain-4", query.Chain(4, 60)},
+		{"star-5", query.Star(5, 60)},
+	} {
+		run := quickConfig()
+		run.Query = tc.q
+		r := mustRun(t, run, AMRI(AssessCDIAHighest))
+		if r.TotalResults == 0 {
+			t.Fatalf("%s produced no results", tc.name)
+		}
+		if r.Probes == 0 {
+			t.Fatalf("%s probed nothing", tc.name)
+		}
+	}
+}
+
+// TestStarMatchesOracleThroughHub: correctness of the star topology against
+// an independent brute-force count (which also validates the no-cartesian
+// routing, since a cartesian hop would not change the result set — only
+// its cost — but bugs there typically corrupt coverage masks).
+func TestChainMatchesBruteForce(t *testing.T) {
+	const window = 15
+	q := query.Chain(3, window)
+	prof := stream.Profile{
+		LambdaD: 6, PayloadBytes: 10,
+		Domains: []uint64{5, 8, 12, 17, 25, 33},
+	}
+	gen, err := stream.New(q, prof, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []*tuple.Tuple
+	const ticks = 30
+	for tick := int64(0); tick < ticks; tick++ {
+		all = append(all, gen.Tick(tick)...)
+	}
+	want := bruteForceJoin(q, all, window)
+
+	run := DefaultRunConfig()
+	run.Query = q
+	run.Profile = prof
+	run.Seed = 3
+	run.MaxTicks = ticks
+	run.WarmupTicks = 10
+	run.CPUBudget = 1 << 30
+	run.MemCap = 0
+	run.Explore = 0.1
+	run.ExploreBurst = 0
+	e, err := New(run, AMRI(AssessCDIAHighest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Run().TotalResults; got != want {
+		t.Fatalf("chain engine found %d, oracle says %d", got, want)
+	}
+}
+
+// TestSelectionFiltersPushDown: filters drop tuples at ingest, shrinking
+// states and results; a filter rejecting everything yields zero results.
+func TestSelectionFiltersPushDown(t *testing.T) {
+	base := mustRun(t, quickConfig(), AMRI(AssessCDIAHighest))
+
+	run := quickConfig()
+	q := query.FourWay(60)
+	// Keep only stream 0 tuples whose attr 0 is below 4 (domains start at
+	// 8, so roughly half the smallest-domain epoch passes).
+	if err := q.AddFilter(query.Filter{Stream: 0, Attr: 0, Op: query.OpLt, Value: 4}); err != nil {
+		t.Fatal(err)
+	}
+	run.Query = q
+	filtered := mustRun(t, run, AMRI(AssessCDIAHighest))
+	if filtered.TotalResults >= base.TotalResults {
+		t.Fatalf("filter should shrink results: %d vs %d", filtered.TotalResults, base.TotalResults)
+	}
+	if filtered.TotalResults == 0 {
+		t.Fatal("partial filter should not eliminate everything")
+	}
+
+	run2 := quickConfig()
+	q2 := query.FourWay(60)
+	if err := q2.AddFilter(query.Filter{Stream: 1, Attr: 0, Op: query.OpGt, Value: 1 << 40}); err != nil {
+		t.Fatal(err)
+	}
+	run2.Query = q2
+	none := mustRun(t, run2, AMRI(AssessCDIAHighest))
+	if none.TotalResults != 0 {
+		t.Fatalf("all-rejecting filter still produced %d results", none.TotalResults)
+	}
+}
+
+// TestCostBreakdownSumsToOne: the per-category cost shares partition all
+// charged work.
+func TestCostBreakdownSumsToOne(t *testing.T) {
+	r := mustRun(t, quickConfig(), HashSystem(7))
+	var sum float64
+	for _, f := range r.CostBreakdown {
+		if f < 0 || f > 1 {
+			t.Fatalf("share out of range: %v", r.CostBreakdown)
+		}
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("breakdown sums to %g: %v", sum, r.CostBreakdown)
+	}
+	// A 7-index hash system must spend a visible share on maintenance.
+	if r.CostBreakdown["maintain"] < 0.2 {
+		t.Fatalf("hash-7 maintenance share suspiciously low: %v", r.CostBreakdown)
+	}
+}
+
+// Metamorphic properties: more resources never hurt.
+func TestMoreCPUNeverHurts(t *testing.T) {
+	run := quickConfig()
+	run.CPUBudget = 4000
+	low := mustRun(t, run, AMRI(AssessCDIAHighest))
+	run.CPUBudget = 40000
+	high := mustRun(t, run, AMRI(AssessCDIAHighest))
+	if high.TotalResults < low.TotalResults {
+		t.Fatalf("more CPU lost results: %d -> %d", low.TotalResults, high.TotalResults)
+	}
+}
+
+func TestMoreMemoryNeverEndsEarlier(t *testing.T) {
+	run := quickConfig()
+	run.CPUBudget = 2500 // heavy backlog so memory matters
+	run.MemCap = 2 << 20
+	small := mustRun(t, run, AMRI(AssessCDIAHighest))
+	run.MemCap = 64 << 20
+	big := mustRun(t, run, AMRI(AssessCDIAHighest))
+	if big.EndTick < small.EndTick {
+		t.Fatalf("more memory died earlier: %d -> %d", small.EndTick, big.EndTick)
+	}
+	if big.TotalResults < small.TotalResults {
+		t.Fatalf("more memory lost results: %d -> %d", small.TotalResults, big.TotalResults)
+	}
+}
+
+func TestBurstyArrivalsRun(t *testing.T) {
+	run := quickConfig()
+	run.Profile.RateAmplitude = 0.6
+	run.Profile.RatePeriod = 30
+	r := mustRun(t, run, AMRI(AssessCDIAHighest))
+	if r.TotalResults == 0 {
+		t.Fatal("bursty workload produced nothing")
+	}
+}
+
+func TestParseSystem(t *testing.T) {
+	cases := map[string]string{
+		"amri":        "AMRI/CDIA-highest",
+		"amri-cdia-r": "AMRI/CDIA-random",
+		"amri-sria":   "AMRI/SRIA",
+		"amri-dia":    "AMRI/DIA",
+		"amri-csria":  "AMRI/CSRIA",
+		"static":      "static-bitmap",
+		"scan":        "scan",
+		"hash-5":      "hash-5",
+	}
+	for in, want := range cases {
+		sys, err := ParseSystem(in)
+		if err != nil || sys.Name != want {
+			t.Errorf("ParseSystem(%q) = %q, %v", in, sys.Name, err)
+		}
+	}
+	for _, bad := range []string{"", "hash-0", "hash-x", "turbo"} {
+		if _, err := ParseSystem(bad); err == nil {
+			t.Errorf("ParseSystem(%q) should fail", bad)
+		}
+	}
+}
+
+func TestAdaptiveBudgetSizing(t *testing.T) {
+	if got := adaptiveBudget(0, 16); got != 4 {
+		t.Fatalf("empty state budget = %d, want the floor 4", got)
+	}
+	if got := adaptiveBudget(100, 16); got < 8 || got > 10 {
+		t.Fatalf("100-tuple budget = %d, want ~log2(400)", got)
+	}
+	if got := adaptiveBudget(1<<20, 12); got != 12 {
+		t.Fatalf("budget must cap at max: %d", got)
+	}
+}
+
+func TestAdaptiveBudgetRuns(t *testing.T) {
+	run := quickConfig()
+	run.AdaptiveBudget = true
+	run.BitBudget = 16
+	r := mustRun(t, run, AMRI(AssessCDIAHighest))
+	if r.TotalResults == 0 {
+		t.Fatal("adaptive budget produced nothing")
+	}
+	// The tuned configs must never exceed the cap.
+	for _, c := range r.FinalConfigs {
+		if len(c) == 0 {
+			t.Fatal("missing config")
+		}
+	}
+}

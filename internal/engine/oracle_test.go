@@ -1,0 +1,190 @@
+package engine
+
+import (
+	"testing"
+
+	"amri/internal/query"
+	"amri/internal/stream"
+	"amri/internal/tuple"
+)
+
+// bruteForceJoin computes the exact expected result count of the four-way
+// join independently of the engine: for every tuple t (as the newest member
+// of a result) it joins the other three streams' tuples that arrived before
+// t and are inside t's window, checking every pairwise predicate directly.
+// No index, no router, no operators — a pure oracle.
+func bruteForceJoin(q *query.Query, tuples []*tuple.Tuple, window int64) uint64 {
+	n := q.NumStreams()
+	byStream := make([][]*tuple.Tuple, n)
+	for _, t := range tuples {
+		byStream[t.Stream] = append(byStream[t.Stream], t)
+	}
+	// predAttr[i][j] = attribute position of stream i joining stream j.
+	predAttr := make([][]int, n)
+	for i := range predAttr {
+		predAttr[i] = make([]int, n)
+		for j := range predAttr[i] {
+			predAttr[i][j] = -1
+		}
+	}
+	for _, p := range q.Preds {
+		predAttr[p.Left][p.Right] = p.LeftAttr
+		predAttr[p.Right][p.Left] = p.RightAttr
+	}
+	matches := func(a, b *tuple.Tuple) bool {
+		ai, bi := predAttr[a.Stream][b.Stream], predAttr[b.Stream][a.Stream]
+		if ai < 0 {
+			return true // no predicate between the pair
+		}
+		return a.Attrs[ai] == b.Attrs[bi]
+	}
+
+	var count uint64
+	// The driver is the newest member: all others must have smaller
+	// Arrival and TS within the driver's window.
+	for _, d := range tuples {
+		ok := func(x *tuple.Tuple) bool {
+			return x.Arrival < d.Arrival && x.TS > d.TS-window && matches(d, x)
+		}
+		// Enumerate partners from every other stream (any arity of join).
+		var others [][]*tuple.Tuple
+		for s := 0; s < n; s++ {
+			if s == d.Stream {
+				continue
+			}
+			var cand []*tuple.Tuple
+			for _, x := range byStream[s] {
+				if ok(x) {
+					cand = append(cand, x)
+				}
+			}
+			others = append(others, cand)
+		}
+		// Recursive cross-check over the remaining streams: every chosen
+		// pair must satisfy its predicate (absent predicates are vacuous).
+		var chosen []*tuple.Tuple
+		var walk func(level int)
+		walk = func(level int) {
+			if level == len(others) {
+				count++
+				return
+			}
+			for _, x := range others[level] {
+				fits := true
+				for _, c := range chosen {
+					if !matches(c, x) {
+						fits = false
+						break
+					}
+				}
+				if !fits {
+					continue
+				}
+				chosen = append(chosen, x)
+				walk(level + 1)
+				chosen = chosen[:len(chosen)-1]
+			}
+		}
+		walk(0)
+	}
+	return count
+}
+
+// TestEngineMatchesBruteForceOracle is the end-to-end correctness anchor:
+// an unsaturated engine must produce exactly the result count an
+// independent brute-force join computes over the same tuples.
+func TestEngineMatchesBruteForceOracle(t *testing.T) {
+	const window = 20
+	q := query.FourWay(window)
+	prof := stream.Profile{
+		LambdaD:      6,
+		PayloadBytes: 10,
+		EpochTicks:   0, // stationary
+		Domains:      []uint64{4, 6, 9, 13, 20, 30},
+	}
+	const ticks = 40
+
+	for _, seed := range []uint64{1, 2, 3} {
+		// Collect the exact workload the engine will see.
+		gen, err := stream.New(q, prof, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []*tuple.Tuple
+		for tick := int64(0); tick < ticks; tick++ {
+			all = append(all, gen.Tick(tick)...)
+		}
+		want := bruteForceJoin(q, all, window)
+
+		run := DefaultRunConfig()
+		run.Query = q
+		run.Profile = prof
+		run.Seed = seed
+		run.MaxTicks = ticks
+		run.WarmupTicks = 10
+		run.CPUBudget = 1 << 30 // never backlogged: nothing expires unseen
+		run.MemCap = 0
+		run.Explore = 0.2 // any routing still finds the same result set
+		run.ExploreBurst = 0
+		for _, sys := range []System{
+			AMRI(AssessCDIAHighest),
+			HashSystem(3),
+			ScanSystem(),
+		} {
+			e, err := New(run, sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := e.Run().TotalResults
+			if got != want {
+				t.Fatalf("seed %d, %s: engine found %d results, oracle says %d",
+					seed, sys.Name, got, want)
+			}
+		}
+	}
+}
+
+// TestOutOfOrderMatchesOracle: with bounded arrival disorder the engine's
+// timestamp-bucket expiry keeps window semantics exact — the brute-force
+// oracle count still matches.
+func TestOutOfOrderMatchesOracle(t *testing.T) {
+	const window = 20
+	q := query.FourWay(window)
+	prof := stream.Profile{
+		LambdaD:      6,
+		PayloadBytes: 10,
+		Domains:      []uint64{4, 6, 9, 13, 20, 30},
+		MaxDelay:     8,
+	}
+	const ticks = 40
+	gen, err := stream.New(q, prof, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []*tuple.Tuple
+	for tick := int64(0); tick < ticks; tick++ {
+		all = append(all, gen.Tick(tick)...)
+	}
+	want := bruteForceJoin(q, all, window)
+	if want == 0 {
+		t.Fatal("oracle found nothing; workload broken")
+	}
+
+	run := DefaultRunConfig()
+	run.Query = q
+	run.Profile = prof
+	run.Seed = 11
+	run.MaxTicks = ticks
+	run.WarmupTicks = 10
+	run.CPUBudget = 1 << 30
+	run.MemCap = 0
+	run.Explore = 0.1
+	run.ExploreBurst = 0
+	e, err := New(run, AMRI(AssessCDIAHighest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Run().TotalResults; got != want {
+		t.Fatalf("disorder run found %d, oracle says %d", got, want)
+	}
+}

@@ -1,0 +1,276 @@
+// Package hashindex implements the state-of-the-art AMR indexing baseline
+// the paper compares against (Raman et al., "access modules"): a state
+// stores its tuples once, and each of several hash indices maps one fixed
+// attribute combination to the stored tuples. Every index costs an extra
+// key entry per stored tuple — the memory and maintenance burden the
+// paper's Section I-A example illustrates and its experiments show running
+// out of memory.
+package hashindex
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"amri/internal/bitindex"
+	"amri/internal/query"
+	"amri/internal/tuple"
+)
+
+// Store is a multi-hash-index state. It satisfies storage.Store.
+type Store struct {
+	numAttrs int
+	attrMap  []int
+	hasher   bitindex.Hasher
+
+	tuples     []*tuple.Tuple
+	pos        map[*tuple.Tuple]int
+	tupleBytes int
+
+	indices []*hashIdx
+}
+
+// hashIdx is one access module: a hash table over the attribute combination
+// pat. Every stored tuple owns one key entry in every index.
+type hashIdx struct {
+	pat     query.Pattern
+	buckets map[uint64][]*tuple.Tuple
+}
+
+// perKeyOverhead approximates the per-tuple, per-index resident cost of a
+// hash key entry: the key object, its map bucket share, the link to the
+// stored tuple, and allocator slack — the footprint that grows linearly in
+// the number of access modules and is the memory burden of this design.
+const perKeyOverhead = 128
+
+// New builds a store over a JAS of numAttrs attributes with the given
+// index set. attrMap[i] is the tuple attribute position for JAS position i;
+// hasher may be nil for bitindex.DefaultHasher. Index patterns must be
+// non-empty and distinct.
+func New(numAttrs int, attrMap []int, hasher bitindex.Hasher, indexPatterns []query.Pattern) (*Store, error) {
+	if len(attrMap) != numAttrs {
+		return nil, fmt.Errorf("hashindex: attrMap has %d entries, want %d", len(attrMap), numAttrs)
+	}
+	if hasher == nil {
+		hasher = bitindex.DefaultHasher
+	}
+	s := &Store{
+		numAttrs: numAttrs,
+		attrMap:  append([]int(nil), attrMap...),
+		hasher:   hasher,
+		pos:      make(map[*tuple.Tuple]int),
+	}
+	if err := s.setIndices(indexPatterns); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) setIndices(patterns []query.Pattern) error {
+	seen := make(map[query.Pattern]bool)
+	var idxs []*hashIdx
+	for _, p := range patterns {
+		if p == 0 {
+			return fmt.Errorf("hashindex: empty index pattern")
+		}
+		if p&^query.FullPattern(s.numAttrs) != 0 {
+			return fmt.Errorf("hashindex: pattern %v outside %d-attribute JAS", p, s.numAttrs)
+		}
+		if seen[p] {
+			return fmt.Errorf("hashindex: duplicate index pattern %v", p)
+		}
+		seen[p] = true
+		idxs = append(idxs, &hashIdx{pat: p, buckets: make(map[uint64][]*tuple.Tuple)})
+	}
+	// Deterministic order: widest first, then by BR, so best-index
+	// selection ties break identically across runs.
+	sort.Slice(idxs, func(i, j int) bool {
+		if ci, cj := idxs[i].pat.Count(), idxs[j].pat.Count(); ci != cj {
+			return ci > cj
+		}
+		return idxs[i].pat < idxs[j].pat
+	})
+	s.indices = idxs
+	return nil
+}
+
+// NumIndices returns the number of access modules.
+func (s *Store) NumIndices() int { return len(s.indices) }
+
+// IndexPatterns returns the attribute combinations currently indexed, in
+// the store's deterministic order.
+func (s *Store) IndexPatterns() []query.Pattern {
+	out := make([]query.Pattern, len(s.indices))
+	for i, ix := range s.indices {
+		out[i] = ix.pat
+	}
+	return out
+}
+
+// key hashes the attributes of p, reading values through read (tuple attr
+// order for inserts, JAS order for probes).
+func (s *Store) key(p query.Pattern, read func(jasPos int) tuple.Value) (uint64, int) {
+	var h uint64
+	hashes := 0
+	for i := 0; i < s.numAttrs; i++ {
+		if !p.Has(i) {
+			continue
+		}
+		h = h*0x100000001b3 ^ s.hasher(i, read(i))
+		hashes++
+	}
+	return h, hashes
+}
+
+// Insert stores the tuple and creates one key entry per index.
+func (s *Store) Insert(t *tuple.Tuple) bitindex.Stats {
+	s.pos[t] = len(s.tuples)
+	s.tuples = append(s.tuples, t)
+	s.tupleBytes += t.MemBytes()
+	var st bitindex.Stats
+	for _, ix := range s.indices {
+		k, hashes := s.key(ix.pat, func(i int) tuple.Value { return t.Attrs[s.attrMap[i]] })
+		ix.buckets[k] = append(ix.buckets[k], t)
+		st.Hashes += hashes
+		st.KeyOps++
+	}
+	return st
+}
+
+// Delete removes the tuple and all of its key entries.
+func (s *Store) Delete(t *tuple.Tuple) (bitindex.Stats, bool) {
+	i, ok := s.pos[t]
+	if !ok {
+		return bitindex.Stats{}, false
+	}
+	last := len(s.tuples) - 1
+	s.tuples[i] = s.tuples[last]
+	s.pos[s.tuples[i]] = i
+	s.tuples[last] = nil
+	s.tuples = s.tuples[:last]
+	delete(s.pos, t)
+	s.tupleBytes -= t.MemBytes()
+
+	var st bitindex.Stats
+	for _, ix := range s.indices {
+		k, hashes := s.key(ix.pat, func(j int) tuple.Value { return t.Attrs[s.attrMap[j]] })
+		st.Hashes += hashes
+		st.KeyOps++
+		b := ix.buckets[k]
+		for j, x := range b {
+			if x == t {
+				b[j] = b[len(b)-1]
+				b[len(b)-1] = nil
+				if len(b) == 1 {
+					delete(ix.buckets, k)
+				} else {
+					ix.buckets[k] = b[:len(b)-1]
+				}
+				break
+			}
+		}
+	}
+	return st, true
+}
+
+// BestIndex returns the most suitable index for the pattern — the one with
+// the largest number of attributes contained in p and none outside p — or
+// nil when no index qualifies (forcing a full scan), exactly the selection
+// rule of Section I-A.
+func (s *Store) BestIndex(p query.Pattern) query.Pattern {
+	for _, ix := range s.indices { // sorted widest-first
+		if ix.pat.Benefits(p) {
+			return ix.pat
+		}
+	}
+	return 0
+}
+
+// Probe visits candidates for the access pattern via the best index, or by
+// full scan when none fits. vals is in JAS order.
+func (s *Store) Probe(p query.Pattern, vals []tuple.Value, visit func(*tuple.Tuple) bool) bitindex.Stats {
+	var st bitindex.Stats
+	best := s.BestIndex(p)
+	if best == 0 {
+		st.Buckets = 1
+		for _, t := range s.tuples {
+			st.Tuples++
+			if !visit(t) {
+				break
+			}
+		}
+		return st
+	}
+	k, hashes := s.key(best, func(i int) tuple.Value { return vals[i] })
+	st.Hashes = hashes
+	st.Buckets = 1
+	for _, t := range s.findBucket(best, k) {
+		st.Tuples++
+		if !visit(t) {
+			break
+		}
+	}
+	return st
+}
+
+func (s *Store) findBucket(p query.Pattern, k uint64) []*tuple.Tuple {
+	for _, ix := range s.indices {
+		if ix.pat == p {
+			return ix.buckets[k]
+		}
+	}
+	return nil
+}
+
+// Retune replaces the index set with the given patterns, rebuilding every
+// index over the stored tuples. The returned stats capture the rebuild
+// cost: one key computation per tuple per new index (the "create and
+// delete multiple hash keys for each stored tuple" adaptation cost of
+// Section III).
+func (s *Store) Retune(patterns []query.Pattern) (bitindex.Stats, error) {
+	old := s.indices
+	if err := s.setIndices(patterns); err != nil {
+		s.indices = old
+		return bitindex.Stats{}, err
+	}
+	var st bitindex.Stats
+	for _, t := range s.tuples {
+		for _, ix := range s.indices {
+			k, hashes := s.key(ix.pat, func(i int) tuple.Value { return t.Attrs[s.attrMap[i]] })
+			ix.buckets[k] = append(ix.buckets[k], t)
+			st.Hashes += hashes
+			st.KeyOps++
+			st.Tuples++
+		}
+	}
+	return st, nil
+}
+
+// Len returns the number of stored tuples.
+func (s *Store) Len() int { return len(s.tuples) }
+
+// MemBytes returns the simulated resident size: the arena, the tuples, and
+// one key entry per tuple per index — the term that grows linearly in the
+// number of access modules.
+func (s *Store) MemBytes() int {
+	base := 96 + 8*len(s.tuples) + 48*len(s.pos) + s.tupleBytes
+	for _, ix := range s.indices {
+		base += 64 + perKeyOverhead*s.keyEntries(ix)
+	}
+	return base
+}
+
+func (s *Store) keyEntries(ix *hashIdx) int {
+	// Every stored tuple owns exactly one entry per index.
+	_ = ix
+	return len(s.tuples)
+}
+
+// String summarizes the store for logs.
+func (s *Store) String() string {
+	var pats []string
+	for _, ix := range s.indices {
+		pats = append(pats, ix.pat.StringN(s.numAttrs))
+	}
+	return fmt.Sprintf("HashIndexStore{%d tuples, indices: %s}", len(s.tuples), strings.Join(pats, " "))
+}

@@ -1,0 +1,219 @@
+package hashindex
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"amri/internal/query"
+	"amri/internal/storage"
+	"amri/internal/tuple"
+)
+
+var _ storage.Store = (*Store)(nil)
+
+func newSensorStore(t *testing.T, pats ...query.Pattern) *Store {
+	t.Helper()
+	s, err := New(3, []int{0, 1, 2}, nil, pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(3, []int{0, 1}, nil, nil); err == nil {
+		t.Error("short attrMap should fail")
+	}
+	if _, err := New(3, []int{0, 1, 2}, nil, []query.Pattern{0}); err == nil {
+		t.Error("empty index pattern should fail")
+	}
+	if _, err := New(3, []int{0, 1, 2}, nil, []query.Pattern{query.PatternOf(5)}); err == nil {
+		t.Error("out-of-JAS pattern should fail")
+	}
+	if _, err := New(3, []int{0, 1, 2}, nil, []query.Pattern{query.PatternOf(0), query.PatternOf(0)}); err == nil {
+		t.Error("duplicate pattern should fail")
+	}
+}
+
+// TestPaperSection1AExample reproduces the access-module example: indices
+// on A1, A1&A2, A2&A3. sr1 (A1 and A3 constrained) must pick index A1;
+// sr2 (only A3) has no suitable index and full scans.
+func TestPaperSection1AExample(t *testing.T) {
+	s := newSensorStore(t,
+		query.PatternOf(0),    // A1
+		query.PatternOf(0, 1), // A1&A2
+		query.PatternOf(1, 2), // A2&A3
+	)
+	if s.NumIndices() != 3 {
+		t.Fatalf("NumIndices = %d", s.NumIndices())
+	}
+
+	sr1 := query.PatternOf(0, 2) // A1=2012, A3=47
+	if best := s.BestIndex(sr1); best != query.PatternOf(0) {
+		t.Fatalf("sr1 best index = %v, want <A,*,*>", best)
+	}
+	sr2 := query.PatternOf(2) // A3=47 only
+	if best := s.BestIndex(sr2); best != 0 {
+		t.Fatalf("sr2 best index = %v, want none (full scan)", best)
+	}
+}
+
+func TestBestIndexPrefersWidest(t *testing.T) {
+	s := newSensorStore(t, query.PatternOf(0), query.PatternOf(0, 1))
+	// Request constrains all three attributes: both indices qualify; the
+	// two-attribute one must win ("largest number of attributes in sr").
+	if best := s.BestIndex(query.FullPattern(3)); best != query.PatternOf(0, 1) {
+		t.Fatalf("best = %v, want <A,B,*>", best)
+	}
+}
+
+func TestInsertProbeDelete(t *testing.T) {
+	s := newSensorStore(t, query.PatternOf(0))
+	t1 := tuple.New(0, 1, 0, []tuple.Value{2012, 7, 47})
+	t2 := tuple.New(0, 2, 0, []tuple.Value{2012, 8, 50})
+	t3 := tuple.New(0, 3, 0, []tuple.Value{999, 9, 47})
+	st := s.Insert(t1)
+	if st.Hashes != 1 {
+		t.Fatalf("insert hashes = %d, want 1 (one single-attr index)", st.Hashes)
+	}
+	s.Insert(t2)
+	s.Insert(t3)
+
+	// Probe via the A1 index.
+	var got []*tuple.Tuple
+	pst := s.Probe(query.PatternOf(0, 2), []tuple.Value{2012, 0, 47}, func(x *tuple.Tuple) bool {
+		got = append(got, x)
+		return true
+	})
+	if pst.Tuples != 2 {
+		t.Fatalf("probe scanned %d candidates, want 2 (A1=2012 bucket)", pst.Tuples)
+	}
+
+	// Full-scan fallback probes everything.
+	sc := s.Probe(query.PatternOf(2), []tuple.Value{0, 0, 47}, func(*tuple.Tuple) bool { return true })
+	if sc.Tuples != 3 {
+		t.Fatalf("fallback scanned %d, want all 3", sc.Tuples)
+	}
+	if sc.Hashes != 0 {
+		t.Fatalf("full scan should not hash, got %d", sc.Hashes)
+	}
+
+	// Delete and re-probe.
+	if _, ok := s.Delete(t1); !ok {
+		t.Fatal("delete failed")
+	}
+	if _, ok := s.Delete(t1); ok {
+		t.Fatal("double delete succeeded")
+	}
+	cnt := 0
+	s.Probe(query.PatternOf(0), []tuple.Value{2012, 0, 0}, func(*tuple.Tuple) bool { cnt++; return true })
+	if cnt != 1 {
+		t.Fatalf("after delete, A1=2012 bucket has %d, want 1", cnt)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestMemGrowsWithIndexCount(t *testing.T) {
+	mk := func(pats ...query.Pattern) int {
+		s, _ := New(3, []int{0, 1, 2}, nil, pats)
+		for i := 0; i < 100; i++ {
+			s.Insert(tuple.New(0, uint64(i), 0, []tuple.Value{tuple.Value(i), tuple.Value(i), tuple.Value(i)}))
+		}
+		return s.MemBytes()
+	}
+	one := mk(query.PatternOf(0))
+	three := mk(query.PatternOf(0), query.PatternOf(1), query.PatternOf(2))
+	seven := mk(
+		query.PatternOf(0), query.PatternOf(1), query.PatternOf(2),
+		query.PatternOf(0, 1), query.PatternOf(0, 2), query.PatternOf(1, 2),
+		query.PatternOf(0, 1, 2))
+	if !(one < three && three < seven) {
+		t.Fatalf("memory must grow with index count: %d, %d, %d", one, three, seven)
+	}
+	// Seven indices cost at least 6 extra key entries per tuple over one.
+	if seven-one < 6*perKeyOverhead*100 {
+		t.Fatalf("per-index memory undersized: one=%d seven=%d", one, seven)
+	}
+}
+
+func TestInsertHashCostGrowsWithIndexCount(t *testing.T) {
+	s := newSensorStore(t,
+		query.PatternOf(0), query.PatternOf(0, 1), query.PatternOf(1, 2))
+	st := s.Insert(tuple.New(0, 1, 0, []tuple.Value{1, 2, 3}))
+	// 1 + 2 + 2 attribute hashes across the three indices.
+	if st.Hashes != 5 {
+		t.Fatalf("insert hashes = %d, want 5", st.Hashes)
+	}
+}
+
+func TestRetune(t *testing.T) {
+	s := newSensorStore(t, query.PatternOf(0))
+	for i := 0; i < 50; i++ {
+		s.Insert(tuple.New(0, uint64(i), 0, []tuple.Value{tuple.Value(i % 4), tuple.Value(i % 8), tuple.Value(i)}))
+	}
+	st, err := s.Retune([]query.Pattern{query.PatternOf(1), query.PatternOf(0, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tuples != 100 { // 50 tuples x 2 indices
+		t.Fatalf("retune touched %d tuple-index pairs, want 100", st.Tuples)
+	}
+	if s.BestIndex(query.PatternOf(0)) != 0 {
+		t.Fatal("old index should be gone")
+	}
+	cnt := 0
+	s.Probe(query.PatternOf(1), []tuple.Value{0, 3, 0}, func(*tuple.Tuple) bool { cnt++; return true })
+	if cnt == 0 {
+		t.Fatal("new index returns no candidates")
+	}
+	// Invalid retune leaves the old set intact.
+	if _, err := s.Retune([]query.Pattern{0}); err == nil {
+		t.Fatal("bad retune should fail")
+	}
+	if s.BestIndex(query.PatternOf(1)) == 0 {
+		t.Fatal("failed retune clobbered the index set")
+	}
+}
+
+func TestStringMentionsIndices(t *testing.T) {
+	s := newSensorStore(t, query.PatternOf(0, 1))
+	if got := s.String(); !strings.Contains(got, "<A,B,*>") {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+// Property: a probe through any index returns a superset of the exact
+// matches and a subset of the full arena; every tuple matching on the
+// indexed attributes is visited.
+func TestProbeCandidateSetSound(t *testing.T) {
+	f := func(vals [][3]uint8, probe [3]uint8) bool {
+		s, _ := New(3, []int{0, 1, 2}, nil, []query.Pattern{query.PatternOf(0, 1)})
+		var all []*tuple.Tuple
+		for i, v := range vals {
+			tp := tuple.New(0, uint64(i), 0, []tuple.Value{tuple.Value(v[0]), tuple.Value(v[1]), tuple.Value(v[2])})
+			all = append(all, tp)
+			s.Insert(tp)
+		}
+		want := map[*tuple.Tuple]bool{}
+		for _, tp := range all {
+			if tp.Attrs[0] == tuple.Value(probe[0]) && tp.Attrs[1] == tuple.Value(probe[1]) {
+				want[tp] = true
+			}
+		}
+		got := map[*tuple.Tuple]bool{}
+		s.Probe(query.FullPattern(3), []tuple.Value{tuple.Value(probe[0]), tuple.Value(probe[1]), tuple.Value(probe[2])},
+			func(x *tuple.Tuple) bool { got[x] = true; return true })
+		for tp := range want {
+			if !got[tp] {
+				return false
+			}
+		}
+		return len(got) <= len(all)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

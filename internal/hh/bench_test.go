@@ -1,0 +1,63 @@
+package hh
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func BenchmarkLossyObserve(b *testing.B) {
+	c, _ := NewLossyCounter[uint32](0.01)
+	rng := rand.New(rand.NewPCG(1, 1))
+	keys := make([]uint32, 4096)
+	for i := range keys {
+		keys[i] = rng.Uint32N(1 << 12)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Observe(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkHHHObserve(b *testing.B) {
+	c, _ := NewHierarchicalCounter(0.01, benchHierarchy(), RollupHighestCount, 1)
+	rng := rand.New(rand.NewPCG(1, 1))
+	keys := make([]uint32, 4096)
+	for i := range keys {
+		keys[i] = rng.Uint32N(1 << 7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Observe(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkHHHResult(b *testing.B) {
+	c, _ := NewHierarchicalCounter(0.01, benchHierarchy(), RollupHighestCount, 1)
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < 50000; i++ {
+		c.Observe(rng.Uint32N(1 << 7))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := c.Result(0.05); len(got) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+func BenchmarkMisraGriesObserve(b *testing.B) {
+	m, _ := NewMisraGries[uint32](64)
+	rng := rand.New(rand.NewPCG(1, 1))
+	keys := make([]uint32, 4096)
+	for i := range keys {
+		keys[i] = rng.Uint32N(1 << 16)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Observe(keys[i%len(keys)])
+	}
+}
+
+func benchHierarchy() Hierarchy[uint32] {
+	return maskHierarchy(7)
+}

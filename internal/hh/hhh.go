@@ -1,0 +1,299 @@
+package hh
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// Rollup selects how a hierarchical counter combines an evicted node's count
+// into an ancestor, mirroring the paper's two CDIA combination methods.
+type Rollup int
+
+const (
+	// RollupRandom picks a parent uniformly at random (the paper's
+	// "random combination").
+	RollupRandom Rollup = iota
+	// RollupHighestCount picks the tracked parent with the largest count
+	// so far (the paper's "highest count combination"): that parent has
+	// the best chance of clearing the threshold at final-results time.
+	RollupHighestCount
+)
+
+// String implements fmt.Stringer.
+func (r Rollup) String() string {
+	switch r {
+	case RollupRandom:
+		return "random"
+	case RollupHighestCount:
+		return "highest-count"
+	default:
+		return fmt.Sprintf("Rollup(%d)", int(r))
+	}
+}
+
+// Hierarchy describes the lattice a HierarchicalCounter aggregates over.
+// For access patterns the keys are query.Pattern bitmasks, but the counter
+// is generic: anything with a parent relation forming a DAG with a single
+// top works.
+type Hierarchy[K comparable] struct {
+	// Parents appends the lattice parents of k (one generalization step
+	// up) to dst and returns it. The top of the lattice has no parents.
+	Parents func(k K, dst []K) []K
+	// Ancestor reports whether a generalizes b (a ≺ b, reflexive). Used
+	// to find leaves: a tracked node is a leaf when no other tracked node
+	// is a proper descendant of it.
+	Ancestor func(a, b K) bool
+	// Level returns the depth of k (top = 0, one more per specialization).
+	Level func(k K) int
+	// Order returns a stable sort key; compression and rollup walk nodes
+	// in a deterministic order so runs are reproducible.
+	Order func(k K) uint64
+}
+
+// HierarchicalCounter implements hierarchical heavy hitters with lossy-
+// counting error bounds: observation and segment bookkeeping follow
+// Manku–Motwani, but instead of deleting an infrequent node at compression
+// time, its count is combined into a lattice parent, so the statistics of
+// removed nodes are retained in generalized form (the property CDIA relies
+// on to out-tune CSRIA).
+type HierarchicalCounter[K comparable] struct {
+	epsilon float64
+	width   uint64
+	n       uint64
+	hier    Hierarchy[K]
+	rollup  Rollup
+	rng     *rand.Rand
+	entries map[K]*lcEntry
+
+	parentBuf []K // scratch
+}
+
+// NewHierarchicalCounter returns a counter over the given hierarchy with
+// error rate ε ∈ (0,1). The seed fixes the random rollup choices so every
+// run is reproducible; it is ignored for RollupHighestCount.
+func NewHierarchicalCounter[K comparable](epsilon float64, hier Hierarchy[K], rollup Rollup, seed uint64) (*HierarchicalCounter[K], error) {
+	if epsilon <= 0 || epsilon >= 1 {
+		return nil, fmt.Errorf("hh: epsilon must be in (0,1), got %g", epsilon)
+	}
+	if hier.Parents == nil || hier.Ancestor == nil || hier.Level == nil || hier.Order == nil {
+		return nil, fmt.Errorf("hh: hierarchy must define Parents, Ancestor, Level and Order")
+	}
+	return &HierarchicalCounter[K]{
+		epsilon: epsilon,
+		width:   uint64(math.Ceil(1 / epsilon)),
+		hier:    hier,
+		rollup:  rollup,
+		rng:     rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		entries: make(map[K]*lcEntry),
+	}, nil
+}
+
+// Epsilon returns the configured error rate.
+func (c *HierarchicalCounter[K]) Epsilon() float64 { return c.epsilon }
+
+// N returns the number of items observed.
+func (c *HierarchicalCounter[K]) N() uint64 { return c.n }
+
+// Len returns the number of nodes currently tracked.
+func (c *HierarchicalCounter[K]) Len() int { return len(c.entries) }
+
+// SegmentID returns the 1-based id of the segment the next item falls into.
+func (c *HierarchicalCounter[K]) SegmentID() uint64 { return c.n/c.width + 1 }
+
+// Observe records one occurrence of key k, compressing at segment
+// boundaries. Returns true when a compression pass ran.
+func (c *HierarchicalCounter[K]) Observe(k K) bool {
+	sid := c.SegmentID()
+	if e, ok := c.entries[k]; ok {
+		e.count++
+	} else {
+		c.entries[k] = &lcEntry{count: 1, delta: sid - 1}
+	}
+	c.n++
+	if c.n%c.width == 0 {
+		c.Compress()
+		return true
+	}
+	return false
+}
+
+// Count returns the tracked count and undercount bound for k.
+func (c *HierarchicalCounter[K]) Count(k K) (count, delta uint64, ok bool) {
+	e, found := c.entries[k]
+	if !found {
+		return 0, 0, false
+	}
+	return e.count, e.delta, true
+}
+
+// sweep walks entries strictly one lattice level at a time, deepest first.
+// Every entry for which keep returns false is combined into a parent chosen
+// by the rollup strategy and removed; parents (including ones created by the
+// rollup) are visited when their own level is reached, so promoted counts
+// cascade upward within a single sweep. Entries that are kept are passed to
+// report. The lattice top is never rolled — it has nowhere to go.
+func (c *HierarchicalCounter[K]) sweep(entries map[K]*lcEntry, sid uint64, keep func(*lcEntry) bool, deterministic bool, report func(K, *lcEntry)) {
+	maxLevel := 0
+	for k := range entries {
+		if l := c.hier.Level(k); l > maxLevel {
+			maxLevel = l
+		}
+	}
+	var atLevel []K
+	for lvl := maxLevel; lvl >= 0; lvl-- {
+		atLevel = atLevel[:0]
+		for k := range entries {
+			if c.hier.Level(k) == lvl {
+				atLevel = append(atLevel, k)
+			}
+		}
+		sort.Slice(atLevel, func(i, j int) bool { return c.hier.Order(atLevel[i]) < c.hier.Order(atLevel[j]) })
+		for _, k := range atLevel {
+			e := entries[k]
+			if keep(e) {
+				if report != nil {
+					report(k, e)
+				}
+				continue
+			}
+			parent, hasParent := c.chooseParent(entries, k, sid, deterministic)
+			if !hasParent {
+				// The lattice top: left tracked (its statistics are
+				// irreplaceable) but never reported as a heavy hitter.
+				continue
+			}
+			entries[parent].count += e.count
+			delete(entries, k)
+		}
+	}
+}
+
+// chooseParent picks the parent the evicted node's count is combined into,
+// honoring the configured rollup strategy. Preference is given to parents
+// already tracked; when none is tracked, a fresh parent entry is created
+// with Δ = s_id − 1 per the paper. ok=false means k is the lattice top.
+func (c *HierarchicalCounter[K]) chooseParent(entries map[K]*lcEntry, k K, sid uint64, deterministic bool) (K, bool) {
+	c.parentBuf = c.hier.Parents(k, c.parentBuf[:0])
+	parents := c.parentBuf
+	var zero K
+	if len(parents) == 0 {
+		return zero, false
+	}
+	sort.Slice(parents, func(i, j int) bool { return c.hier.Order(parents[i]) < c.hier.Order(parents[j]) })
+
+	var tracked []K
+	for _, p := range parents {
+		if _, ok := entries[p]; ok {
+			tracked = append(tracked, p)
+		}
+	}
+	pick := func(cands []K) K {
+		switch {
+		case len(cands) == 1:
+			return cands[0]
+		case c.rollup == RollupHighestCount:
+			best := cands[0]
+			bestCount := uint64(0)
+			if e, ok := entries[best]; ok {
+				bestCount = e.count
+			}
+			for _, p := range cands[1:] {
+				var cnt uint64
+				if e, ok := entries[p]; ok {
+					cnt = e.count
+				}
+				if cnt > bestCount {
+					best, bestCount = p, cnt
+				}
+			}
+			return best
+		case deterministic:
+			return cands[0]
+		default:
+			return cands[c.rng.IntN(len(cands))]
+		}
+	}
+	var chosen K
+	if len(tracked) > 0 {
+		chosen = pick(tracked)
+	} else {
+		chosen = pick(parents)
+		entries[chosen] = &lcEntry{count: 0, delta: sid - 1}
+	}
+	return chosen, true
+}
+
+// Compress performs the CDIA compression step: every tracked node whose
+// count+Δ no longer reaches the completed segment id has its count combined
+// into a lattice parent and is removed. The paper describes the pass over
+// leaf nodes; processing whole levels deepest-first subsumes that (each leaf
+// pass is one step of the cascade) and matches the compress phase of the
+// underlying hierarchical-heavy-hitter algorithm [Cormode et al.]. The
+// lattice top is never evicted — it has nowhere to roll up to — which keeps
+// the full-scan statistic intact.
+func (c *HierarchicalCounter[K]) Compress() {
+	sid := c.n / c.width
+	c.sweep(c.entries, sid, func(e *lcEntry) bool { return e.count+e.delta > sid }, false, nil)
+}
+
+// Result computes the final answer for threshold θ: working on a copy of
+// the table (assessment keeps running on the live one), nodes are visited
+// deepest level first; any node whose count+Δ misses the bar (θ−ε)·n is
+// combined into a parent, and survivors are reported sorted by descending
+// count. Rollup choices during Result are deterministic (first parent in
+// Order) so that reported answers do not perturb the RNG stream.
+func (c *HierarchicalCounter[K]) Result(theta float64) []Counted[K] {
+	if c.n == 0 {
+		return nil
+	}
+	bar := (theta - c.epsilon) * float64(c.n)
+	sid := c.n/c.width + 1
+
+	work := make(map[K]*lcEntry, len(c.entries))
+	for k, e := range c.entries {
+		work[k] = &lcEntry{count: e.count, delta: e.delta}
+	}
+	var out []Counted[K]
+	c.sweep(work, sid,
+		func(e *lcEntry) bool { return float64(e.count+e.delta) >= bar },
+		true,
+		func(k K, e *lcEntry) { out = append(out, Counted[K]{Key: k, Count: e.count, Delta: e.delta}) })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return c.hier.Order(out[i].Key) < c.hier.Order(out[j].Key)
+	})
+	return out
+}
+
+// Entries returns a snapshot of everything currently tracked, deepest level
+// first then by Order.
+func (c *HierarchicalCounter[K]) Entries() []Counted[K] {
+	out := make([]Counted[K], 0, len(c.entries))
+	for k, e := range c.entries {
+		out = append(out, Counted[K]{Key: k, Count: e.count, Delta: e.delta})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		li, lj := c.hier.Level(out[i].Key), c.hier.Level(out[j].Key)
+		if li != lj {
+			return li > lj
+		}
+		return c.hier.Order(out[i].Key) < c.hier.Order(out[j].Key)
+	})
+	return out
+}
+
+// MemBytes returns the simulated resident size of the counter.
+func (c *HierarchicalCounter[K]) MemBytes() int {
+	const perEntry = 64
+	return 128 + perEntry*len(c.entries)
+}
+
+// Reset clears all state, keeping configuration and RNG position.
+func (c *HierarchicalCounter[K]) Reset() {
+	c.n = 0
+	c.entries = make(map[K]*lcEntry)
+}

@@ -1,0 +1,264 @@
+package hh
+
+import (
+	"math/bits"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// maskHierarchy is the subset lattice over n-bit masks: exactly the shape
+// internal/assess uses for access patterns, defined locally to keep hh free
+// of upward dependencies.
+func maskHierarchy(n int) Hierarchy[uint32] {
+	return Hierarchy[uint32]{
+		Parents: func(k uint32, dst []uint32) []uint32 {
+			for m := k; m != 0; m &= m - 1 {
+				dst = append(dst, k&^(m&-m))
+			}
+			return dst
+		},
+		Ancestor: func(a, b uint32) bool { return a&b == a },
+		Level:    func(k uint32) int { return bits.OnesCount32(k) },
+		Order:    func(k uint32) uint64 { return uint64(k) },
+	}
+}
+
+func TestNewHierarchicalCounterValidation(t *testing.T) {
+	h := maskHierarchy(3)
+	if _, err := NewHierarchicalCounter[uint32](0, h, RollupRandom, 1); err == nil {
+		t.Error("epsilon 0 should be rejected")
+	}
+	if _, err := NewHierarchicalCounter[uint32](0.1, Hierarchy[uint32]{}, RollupRandom, 1); err == nil {
+		t.Error("incomplete hierarchy should be rejected")
+	}
+	if _, err := NewHierarchicalCounter(0.1, h, RollupHighestCount, 1); err != nil {
+		t.Errorf("valid construction failed: %v", err)
+	}
+}
+
+func TestRollupString(t *testing.T) {
+	if RollupRandom.String() != "random" || RollupHighestCount.String() != "highest-count" {
+		t.Fatal("Rollup names drifted")
+	}
+	if Rollup(9).String() == "" {
+		t.Fatal("unknown rollup should still render")
+	}
+}
+
+// Count conservation: compression combines counts instead of deleting them,
+// so the total tracked count always equals the number of observations.
+func TestHHHCountConservation(t *testing.T) {
+	for _, roll := range []Rollup{RollupRandom, RollupHighestCount} {
+		c, _ := NewHierarchicalCounter(0.1, maskHierarchy(4), roll, 42)
+		rng := rand.New(rand.NewPCG(1, 2))
+		for i := 0; i < 3000; i++ {
+			c.Observe(rng.Uint32N(16))
+		}
+		var total uint64
+		for _, e := range c.Entries() {
+			total += e.Count
+		}
+		if total != c.N() {
+			t.Errorf("%v: tracked total %d != observed %d", roll, total, c.N())
+		}
+	}
+}
+
+func TestHHHEvictionRollsIntoParent(t *testing.T) {
+	// width = 1/0.25 = 4. Observe three copies of 0b11 and one of 0b111:
+	// at the boundary 0b111 (count 1, delta 0) is the only leaf below the
+	// bar; its count must move into a parent (one bit removed), not vanish.
+	c, _ := NewHierarchicalCounter(0.25, maskHierarchy(3), RollupHighestCount, 1)
+	c.Observe(0b011)
+	c.Observe(0b011)
+	c.Observe(0b011)
+	c.Observe(0b111) // triggers compression
+	if _, _, ok := c.Count(0b111); ok {
+		t.Fatal("infrequent leaf should be evicted")
+	}
+	// Highest-count parent of 0b111 among tracked is 0b011 (count 3).
+	cnt, _, ok := c.Count(0b011)
+	if !ok || cnt != 4 {
+		t.Fatalf("parent count = %d (ok=%v), want 4", cnt, ok)
+	}
+}
+
+func TestHHHTopNeverEvicted(t *testing.T) {
+	c, _ := NewHierarchicalCounter(0.5, maskHierarchy(3), RollupRandom, 1)
+	c.Observe(0) // the top (full scan) pattern
+	c.Observe(0b1)
+	if _, _, ok := c.Count(0); !ok {
+		t.Fatal("lattice top was evicted; its count has nowhere to go")
+	}
+}
+
+func TestHHHResultPromotesSubThresholdCounts(t *testing.T) {
+	// The Table II mechanism in miniature: two sibling patterns each below
+	// threshold share a parent; CDIA-style Result must surface the parent
+	// with their combined weight.
+	c, _ := NewHierarchicalCounter(0.001, maskHierarchy(3), RollupHighestCount, 1)
+	// 100 observations: 30x <A,B,*>=0b011, 30x <A,*,C>=0b101, 40x <A,*,*>.
+	for i := 0; i < 30; i++ {
+		c.Observe(0b011)
+	}
+	for i := 0; i < 30; i++ {
+		c.Observe(0b101)
+	}
+	for i := 0; i < 40; i++ {
+		c.Observe(0b001)
+	}
+	// theta=0.5: no single pattern reaches 50%, but A=0b001 generalizes
+	// 0b011 and 0b101 → all 100 observations land on it bottom-up.
+	res := c.Result(0.5)
+	if len(res) != 1 {
+		t.Fatalf("Result = %v, want exactly the promoted ancestor", res)
+	}
+	if res[0].Key != 0b001 {
+		t.Fatalf("promoted key = %b, want 001 (A)", res[0].Key)
+	}
+	if res[0].Count != 100 {
+		t.Fatalf("promoted count = %d, want 100", res[0].Count)
+	}
+}
+
+func TestHHHResultDoesNotMutateLiveTable(t *testing.T) {
+	c, _ := NewHierarchicalCounter(0.01, maskHierarchy(3), RollupRandom, 1)
+	for i := 0; i < 100; i++ {
+		c.Observe(uint32(i % 8))
+	}
+	before := c.Entries()
+	_ = c.Result(0.3)
+	after := c.Entries()
+	if len(before) != len(after) {
+		t.Fatalf("Result changed live table: %d -> %d entries", len(before), len(after))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("entry %d changed: %v -> %v", i, before[i], after[i])
+		}
+	}
+}
+
+func TestHHHResultFindsAllHeavyPatterns(t *testing.T) {
+	// Guarantee: any pattern with true frequency >= theta is reported
+	// (possibly via itself, since its own count can only grow by rollups).
+	const eps = 0.01
+	const theta = 0.2
+	c, _ := NewHierarchicalCounter(eps, maskHierarchy(4), RollupHighestCount, 9)
+	rng := rand.New(rand.NewPCG(5, 5))
+	exact := map[uint32]int{}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		var k uint32
+		if rng.Float64() < 0.4 {
+			k = 0b0011 // heavy
+		} else {
+			k = rng.Uint32N(16)
+		}
+		exact[k]++
+		c.Observe(k)
+	}
+	res := c.Result(theta)
+	found := map[uint32]bool{}
+	for _, r := range res {
+		found[r.Key] = true
+	}
+	for k, cnt := range exact {
+		if float64(cnt)/float64(n) >= theta && !found[k] {
+			t.Errorf("heavy pattern %04b (freq %.3f) not reported: %v", k, float64(cnt)/float64(n), res)
+		}
+	}
+}
+
+func TestHHHRandomRollupIsSeeded(t *testing.T) {
+	run := func(seed uint64) []Counted[uint32] {
+		c, _ := NewHierarchicalCounter(0.02, maskHierarchy(4), RollupRandom, seed)
+		rng := rand.New(rand.NewPCG(11, 11))
+		for i := 0; i < 5000; i++ {
+			c.Observe(rng.Uint32N(16))
+		}
+		return c.Entries()
+	}
+	a, b := run(1), run(1)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different table sizes: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestHHHMemoryStaysBounded(t *testing.T) {
+	const eps = 0.01
+	const width = 16 // lattice height h
+	c, _ := NewHierarchicalCounter(eps, maskHierarchy(width), RollupHighestCount, 3)
+	rng := rand.New(rand.NewPCG(8, 8))
+	const n = 100000
+	peak, distinct := 0, map[uint32]bool{}
+	for i := 0; i < n; i++ {
+		k := rng.Uint32N(1 << width)
+		distinct[k] = true
+		c.Observe(k)
+		if c.Len() > peak {
+			peak = c.Len()
+		}
+	}
+	// The analytical bound is (h/eps)*log(eps*n) entries; what matters for
+	// the experiments is that the table stays orders of magnitude below the
+	// number of distinct keys seen. Pin an empirical regression bound well
+	// under both.
+	if peak > len(distinct)/10 {
+		t.Fatalf("peak tracked entries %d not far below %d distinct keys", peak, len(distinct))
+	}
+	if bound := (width / eps) * 12; float64(peak) > bound {
+		t.Fatalf("peak tracked entries %d exceeds analytical bound %.0f", peak, bound)
+	}
+}
+
+// Property: conservation holds for any observation sequence and rollup.
+func TestHHHConservationProperty(t *testing.T) {
+	f := func(seq []uint8, rollupBit bool) bool {
+		roll := RollupRandom
+		if rollupBit {
+			roll = RollupHighestCount
+		}
+		c, _ := NewHierarchicalCounter(0.2, maskHierarchy(5), roll, 17)
+		for _, s := range seq {
+			c.Observe(uint32(s) & 0x1f)
+		}
+		var total uint64
+		for _, e := range c.Entries() {
+			total += e.Count
+		}
+		return total == c.N()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Result keys are mutually incomparable or at least never report
+// a key twice, and every reported count is positive.
+func TestHHHResultSane(t *testing.T) {
+	f := func(seq []uint8) bool {
+		c, _ := NewHierarchicalCounter(0.1, maskHierarchy(5), RollupHighestCount, 23)
+		for _, s := range seq {
+			c.Observe(uint32(s) & 0x1f)
+		}
+		res := c.Result(0.25)
+		seen := map[uint32]bool{}
+		for _, r := range res {
+			if seen[r.Key] || r.Count == 0 {
+				return false
+			}
+			seen[r.Key] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+// Package hh provides the stream-sampling algorithms the paper's assessment
+// methods are built on: lossy counting (Manku–Motwani, VLDB 2002) used by
+// CSRIA, and hierarchical heavy hitters (Cormode et al., VLDB 2003) used by
+// CDIA. Both are implemented as reusable generic libraries so the assessors
+// in internal/assess stay thin.
+package hh
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Counted pairs a key with its estimated count and the maximum undercount
+// Delta it may carry (the count recorded is guaranteed to be within Delta of
+// the true count from below).
+type Counted[K comparable] struct {
+	Key   K
+	Count uint64
+	Delta uint64
+}
+
+// Freq returns the estimated frequency of the key given n observed items.
+func (c Counted[K]) Freq(n uint64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(c.Count) / float64(n)
+}
+
+// LossyCounter approximates per-key frequencies over an unbounded stream
+// with bounded memory, following Manku–Motwani lossy counting:
+//
+//   - the stream is processed in segments of w = ⌈1/ε⌉ items;
+//   - a key first seen in segment s enters with count 1 and Δ = s−1;
+//   - at every segment boundary, entries with count+Δ ≤ s are evicted;
+//   - the answer for threshold θ is every key with count ≥ (θ−ε)·n.
+//
+// Guarantees: every key with true frequency ≥ θ is reported; no key with
+// true frequency < θ−ε is reported; reported counts undercount the truth by
+// at most ε·n. Memory is O((1/ε)·log(ε·n)) entries.
+type LossyCounter[K comparable] struct {
+	epsilon float64
+	width   uint64 // segment width ⌈1/ε⌉
+	n       uint64 // items observed so far
+	entries map[K]*lcEntry
+}
+
+type lcEntry struct {
+	count uint64
+	delta uint64
+}
+
+// NewLossyCounter returns a counter with the given error rate ε ∈ (0, 1).
+func NewLossyCounter[K comparable](epsilon float64) (*LossyCounter[K], error) {
+	if epsilon <= 0 || epsilon >= 1 {
+		return nil, fmt.Errorf("hh: epsilon must be in (0,1), got %g", epsilon)
+	}
+	return &LossyCounter[K]{
+		epsilon: epsilon,
+		width:   uint64(math.Ceil(1 / epsilon)),
+		entries: make(map[K]*lcEntry),
+	}, nil
+}
+
+// Epsilon returns the configured error rate.
+func (c *LossyCounter[K]) Epsilon() float64 { return c.epsilon }
+
+// N returns the number of items observed.
+func (c *LossyCounter[K]) N() uint64 { return c.n }
+
+// Len returns the number of keys currently tracked.
+func (c *LossyCounter[K]) Len() int { return len(c.entries) }
+
+// SegmentID returns the current segment id: the number of the segment the
+// next item falls into, 1-based (the paper's s_id = ⌈n/w⌉ bookkeeping).
+func (c *LossyCounter[K]) SegmentID() uint64 { return c.n/c.width + 1 }
+
+// Observe records one occurrence of key k, compressing automatically at
+// segment boundaries. It returns true when a compression pass ran.
+func (c *LossyCounter[K]) Observe(k K) bool {
+	sid := c.SegmentID()
+	if e, ok := c.entries[k]; ok {
+		e.count++
+	} else {
+		c.entries[k] = &lcEntry{count: 1, delta: sid - 1}
+	}
+	c.n++
+	if c.n%c.width == 0 {
+		c.Compress()
+		return true
+	}
+	return false
+}
+
+// Count returns the tracked count and undercount bound for k, or ok=false
+// if k is not currently tracked (its true count is then at most the current
+// segment id).
+func (c *LossyCounter[K]) Count(k K) (count, delta uint64, ok bool) {
+	e, found := c.entries[k]
+	if !found {
+		return 0, 0, false
+	}
+	return e.count, e.delta, true
+}
+
+// Compress evicts every entry whose count plus undercount bound no longer
+// reaches the completed segment id. Called automatically at segment
+// boundaries; exposed for tests and for callers that shrink on demand.
+func (c *LossyCounter[K]) Compress() {
+	sid := c.n / c.width // completed segments
+	for k, e := range c.entries {
+		if e.count+e.delta <= sid {
+			delete(c.entries, k)
+		}
+	}
+}
+
+// Result returns every key whose estimated frequency clears the threshold
+// test f·n ≥ (θ−ε)·n, sorted by descending count (ties broken
+// deterministically is the caller's concern; ordering of equal counts is
+// unspecified but stable within one call). The live table is not modified.
+func (c *LossyCounter[K]) Result(theta float64) []Counted[K] {
+	if c.n == 0 {
+		return nil
+	}
+	bar := (theta - c.epsilon) * float64(c.n)
+	var out []Counted[K]
+	for k, e := range c.entries {
+		if float64(e.count) >= bar {
+			out = append(out, Counted[K]{Key: k, Count: e.count, Delta: e.delta})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}
+
+// Entries returns a snapshot of everything currently tracked, sorted by
+// descending count. Used by assessors that post-process (e.g. SRIA reports
+// all entries, not only heavy hitters).
+func (c *LossyCounter[K]) Entries() []Counted[K] {
+	out := make([]Counted[K], 0, len(c.entries))
+	for k, e := range c.entries {
+		out = append(out, Counted[K]{Key: k, Count: e.count, Delta: e.delta})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}
+
+// MemBytes returns the simulated resident size of the counter: map entry
+// overhead plus key and counters per tracked entry.
+func (c *LossyCounter[K]) MemBytes() int {
+	const perEntry = 64 // map bucket share + entry struct + key
+	return 96 + perEntry*len(c.entries)
+}
+
+// Reset clears all state, keeping the configuration.
+func (c *LossyCounter[K]) Reset() {
+	c.n = 0
+	c.entries = make(map[K]*lcEntry)
+}

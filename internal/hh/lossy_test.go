@@ -1,0 +1,206 @@
+package hh
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLossyCounterValidation(t *testing.T) {
+	for _, eps := range []float64{0, -0.1, 1, 1.5} {
+		if _, err := NewLossyCounter[int](eps); err == nil {
+			t.Errorf("epsilon %g should be rejected", eps)
+		}
+	}
+	c, err := NewLossyCounter[int](0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Epsilon() != 0.1 {
+		t.Fatalf("Epsilon = %g", c.Epsilon())
+	}
+	if c.width != 10 {
+		t.Fatalf("width = %d, want 10", c.width)
+	}
+}
+
+func TestLossyObserveAndCount(t *testing.T) {
+	c, _ := NewLossyCounter[string](0.25) // width 4
+	c.Observe("a")
+	c.Observe("a")
+	c.Observe("b")
+	if cnt, delta, ok := c.Count("a"); !ok || cnt != 2 || delta != 0 {
+		t.Fatalf("a: count=%d delta=%d ok=%v", cnt, delta, ok)
+	}
+	if _, _, ok := c.Count("z"); ok {
+		t.Fatal("untracked key reported as tracked")
+	}
+	if c.N() != 3 {
+		t.Fatalf("N = %d", c.N())
+	}
+}
+
+func TestLossySegmentEviction(t *testing.T) {
+	c, _ := NewLossyCounter[int](0.25) // width 4: compress after items 4, 8, ...
+	// Segment 1: one singleton and one repeated key.
+	c.Observe(1)
+	c.Observe(1)
+	c.Observe(1)
+	compressed := c.Observe(2) // 4th item triggers compression, sid=1
+	if !compressed {
+		t.Fatal("4th observation should compress")
+	}
+	// Key 2 entered in segment 1 with delta 0 and count 1: 1+0 <= 1 → evicted.
+	if _, _, ok := c.Count(2); ok {
+		t.Fatal("singleton should be evicted at segment boundary")
+	}
+	// Key 1 has count 3 > 1 → survives.
+	if _, _, ok := c.Count(1); !ok {
+		t.Fatal("frequent key evicted")
+	}
+}
+
+func TestLossyDeltaForLateArrivals(t *testing.T) {
+	c, _ := NewLossyCounter[int](0.25) // width 4
+	for i := 0; i < 8; i++ {
+		c.Observe(1)
+	}
+	// Now in segment 3 (n=8). A new key should carry delta = sid-1 = 2.
+	c.Observe(42)
+	if _, delta, ok := c.Count(42); !ok || delta != 2 {
+		t.Fatalf("late arrival delta = %d, want 2", delta)
+	}
+}
+
+func TestLossyResultGuarantees(t *testing.T) {
+	// Random stream; verify the two lossy-counting guarantees against
+	// exact counts for several thresholds.
+	const eps = 0.01
+	const theta = 0.05
+	const n = 20000
+	rng := rand.New(rand.NewPCG(7, 7))
+	c, _ := NewLossyCounter[int](eps)
+	exact := map[int]int{}
+	for i := 0; i < n; i++ {
+		// Zipf-ish skew: low keys much more likely.
+		k := int(math.Floor(math.Pow(rng.Float64(), 3) * 50))
+		exact[k]++
+		c.Observe(k)
+	}
+	reported := map[int]uint64{}
+	for _, r := range c.Result(theta) {
+		reported[r.Key] = r.Count
+	}
+	for k, cnt := range exact {
+		f := float64(cnt) / float64(n)
+		if f >= theta {
+			if _, ok := reported[k]; !ok {
+				t.Errorf("key %d with freq %.4f >= theta not reported", k, f)
+			}
+		}
+		if f < theta-eps {
+			if _, ok := reported[k]; ok {
+				t.Errorf("key %d with freq %.4f < theta-eps reported", k, f)
+			}
+		}
+	}
+	// Reported counts undercount the truth by at most eps*n.
+	for k, cnt := range reported {
+		if uint64(exact[k]) < cnt {
+			t.Errorf("key %d overcounted: reported %d, exact %d", k, cnt, exact[k])
+		}
+		if float64(exact[k])-float64(cnt) > eps*n+1 {
+			t.Errorf("key %d undercounted beyond bound: reported %d, exact %d", k, cnt, exact[k])
+		}
+	}
+}
+
+func TestLossyMemoryBound(t *testing.T) {
+	// Tracked entries must stay O((1/eps) * log(eps*n)).
+	const eps = 0.005
+	c, _ := NewLossyCounter[uint32](eps)
+	rng := rand.New(rand.NewPCG(3, 3))
+	const n = 200000
+	for i := 0; i < n; i++ {
+		c.Observe(rng.Uint32N(1 << 20)) // huge key space
+	}
+	bound := int((1/eps)*math.Log(eps*float64(n))) + int(1/eps)
+	if c.Len() > bound {
+		t.Fatalf("tracked %d entries, bound %d", c.Len(), bound)
+	}
+}
+
+func TestLossyEntriesSorted(t *testing.T) {
+	c, _ := NewLossyCounter[int](0.5)
+	for i, reps := range []int{5, 2, 9} {
+		for j := 0; j < reps; j++ {
+			c.Observe(i)
+		}
+	}
+	es := c.Entries()
+	for i := 1; i < len(es); i++ {
+		if es[i].Count > es[i-1].Count {
+			t.Fatalf("Entries not sorted: %v", es)
+		}
+	}
+}
+
+func TestLossyReset(t *testing.T) {
+	c, _ := NewLossyCounter[int](0.1)
+	for i := 0; i < 50; i++ {
+		c.Observe(i % 3)
+	}
+	c.Reset()
+	if c.N() != 0 || c.Len() != 0 {
+		t.Fatalf("Reset left N=%d Len=%d", c.N(), c.Len())
+	}
+	if got := c.Result(0.5); got != nil {
+		t.Fatalf("Result after reset = %v", got)
+	}
+}
+
+func TestLossyMemBytesGrows(t *testing.T) {
+	c, _ := NewLossyCounter[int](0.001)
+	m0 := c.MemBytes()
+	for i := 0; i < 100; i++ {
+		c.Observe(i)
+	}
+	if c.MemBytes() <= m0 {
+		t.Fatal("MemBytes should grow with tracked entries")
+	}
+}
+
+func TestCountedFreq(t *testing.T) {
+	c := Counted[int]{Key: 1, Count: 25}
+	if f := c.Freq(100); f != 0.25 {
+		t.Fatalf("Freq = %g", f)
+	}
+	if f := c.Freq(0); f != 0 {
+		t.Fatalf("Freq(0) = %g, want 0", f)
+	}
+}
+
+// Property: a key observed more than eps*n times in total is always still
+// tracked (lossy counting never loses a key whose count exceeds the error
+// bound).
+func TestLossyNeverDropsHeavyKeys(t *testing.T) {
+	f := func(seed uint64, heavyEvery uint8) bool {
+		every := int(heavyEvery%5) + 2 // heavy key arrives every 2..6 items
+		c, _ := NewLossyCounter[uint32](0.05)
+		rng := rand.New(rand.NewPCG(seed, seed))
+		const heavy = uint32(0xffffffff)
+		for i := 0; i < 5000; i++ {
+			if i%every == 0 {
+				c.Observe(heavy)
+			} else {
+				c.Observe(rng.Uint32N(1 << 16))
+			}
+		}
+		_, _, ok := c.Count(heavy)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package hh
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MisraGries implements the first deterministic heavy-hitter algorithm
+// (Misra & Gries, "Finding repeated elements" — the paper's reference [25]
+// and the ancestor of lossy counting): k-1 counters, decrement-all on
+// overflow. Any key with true frequency above 1/k is guaranteed to be
+// tracked; counts undercount by at most n/k. It is included for
+// completeness of the sampling substrate — CSRIA itself follows the
+// Manku–Motwani refinement (LossyCounter), which adds the ε error-rate
+// guarantee the paper's Section IV-C2 states.
+type MisraGries[K comparable] struct {
+	k        int
+	n        uint64
+	counters map[K]uint64
+}
+
+// NewMisraGries returns a summary with k-1 counters: every key with
+// frequency > 1/k survives.
+func NewMisraGries[K comparable](k int) (*MisraGries[K], error) {
+	if k < 2 {
+		return nil, fmt.Errorf("hh: MisraGries needs k >= 2, got %d", k)
+	}
+	return &MisraGries[K]{k: k, counters: make(map[K]uint64)}, nil
+}
+
+// Observe records one occurrence.
+func (m *MisraGries[K]) Observe(key K) {
+	m.n++
+	if _, ok := m.counters[key]; ok {
+		m.counters[key]++
+		return
+	}
+	if len(m.counters) < m.k-1 {
+		m.counters[key] = 1
+		return
+	}
+	// Decrement every counter; drop the ones that hit zero. This is the
+	// classic "cancel k distinct elements" step.
+	for c, v := range m.counters {
+		if v == 1 {
+			delete(m.counters, c)
+		} else {
+			m.counters[c] = v - 1
+		}
+	}
+}
+
+// N returns the number of observations.
+func (m *MisraGries[K]) N() uint64 { return m.n }
+
+// Len returns the number of tracked keys (< k).
+func (m *MisraGries[K]) Len() int { return len(m.counters) }
+
+// Count returns the tracked (under)count for key.
+func (m *MisraGries[K]) Count(key K) (uint64, bool) {
+	c, ok := m.counters[key]
+	return c, ok
+}
+
+// Result returns the tracked keys with estimated frequency at least theta,
+// sorted by descending count. The undercount bound is n/k, so a key with
+// true frequency >= theta + 1/k is always reported.
+func (m *MisraGries[K]) Result(theta float64) []Counted[K] {
+	if m.n == 0 {
+		return nil
+	}
+	bar := theta * float64(m.n)
+	maxErr := m.n / uint64(m.k)
+	var out []Counted[K]
+	for key, c := range m.counters {
+		if float64(c)+float64(maxErr) >= bar {
+			out = append(out, Counted[K]{Key: key, Count: c, Delta: maxErr})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}
+
+// Reset clears all state.
+func (m *MisraGries[K]) Reset() {
+	m.n = 0
+	m.counters = make(map[K]uint64)
+}

@@ -1,0 +1,138 @@
+package hh
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestMisraGriesValidation(t *testing.T) {
+	if _, err := NewMisraGries[int](1); err == nil {
+		t.Fatal("k=1 should fail")
+	}
+	if _, err := NewMisraGries[int](2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMisraGriesCounterBound(t *testing.T) {
+	m, _ := NewMisraGries[int](10)
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < 10000; i++ {
+		m.Observe(int(rng.Uint64N(1000)))
+		if m.Len() >= 10 {
+			t.Fatalf("tracked %d keys, bound is k-1=9", m.Len())
+		}
+	}
+}
+
+func TestMisraGriesMajority(t *testing.T) {
+	// k=2 is the classic majority-element algorithm.
+	m, _ := NewMisraGries[string](2)
+	seq := []string{"a", "b", "a", "c", "a", "d", "a", "a"}
+	for _, s := range seq {
+		m.Observe(s)
+	}
+	if _, ok := m.Count("a"); !ok {
+		t.Fatal("majority element lost")
+	}
+}
+
+func TestMisraGriesGuarantee(t *testing.T) {
+	// Any key with frequency > 1/k must survive; undercount <= n/k.
+	const k = 20
+	m, _ := NewMisraGries[int](k)
+	rng := rand.New(rand.NewPCG(2, 2))
+	exact := map[int]uint64{}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		var key int
+		if rng.Float64() < 0.3 {
+			key = -1 // heavy: 30% >> 1/20
+		} else {
+			key = int(rng.Uint64N(10000))
+		}
+		exact[key]++
+		m.Observe(key)
+	}
+	c, ok := m.Count(-1)
+	if !ok {
+		t.Fatal("heavy key lost")
+	}
+	if exact[-1]-c > n/k {
+		t.Fatalf("undercount %d exceeds n/k = %d", exact[-1]-c, n/k)
+	}
+	// The heavy key must be reported at any reasonable threshold.
+	found := false
+	for _, r := range m.Result(0.2) {
+		if r.Key == -1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("heavy key not reported")
+	}
+}
+
+func TestMisraGriesReset(t *testing.T) {
+	m, _ := NewMisraGries[int](5)
+	for i := 0; i < 100; i++ {
+		m.Observe(i % 3)
+	}
+	m.Reset()
+	if m.N() != 0 || m.Len() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+	if m.Result(0.1) != nil {
+		t.Fatal("Result after reset should be nil")
+	}
+}
+
+// Property: tracked counts never exceed true counts (MG only undercounts).
+func TestMisraGriesNeverOvercounts(t *testing.T) {
+	f := func(seq []uint8, k8 uint8) bool {
+		k := int(k8%10) + 2
+		m, _ := NewMisraGries[uint8](k)
+		exact := map[uint8]uint64{}
+		for _, s := range seq {
+			exact[s]++
+			m.Observe(s)
+		}
+		for key, c := range exact {
+			if got, ok := m.Count(key); ok && got > c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: undercount bounded by n/k for every tracked key.
+func TestMisraGriesUndercountBound(t *testing.T) {
+	f := func(seq []uint8, k8 uint8) bool {
+		if len(seq) == 0 {
+			return true
+		}
+		k := int(k8%8) + 2
+		m, _ := NewMisraGries[uint8](k)
+		exact := map[uint8]uint64{}
+		for _, s := range seq {
+			exact[s]++
+			m.Observe(s)
+		}
+		bound := uint64(len(seq))/uint64(k) + 1
+		for key, c := range exact {
+			got, _ := m.Count(key)
+			if c > got && c-got > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

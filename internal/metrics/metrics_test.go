@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleRun(name string, end EndReason) *RunResult {
+	return &RunResult{
+		Name: name,
+		Points: []Point{
+			{Tick: 0, Results: 0, MemBytes: 100},
+			{Tick: 10, Results: 50, MemBytes: 200},
+			{Tick: 20, Results: 120, MemBytes: 300},
+		},
+		End: end, EndTick: 20, TotalResults: 120, PeakMemBytes: 300,
+	}
+}
+
+func TestAt(t *testing.T) {
+	r := sampleRun("x", EndCompleted)
+	cases := []struct {
+		tick int64
+		want uint64
+	}{{-1, 0}, {0, 0}, {9, 0}, {10, 50}, {15, 50}, {20, 120}, {100, 120}}
+	for _, c := range cases {
+		if got := r.At(c.tick); got != c.want {
+			t.Errorf("At(%d) = %d, want %d", c.tick, got, c.want)
+		}
+	}
+}
+
+func TestSummaryAndTable(t *testing.T) {
+	a := sampleRun("amri", EndCompleted)
+	b := sampleRun("hash-3", EndOOM)
+	if !strings.Contains(a.Summary(), "amri") || !strings.Contains(a.Summary(), "completed") {
+		t.Fatalf("Summary = %q", a.Summary())
+	}
+	tbl := Table([]*RunResult{a, b})
+	for _, frag := range []string{"system", "amri", "hash-3", "out-of-memory"} {
+		if !strings.Contains(tbl, frag) {
+			t.Errorf("Table missing %q:\n%s", frag, tbl)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int]string{
+		512:     "512B",
+		2 << 10: "2.0KiB",
+		3 << 20: "3.0MiB",
+		1 << 30: "1.0GiB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestChart(t *testing.T) {
+	a := sampleRun("a", EndCompleted)
+	b := sampleRun("b", EndOOM)
+	b.Points[2].Results = 60
+	b.TotalResults = 60
+	ch := Chart([]*RunResult{a, b}, 40, 8)
+	if !strings.Contains(ch, "A=a") || !strings.Contains(ch, "B=b") {
+		t.Fatalf("chart legend missing:\n%s", ch)
+	}
+	if !strings.Contains(ch, "A") {
+		t.Fatal("chart body missing marks")
+	}
+	// Degenerate inputs do not panic and return something sane.
+	if got := Chart(nil, 40, 8); got != "" {
+		t.Fatalf("empty chart = %q", got)
+	}
+	if got := Chart([]*RunResult{{Name: "e"}}, 40, 8); !strings.Contains(got, "no data") {
+		t.Fatalf("no-data chart = %q", got)
+	}
+}
+
+func TestSortByResults(t *testing.T) {
+	a := sampleRun("small", EndCompleted)
+	a.TotalResults = 10
+	b := sampleRun("big", EndCompleted)
+	b.TotalResults = 99
+	runs := []*RunResult{a, b}
+	SortByResults(runs)
+	if runs[0].Name != "big" {
+		t.Fatalf("sorted order wrong: %s first", runs[0].Name)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	a := sampleRun("sysA", EndCompleted)
+	var buf strings.Builder
+	if err := WriteCSV(&buf, []*RunResult{a}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "system,tick,results,memBytes,backlog\n") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "sysA,10,50,200,0") {
+		t.Fatalf("missing row: %q", out)
+	}
+	if got := strings.Count(out, "\n"); got != 4 { // header + 3 points
+		t.Fatalf("rows = %d", got)
+	}
+}

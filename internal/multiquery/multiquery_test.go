@@ -1,0 +1,229 @@
+package multiquery
+
+import (
+	"strings"
+	"testing"
+
+	"amri/internal/query"
+	"amri/internal/stream"
+)
+
+func TestCompileValidation(t *testing.T) {
+	streams := []query.StreamSpec{{Name: "A", Arity: 2}, {Name: "B", Arity: 2}}
+	ok := QuerySpec{Preds: []query.Predicate{{Left: 0, LeftAttr: 0, Right: 1, RightAttr: 0}}, Window: 10}
+
+	if _, err := Compile(Workload{}); err == nil {
+		t.Error("no streams should fail")
+	}
+	if _, err := Compile(Workload{Streams: streams}); err == nil {
+		t.Error("no queries should fail")
+	}
+	bad := ok
+	bad.Window = 0
+	if _, err := Compile(Workload{Streams: streams, Queries: []QuerySpec{bad}}); err == nil {
+		t.Error("zero window should fail")
+	}
+	bad = QuerySpec{Preds: []query.Predicate{{Left: 0, LeftAttr: 0, Right: 9, RightAttr: 0}}, Window: 10}
+	if _, err := Compile(Workload{Streams: streams, Queries: []QuerySpec{bad}}); err == nil {
+		t.Error("unknown stream should fail")
+	}
+	bad = QuerySpec{Preds: nil, Window: 10}
+	if _, err := Compile(Workload{Streams: streams, Queries: []QuerySpec{bad}}); err == nil {
+		t.Error("empty query should fail")
+	}
+	if _, err := Compile(Workload{Streams: streams, Queries: []QuerySpec{ok}}); err != nil {
+		t.Errorf("valid workload failed: %v", err)
+	}
+}
+
+func TestCompileUnionJAS(t *testing.T) {
+	w := TwoQueryWorkload()
+	c, err := Compile(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MaxWindow != 60 {
+		t.Fatalf("MaxWindow = %d", c.MaxWindow)
+	}
+	// Stream B (1) joins A,C,D for Q0 (3 attrs) plus A and C for Q1 via
+	// attrs 3 and 4: union JAS of 5.
+	if got := c.States[1].NumAttrs(); got != 5 {
+		t.Fatalf("stream B union JAS = %d, want 5", got)
+	}
+	// Stream D (3) participates only in Q0: 3 attrs.
+	if got := c.States[3].NumAttrs(); got != 3 {
+		t.Fatalf("stream D union JAS = %d, want 3", got)
+	}
+	// Q1's view covers streams 0..2 only.
+	if c.Queries[1].Mask != 0b0111 {
+		t.Fatalf("Q1 mask = %b", c.Queries[1].Mask)
+	}
+	if c.Queries[0].Mask != 0b1111 {
+		t.Fatalf("Q0 mask = %b", c.Queries[0].Mask)
+	}
+}
+
+func TestPatternForSeparatesQueries(t *testing.T) {
+	c, _ := Compile(TwoQueryWorkload())
+	b := c.States[1]
+	// Coverage {A}: Q0 constrains B's A-join attr (one of attrs 0..2);
+	// Q1 constrains B's attr 3 entry. The two patterns must differ and
+	// each have exactly one bit.
+	p0 := b.PatternFor(0, 1<<0)
+	p1 := b.PatternFor(1, 1<<0)
+	if p0.Count() != 1 || p1.Count() != 1 {
+		t.Fatalf("patterns %v / %v should each have one bit", p0, p1)
+	}
+	if p0 == p1 {
+		t.Fatal("queries joining via different attributes must induce different patterns")
+	}
+	// Non-participating coverage yields empty pattern for Q1.
+	if got := b.PatternFor(1, 1<<3); got != 0 {
+		t.Fatalf("Q1 does not join D; pattern = %v", got)
+	}
+}
+
+func TestSameAttrSharedAcrossQueries(t *testing.T) {
+	// Two queries joining the same pair via the same attributes share one
+	// JAS entry tagged with both query bits.
+	streams := []query.StreamSpec{{Name: "A", Arity: 1}, {Name: "B", Arity: 1}}
+	pred := []query.Predicate{{Left: 0, LeftAttr: 0, Right: 1, RightAttr: 0}}
+	c, err := Compile(Workload{Streams: streams, Queries: []QuerySpec{
+		{Preds: pred, Window: 10},
+		{Preds: pred, Window: 20},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.States[0].NumAttrs() != 1 {
+		t.Fatalf("JAS should be shared: %d entries", c.States[0].NumAttrs())
+	}
+	if c.States[0].JAS[0].Queries != 0b11 {
+		t.Fatalf("query mask = %b", c.States[0].JAS[0].Queries)
+	}
+}
+
+func mqProfile() stream.Profile {
+	return stream.Profile{
+		LambdaD:      8,
+		PayloadBytes: 40,
+		EpochTicks:   50,
+		Domains:      []uint64{8, 12, 18, 27, 40, 60, 90, 130},
+	}
+}
+
+func TestRunProducesPerQueryResults(t *testing.T) {
+	r, err := Run(RunConfig{
+		Workload: TwoQueryWorkload(),
+		Profile:  mqProfile(),
+		Seed:     1,
+		Ticks:    120,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PerQueryResults) != 2 {
+		t.Fatalf("per-query results = %v", r.PerQueryResults)
+	}
+	if r.PerQueryResults[0] == 0 || r.PerQueryResults[1] == 0 {
+		t.Fatalf("both queries should produce results: %v", r.PerQueryResults)
+	}
+	if r.Probes == 0 {
+		t.Fatal("no probes")
+	}
+	if len(r.Configs) != 4 {
+		t.Fatalf("shared mode should report 4 state configs, got %v", r.Configs)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(RunConfig{Workload: TwoQueryWorkload(), Profile: mqProfile(), Ticks: 0}); err == nil {
+		t.Fatal("zero ticks should fail")
+	}
+	bad := mqProfile()
+	bad.Domains = nil
+	if _, err := Run(RunConfig{Workload: TwoQueryWorkload(), Profile: bad, Ticks: 10}); err == nil {
+		t.Fatal("bad profile should fail")
+	}
+}
+
+// TestSharedVsDedicated: the shared design must produce the same per-query
+// results as dedicated per-query indexes (indexes are lossless; only costs
+// differ) while using clearly less index memory.
+func TestSharedVsDedicated(t *testing.T) {
+	base := RunConfig{
+		Workload: TwoQueryWorkload(),
+		Profile:  mqProfile(),
+		Seed:     3,
+		Ticks:    100,
+	}
+	shared, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ded := base
+	ded.Dedicated = true
+	dedicated, err := Run(ded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := range shared.PerQueryResults {
+		if shared.PerQueryResults[q] != dedicated.PerQueryResults[q] {
+			t.Fatalf("query %d: shared %d != dedicated %d (indexes must be lossless)",
+				q, shared.PerQueryResults[q], dedicated.PerQueryResults[q])
+		}
+	}
+	if shared.IndexMemBytes >= dedicated.IndexMemBytes {
+		t.Fatalf("shared memory %d should undercut dedicated %d",
+			shared.IndexMemBytes, dedicated.IndexMemBytes)
+	}
+	// Dedicated mode: 3 streams x 2 queries + 1 stream x 1 query = 7 indexes.
+	if len(dedicated.Configs) != 7 {
+		t.Fatalf("dedicated mode should report 7 configs, got %d: %v",
+			len(dedicated.Configs), dedicated.Configs)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := RunConfig{Workload: TwoQueryWorkload(), Profile: mqProfile(), Seed: 9, Ticks: 60}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := range a.PerQueryResults {
+		if a.PerQueryResults[q] != b.PerQueryResults[q] {
+			t.Fatalf("nondeterministic: %v vs %v", a.PerQueryResults, b.PerQueryResults)
+		}
+	}
+}
+
+func TestTuningFollowsBothQueries(t *testing.T) {
+	r, err := Run(RunConfig{
+		Workload:      TwoQueryWorkload(),
+		Profile:       mqProfile(),
+		Seed:          5,
+		Ticks:         200,
+		AutoTuneEvery: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Retunes == 0 {
+		t.Fatal("shared indexes never retuned")
+	}
+	// Stream B's shared config covers 5 attributes; after tuning, bits
+	// should exist (the index serves two queries' patterns).
+	var bCfg string
+	for _, c := range r.Configs {
+		if strings.HasPrefix(c, "S1:") {
+			bCfg = c
+		}
+	}
+	if bCfg == "" {
+		t.Fatalf("missing stream B config in %v", r.Configs)
+	}
+}

@@ -1,0 +1,389 @@
+package multiquery
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"amri/internal/core"
+	"amri/internal/query"
+	"amri/internal/router"
+	"amri/internal/stream"
+	"amri/internal/tuple"
+	"amri/internal/window"
+)
+
+// RunConfig describes one multi-query run.
+type RunConfig struct {
+	Workload Workload
+	// Profile supplies arrival rate, payload, drift period and the domain
+	// pool; the per-predicate domain assignment is derived from it.
+	Profile stream.Profile
+	Seed    uint64
+	Ticks   int64
+	// BitBudget is the IC bits per index (default 12).
+	BitBudget int
+	// Method is the assessment method (default CDIA-highest).
+	Method core.Method
+	// AutoTuneEvery retunes an index after that many probes (default 2000).
+	AutoTuneEvery uint64
+	// Dedicated switches to the baseline: one index per (state, query)
+	// instead of one shared index per state. Same workload, more memory.
+	Dedicated bool
+}
+
+// Result summarizes a run.
+type Result struct {
+	// PerQueryResults is the cumulative result count of each query.
+	PerQueryResults []uint64
+	// Probes counts the search requests executed.
+	Probes uint64
+	// Retunes counts index migrations across all indexes.
+	Retunes int
+	// IndexMemBytes is the total simulated index memory at the end — the
+	// quantity the shared design halves.
+	IndexMemBytes int
+	// Configs holds the final configuration of every index (per state,
+	// then per query within a state in dedicated mode).
+	Configs []string
+}
+
+// state is one shared stream state at runtime.
+type state struct {
+	spec *State
+	// indexes[0] is the shared index; in dedicated mode indexes[q] serves
+	// query q (nil for non-participating queries).
+	indexes  []*core.AdaptiveIndex
+	retained *window.Buckets
+}
+
+// Run executes the workload: every arrival is stored once per index
+// covering it, then cascades through each query it participates in.
+func Run(cfg RunConfig) (*Result, error) {
+	comp, err := Compile(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Ticks <= 0 {
+		return nil, fmt.Errorf("multiquery: Ticks must be positive")
+	}
+	if cfg.BitBudget == 0 {
+		cfg.BitBudget = 12
+	}
+	if cfg.AutoTuneEvery == 0 {
+		cfg.AutoTuneEvery = 2000
+	}
+	if err := cfg.Profile.Validate(); err != nil {
+		return nil, err
+	}
+
+	gen, err := newGenerator(comp, cfg.Profile, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	nQ := len(comp.Queries)
+	states := make([]*state, len(comp.Streams))
+	for s, spec := range comp.States {
+		st := &state{spec: spec, retained: window.New(comp.MaxWindow, 0)}
+		attrMap := make([]int, spec.NumAttrs())
+		for i, ja := range spec.JAS {
+			attrMap[i] = ja.Attr
+		}
+		mk := func(salt uint64) (*core.AdaptiveIndex, error) {
+			return core.New(core.Options{
+				NumAttrs:      spec.NumAttrs(),
+				AttrMap:       attrMap,
+				BitBudget:     cfg.BitBudget,
+				Method:        cfg.Method,
+				AutoTuneEvery: cfg.AutoTuneEvery,
+				Seed:          cfg.Seed + salt,
+			})
+		}
+		if cfg.Dedicated {
+			st.indexes = make([]*core.AdaptiveIndex, nQ)
+			for q := 0; q < nQ; q++ {
+				if !comp.Queries[q].Participates(s) {
+					continue
+				}
+				ix, err := mk(uint64(s*100 + q))
+				if err != nil {
+					return nil, err
+				}
+				st.indexes[q] = ix
+			}
+		} else {
+			ix, err := mk(uint64(s))
+			if err != nil {
+				return nil, err
+			}
+			st.indexes = []*core.AdaptiveIndex{ix}
+		}
+		states[s] = st
+	}
+
+	// One router per query; non-participating streams are masked as
+	// already-covered so Next never picks them.
+	routers := make([]*router.Router, nQ)
+	for q := range routers {
+		routers[q] = router.New(len(comp.Streams), 0.03, cfg.Seed+uint64(q)*7+1)
+	}
+
+	res := &Result{PerQueryResults: make([]uint64, nQ)}
+	lens := make([]int, len(comp.Streams))
+
+	indexFor := func(s, q int) *core.AdaptiveIndex {
+		st := states[s]
+		if cfg.Dedicated {
+			return st.indexes[q]
+		}
+		return st.indexes[0]
+	}
+
+	// probe runs one search request for query q against state s.
+	probe := func(q, s int, c *tuple.Composite) []*tuple.Tuple {
+		view := comp.Queries[q]
+		spec := states[s].spec
+		p := spec.PatternFor(q, c.Done)
+		vals := make([]tuple.Value, spec.NumAttrs())
+		for i, ja := range spec.JAS {
+			if p.Has(i) {
+				vals[i] = c.Parts[ja.Partner].Attrs[ja.PartnerAttr]
+			}
+		}
+		driver := c.Driver()
+		var matches []*tuple.Tuple
+		indexFor(s, q).Search(p, vals, func(x *tuple.Tuple) bool {
+			if x.Arrival >= driver.Arrival {
+				return true // exactly-once
+			}
+			if x.TS <= driver.TS-view.Window {
+				return true // outside this query's window
+			}
+			for i, ja := range spec.JAS {
+				if p.Has(i) && x.Attrs[ja.Attr] != vals[i] {
+					return true
+				}
+			}
+			matches = append(matches, x)
+			return true
+		})
+		res.Probes++
+		return matches
+	}
+
+	// cascade advances one composite of query q to completion, depth-first.
+	var cascade func(q int, c *tuple.Composite)
+	cascade = func(q int, c *tuple.Composite) {
+		view := comp.Queries[q]
+		if c.Done&view.Mask == view.Mask {
+			res.PerQueryResults[q]++
+			return
+		}
+		for i := range states {
+			if ix := indexFor(i, q); ix != nil {
+				lens[i] = ix.Len()
+			} else {
+				lens[i] = 0
+			}
+		}
+		next := routers[q].Next(c.Done|^view.Mask, lens)
+		if next < 0 {
+			return
+		}
+		matches := probe(q, next, c)
+		if c.Count() == 1 {
+			src := c.Origin
+			routers[q].ObservePair(src, next, len(matches), indexFor(next, q).Len())
+		}
+		for _, m := range matches {
+			cascade(q, c.Extend(m))
+		}
+	}
+
+	for tick := int64(0); tick < cfg.Ticks; tick++ {
+		for _, t := range gen.tickArrivals(tick) {
+			st := states[t.Stream]
+			// Store once per index covering this stream.
+			for _, ix := range st.indexes {
+				if ix != nil {
+					ix.Insert(t)
+				}
+			}
+			st.retained.Add(t)
+			// Expire by the longest window; per-query windows are enforced
+			// at probe time.
+			st.retained.Expire(tick, func(old *tuple.Tuple) {
+				for _, ix := range st.indexes {
+					if ix != nil {
+						ix.Delete(old)
+					}
+				}
+			})
+			// Cascade through every query this stream participates in.
+			for q, view := range comp.Queries {
+				if view.Participates(t.Stream) {
+					cascade(q, tuple.NewComposite(len(comp.Streams), t))
+				}
+			}
+		}
+	}
+
+	for _, st := range states {
+		for qi, ix := range st.indexes {
+			if ix == nil {
+				continue
+			}
+			res.IndexMemBytes += ix.MemBytes()
+			res.Retunes += ix.Retunes()
+			label := fmt.Sprintf("S%d", st.spec.Stream)
+			if cfg.Dedicated {
+				label = fmt.Sprintf("S%d/Q%d", st.spec.Stream, qi)
+			}
+			res.Configs = append(res.Configs, fmt.Sprintf("%s:%v", label, ix.Config()))
+		}
+	}
+	return res, nil
+}
+
+// generator draws tuple attributes from per-predicate-component domains,
+// rotating the assignment every drift epoch like stream.Generator.
+type generator struct {
+	comp    *Compiled
+	prof    stream.Profile
+	rng     *rand.Rand
+	seqs    []uint64
+	arrival uint64
+	// compOf maps (stream, attr) to its predicate component id, -1 when
+	// the attribute joins nothing.
+	compOf [][]int
+	nComps int
+}
+
+func newGenerator(comp *Compiled, prof stream.Profile, seed uint64) (*generator, error) {
+	g := &generator{
+		comp: comp,
+		prof: prof,
+		rng:  rand.New(rand.NewPCG(seed, seed^0xfeedface)),
+		seqs: make([]uint64, len(comp.Streams)),
+	}
+	// Union-find over (stream, attr) nodes connected by predicates: both
+	// sides of a predicate must draw from one domain.
+	id := func(s, a int) int { return s*64 + a }
+	parent := map[int]int{}
+	var find func(x int) int
+	find = func(x int) int {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for _, st := range comp.States {
+		for _, ja := range st.JAS {
+			union(id(st.Stream, ja.Attr), id(ja.Partner, ja.PartnerAttr))
+		}
+	}
+	comps := map[int]int{}
+	g.compOf = make([][]int, len(comp.Streams))
+	for s, spec := range comp.Streams {
+		g.compOf[s] = make([]int, spec.Arity)
+		for a := range g.compOf[s] {
+			g.compOf[s][a] = -1
+		}
+	}
+	for _, st := range comp.States {
+		for _, ja := range st.JAS {
+			root := find(id(st.Stream, ja.Attr))
+			c, ok := comps[root]
+			if !ok {
+				c = g.nComps
+				comps[root] = c
+				g.nComps++
+			}
+			g.compOf[st.Stream][ja.Attr] = c
+			g.compOf[ja.Partner][ja.PartnerAttr] = c
+		}
+	}
+	return g, nil
+}
+
+func (g *generator) domainFor(compID int, tick int64) uint64 {
+	epoch := 0
+	if g.prof.EpochTicks > 0 {
+		epoch = int(tick / g.prof.EpochTicks)
+	}
+	return g.prof.Domains[(compID+epoch)%len(g.prof.Domains)]
+}
+
+func (g *generator) tickArrivals(tick int64) []*tuple.Tuple {
+	var out []*tuple.Tuple
+	for s := range g.comp.Streams {
+		arity := g.comp.Streams[s].Arity
+		for n := 0; n < g.prof.LambdaD; n++ {
+			attrs := make([]tuple.Value, arity)
+			for a := 0; a < arity; a++ {
+				if c := g.compOf[s][a]; c >= 0 {
+					attrs[a] = g.rng.Uint64N(g.domainFor(c, tick))
+				}
+			}
+			t := tuple.New(s, g.seqs[s], tick, attrs)
+			t.PayloadBytes = g.prof.PayloadBytes
+			g.arrival++
+			t.Arrival = g.arrival
+			g.seqs[s]++
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// TwoQueryWorkload is the packaged demonstration workload: Q0 is the
+// paper's 4-way clique join (window 60) and Q1 a 3-way chain over streams
+// 0–2 via separate attributes (window 30), so the shared states of streams
+// 0..2 serve two access-pattern populations at once.
+func TwoQueryWorkload() Workload {
+	streams := []query.StreamSpec{
+		{Name: "A", Arity: 5},
+		{Name: "B", Arity: 5},
+		{Name: "C", Arity: 5},
+		{Name: "D", Arity: 3},
+	}
+	attrFor := func(s, partner int) int {
+		k := 0
+		for t := 0; t < 4; t++ {
+			if t == s {
+				continue
+			}
+			if t == partner {
+				return k
+			}
+			k++
+		}
+		panic("unreachable")
+	}
+	var q0 []query.Predicate
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			q0 = append(q0, query.Predicate{
+				Left: a, LeftAttr: attrFor(a, b),
+				Right: b, RightAttr: attrFor(b, a),
+			})
+		}
+	}
+	// Q1: A–B and B–C via the extra attributes 3 and 4.
+	q1 := []query.Predicate{
+		{Left: 0, LeftAttr: 3, Right: 1, RightAttr: 3},
+		{Left: 1, LeftAttr: 4, Right: 2, RightAttr: 3},
+	}
+	return Workload{
+		Streams: streams,
+		Queries: []QuerySpec{
+			{Preds: q0, Window: 60},
+			{Preds: q1, Window: 30},
+		},
+	}
+}

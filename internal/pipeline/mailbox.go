@@ -1,0 +1,77 @@
+// Package pipeline is the concurrent twin of internal/engine: the same
+// adaptive multi-route system run as a live Go program — one goroutine per
+// STeM operator, unbounded mailboxes between them, a shared router, and
+// self-tuning AMRI states guarded by per-state locks. Where internal/engine
+// measures virtual time deterministically for the paper's figures, pipeline
+// measures real wall-clock throughput and demonstrates the system working
+// under actual parallelism.
+package pipeline
+
+import "sync"
+
+// mailbox is an unbounded MPSC queue: producers never block (join graphs
+// are cyclic — A probes B while B probes A — so bounded channels between
+// operators can deadlock), and the owning operator drains it until Close.
+type mailbox[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []T
+	head   int
+	closed bool
+}
+
+func newMailbox[T any]() *mailbox[T] {
+	m := &mailbox[T]{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Push enqueues an item. Pushing to a closed mailbox is a no-op (drain is
+// in progress; the work is accounted by the caller's in-flight bookkeeping).
+func (m *mailbox[T]) Push(v T) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.items = append(m.items, v)
+	m.cond.Signal()
+	return true
+}
+
+// Pop blocks until an item is available or the mailbox is closed and
+// drained; ok=false means the operator should exit.
+func (m *mailbox[T]) Pop() (v T, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.head >= len(m.items) && !m.closed {
+		m.cond.Wait()
+	}
+	if m.head >= len(m.items) {
+		return v, false
+	}
+	v = m.items[m.head]
+	var zero T
+	m.items[m.head] = zero
+	m.head++
+	if m.head > 1024 && m.head*2 > len(m.items) {
+		m.items = append([]T(nil), m.items[m.head:]...)
+		m.head = 0
+	}
+	return v, true
+}
+
+// Len returns the queued item count.
+func (m *mailbox[T]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.items) - m.head
+}
+
+// Close wakes all waiters; queued items are still drained by Pop.
+func (m *mailbox[T]) Close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}

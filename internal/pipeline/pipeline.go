@@ -1,0 +1,294 @@
+package pipeline
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"amri/internal/core"
+	"amri/internal/query"
+	"amri/internal/router"
+	"amri/internal/stream"
+	"amri/internal/tuple"
+	"amri/internal/window"
+)
+
+// Config describes one concurrent run.
+type Config struct {
+	// Query is the SPJ query; nil means the paper's 4-way join.
+	Query *query.Query
+	// Profile is the synthetic workload; zero value means DriftProfile.
+	Profile stream.Profile
+	// Seed fixes the workload and routing randomness.
+	Seed uint64
+	// Ticks is how many workload ticks to generate and process.
+	Ticks int64
+	// Method is the assessment method for every state's AdaptiveIndex.
+	Method core.Method
+	// BitBudget is the IC bits per state (default 12).
+	BitBudget int
+	// AutoTuneEvery retunes a state after that many probes (default 2000;
+	// 0 disables live tuning).
+	AutoTuneEvery uint64
+	// Explore is the router's suboptimal-route probability.
+	Explore float64
+}
+
+// Result summarizes a concurrent run.
+type Result struct {
+	// Results is the number of complete join results emitted.
+	Results uint64
+	// Probes is the number of search requests executed.
+	Probes uint64
+	// Retunes is the number of index migrations across all states.
+	Retunes int
+	// Wall is the elapsed wall-clock time.
+	Wall time.Duration
+	// TuplesIngested counts the arrivals processed.
+	TuplesIngested uint64
+}
+
+// message is one unit of operator work.
+type message struct {
+	ingest *tuple.Tuple
+	comp   *tuple.Composite
+}
+
+// operator is one STeM running as a goroutine: it owns its state's
+// AdaptiveIndex (lock-guarded — live tuning migrates it concurrently with
+// probes from its own loop only, but Len is read cross-operator).
+type operator struct {
+	spec *query.StateSpec
+	mb   *mailbox[message]
+
+	mu sync.Mutex
+	ix *core.AdaptiveIndex
+
+	retained *window.Buckets
+
+	length atomic.Int64
+	probes atomic.Uint64
+
+	valsBuf []tuple.Value
+}
+
+func (o *operator) insert(t *tuple.Tuple) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.ix.Insert(t)
+	o.retained.Add(t)
+	// Timestamp-bucket expiry with watermark slack: exact under
+	// out-of-order arrivals.
+	o.retained.Expire(t.TS, func(old *tuple.Tuple) {
+		o.ix.Delete(old)
+	})
+	o.length.Store(int64(o.ix.Len()))
+}
+
+// probe runs one search request against the state, returning the matches.
+func (o *operator) probe(c *tuple.Composite) []*tuple.Tuple {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	p := o.spec.PatternForDone(c.Done)
+	for i, ja := range o.spec.JAS {
+		if p.Has(i) {
+			o.valsBuf[i] = c.Parts[ja.Partner].Attrs[ja.PartnerAttr]
+		} else {
+			o.valsBuf[i] = 0
+		}
+	}
+	drv := c.Driver()
+	driver := drv.Arrival
+	var matches []*tuple.Tuple
+	o.ix.Search(p, o.valsBuf, func(x *tuple.Tuple) bool {
+		if driver != 0 && x.Arrival >= driver {
+			return true // exactly-once: only the newest member drives a result
+		}
+		if driver != 0 && x.TS <= drv.TS-o.retained.Window() {
+			return true // outside the driver's event-time window
+		}
+		ok := true
+		for i, ja := range o.spec.JAS {
+			if p.Has(i) && x.Attrs[ja.Attr] != o.valsBuf[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			matches = append(matches, x)
+		}
+		return true
+	})
+	o.probes.Add(1)
+	o.length.Store(int64(o.ix.Len()))
+	return matches
+}
+
+// Run executes the workload concurrently and blocks until every message has
+// drained.
+func Run(cfg Config) (*Result, error) {
+	q := cfg.Query
+	if q == nil {
+		q = query.FourWay(60)
+	}
+	prof := cfg.Profile
+	if prof.LambdaD == 0 {
+		prof = stream.DriftProfile()
+	}
+	if cfg.Ticks <= 0 {
+		return nil, fmt.Errorf("pipeline: Ticks must be positive")
+	}
+	if cfg.BitBudget == 0 {
+		cfg.BitBudget = 12
+	}
+	if cfg.AutoTuneEvery == 0 {
+		cfg.AutoTuneEvery = 2000
+	}
+	gen, err := stream.New(q, prof, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	n := q.NumStreams()
+	ops := make([]*operator, n)
+	for s := 0; s < n; s++ {
+		spec := q.States[s]
+		attrMap := make([]int, spec.NumAttrs())
+		for i, ja := range spec.JAS {
+			attrMap[i] = ja.Attr
+		}
+		ix, err := core.New(core.Options{
+			NumAttrs:      spec.NumAttrs(),
+			AttrMap:       attrMap,
+			BitBudget:     cfg.BitBudget,
+			Method:        cfg.Method,
+			AutoTuneEvery: cfg.AutoTuneEvery,
+			Seed:          cfg.Seed + uint64(s),
+		})
+		if err != nil {
+			return nil, err
+		}
+		ops[s] = &operator{
+			spec:     spec,
+			mb:       newMailbox[message](),
+			ix:       ix,
+			retained: window.New(q.WindowTicks, prof.MaxDelay),
+			valsBuf:  make([]tuple.Value, spec.NumAttrs()),
+		}
+	}
+
+	rt := router.New(n, cfg.Explore, cfg.Seed+99)
+	var rtMu sync.Mutex
+	nextHop := func(done uint32) int {
+		lens := make([]int, n)
+		for i, o := range ops {
+			lens[i] = int(o.length.Load())
+		}
+		rtMu.Lock()
+		defer rtMu.Unlock()
+		return rt.Next(done, lens)
+	}
+	observe := func(i, j, matches, stateLen int) {
+		rtMu.Lock()
+		defer rtMu.Unlock()
+		rt.ObservePair(i, j, matches, stateLen)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		results  atomic.Uint64
+		ingested atomic.Uint64
+	)
+
+	// Operators: drain the mailbox; each handled message may fan out more
+	// messages (wg accounting keeps the drain exact).
+	var opWG sync.WaitGroup
+	for s := 0; s < n; s++ {
+		opWG.Add(1)
+		go func(self int) {
+			defer opWG.Done()
+			o := ops[self]
+			for {
+				msg, ok := o.mb.Pop()
+				if !ok {
+					return
+				}
+				if msg.ingest != nil {
+					o.insert(msg.ingest)
+					ingested.Add(1)
+					wg.Done()
+					continue
+				}
+				comp := msg.comp
+				matches := o.probe(comp)
+				if comp.Count() == 1 {
+					src := bits.TrailingZeros32(comp.Done)
+					observe(src, self, len(matches), int(o.length.Load()))
+				}
+				for _, m := range matches {
+					nc := comp.Extend(m)
+					if nc.Complete(n) {
+						results.Add(1)
+						continue
+					}
+					if next := nextHop(nc.Done); next >= 0 {
+						wg.Add(1)
+						ops[next].mb.Push(message{comp: nc})
+					}
+				}
+				wg.Done()
+			}
+		}(s)
+	}
+
+	start := time.Now()
+	// Source: ticks are delivered in two quiesced phases — all of a tick's
+	// arrivals are inserted before any of them starts probing, exactly the
+	// arrival-order semantics of the deterministic engine. Together with
+	// the arrival-stamp filter this makes the concurrent result set equal
+	// to the engine's (routing order cannot change a join's result set).
+	// Operators still run fully in parallel within each phase.
+	for tick := int64(0); tick < cfg.Ticks; tick++ {
+		batch := gen.Tick(tick)
+		if len(q.Filters) > 0 {
+			// Selection push-down, same as the simulation engine.
+			kept := batch[:0]
+			for _, t := range batch {
+				if q.Accepts(t) {
+					kept = append(kept, t)
+				}
+			}
+			batch = kept
+		}
+		for _, t := range batch {
+			wg.Add(1)
+			ops[t.Stream].mb.Push(message{ingest: t})
+		}
+		wg.Wait()
+		for _, t := range batch {
+			comp := tuple.NewComposite(n, t)
+			if next := nextHop(comp.Done); next >= 0 {
+				wg.Add(1)
+				ops[next].mb.Push(message{comp: comp})
+			}
+		}
+		wg.Wait()
+	}
+	for _, o := range ops {
+		o.mb.Close()
+	}
+	opWG.Wait()
+
+	res := &Result{
+		Results:        results.Load(),
+		Wall:           time.Since(start),
+		TuplesIngested: ingested.Load(),
+	}
+	for _, o := range ops {
+		res.Probes += o.probes.Load()
+		res.Retunes += o.ix.Retunes()
+	}
+	return res, nil
+}

@@ -1,0 +1,133 @@
+package query
+
+import (
+	"fmt"
+
+	"amri/internal/tuple"
+)
+
+// CmpOp is a comparison operator for selection filters.
+type CmpOp int
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String implements fmt.Stringer.
+func (o CmpOp) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", int(o))
+	}
+}
+
+// ParseCmpOp parses the operator notation of String.
+func ParseCmpOp(s string) (CmpOp, error) {
+	switch s {
+	case "=", "==":
+		return OpEq, nil
+	case "!=", "<>":
+		return OpNe, nil
+	case "<":
+		return OpLt, nil
+	case "<=":
+		return OpLe, nil
+	case ">":
+		return OpGt, nil
+	case ">=":
+		return OpGe, nil
+	default:
+		return 0, fmt.Errorf("query: unknown comparison operator %q", s)
+	}
+}
+
+// Filter is a selection predicate from the WHERE clause: a comparison of
+// one stream attribute against a constant, applied at ingest (the classic
+// push-down — tuples failing a selection never reach any state).
+type Filter struct {
+	Stream int
+	Attr   int
+	Op     CmpOp
+	Value  tuple.Value
+}
+
+// String renders like "S0.a1 < 42".
+func (f Filter) String() string {
+	return fmt.Sprintf("S%d.a%d %s %d", f.Stream, f.Attr, f.Op, f.Value)
+}
+
+// Matches evaluates the filter against a tuple's attribute value.
+func (f Filter) Matches(t *tuple.Tuple) bool {
+	v := t.Attrs[f.Attr]
+	switch f.Op {
+	case OpEq:
+		return v == f.Value
+	case OpNe:
+		return v != f.Value
+	case OpLt:
+		return v < f.Value
+	case OpLe:
+		return v <= f.Value
+	case OpGt:
+		return v > f.Value
+	case OpGe:
+		return v >= f.Value
+	default:
+		return false
+	}
+}
+
+// AddFilter validates and attaches a selection filter to the query.
+func (q *Query) AddFilter(f Filter) error {
+	if f.Stream < 0 || f.Stream >= len(q.Streams) {
+		return fmt.Errorf("query: filter %v references unknown stream", f)
+	}
+	if f.Attr < 0 || f.Attr >= q.Streams[f.Stream].Arity {
+		return fmt.Errorf("query: filter %v attribute out of range", f)
+	}
+	if _, err := ParseCmpOp(f.Op.String()); err != nil {
+		return fmt.Errorf("query: filter %v: %w", f, err)
+	}
+	q.Filters = append(q.Filters, f)
+	return nil
+}
+
+// Accepts reports whether a tuple passes every filter on its stream.
+func (q *Query) Accepts(t *tuple.Tuple) bool {
+	for _, f := range q.Filters {
+		if f.Stream == t.Stream && !f.Matches(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// FilterCount returns the number of filters on the given stream (the
+// per-ingest comparison work the engine charges).
+func (q *Query) FilterCount(stream int) int {
+	n := 0
+	for _, f := range q.Filters {
+		if f.Stream == stream {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,37 @@
+package query
+
+import "testing"
+
+// FuzzParsePattern: the parser must never panic, and anything it accepts
+// must round-trip through StringN at the width it was parsed from.
+func FuzzParsePattern(f *testing.F) {
+	f.Add("<A,*,C>")
+	f.Add("<*,*,*>")
+	f.Add("A,B")
+	f.Add("")
+	f.Add("<,>")
+	f.Add("<A,B,C,D,E,F,G,H>")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePattern(s)
+		if err != nil {
+			return
+		}
+		// Determine the width the input implied and round-trip.
+		n := 1
+		for _, c := range s {
+			if c == ',' {
+				n++
+			}
+		}
+		if n > MaxAttrs {
+			return
+		}
+		back, err := ParsePattern(p.StringN(n))
+		if err != nil {
+			t.Fatalf("rendered pattern %q does not re-parse: %v", p.StringN(n), err)
+		}
+		if back != p {
+			t.Fatalf("round trip %q -> %v -> %v", s, p, back)
+		}
+	})
+}

@@ -1,0 +1,13 @@
+package query
+
+import "amri/internal/tuple"
+
+// tupleLike builds tuples for filter tests without importing test fixtures.
+type tupleLike struct {
+	stream int
+	attrs  []uint64
+}
+
+func (tl *tupleLike) tuple() *tuple.Tuple {
+	return tuple.New(tl.stream, 0, 0, tl.attrs)
+}

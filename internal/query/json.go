@@ -1,0 +1,93 @@
+package query
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"amri/internal/tuple"
+)
+
+// jsonSpec is the on-disk query description consumed by cmd/amriquery:
+//
+//	{
+//	  "streams":    [{"name": "A", "arity": 3}, ...],
+//	  "predicates": [{"left": 0, "leftAttr": 0, "right": 1, "rightAttr": 0}],
+//	  "filters":    [{"stream": 0, "attr": 1, "op": "<", "value": 100}],
+//	  "window":     60
+//	}
+type jsonSpec struct {
+	Streams    []jsonStream `json:"streams"`
+	Predicates []jsonPred   `json:"predicates"`
+	Filters    []jsonFilter `json:"filters,omitempty"`
+	Window     int64        `json:"window"`
+}
+
+type jsonStream struct {
+	Name  string `json:"name"`
+	Arity int    `json:"arity"`
+}
+
+type jsonPred struct {
+	Left      int `json:"left"`
+	LeftAttr  int `json:"leftAttr"`
+	Right     int `json:"right"`
+	RightAttr int `json:"rightAttr"`
+}
+
+type jsonFilter struct {
+	Stream int         `json:"stream"`
+	Attr   int         `json:"attr"`
+	Op     string      `json:"op"`
+	Value  tuple.Value `json:"value"`
+}
+
+// ParseJSON reads a query description and compiles it, filters included.
+func ParseJSON(r io.Reader) (*Query, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var spec jsonSpec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("query: bad JSON spec: %w", err)
+	}
+	streams := make([]StreamSpec, len(spec.Streams))
+	for i, s := range spec.Streams {
+		streams[i] = StreamSpec{Name: s.Name, Arity: s.Arity}
+	}
+	preds := make([]Predicate, len(spec.Predicates))
+	for i, p := range spec.Predicates {
+		preds[i] = Predicate{Left: p.Left, LeftAttr: p.LeftAttr, Right: p.Right, RightAttr: p.RightAttr}
+	}
+	q, err := Compile(streams, preds, spec.Window)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range spec.Filters {
+		op, err := ParseCmpOp(f.Op)
+		if err != nil {
+			return nil, err
+		}
+		if err := q.AddFilter(Filter{Stream: f.Stream, Attr: f.Attr, Op: op, Value: f.Value}); err != nil {
+			return nil, err
+		}
+	}
+	return q, nil
+}
+
+// MarshalJSON encodes a compiled query back into the on-disk description
+// (the inverse of ParseJSON).
+func (q *Query) MarshalJSON() ([]byte, error) {
+	spec := jsonSpec{Window: q.WindowTicks}
+	for _, s := range q.Streams {
+		spec.Streams = append(spec.Streams, jsonStream{Name: s.Name, Arity: s.Arity})
+	}
+	for _, p := range q.Preds {
+		spec.Predicates = append(spec.Predicates, jsonPred{
+			Left: p.Left, LeftAttr: p.LeftAttr, Right: p.Right, RightAttr: p.RightAttr})
+	}
+	for _, f := range q.Filters {
+		spec.Filters = append(spec.Filters, jsonFilter{
+			Stream: f.Stream, Attr: f.Attr, Op: f.Op.String(), Value: f.Value})
+	}
+	return json.MarshalIndent(spec, "", "  ")
+}

@@ -1,0 +1,72 @@
+package query
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseJSONRoundTrip(t *testing.T) {
+	q := FourWay(60)
+	if err := q.AddFilter(Filter{Stream: 0, Attr: 1, Op: OpLt, Value: 100}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := q.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseJSON(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumStreams() != 4 || len(back.Preds) != 6 || back.WindowTicks != 60 {
+		t.Fatalf("round trip shape wrong: %d streams %d preds window %d",
+			back.NumStreams(), len(back.Preds), back.WindowTicks)
+	}
+	if len(back.Filters) != 1 || back.Filters[0].Op != OpLt || back.Filters[0].Value != 100 {
+		t.Fatalf("filters lost: %+v", back.Filters)
+	}
+	for s := range back.States {
+		if back.States[s].NumAttrs() != q.States[s].NumAttrs() {
+			t.Fatalf("state %d JAS changed", s)
+		}
+	}
+}
+
+func TestParseJSONErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`{`,
+		`{"streams": [], "predicates": [], "window": 10}`,                // no streams
+		`{"streams": [{"name":"A","arity":1}], "window": 0}`,             // zero window
+		`{"streams": [{"name":"A","arity":1}], "window": 5, "bogus": 1}`, // unknown field
+		`{"streams": [{"name":"A","arity":1},{"name":"B","arity":1}],
+		  "predicates": [{"left":0,"leftAttr":0,"right":9,"rightAttr":0}], "window": 5}`, // bad stream ref
+		`{"streams": [{"name":"A","arity":1},{"name":"B","arity":1}],
+		  "predicates": [{"left":0,"leftAttr":0,"right":1,"rightAttr":0}],
+		  "filters": [{"stream":0,"attr":0,"op":"~","value":1}], "window": 5}`, // bad op
+	}
+	for _, c := range cases {
+		if _, err := ParseJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("spec %q should fail", c)
+		}
+	}
+}
+
+func TestParseJSONMinimal(t *testing.T) {
+	const spec = `{
+	  "streams": [{"name": "L", "arity": 2}, {"name": "R", "arity": 1}],
+	  "predicates": [{"left": 0, "leftAttr": 1, "right": 1, "rightAttr": 0}],
+	  "window": 30
+	}`
+	q, err := ParseJSON(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.States[0].NumAttrs() != 1 || q.States[1].NumAttrs() != 1 {
+		t.Fatal("JAS derivation wrong")
+	}
+	if len(q.Filters) != 0 {
+		t.Fatal("unexpected filters")
+	}
+}

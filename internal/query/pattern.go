@@ -1,0 +1,166 @@
+// Package query models SPJ (select-project-join) stream queries the way the
+// paper's Section II defines them: streams, equality join predicates, the
+// per-state join attribute set (JAS), and search access patterns over that
+// set, including the search-benefit lattice that Dependent Index Assessment
+// exploits.
+package query
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Pattern is a search access pattern over a state's join attribute set,
+// encoded as a bitmask: bit i is set when JAS attribute i is constrained by
+// the search request, clear when it is the wild card *. The integer value of
+// the mask is exactly the paper's binary representation BR(ap), so a Pattern
+// doubles as its own hash-table key.
+//
+// The zero Pattern is the full scan <*,*,...,*>.
+type Pattern uint32
+
+// MaxAttrs is the largest join attribute set a single state may carry. The
+// paper's experiments use 3; 32 leaves generous room while keeping Pattern a
+// single machine word.
+const MaxAttrs = 32
+
+// PatternOf builds a pattern from the listed attribute positions.
+func PatternOf(attrs ...int) Pattern {
+	var p Pattern
+	for _, a := range attrs {
+		p = p.With(a)
+	}
+	return p
+}
+
+// FullPattern returns the pattern constraining all n attributes.
+func FullPattern(n int) Pattern {
+	if n >= MaxAttrs {
+		return Pattern(^uint32(0))
+	}
+	return Pattern(1)<<uint(n) - 1
+}
+
+// Has reports whether attribute i is constrained.
+func (p Pattern) Has(i int) bool { return p&(1<<uint(i)) != 0 }
+
+// With returns p with attribute i constrained.
+func (p Pattern) With(i int) Pattern { return p | 1<<uint(i) }
+
+// Without returns p with attribute i wild.
+func (p Pattern) Without(i int) Pattern { return p &^ (1 << uint(i)) }
+
+// Count returns the number of constrained attributes (the lattice level,
+// counting the empty pattern as level 0 at the top).
+func (p Pattern) Count() int { return bits.OnesCount32(uint32(p)) }
+
+// BR returns the paper's binary representation of the pattern as an integer.
+func (p Pattern) BR() uint32 { return uint32(p) }
+
+// Benefits reports the paper's search-benefit relation p ≺ q: an index
+// built on p's attributes benefits a search using q iff every attribute in
+// p also appears in q. Every pattern benefits itself.
+func (p Pattern) Benefits(q Pattern) bool { return p&q == p }
+
+// ProperBenefits reports p ≺ q with p ≠ q.
+func (p Pattern) ProperBenefits(q Pattern) bool { return p != q && p.Benefits(q) }
+
+// Parents returns the lattice parents of p: each pattern obtained by
+// removing exactly one constrained attribute. The empty pattern has no
+// parents (it is the lattice top). Results are appended to dst to let
+// callers reuse buffers.
+func (p Pattern) Parents(dst []Pattern) []Pattern {
+	for m := uint32(p); m != 0; m &= m - 1 {
+		low := m & -m
+		dst = append(dst, p&^Pattern(low))
+	}
+	return dst
+}
+
+// Children returns the lattice children of p within a JAS of n attributes:
+// each pattern obtained by adding one attribute not yet constrained.
+func (p Pattern) Children(n int, dst []Pattern) []Pattern {
+	for i := 0; i < n; i++ {
+		if !p.Has(i) {
+			dst = append(dst, p.With(i))
+		}
+	}
+	return dst
+}
+
+// String renders the pattern in the paper's vector notation using letters
+// A, B, C, ... for constrained attributes and * for wild ones, sized by the
+// highest constrained attribute (use StringN for an explicit width).
+func (p Pattern) String() string {
+	n := 32 - bits.LeadingZeros32(uint32(p))
+	if n == 0 {
+		n = 1
+	}
+	return p.StringN(n)
+}
+
+// StringN renders the pattern as an n-ary vector, e.g. <A,*,C>.
+func (p Pattern) StringN(n int) string {
+	var b strings.Builder
+	b.WriteByte('<')
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if p.Has(i) {
+			if i < 26 {
+				b.WriteByte(byte('A' + i))
+			} else {
+				fmt.Fprintf(&b, "a%d", i)
+			}
+		} else {
+			b.WriteByte('*')
+		}
+	}
+	b.WriteByte('>')
+	return b.String()
+}
+
+// ParsePattern parses the vector notation produced by StringN: letters (or
+// any non-* token) mark constrained positions, * marks wild ones. The
+// surrounding angle brackets are optional.
+func ParsePattern(s string) (Pattern, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "<")
+	s = strings.TrimSuffix(s, ">")
+	if s == "" {
+		return 0, fmt.Errorf("query: empty pattern %q", s)
+	}
+	var p Pattern
+	parts := strings.Split(s, ",")
+	if len(parts) > MaxAttrs {
+		return 0, fmt.Errorf("query: pattern %q exceeds %d attributes", s, MaxAttrs)
+	}
+	for i, tok := range parts {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			return 0, fmt.Errorf("query: empty position %d in pattern %q", i, s)
+		}
+		if tok != "*" {
+			p = p.With(i)
+		}
+	}
+	return p, nil
+}
+
+// AllPatterns calls fn for every pattern over n attributes, including the
+// empty (full-scan) pattern, in increasing BR order. It stops early if fn
+// returns false.
+func AllPatterns(n int, fn func(Pattern) bool) {
+	total := uint32(1) << uint(n)
+	for v := uint32(0); v < total; v++ {
+		if !fn(Pattern(v)) {
+			return
+		}
+	}
+}
+
+// NumPatterns returns the number of non-empty access patterns over n join
+// attributes: sum over k=1..n of C(n,k) = 2^n - 1, matching Section IV-B.
+func NumPatterns(n int) int { return 1<<uint(n) - 1 }

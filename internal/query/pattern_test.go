@@ -1,0 +1,244 @@
+package query
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPatternOfAndHas(t *testing.T) {
+	p := PatternOf(0, 2)
+	if !p.Has(0) || p.Has(1) || !p.Has(2) {
+		t.Fatalf("PatternOf(0,2) membership wrong: %b", p)
+	}
+	if p.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", p.Count())
+	}
+}
+
+func TestBRMatchesPaper(t *testing.T) {
+	// Section IV-C1: with JAS {A,B,C}, ap <A,*,*> has BR 100b = 4 and
+	// <*,B,C> has BR 011b = 3. The paper writes the vector left-to-right
+	// with A as the high bit; our bit 0 is attribute A, so BR(<A,*,*>)
+	// is 1 and BR(<*,B,C>) is 6. The encoding differs only by bit order;
+	// what matters (and what we pin here) is that distinct patterns get
+	// distinct small integers usable as direct table keys.
+	a := PatternOf(0)     // <A,*,*>
+	bc := PatternOf(1, 2) // <*,B,C>
+	if a.BR() == bc.BR() {
+		t.Fatal("distinct patterns share a BR")
+	}
+	if a.BR() != 1 || bc.BR() != 6 {
+		t.Fatalf("BR values drifted: a=%d bc=%d", a.BR(), bc.BR())
+	}
+}
+
+func TestFullPattern(t *testing.T) {
+	if FullPattern(3) != PatternOf(0, 1, 2) {
+		t.Fatalf("FullPattern(3) = %b", FullPattern(3))
+	}
+	if FullPattern(0) != 0 {
+		t.Fatalf("FullPattern(0) = %b", FullPattern(0))
+	}
+}
+
+func TestWithWithout(t *testing.T) {
+	p := Pattern(0).With(1).With(3)
+	if p != PatternOf(1, 3) {
+		t.Fatalf("With chain = %b", p)
+	}
+	if p.Without(1) != PatternOf(3) {
+		t.Fatalf("Without = %b", p.Without(1))
+	}
+	if p.Without(2) != p {
+		t.Fatal("Without of absent attribute must be identity")
+	}
+}
+
+func TestBenefits(t *testing.T) {
+	// Definition 1: ap1 ≺ ap2 iff every attribute of ap1 is in ap2.
+	a := PatternOf(0)
+	ab := PatternOf(0, 1)
+	bc := PatternOf(1, 2)
+	cases := []struct {
+		p, q Pattern
+		want bool
+	}{
+		{a, ab, true},
+		{ab, a, false},
+		{a, a, true},
+		{Pattern(0), bc, true}, // full scan benefits everything
+		{a, bc, false},
+		{ab, bc, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Benefits(c.q); got != c.want {
+			t.Errorf("%v.Benefits(%v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+	if a.ProperBenefits(a) {
+		t.Error("ProperBenefits must exclude equality")
+	}
+	if !a.ProperBenefits(ab) {
+		t.Error("a should properly benefit ab")
+	}
+}
+
+func TestParentsAndChildren(t *testing.T) {
+	p := PatternOf(0, 2)
+	parents := p.Parents(nil)
+	if len(parents) != 2 {
+		t.Fatalf("got %d parents, want 2", len(parents))
+	}
+	want := map[Pattern]bool{PatternOf(0): true, PatternOf(2): true}
+	for _, pa := range parents {
+		if !want[pa] {
+			t.Errorf("unexpected parent %v", pa)
+		}
+	}
+	if got := Pattern(0).Parents(nil); len(got) != 0 {
+		t.Fatalf("empty pattern must have no parents, got %v", got)
+	}
+
+	kids := PatternOf(0).Children(3, nil)
+	if len(kids) != 2 {
+		t.Fatalf("got %d children, want 2", len(kids))
+	}
+	wantKids := map[Pattern]bool{PatternOf(0, 1): true, PatternOf(0, 2): true}
+	for _, k := range kids {
+		if !wantKids[k] {
+			t.Errorf("unexpected child %v", k)
+		}
+	}
+}
+
+func TestStringAndParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		p Pattern
+		n int
+		s string
+	}{
+		{PatternOf(0), 3, "<A,*,*>"},
+		{PatternOf(1, 2), 3, "<*,B,C>"},
+		{PatternOf(0, 1, 2), 3, "<A,B,C>"},
+		{Pattern(0), 3, "<*,*,*>"},
+	}
+	for _, c := range cases {
+		if got := c.p.StringN(c.n); got != c.s {
+			t.Errorf("StringN(%d) = %q, want %q", c.n, got, c.s)
+		}
+		back, err := ParsePattern(c.s)
+		if err != nil {
+			t.Fatalf("ParsePattern(%q): %v", c.s, err)
+		}
+		if back != c.p {
+			t.Errorf("round trip %q -> %v, want %v", c.s, back, c.p)
+		}
+	}
+}
+
+func TestParsePatternErrors(t *testing.T) {
+	for _, bad := range []string{"", "<>", "<A,,B>"} {
+		if _, err := ParsePattern(bad); err == nil {
+			t.Errorf("ParsePattern(%q) should fail", bad)
+		}
+	}
+}
+
+func TestAllPatternsAndCount(t *testing.T) {
+	var got []Pattern
+	AllPatterns(3, func(p Pattern) bool {
+		got = append(got, p)
+		return true
+	})
+	if len(got) != 8 {
+		t.Fatalf("AllPatterns(3) visited %d, want 8", len(got))
+	}
+	// NumPatterns excludes the empty pattern: 2^n - 1.
+	if NumPatterns(3) != 7 {
+		t.Fatalf("NumPatterns(3) = %d, want 7", NumPatterns(3))
+	}
+	// Early stop.
+	n := 0
+	AllPatterns(3, func(Pattern) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d, want 3", n)
+	}
+}
+
+// Property: Benefits is a partial order — reflexive, antisymmetric,
+// transitive.
+func TestBenefitsIsPartialOrder(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		p, q, r := Pattern(a), Pattern(b), Pattern(c)
+		if !p.Benefits(p) {
+			return false
+		}
+		if p.Benefits(q) && q.Benefits(p) && p != q {
+			return false
+		}
+		if p.Benefits(q) && q.Benefits(r) && !p.Benefits(r) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every parent has exactly one fewer attribute and benefits the
+// child; the number of parents equals the child's level.
+func TestParentsProperties(t *testing.T) {
+	f := func(a uint16) bool {
+		p := Pattern(a)
+		parents := p.Parents(nil)
+		if len(parents) != p.Count() {
+			return false
+		}
+		for _, pa := range parents {
+			if pa.Count() != p.Count()-1 || !pa.ProperBenefits(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Children within n attributes inverts Parents.
+func TestChildrenInverseOfParents(t *testing.T) {
+	const n = 6
+	f := func(a uint8) bool {
+		p := Pattern(a) & FullPattern(n)
+		for _, c := range p.Children(n, nil) {
+			found := false
+			for _, back := range c.Parents(nil) {
+				if back == p {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: String/Parse round-trips for any pattern width ≤ 8.
+func TestStringParseProperty(t *testing.T) {
+	f := func(a uint8) bool {
+		p := Pattern(a)
+		s := p.StringN(8)
+		back, err := ParsePattern(s)
+		return err == nil && back == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

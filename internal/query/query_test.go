@@ -1,0 +1,270 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompileValidation(t *testing.T) {
+	streams := []StreamSpec{{Name: "A", Arity: 2}, {Name: "B", Arity: 2}}
+	ok := []Predicate{{Left: 0, LeftAttr: 0, Right: 1, RightAttr: 1}}
+
+	if _, err := Compile(nil, nil, 10); err == nil {
+		t.Error("no streams should fail")
+	}
+	if _, err := Compile(streams, ok, 0); err == nil {
+		t.Error("zero window should fail")
+	}
+	if _, err := Compile(streams, []Predicate{{Left: 0, LeftAttr: 0, Right: 5, RightAttr: 0}}, 10); err == nil {
+		t.Error("unknown stream should fail")
+	}
+	if _, err := Compile(streams, []Predicate{{Left: 0, LeftAttr: 0, Right: 0, RightAttr: 1}}, 10); err == nil {
+		t.Error("self join should fail")
+	}
+	if _, err := Compile(streams, []Predicate{{Left: 0, LeftAttr: 7, Right: 1, RightAttr: 0}}, 10); err == nil {
+		t.Error("bad left attribute should fail")
+	}
+	if _, err := Compile(streams, []Predicate{{Left: 0, LeftAttr: 0, Right: 1, RightAttr: 9}}, 10); err == nil {
+		t.Error("bad right attribute should fail")
+	}
+	dup := []Predicate{
+		{Left: 0, LeftAttr: 0, Right: 1, RightAttr: 0},
+		{Left: 1, LeftAttr: 1, Right: 0, RightAttr: 1},
+	}
+	if _, err := Compile(streams, dup, 10); err == nil {
+		t.Error("duplicate stream pair should fail")
+	}
+	if _, err := Compile(streams, ok, 10); err != nil {
+		t.Errorf("valid query failed: %v", err)
+	}
+}
+
+func TestFourWayShape(t *testing.T) {
+	q := FourWay(60)
+	if q.NumStreams() != 4 {
+		t.Fatalf("NumStreams = %d, want 4", q.NumStreams())
+	}
+	if len(q.Preds) != 6 {
+		t.Fatalf("predicates = %d, want 6 (all pairs)", len(q.Preds))
+	}
+	for s, spec := range q.States {
+		if spec.NumAttrs() != 3 {
+			t.Fatalf("state %d has %d join attrs, want 3", s, spec.NumAttrs())
+		}
+		if NumPatterns(spec.NumAttrs()) != 7 {
+			t.Fatalf("state %d: want 7 possible access patterns", s)
+		}
+		// Each state must join every other stream exactly once.
+		for p := 0; p < 4; p++ {
+			if p == s {
+				continue
+			}
+			if _, ok := spec.PosForPartner(p); !ok {
+				t.Errorf("state %d missing partner %d", s, p)
+			}
+		}
+		if _, ok := spec.PosForPartner(s); ok {
+			t.Errorf("state %d should not partner itself", s)
+		}
+	}
+}
+
+func TestFourWayPredicatesAreConsistent(t *testing.T) {
+	// The predicate attribute positions must agree with the JAS derivation:
+	// probing state R with a tuple from L must use the JAS position whose
+	// partner is L and whose PartnerAttr is L's side of the predicate.
+	q := FourWay(60)
+	for _, p := range q.Preds {
+		right := q.States[p.Right]
+		pos, ok := right.PosForPartner(p.Left)
+		if !ok {
+			t.Fatalf("state %d lacks partner %d", p.Right, p.Left)
+		}
+		ja := right.JAS[pos]
+		if ja.Attr != p.RightAttr || ja.PartnerAttr != p.LeftAttr {
+			t.Errorf("pred %v: JAS entry %+v mismatched", p, ja)
+		}
+	}
+}
+
+func TestPatternForDone(t *testing.T) {
+	q := FourWay(60)
+	// Probe into state 2 (StreamC) with only stream 0 covered: pattern has
+	// exactly the one bit whose partner is stream 0.
+	spec := q.States[2]
+	p := spec.PatternForDone(1 << 0)
+	if p.Count() != 1 {
+		t.Fatalf("pattern = %v, want exactly one attribute", p)
+	}
+	pos, _ := spec.PosForPartner(0)
+	if !p.Has(pos) {
+		t.Fatalf("pattern %v missing partner-0 position %d", p, pos)
+	}
+
+	// Streams 0 and 1 covered: two attributes.
+	p2 := spec.PatternForDone(1<<0 | 1<<1)
+	if p2.Count() != 2 {
+		t.Fatalf("pattern = %v, want two attributes", p2)
+	}
+	if !p.Benefits(p2) {
+		t.Fatal("growing coverage must grow the pattern monotonically")
+	}
+
+	// All other streams covered: the full pattern.
+	p3 := spec.PatternForDone(1<<0 | 1<<1 | 1<<3)
+	if p3 != FullPattern(3) {
+		t.Fatalf("pattern = %v, want full", p3)
+	}
+
+	// Own stream in the mask is ignored.
+	if spec.PatternForDone(1<<2) != 0 {
+		t.Fatal("own stream must not constrain anything")
+	}
+}
+
+func TestAllDoneMask(t *testing.T) {
+	q := FourWay(60)
+	if q.AllDoneMask() != 0b1111 {
+		t.Fatalf("AllDoneMask = %b", q.AllDoneMask())
+	}
+}
+
+func TestPackageTrackingShape(t *testing.T) {
+	q := PackageTracking(60)
+	spec := q.States[0]
+	if spec.NumAttrs() != 3 {
+		t.Fatalf("sensor state has %d join attrs, want 3", spec.NumAttrs())
+	}
+	// Attributes must appear in tuple-position order A1, A2, A3.
+	for i, ja := range spec.JAS {
+		if ja.Attr != i {
+			t.Errorf("JAS[%d].Attr = %d, want %d", i, ja.Attr, i)
+		}
+	}
+}
+
+func TestPredicateString(t *testing.T) {
+	s := Predicate{Left: 0, LeftAttr: 1, Right: 2, RightAttr: 0}.String()
+	if !strings.Contains(s, "S0.a1") || !strings.Contains(s, "S2.a0") {
+		t.Errorf("Predicate.String() = %q", s)
+	}
+}
+
+func TestChainShape(t *testing.T) {
+	q := Chain(4, 60)
+	if q.NumStreams() != 4 || len(q.Preds) != 3 {
+		t.Fatalf("chain shape: %d streams, %d preds", q.NumStreams(), len(q.Preds))
+	}
+	if q.States[0].NumAttrs() != 1 || q.States[3].NumAttrs() != 1 {
+		t.Fatal("chain ends must have one join attribute")
+	}
+	if q.States[1].NumAttrs() != 2 || q.States[2].NumAttrs() != 2 {
+		t.Fatal("chain middles must have two join attributes")
+	}
+	// Middles join both neighbours.
+	if _, ok := q.States[1].PosForPartner(0); !ok {
+		t.Fatal("middle must join left neighbour")
+	}
+	if _, ok := q.States[1].PosForPartner(2); !ok {
+		t.Fatal("middle must join right neighbour")
+	}
+	if _, ok := q.States[1].PosForPartner(3); ok {
+		t.Fatal("chain middles must not join non-neighbours")
+	}
+}
+
+func TestStarShape(t *testing.T) {
+	q := Star(5, 60)
+	if q.NumStreams() != 5 || len(q.Preds) != 4 {
+		t.Fatalf("star shape: %d streams, %d preds", q.NumStreams(), len(q.Preds))
+	}
+	if q.States[0].NumAttrs() != 4 {
+		t.Fatalf("hub has %d join attrs, want 4", q.States[0].NumAttrs())
+	}
+	if NumPatterns(q.States[0].NumAttrs()) != 15 {
+		t.Fatal("hub should support 15 access patterns")
+	}
+	for s := 1; s < 5; s++ {
+		if q.States[s].NumAttrs() != 1 {
+			t.Fatalf("satellite %d has %d join attrs", s, q.States[s].NumAttrs())
+		}
+		if _, ok := q.States[s].PosForPartner(0); !ok {
+			t.Fatalf("satellite %d must join the hub", s)
+		}
+	}
+	// Satellites are not joined to each other: probing one with only
+	// another satellite covered yields the empty pattern (cartesian).
+	if q.States[2].PatternForDone(1<<1) != 0 {
+		t.Fatal("satellites must not be joined to each other")
+	}
+}
+
+func TestChainStarPanicOnTooFew(t *testing.T) {
+	for _, f := range []func(){func() { Chain(1, 10) }, func() { Star(1, 10) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for n < 2")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFiltersValidateAndApply(t *testing.T) {
+	q := FourWay(60)
+	if err := q.AddFilter(Filter{Stream: 9, Attr: 0, Op: OpEq, Value: 1}); err == nil {
+		t.Error("unknown stream should fail")
+	}
+	if err := q.AddFilter(Filter{Stream: 0, Attr: 9, Op: OpEq, Value: 1}); err == nil {
+		t.Error("bad attribute should fail")
+	}
+	if err := q.AddFilter(Filter{Stream: 0, Attr: 0, Op: CmpOp(99), Value: 1}); err == nil {
+		t.Error("bad operator should fail")
+	}
+	if err := q.AddFilter(Filter{Stream: 0, Attr: 0, Op: OpLt, Value: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if q.FilterCount(0) != 1 || q.FilterCount(1) != 0 {
+		t.Fatal("FilterCount wrong")
+	}
+	pass := &tupleLike{stream: 0, attrs: []uint64{5, 0, 0}}
+	fail := &tupleLike{stream: 0, attrs: []uint64{15, 0, 0}}
+	other := &tupleLike{stream: 1, attrs: []uint64{15, 0, 0}}
+	if !q.Accepts(pass.tuple()) || q.Accepts(fail.tuple()) || !q.Accepts(other.tuple()) {
+		t.Fatal("filter application wrong")
+	}
+}
+
+func TestCmpOps(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		v    uint64
+		want bool
+	}{
+		{OpEq, 10, true}, {OpEq, 9, false},
+		{OpNe, 9, true}, {OpNe, 10, false},
+		{OpLt, 9, true}, {OpLt, 10, false},
+		{OpLe, 10, true}, {OpLe, 11, false},
+		{OpGt, 11, true}, {OpGt, 10, false},
+		{OpGe, 10, true}, {OpGe, 9, false},
+	}
+	for _, c := range cases {
+		f := Filter{Stream: 0, Attr: 0, Op: c.op, Value: 10}
+		got := f.Matches((&tupleLike{stream: 0, attrs: []uint64{c.v}}).tuple())
+		if got != c.want {
+			t.Errorf("%d %s 10 = %v, want %v", c.v, c.op, got, c.want)
+		}
+	}
+	// Operator parsing round trip.
+	for _, op := range []CmpOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe} {
+		back, err := ParseCmpOp(op.String())
+		if err != nil || back != op {
+			t.Errorf("ParseCmpOp(%s) = %v, %v", op, back, err)
+		}
+	}
+	if _, err := ParseCmpOp("~"); err == nil {
+		t.Error("bad op should fail to parse")
+	}
+}

@@ -1,0 +1,148 @@
+package router
+
+import "math/rand/v2"
+
+// ContentRouter implements content-based routing (Bizarro et al., VLDB 2005
+// — the paper's reference [4]): where the base Router keeps one selectivity
+// estimate per stream pair, the content router keeps estimates per *value
+// region*, because under skew the same predicate can be cheap for cold
+// values and explosive for hot ones. Routing decisions then depend on the
+// composite's actual attribute values.
+type ContentRouter struct {
+	n       int
+	buckets int
+	explore float64
+	rng     *rand.Rand
+
+	// agg[i][j] is the aggregate (value-independent) estimate, the
+	// fallback while a value region has little evidence.
+	agg [][]float64
+	// sel[i][j][b] is the region estimate, weight[i][j][b] its evidence.
+	sel    [][][]float64
+	weight [][][]float64
+	alpha  float64
+
+	decisions uint64
+	explored  uint64
+}
+
+// shrinkK is the shrinkage prior weight: a value region's estimate is
+// blended with the aggregate as (w·region + K·agg)/(w + K), so sparse or
+// stale regions lean on the aggregate instead of overriding it with noise.
+const shrinkK = 20.0
+
+// NewContent builds a content router over n streams with the given number
+// of value regions per pair.
+func NewContent(n, buckets int, explore float64, seed uint64) *ContentRouter {
+	r := &ContentRouter{
+		n:       n,
+		buckets: buckets,
+		explore: explore,
+		rng:     rand.New(rand.NewPCG(seed, seed^0x6c62272e07bb0142)),
+		alpha:   DefaultAlpha,
+	}
+	r.agg = make([][]float64, n)
+	r.sel = make([][][]float64, n)
+	r.weight = make([][][]float64, n)
+	for i := 0; i < n; i++ {
+		r.agg[i] = make([]float64, n)
+		r.sel[i] = make([][]float64, n)
+		r.weight[i] = make([][]float64, n)
+		for j := 0; j < n; j++ {
+			r.agg[i][j] = 0.01
+			r.sel[i][j] = make([]float64, buckets)
+			r.weight[i][j] = make([]float64, buckets)
+			for b := range r.sel[i][j] {
+				r.sel[i][j][b] = 0.01
+			}
+		}
+	}
+	return r
+}
+
+// region maps a join value to its estimate bucket.
+func (r *ContentRouter) region(v uint64) int {
+	x := v
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return int(x % uint64(r.buckets))
+}
+
+// selFor returns the best available estimate for probing state j from
+// stream i with the given value.
+func (r *ContentRouter) selFor(i, j int, v uint64, haveValue bool) float64 {
+	if !haveValue {
+		return r.agg[i][j]
+	}
+	b := r.region(v)
+	w := r.weight[i][j][b]
+	return (w*r.sel[i][j][b] + shrinkK*r.agg[i][j]) / (w + shrinkK)
+}
+
+// Next picks the state a composite with the given coverage probes next.
+// valueOf supplies, for a covered stream i and candidate state j, the value
+// the probe would use on their predicate (ok=false when no predicate links
+// them or the value is unknown).
+func (r *ContentRouter) Next(doneMask uint32, stateLens []int, valueOf func(i, j int) (uint64, bool)) int {
+	r.decisions++
+	var remaining []int
+	for j := 0; j < r.n; j++ {
+		if doneMask&(1<<uint(j)) == 0 {
+			remaining = append(remaining, j)
+		}
+	}
+	if len(remaining) == 0 {
+		return -1
+	}
+	if len(remaining) > 1 && r.explore > 0 && r.rng.Float64() < r.explore {
+		r.explored++
+		return remaining[r.rng.IntN(len(remaining))]
+	}
+	best, bestScore := remaining[0], 0.0
+	for k, j := range remaining {
+		score := float64(stateLens[j])
+		for i := 0; i < r.n; i++ {
+			if doneMask&(1<<uint(i)) == 0 {
+				continue
+			}
+			v, ok := valueOf(i, j)
+			score *= r.selFor(i, j, v, ok)
+		}
+		if k == 0 || score < bestScore {
+			best, bestScore = j, score
+		}
+	}
+	return best
+}
+
+// Observe feeds one clean single-predicate observation with the probing
+// value: both the aggregate and the value-region estimates update.
+func (r *ContentRouter) Observe(i, j int, v uint64, matches, stateLen int) {
+	if stateLen == 0 {
+		return
+	}
+	obs := float64(matches) / float64(stateLen)
+	r.agg[i][j] = (1-r.alpha)*r.agg[i][j] + r.alpha*obs
+	r.agg[j][i] = r.agg[i][j]
+	b := r.region(v)
+	r.sel[i][j][b] = (1-r.alpha)*r.sel[i][j][b] + r.alpha*obs
+	r.sel[j][i][b] = r.sel[i][j][b]
+	// Evidence ages: every observation of the pair slightly decays all of
+	// its regions' weights, so regions unvisited since a drift epoch fade
+	// back toward the aggregate instead of voting with stale estimates.
+	for k := range r.weight[i][j] {
+		r.weight[i][j][k] *= 0.995
+		r.weight[j][i][k] = r.weight[i][j][k]
+	}
+	if r.weight[i][j][b] < 200 {
+		r.weight[i][j][b]++
+		r.weight[j][i][b] = r.weight[i][j][b]
+	}
+}
+
+// SetExplore changes the exploration rate.
+func (r *ContentRouter) SetExplore(rate float64) { r.explore = rate }
+
+// Decisions returns total and exploratory decision counts.
+func (r *ContentRouter) Decisions() (total, explored uint64) { return r.decisions, r.explored }

@@ -1,0 +1,124 @@
+// Package router implements the adaptive multi-route (Eddy-style) routing
+// operator: for each composite it picks which state to probe next from
+// continuously updated join selectivity estimates, and periodically sends
+// work along suboptimal routes to keep those estimates fresh — the paper's
+// "router sends search requests to suboptimal operators to update system
+// statistics", which is also the source of the low-frequency access
+// patterns the assessment methods must cope with.
+package router
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Router routes composites through the join states of one query.
+type Router struct {
+	n       int
+	explore float64
+	rng     *rand.Rand
+
+	// sel[i][j] estimates the probability that a tuple pair from streams
+	// i and j matches their join predicate (EMA over clean observations).
+	sel   [][]float64
+	alpha float64
+
+	decisions uint64
+	explored  uint64
+}
+
+// DefaultAlpha is the EMA smoothing factor for selectivity estimates.
+const DefaultAlpha = 0.1
+
+// New builds a router over n streams. explore is the probability a routing
+// decision deliberately deviates from the greedy choice; seed fixes the
+// exploration schedule.
+func New(n int, explore float64, seed uint64) *Router {
+	r := &Router{
+		n:       n,
+		explore: explore,
+		rng:     rand.New(rand.NewPCG(seed, seed^0x5bf03635)),
+		alpha:   DefaultAlpha,
+		sel:     make([][]float64, n),
+	}
+	for i := range r.sel {
+		r.sel[i] = make([]float64, n)
+		for j := range r.sel[i] {
+			r.sel[i][j] = 0.01 // optimistic prior; refined by observation
+		}
+	}
+	return r
+}
+
+// Next picks the state a composite with the given coverage probes next.
+// stateLens supplies the current size of every state. The greedy choice
+// minimizes expected fan-out — |state_j| × Π selectivities toward j — the
+// lottery-style criterion Eddy variants converge to; with probability
+// explore a uniformly random remaining state is used instead.
+func (r *Router) Next(doneMask uint32, stateLens []int) int {
+	r.decisions++
+	var remaining []int
+	for j := 0; j < r.n; j++ {
+		if doneMask&(1<<uint(j)) == 0 {
+			remaining = append(remaining, j)
+		}
+	}
+	if len(remaining) == 0 {
+		return -1
+	}
+	if len(remaining) > 1 && r.explore > 0 && r.rng.Float64() < r.explore {
+		r.explored++
+		return remaining[r.rng.IntN(len(remaining))]
+	}
+	best, bestScore := remaining[0], 0.0
+	for k, j := range remaining {
+		score := float64(stateLens[j])
+		for i := 0; i < r.n; i++ {
+			if doneMask&(1<<uint(i)) != 0 {
+				score *= r.sel[i][j]
+			}
+		}
+		if k == 0 || score < bestScore {
+			best, bestScore = j, score
+		}
+	}
+	return best
+}
+
+// ObservePair feeds one clean single-predicate observation: a probe from a
+// lone stream-i tuple into state j met stateLen stored tuples and matched
+// matches of them.
+func (r *Router) ObservePair(i, j int, matches, stateLen int) {
+	if stateLen == 0 {
+		return
+	}
+	obs := float64(matches) / float64(stateLen)
+	r.sel[i][j] = (1-r.alpha)*r.sel[i][j] + r.alpha*obs
+	r.sel[j][i] = r.sel[i][j]
+}
+
+// Selectivity returns the current estimate for the (i,j) predicate.
+func (r *Router) Selectivity(i, j int) float64 { return r.sel[i][j] }
+
+// SetExplore changes the exploration rate. AMR routers re-explore heavily
+// right after the environment shifts (their estimates are stale) and settle
+// down once refreshed; the engine drives this per drift epoch.
+func (r *Router) SetExplore(rate float64) { r.explore = rate }
+
+// Explore returns the current exploration rate.
+func (r *Router) Explore() float64 { return r.explore }
+
+// Decisions returns how many routing choices were made and how many of
+// them were exploratory.
+func (r *Router) Decisions() (total, explored uint64) { return r.decisions, r.explored }
+
+// String summarizes the estimate matrix.
+func (r *Router) String() string {
+	s := "Router{"
+	for i := 0; i < r.n; i++ {
+		for j := i + 1; j < r.n; j++ {
+			s += fmt.Sprintf(" σ(%d,%d)=%.2g", i, j, r.sel[i][j])
+		}
+	}
+	return s + " }"
+}

@@ -1,0 +1,136 @@
+package router
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNextPrefersSelectiveState(t *testing.T) {
+	r := New(4, 0, 1) // no exploration
+	lens := []int{1000, 1000, 1000, 1000}
+	// Coverage = {0}. Make pair (0,2) far more selective than (0,1),(0,3).
+	r.ObservePair(0, 1, 100, 1000) // sel 0.1-ish after EMA
+	r.ObservePair(0, 3, 100, 1000)
+	for i := 0; i < 50; i++ { // drive (0,2) down hard
+		r.ObservePair(0, 2, 0, 1000)
+	}
+	if got := r.Next(1<<0, lens); got != 2 {
+		t.Fatalf("Next = %d, want 2 (most selective)", got)
+	}
+}
+
+func TestNextSkipsCoveredStates(t *testing.T) {
+	r := New(4, 0, 1)
+	lens := []int{10, 10, 10, 10}
+	done := uint32(1<<0 | 1<<1 | 1<<2)
+	if got := r.Next(done, lens); got != 3 {
+		t.Fatalf("Next = %d, want the only remaining state 3", got)
+	}
+	if got := r.Next(0b1111, lens); got != -1 {
+		t.Fatalf("Next with full coverage = %d, want -1", got)
+	}
+}
+
+func TestExplorationHappensAtConfiguredRate(t *testing.T) {
+	r := New(4, 0.2, 7)
+	lens := []int{100, 100, 100, 100}
+	for i := 0; i < 5000; i++ {
+		r.Next(1<<0, lens)
+	}
+	total, explored := r.Decisions()
+	if total != 5000 {
+		t.Fatalf("decisions = %d", total)
+	}
+	frac := float64(explored) / float64(total)
+	if frac < 0.15 || frac > 0.25 {
+		t.Fatalf("explored fraction = %g, want ~0.2", frac)
+	}
+}
+
+func TestNoExplorationWithSingleCandidate(t *testing.T) {
+	r := New(2, 1.0, 3) // explore always — but only one choice exists
+	if got := r.Next(1<<0, []int{5, 5}); got != 1 {
+		t.Fatalf("Next = %d", got)
+	}
+	_, explored := r.Decisions()
+	if explored != 0 {
+		t.Fatal("single-candidate decisions must not count as exploration")
+	}
+}
+
+func TestObservePairSymmetric(t *testing.T) {
+	r := New(3, 0, 1)
+	r.ObservePair(0, 2, 500, 1000)
+	if r.Selectivity(0, 2) != r.Selectivity(2, 0) {
+		t.Fatal("selectivity must be symmetric")
+	}
+	if r.Selectivity(0, 2) <= 0.01 {
+		t.Fatal("EMA should have moved toward the observation")
+	}
+	// Zero-length state observations are ignored.
+	before := r.Selectivity(0, 1)
+	r.ObservePair(0, 1, 5, 0)
+	if r.Selectivity(0, 1) != before {
+		t.Fatal("zero-length observation should be ignored")
+	}
+}
+
+func TestEMAConvergesAndAdapts(t *testing.T) {
+	r := New(2, 0, 1)
+	for i := 0; i < 200; i++ {
+		r.ObservePair(0, 1, 250, 1000)
+	}
+	if got := r.Selectivity(0, 1); got < 0.24 || got > 0.26 {
+		t.Fatalf("EMA did not converge: %g", got)
+	}
+	// Drift: selectivity collapses, estimate must follow.
+	for i := 0; i < 200; i++ {
+		r.ObservePair(0, 1, 1, 1000)
+	}
+	if got := r.Selectivity(0, 1); got > 0.01 {
+		t.Fatalf("EMA did not adapt to drift: %g", got)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func() []int {
+		r := New(4, 0.3, 42)
+		lens := []int{10, 20, 30, 40}
+		var picks []int
+		for i := 0; i < 100; i++ {
+			picks = append(picks, r.Next(1<<0, lens))
+		}
+		return picks
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+}
+
+func TestStringShowsEstimates(t *testing.T) {
+	r := New(3, 0, 1)
+	if !strings.Contains(r.String(), "σ(0,1)") {
+		t.Fatalf("String = %q", r.String())
+	}
+}
+
+// Property: Next always returns a state outside the coverage (or -1).
+func TestNextOutsideCoverage(t *testing.T) {
+	f := func(mask uint8, seed uint64) bool {
+		r := New(4, 0.5, seed)
+		lens := []int{10, 10, 10, 10}
+		done := uint32(mask) & 0b1111
+		got := r.Next(done, lens)
+		if done == 0b1111 {
+			return got == -1
+		}
+		return got >= 0 && got < 4 && done&(1<<uint(got)) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockChargeAndSeconds(t *testing.T) {
+	c := NewClock(100)
+	c.Charge(50)
+	c.Charge(150)
+	if c.Spent() != 200 {
+		t.Fatalf("Spent = %v", c.Spent())
+	}
+	if c.Seconds() != 2 {
+		t.Fatalf("Seconds = %v", c.Seconds())
+	}
+}
+
+func TestMemoryMeter(t *testing.T) {
+	m := NewMemoryMeter(1000)
+	a, b := 300, 300
+	m.Register("a", func() int { return a })
+	m.Register("b", func() int { return b })
+	if m.Used() != 600 {
+		t.Fatalf("Used = %d", m.Used())
+	}
+	if m.OverCap() {
+		t.Fatal("600 <= 1000 should not be over cap")
+	}
+	b = 800
+	if !m.OverCap() {
+		t.Fatal("1100 > 1000 should be over cap")
+	}
+	if !strings.Contains(m.Breakdown(), "b=800") {
+		t.Fatalf("Breakdown = %q", m.Breakdown())
+	}
+}
+
+func TestMemoryMeterDisabledCap(t *testing.T) {
+	m := NewMemoryMeter(0)
+	m.Register("x", func() int { return 1 << 40 })
+	if m.OverCap() {
+		t.Fatal("cap 0 must disable the OOM check")
+	}
+}
+
+func TestDefaultCostsSane(t *testing.T) {
+	ct := DefaultCosts()
+	if ct.Hash <= 0 || ct.Compare <= 0 {
+		t.Fatal("hash and compare must be positive")
+	}
+	if ct.Compare >= ct.Hash {
+		t.Fatal("comparisons should be cheaper than hashing in the default table")
+	}
+}
+
+// Property: charges accumulate additively regardless of split.
+func TestClockAdditive(t *testing.T) {
+	f := func(parts []uint16) bool {
+		c1 := NewClock(10)
+		c2 := NewClock(10)
+		var total Units
+		for _, p := range parts {
+			c1.Charge(Units(p))
+			total += Units(p)
+		}
+		c2.Charge(total)
+		return c1.Spent() == c2.Spent()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,217 @@
+package stem
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"amri/internal/bitindex"
+	"amri/internal/hashindex"
+	"amri/internal/query"
+	"amri/internal/sim"
+	"amri/internal/storage"
+	"amri/internal/tuple"
+)
+
+// differential test: the scan store is the trivially-correct oracle; the
+// bit index (dense and sparse, any configuration) and the multi-hash-index
+// store must produce exactly the same match sets through a STeM for any
+// sequence of inserts, expiries and probes. Candidate counts differ by
+// design — match sets may not.
+func backendsForSpec(t *testing.T, spec *query.StateSpec, cfgBits []uint8, hashPats []query.Pattern) map[string]*STeM {
+	t.Helper()
+	clock := sim.NewClock(1000)
+	costs := sim.DefaultCosts()
+	attrMap := make([]int, spec.NumAttrs())
+	for i, ja := range spec.JAS {
+		attrMap[i] = ja.Attr
+	}
+	mk := map[string]storage.Store{
+		"scan": storage.NewScanStore(),
+	}
+	dense, err := bitindex.New(bitindex.NewConfig(cfgBits...), attrMap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk["bit-dense"] = storage.NewBitStore(dense)
+	sparse, err := bitindex.New(bitindex.NewConfig(cfgBits...), attrMap, nil, bitindex.WithDenseLimit(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk["bit-sparse"] = storage.NewBitStore(sparse)
+	hs, err := hashindex.New(spec.NumAttrs(), attrMap, nil, hashPats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk["hash"] = hs
+
+	out := map[string]*STeM{}
+	for name, store := range mk {
+		out[name] = New(spec, store, nil, 1000, costs, clock)
+	}
+	return out
+}
+
+func matchKey(ms []*tuple.Tuple) string {
+	seqs := make([]uint64, len(ms))
+	for i, m := range ms {
+		seqs[i] = m.Seq
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return fmt.Sprint(seqs)
+}
+
+func TestBackendsAgreeOnMatches(t *testing.T) {
+	q := query.FourWay(1000)
+	spec := q.States[2]
+	stems := backendsForSpec(t, spec, []uint8{3, 2, 4},
+		[]query.Pattern{query.PatternOf(0), query.PatternOf(1, 2)})
+
+	rng := rand.New(rand.NewPCG(21, 21))
+	mkTuple := func(stream int, seq uint64) *tuple.Tuple {
+		attrs := make([]tuple.Value, 3)
+		for i := range attrs {
+			attrs[i] = tuple.Value(rng.Uint64N(12))
+		}
+		tp := tuple.New(stream, seq, 0, attrs)
+		tp.Arrival = seq + 1
+		return tp
+	}
+
+	// Insert 300 tuples into every backend.
+	for i := 0; i < 300; i++ {
+		tp := mkTuple(2, uint64(i))
+		for _, s := range stems {
+			s.Insert(tp)
+		}
+	}
+
+	// Probe with composites of every coverage shape, driven by a tuple
+	// newer than everything stored.
+	for trial := 0; trial < 200; trial++ {
+		coverage := uint32(rng.Uint64N(16)) &^ (1 << 2)
+		if coverage == 0 {
+			coverage = 1
+		}
+		var comp *tuple.Composite
+		for s := 0; s < 4; s++ {
+			if coverage&(1<<uint(s)) == 0 {
+				continue
+			}
+			tp := mkTuple(s, uint64(100000+trial*4+s))
+			tp.Arrival = uint64(1000000 + trial)
+			if comp == nil {
+				comp = tuple.NewComposite(4, tp)
+			} else {
+				comp = comp.Extend(tp)
+			}
+		}
+		want := ""
+		for name, s := range stems {
+			got := matchKey(s.Probe(comp).Matches)
+			if want == "" {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Fatalf("trial %d coverage %04b: backend %s disagrees:\n got %s\nwant %s",
+					trial, coverage, name, got, want)
+			}
+		}
+	}
+}
+
+func TestBackendsAgreeAfterDeletes(t *testing.T) {
+	q := query.FourWay(1000)
+	spec := q.States[0]
+	stems := backendsForSpec(t, spec, []uint8{4, 4, 0},
+		[]query.Pattern{query.PatternOf(0, 1)})
+
+	rng := rand.New(rand.NewPCG(9, 9))
+	var live []*tuple.Tuple
+	for i := 0; i < 200; i++ {
+		attrs := []tuple.Value{tuple.Value(rng.Uint64N(8)), tuple.Value(rng.Uint64N(8)), tuple.Value(rng.Uint64N(8))}
+		tp := tuple.New(0, uint64(i), int64(i), attrs)
+		tp.Arrival = uint64(i + 1)
+		live = append(live, tp)
+		for _, s := range stems {
+			s.Insert(tp)
+		}
+	}
+	// Expire the first half everywhere (window 1000, now = 1099 expires TS <= 99).
+	for name, s := range stems {
+		if dropped := s.Expire(1099); dropped != 100 {
+			t.Fatalf("%s dropped %d, want 100", name, dropped)
+		}
+	}
+
+	probe := tuple.New(1, 999999, 2000, []tuple.Value{tuple.Value(3), 0, 0})
+	probe.Arrival = 1 << 40
+	// Build a composite whose partner attribute hits the state's JAS.
+	comp := tuple.NewComposite(4, probe)
+	want := ""
+	for name, s := range stems {
+		got := matchKey(s.Probe(comp).Matches)
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("%s disagrees after deletes: %s vs %s", name, got, want)
+		}
+	}
+}
+
+// Property: for random single-attribute probes over random small domains,
+// all backends agree with the scan oracle.
+func TestBackendAgreementProperty(t *testing.T) {
+	q := query.FourWay(1000)
+	spec := q.States[3]
+	f := func(seed uint64, nIns uint8, domain8 uint8) bool {
+		domain := uint64(domain8%20) + 2
+		stems := map[string]*STeM{}
+		clock := sim.NewClock(1000)
+		costs := sim.DefaultCosts()
+		attrMap := make([]int, 3)
+		for i, ja := range spec.JAS {
+			attrMap[i] = ja.Attr
+		}
+		bi, _ := bitindex.New(bitindex.NewConfig(2, 3, 1), attrMap, nil)
+		hs, _ := hashindex.New(3, attrMap, nil, []query.Pattern{query.PatternOf(2)})
+		stems["scan"] = New(spec, storage.NewScanStore(), nil, 1000, costs, clock)
+		stems["bit"] = New(spec, storage.NewBitStore(bi), nil, 1000, costs, clock)
+		stems["hash"] = New(spec, hs, nil, 1000, costs, clock)
+
+		rng := rand.New(rand.NewPCG(seed, seed^5))
+		for i := 0; i < int(nIns); i++ {
+			attrs := []tuple.Value{
+				tuple.Value(rng.Uint64N(domain)), tuple.Value(rng.Uint64N(domain)), tuple.Value(rng.Uint64N(domain))}
+			tp := tuple.New(3, uint64(i), 0, attrs)
+			tp.Arrival = uint64(i + 1)
+			for _, s := range stems {
+				s.Insert(tp)
+			}
+		}
+		// Probe from a lone partner-stream tuple.
+		partner := spec.JAS[rng.IntN(3)].Partner
+		pt := tuple.New(partner, 1<<20, 0, []tuple.Value{
+			tuple.Value(rng.Uint64N(domain)), tuple.Value(rng.Uint64N(domain)), tuple.Value(rng.Uint64N(domain))})
+		pt.Arrival = 1 << 30
+		comp := tuple.NewComposite(4, pt)
+		want := ""
+		for _, s := range stems {
+			got := matchKey(s.Probe(comp).Matches)
+			if want == "" {
+				want = got
+			} else if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"amri/internal/bitindex"
+	"amri/internal/query"
+	"amri/internal/tuple"
+)
+
+func TestScanStoreInsertProbeDelete(t *testing.T) {
+	s := NewScanStore()
+	t1 := tuple.New(0, 1, 0, []tuple.Value{1})
+	t2 := tuple.New(0, 2, 0, []tuple.Value{2})
+	s.Insert(t1)
+	s.Insert(t2)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	n := 0
+	st := s.Probe(query.PatternOf(0), []tuple.Value{1}, func(*tuple.Tuple) bool { n++; return true })
+	if n != 2 || st.Tuples != 2 {
+		t.Fatalf("scan store must visit everything: n=%d stats=%d", n, st.Tuples)
+	}
+	if _, ok := s.Delete(t1); !ok {
+		t.Fatal("delete failed")
+	}
+	if _, ok := s.Delete(t1); ok {
+		t.Fatal("double delete succeeded")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestScanStoreEarlyStop(t *testing.T) {
+	s := NewScanStore()
+	for i := 0; i < 10; i++ {
+		s.Insert(tuple.New(0, uint64(i), 0, []tuple.Value{1}))
+	}
+	n := 0
+	s.Probe(0, nil, func(*tuple.Tuple) bool { n++; return n < 4 })
+	if n != 4 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestScanStoreMemAccounting(t *testing.T) {
+	s := NewScanStore()
+	m0 := s.MemBytes()
+	tp := tuple.New(0, 1, 0, []tuple.Value{1})
+	tp.PayloadBytes = 512
+	s.Insert(tp)
+	if s.MemBytes()-m0 < 512 {
+		t.Fatal("payload not accounted")
+	}
+	s.Delete(tp)
+	if s.MemBytes() != m0 {
+		t.Fatal("delete did not release memory")
+	}
+}
+
+func TestBitStoreAdapter(t *testing.T) {
+	ix, err := bitindex.New(bitindex.NewConfig(4, 4), []int{0, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Store = NewBitStore(ix)
+	tp := tuple.New(0, 1, 0, []tuple.Value{3, 9})
+	s.Insert(tp)
+	found := false
+	s.Probe(query.PatternOf(0), []tuple.Value{3, 0}, func(x *tuple.Tuple) bool {
+		found = found || x == tp
+		return true
+	})
+	if !found {
+		t.Fatal("BitStore probe missed inserted tuple")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.MemBytes() <= 0 {
+		t.Fatal("MemBytes must be positive")
+	}
+}
+
+// Property: after any interleaving of inserts and deletes, Len equals the
+// number of live tuples and every live tuple is probe-visible.
+func TestScanStoreConsistencyProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		s := NewScanStore()
+		var live []*tuple.Tuple
+		seq := uint64(0)
+		for _, ins := range ops {
+			if ins || len(live) == 0 {
+				tp := tuple.New(0, seq, 0, []tuple.Value{tuple.Value(seq)})
+				seq++
+				live = append(live, tp)
+				s.Insert(tp)
+			} else {
+				victim := live[len(live)/2]
+				live = append(live[:len(live)/2], live[len(live)/2+1:]...)
+				if _, ok := s.Delete(victim); !ok {
+					return false
+				}
+			}
+		}
+		if s.Len() != len(live) {
+			return false
+		}
+		seen := map[*tuple.Tuple]bool{}
+		s.Probe(0, nil, func(x *tuple.Tuple) bool { seen[x] = true; return true })
+		for _, tp := range live {
+			if !seen[tp] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,252 @@
+// Package stream generates the synthetic workloads of the paper's Section V:
+// tuples for every stream of a query at a fixed arrival rate, with join
+// selectivities that drift over time. Each joined stream pair shares a value
+// domain; both sides draw uniformly from it, so the pair's join selectivity
+// is 1/|domain|, and the per-epoch domain schedule is what "causes the
+// router to use new query paths which in turn may initiate the selection of
+// new indices".
+package stream
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"amri/internal/query"
+	"amri/internal/tuple"
+)
+
+// Profile describes a synthetic workload.
+type Profile struct {
+	// LambdaD is the number of tuples generated per stream per tick
+	// (λ_d of Table I; one tick is one virtual second).
+	LambdaD int
+	// PayloadBytes is the simulated non-join payload per tuple.
+	PayloadBytes int
+	// EpochTicks is the drift period: the pair→domain assignment changes
+	// every EpochTicks ticks. Zero disables drift.
+	EpochTicks int64
+	// Domains is the pool of pair domain sizes. In epoch e, joined pair k
+	// (in canonical order) uses Domains[(k+e) mod len(Domains)], so every
+	// epoch reshuffles which joins are selective.
+	Domains []uint64
+	// HotFrac and HotProb add skew: with probability HotProb a value is
+	// drawn from the first HotFrac of its domain (both zero = uniform).
+	// Skew stands in for the unpublished real-data experiments: real keys
+	// are never uniform, and skew is what stresses bucket balance.
+	HotFrac float64
+	HotProb float64
+	// HotPairs limits the skew to the first HotPairs joined pairs (in
+	// canonical order); 0 skews every pair. Pair-selective skew is what
+	// makes content-based routing differ from aggregate routing: the same
+	// value is explosive on some predicates and ordinary on others.
+	HotPairs int
+	// RateAmplitude and RatePeriod modulate the arrival rate:
+	// λ(t) = LambdaD · (1 + RateAmplitude · sin(2πt/RatePeriod)),
+	// rounded per tick. Bursty arrivals are the regime where maintenance
+	// spikes (index migrations, retunes) hurt most. Amplitude 0 disables.
+	RateAmplitude float64
+	RatePeriod    int64
+	// MaxDelay makes arrivals out of order: each tuple's logical timestamp
+	// is its generation tick minus a uniform delay in [0, MaxDelay]. The
+	// operators' timestamp-bucket expiry keeps window semantics exact
+	// under any bounded disorder.
+	MaxDelay int64
+}
+
+// Validate rejects unusable profiles.
+func (p Profile) Validate() error {
+	if p.LambdaD <= 0 {
+		return fmt.Errorf("stream: LambdaD must be positive")
+	}
+	if len(p.Domains) == 0 {
+		return fmt.Errorf("stream: no domains")
+	}
+	for _, d := range p.Domains {
+		if d == 0 {
+			return fmt.Errorf("stream: zero domain size")
+		}
+	}
+	if p.HotFrac < 0 || p.HotFrac > 1 || p.HotProb < 0 || p.HotProb > 1 {
+		return fmt.Errorf("stream: skew parameters out of range")
+	}
+	if p.RateAmplitude < 0 || p.RateAmplitude > 1 {
+		return fmt.Errorf("stream: RateAmplitude must be in [0,1]")
+	}
+	if p.RateAmplitude > 0 && p.RatePeriod <= 0 {
+		return fmt.Errorf("stream: RateAmplitude needs a positive RatePeriod")
+	}
+	if p.MaxDelay < 0 {
+		return fmt.Errorf("stream: MaxDelay must be non-negative")
+	}
+	return nil
+}
+
+// RateAt returns the arrivals per stream the profile generates at a tick.
+func (p Profile) RateAt(tick int64) int {
+	if p.RateAmplitude == 0 {
+		return p.LambdaD
+	}
+	phase := 2 * math.Pi * float64(tick%p.RatePeriod) / float64(p.RatePeriod)
+	n := int(math.Round(float64(p.LambdaD) * (1 + p.RateAmplitude*math.Sin(phase))))
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// DriftProfile is the default Figure 6/7 workload: moderate arrival rate
+// and a wide selectivity spread reshuffled every epoch.
+func DriftProfile() Profile {
+	// Domain sizes are calibrated so a complete 4-way result is likely but
+	// not explosive: the product of the six pair domains (~3.1e11) sits
+	// an order of magnitude above the cube of the window state size
+	// (3000³ ≈ 2.7e10), i.e. roughly one result per ten arriving tuples —
+	// a steady visible output rate — while the 30→220 spread keeps
+	// routes meaningfully different in cost without letting a bad route
+	// blow up intermediate counts.
+	return Profile{
+		LambdaD:      50,
+		PayloadBytes: 120,
+		EpochTicks:   120,
+		Domains:      []uint64{30, 45, 70, 100, 150, 220},
+	}
+}
+
+// StableProfile disables drift: the same domain assignment forever.
+func StableProfile() Profile {
+	p := DriftProfile()
+	p.EpochTicks = 0
+	return p
+}
+
+// SkewedProfile is the sensor-like stand-in for the real data set: drifting
+// selectivities plus hot keys.
+func SkewedProfile() Profile {
+	p := DriftProfile()
+	p.HotFrac = 0.1
+	p.HotProb = 0.8
+	return p
+}
+
+// Generator produces tuples for every stream of a compiled query.
+type Generator struct {
+	q       *query.Query
+	prof    Profile
+	rng     *rand.Rand
+	seqs    []uint64
+	arrival uint64
+	pairIdx map[[2]int]int
+	nPairs  int
+}
+
+// New builds a deterministic generator for the query and profile.
+func New(q *query.Query, prof Profile, seed uint64) (*Generator, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		q:       q,
+		prof:    prof,
+		rng:     rand.New(rand.NewPCG(seed, seed^0xa5a5a5a5deadbeef)),
+		seqs:    make([]uint64, q.NumStreams()),
+		pairIdx: make(map[[2]int]int),
+	}
+	for _, p := range q.Preds {
+		a, b := p.Left, p.Right
+		if a > b {
+			a, b = b, a
+		}
+		if _, ok := g.pairIdx[[2]int{a, b}]; !ok {
+			g.pairIdx[[2]int{a, b}] = g.nPairs
+			g.nPairs++
+		}
+	}
+	return g, nil
+}
+
+// Epoch returns the drift epoch the tick falls in.
+func (g *Generator) Epoch(tick int64) int {
+	if g.prof.EpochTicks <= 0 {
+		return 0
+	}
+	return int(tick / g.prof.EpochTicks)
+}
+
+// pairIndexOf returns the canonical index of the joined pair (a,b), or -1.
+func (g *Generator) pairIndexOf(a, b int) int {
+	if a > b {
+		a, b = b, a
+	}
+	k, ok := g.pairIdx[[2]int{a, b}]
+	if !ok {
+		return -1
+	}
+	return k
+}
+
+// DomainFor returns the value domain of the pair (a,b) at the tick.
+func (g *Generator) DomainFor(a, b int, tick int64) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	k, ok := g.pairIdx[[2]int{a, b}]
+	if !ok {
+		return 1
+	}
+	return g.prof.Domains[(k+g.Epoch(tick))%len(g.prof.Domains)]
+}
+
+// Selectivity returns the expected match probability of one tuple pair
+// under the (a,b) predicate at the tick: 1/|domain|.
+func (g *Generator) Selectivity(a, b int, tick int64) float64 {
+	return 1 / float64(g.DomainFor(a, b, tick))
+}
+
+// draw samples one value from a domain, honoring the skew knobs for the
+// given pair.
+func (g *Generator) draw(pairIdx int, domain uint64) tuple.Value {
+	skewed := g.prof.HotProb > 0 && (g.prof.HotPairs == 0 || pairIdx < g.prof.HotPairs)
+	if skewed && g.rng.Float64() < g.prof.HotProb {
+		hot := uint64(float64(domain) * g.prof.HotFrac)
+		if hot == 0 {
+			hot = 1
+		}
+		return g.rng.Uint64N(hot)
+	}
+	return g.rng.Uint64N(domain)
+}
+
+// Tick generates the arrivals of one tick: LambdaD tuples per stream,
+// timestamped with the tick, attributes drawn from the epoch's domains.
+func (g *Generator) Tick(tick int64) []*tuple.Tuple {
+	rate := g.prof.RateAt(tick)
+	out := make([]*tuple.Tuple, 0, rate*g.q.NumStreams())
+	for s := 0; s < g.q.NumStreams(); s++ {
+		spec := g.q.States[s]
+		arity := g.q.Streams[s].Arity
+		for n := 0; n < rate; n++ {
+			attrs := make([]tuple.Value, arity)
+			for _, ja := range spec.JAS {
+				attrs[ja.Attr] = g.draw(g.pairIndexOf(s, ja.Partner), g.DomainFor(s, ja.Partner, tick))
+			}
+			ts := tick
+			if g.prof.MaxDelay > 0 {
+				ts -= int64(g.rng.Uint64N(uint64(g.prof.MaxDelay + 1)))
+				if ts < 0 {
+					ts = 0
+				}
+			}
+			t := tuple.New(s, g.seqs[s], ts, attrs)
+			t.PayloadBytes = g.prof.PayloadBytes
+			g.arrival++
+			t.Arrival = g.arrival
+			g.seqs[s]++
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// NumPairs returns the number of joined stream pairs.
+func (g *Generator) NumPairs() int { return g.nPairs }

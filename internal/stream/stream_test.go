@@ -1,0 +1,263 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"amri/internal/query"
+)
+
+func TestProfileValidate(t *testing.T) {
+	if err := DriftProfile().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DriftProfile()
+	bad.LambdaD = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero rate should fail")
+	}
+	bad = DriftProfile()
+	bad.Domains = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("no domains should fail")
+	}
+	bad = DriftProfile()
+	bad.Domains = []uint64{0}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero domain should fail")
+	}
+	bad = SkewedProfile()
+	bad.HotProb = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("HotProb > 1 should fail")
+	}
+}
+
+func TestTickShape(t *testing.T) {
+	q := query.FourWay(60)
+	g, err := New(q, DriftProfile(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := g.Tick(0)
+	if len(batch) != 50*4 {
+		t.Fatalf("batch size = %d, want 200", len(batch))
+	}
+	perStream := map[int]int{}
+	for _, tp := range batch {
+		perStream[tp.Stream]++
+		if tp.TS != 0 {
+			t.Fatalf("timestamp = %d", tp.TS)
+		}
+		if tp.Arity() != 3 {
+			t.Fatalf("arity = %d", tp.Arity())
+		}
+		if tp.PayloadBytes != 120 {
+			t.Fatalf("payload = %d", tp.PayloadBytes)
+		}
+	}
+	for s := 0; s < 4; s++ {
+		if perStream[s] != 50 {
+			t.Fatalf("stream %d got %d tuples", s, perStream[s])
+		}
+	}
+}
+
+func TestSequencesMonotonic(t *testing.T) {
+	q := query.FourWay(60)
+	g, _ := New(q, DriftProfile(), 1)
+	seen := map[int]uint64{}
+	for tick := int64(0); tick < 3; tick++ {
+		for _, tp := range g.Tick(tick) {
+			if prev, ok := seen[tp.Stream]; ok && tp.Seq != prev+1 {
+				t.Fatalf("stream %d seq %d after %d", tp.Stream, tp.Seq, prev)
+			}
+			seen[tp.Stream] = tp.Seq
+		}
+	}
+}
+
+func TestDomainsSymmetricAndDrift(t *testing.T) {
+	q := query.FourWay(60)
+	g, _ := New(q, DriftProfile(), 1)
+	if g.NumPairs() != 6 {
+		t.Fatalf("NumPairs = %d", g.NumPairs())
+	}
+	if g.DomainFor(0, 2, 0) != g.DomainFor(2, 0, 0) {
+		t.Fatal("domains must be symmetric")
+	}
+	// Drift: epoch changes the assignment.
+	d0 := g.DomainFor(0, 1, 0)
+	d1 := g.DomainFor(0, 1, 120)
+	if d0 == d1 {
+		t.Fatal("epoch change should reassign domains")
+	}
+	if g.Epoch(0) != 0 || g.Epoch(119) != 0 || g.Epoch(120) != 1 {
+		t.Fatal("epoch arithmetic wrong")
+	}
+}
+
+func TestStableProfileNoDrift(t *testing.T) {
+	q := query.FourWay(60)
+	g, _ := New(q, StableProfile(), 1)
+	if g.DomainFor(0, 1, 0) != g.DomainFor(0, 1, 100000) {
+		t.Fatal("stable profile must not drift")
+	}
+	if g.Epoch(99999) != 0 {
+		t.Fatal("stable profile is a single epoch")
+	}
+}
+
+func TestSelectivityMatchesEmpirical(t *testing.T) {
+	// Two independent draws from the same pair domain collide with
+	// probability ~1/|domain|.
+	q := query.FourWay(60)
+	prof := StableProfile()
+	prof.LambdaD = 2000
+	g, _ := New(q, prof, 7)
+	batch := g.Tick(0)
+	spec0 := q.States[0]
+	pos, _ := spec0.PosForPartner(1)
+	ja := spec0.JAS[pos]
+	spec1 := q.States[1]
+	pos1, _ := spec1.PosForPartner(0)
+	ja1 := spec1.JAS[pos1]
+
+	var aVals, bVals []uint64
+	for _, tp := range batch {
+		switch tp.Stream {
+		case 0:
+			aVals = append(aVals, tp.Attrs[ja.Attr])
+		case 1:
+			bVals = append(bVals, tp.Attrs[ja1.Attr])
+		}
+	}
+	bSet := map[uint64]int{}
+	for _, v := range bVals {
+		bSet[v]++
+	}
+	matches := 0
+	for _, v := range aVals {
+		matches += bSet[v]
+	}
+	want := float64(len(aVals)) * float64(len(bVals)) * g.Selectivity(0, 1, 0)
+	got := float64(matches)
+	if math.Abs(got-want)/want > 0.3 {
+		t.Fatalf("empirical matches %g vs expected %g (selectivity %g)", got, want, g.Selectivity(0, 1, 0))
+	}
+}
+
+func TestSkewConcentratesValues(t *testing.T) {
+	q := query.FourWay(60)
+	prof := SkewedProfile()
+	prof.EpochTicks = 0
+	prof.LambdaD = 3000
+	g, _ := New(q, prof, 3)
+	batch := g.Tick(0)
+	dom := g.DomainFor(0, 1, 0)
+	spec := q.States[0]
+	pos, _ := spec.PosForPartner(1)
+	attr := spec.JAS[pos].Attr
+	hot := uint64(float64(dom) * prof.HotFrac)
+	inHot, total := 0, 0
+	for _, tp := range batch {
+		if tp.Stream != 0 {
+			continue
+		}
+		total++
+		if tp.Attrs[attr] < hot {
+			inHot++
+		}
+	}
+	frac := float64(inHot) / float64(total)
+	if frac < 0.7 {
+		t.Fatalf("hot fraction = %g, want >= ~0.8", frac)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	q := query.FourWay(60)
+	run := func() []uint64 {
+		g, _ := New(q, DriftProfile(), 42)
+		var vals []uint64
+		for tick := int64(0); tick < 2; tick++ {
+			for _, tp := range g.Tick(tick) {
+				vals = append(vals, tp.Attrs...)
+			}
+		}
+		return vals
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+}
+
+// Property: every generated value is inside its pair's domain (uniform
+// profiles).
+func TestValuesWithinDomain(t *testing.T) {
+	q := query.FourWay(60)
+	f := func(seed uint64, tick16 uint16) bool {
+		g, _ := New(q, DriftProfile(), seed)
+		tick := int64(tick16)
+		for _, tp := range g.Tick(tick) {
+			spec := q.States[tp.Stream]
+			for _, ja := range spec.JAS {
+				if tp.Attrs[ja.Attr] >= g.DomainFor(tp.Stream, ja.Partner, tick) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBurstyArrivalRate(t *testing.T) {
+	prof := DriftProfile()
+	prof.RateAmplitude = 0.5
+	prof.RatePeriod = 40
+	if err := prof.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Peak at quarter period, trough at three quarters.
+	peak := prof.RateAt(10)
+	trough := prof.RateAt(30)
+	if peak <= prof.LambdaD || trough >= prof.LambdaD {
+		t.Fatalf("modulation wrong: peak %d trough %d base %d", peak, trough, prof.LambdaD)
+	}
+	// The generator actually emits the modulated counts.
+	q := query.FourWay(60)
+	g, _ := New(q, prof, 1)
+	if got := len(g.Tick(10)); got != peak*4 {
+		t.Fatalf("tick 10 emitted %d, want %d", got, peak*4)
+	}
+	if got := len(g.Tick(30)); got != trough*4 {
+		t.Fatalf("tick 30 emitted %d, want %d", got, trough*4)
+	}
+	// Validation catches bad settings.
+	bad := prof
+	bad.RatePeriod = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("amplitude without period should fail")
+	}
+	bad = prof
+	bad.RateAmplitude = 2
+	if err := bad.Validate(); err == nil {
+		t.Fatal("amplitude > 1 should fail")
+	}
+}
+
+func TestZeroAmplitudeIsConstantRate(t *testing.T) {
+	prof := DriftProfile()
+	for _, tick := range []int64{0, 7, 100, 9999} {
+		if prof.RateAt(tick) != prof.LambdaD {
+			t.Fatal("unmodulated profile must emit LambdaD")
+		}
+	}
+}

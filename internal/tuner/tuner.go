@@ -1,0 +1,170 @@
+// Package tuner selects index configurations: given assessed access-pattern
+// frequencies it searches the space of per-attribute bit allocations for the
+// one minimizing the paper's C_D cost (Equation 1), and decides when an
+// improvement is worth a migration.
+package tuner
+
+import (
+	"fmt"
+
+	"amri/internal/bitindex"
+	"amri/internal/cost"
+)
+
+// Options constrain the allocation search.
+type Options struct {
+	// MaxBitsPerAttr optionally caps the bits each attribute may receive
+	// (e.g. log2 of the attribute's domain cardinality — bits beyond that
+	// cannot spread tuples further). nil means no per-attribute cap.
+	MaxBitsPerAttr []uint8
+	// RequireFullBudget forces allocations to spend every bit even when
+	// unused bits would be cheaper (some deployments size the directory
+	// statically). Default false: allocations may leave bits unspent.
+	RequireFullBudget bool
+}
+
+func (o Options) capFor(attr int) int {
+	if o.MaxBitsPerAttr == nil {
+		return bitindex.MaxTotalBits
+	}
+	return int(o.MaxBitsPerAttr[attr])
+}
+
+// Greedy allocates bits one at a time, each time granting the attribute
+// whose extra bit lowers C_D the most, stopping early when no single bit
+// improves the cost (unless RequireFullBudget). Each bit granted to an
+// attribute halves the scan term of every pattern constraining it, so the
+// marginal gains are diminishing and greedy tracks the optimum closely; the
+// exhaustive search below exists to verify exactly that.
+func Greedy(numAttrs, budget int, p cost.Params, stats []cost.APStat, opt Options) bitindex.Config {
+	cfg := bitindex.Config{Bits: make([]uint8, numAttrs)}
+	current := cost.CD(p, cfg, stats)
+	for spent := 0; spent < budget; spent++ {
+		bestAttr := -1
+		bestCD := current
+		for a := 0; a < numAttrs; a++ {
+			if int(cfg.Bits[a]) >= opt.capFor(a) || cfg.TotalBits() >= bitindex.MaxTotalBits {
+				continue
+			}
+			cfg.Bits[a]++
+			cd := cost.CD(p, cfg, stats)
+			cfg.Bits[a]--
+			if cd < bestCD || (opt.RequireFullBudget && bestAttr == -1) {
+				bestCD = cd
+				bestAttr = a
+			}
+		}
+		if bestAttr == -1 {
+			break
+		}
+		cfg.Bits[bestAttr]++
+		current = bestCD
+	}
+	return cfg
+}
+
+// maxExhaustiveSpace bounds the number of allocations Exhaustive will
+// enumerate before refusing.
+const maxExhaustiveSpace = 5_000_000
+
+// Exhaustive enumerates every allocation of at most budget bits across the
+// attributes (exactly budget when RequireFullBudget) and returns the C_D
+// minimizer; ties break toward the lexicographically smallest bit vector so
+// results are deterministic. It refuses combinatorially large spaces — use
+// Greedy there.
+func Exhaustive(numAttrs, budget int, p cost.Params, stats []cost.APStat, opt Options) (bitindex.Config, error) {
+	space := 1.0
+	for i := 0; i < numAttrs; i++ {
+		space *= float64(budget + 1)
+		if space > maxExhaustiveSpace {
+			return bitindex.Config{}, fmt.Errorf("tuner: exhaustive space too large for %d attrs x %d bits", numAttrs, budget)
+		}
+	}
+
+	best := bitindex.Config{Bits: make([]uint8, numAttrs)}
+	bestCD := cost.CD(p, best, stats)
+	haveBest := !opt.RequireFullBudget || budget == 0
+
+	cur := make([]uint8, numAttrs)
+	var walk func(attr, remaining int)
+	walk = func(attr, remaining int) {
+		if attr == numAttrs {
+			if opt.RequireFullBudget && remaining != 0 {
+				return
+			}
+			cfg := bitindex.Config{Bits: cur}
+			cd := cost.CD(p, cfg, stats)
+			if !haveBest || cd < bestCD-1e-12 {
+				bestCD = cd
+				best = cfg.Clone()
+				haveBest = true
+			}
+			return
+		}
+		limit := min(remaining, opt.capFor(attr))
+		for b := 0; b <= limit; b++ {
+			cur[attr] = uint8(b)
+			walk(attr+1, remaining-b)
+		}
+		cur[attr] = 0
+	}
+	walk(0, budget)
+	if !haveBest {
+		return bitindex.Config{}, fmt.Errorf("tuner: no allocation satisfies the constraints")
+	}
+	return best, nil
+}
+
+// Controller wraps the optimizer with a retuning policy: propose the best
+// configuration for fresh statistics, and migrate only when the modelled
+// cost improvement clears a hysteresis threshold (migration itself costs a
+// full relocation of the state, so marginal wins are not worth it).
+type Controller struct {
+	// Params is the cost model the controller ranks configurations by.
+	Params cost.Params
+	// Budget is the total bit budget per state.
+	Budget int
+	// MinGain is the fractional C_D improvement required to migrate,
+	// e.g. 0.05 = retune only for a ≥5% modelled win.
+	MinGain float64
+	// Opt constrains the allocation search.
+	Opt Options
+	// UseExhaustive selects the exact optimizer when the space allows;
+	// greedy otherwise (and as fallback).
+	UseExhaustive bool
+}
+
+// Propose returns the best configuration for the statistics and whether it
+// improves on current enough to be worth migrating. With no statistics the
+// current configuration is kept.
+func (c *Controller) Propose(current bitindex.Config, stats []cost.APStat) (bitindex.Config, bool) {
+	if len(stats) == 0 {
+		return current, false
+	}
+	var next bitindex.Config
+	if c.UseExhaustive {
+		if ex, err := Exhaustive(current.NumAttrs(), c.Budget, c.Params, stats, c.Opt); err == nil {
+			next = ex
+		} else {
+			next = Greedy(current.NumAttrs(), c.Budget, c.Params, stats, c.Opt)
+		}
+	} else {
+		next = Greedy(current.NumAttrs(), c.Budget, c.Params, stats, c.Opt)
+	}
+	if next.Equal(current) {
+		return current, false
+	}
+	curCD := cost.CD(c.Params, current, stats)
+	nextCD := cost.CD(c.Params, next, stats)
+	if nextCD >= curCD*(1-c.MinGain) {
+		return current, false
+	}
+	return next, true
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

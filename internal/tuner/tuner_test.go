@@ -1,0 +1,219 @@
+package tuner
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"amri/internal/bitindex"
+	"amri/internal/cost"
+	"amri/internal/query"
+)
+
+func tunerParams() cost.Params {
+	// Large states and cheap hashing: scan costs dominate, matching the
+	// regime of the paper's discussion examples.
+	return cost.Params{LambdaD: 100, LambdaR: 100, Ch: 0.001, Cc: 1, Window: 60}
+}
+
+// table2CDIAStats is the Table II workload as CDIA (random combination)
+// sees it: <A,B,*> folded into <A,*,*>, everything else intact.
+func table2CDIAStats() []cost.APStat {
+	return []cost.APStat{
+		{P: query.PatternOf(0), Freq: 0.08},       // <A,*,*> 4% + <A,B,*> 4%
+		{P: query.PatternOf(1), Freq: 0.10},       // <*,B,*>
+		{P: query.PatternOf(2), Freq: 0.10},       // <*,*,C>
+		{P: query.PatternOf(0, 2), Freq: 0.16},    // <A,*,C>
+		{P: query.PatternOf(1, 2), Freq: 0.10},    // <*,B,C>
+		{P: query.PatternOf(0, 1, 2), Freq: 0.46}, // <A,B,C>
+	}
+}
+
+// table2CSRIAStats is the same workload after CSRIA deleted the two 4%
+// patterns below the threshold.
+func table2CSRIAStats() []cost.APStat {
+	return []cost.APStat{
+		{P: query.PatternOf(1), Freq: 0.10},
+		{P: query.PatternOf(2), Freq: 0.10},
+		{P: query.PatternOf(0, 2), Freq: 0.16},
+		{P: query.PatternOf(1, 2), Freq: 0.10},
+		{P: query.PatternOf(0, 1, 2), Freq: 0.46},
+	}
+}
+
+// TestTable2OptimalConfigurations pins the optimizer to the paper's
+// Section IV-C2/IV-D2 discussion: with the CDIA statistics the true optimal
+// 4-bit IC is {A:1,B:1,C:2}; with CSRIA's reduced statistics it is
+// {B:1,C:3}.
+func TestTable2OptimalConfigurations(t *testing.T) {
+	opt := Options{RequireFullBudget: true}
+	p := tunerParams()
+
+	cdia, err := Exhaustive(3, 4, p, table2CDIAStats(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cdia.Equal(bitindex.NewConfig(1, 1, 2)) {
+		t.Fatalf("CDIA stats optimum = %v, want IC[1,1,2]", cdia)
+	}
+
+	csria, err := Exhaustive(3, 4, p, table2CSRIAStats(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !csria.Equal(bitindex.NewConfig(0, 1, 3)) {
+		t.Fatalf("CSRIA stats optimum = %v, want IC[0,1,3]", csria)
+	}
+}
+
+func TestGreedyMatchesExhaustiveOnTable2(t *testing.T) {
+	p := tunerParams()
+	opt := Options{RequireFullBudget: true}
+	g := Greedy(3, 4, p, table2CDIAStats(), opt)
+	e, _ := Exhaustive(3, 4, p, table2CDIAStats(), opt)
+	gcd := cost.CD(p, g, table2CDIAStats())
+	ecd := cost.CD(p, e, table2CDIAStats())
+	if gcd > ecd*1.05 {
+		t.Fatalf("greedy CD %g more than 5%% worse than exhaustive %g (g=%v e=%v)", gcd, ecd, g, e)
+	}
+}
+
+func TestGreedyStopsWhenBitsDontHelp(t *testing.T) {
+	// Only pattern constrains attribute 0; expensive hashing makes bits on
+	// attribute 1 strictly harmful, and deep bits on attribute 0 stop
+	// paying once the scan term is tiny.
+	p := cost.Params{LambdaD: 100, LambdaR: 1, Ch: 10, Cc: 0.01, Window: 10}
+	stats := []cost.APStat{{P: query.PatternOf(0), Freq: 1}}
+	cfg := Greedy(2, 20, p, stats, Options{})
+	if cfg.Bits[1] != 0 {
+		t.Fatalf("greedy wasted bits on an unconstrained attribute: %v", cfg)
+	}
+	if cfg.TotalBits() == 20 {
+		t.Fatalf("greedy should stop early when marginal gain vanishes: %v", cfg)
+	}
+}
+
+func TestExhaustiveRespectsCaps(t *testing.T) {
+	p := tunerParams()
+	stats := []cost.APStat{{P: query.PatternOf(0), Freq: 1}}
+	cfg, err := Exhaustive(2, 6, p, stats, Options{MaxBitsPerAttr: []uint8{2, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Bits[0] > 2 {
+		t.Fatalf("cap violated: %v", cfg)
+	}
+}
+
+func TestGreedyRespectsCaps(t *testing.T) {
+	p := tunerParams()
+	stats := []cost.APStat{{P: query.PatternOf(0), Freq: 1}}
+	cfg := Greedy(2, 10, p, stats, Options{MaxBitsPerAttr: []uint8{3, 0}})
+	if cfg.Bits[0] > 3 || cfg.Bits[1] != 0 {
+		t.Fatalf("cap violated: %v", cfg)
+	}
+}
+
+func TestExhaustiveRefusesHugeSpace(t *testing.T) {
+	if _, err := Exhaustive(16, 64, tunerParams(), nil, Options{}); err == nil {
+		t.Fatal("16 attrs x 64 bits should be refused")
+	}
+}
+
+func TestExhaustiveFullBudget(t *testing.T) {
+	p := tunerParams()
+	stats := []cost.APStat{{P: query.PatternOf(0, 1), Freq: 1}}
+	cfg, err := Exhaustive(2, 8, p, stats, Options{RequireFullBudget: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.TotalBits() != 8 {
+		t.Fatalf("full budget not spent: %v", cfg)
+	}
+}
+
+func TestControllerProposesOnlyWorthwhileMigrations(t *testing.T) {
+	p := tunerParams()
+	ctl := &Controller{Params: p, Budget: 4, MinGain: 0.05, UseExhaustive: true,
+		Opt: Options{RequireFullBudget: true}}
+
+	// Starting from the CSRIA-shaped config, CDIA stats justify moving.
+	cur := bitindex.NewConfig(0, 1, 3)
+	next, improve := ctl.Propose(cur, table2CDIAStats())
+	if !improve {
+		t.Fatal("controller should migrate to the true optimum")
+	}
+	if !next.Equal(bitindex.NewConfig(1, 1, 2)) {
+		t.Fatalf("proposed %v", next)
+	}
+
+	// Already optimal: no migration.
+	if _, improve := ctl.Propose(next, table2CDIAStats()); improve {
+		t.Fatal("controller should not churn at the optimum")
+	}
+
+	// No stats: keep.
+	if got, improve := ctl.Propose(cur, nil); improve || !got.Equal(cur) {
+		t.Fatal("controller must keep current config without stats")
+	}
+}
+
+func TestControllerHysteresis(t *testing.T) {
+	p := tunerParams()
+	// Huge MinGain: even a better config should be rejected.
+	ctl := &Controller{Params: p, Budget: 4, MinGain: 0.99, UseExhaustive: true,
+		Opt: Options{RequireFullBudget: true}}
+	_, improve := ctl.Propose(bitindex.NewConfig(0, 1, 3), table2CDIAStats())
+	if improve {
+		t.Fatal("hysteresis should suppress marginal migrations")
+	}
+}
+
+// Property: on random instances greedy never beats exhaustive, and stays
+// within a modest factor of it (the scan terms are supermodular enough in
+// practice; this is the A2 ablation's invariant).
+func TestGreedyWithinBoundOfExhaustive(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed))
+		p := cost.Params{LambdaD: 50 + float64(rng.IntN(200)), LambdaR: 10 + float64(rng.IntN(100)),
+			Ch: 0.01 + rng.Float64(), Cc: 0.1 + rng.Float64(), Window: 10 + float64(rng.IntN(100))}
+		numAttrs := 2 + rng.IntN(3)
+		budget := 2 + rng.IntN(8)
+		var stats []cost.APStat
+		query.AllPatterns(numAttrs, func(ap query.Pattern) bool {
+			if ap != 0 && rng.Float64() < 0.6 {
+				stats = append(stats, cost.APStat{P: ap, Freq: rng.Float64()})
+			}
+			return true
+		})
+		if len(stats) == 0 {
+			return true
+		}
+		g := Greedy(numAttrs, budget, p, stats, Options{})
+		e, err := Exhaustive(numAttrs, budget, p, stats, Options{})
+		if err != nil {
+			return true
+		}
+		gcd := cost.CD(p, g, stats)
+		ecd := cost.CD(p, e, stats)
+		return gcd+1e-9 >= ecd && gcd <= ecd*1.25+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: exhaustive with RequireFullBudget spends exactly the budget
+// whenever the caps allow it.
+func TestExhaustiveBudgetProperty(t *testing.T) {
+	f := func(b uint8) bool {
+		budget := int(b%10) + 1
+		p := tunerParams()
+		stats := []cost.APStat{{P: query.PatternOf(0, 1, 2), Freq: 1}}
+		cfg, err := Exhaustive(3, budget, p, stats, Options{RequireFullBudget: true})
+		return err == nil && cfg.TotalBits() == budget
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,152 @@
+package tuple
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	tp := New(2, 7, 100, []Value{10, 20, 30})
+	if tp.Stream != 2 || tp.Seq != 7 || tp.TS != 100 {
+		t.Fatalf("identity fields wrong: %+v", tp)
+	}
+	if tp.Arity() != 3 {
+		t.Fatalf("Arity = %d, want 3", tp.Arity())
+	}
+	for i, want := range []Value{10, 20, 30} {
+		if got := tp.Attr(i); got != want {
+			t.Errorf("Attr(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	tp := New(0, 0, 0, []Value{1, 2})
+	tp.PayloadBytes = 100
+	want := perTupleOverhead + 16 + 100
+	if got := tp.MemBytes(); got != want {
+		t.Fatalf("MemBytes = %d, want %d", got, want)
+	}
+}
+
+func TestMemBytesGrowsWithArity(t *testing.T) {
+	small := New(0, 0, 0, []Value{1})
+	big := New(0, 0, 0, []Value{1, 2, 3, 4})
+	if small.MemBytes() >= big.MemBytes() {
+		t.Fatalf("memory should grow with arity: %d vs %d", small.MemBytes(), big.MemBytes())
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	tp := New(1, 5, 42, []Value{9, 8})
+	s := tp.String()
+	for _, frag := range []string{"s1", "#5", "@42", "9,8"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestCompositeLifecycle(t *testing.T) {
+	a := New(0, 1, 0, []Value{1})
+	b := New(1, 1, 0, []Value{1})
+	c := New(2, 1, 0, []Value{1})
+
+	comp := NewComposite(3, a)
+	if !comp.Has(0) || comp.Has(1) || comp.Has(2) {
+		t.Fatalf("fresh composite coverage wrong: %b", comp.Done)
+	}
+	if comp.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", comp.Count())
+	}
+	if comp.Complete(3) {
+		t.Fatal("one-part composite should not be complete")
+	}
+
+	comp2 := comp.Extend(b)
+	if comp.Has(1) {
+		t.Fatal("Extend must not mutate the original composite")
+	}
+	if !comp2.Has(0) || !comp2.Has(1) {
+		t.Fatalf("extended composite coverage wrong: %b", comp2.Done)
+	}
+
+	comp3 := comp2.Extend(c)
+	if !comp3.Complete(3) {
+		t.Fatal("three-part composite over 3 streams should be complete")
+	}
+	if comp3.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", comp3.Count())
+	}
+}
+
+func TestCompositeExtendCopies(t *testing.T) {
+	a := New(0, 1, 0, []Value{1})
+	b1 := New(1, 1, 0, []Value{1})
+	b2 := New(1, 2, 0, []Value{2})
+	base := NewComposite(2, a)
+	x := base.Extend(b1)
+	y := base.Extend(b2)
+	if x.Parts[1] == y.Parts[1] {
+		t.Fatal("sibling branches alias the same part slot")
+	}
+	if x.Parts[1].Seq != 1 || y.Parts[1].Seq != 2 {
+		t.Fatalf("branch contents wrong: %v / %v", x.Parts[1], y.Parts[1])
+	}
+}
+
+func TestCompositeString(t *testing.T) {
+	a := New(0, 1, 0, []Value{1})
+	b := New(1, 1, 0, []Value{2})
+	comp := NewComposite(2, a).Extend(b)
+	s := comp.String()
+	if !strings.Contains(s, "⋈") {
+		t.Errorf("composite String() = %q should contain join symbol", s)
+	}
+}
+
+// Property: Count always equals the number of non-nil parts, no matter the
+// order streams are joined in.
+func TestCompositeCountMatchesParts(t *testing.T) {
+	f := func(order []uint8) bool {
+		const n = 6
+		comp := NewComposite(n, New(0, 0, 0, nil))
+		seen := map[int]bool{0: true}
+		for _, o := range order {
+			s := int(o) % n
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			comp = comp.Extend(New(s, 0, 0, nil))
+		}
+		nonNil := 0
+		for _, p := range comp.Parts {
+			if p != nil {
+				nonNil++
+			}
+		}
+		return comp.Count() == nonNil && nonNil == len(seen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Complete is equivalent to Count == nStreams.
+func TestCompositeCompleteIffAllStreams(t *testing.T) {
+	f := func(mask uint8) bool {
+		const n = 5
+		comp := NewComposite(n, New(0, 0, 0, nil))
+		for s := 1; s < n; s++ {
+			if mask&(1<<uint(s)) != 0 {
+				comp = comp.Extend(New(s, 0, 0, nil))
+			}
+		}
+		return comp.Complete(n) == (comp.Count() == n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
