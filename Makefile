@@ -1,0 +1,42 @@
+# The local gate chain mirrors .github/workflows/ci.yml:
+#   make ci  =  build → vet → amrivet → race tests
+# so a green `make ci` means a green CI run.
+
+GO ?= go
+AMRIVET := bin/amrivet
+
+.PHONY: all build vet lint test race bench-smoke ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+$(AMRIVET): FORCE
+	$(GO) build -o $(AMRIVET) ./cmd/amrivet
+
+# lint runs the repo's own static-analysis suite (see internal/analysis):
+# mutexguard, bitbudget, wallclock, detrand, atomicmix.
+lint: vet $(AMRIVET)
+	./$(AMRIVET) ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/... .
+
+# bench-smoke proves the hot-path benchmarks still run (1 iteration each);
+# it is a compile-and-execute gate, not a performance measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/bitindex ./internal/hh ./internal/stem ./internal/assess
+
+ci: build lint test race
+
+clean:
+	rm -rf bin
+
+FORCE:

@@ -1,0 +1,105 @@
+// Command amrivet runs AMRI's project-specific static-analysis suite over
+// the module: lock discipline around shared index state (mutexguard), the
+// 64-bit IC budget (bitbudget), wall-clock hygiene in hot paths
+// (wallclock), seeded determinism (detrand) and consistent atomic access
+// (atomicmix). It is the third link in the CI gate chain:
+//
+//	go build ./...  →  go vet ./...  →  amrivet ./...  →  go test -race ./...
+//
+// Usage:
+//
+//	amrivet [-run name,name] [-list] [packages]
+//
+// Packages default to ./... relative to the current directory. The exit
+// status is 1 when any diagnostic survives suppression, 2 on usage or
+// load errors. Findings can be suppressed with an in-source directive:
+//
+//	//amrivet:ignore <reason>            (all analyzers, this/next line)
+//	//amrivet:ignore[wallclock] <reason> (one analyzer only)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"amri/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("amrivet", flag.ContinueOnError)
+	var (
+		runList  = fs.String("run", "", "comma-separated analyzer names to run (default all)")
+		listOnly = fs.Bool("list", false, "list analyzers and exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: amrivet [-run name,name] [-list] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := analysis.Analyzers()
+	if *listOnly {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *runList != "" {
+		analyzers = selectAnalyzers(analyzers, *runList)
+		if analyzers == nil {
+			fmt.Fprintf(os.Stderr, "amrivet: unknown analyzer in -run=%q (use -list)\n", *runList)
+			return 2
+		}
+	}
+
+	patterns := fs.Args()
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "amrivet: %v\n", err)
+		return 2
+	}
+
+	cwd, _ := os.Getwd()
+	total := 0
+	for _, pkg := range pkgs {
+		for _, d := range analysis.Run(pkg, analyzers) {
+			if cwd != "" {
+				if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+					d.Pos.Filename = rel
+				}
+			}
+			fmt.Println(d)
+			total++
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "amrivet: %d finding(s) in %d package(s)\n", total, len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+func selectAnalyzers(all []*analysis.Analyzer, names string) []*analysis.Analyzer {
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var picked []*analysis.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil
+		}
+		picked = append(picked, a)
+	}
+	return picked
+}

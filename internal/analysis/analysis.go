@@ -1,0 +1,242 @@
+// Package analysis is amrivet's static-analysis framework: a small,
+// dependency-free (standard library only) harness for project-specific
+// analyzers that machine-check the invariants AMRI's concurrent pipeline
+// relies on — lock discipline around shared index state, the 64-bit IC
+// budget, wall-clock hygiene in hot paths, seeded determinism, and
+// consistent atomic access.
+//
+// The framework deliberately mirrors the shape of golang.org/x/tools'
+// go/analysis (Analyzer, Pass, Reportf) so analyzers read familiarly, but
+// it is built only on go/ast, go/types, go/importer and the `go list`
+// command, keeping the module free of external dependencies.
+//
+// # Suppressing a finding
+//
+// A diagnostic can be silenced with an ignore directive on the same line or
+// the line directly above it:
+//
+//	//amrivet:ignore <reason>
+//
+// The reason is mandatory; a bare directive is itself reported. Directives
+// may name specific analyzers ("//amrivet:ignore[wallclock] benchmark
+// harness timing") to keep the other gates active on that line.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. Run inspects a single type-checked package
+// via the Pass and reports findings through pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run executes the check over one package.
+	Run func(*Pass)
+}
+
+// Diagnostic is one finding, positioned at a concrete file:line:col.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the go-vet-style "file:line:col: analyzer: message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	PkgPath  string
+	Info     *types.Info
+
+	diags   *[]Diagnostic
+	ignores map[string]map[int]ignoreDirective
+}
+
+// Reportf records a diagnostic at pos unless an ignore directive covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.ignored(position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) ignored(pos token.Position) bool {
+	lines, ok := p.ignores[pos.Filename]
+	if !ok {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if d, ok := lines[line]; ok && d.covers(p.Analyzer.Name) {
+			return true
+		}
+	}
+	return false
+}
+
+// ignoreDirective is one parsed //amrivet:ignore comment.
+type ignoreDirective struct {
+	analyzers []string // empty means all analyzers
+	reason    string
+}
+
+func (d ignoreDirective) covers(analyzer string) bool {
+	if d.reason == "" {
+		return false // malformed directives suppress nothing
+	}
+	if len(d.analyzers) == 0 {
+		return true
+	}
+	for _, a := range d.analyzers {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+var ignoreRE = regexp.MustCompile(`^//\s*amrivet:ignore(?:\[([\w,\s-]+)\])?\s*(.*)$`)
+
+// parseIgnores scans a file's comments for amrivet:ignore directives,
+// keyed by line number. Malformed directives (no reason) are reported as
+// diagnostics so the suppression mechanism cannot rot silently.
+func parseIgnores(fset *token.FileSet, files []*ast.File, report func(Diagnostic)) map[string]map[int]ignoreDirective {
+	out := make(map[string]map[int]ignoreDirective)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				d := ignoreDirective{reason: strings.TrimSpace(m[2])}
+				if m[1] != "" {
+					for _, name := range strings.Split(m[1], ",") {
+						d.analyzers = append(d.analyzers, strings.TrimSpace(name))
+					}
+				}
+				pos := fset.Position(c.Pos())
+				if d.reason == "" {
+					report(Diagnostic{
+						Analyzer: "amrivet",
+						Pos:      pos,
+						Message:  "amrivet:ignore directive is missing a reason",
+					})
+					continue
+				}
+				lines, ok := out[pos.Filename]
+				if !ok {
+					lines = make(map[int]ignoreDirective)
+					out[pos.Filename] = lines
+				}
+				lines[pos.Line] = d
+			}
+		}
+	}
+	return out
+}
+
+// Run executes the analyzers over the package, returning the surviving
+// (non-suppressed) diagnostics sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	ignores := parseIgnores(pkg.Fset, pkg.Files, func(d Diagnostic) { diags = append(diags, d) })
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			PkgPath:  pkg.Path,
+			Info:     pkg.Info,
+			diags:    &diags,
+			ignores:  ignores,
+		}
+		a.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}
+
+// Analyzers returns amrivet's full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MutexGuard,
+		BitBudget,
+		WallClock,
+		DetRand,
+		AtomicMix,
+	}
+}
+
+// isPkgFunc reports whether obj is the package-level function path.name.
+func isPkgFunc(obj types.Object, path, name string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == path && fn.Name() == name
+}
+
+// namedType unwraps pointers and aliases to the underlying named type, if
+// any.
+func namedType(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Alias:
+			t = types.Unalias(u)
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// isNamed reports whether t (possibly behind pointers) is the named type
+// path.name.
+func isNamed(t types.Type, path, name string) bool {
+	n := namedType(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == path && obj.Name() == name
+}

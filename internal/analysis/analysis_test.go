@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestIgnoreDirectives drives the suppression machinery over the ignore
+// fixture: same-line and line-above directives suppress, a directive
+// naming a different analyzer does not, and a bare directive (no reason)
+// is itself a finding.
+func TestIgnoreDirectives(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "ignore"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(moduleRoot(t), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkg, []*Analyzer{WallClock})
+
+	var missingReason, wallclock int
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "amrivet":
+			if !strings.Contains(d.Message, "missing a reason") {
+				t.Errorf("unexpected framework diagnostic: %s", d)
+			}
+			missingReason++
+		case "wallclock":
+			wallclock++
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if missingReason != 1 {
+		t.Errorf("got %d missing-reason findings, want 1", missingReason)
+	}
+	// wrongScope (directive names detrand) and bareDirective (malformed)
+	// must still be reported; the two well-formed suppressions must not.
+	if wallclock != 2 {
+		t.Errorf("got %d surviving wallclock findings, want 2 (wrongScope, bareDirective)", wallclock)
+		for _, d := range diags {
+			t.Logf("  %s", d)
+		}
+	}
+}
+
+// TestLoadModulePackage exercises the go-list-backed loader end to end on
+// a real module package.
+func TestLoadModulePackage(t *testing.T) {
+	pkgs, err := Load(moduleRoot(t), "amri/internal/bitindex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.Types == nil || pkg.Types.Scope().Lookup("Config") == nil {
+		t.Fatal("bitindex.Config not found in the type-checked package")
+	}
+	if len(pkg.Files) == 0 || pkg.Info == nil {
+		t.Fatal("loader returned no syntax or type info")
+	}
+}
+
+// TestAnalyzersRegistered pins the suite contents: CI's gate is only as
+// strong as the analyzers actually wired in.
+func TestAnalyzersRegistered(t *testing.T) {
+	want := []string{"mutexguard", "bitbudget", "wallclock", "detrand", "atomicmix"}
+	got := Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("got %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d is %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing doc or run function", a.Name)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixture harness: each analyzer has a package under
+// testdata/src/<name>/ whose lines carry `// want "regex"` comments naming
+// the diagnostics the analyzer must produce at exactly that line. The
+// harness fails on any unmatched expectation (missed true positive) and on
+// any unexpected diagnostic (false positive), so a fixture is a complete
+// specification of the analyzer's behaviour over its code.
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var wantQuoteRE = regexp.MustCompile("`([^`]+)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// expectation is one `// want` clause.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// parseExpectations scans the fixture sources for want comments.
+func parseExpectations(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			quotes := wantQuoteRE.FindAllStringSubmatch(m[1], -1)
+			if len(quotes) == 0 {
+				t.Fatalf("%s:%d: want comment with no quoted pattern", path, i+1)
+			}
+			for _, q := range quotes {
+				pat := q[1]
+				if pat == "" {
+					pat = q[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, pat, err)
+				}
+				wants = append(wants, &expectation{file: path, line: i + 1, pattern: re})
+			}
+		}
+	}
+	return wants
+}
+
+// moduleRoot locates the repo root (where go.mod lives) so `go list` can
+// resolve fixture imports of both stdlib and amri packages.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// runFixture loads testdata/src/<name> and checks the analyzer's
+// diagnostics against the want expectations, returning the diagnostics.
+func runFixture(t *testing.T, a *Analyzer, name string) []Diagnostic {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(moduleRoot(t), dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	diags := Run(pkg, []*Analyzer{a})
+	wants := parseExpectations(t, dir)
+
+	for _, d := range diags {
+		ok := false
+		for _, w := range wants {
+			if !w.matched && sameFile(w.file, d.Pos.Filename) && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+	return diags
+}
+
+func sameFile(a, b string) bool {
+	aa, _ := filepath.Abs(a)
+	bb, _ := filepath.Abs(b)
+	return aa == bb
+}
+
+// position is a convenience for asserting exact columns in analyzer tests.
+func position(d Diagnostic) string {
+	return fmt.Sprintf("%d:%d", d.Pos.Line, d.Pos.Column)
+}

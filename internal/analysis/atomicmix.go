@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix reports variables and struct fields that are accessed both
+// through sync/atomic operations and through plain loads/stores in the
+// same package. Mixing the two is a data race even when each individual
+// access "looks" safe: the plain access is invisible to the race the
+// atomic was added to fix. The modern fix is the typed atomics
+// (atomic.Uint64 et al.), which make plain access unrepresentable — this
+// analyzer exists to keep the old-style mix from creeping back in.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "reports fields accessed both via sync/atomic and via plain loads/stores",
+	Run:  runAtomicMix,
+}
+
+// atomicOpPrefixes match the sync/atomic function families that take a
+// pointer to the shared word.
+var atomicOpPrefixes = []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "Or", "And"}
+
+func runAtomicMix(pass *Pass) {
+	// First pass: find every object whose address is passed to a
+	// sync/atomic operation, and remember the exact operand nodes so the
+	// second pass does not count them as plain accesses.
+	atomicObjs := make(map[types.Object]token.Pos)
+	operand := make(map[ast.Node]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if !hasAtomicOpPrefix(obj.Name()) {
+				return true
+			}
+			addr, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			target := resolveAccessObj(pass, addr.X)
+			if target == nil {
+				return true
+			}
+			if _, seen := atomicObjs[target]; !seen {
+				atomicObjs[target] = call.Pos()
+			}
+			operand[addr.X] = true
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return
+	}
+	// Second pass: any other access to those objects is a plain
+	// load/store racing the atomics.
+	for _, file := range pass.Files {
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			if operand[n] {
+				return false // the &x inside the atomic call itself
+			}
+			switch e := n.(type) {
+			case *ast.KeyValueExpr:
+				// Composite-literal keys resolve to field objects but are
+				// initialization, not shared access; only walk the value.
+				ast.Inspect(e.Value, visit)
+				return false
+			case *ast.SelectorExpr:
+				if sel := pass.Info.Selections[e]; sel != nil && sel.Kind() == types.FieldVal {
+					if first, ok := atomicObjs[sel.Obj()]; ok {
+						pass.Reportf(e.Sel.Pos(),
+							"%s is accessed atomically (first at %s) but read/written plainly here; use sync/atomic (or a typed atomic) everywhere",
+							sel.Obj().Name(), pass.Fset.Position(first))
+					}
+					ast.Inspect(e.X, visit)
+					return false
+				}
+			case *ast.Ident:
+				if obj := pass.Info.Uses[e]; obj != nil {
+					if first, ok := atomicObjs[obj]; ok {
+						pass.Reportf(e.Pos(),
+							"%s is accessed atomically (first at %s) but read/written plainly here; use sync/atomic (or a typed atomic) everywhere",
+							obj.Name(), pass.Fset.Position(first))
+					}
+				}
+			}
+			return true
+		}
+		ast.Inspect(file, visit)
+	}
+}
+
+func hasAtomicOpPrefix(name string) bool {
+	for _, p := range atomicOpPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveAccessObj maps an addressable expression to the variable or field
+// object it denotes, or nil for expressions (map index, function results)
+// the analyzer does not track.
+func resolveAccessObj(pass *Pass, e ast.Expr) types.Object {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj, ok := pass.Info.Uses[x].(*types.Var); ok {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if sel := pass.Info.Selections[x]; sel != nil && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+	case *ast.IndexExpr:
+		return resolveAccessObj(pass, x.X)
+	}
+	return nil
+}

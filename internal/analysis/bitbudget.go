@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// bitindexPath is the package owning the IC bit-budget invariant.
+const bitindexPath = "amri/internal/bitindex"
+
+// BitBudget enforces the Σ bits ≤ 64 index-configuration invariant at its
+// construction sites. Bucket ids are uint64: a shift amount derived from an
+// IC's bit assignment that has not been bounded against
+// bitindex.MaxTotalBits can silently overflow the id space (a shift by ≥ 64
+// of a uint64 is 0 in Go, collapsing every tuple into bucket 0).
+//
+// Two rules:
+//
+//  1. A function that reads IC bit widths (Config.Bits, TotalBits, BitsFor)
+//     and performs a variable-width shift must also bound the width in the
+//     same function: a comparison against 63/64/MaxTotalBits or a
+//     Config.Validate call.
+//  2. A bitindex.Config composite literal built outside the bitindex
+//     package must be validated in the same function — NewConfig/Uniform
+//     plus Validate are the sanctioned construction paths.
+var BitBudget = &Analyzer{
+	Name: "bitbudget",
+	Doc:  "reports IC bit-width arithmetic and Config construction sites that skip the 64-bit budget check",
+	Run:  runBitBudget,
+}
+
+func runBitBudget(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBitBudgetFunc(pass, fd)
+		}
+	}
+}
+
+func checkBitBudgetFunc(pass *Pass, fd *ast.FuncDecl) {
+	var (
+		usesBits  bool
+		hasGuard  bool
+		varShifts []*ast.BinaryExpr
+		cfgLits   []*ast.CompositeLit
+	)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			if isConfigBitsAccess(pass, e) {
+				usesBits = true
+			}
+		case *ast.CallExpr:
+			if name := calleeName(e); name == "TotalBits" || name == "BitsFor" {
+				if isConfigMethodCall(pass, e) {
+					usesBits = true
+				}
+			} else if name == "Validate" {
+				hasGuard = true
+			}
+		case *ast.BinaryExpr:
+			switch e.Op {
+			case token.SHL, token.SHR:
+				if !isConstExpr(pass, e.Y) {
+					varShifts = append(varShifts, e)
+				}
+			case token.LSS, token.GTR, token.LEQ, token.GEQ:
+				if isBudgetBound(pass, e.X) || isBudgetBound(pass, e.Y) {
+					hasGuard = true
+				}
+			}
+		case *ast.CompositeLit:
+			// The zero Config (empty literal) is trivially within budget;
+			// only literals that assign bits need validation.
+			if tv, ok := pass.Info.Types[e]; ok && len(e.Elts) > 0 &&
+				isNamed(tv.Type, bitindexPath, "Config") && pass.PkgPath != bitindexPath {
+				cfgLits = append(cfgLits, e)
+			}
+		}
+		return true
+	})
+	if usesBits && !hasGuard {
+		for _, sh := range varShifts {
+			pass.Reportf(sh.OpPos,
+				"variable shift in a function reading IC bit widths without a MaxTotalBits bound; compare against bitindex.MaxTotalBits or call Config.Validate")
+		}
+	}
+	if !hasGuard {
+		for _, lit := range cfgLits {
+			pass.Reportf(lit.Pos(),
+				"bitindex.Config constructed outside package bitindex without a Validate call in this function")
+		}
+	}
+}
+
+// isConfigBitsAccess reports whether sel reads the Bits field of
+// bitindex.Config (or of Config inside the bitindex package itself).
+func isConfigBitsAccess(pass *Pass, sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != "Bits" {
+		return false
+	}
+	selection := pass.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return false
+	}
+	return isConfigType(pass, selection.Recv())
+}
+
+// isConfigMethodCall reports whether call's receiver is bitindex.Config.
+func isConfigMethodCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	selection := pass.Info.Selections[sel]
+	if selection == nil {
+		return false
+	}
+	return isConfigType(pass, selection.Recv())
+}
+
+// isConfigType matches bitindex.Config both from importers (full path) and
+// inside any package named bitindex (fixtures load under a synthetic path).
+func isConfigType(pass *Pass, t types.Type) bool {
+	if isNamed(t, bitindexPath, "Config") {
+		return true
+	}
+	n := namedType(t)
+	return n != nil && n.Obj().Name() == "Config" &&
+		n.Obj().Pkg() != nil && n.Obj().Pkg().Name() == "bitindex"
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	case *ast.Ident:
+		return fun.Name
+	}
+	return ""
+}
+
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// isBudgetBound reports whether e is a budget bound: the constant 63 or 64,
+// or a reference to MaxTotalBits.
+func isBudgetBound(pass *Pass, e ast.Expr) bool {
+	if tv, ok := pass.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if v, ok := constant.Int64Val(tv.Value); ok && (v == 63 || v == 64) {
+			return true
+		}
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name == "MaxTotalBits"
+	case *ast.SelectorExpr:
+		return x.Sel.Name == "MaxTotalBits"
+	}
+	return false
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// detRandExemptPackages may draw from any randomness source: sim and
+// stream own the workload generators and seed their own sources; the
+// analyzer's concern is everything downstream of them.
+var detRandExemptPackages = map[string]bool{
+	"sim":    true,
+	"stream": true,
+}
+
+// detRandConstructors are the sanctioned math/rand entry points: they
+// return an explicit source the caller must seed, which is exactly what
+// reproducibility requires.
+var detRandConstructors = map[string]bool{
+	"New":        true,
+	"NewPCG":     true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewChaCha8": true,
+}
+
+// DetRand forbids the global math/rand (and math/rand/v2) source outside
+// sim/stream. Every run in this repo is keyed by a seed — the benchmark
+// figures, the engine-vs-pipeline equivalence tests and the trace replays
+// all assume that a fixed seed reproduces the same byte-identical
+// workload. One rand.IntN from the process-global source breaks that
+// silently: the source is seeded randomly at startup and shared across
+// goroutines, so results stop being a function of the seed.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "reports use of the global math/rand source outside sim/stream; use rand.New with the run's seed",
+	Run:  runDetRand,
+}
+
+func runDetRand(pass *Pass) {
+	if isDetRandExempt(pass) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ident, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[ident]
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods on an explicit *rand.Rand are the sanctioned path
+			}
+			if detRandConstructors[fn.Name()] {
+				return true
+			}
+			pass.Reportf(ident.Pos(),
+				"%s.%s draws from the process-global source and breaks seeded reproducibility; use rand.New with the run's seed",
+				path, fn.Name())
+			return true
+		})
+	}
+}
+
+func isDetRandExempt(pass *Pass) bool {
+	if detRandExemptPackages[pass.Pkg.Name()] {
+		return true
+	}
+	segs := strings.Split(pass.PkgPath, "/")
+	return detRandExemptPackages[segs[len(segs)-1]]
+}

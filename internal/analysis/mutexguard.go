@@ -1,0 +1,306 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MutexGuard enforces the pipeline's lock discipline around shared state
+// such as the per-operator AdaptiveIndex: a struct field that sits in a
+// mutex's guarded group must only be touched while that mutex is held.
+//
+// A field is considered guarded by a mutex when either
+//
+//   - it is declared in the same contiguous field group as (i.e. no blank
+//     line between it and) a preceding sync.Mutex / sync.RWMutex field —
+//     the standard Go "mu protects what follows" layout convention — or
+//   - its doc or line comment says "guarded by <name>".
+//
+// An access is accepted when the enclosing function lexically calls
+// <base>.<mutex>.Lock() (or RLock()) on the same base expression before
+// the access, or when the base is a local variable freshly built from a
+// composite literal (construction precedes sharing). This is a lexical
+// approximation, not a happens-before proof: it will not catch a Lock on
+// one branch guarding an access on another, but it reliably flags the
+// dangerous default — touching guarded state with no lock call in sight.
+//
+// The analyzer also flags methods and functions that take a lock-bearing
+// struct by value: the copy's mutex starts unlocked and guards nothing.
+var MutexGuard = &Analyzer{
+	Name: "mutexguard",
+	Doc:  "reports accesses to mutex-guarded struct fields outside a Lock/Unlock span, and lock-bearing structs passed by value",
+	Run:  runMutexGuard,
+}
+
+var guardedByRE = regexp.MustCompile(`(?i)guarded by (\w+)`)
+
+// guardedField records which mutex field guards a struct field,
+// keyed by the field object's declaration position (stable across generic
+// instantiation).
+type guardedField struct {
+	structName string
+	fieldName  string
+	mutex      string
+}
+
+func runMutexGuard(pass *Pass) {
+	guarded := collectGuardedFields(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockByValue(pass, fd)
+			checkGuardedAccesses(pass, fd, guarded)
+		}
+	}
+}
+
+// collectGuardedFields scans struct declarations for mutex-guarded field
+// groups.
+func collectGuardedFields(pass *Pass) map[token.Pos]guardedField {
+	guarded := make(map[token.Pos]guardedField)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			currentMutex := ""
+			prevLine := -1
+			for _, field := range st.Fields.List {
+				start := field.Pos()
+				if field.Doc != nil {
+					start = field.Doc.Pos()
+				}
+				line := pass.Fset.Position(start).Line
+				if prevLine >= 0 && line > prevLine+1 {
+					currentMutex = "" // a blank line ends the guarded group
+				}
+				end := field.End()
+				if field.Comment != nil {
+					end = field.Comment.End()
+				}
+				prevLine = pass.Fset.Position(end).Line
+
+				if name, ok := mutexFieldName(pass, field); ok {
+					currentMutex = name
+					continue
+				}
+				mutex := currentMutex
+				if m := guardedByRE.FindStringSubmatch(fieldCommentText(field)); m != nil {
+					mutex = m[1]
+				}
+				if mutex == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						guarded[obj.Pos()] = guardedField{
+							structName: ts.Name.Name,
+							fieldName:  name.Name,
+							mutex:      mutex,
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// mutexFieldName reports whether the struct field is a sync.Mutex or
+// sync.RWMutex (by value or pointer) and returns its name.
+func mutexFieldName(pass *Pass, field *ast.Field) (string, bool) {
+	var t types.Type
+	if tv, ok := pass.Info.Types[field.Type]; ok {
+		t = tv.Type
+	}
+	if t == nil || !(isNamed(t, "sync", "Mutex") || isNamed(t, "sync", "RWMutex")) {
+		return "", false
+	}
+	if len(field.Names) > 0 {
+		return field.Names[0].Name, true
+	}
+	// Embedded: the implicit field name is the type name.
+	return namedType(t).Obj().Name(), true
+}
+
+func fieldCommentText(field *ast.Field) string {
+	var parts []string
+	if field.Doc != nil {
+		parts = append(parts, field.Doc.Text())
+	}
+	if field.Comment != nil {
+		parts = append(parts, field.Comment.Text())
+	}
+	return strings.Join(parts, " ")
+}
+
+// lockCall is one <base>.<mutex>.Lock() / .RLock() observed in a function.
+type lockCall struct {
+	base  string
+	mutex string
+	pos   token.Pos
+}
+
+func checkGuardedAccesses(pass *Pass, fd *ast.FuncDecl, guarded map[token.Pos]guardedField) {
+	if len(guarded) == 0 {
+		return
+	}
+	var locks []lockCall
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			// Direct lock on a mutex-typed variable: record with no base.
+			locks = append(locks, lockCall{base: "", mutex: types.ExprString(sel.X), pos: call.Pos()})
+			return true
+		}
+		locks = append(locks, lockCall{
+			base:  types.ExprString(inner.X),
+			mutex: inner.Sel.Name,
+			pos:   call.Pos(),
+		})
+		return true
+	})
+	fresh := freshLocals(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection := pass.Info.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return true
+		}
+		g, ok := guarded[selection.Obj().Pos()]
+		if !ok {
+			return true
+		}
+		base := types.ExprString(sel.X)
+		if ident, ok := sel.X.(*ast.Ident); ok {
+			if obj := pass.Info.Uses[ident]; obj != nil && fresh[obj] {
+				return true // freshly constructed local: not yet shared
+			}
+		}
+		for _, l := range locks {
+			if l.pos < sel.Pos() && l.mutex == g.mutex && (l.base == base || l.base == "") {
+				return true
+			}
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"%s.%s is guarded by %q but accessed without a preceding %s.%s.Lock() in this function",
+			g.structName, g.fieldName, g.mutex, base, g.mutex)
+		return true
+	})
+}
+
+// freshLocals returns the set of local variables assigned from a composite
+// literal (or its address) inside fd — values under construction that are
+// not yet visible to other goroutines.
+func freshLocals(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			ident, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			rhs := as.Rhs[i]
+			if u, ok := rhs.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				rhs = u.X
+			}
+			if _, ok := rhs.(*ast.CompositeLit); !ok {
+				continue
+			}
+			if obj := pass.Info.Defs[ident]; obj != nil {
+				fresh[obj] = true
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// checkLockByValue flags receivers and parameters whose type carries a
+// sync.Mutex / sync.RWMutex by value: the callee operates on a copy whose
+// zeroed mutex guards nothing.
+func checkLockByValue(pass *Pass, fd *ast.FuncDecl) {
+	check := func(field *ast.Field, what string) {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok {
+			return
+		}
+		if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+			return
+		}
+		if path := lockPath(tv.Type, nil); path != nil {
+			pass.Reportf(field.Pos(), "%s passes lock by value: %s contains %s",
+				what, types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)), strings.Join(path, "."))
+		}
+	}
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			check(f, "receiver")
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			check(f, "parameter")
+		}
+	}
+}
+
+// lockPath returns the field path to an embedded lock inside t, or nil.
+func lockPath(t types.Type, seen []*types.Named) []string {
+	if isNamed(t, "sync", "Mutex") || isNamed(t, "sync", "RWMutex") ||
+		isNamed(t, "sync", "WaitGroup") || isNamed(t, "sync", "Once") || isNamed(t, "sync", "Cond") {
+		return []string{namedType(t).Obj().Name()}
+	}
+	if n := namedType(t); n != nil {
+		for _, s := range seen {
+			if s == n {
+				return nil
+			}
+		}
+		seen = append(seen, n)
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if _, isPtr := f.Type().(*types.Pointer); isPtr {
+			continue
+		}
+		if sub := lockPath(f.Type(), seen); sub != nil {
+			return append([]string{f.Name()}, sub...)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+// Package atomicmix is the analyzer fixture: `// want` comments name the
+// diagnostics the analyzer must report at exactly those lines.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	n    uint64
+	safe atomic.Uint64
+	m    uint64
+}
+
+func (c *counter) incr() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func (c *counter) racyRead() uint64 {
+	return c.n // want `n is accessed atomically .* but read/written plainly here`
+}
+
+func (c *counter) racyWrite() {
+	c.n = 0 // want `n is accessed atomically .* but read/written plainly here`
+}
+
+// typedOK uses the typed atomic, which makes a plain access
+// unrepresentable — the recommended fix.
+func (c *counter) typedOK() uint64 {
+	c.safe.Add(1)
+	return c.safe.Load()
+}
+
+// allAtomic touches m only through sync/atomic: consistent, accepted.
+func (c *counter) allAtomic() uint64 {
+	atomic.AddUint64(&c.m, 1)
+	return atomic.LoadUint64(&c.m)
+}
+
+// Composite-literal initialization happens before the value is shared and
+// is not a racy plain store.
+func fresh() *counter {
+	return &counter{n: 0}
+}
+
+var global int64
+
+func bumpGlobal() {
+	atomic.AddInt64(&global, 1)
+}
+
+func readGlobal() int64 {
+	return global // want `global is accessed atomically .* but read/written plainly here`
+}

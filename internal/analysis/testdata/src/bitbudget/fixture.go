@@ -1,0 +1,52 @@
+// Package bitbudget is the analyzer fixture: `// want` comments name the
+// diagnostics the analyzer must report at exactly those lines.
+package bitbudget
+
+import "amri/internal/bitindex"
+
+// bucketCount reads IC bit widths and shifts by them with no bound: a
+// 65-bit configuration would collapse the id space to bucket 0.
+func bucketCount(c bitindex.Config) uint64 {
+	total := 0
+	for _, b := range c.Bits {
+		total += int(b)
+	}
+	return 1 << uint(total) // want `variable shift in a function reading IC bit widths without a MaxTotalBits bound`
+}
+
+// bucketCountGuarded bounds the width first.
+func bucketCountGuarded(c bitindex.Config) uint64 {
+	total := c.TotalBits()
+	if total >= bitindex.MaxTotalBits {
+		return 0
+	}
+	return 1 << uint(total)
+}
+
+// bucketCountValidated delegates the bound to Config.Validate.
+func bucketCountValidated(c bitindex.Config, n int) uint64 {
+	if err := c.Validate(n); err != nil {
+		return 0
+	}
+	return 1 << uint(c.TotalBits())
+}
+
+// rawConfig hand-builds a Config and never validates it.
+func rawConfig() bitindex.Config {
+	return bitindex.Config{Bits: []uint8{40, 30}} // want `bitindex\.Config constructed outside package bitindex without a Validate call`
+}
+
+// checkedConfig validates in the same function: accepted.
+func checkedConfig(n int) (bitindex.Config, error) {
+	c := bitindex.Config{Bits: []uint8{4, 4}}
+	if err := c.Validate(n); err != nil {
+		return bitindex.Config{}, err
+	}
+	return c, nil
+}
+
+// zeroConfig is trivially within budget: the empty literal needs no check.
+func zeroConfig() bitindex.Config { return bitindex.Config{} }
+
+// plainShift involves no IC bits: out of scope.
+func plainShift(n int) int { return 1 << uint(n) }

@@ -1,0 +1,38 @@
+// Package detrand is the analyzer fixture: `// want` comments name the
+// diagnostics the analyzer must report at exactly those lines.
+package detrand
+
+import (
+	mrand "math/rand"
+	"math/rand/v2"
+)
+
+func globalV2() int {
+	return rand.IntN(10) // want `math/rand/v2\.IntN draws from the process-global source`
+}
+
+func globalV1() float64 {
+	return mrand.Float64() // want `math/rand\.Float64 draws from the process-global source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `math/rand/v2\.Shuffle draws from the process-global source`
+}
+
+// seeded is the sanctioned pattern: an explicit source keyed by the run's
+// seed, drawn from via methods.
+func seeded(seed uint64) int {
+	r := rand.New(rand.NewPCG(seed, seed^0x9e3779b9))
+	return r.IntN(10)
+}
+
+func seededV1(seed int64) float64 {
+	r := mrand.New(mrand.NewSource(seed))
+	return r.Float64()
+}
+
+func zipf(seed uint64) uint64 {
+	r := rand.New(rand.NewPCG(seed, 1))
+	z := rand.NewZipf(r, 1.2, 1, 1<<20)
+	return z.Uint64()
+}

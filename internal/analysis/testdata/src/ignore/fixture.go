@@ -1,0 +1,26 @@
+// Package stem exercises the amrivet:ignore directive machinery; the
+// package name places it in the wallclock hot-path set. This fixture is
+// asserted manually by TestIgnoreDirectives (not via want comments, which
+// cannot annotate the directive lines themselves).
+package stem
+
+import "time"
+
+func suppressedSameLine() time.Time {
+	return time.Now() //amrivet:ignore fixture scaffolding, not a hot path
+}
+
+func suppressedLineAbove() time.Time {
+	//amrivet:ignore[wallclock] fixture demonstrates scoped suppression
+	return time.Now()
+}
+
+func wrongScope() time.Time {
+	//amrivet:ignore[detrand] names a different analyzer: wallclock must still fire
+	return time.Now()
+}
+
+func bareDirective() time.Time {
+	//amrivet:ignore
+	return time.Now()
+}

@@ -1,0 +1,77 @@
+// Package mutexguard is the analyzer fixture: `// want` comments name the
+// diagnostics the analyzer must report at exactly those lines.
+package mutexguard
+
+import "sync"
+
+// server's mu guards the contiguous field group that follows it.
+type server struct {
+	mu    sync.Mutex
+	conns int
+	state string
+
+	name string // separate group: unguarded
+}
+
+func (s *server) good() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conns
+}
+
+func (s *server) bad() int {
+	return s.conns // want `server\.conns is guarded by "mu" but accessed without a preceding s\.mu\.Lock`
+}
+
+func (s *server) badWrite() {
+	s.state = "dirty" // want `server\.state is guarded by "mu"`
+}
+
+func (s *server) nameOK() string { return s.name }
+
+func newServer() *server {
+	s := &server{conns: 1}
+	s.state = "init" // freshly constructed local: not yet shared, no lock needed
+	return s
+}
+
+func lockOtherBase(a, b *server) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.conns + b.conns // want `server\.conns is guarded by "mu" but accessed without a preceding b\.mu\.Lock`
+}
+
+type rw struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (r *rw) read() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.n
+}
+
+// annotated uses the explicit comment convention across a group break.
+type annotated struct {
+	lock sync.Mutex
+
+	// count is guarded by lock.
+	count int
+}
+
+func (a *annotated) bump() {
+	a.count++ // want `annotated\.count is guarded by "lock"`
+}
+
+func (a *annotated) bumpLocked() {
+	a.lock.Lock()
+	a.count++
+	a.lock.Unlock()
+}
+
+func byValue(s server) { // want `parameter passes lock by value`
+	_ = s
+}
+
+func (s server) valueRecv() {} // want `receiver passes lock by value`

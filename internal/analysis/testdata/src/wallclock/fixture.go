@@ -1,0 +1,28 @@
+// Package stem is the wallclock fixture: its package name places it in
+// amrivet's hot-path set, so wall-clock reads here must be diagnosed.
+package stem
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // want `time\.Now in hot-path package stem: wall-clock timing must flow through internal/metrics`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since in hot-path package stem`
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want `time\.Until in hot-path package stem`
+}
+
+// Constructing durations or parsing timestamps is fine — only reading the
+// wall clock is banned.
+func windowSpan(ticks int) time.Duration {
+	return time.Duration(ticks) * time.Second
+}
+
+func suppressed() time.Time {
+	//amrivet:ignore[wallclock] fixture demonstrates scoped suppression
+	return time.Now()
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// hotPathPackages are the inner-loop packages where wall-clock reads are
+// banned: their work is charged in simulated cost units and rendered by
+// internal/metrics, and a stray time.Now() both distorts microbenchmarks
+// and (worse) tempts time-dependent behaviour into deterministic replays.
+// Matching is by final path segment and by package name so fixture and
+// vendor layouts are treated identically.
+var hotPathPackages = map[string]bool{
+	"bitindex": true,
+	"assess":   true,
+	"hh":       true,
+	"stem":     true,
+}
+
+// WallClock forbids wall-clock reads (time.Now, time.Since) inside the
+// hot-path packages. Timing belongs to the drivers (cmd/, bench, pipeline)
+// and flows through internal/metrics; the data structures themselves must
+// stay wall-clock-free so seeded runs are bit-for-bit reproducible.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "reports time.Now/time.Since calls inside hot-path packages (bitindex, assess, hh, stem)",
+	Run:  runWallClock,
+}
+
+func runWallClock(pass *Pass) {
+	if !isHotPathPackage(pass) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[sel.Sel]
+			if obj == nil {
+				return true
+			}
+			for _, banned := range []string{"Now", "Since", "Until"} {
+				if isPkgFunc(obj, "time", banned) {
+					pass.Reportf(call.Pos(),
+						"time.%s in hot-path package %s: wall-clock timing must flow through internal/metrics at the driver layer",
+						banned, pass.Pkg.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isHotPathPackage(pass *Pass) bool {
+	if hotPathPackages[pass.Pkg.Name()] {
+		return true
+	}
+	segs := strings.Split(pass.PkgPath, "/")
+	return hotPathPackages[segs[len(segs)-1]]
+}

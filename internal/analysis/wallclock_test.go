@@ -1,0 +1,15 @@
+package analysis
+
+import "testing"
+
+func TestWallClockFixture(t *testing.T) {
+	diags := runFixture(t, WallClock, "wallclock")
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics: the analyzer catches nothing")
+	}
+	// The harness matches at line granularity; pin the first finding's
+	// exact position (the time.Now() call in stamp) down to the column.
+	if got, want := position(diags[0]), "8:9"; got != want {
+		t.Errorf("first wallclock diagnostic at %s, want %s", got, want)
+	}
+}

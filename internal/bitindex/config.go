@@ -156,6 +156,11 @@ type layout struct {
 }
 
 func newLayout(c Config) layout {
+	if c.TotalBits() > MaxTotalBits {
+		// Callers validate first; a wider layout would shift past the
+		// uint64 bucket id and silently alias every tuple into bucket 0.
+		panic(fmt.Sprintf("bitindex: layout over %d bits exceeds the %d-bit bucket id", c.TotalBits(), MaxTotalBits))
+	}
 	l := layout{shift: make([]uint, len(c.Bits)), mask: make([]uint64, len(c.Bits)), total: c.TotalBits()}
 	pos := l.total
 	for i, b := range c.Bits {

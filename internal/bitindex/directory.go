@@ -16,6 +16,12 @@ type directory interface {
 }
 
 func newDirectory(cfg Config, denseLimit int) directory {
+	if denseLimit >= MaxTotalBits {
+		// A dense directory as wide as the 64-bit bucket id cannot exist
+		// (1<<64 overflows the slot count to zero); such configurations
+		// must take the sparse path.
+		denseLimit = MaxTotalBits - 1
+	}
 	if tb := cfg.TotalBits(); tb <= denseLimit {
 		return &denseDir{buckets: make([][]*tuple.Tuple, uint64(1)<<uint(tb))}
 	}

@@ -87,6 +87,14 @@ func (o *operator) insert(t *tuple.Tuple) {
 	o.length.Store(int64(o.ix.Len()))
 }
 
+// retunes reads the state's migration count under the operator lock (the
+// index may still be mid-probe when a caller aggregates results).
+func (o *operator) retunes() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.ix.Retunes()
+}
+
 // probe runs one search request against the state, returning the matches.
 func (o *operator) probe(c *tuple.Composite) []*tuple.Tuple {
 	o.mu.Lock()
@@ -288,7 +296,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	for _, o := range ops {
 		res.Probes += o.probes.Load()
-		res.Retunes += o.ix.Retunes()
+		res.Retunes += o.retunes()
 	}
 	return res, nil
 }

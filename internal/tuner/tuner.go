@@ -73,6 +73,12 @@ const maxExhaustiveSpace = 5_000_000
 // results are deterministic. It refuses combinatorially large spaces — use
 // Greedy there.
 func Exhaustive(numAttrs, budget int, p cost.Params, stats []cost.APStat, opt Options) (bitindex.Config, error) {
+	if budget > bitindex.MaxTotalBits {
+		// Unlike Greedy, the recursive walk would happily allocate every
+		// budgeted bit, producing configurations no uint64 bucket id can
+		// address; refuse up front (amrivet:bitbudget surfaced this).
+		return bitindex.Config{}, fmt.Errorf("tuner: budget %d exceeds the %d-bit bucket id", budget, bitindex.MaxTotalBits)
+	}
 	space := 1.0
 	for i := 0; i < numAttrs; i++ {
 		space *= float64(budget + 1)
