@@ -5,7 +5,7 @@
 GO ?= go
 AMRIVET := bin/amrivet
 
-.PHONY: all build vet lint test race bench-smoke ci clean
+.PHONY: all build vet lint test race chaos bench-smoke ci clean
 
 all: build
 
@@ -28,6 +28,15 @@ test:
 
 race:
 	$(GO) test -race ./internal/... .
+
+# chaos runs the seeded fault-injection sweep under the race detector:
+# supervisor restarts, mailbox shedding, migration aborts, goroutine-leak
+# checks and the engine's soft-watermark degradation (DESIGN.md §8).
+chaos:
+	$(GO) test -race -count=1 ./internal/fault
+	$(GO) test -race -count=1 \
+		-run 'Chaos|Leak|Mailbox|MigrateGate|AbortMigration|Watermark' \
+		./internal/pipeline ./internal/bitindex ./internal/core ./internal/engine
 
 # bench-smoke proves the hot-path benchmarks still run (1 iteration each);
 # it is a compile-and-execute gate, not a performance measurement.

@@ -140,6 +140,14 @@ func ChainQuery(n int, windowTicks int64) *Query { return query.Chain(n, windowT
 // carries n-1 join attributes and 2^(n-1)-1 possible access patterns.
 func StarQuery(n int, windowTicks int64) *Query { return query.Star(n, windowTicks) }
 
+// NewChainQuery is ChainQuery's error-returning form, for stream counts
+// that arrive at runtime (flags, request payloads) rather than as
+// compile-time constants.
+func NewChainQuery(n int, windowTicks int64) (*Query, error) { return query.NewChain(n, windowTicks) }
+
+// NewStarQuery is StarQuery's error-returning form.
+func NewStarQuery(n int, windowTicks int64) (*Query, error) { return query.NewStar(n, windowTicks) }
+
 // CompileQuery builds a query from streams and equality join predicates.
 func CompileQuery(streams []query.StreamSpec, preds []query.Predicate, windowTicks int64) (*Query, error) {
 	return query.Compile(streams, preds, windowTicks)

@@ -1,10 +1,14 @@
 // Command amripipe runs the concurrent goroutine-per-operator engine on the
 // synthetic workload and reports real wall-clock throughput — the live twin
-// of the simulation that cmd/amribench measures in virtual time.
+// of the simulation that cmd/amribench measures in virtual time. With
+// -chaos-seed it doubles as a fault-injection harness: operators panic and
+// restart from checkpoints, deliveries stall or saturate, and migrations
+// abort mid-step, all on a reproducible seeded schedule.
 //
 // Usage:
 //
 //	amripipe [-ticks 300] [-seed 1] [-method cdia-h] [-rate 50] [-procs N]
+//	         [-mailbox-cap 0] [-shed-policy block] [-chaos-seed 0]
 package main
 
 import (
@@ -14,17 +18,21 @@ import (
 	"runtime"
 
 	"amri/internal/core"
+	"amri/internal/fault"
 	"amri/internal/pipeline"
 	"amri/internal/stream"
 )
 
 func main() {
 	var (
-		ticks  = flag.Int64("ticks", 300, "workload ticks to process")
-		seed   = flag.Uint64("seed", 1, "workload seed")
-		rate   = flag.Int("rate", 0, "override tuples per stream per tick")
-		method = flag.String("method", "cdia-h", "assessment: sria, csria, dia, cdia-r, cdia-h")
-		procs  = flag.Int("procs", 0, "GOMAXPROCS override (0 = runtime default)")
+		ticks     = flag.Int64("ticks", 300, "workload ticks to process")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		rate      = flag.Int("rate", 0, "override tuples per stream per tick")
+		method    = flag.String("method", "cdia-h", "assessment: sria, csria, dia, cdia-r, cdia-h")
+		procs     = flag.Int("procs", 0, "GOMAXPROCS override (0 = runtime default)")
+		mboxCap   = flag.Int("mailbox-cap", 0, "operator mailbox capacity (0 = unbounded)")
+		shedPol   = flag.String("shed-policy", "block", "overload policy: block, drop-newest, drop-oldest")
+		chaosSeed = flag.Uint64("chaos-seed", 0, "fault-injection seed (0 = no faults)")
 	)
 	flag.Parse()
 
@@ -49,16 +57,30 @@ func main() {
 		os.Exit(2)
 	}
 
+	policy, err := pipeline.ParsePolicy(*shedPol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amripipe:", err)
+		os.Exit(2)
+	}
+
+	plan := fault.None
+	if *chaosSeed != 0 {
+		plan = fault.Default(*chaosSeed)
+	}
+
 	prof := stream.DriftProfile()
 	if *rate > 0 {
 		prof.LambdaD = *rate
 	}
 
 	r, err := pipeline.Run(pipeline.Config{
-		Profile: prof,
-		Seed:    *seed,
-		Ticks:   *ticks,
-		Method:  m,
+		Profile:    prof,
+		Seed:       *seed,
+		Ticks:      *ticks,
+		Method:     m,
+		MailboxCap: *mboxCap,
+		ShedPolicy: policy,
+		Fault:      plan,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "amripipe:", err)
@@ -73,4 +95,16 @@ func main() {
 	fmt.Printf("wall time:       %v\n", r.Wall)
 	fmt.Printf("throughput:      %.0f tuples/s, %.0f probes/s (wall clock)\n",
 		float64(r.TuplesIngested)/r.Wall.Seconds(), float64(r.Probes)/r.Wall.Seconds())
+	if *mboxCap > 0 || plan.Enabled() {
+		fmt.Printf("sheds:           %d (%d ingest, %d probe; per-op %v)\n",
+			r.Sheds, r.IngestShed, r.ProbeShed, r.ShedsPerOp)
+	}
+	if plan.Enabled() {
+		fmt.Printf("chaos:           %d restarts (%d permanent failures), %d lost in flight\n",
+			r.Restarts, r.PermanentFailures, r.IngestLost+r.ProbeLost)
+		fmt.Printf("checkpoints:     %d tuples replayed, %d lost past checkpoint\n",
+			r.Replayed, r.StateLost)
+		fmt.Printf("faults:          %d migration aborts, %d delivery stalls, %d pressure events\n",
+			r.MigrationAborts, r.InjectedDelays, r.PressureEvents)
+	}
 }

@@ -32,6 +32,15 @@ var detRandConstructors = map[string]bool{
 // workload. One rand.IntN from the process-global source breaks that
 // silently: the source is seeded randomly at startup and shared across
 // goroutines, so results stop being a function of the seed.
+//
+// internal/fault — the pipeline's seeded chaos injector — is allowed its
+// "randomness" without an exemption entry because it takes the strictest
+// sanctioned path: it never imports math/rand at all. Every fault decision
+// is a splitmix64 hash of (plan seed, fault kind, actor, per-actor event
+// counter), so it is green here by construction and stays reproducible
+// even across goroutine interleavings, which a shared seeded *rand.Rand
+// would not be. Prefer that pattern (see the fixture's hashDecide) for any
+// future per-event probabilistic decision made from concurrent goroutines.
 var DetRand = &Analyzer{
 	Name: "detrand",
 	Doc:  "reports use of the global math/rand source outside sim/stream; use rand.New with the run's seed",

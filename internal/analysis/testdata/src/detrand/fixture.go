@@ -36,3 +36,18 @@ func zipf(seed uint64) uint64 {
 	z := rand.NewZipf(r, 1.2, 1, 1<<20)
 	return z.Uint64()
 }
+
+// hashDecide is the pattern internal/fault uses and the strictest form the
+// analyzer endorses: no randomness source at all, just a splitmix64 hash
+// of (seed, actor, event counter) compared against a rate. Unlike a shared
+// seeded *rand.Rand, it is reproducible even when concurrent goroutines
+// consume events in different interleavings, because each actor's schedule
+// depends only on its own counter.
+func hashDecide(seed, actor, n uint64, rate float64) bool {
+	x := seed ^ 0x9e3779b97f4a7c15*(actor+1) ^ 0x94d049bb133111eb*(n+1)
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11)/(1<<53) < rate
+}

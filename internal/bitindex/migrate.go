@@ -93,6 +93,37 @@ func (ix *Index) MigrateStep(n int) (st Stats, done bool) {
 	return st, false
 }
 
+// AbortMigration rolls back an in-progress incremental migration: every
+// tuple that already reached the new directory — moved by MigrateStep or
+// inserted since StartMigration — is re-inserted into the old directory
+// under the old configuration, which becomes authoritative again. This is
+// the fault-tolerance path: a migration that dies mid-step must leave the
+// index exactly as if it had never started (modulo the wasted work, which
+// the returned stats price). Reports false when no migration is running.
+func (ix *Index) AbortMigration() (Stats, bool) {
+	m := ix.mig
+	if m == nil {
+		return Stats{}, false
+	}
+	var moved []*tuple.Tuple
+	ix.dir.forEach(func(_ uint64, b []*tuple.Tuple) bool {
+		moved = append(moved, b...)
+		return true
+	})
+	ix.cfg = m.oldCfg
+	ix.lay = m.oldLay
+	ix.dir = m.oldDir
+	ix.mig = nil
+	var st Stats
+	for _, t := range moved {
+		id, hashes := ix.BucketID(t)
+		ix.dir.put(id, t)
+		st.Hashes += hashes
+		st.Tuples++
+	}
+	return st, true
+}
+
 // migDelete removes t from the old directory during a migration; reports
 // whether it was found there.
 func (ix *Index) migDelete(t *tuple.Tuple) (Stats, bool) {

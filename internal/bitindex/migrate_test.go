@@ -247,3 +247,101 @@ func TestMigrationFindabilityProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAbortMigrationRestoresOldDirectory: a fault mid-MigrateStep must
+// leave the old directory authoritative — same configuration, same Len,
+// every tuple findable, as if the migration never started.
+func TestAbortMigrationRestoresOldDirectory(t *testing.T) {
+	ix, tuples := populated(t, 120)
+	oldCfg := ix.Config()
+	if err := ix.StartMigration(NewConfig(2, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Partially migrate and insert fresh tuples under the new config —
+	// the abort must fold both back into the old directory.
+	ix.MigrateStep(40)
+	fresh := tuple.New(0, 5000, 0, []tuple.Value{7, 8, 9})
+	ix.Insert(fresh)
+	tuples = append(tuples, fresh)
+
+	st, ok := ix.AbortMigration()
+	if !ok {
+		t.Fatal("abort of an in-flight migration reported nothing to abort")
+	}
+	if st.Tuples != 41 {
+		t.Fatalf("abort relocated %d tuples, want the 40 moved + 1 fresh", st.Tuples)
+	}
+	if ix.Migrating() {
+		t.Fatal("no migration should remain after abort")
+	}
+	if !ix.Config().Equal(oldCfg) {
+		t.Fatalf("config = %v, want the pre-migration %v", ix.Config(), oldCfg)
+	}
+	if ix.Len() != len(tuples) {
+		t.Fatalf("Len = %d, want %d", ix.Len(), len(tuples))
+	}
+	for _, want := range tuples {
+		found := false
+		ix.Search(query.FullPattern(3), want.Attrs, func(x *tuple.Tuple) bool {
+			if x == want {
+				found = true
+				return false
+			}
+			return true
+		})
+		if !found {
+			t.Fatalf("tuple %v unfindable after abort", want)
+		}
+	}
+	// The restored index must keep working: delete and re-insert.
+	if _, ok := ix.Delete(tuples[3]); !ok {
+		t.Fatal("delete failed after abort")
+	}
+	if ix.Len() != len(tuples)-1 {
+		t.Fatalf("Len after delete = %d", ix.Len())
+	}
+}
+
+func TestAbortMigrationNoOpWhenIdle(t *testing.T) {
+	ix, _ := populated(t, 10)
+	if st, ok := ix.AbortMigration(); ok || st.Tuples != 0 {
+		t.Fatal("abort with no migration in flight must be a no-op")
+	}
+}
+
+// TestAbortThenRestartMigration: after a rollback the index must accept a
+// fresh migration and drain it to completion.
+func TestAbortThenRestartMigration(t *testing.T) {
+	ix, tuples := populated(t, 60)
+	if err := ix.StartMigration(NewConfig(2, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	ix.MigrateStep(20)
+	if _, ok := ix.AbortMigration(); !ok {
+		t.Fatal("abort failed")
+	}
+	if err := ix.StartMigration(NewConfig(1, 2, 3)); err != nil {
+		t.Fatalf("restart after abort: %v", err)
+	}
+	for {
+		if _, done := ix.MigrateStep(16); done {
+			break
+		}
+	}
+	if !ix.Config().Equal(NewConfig(1, 2, 3)) {
+		t.Fatalf("config = %v", ix.Config())
+	}
+	for _, want := range tuples {
+		found := false
+		ix.Search(query.FullPattern(3), want.Attrs, func(x *tuple.Tuple) bool {
+			if x == want {
+				found = true
+				return false
+			}
+			return true
+		})
+		if !found {
+			t.Fatalf("tuple %v lost across abort+remigrate", want)
+		}
+	}
+}

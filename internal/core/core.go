@@ -86,6 +86,13 @@ type Options struct {
 	MaxBitsPerAttr []uint8
 	// Hasher overrides the attribute hash (default bitindex.DefaultHasher).
 	Hasher bitindex.Hasher
+	// MigrateGate, when set, is consulted each time a tuning pass
+	// proposes a migration. Returning false makes the index start the
+	// incremental migration, advance it one bounded step, then roll it
+	// back via AbortMigration — a fault mid-migration, after which the
+	// old directory stays authoritative. The fault-injection harness
+	// (internal/fault) uses it to force reproducible migration aborts.
+	MigrateGate func() bool
 	// Cost carries the workload rates for Equation 1. Leave it zero to
 	// self-calibrate: the expected scan size is taken from the live state
 	// size and the request rate from the observed request/insert ratio.
@@ -141,6 +148,7 @@ type AdaptiveIndex struct {
 	requests  uint64
 	sinceTune uint64
 	retunes   int
+	aborted   int
 }
 
 // New builds an AdaptiveIndex with a uniform starting configuration.
@@ -232,11 +240,30 @@ func (a *AdaptiveIndex) Tune() (migrated bool, active bitindex.Config) {
 	if !improve {
 		return false, a.ix.Config()
 	}
+	if a.opts.MigrateGate != nil && !a.opts.MigrateGate() {
+		// Injected fault mid-migration: run the real incremental
+		// machinery a bounded step in, then roll it back, so the abort
+		// path exercised here is the one production recovery relies on.
+		if err := a.ix.StartMigration(next); err == nil {
+			a.ix.MigrateStep(64)
+			a.ix.AbortMigration()
+		}
+		a.aborted++
+		return false, a.ix.Config()
+	}
 	if _, err := a.ix.Migrate(next); err != nil {
 		return false, a.ix.Config()
 	}
 	a.retunes++
 	return true, next
+}
+
+// ShedAssessment drops the assessor's accumulated statistics and restarts
+// the tuning window — the degradation response to memory pressure: the
+// statistics are reconstructible, stored tuples are not.
+func (a *AdaptiveIndex) ShedAssessment() {
+	a.asr.Reset()
+	a.sinceTune = 0
 }
 
 // Config returns the active index configuration.
@@ -253,6 +280,10 @@ func (a *AdaptiveIndex) Requests() uint64 { return a.requests }
 
 // Retunes returns the number of migrations performed.
 func (a *AdaptiveIndex) Retunes() int { return a.retunes }
+
+// MigrationAborts returns the number of migrations rolled back by the
+// MigrateGate fault hook.
+func (a *AdaptiveIndex) MigrationAborts() int { return a.aborted }
 
 // Method returns the active assessment method's name.
 func (a *AdaptiveIndex) Method() string { return a.asr.Name() }

@@ -188,3 +188,89 @@ func TestStatsExposesAssessment(t *testing.T) {
 		t.Fatalf("Stats = %v", stats)
 	}
 }
+
+// TestMigrateGateAborts: a gate that vetoes every proposal must leave the
+// configuration untouched, count the aborts, and keep every stored tuple
+// findable — the rollback is the real bitindex abort path.
+func TestMigrateGateAborts(t *testing.T) {
+	a, err := New(Options{
+		NumAttrs:    3,
+		BitBudget:   6,
+		Method:      MethodCDIAHighest,
+		Seed:        1,
+		MigrateGate: func() bool { return false },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := a.Config()
+	rng := rand.New(rand.NewPCG(3, 3))
+	var stored []*tuple.Tuple
+	for i := 0; i < 2000; i++ {
+		tp := tuple.New(0, uint64(i), 0, []tuple.Value{
+			tuple.Value(rng.Uint64N(256)), tuple.Value(rng.Uint64N(256)), tuple.Value(rng.Uint64N(256))})
+		stored = append(stored, tp)
+		a.Insert(tp)
+	}
+	for i := 0; i < 3000; i++ {
+		a.Search(query.PatternOf(2), []tuple.Value{1, 2, tuple.Value(rng.Uint64N(256))},
+			func(*tuple.Tuple) bool { return true })
+	}
+	migrated, cfg := a.Tune()
+	if migrated {
+		t.Fatal("gated migration must not commit")
+	}
+	if !cfg.Equal(before) || !a.Config().Equal(before) {
+		t.Fatalf("config moved despite abort: %v -> %v", before, a.Config())
+	}
+	if a.Retunes() != 0 {
+		t.Fatalf("Retunes = %d, want 0", a.Retunes())
+	}
+	if a.MigrationAborts() != 1 {
+		t.Fatalf("MigrationAborts = %d, want 1", a.MigrationAborts())
+	}
+	for _, want := range stored[:50] {
+		found := false
+		a.Search(query.FullPattern(3), want.Attrs, func(x *tuple.Tuple) bool {
+			if x == want {
+				found = true
+				return false
+			}
+			return true
+		})
+		if !found {
+			t.Fatalf("tuple %v unfindable after aborted migration", want)
+		}
+	}
+	// A permissive gate lets the next pass migrate normally.
+	b, _ := New(Options{NumAttrs: 3, BitBudget: 6, Method: MethodCDIAHighest, Seed: 1,
+		MigrateGate: func() bool { return true }})
+	for _, tp := range stored {
+		b.Insert(tp)
+	}
+	for i := 0; i < 3000; i++ {
+		b.Search(query.PatternOf(2), []tuple.Value{1, 2, tuple.Value(rng.Uint64N(256))},
+			func(*tuple.Tuple) bool { return true })
+	}
+	if migrated, _ := b.Tune(); !migrated {
+		t.Fatal("permissive gate should not block the migration")
+	}
+	if b.MigrationAborts() != 0 {
+		t.Fatalf("permissive gate counted aborts: %d", b.MigrationAborts())
+	}
+}
+
+func TestShedAssessmentDropsStats(t *testing.T) {
+	a, _ := New(Options{NumAttrs: 2, Seed: 1})
+	a.Insert(tuple.New(0, 1, 0, []tuple.Value{5, 9}))
+	for i := 0; i < 50; i++ {
+		a.Search(query.PatternOf(0), []tuple.Value{5, 0}, func(*tuple.Tuple) bool { return true })
+	}
+	if len(a.Stats()) == 0 {
+		t.Fatal("expected assessment mass before shedding")
+	}
+	a.ShedAssessment()
+	if len(a.Stats()) != 0 {
+		t.Fatalf("assessment mass survived shedding: %v", a.Stats())
+	}
+}

@@ -161,6 +161,13 @@ type RunConfig struct {
 	// MemCap is the simulated memory cap in bytes; exceeding it ends the
 	// run (0 disables).
 	MemCap int
+	// SoftMemRatio enables graceful degradation: when the resident set
+	// crosses SoftMemRatio·MemCap, the engine sheds queued probe work and
+	// drops assessment statistics (both reconstructible) instead of
+	// sailing into the hard cap. A run that degraded but finished ends
+	// with metrics.EndDegraded. 0 disables (the default: contenders die
+	// at the cap exactly as the paper reports).
+	SoftMemRatio float64
 	// Costs prices the primitive operations.
 	Costs sim.CostTable
 	// Explore is the router's baseline suboptimal-route probability.
@@ -252,6 +259,9 @@ func (c *RunConfig) Validate() error {
 	}
 	if c.CPUBudget <= 0 {
 		return fmt.Errorf("engine: CPUBudget must be positive")
+	}
+	if c.SoftMemRatio < 0 || c.SoftMemRatio >= 1 {
+		return fmt.Errorf("engine: SoftMemRatio %v outside [0, 1)", c.SoftMemRatio)
 	}
 	if c.SampleEvery <= 0 {
 		return fmt.Errorf("engine: SampleEvery must be positive")

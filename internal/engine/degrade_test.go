@@ -1,0 +1,95 @@
+package engine
+
+// Graceful-degradation regression: an engine that would die of a
+// backlog-driven OOM must instead survive to the horizon when the soft
+// memory watermark is configured, by shedding queued probe work and
+// assessment statistics — and must report the run as EndDegraded, not
+// EndCompleted, because the output is complete in time but not content.
+
+import (
+	"testing"
+
+	"amri/internal/metrics"
+	"amri/internal/stream"
+)
+
+// pressureConfig underprovisions the CPU so probe work backlogs and the
+// materialized intermediate results blow through a 1MiB cap.
+func pressureConfig() RunConfig {
+	run := DefaultRunConfig()
+	run.Profile = stream.Profile{
+		LambdaD:      10,
+		PayloadBytes: 40,
+		EpochTicks:   40,
+		Domains:      []uint64{8, 12, 18, 27, 40, 60},
+	}
+	run.MaxTicks = 300
+	run.WarmupTicks = 30
+	run.AssessInterval = 15
+	run.SampleEvery = 5
+	run.CPUBudget = 5000
+	run.MemCap = 1 << 20
+	return run
+}
+
+func TestSoftWatermarkAvertsOOM(t *testing.T) {
+	hard := mustRun(t, pressureConfig(), AMRI(AssessCDIAHighest))
+	if hard.End != metrics.EndOOM {
+		t.Fatalf("pressure config must OOM without the watermark, got %s", hard.End)
+	}
+	if hard.EndTick >= 300 {
+		t.Fatal("the OOM must cut the run short for the comparison to mean anything")
+	}
+
+	run := pressureConfig()
+	run.SoftMemRatio = 0.85
+	soft := mustRun(t, run, AMRI(AssessCDIAHighest))
+	if soft.End != metrics.EndDegraded {
+		t.Fatalf("watermarked run ended %s, want %s", soft.End, metrics.EndDegraded)
+	}
+	if soft.EndTick != 300 {
+		t.Fatalf("degraded run stopped at tick %d, want the full horizon", soft.EndTick)
+	}
+	if soft.ShedTasks == 0 || soft.DegradedTicks == 0 {
+		t.Fatalf("degraded run reported no shedding: %d tasks, %d ticks",
+			soft.ShedTasks, soft.DegradedTicks)
+	}
+	if soft.TotalResults <= hard.TotalResults {
+		t.Fatalf("surviving longer should produce more results: %d (degraded) vs %d (OOM at %d)",
+			soft.TotalResults, hard.TotalResults, hard.EndTick)
+	}
+	// The whole point of shedding: the resident set stays near the cap.
+	if soft.PeakMemBytes > run.MemCap {
+		t.Fatalf("degraded run still exceeded the cap: peak %d > %d", soft.PeakMemBytes, run.MemCap)
+	}
+}
+
+func TestSoftWatermarkInertWithoutPressure(t *testing.T) {
+	run := quickConfig()
+	base := mustRun(t, run, AMRI(AssessCDIAHighest))
+	run.SoftMemRatio = 0.85
+	run.MemCap = 1 << 30 // never approached
+	soft := mustRun(t, run, AMRI(AssessCDIAHighest))
+	if soft.End != metrics.EndCompleted {
+		t.Fatalf("unpressured watermarked run ended %s", soft.End)
+	}
+	if soft.ShedTasks != 0 || soft.DegradedTicks != 0 {
+		t.Fatal("watermark fired with memory to spare")
+	}
+	if soft.TotalResults != base.TotalResults {
+		t.Fatalf("inert watermark changed the run: %d vs %d results",
+			soft.TotalResults, base.TotalResults)
+	}
+}
+
+func TestSoftMemRatioValidation(t *testing.T) {
+	run := quickConfig()
+	run.SoftMemRatio = 1.5
+	if _, err := New(run, AMRI(AssessCDIAHighest)); err == nil {
+		t.Fatal("SoftMemRatio >= 1 must be rejected")
+	}
+	run.SoftMemRatio = -0.1
+	if _, err := New(run, AMRI(AssessCDIAHighest)); err == nil {
+		t.Fatal("negative SoftMemRatio must be rejected")
+	}
+}

@@ -68,6 +68,9 @@ type Engine struct {
 	retunes   int
 	latencies []int64 // emission tick - driver arrival tick, per result
 
+	shedTasks     uint64 // probe tasks dropped by soft-watermark degradation
+	degradedTicks int64  // ticks that ended over the soft watermark
+
 	probesPerState []uint64 // since last tuning pass, for λ_r estimation
 	lensBuf        []int
 
@@ -335,7 +338,13 @@ func (e *Engine) Run() *metrics.RunResult {
 			e.tuneAll()
 		}
 
-		// 5. Sample and check the memory cap.
+		// 5. Memory pressure: past the soft watermark, degrade gracefully
+		// (shed reconstructible work) before sampling the hard cap.
+		if e.run.SoftMemRatio > 0 && e.meter.OverRatio(e.run.SoftMemRatio) {
+			e.degrade()
+			e.degradedTicks++
+		}
+		// Sample and check the memory cap.
 		if tick%e.run.SampleEvery == 0 {
 			sample(tick)
 		}
@@ -348,6 +357,11 @@ func (e *Engine) Run() *metrics.RunResult {
 		tick = e.run.MaxTicks
 	}
 	sample(tick)
+	if res.End == metrics.EndCompleted && e.degradedTicks > 0 {
+		res.End = metrics.EndDegraded
+	}
+	res.ShedTasks = e.shedTasks
+	res.DegradedTicks = e.degradedTicks
 	res.EndTick = tick
 	res.TotalResults = e.results
 	res.Probes = e.probes
@@ -364,6 +378,42 @@ func (e *Engine) Run() *metrics.RunResult {
 		}
 	}
 	return res
+}
+
+// degrade sheds reconstructible memory until the resident set is back under
+// the soft watermark: assessment statistics go first (they rebuild from
+// live traffic and cost no results), then queued probe tasks, oldest first
+// (each is a materialized intermediate result — dropping one loses at most
+// the join results it would have driven, never stored data). Ingest tasks
+// are never shed: arrivals are data, not reconstructible work.
+func (e *Engine) degrade() {
+	soft := int(e.run.SoftMemRatio * float64(e.run.MemCap))
+	for _, st := range e.stems {
+		if st.Assessor != nil {
+			st.Assessor.Reset()
+		}
+	}
+	need := e.meter.Used() - soft
+	if need <= 0 {
+		return
+	}
+	freed := 0
+	live := e.queue[e.queueHead:]
+	kept := live[:0]
+	for _, t := range live {
+		if freed < need && t.comp != nil {
+			b := t.memBytes()
+			freed += b
+			e.queueBytes -= b
+			e.shedTasks++
+			continue
+		}
+		kept = append(kept, t)
+	}
+	for i := len(kept); i < len(live); i++ {
+		live[i] = task{}
+	}
+	e.queue = e.queue[:e.queueHead+len(kept)]
 }
 
 func (e *Engine) push(t task) {

@@ -1,0 +1,227 @@
+// Package fault is a deterministic, seeded fault injector for the
+// concurrent pipeline. A Plan describes which fault classes fire and how
+// often; an Injector evaluates the plan at runtime. Every decision is a
+// pure function of (plan seed, fault kind, actor id, the actor's own event
+// counter) — never of wall-clock time, goroutine interleaving, or a shared
+// random source — so two runs in which each actor sees the same event
+// counts inject exactly the same faults. That is what makes chaos runs
+// reproducible: `go test -race` can assert that a seeded fault plan yields
+// identical restart and shed counts run over run.
+//
+// The injector draws no randomness from math/rand at all (decisions are
+// splitmix64 hashes of the seed), so the detrand analyzer's seeded-
+// reproducibility invariant holds here by construction.
+package fault
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+const (
+	// OperatorPanic crashes an operator goroutine while it handles an
+	// arrival, before the tuple reaches the state. The supervisor's
+	// panic recovery and checkpoint restart are what keep the run alive.
+	OperatorPanic Kind = iota
+	// MailboxSaturate forces an arrival delivery to behave as if the
+	// target mailbox were full, shedding the message through the
+	// overload-policy accounting path.
+	MailboxSaturate
+	// MailboxDelay stalls one delivery by the plan's Delay — a
+	// timing-only fault that shakes out ordering assumptions under
+	// -race without changing any count.
+	MailboxDelay
+	// MigrationAbort fails an index migration mid-MigrateStep; the
+	// bitindex rollback must leave the old directory authoritative.
+	MigrationAbort
+	// MemoryPressure simulates a low-memory signal at an operator,
+	// which responds by shedding its assessment statistics.
+	MemoryPressure
+	numKinds
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case OperatorPanic:
+		return "operator-panic"
+	case MailboxSaturate:
+		return "mailbox-saturate"
+	case MailboxDelay:
+		return "mailbox-delay"
+	case MigrationAbort:
+		return "migration-abort"
+	case MemoryPressure:
+		return "memory-pressure"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Plan is a seeded fault schedule. Rates are per-event probabilities in
+// [0, 1] at each kind's injection site; a rate of 1 fires on every event,
+// 0 never. The zero value injects nothing.
+type Plan struct {
+	// Seed keys every decision; the same seed reproduces the same fault
+	// schedule against the same workload.
+	Seed uint64
+	// PanicRate fires OperatorPanic per handled arrival.
+	PanicRate float64
+	// SaturateRate fires MailboxSaturate per arrival delivery.
+	SaturateRate float64
+	// DelayRate fires MailboxDelay per delivery, stalling it by Delay.
+	DelayRate float64
+	// Delay is the injected delivery stall (default 50µs when DelayRate
+	// is set but Delay is zero).
+	Delay time.Duration
+	// AbortRate fires MigrationAbort per proposed index migration.
+	AbortRate float64
+	// PressureRate fires MemoryPressure per handled probe.
+	PressureRate float64
+}
+
+// None is the empty plan: no faults are ever injected.
+var None = Plan{}
+
+// Enabled reports whether the plan can inject anything at all.
+func (p Plan) Enabled() bool {
+	return p.PanicRate > 0 || p.SaturateRate > 0 || p.DelayRate > 0 ||
+		p.AbortRate > 0 || p.PressureRate > 0
+}
+
+// rate returns the plan's probability for one kind.
+func (p Plan) rate(k Kind) float64 {
+	switch k {
+	case OperatorPanic:
+		return p.PanicRate
+	case MailboxSaturate:
+		return p.SaturateRate
+	case MailboxDelay:
+		return p.DelayRate
+	case MigrationAbort:
+		return p.AbortRate
+	case MemoryPressure:
+		return p.PressureRate
+	default:
+		return 0
+	}
+}
+
+// Default returns a modest chaos plan keyed by seed: occasional operator
+// panics and forced saturation, short delivery stalls, every fourth
+// proposed migration aborted, and rare memory-pressure signals. It is the
+// plan cmd/amripipe's -chaos-seed flag runs.
+func Default(seed uint64) Plan {
+	return Plan{
+		Seed:         seed,
+		PanicRate:    0.001,
+		SaturateRate: 0.002,
+		DelayRate:    0.001,
+		Delay:        50 * time.Microsecond,
+		AbortRate:    0.25,
+		PressureRate: 0.0005,
+	}
+}
+
+// Injector evaluates a plan's decisions for one run over a fixed set of
+// actors (operators). Each (kind, actor) pair owns an event counter, so
+// concurrent actors never perturb each other's schedules. A nil *Injector
+// never injects; every method is nil-safe so the disabled path costs one
+// branch.
+type Injector struct {
+	plan   Plan
+	actors int
+	seq    []atomic.Uint64 // event counters, kind-major
+	hits   []atomic.Uint64 // injected-fault counters, kind-major
+}
+
+// New builds an injector for the plan over `actors` actors. A disabled
+// plan (or no actors) yields nil, the never-inject injector.
+func New(plan Plan, actors int) *Injector {
+	if !plan.Enabled() || actors <= 0 {
+		return nil
+	}
+	if plan.DelayRate > 0 && plan.Delay <= 0 {
+		plan.Delay = 50 * time.Microsecond
+	}
+	n := int(numKinds) * actors
+	return &Injector{
+		plan:   plan,
+		actors: actors,
+		seq:    make([]atomic.Uint64, n),
+		hits:   make([]atomic.Uint64, n),
+	}
+}
+
+// Decide consumes one event for (kind, actor) and reports whether the
+// plan injects a fault there. Decisions for an actor depend only on how
+// many events that actor has already presented, so they are reproducible
+// across runs regardless of scheduling.
+func (in *Injector) Decide(k Kind, actor int) bool {
+	if in == nil {
+		return false
+	}
+	r := in.plan.rate(k)
+	if r <= 0 {
+		return false
+	}
+	i := int(k)*in.actors + actor
+	n := in.seq[i].Add(1) - 1
+	if !hashDecide(in.plan.Seed, k, actor, n, r) {
+		return false
+	}
+	in.hits[i].Add(1)
+	return true
+}
+
+// Delay returns the plan's delivery stall duration.
+func (in *Injector) Delay() time.Duration {
+	if in == nil {
+		return 0
+	}
+	return in.plan.Delay
+}
+
+// Hits returns how many faults of kind k were injected at actor.
+func (in *Injector) Hits(k Kind, actor int) uint64 {
+	if in == nil {
+		return 0
+	}
+	return in.hits[int(k)*in.actors+actor].Load()
+}
+
+// TotalHits sums Hits over all actors.
+func (in *Injector) TotalHits(k Kind) uint64 {
+	if in == nil {
+		return 0
+	}
+	var total uint64
+	for a := 0; a < in.actors; a++ {
+		total += in.hits[int(k)*in.actors+a].Load()
+	}
+	return total
+}
+
+// hashDecide maps (seed, kind, actor, n) to a uniform draw in [0,1) and
+// compares it against the rate.
+func hashDecide(seed uint64, k Kind, actor int, n uint64, rate float64) bool {
+	x := seed
+	x ^= 0x9e3779b97f4a7c15 * uint64(k+1)
+	x ^= 0xbf58476d1ce4e5b9 * uint64(actor+1)
+	x ^= 0x94d049bb133111eb * (n + 1)
+	u := float64(splitmix64(x)>>11) / (1 << 53)
+	return u < rate
+}
+
+// splitmix64 is the finalizer of Vigna's SplitMix64 generator — a cheap,
+// well-mixed 64-bit hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

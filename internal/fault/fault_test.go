@@ -1,0 +1,144 @@
+package fault
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorNeverInjects(t *testing.T) {
+	var in *Injector
+	for k := Kind(0); k < numKinds; k++ {
+		if in.Decide(k, 0) {
+			t.Fatalf("nil injector injected %v", k)
+		}
+		if in.Hits(k, 0) != 0 || in.TotalHits(k) != 0 {
+			t.Fatal("nil injector reported hits")
+		}
+	}
+	if in.Delay() != 0 {
+		t.Fatal("nil injector reported a delay")
+	}
+	if New(None, 4) != nil {
+		t.Fatal("the empty plan should build the nil injector")
+	}
+	if None.Enabled() {
+		t.Fatal("None must be disabled")
+	}
+}
+
+func TestRateExtremes(t *testing.T) {
+	in := New(Plan{Seed: 7, PanicRate: 1}, 2)
+	for i := 0; i < 100; i++ {
+		if !in.Decide(OperatorPanic, 1) {
+			t.Fatal("rate 1 must always inject")
+		}
+		if in.Decide(MailboxSaturate, 1) {
+			t.Fatal("rate 0 must never inject")
+		}
+	}
+	if in.Hits(OperatorPanic, 1) != 100 || in.Hits(OperatorPanic, 0) != 0 {
+		t.Fatalf("hits miscounted: %d/%d", in.Hits(OperatorPanic, 1), in.Hits(OperatorPanic, 0))
+	}
+	if in.TotalHits(OperatorPanic) != 100 {
+		t.Fatalf("TotalHits = %d", in.TotalHits(OperatorPanic))
+	}
+}
+
+// TestDeterministicAcrossInterleavings is the injector's core contract:
+// decisions depend only on each actor's own event count, so hammering the
+// injector from concurrent goroutines yields exactly the hit counts of a
+// sequential replay.
+func TestDeterministicAcrossInterleavings(t *testing.T) {
+	plan := Plan{Seed: 42, PanicRate: 0.1, SaturateRate: 0.3}
+	const actors, events = 4, 5000
+
+	sequential := New(plan, actors)
+	for a := 0; a < actors; a++ {
+		for i := 0; i < events; i++ {
+			sequential.Decide(OperatorPanic, a)
+			sequential.Decide(MailboxSaturate, a)
+		}
+	}
+
+	concurrent := New(plan, actors)
+	var wg sync.WaitGroup
+	for a := 0; a < actors; a++ {
+		wg.Add(1)
+		go func(actor int) {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				concurrent.Decide(OperatorPanic, actor)
+				concurrent.Decide(MailboxSaturate, actor)
+			}
+		}(a)
+	}
+	wg.Wait()
+
+	for a := 0; a < actors; a++ {
+		for _, k := range []Kind{OperatorPanic, MailboxSaturate} {
+			if sequential.Hits(k, a) != concurrent.Hits(k, a) {
+				t.Fatalf("actor %d kind %v: sequential %d != concurrent %d",
+					a, k, sequential.Hits(k, a), concurrent.Hits(k, a))
+			}
+		}
+	}
+	if sequential.TotalHits(OperatorPanic) == 0 {
+		t.Fatal("a 10% rate over 20000 events should have injected something")
+	}
+}
+
+func TestSeedChangesSchedule(t *testing.T) {
+	a := New(Plan{Seed: 1, PanicRate: 0.2}, 1)
+	b := New(Plan{Seed: 2, PanicRate: 0.2}, 1)
+	same := true
+	for i := 0; i < 200; i++ {
+		if a.Decide(OperatorPanic, 0) != b.Decide(OperatorPanic, 0) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules (suspicious)")
+	}
+}
+
+func TestDefaultPlan(t *testing.T) {
+	p := Default(9)
+	if !p.Enabled() {
+		t.Fatal("Default plan must be enabled")
+	}
+	if p.Seed != 9 {
+		t.Fatal("Default must carry the seed through")
+	}
+	in := New(p, 4)
+	if in == nil {
+		t.Fatal("Default plan should build a live injector")
+	}
+	if in.Delay() <= 0 {
+		t.Fatal("Default plan must carry a positive delay")
+	}
+}
+
+func TestDelayBackfill(t *testing.T) {
+	in := New(Plan{Seed: 3, DelayRate: 0.5}, 1)
+	if in.Delay() != 50*time.Microsecond {
+		t.Fatalf("zero Delay with DelayRate set should default to 50µs, got %v", in.Delay())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		OperatorPanic:   "operator-panic",
+		MailboxSaturate: "mailbox-saturate",
+		MailboxDelay:    "mailbox-delay",
+		MigrationAbort:  "migration-abort",
+		MemoryPressure:  "memory-pressure",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Error("unknown kind string")
+	}
+}

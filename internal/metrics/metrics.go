@@ -31,6 +31,10 @@ const (
 	// EndOOM means the simulated resident set exceeded the memory cap —
 	// the paper's "ran out of memory" terminations.
 	EndOOM EndReason = "out-of-memory"
+	// EndDegraded means the run reached its horizon but only by shedding
+	// work under memory pressure (the soft-watermark degradation path):
+	// the output is complete in time but not in content.
+	EndDegraded EndReason = "degraded"
 )
 
 // RunResult is the full record of one system's run.
@@ -63,6 +67,11 @@ type RunResult struct {
 	// CostBreakdown gives each cost category's share of CostUnits
 	// (maintain / search / assess / route) — where the CPU actually went.
 	CostBreakdown map[string]float64
+	// ShedTasks counts queued probe tasks dropped by soft-watermark
+	// degradation, and DegradedTicks the ticks that ended over the soft
+	// watermark (both zero unless SoftMemRatio is configured).
+	ShedTasks     uint64
+	DegradedTicks int64
 }
 
 // LatencySummary is a compact latency distribution.

@@ -1,0 +1,261 @@
+package pipeline
+
+// Chaos regression suite (`make chaos` runs it under -race): the pipeline
+// must be bit-identical to the deterministic engine when no faults are
+// injected, and must survive — with exact accounting and reproducible
+// counters — when a seeded fault plan crashes operators, saturates
+// mailboxes and aborts migrations mid-flight.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"amri/internal/core"
+	"amri/internal/engine"
+	"amri/internal/fault"
+	"amri/internal/tuple"
+)
+
+// resultDigest folds a result set into an order-independent fingerprint:
+// each composite hashes its member tuples' identities, and the per-result
+// hashes XOR together so emission order cannot matter.
+type resultDigest struct {
+	mu  sync.Mutex
+	xor uint64
+	n   uint64
+}
+
+func (d *resultDigest) add(c *tuple.Composite) {
+	var h uint64 = 0x9e3779b97f4a7c15
+	for i, part := range c.Parts {
+		if part == nil {
+			continue
+		}
+		x := uint64(i+1)*0xbf58476d1ce4e5b9 ^ part.Seq ^ uint64(part.TS)<<32 ^ uint64(part.Stream)<<56
+		x = (x ^ (x >> 30)) * 0x94d049bb133111eb
+		h ^= x + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	}
+	d.mu.Lock()
+	d.xor ^= h
+	d.n++
+	d.mu.Unlock()
+}
+
+// TestChaosDisabledMatchesEngine: with bounded mailboxes, checkpointing and
+// the supervisor all active but fault.None injected, the pipeline's result
+// SET (not just its count) is bit-identical to the deterministic engine's.
+// The fault-tolerance machinery must be invisible when nothing fails.
+func TestChaosDisabledMatchesEngine(t *testing.T) {
+	prof := smallProfile()
+	const ticks = 100
+
+	run := engine.DefaultRunConfig()
+	run.Profile = prof
+	run.Seed = 5
+	run.MaxTicks = ticks
+	run.WarmupTicks = 25
+	run.CPUBudget = 1 << 30 // never CPU-bound: the engine finds everything
+	run.MemCap = 0
+	run.Explore = 0
+	run.ExploreBurst = 0
+	var want resultDigest
+	run.OnResult = func(c *tuple.Composite, _ int64) { want.add(c) }
+	eng, err := engine.New(run, engine.AMRI(engine.AssessCDIAHighest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := eng.Run().TotalResults
+
+	var got resultDigest
+	pr, err := Run(Config{
+		Profile:         prof,
+		Seed:            5,
+		Ticks:           ticks,
+		Method:          core.MethodCDIAHighest,
+		Explore:         0,
+		MailboxCap:      64,
+		ShedPolicy:      PolicyBlock,
+		Fault:           fault.None,
+		CheckpointEvery: 64,
+		OnResult:        got.add,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact == 0 {
+		t.Fatal("engine found nothing; workload broken")
+	}
+	if pr.Results != exact {
+		t.Fatalf("pipeline results %d != engine's %d", pr.Results, exact)
+	}
+	if got.n != want.n || got.xor != want.xor {
+		t.Fatalf("result sets differ: pipeline (n=%d, digest=%#x) vs engine (n=%d, digest=%#x)",
+			got.n, got.xor, want.n, want.xor)
+	}
+	if pr.Sheds != 0 || pr.Restarts != 0 || pr.IngestLost != 0 || pr.ProbeLost != 0 ||
+		pr.MigrationAborts != 0 || pr.PermanentFailures != 0 {
+		t.Fatalf("fault.None run reported fault activity: %+v", pr)
+	}
+}
+
+// chaosConfig is the seeded fault plan the reproducibility tests share:
+// frequent operator panics, forced mailbox saturation, delivery stalls,
+// every proposed migration aborted, occasional memory pressure.
+func chaosConfig(seed uint64) Config {
+	return Config{
+		Profile:       smallProfile(),
+		Seed:          11,
+		Ticks:         150,
+		Method:        core.MethodCDIAHighest,
+		AutoTuneEvery: 300, // aggressive live tuning so migrations are proposed
+		Explore:       0,
+		MailboxCap:    64,
+		ShedPolicy:    PolicyBlock,
+		Fault: fault.Plan{
+			Seed:         seed,
+			PanicRate:    0.004,
+			SaturateRate: 0.01,
+			DelayRate:    0.002,
+			Delay:        10 * time.Microsecond,
+			AbortRate:    1.0, // every proposed migration dies mid-step
+			PressureRate: 0.01,
+		},
+		CheckpointEvery: 128,
+		MaxRestarts:     50, // keep all operators alive through the storm
+		RestartBackoff:  50 * time.Microsecond,
+	}
+}
+
+// TestChaosSeededRunCompletes: under a fault plan that injects operator
+// panics, mailbox saturation and migration aborts, the run must complete
+// and the Result must account for every arrival: ingested + shed + lost
+// covers exactly the generated post-filter workload.
+func TestChaosSeededRunCompletes(t *testing.T) {
+	cfg := chaosConfig(99)
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The plan must actually have exercised each fault class.
+	if r.Restarts == 0 {
+		t.Fatal("no operator panics fired; the chaos run exercised nothing")
+	}
+	if r.IngestShed == 0 {
+		t.Fatal("no mailbox saturation fired")
+	}
+	if r.MigrationAborts == 0 {
+		t.Fatal("no migration was aborted; raise tuning aggressiveness")
+	}
+	if r.Replayed == 0 {
+		t.Fatal("restarts never replayed a checkpoint")
+	}
+	// Accounting identity: every generated arrival is ingested, shed
+	// before handling, or lost to a panic mid-handling.
+	arrivals := uint64(cfg.Ticks) * uint64(cfg.Profile.LambdaD) * 4
+	if got := r.TuplesIngested + r.IngestShed + r.IngestLost; got != arrivals {
+		t.Fatalf("arrival accounting: ingested %d + shed %d + lost %d = %d, want %d",
+			r.TuplesIngested, r.IngestShed, r.IngestLost, got, arrivals)
+	}
+	if r.Results == 0 {
+		t.Fatal("the degraded run produced no results at all")
+	}
+	if r.PermanentFailures != 0 {
+		t.Fatalf("MaxRestarts=%d was exhausted (%d permanent failures)",
+			cfg.MaxRestarts, r.PermanentFailures)
+	}
+}
+
+// TestChaosSameSeedReproduces: two runs with the same fault seed produce
+// identical shed/restart accounting. Panic and saturation faults are keyed
+// to per-operator ingest event counters, which the two-phase tick delivery
+// makes deterministic; probe-side counters (routing-order dependent) are
+// deliberately excluded.
+func TestChaosSameSeedReproduces(t *testing.T) {
+	a, err := Run(chaosConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(chaosConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Restarts != b.Restarts || a.PermanentFailures != b.PermanentFailures {
+		t.Fatalf("restart counts differ: %d/%d vs %d/%d",
+			a.Restarts, a.PermanentFailures, b.Restarts, b.PermanentFailures)
+	}
+	if a.IngestShed != b.IngestShed || a.IngestLost != b.IngestLost {
+		t.Fatalf("ingest accounting differs: shed %d lost %d vs shed %d lost %d",
+			a.IngestShed, a.IngestLost, b.IngestShed, b.IngestLost)
+	}
+	if a.Replayed != b.Replayed || a.StateLost != b.StateLost {
+		t.Fatalf("checkpoint accounting differs: replayed %d lost %d vs replayed %d lost %d",
+			a.Replayed, a.StateLost, b.Replayed, b.StateLost)
+	}
+	if a.TuplesIngested != b.TuplesIngested {
+		t.Fatalf("ingested differs: %d vs %d", a.TuplesIngested, b.TuplesIngested)
+	}
+	// A different seed must produce a different fault schedule.
+	c, err := Run(chaosConfig(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Restarts == a.Restarts && c.IngestShed == a.IngestShed && c.IngestLost == a.IngestLost {
+		t.Fatal("changing the fault seed changed nothing (suspicious)")
+	}
+}
+
+// TestChaosPermanentFailure: an operator that exhausts MaxRestarts is
+// declared permanently failed, its backlog is shed, and the run still
+// drains and reports the verdict.
+func TestChaosPermanentFailure(t *testing.T) {
+	cfg := chaosConfig(7)
+	cfg.Fault.PanicRate = 0.05 // panic storms that outlast the cap
+	cfg.MaxRestarts = 2
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PermanentFailures == 0 {
+		t.Fatal("a 5% panic rate with MaxRestarts=2 should kill an operator for good")
+	}
+	if r.Restarts == 0 {
+		t.Fatal("failures should have gone through restarts first")
+	}
+	arrivals := uint64(cfg.Ticks) * uint64(cfg.Profile.LambdaD) * 4
+	if got := r.TuplesIngested + r.IngestShed + r.IngestLost; got != arrivals {
+		t.Fatalf("arrival accounting after permanent failure: %d, want %d", got, arrivals)
+	}
+}
+
+// TestChaosDropPolicies: natural mailbox overflow (tiny capacity, no
+// injected saturation) sheds through each drop policy and is accounted.
+func TestChaosDropPolicies(t *testing.T) {
+	for _, policy := range []OverloadPolicy{PolicyDropNewest, PolicyDropOldest} {
+		r, err := Run(Config{
+			Profile:    smallProfile(),
+			Seed:       3,
+			Ticks:      80,
+			Method:     core.MethodCDIAHighest,
+			MailboxCap: 2,
+			ShedPolicy: policy,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Sheds == 0 {
+			t.Fatalf("policy %v: capacity 2 never overflowed", policy)
+		}
+		var perOp uint64
+		for _, s := range r.ShedsPerOp {
+			perOp += s
+		}
+		if perOp != r.Sheds {
+			t.Fatalf("policy %v: per-op sheds %d != total %d", policy, perOp, r.Sheds)
+		}
+		arrivals := uint64(80 * 10 * 4)
+		if got := r.TuplesIngested + r.IngestShed + r.IngestLost; got != arrivals {
+			t.Fatalf("policy %v: arrival accounting %d, want %d", policy, got, arrivals)
+		}
+	}
+}

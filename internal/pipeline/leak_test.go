@@ -1,0 +1,73 @@
+package pipeline
+
+// Goroutine-leak regression: pipeline.Run must leave zero operator or
+// supervisor goroutines behind — on clean runs and on chaos runs with
+// restarts and permanent failures alike. A stuck supervisor (e.g. a
+// failOperator drain that never sees Close, or a PushWait parked forever)
+// shows up here as a count that never returns to baseline.
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"amri/internal/core"
+)
+
+// settleGoroutines polls until the goroutine count drops to at most want,
+// returning the final count (goroutine teardown is asynchronous after
+// WaitGroup release, so one-shot sampling flakes).
+func settleGoroutines(want int) int {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= want || time.Now().After(deadline) {
+			return n
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func assertNoLeak(t *testing.T, before int) {
+	t.Helper()
+	if after := settleGoroutines(before); after > before {
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Fatalf("goroutines leaked: %d before run, %d after\n%s", before, after, buf)
+	}
+}
+
+func TestRunLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	if _, err := Run(Config{
+		Profile:    smallProfile(),
+		Seed:       4,
+		Ticks:      60,
+		Method:     core.MethodCDIAHighest,
+		MailboxCap: 32,
+		ShedPolicy: PolicyBlock,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	assertNoLeak(t, before)
+}
+
+func TestChaosRunLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	cfg := chaosConfig(13)
+	cfg.Ticks = 80
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Permanent failures park a supervisor in the backlog drain until the
+	// run closes the mailboxes; cover that exit path too.
+	cfg = chaosConfig(17)
+	cfg.Ticks = 80
+	cfg.Fault.PanicRate = 0.05
+	cfg.MaxRestarts = 1
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	assertNoLeak(t, before)
+}

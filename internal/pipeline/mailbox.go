@@ -1,42 +1,168 @@
 // Package pipeline is the concurrent twin of internal/engine: the same
 // adaptive multi-route system run as a live Go program — one goroutine per
-// STeM operator, unbounded mailboxes between them, a shared router, and
+// STeM operator, bounded mailboxes between them, a shared router, and
 // self-tuning AMRI states guarded by per-state locks. Where internal/engine
 // measures virtual time deterministically for the paper's figures, pipeline
 // measures real wall-clock throughput and demonstrates the system working
-// under actual parallelism.
+// under actual parallelism — including under injected faults: every
+// operator goroutine runs beneath a supervisor that recovers panics and
+// restarts the operator from a checkpoint, and mailboxes can bound their
+// capacity with a pluggable overload policy (see DESIGN.md §8).
 package pipeline
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
-// mailbox is an unbounded MPSC queue: producers never block (join graphs
-// are cyclic — A probes B while B probes A — so bounded channels between
-// operators can deadlock), and the owning operator drains it until Close.
+// OverloadPolicy selects what a bounded mailbox does with a push that finds
+// the mailbox full.
+type OverloadPolicy int
+
+const (
+	// PolicyBlock applies backpressure: PushWait blocks until space frees
+	// up. Operator-side Push never blocks even under this policy — hard
+	// backpressure inside a cyclic probe graph (A probes B while B probes
+	// A) deadlocks — so intra-pipeline pushes spill past the cap and only
+	// the source is throttled.
+	PolicyBlock OverloadPolicy = iota
+	// PolicyDropNewest sheds the incoming message.
+	PolicyDropNewest
+	// PolicyDropOldest evicts the queue head to admit the incoming
+	// message — the freshest data wins, as stream systems usually want.
+	PolicyDropOldest
+)
+
+// String implements fmt.Stringer.
+func (p OverloadPolicy) String() string {
+	switch p {
+	case PolicyBlock:
+		return "block"
+	case PolicyDropNewest:
+		return "drop-newest"
+	case PolicyDropOldest:
+		return "drop-oldest"
+	default:
+		return fmt.Sprintf("OverloadPolicy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps a flag string to its OverloadPolicy.
+func ParsePolicy(s string) (OverloadPolicy, error) {
+	switch s {
+	case "block":
+		return PolicyBlock, nil
+	case "drop-newest":
+		return PolicyDropNewest, nil
+	case "drop-oldest":
+		return PolicyDropOldest, nil
+	default:
+		return 0, fmt.Errorf("pipeline: unknown shed policy %q (want block, drop-newest or drop-oldest)", s)
+	}
+}
+
+// PushResult reports the fate of one pushed message.
+type PushResult int
+
+const (
+	// PushAccepted: the message was enqueued.
+	PushAccepted PushResult = iota
+	// PushClosed: the mailbox was closed; the message was NOT enqueued and
+	// the caller still owns its accounting.
+	PushClosed
+	// PushShedNewest: the mailbox was full under PolicyDropNewest; the
+	// pushed message itself was shed (reported to onShed).
+	PushShedNewest
+	// PushShedOldest: the mailbox was full under PolicyDropOldest; the
+	// pushed message was enqueued and the old queue head was shed
+	// (reported to onShed).
+	PushShedOldest
+)
+
+// mailbox is an MPSC queue with an optional capacity bound: producers shed
+// or wait per the overload policy, and the owning operator drains it until
+// Close. The unbounded form (capacity 0) never sheds and never blocks a
+// producer.
 type mailbox[T any] struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []T
-	head   int
-	closed bool
+	capacity int            // 0 = unbounded
+	policy   OverloadPolicy // overload response when capacity > 0
+	// onShed observes every message dropped by a full mailbox (the
+	// incoming one under drop-newest, the evicted head under drop-oldest).
+	// It runs with the mailbox lock held and must not call back in.
+	onShed func(T, PushResult)
+
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	notFull  *sync.Cond
+	items    []T
+	head     int
+	closed   bool
+	sheds    uint64
 }
 
 func newMailbox[T any]() *mailbox[T] {
-	m := &mailbox[T]{}
-	m.cond = sync.NewCond(&m.mu)
+	return newBoundedMailbox[T](0, PolicyBlock, nil)
+}
+
+func newBoundedMailbox[T any](capacity int, policy OverloadPolicy, onShed func(T, PushResult)) *mailbox[T] {
+	m := &mailbox[T]{capacity: capacity, policy: policy, onShed: onShed}
+	m.notEmpty = sync.NewCond(&m.mu)
+	m.notFull = sync.NewCond(&m.mu)
 	return m
 }
 
-// Push enqueues an item. Pushing to a closed mailbox is a no-op (drain is
-// in progress; the work is accounted by the caller's in-flight bookkeeping).
-func (m *mailbox[T]) Push(v T) bool {
+// Push enqueues an item without ever blocking. A full mailbox sheds per the
+// drop policies; under PolicyBlock the item spills past the cap (see
+// PolicyBlock for why). Pushing to a closed mailbox is refused with
+// PushClosed and the caller keeps ownership of the item.
+func (m *mailbox[T]) Push(v T) PushResult {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
-		return false
+		return PushClosed
+	}
+	if m.capacity > 0 && len(m.items)-m.head >= m.capacity {
+		switch m.policy {
+		case PolicyDropNewest:
+			m.sheds++
+			if m.onShed != nil {
+				m.onShed(v, PushShedNewest)
+			}
+			return PushShedNewest
+		case PolicyDropOldest:
+			victim := m.items[m.head]
+			var zero T
+			m.items[m.head] = zero
+			m.head++
+			m.sheds++
+			if m.onShed != nil {
+				m.onShed(victim, PushShedOldest)
+			}
+			m.items = append(m.items, v)
+			m.notEmpty.Signal()
+			return PushShedOldest
+		}
 	}
 	m.items = append(m.items, v)
-	m.cond.Signal()
-	return true
+	m.notEmpty.Signal()
+	return PushAccepted
+}
+
+// PushWait is Push with real backpressure: under PolicyBlock it waits while
+// the mailbox is full before pushing. Only the workload source uses it —
+// the source sits outside the operator cycle, so blocking it cannot
+// deadlock the drain. The wait and the push are separate critical sections,
+// so concurrent PushWait callers can overshoot the cap by their own count;
+// with the pipeline's single source goroutine the bound is exact.
+func (m *mailbox[T]) PushWait(v T) PushResult {
+	if m.policy == PolicyBlock {
+		m.mu.Lock()
+		for m.capacity > 0 && len(m.items)-m.head >= m.capacity && !m.closed {
+			m.notFull.Wait()
+		}
+		m.mu.Unlock()
+	}
+	return m.Push(v)
 }
 
 // Pop blocks until an item is available or the mailbox is closed and
@@ -45,7 +171,7 @@ func (m *mailbox[T]) Pop() (v T, ok bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for m.head >= len(m.items) && !m.closed {
-		m.cond.Wait()
+		m.notEmpty.Wait()
 	}
 	if m.head >= len(m.items) {
 		return v, false
@@ -58,6 +184,7 @@ func (m *mailbox[T]) Pop() (v T, ok bool) {
 		m.items = append([]T(nil), m.items[m.head:]...)
 		m.head = 0
 	}
+	m.notFull.Signal()
 	return v, true
 }
 
@@ -68,10 +195,19 @@ func (m *mailbox[T]) Len() int {
 	return len(m.items) - m.head
 }
 
-// Close wakes all waiters; queued items are still drained by Pop.
+// Sheds returns how many messages this mailbox dropped at capacity.
+func (m *mailbox[T]) Sheds() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sheds
+}
+
+// Close wakes all waiters; queued items are still drained by Pop, while new
+// pushes are refused with PushClosed.
 func (m *mailbox[T]) Close() {
 	m.mu.Lock()
 	m.closed = true
 	m.mu.Unlock()
-	m.cond.Broadcast()
+	m.notEmpty.Broadcast()
+	m.notFull.Broadcast()
 }

@@ -1,0 +1,190 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMailboxDropNewest(t *testing.T) {
+	var shed []int
+	mb := newBoundedMailbox[int](2, PolicyDropNewest, func(v int, r PushResult) {
+		if r != PushShedNewest {
+			t.Errorf("onShed reason = %v, want PushShedNewest", r)
+		}
+		shed = append(shed, v)
+	})
+	if mb.Push(1) != PushAccepted || mb.Push(2) != PushAccepted {
+		t.Fatal("pushes under capacity must be accepted")
+	}
+	if got := mb.Push(3); got != PushShedNewest {
+		t.Fatalf("push past cap = %v, want PushShedNewest", got)
+	}
+	if mb.Sheds() != 1 || len(shed) != 1 || shed[0] != 3 {
+		t.Fatalf("shed accounting wrong: sheds=%d shed=%v", mb.Sheds(), shed)
+	}
+	// The queue keeps the oldest two, in order.
+	for _, want := range []int{1, 2} {
+		if v, ok := mb.Pop(); !ok || v != want {
+			t.Fatalf("Pop = %d,%v want %d", v, ok, want)
+		}
+	}
+}
+
+func TestMailboxDropOldest(t *testing.T) {
+	var shed []int
+	mb := newBoundedMailbox[int](2, PolicyDropOldest, func(v int, r PushResult) {
+		if r != PushShedOldest {
+			t.Errorf("onShed reason = %v, want PushShedOldest", r)
+		}
+		shed = append(shed, v)
+	})
+	mb.Push(1)
+	mb.Push(2)
+	if got := mb.Push(3); got != PushShedOldest {
+		t.Fatalf("push past cap = %v, want PushShedOldest", got)
+	}
+	if len(shed) != 1 || shed[0] != 1 {
+		t.Fatalf("drop-oldest must evict the head, shed %v", shed)
+	}
+	// The queue keeps the newest two.
+	for _, want := range []int{2, 3} {
+		if v, ok := mb.Pop(); !ok || v != want {
+			t.Fatalf("Pop = %d,%v want %d", v, ok, want)
+		}
+	}
+}
+
+func TestMailboxBlockSpillsOnPush(t *testing.T) {
+	mb := newBoundedMailbox[int](1, PolicyBlock, nil)
+	mb.Push(1)
+	// Operator-side Push must never block even at capacity: it spills.
+	if got := mb.Push(2); got != PushAccepted {
+		t.Fatalf("Push under PolicyBlock = %v, want spill-accept", got)
+	}
+	if mb.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (spilled)", mb.Len())
+	}
+	if mb.Sheds() != 0 {
+		t.Fatal("PolicyBlock must not shed")
+	}
+}
+
+func TestMailboxPushWaitBackpressure(t *testing.T) {
+	mb := newBoundedMailbox[int](1, PolicyBlock, nil)
+	mb.Push(1)
+	entered := make(chan struct{})
+	released := make(chan PushResult)
+	go func() {
+		close(entered)
+		released <- mb.PushWait(2)
+	}()
+	<-entered
+	// The producer is (about to be) parked on a full mailbox; a Pop must
+	// release it.
+	if v, ok := mb.Pop(); !ok || v != 1 {
+		t.Fatal("Pop failed")
+	}
+	if r := <-released; r != PushAccepted {
+		t.Fatalf("PushWait = %v after space freed", r)
+	}
+	if v, ok := mb.Pop(); !ok || v != 2 {
+		t.Fatalf("waited push not delivered: %d,%v", v, ok)
+	}
+}
+
+// TestMailboxClosePushRace is the close/push semantics contract under
+// contention: producers hammer Push/PushWait while the mailbox closes
+// mid-stream. Every push must resolve to exactly one of accepted (and then
+// be drained) or PushClosed (and then NOT be drained) — no message may be
+// both refused and delivered, and none may vanish unaccounted.
+func TestMailboxClosePushRace(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		mb := newBoundedMailbox[int](4, PolicyBlock, nil)
+		const producers, per = 4, 100
+		var accepted, refused sync.Map
+		var wg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(base int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					v := base*per + i
+					var r PushResult
+					if i%2 == 0 {
+						r = mb.Push(v)
+					} else {
+						r = mb.PushWait(v)
+					}
+					switch r {
+					case PushAccepted:
+						accepted.Store(v, true)
+					case PushClosed:
+						refused.Store(v, true)
+					default:
+						t.Errorf("unexpected push result %v", r)
+					}
+				}
+			}(p)
+		}
+		// Consumer drains concurrently so PushWait never parks forever,
+		// then closes the mailbox mid-stream and drains the tail.
+		drained := make(map[int]bool)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; ; i++ {
+				v, ok := mb.Pop()
+				if !ok {
+					return
+				}
+				drained[v] = true
+				if i == 97 {
+					mb.Close()
+				}
+			}
+		}()
+		wg.Wait()
+		mb.Close() // no-op if the consumer already closed
+		<-done
+
+		var nAccepted, nRefused int
+		accepted.Range(func(k, _ any) bool {
+			nAccepted++
+			if !drained[k.(int)] {
+				t.Fatalf("iter %d: accepted message %d never drained", iter, k)
+			}
+			return true
+		})
+		refused.Range(func(k, _ any) bool {
+			nRefused++
+			if drained[k.(int)] {
+				t.Fatalf("iter %d: refused message %d was delivered anyway", iter, k)
+			}
+			return true
+		})
+		if nAccepted+nRefused != producers*per {
+			t.Fatalf("iter %d: %d+%d pushes accounted, want %d",
+				iter, nAccepted, nRefused, producers*per)
+		}
+		if len(drained) != nAccepted {
+			t.Fatalf("iter %d: drained %d != accepted %d", iter, len(drained), nAccepted)
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for s, want := range map[string]OverloadPolicy{
+		"block": PolicyBlock, "drop-newest": PolicyDropNewest, "drop-oldest": PolicyDropOldest,
+	} {
+		got, err := ParsePolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v,%v", s, got, err)
+		}
+		if got.String() != s {
+			t.Errorf("%v.String() = %q, want %q", got, got.String(), s)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("bogus policy must not parse")
+	}
+}

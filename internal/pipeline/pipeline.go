@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"amri/internal/core"
+	"amri/internal/fault"
 	"amri/internal/query"
 	"amri/internal/router"
 	"amri/internal/stream"
@@ -34,6 +35,30 @@ type Config struct {
 	AutoTuneEvery uint64
 	// Explore is the router's suboptimal-route probability.
 	Explore float64
+
+	// MailboxCap bounds every operator mailbox to that many queued
+	// messages (0 = unbounded, the pre-fault-tolerance behaviour).
+	MailboxCap int
+	// ShedPolicy is the overload response of a full mailbox (default
+	// PolicyBlock: backpressure on the source, spill for operators).
+	ShedPolicy OverloadPolicy
+	// Fault is the seeded fault-injection plan; fault.None (the zero
+	// value) injects nothing.
+	Fault fault.Plan
+	// CheckpointEvery snapshots an operator's retained tuples after that
+	// many inserts, bounding replay loss after a panic (default 256; -1
+	// disables checkpointing, so a restart loses the whole state).
+	CheckpointEvery int
+	// MaxRestarts is how many times the supervisor restarts a panicking
+	// operator before declaring it permanently failed (default 3).
+	MaxRestarts int
+	// RestartBackoff is the supervisor's initial restart delay, doubled
+	// per consecutive restart and capped at 8x (default 1ms).
+	RestartBackoff time.Duration
+	// OnResult, when set, receives every complete join result. It is
+	// called concurrently from operator goroutines and must be
+	// goroutine-safe.
+	OnResult func(*tuple.Composite)
 }
 
 // Result summarizes a concurrent run.
@@ -48,6 +73,37 @@ type Result struct {
 	Wall time.Duration
 	// TuplesIngested counts the arrivals processed.
 	TuplesIngested uint64
+
+	// Sheds counts messages dropped before handling, summed over
+	// operators: mailbox-overload drops, injected saturation, and the
+	// backlog of permanently failed operators.
+	Sheds uint64
+	// ShedsPerOp is Sheds broken down by operator.
+	ShedsPerOp []uint64
+	// IngestShed / ProbeShed split Sheds by message kind.
+	IngestShed uint64
+	ProbeShed  uint64
+	// IngestLost / ProbeLost count in-flight messages abandoned by
+	// operator panics (the message being handled when the panic hit).
+	IngestLost uint64
+	ProbeLost  uint64
+	// Restarts is how many times supervisors restarted an operator from
+	// its checkpoint.
+	Restarts int
+	// PermanentFailures counts operators that exhausted MaxRestarts.
+	PermanentFailures int
+	// Replayed is the number of checkpointed tuples re-inserted across
+	// all restarts; StateLost the number of tuples inserted after the
+	// last checkpoint and therefore unrecoverable.
+	Replayed  uint64
+	StateLost uint64
+	// MigrationAborts counts index migrations rolled back by injected
+	// mid-migration faults.
+	MigrationAborts int
+	// InjectedDelays and PressureEvents count the timing-only fault
+	// classes that fired.
+	InjectedDelays uint64
+	PressureEvents uint64
 }
 
 // message is one unit of operator work.
@@ -58,23 +114,42 @@ type message struct {
 
 // operator is one STeM running as a goroutine: it owns its state's
 // AdaptiveIndex (lock-guarded — live tuning migrates it concurrently with
-// probes from its own loop only, but Len is read cross-operator).
+// probes from its own loop only, but Len is read cross-operator), plus the
+// checkpoint its supervisor restarts it from after a panic.
 type operator struct {
-	spec *query.StateSpec
-	mb   *mailbox[message]
+	id        int
+	spec      *query.StateSpec
+	mb        *mailbox[message]
+	ckptEvery int
+	// newIx / newRetained rebuild the operator's state from scratch on a
+	// supervisor restart.
+	newIx       func() (*core.AdaptiveIndex, error)
+	newRetained func() *window.Buckets
 
-	mu sync.Mutex
-	ix *core.AdaptiveIndex
-
+	mu       sync.Mutex
+	ix       *core.AdaptiveIndex
 	retained *window.Buckets
+	// checkpoint is the retained-tuple snapshot a restart replays;
+	// sinceCkpt counts inserts not yet covered by it.
+	checkpoint  []*tuple.Tuple
+	sinceCkpt   int
+	retunesBase int // retunes from pre-restart incarnations
+	abortsBase  int // migration aborts from pre-restart incarnations
 
 	length atomic.Int64
 	probes atomic.Uint64
+	failed atomic.Bool
+
+	// Supervisor-goroutine-local state: the message being handled (so a
+	// panic's recover can release it) and the restart count.
+	inflight message
+	restarts int
 
 	valsBuf []tuple.Value
 }
 
-func (o *operator) insert(t *tuple.Tuple) {
+// insert stores one arrival and reports whether a checkpoint is due.
+func (o *operator) insert(t *tuple.Tuple) (ckpt bool) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.ix.Insert(t)
@@ -85,14 +160,66 @@ func (o *operator) insert(t *tuple.Tuple) {
 		o.ix.Delete(old)
 	})
 	o.length.Store(int64(o.ix.Len()))
+	o.sinceCkpt++
+	return o.ckptEvery > 0 && o.sinceCkpt >= o.ckptEvery
+}
+
+// snapshot captures the retained tuples as the new checkpoint.
+func (o *operator) snapshot() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	snap := make([]*tuple.Tuple, 0, o.retained.Len())
+	o.retained.Each(func(t *tuple.Tuple) { snap = append(snap, t) })
+	o.checkpoint = snap
+	o.sinceCkpt = 0
+}
+
+// restore rebuilds the operator's state from its last checkpoint after a
+// panic, reporting how many tuples were replayed and how many (inserted
+// since that checkpoint) are gone for good.
+func (o *operator) restore() (replayed, lost uint64, err error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.retunesBase += o.ix.Retunes()
+	o.abortsBase += o.ix.MigrationAborts()
+	ix, err := o.newIx()
+	if err != nil {
+		return 0, 0, err
+	}
+	o.ix = ix
+	o.retained = o.newRetained()
+	for _, t := range o.checkpoint {
+		o.ix.Insert(t)
+		o.retained.Add(t)
+	}
+	lost = uint64(o.sinceCkpt)
+	o.sinceCkpt = 0
+	o.length.Store(int64(o.ix.Len()))
+	return uint64(len(o.checkpoint)), lost, nil
 }
 
 // retunes reads the state's migration count under the operator lock (the
-// index may still be mid-probe when a caller aggregates results).
+// index may still be mid-probe when a caller aggregates results), summed
+// across restart incarnations.
 func (o *operator) retunes() int {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	return o.ix.Retunes()
+	return o.retunesBase + o.ix.Retunes()
+}
+
+// migrationAborts sums rolled-back migrations across incarnations.
+func (o *operator) migrationAborts() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.abortsBase + o.ix.MigrationAborts()
+}
+
+// shedAssessment drops the state's tuning statistics — the memory-pressure
+// degradation response (statistics are reconstructible; tuples are not).
+func (o *operator) shedAssessment() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.ix.ShedAssessment()
 }
 
 // probe runs one search request against the state, returning the matches.
@@ -134,6 +261,210 @@ func (o *operator) probe(c *tuple.Composite) []*tuple.Tuple {
 	return matches
 }
 
+// run bundles one Run invocation's shared machinery: the operator set, the
+// fault injector, the in-flight message WaitGroup, and every counter the
+// Result aggregates. It is always handled by pointer.
+type run struct {
+	cfg Config
+	n   int
+	ops []*operator
+	inj *fault.Injector
+
+	// wg tracks in-flight messages: every delivered message is Added once
+	// and Done exactly once — when handled, shed, or lost to a panic.
+	wg sync.WaitGroup
+
+	nextHop func(done uint32) int
+	observe func(i, j, matches, stateLen int)
+
+	results    atomic.Uint64
+	ingested   atomic.Uint64
+	sheds      []atomic.Uint64
+	ingestShed atomic.Uint64
+	probeShed  atomic.Uint64
+	ingestLost atomic.Uint64
+	probeLost  atomic.Uint64
+	restarts   atomic.Uint64
+	permFailed atomic.Uint64
+	replayed   atomic.Uint64
+	stateLost  atomic.Uint64
+	delays     atomic.Uint64
+	pressure   atomic.Uint64
+}
+
+// accountShed records one dropped message against its target operator.
+func (p *run) accountShed(target int, m message) {
+	p.sheds[target].Add(1)
+	if m.ingest != nil {
+		p.ingestShed.Add(1)
+	} else {
+		p.probeShed.Add(1)
+	}
+}
+
+// deliver routes one message to an operator mailbox with full fault and
+// overload accounting. fromSource selects blocking semantics (backpressure
+// may stall the workload source but never an operator). Every path either
+// enqueues the message with wg held, or sheds it with wg released.
+func (p *run) deliver(target int, m message, fromSource bool) {
+	o := p.ops[target]
+	if o.failed.Load() {
+		p.accountShed(target, m)
+		return
+	}
+	// Injected saturation: the delivery behaves as if the mailbox were
+	// full under a drop policy. Keyed to ingest deliveries only, so the
+	// schedule is independent of probe interleaving.
+	if m.ingest != nil && p.inj.Decide(fault.MailboxSaturate, target) {
+		p.accountShed(target, m)
+		return
+	}
+	if p.inj.Decide(fault.MailboxDelay, target) {
+		p.delays.Add(1)
+		time.Sleep(p.inj.Delay())
+	}
+	p.wg.Add(1)
+	var r PushResult
+	if fromSource {
+		r = o.mb.PushWait(m)
+	} else {
+		r = o.mb.Push(m)
+	}
+	// Shed results are accounted by the mailbox's onShed hook (which sees
+	// the actual dropped message — the victim head under drop-oldest).
+	// A closed mailbox refuses the message outright: account it here.
+	if r == PushClosed {
+		p.accountShed(target, m)
+		p.wg.Done()
+	}
+}
+
+// handle processes one popped message on the operator's goroutine.
+func (p *run) handle(o *operator, msg message) {
+	if msg.ingest != nil {
+		// The panic fault fires while an arrival is being handled —
+		// after the message left the mailbox, before it reached the
+		// state — the worst spot for an unassisted crash.
+		if p.inj.Decide(fault.OperatorPanic, o.id) {
+			panic(fmt.Sprintf("pipeline: injected panic at operator %d", o.id))
+		}
+		if o.insert(msg.ingest) {
+			o.snapshot()
+		}
+		p.ingested.Add(1)
+		return
+	}
+	comp := msg.comp
+	if p.inj.Decide(fault.MemoryPressure, o.id) {
+		o.shedAssessment()
+		p.pressure.Add(1)
+	}
+	matches := o.probe(comp)
+	if comp.Count() == 1 {
+		src := bits.TrailingZeros32(comp.Done)
+		p.observe(src, o.id, len(matches), int(o.length.Load()))
+	}
+	for _, m := range matches {
+		nc := comp.Extend(m)
+		if nc.Complete(p.n) {
+			p.results.Add(1)
+			if p.cfg.OnResult != nil {
+				p.cfg.OnResult(nc)
+			}
+			continue
+		}
+		if next := p.nextHop(nc.Done); next >= 0 {
+			p.deliver(next, message{comp: nc}, false)
+		}
+	}
+}
+
+// serve drains the mailbox until closed-and-empty; a panic escapes to the
+// recover in superviseOnce.
+func (p *run) serve(o *operator) {
+	for {
+		msg, ok := o.mb.Pop()
+		if !ok {
+			return
+		}
+		o.inflight = msg
+		p.handle(o, msg)
+		o.inflight = message{}
+		p.wg.Done()
+	}
+}
+
+// superviseOnce runs one operator incarnation, converting a panic into
+// done=false after releasing the abandoned in-flight message.
+func (p *run) superviseOnce(o *operator) (done bool) {
+	defer func() {
+		if r := recover(); r == nil {
+			return
+		}
+		done = false
+		m := o.inflight
+		o.inflight = message{}
+		if m.ingest != nil || m.comp != nil {
+			if m.ingest != nil {
+				p.ingestLost.Add(1)
+			} else {
+				p.probeLost.Add(1)
+			}
+			p.wg.Done()
+		}
+	}()
+	p.serve(o)
+	return true
+}
+
+// supervise wraps one operator goroutine for its whole life: serve until
+// clean exit, restart from checkpoint after each panic with capped
+// exponential backoff, and after MaxRestarts declare the operator
+// permanently failed and shed its backlog so the run still drains.
+func (p *run) supervise(o *operator) {
+	backoff := p.cfg.RestartBackoff
+	for {
+		if p.superviseOnce(o) {
+			return
+		}
+		if o.restarts >= p.cfg.MaxRestarts {
+			p.failOperator(o)
+			return
+		}
+		o.restarts++
+		p.restarts.Add(1)
+		time.Sleep(backoff)
+		if backoff < p.cfg.RestartBackoff*8 {
+			backoff *= 2
+		}
+		replayed, lost, err := o.restore()
+		if err != nil {
+			p.failOperator(o)
+			return
+		}
+		p.replayed.Add(replayed)
+		p.stateLost.Add(lost)
+	}
+}
+
+// failOperator renders the permanent-failure verdict: the operator stops
+// processing, its routed length drops to zero, and its backlog (plus
+// anything delivered before producers notice the failed flag) is shed
+// until the run closes the mailbox.
+func (p *run) failOperator(o *operator) {
+	o.failed.Store(true)
+	o.length.Store(0)
+	p.permFailed.Add(1)
+	for {
+		msg, ok := o.mb.Pop()
+		if !ok {
+			return
+		}
+		p.accountShed(o.id, msg)
+		p.wg.Done()
+	}
+}
+
 // Run executes the workload concurrently and blocks until every message has
 // drained.
 func Run(cfg Config) (*Result, error) {
@@ -148,11 +479,23 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Ticks <= 0 {
 		return nil, fmt.Errorf("pipeline: Ticks must be positive")
 	}
+	if cfg.MailboxCap < 0 {
+		return nil, fmt.Errorf("pipeline: MailboxCap must be >= 0")
+	}
 	if cfg.BitBudget == 0 {
 		cfg.BitBudget = 12
 	}
 	if cfg.AutoTuneEvery == 0 {
 		cfg.AutoTuneEvery = 2000
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 256
+	}
+	if cfg.MaxRestarts <= 0 {
+		cfg.MaxRestarts = 3
+	}
+	if cfg.RestartBackoff <= 0 {
+		cfg.RestartBackoff = time.Millisecond
 	}
 	gen, err := stream.New(q, prof, cfg.Seed)
 	if err != nil {
@@ -160,95 +503,83 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	n := q.NumStreams()
-	ops := make([]*operator, n)
+	p := &run{
+		cfg:   cfg,
+		n:     n,
+		ops:   make([]*operator, n),
+		inj:   fault.New(cfg.Fault, n),
+		sheds: make([]atomic.Uint64, n),
+	}
 	for s := 0; s < n; s++ {
 		spec := q.States[s]
 		attrMap := make([]int, spec.NumAttrs())
 		for i, ja := range spec.JAS {
 			attrMap[i] = ja.Attr
 		}
-		ix, err := core.New(core.Options{
+		opts := core.Options{
 			NumAttrs:      spec.NumAttrs(),
 			AttrMap:       attrMap,
 			BitBudget:     cfg.BitBudget,
 			Method:        cfg.Method,
 			AutoTuneEvery: cfg.AutoTuneEvery,
 			Seed:          cfg.Seed + uint64(s),
-		})
+		}
+		if p.inj != nil {
+			id := s
+			opts.MigrateGate = func() bool {
+				return !p.inj.Decide(fault.MigrationAbort, id)
+			}
+		}
+		newIx := func() (*core.AdaptiveIndex, error) { return core.New(opts) }
+		newRetained := func() *window.Buckets { return window.New(q.WindowTicks, prof.MaxDelay) }
+		ix, err := newIx()
 		if err != nil {
 			return nil, err
 		}
-		ops[s] = &operator{
-			spec:     spec,
-			mb:       newMailbox[message](),
-			ix:       ix,
-			retained: window.New(q.WindowTicks, prof.MaxDelay),
-			valsBuf:  make([]tuple.Value, spec.NumAttrs()),
+		o := &operator{
+			id:          s,
+			spec:        spec,
+			ckptEvery:   cfg.CheckpointEvery,
+			newIx:       newIx,
+			newRetained: newRetained,
+			ix:          ix,
+			retained:    newRetained(),
+			valsBuf:     make([]tuple.Value, spec.NumAttrs()),
 		}
+		o.mb = newBoundedMailbox[message](cfg.MailboxCap, cfg.ShedPolicy,
+			func(m message, _ PushResult) {
+				p.accountShed(o.id, m)
+				p.wg.Done()
+			})
+		p.ops[s] = o
 	}
 
 	rt := router.New(n, cfg.Explore, cfg.Seed+99)
 	var rtMu sync.Mutex
-	nextHop := func(done uint32) int {
+	p.nextHop = func(done uint32) int {
 		lens := make([]int, n)
-		for i, o := range ops {
+		for i, o := range p.ops {
 			lens[i] = int(o.length.Load())
 		}
 		rtMu.Lock()
 		defer rtMu.Unlock()
 		return rt.Next(done, lens)
 	}
-	observe := func(i, j, matches, stateLen int) {
+	p.observe = func(i, j, matches, stateLen int) {
 		rtMu.Lock()
 		defer rtMu.Unlock()
 		rt.ObservePair(i, j, matches, stateLen)
 	}
 
-	var (
-		wg       sync.WaitGroup
-		results  atomic.Uint64
-		ingested atomic.Uint64
-	)
-
-	// Operators: drain the mailbox; each handled message may fan out more
-	// messages (wg accounting keeps the drain exact).
+	// Supervisors: one per operator, each owning its operator's whole
+	// lifecycle (serve, restart, permanent failure).
 	var opWG sync.WaitGroup
 	for s := 0; s < n; s++ {
 		opWG.Add(1)
-		go func(self int) {
+		go func(o *operator) {
 			defer opWG.Done()
-			o := ops[self]
-			for {
-				msg, ok := o.mb.Pop()
-				if !ok {
-					return
-				}
-				if msg.ingest != nil {
-					o.insert(msg.ingest)
-					ingested.Add(1)
-					wg.Done()
-					continue
-				}
-				comp := msg.comp
-				matches := o.probe(comp)
-				if comp.Count() == 1 {
-					src := bits.TrailingZeros32(comp.Done)
-					observe(src, self, len(matches), int(o.length.Load()))
-				}
-				for _, m := range matches {
-					nc := comp.Extend(m)
-					if nc.Complete(n) {
-						results.Add(1)
-						continue
-					}
-					if next := nextHop(nc.Done); next >= 0 {
-						wg.Add(1)
-						ops[next].mb.Push(message{comp: nc})
-					}
-				}
-				wg.Done()
-			}
-		}(s)
+			p.supervise(o)
+		}(p.ops[s])
 	}
 
 	start := time.Now()
@@ -271,32 +602,44 @@ func Run(cfg Config) (*Result, error) {
 			batch = kept
 		}
 		for _, t := range batch {
-			wg.Add(1)
-			ops[t.Stream].mb.Push(message{ingest: t})
+			p.deliver(t.Stream, message{ingest: t}, true)
 		}
-		wg.Wait()
+		p.wg.Wait()
 		for _, t := range batch {
 			comp := tuple.NewComposite(n, t)
-			if next := nextHop(comp.Done); next >= 0 {
-				wg.Add(1)
-				ops[next].mb.Push(message{comp: comp})
+			if next := p.nextHop(comp.Done); next >= 0 {
+				p.deliver(next, message{comp: comp}, true)
 			}
 		}
-		wg.Wait()
+		p.wg.Wait()
 	}
-	for _, o := range ops {
+	for _, o := range p.ops {
 		o.mb.Close()
 	}
 	opWG.Wait()
 
 	res := &Result{
-		Results:        results.Load(),
-		Wall:           time.Since(start),
-		TuplesIngested: ingested.Load(),
+		Results:           p.results.Load(),
+		Wall:              time.Since(start),
+		TuplesIngested:    p.ingested.Load(),
+		ShedsPerOp:        make([]uint64, n),
+		IngestShed:        p.ingestShed.Load(),
+		ProbeShed:         p.probeShed.Load(),
+		IngestLost:        p.ingestLost.Load(),
+		ProbeLost:         p.probeLost.Load(),
+		Restarts:          int(p.restarts.Load()),
+		PermanentFailures: int(p.permFailed.Load()),
+		Replayed:          p.replayed.Load(),
+		StateLost:         p.stateLost.Load(),
+		InjectedDelays:    p.delays.Load(),
+		PressureEvents:    p.pressure.Load(),
 	}
-	for _, o := range ops {
+	for i, o := range p.ops {
+		res.ShedsPerOp[i] = p.sheds[i].Load()
+		res.Sheds += res.ShedsPerOp[i]
 		res.Probes += o.probes.Load()
 		res.Retunes += o.retunes()
+		res.MigrationAborts += o.migrationAborts()
 	}
 	return res, nil
 }

@@ -13,7 +13,7 @@ import (
 func TestMailboxFIFO(t *testing.T) {
 	mb := newMailbox[int]()
 	for i := 0; i < 100; i++ {
-		if !mb.Push(i) {
+		if mb.Push(i) != PushAccepted {
 			t.Fatal("push to open mailbox failed")
 		}
 	}
@@ -33,8 +33,8 @@ func TestMailboxCloseDrains(t *testing.T) {
 	mb.Push(1)
 	mb.Push(2)
 	mb.Close()
-	if mb.Push(3) {
-		t.Fatal("push after close should report false")
+	if mb.Push(3) != PushClosed {
+		t.Fatal("push after close should report PushClosed")
 	}
 	if v, ok := mb.Pop(); !ok || v != 1 {
 		t.Fatal("queued items must drain after close")

@@ -241,11 +241,13 @@ func max(a, b int) int {
 	return b
 }
 
-// Chain builds an n-way chain join: stream i joins stream i+1 via its own
-// attribute pair. End streams carry one join attribute, middle streams two.
-func Chain(n int, windowTicks int64) *Query {
+// NewChain builds an n-way chain join: stream i joins stream i+1 via its
+// own attribute pair. End streams carry one join attribute, middle streams
+// two. It rejects n < 2 and surfaces compilation failures as errors —
+// the form callers with runtime-provided shapes should use.
+func NewChain(n int, windowTicks int64) (*Query, error) {
 	if n < 2 {
-		panic("query: Chain needs at least 2 streams")
+		return nil, fmt.Errorf("query: Chain needs at least 2 streams, got %d", n)
 	}
 	streams := make([]StreamSpec, n)
 	for i := range streams {
@@ -265,18 +267,29 @@ func Chain(n int, windowTicks int64) *Query {
 	}
 	q, err := Compile(streams, preds, windowTicks)
 	if err != nil {
-		panic("query: Chain construction invalid: " + err.Error())
+		return nil, fmt.Errorf("query: Chain construction invalid: %w", err)
+	}
+	return q, nil
+}
+
+// Chain is NewChain for compile-time-constant shapes: it panics on an
+// invalid n instead of returning an error.
+func Chain(n int, windowTicks int64) *Query {
+	q, err := NewChain(n, windowTicks)
+	if err != nil {
+		panic(err.Error())
 	}
 	return q
 }
 
-// Star builds an n-way star join: stream 0 is the hub, joined to each of
-// the n-1 satellites via its own attribute. The hub's state carries n-1
+// NewStar builds an n-way star join: stream 0 is the hub, joined to each
+// of the n-1 satellites via its own attribute. The hub's state carries n-1
 // join attributes (2^(n-1)-1 possible access patterns — the setting where
-// compact assessment matters most); satellites carry one each.
-func Star(n int, windowTicks int64) *Query {
+// compact assessment matters most); satellites carry one each. It rejects
+// n < 2 and surfaces compilation failures as errors.
+func NewStar(n int, windowTicks int64) (*Query, error) {
 	if n < 2 {
-		panic("query: Star needs at least 2 streams")
+		return nil, fmt.Errorf("query: Star needs at least 2 streams, got %d", n)
 	}
 	streams := make([]StreamSpec, n)
 	streams[0] = StreamSpec{Name: "Hub", Arity: n - 1}
@@ -289,7 +302,17 @@ func Star(n int, windowTicks int64) *Query {
 	}
 	q, err := Compile(streams, preds, windowTicks)
 	if err != nil {
-		panic("query: Star construction invalid: " + err.Error())
+		return nil, fmt.Errorf("query: Star construction invalid: %w", err)
+	}
+	return q, nil
+}
+
+// Star is NewStar for compile-time-constant shapes: it panics on an
+// invalid n instead of returning an error.
+func Star(n int, windowTicks int64) *Query {
+	q, err := NewStar(n, windowTicks)
+	if err != nil {
+		panic(err.Error())
 	}
 	return q
 }

@@ -268,3 +268,32 @@ func TestCmpOps(t *testing.T) {
 		t.Error("bad op should fail to parse")
 	}
 }
+
+// TestNewChainNewStarErrors: the error-returning constructors reject bad
+// stream counts without panicking and build the same queries as the
+// panicking forms otherwise.
+func TestNewChainNewStarErrors(t *testing.T) {
+	for name, f := range map[string]func(int, int64) (*Query, error){
+		"NewChain": NewChain, "NewStar": NewStar,
+	} {
+		for _, n := range []int{-1, 0, 1} {
+			if q, err := f(n, 10); err == nil || q != nil {
+				t.Errorf("%s(%d) = %v, %v; want nil, error", name, n, q, err)
+			}
+		}
+	}
+	cq, err := NewChain(4, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pq := Chain(4, 60); pq.NumStreams() != cq.NumStreams() || len(pq.Preds) != len(cq.Preds) {
+		t.Fatal("NewChain and Chain built different queries")
+	}
+	sq, err := NewStar(5, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pq := Star(5, 60); pq.NumStreams() != sq.NumStreams() || len(pq.Preds) != len(sq.Preds) {
+		t.Fatal("NewStar and Star built different queries")
+	}
+}

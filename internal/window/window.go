@@ -62,6 +62,16 @@ func (b *Buckets) Expire(now int64, drop func(*tuple.Tuple)) int {
 	return dropped
 }
 
+// Each visits every retained tuple in unspecified order — the snapshot
+// hook checkpointing uses to capture a state's contents for replay.
+func (b *Buckets) Each(visit func(*tuple.Tuple)) {
+	for _, bucket := range b.byTS {
+		for _, t := range bucket {
+			visit(t)
+		}
+	}
+}
+
 // Len returns the number of retained tuples.
 func (b *Buckets) Len() int { return b.count }
 
