@@ -5,7 +5,7 @@
 GO ?= go
 AMRIVET := bin/amrivet
 
-.PHONY: all build vet lint test race chaos bench-smoke ci clean
+.PHONY: all build vet lint fixtures test race chaos bench-smoke ci clean
 
 all: build
 
@@ -19,9 +19,20 @@ $(AMRIVET): FORCE
 	$(GO) build -o $(AMRIVET) ./cmd/amrivet
 
 # lint runs the repo's own static-analysis suite (see internal/analysis):
-# mutexguard, bitbudget, wallclock, detrand, atomicmix.
+# mutexguard, bitbudget, wallclock, detrand, atomicmix, lockorder,
+# chanprotocol, hotalloc, errdrop. The second invocation is the self-check:
+# the analyzers must come up clean over their own implementation.
+# (`go build` in the build target warms the export data `go list -export`
+# resolves imports from, so the amrivet runs hit the build cache.)
 lint: vet $(AMRIVET)
 	./$(AMRIVET) ./...
+	./$(AMRIVET) ./internal/analysis/...
+
+# fixtures runs the analyzer fixture tests: every testdata/src/<name>
+# package's `// want` expectations must match the diagnostics exactly, so
+# analyzer drift fails the build.
+fixtures:
+	$(GO) test -count=1 ./internal/analysis/...
 
 test:
 	$(GO) test ./...

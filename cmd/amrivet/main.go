@@ -1,24 +1,33 @@
 // Command amrivet runs AMRI's project-specific static-analysis suite over
-// the module: lock discipline around shared index state (mutexguard), the
-// 64-bit IC budget (bitbudget), wall-clock hygiene in hot paths
-// (wallclock), seeded determinism (detrand) and consistent atomic access
-// (atomicmix). It is the third link in the CI gate chain:
+// the module. Five per-package analyzers check lock discipline around
+// shared index state (mutexguard), the 64-bit IC budget (bitbudget),
+// wall-clock hygiene in hot paths (wallclock), seeded determinism
+// (detrand) and consistent atomic access (atomicmix); four interprocedural
+// analyzers built on the cross-package facts store and call graph check
+// global mutex acquisition order (lockorder), channel ownership protocol
+// (chanprotocol), allocation-free probe hot paths (hotalloc) and discarded
+// error returns (errdrop). It is the third link in the CI gate chain:
 //
 //	go build ./...  →  go vet ./...  →  amrivet ./...  →  go test -race ./...
 //
 // Usage:
 //
-//	amrivet [-run name,name] [-list] [packages]
+//	amrivet [-run name,name] [-list] [-json] [packages]
 //
-// Packages default to ./... relative to the current directory. The exit
-// status is 1 when any diagnostic survives suppression, 2 on usage or
-// load errors. Findings can be suppressed with an in-source directive:
+// Packages default to ./... relative to the current directory. With -json
+// each diagnostic is emitted as one JSON object per line on stdout
+// (analyzer, file, line, col, message) for tooling to consume. The exit
+// status is exitFindings (1) when any diagnostic survives suppression and
+// exitError (2) on usage, load or type-check errors, so CI can distinguish
+// "the code has findings" from "the analysis never ran". Findings can be
+// suppressed with an in-source directive:
 //
 //	//amrivet:ignore <reason>            (all analyzers, this/next line)
 //	//amrivet:ignore[wallclock] <reason> (one analyzer only)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,64 +37,100 @@ import (
 	"amri/internal/analysis"
 )
 
+// Exit statuses, part of the command's contract with CI.
+const (
+	exitClean    = 0 // analysis ran, no findings
+	exitFindings = 1 // analysis ran, at least one diagnostic survived
+	exitError    = 2 // usage, load or type-check failure: analysis did not run
+)
+
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+// jsonDiagnostic is the -json wire form of one finding.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("amrivet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
 		runList  = fs.String("run", "", "comma-separated analyzer names to run (default all)")
 		listOnly = fs.Bool("list", false, "list analyzers and exit")
+		jsonOut  = fs.Bool("json", false, "emit one JSON diagnostic per line instead of text")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: amrivet [-run name,name] [-list] [packages]")
+		fmt.Fprintln(fs.Output(), "usage: amrivet [-run name,name] [-list] [-json] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return exitError
 	}
 
 	analyzers := analysis.Analyzers()
 	if *listOnly {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
-		return 0
+		return exitClean
 	}
 	if *runList != "" {
 		analyzers = selectAnalyzers(analyzers, *runList)
 		if analyzers == nil {
-			fmt.Fprintf(os.Stderr, "amrivet: unknown analyzer in -run=%q (use -list)\n", *runList)
-			return 2
+			fmt.Fprintf(stderr, "amrivet: unknown analyzer in -run=%q (use -list)\n", *runList)
+			return exitError
 		}
 	}
 
 	patterns := fs.Args()
 	pkgs, err := analysis.Load(".", patterns...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "amrivet: %v\n", err)
-		return 2
+		fmt.Fprintf(stderr, "amrivet: %v\n", err)
+		return exitError
+	}
+
+	diags, err := analysis.RunAll(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "amrivet: %v\n", err)
+		return exitError
 	}
 
 	cwd, _ := os.Getwd()
+	enc := json.NewEncoder(stdout)
 	total := 0
-	for _, pkg := range pkgs {
-		for _, d := range analysis.Run(pkg, analyzers) {
-			if cwd != "" {
-				if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-					d.Pos.Filename = rel
-				}
+	for _, d := range diags {
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				d.Pos.Filename = rel
 			}
-			fmt.Println(d)
-			total++
 		}
+		if *jsonOut {
+			if err := enc.Encode(jsonDiagnostic{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Message:  d.Message,
+			}); err != nil {
+				fmt.Fprintf(stderr, "amrivet: encoding diagnostic: %v\n", err)
+				return exitError
+			}
+		} else {
+			fmt.Fprintln(stdout, d)
+		}
+		total++
 	}
 	if total > 0 {
-		fmt.Fprintf(os.Stderr, "amrivet: %d finding(s) in %d package(s)\n", total, len(pkgs))
-		return 1
+		fmt.Fprintf(stderr, "amrivet: %d finding(s) in %d package(s)\n", total, len(pkgs))
+		return exitFindings
 	}
-	return 0
+	return exitClean
 }
 
 func selectAnalyzers(all []*analysis.Analyzer, names string) []*analysis.Analyzer {

@@ -30,17 +30,28 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+
+	"amri/internal/analysis/callgraph"
+	"amri/internal/analysis/facts"
 )
 
 // Analyzer is one static check. Run inspects a single type-checked package
-// via the Pass and reports findings through pass.Reportf.
+// via the Pass and reports findings through pass.Reportf; packages are
+// visited in dependency order, so facts exported while analyzing an import
+// are visible (via Pass.Facts) when its dependents are analyzed. Finish,
+// when set, runs once after every package, with the whole-session view —
+// merged facts and the cross-package call graph — for interprocedural
+// checks that no single package can decide (lock-order cycles, hot-path
+// reachability).
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and ignore directives.
 	Name string
 	// Doc is a one-paragraph description of the invariant enforced.
 	Doc string
-	// Run executes the check over one package.
+	// Run executes the per-package phase of the check.
 	Run func(*Pass)
+	// Finish, optional, executes the whole-program phase.
+	Finish func(*Session)
 }
 
 // Diagnostic is one finding, positioned at a concrete file:line:col.
@@ -63,15 +74,50 @@ type Pass struct {
 	Pkg      *types.Package
 	PkgPath  string
 	Info     *types.Info
+	// Facts holds this package's imported facts (from its dependency
+	// cone) and receives the facts it exports.
+	Facts *facts.Store
 
 	diags   *[]Diagnostic
 	ignores map[string]map[int]ignoreDirective
 }
 
+// ExportFact attaches a fact to obj on behalf of this package.
+func (p *Pass) ExportFact(obj types.Object, f facts.Fact) {
+	p.Facts.Export(p.PkgPath, facts.ObjectID(obj), f)
+}
+
+// Session is the whole-program view an Analyzer's Finish phase runs over.
+type Session struct {
+	// Packages are the analyzed packages, in dependency order.
+	Packages []*Package
+	// Facts is the union of every package's exported facts.
+	Facts *facts.Store
+	// Graph is the cross-package call-graph approximation.
+	Graph *callgraph.Graph
+
+	current *Analyzer
+	diags   *[]Diagnostic
+	ignores map[string]map[int]ignoreDirective
+}
+
+// Reportf records a session-level diagnostic at a resolved position,
+// honouring ignore directives exactly like Pass.Reportf.
+func (s *Session) Reportf(pos token.Position, format string, args ...any) {
+	if ignoredAt(s.ignores, s.current.Name, pos) {
+		return
+	}
+	*s.diags = append(*s.diags, Diagnostic{
+		Analyzer: s.current.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Reportf records a diagnostic at pos unless an ignore directive covers it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
-	if p.ignored(position) {
+	if ignoredAt(p.ignores, p.Analyzer.Name, position) {
 		return
 	}
 	*p.diags = append(*p.diags, Diagnostic{
@@ -81,13 +127,15 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-func (p *Pass) ignored(pos token.Position) bool {
-	lines, ok := p.ignores[pos.Filename]
+// ignoredAt reports whether a directive on the diagnostic's line or the
+// line above suppresses the analyzer.
+func ignoredAt(ignores map[string]map[int]ignoreDirective, analyzer string, pos token.Position) bool {
+	lines, ok := ignores[pos.Filename]
 	if !ok {
 		return false
 	}
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		if d, ok := lines[line]; ok && d.covers(p.Analyzer.Name) {
+		if d, ok := lines[line]; ok && d.covers(analyzer) {
 			return true
 		}
 	}
@@ -156,24 +204,89 @@ func parseIgnores(fset *token.FileSet, files []*ast.File, report func(Diagnostic
 	return out
 }
 
-// Run executes the analyzers over the package, returning the surviving
-// (non-suppressed) diagnostics sorted by position.
+// Run executes the analyzers over one package (the fixture-test entry
+// point), returning the surviving (non-suppressed) diagnostics sorted by
+// position. It is RunAll over a single-package session.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunAll([]*Package{pkg}, analyzers)
+	return diags
+}
+
+// RunAll executes the analyzers over every package in dependency order —
+// facts exported while analyzing an import are serialized per package and
+// decoded into each dependent's store, mirroring how export data flows —
+// then builds the cross-package call graph and runs each analyzer's Finish
+// phase over the whole session. Diagnostics come back sorted by position.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
-	ignores := parseIgnores(pkg.Fset, pkg.Files, func(d Diagnostic) { diags = append(diags, d) })
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			PkgPath:  pkg.Path,
-			Info:     pkg.Info,
-			diags:    &diags,
-			ignores:  ignores,
+	ordered := topoOrder(pkgs)
+
+	// Parse ignore directives for every package up front; Finish-phase
+	// reporting needs the global map.
+	allIgnores := make(map[string]map[int]ignoreDirective)
+	for _, pkg := range ordered {
+		ignores := parseIgnores(pkg.Fset, pkg.Files, func(d Diagnostic) { diags = append(diags, d) })
+		for file, lines := range ignores {
+			allIgnores[file] = lines
 		}
-		a.Run(pass)
 	}
+	reportUnknownDirectiveNames(ordered, allIgnores, func(d Diagnostic) { diags = append(diags, d) })
+
+	// Per-package phase: decode the dependency cone's facts, run the
+	// analyzers, encode this package's (now transitive) fact set.
+	sessionFacts := facts.NewStore()
+	encoded := make(map[string][]byte)
+	for _, pkg := range ordered {
+		store := facts.NewStore()
+		for _, imp := range pkg.Imports {
+			if blob, ok := encoded[imp]; ok {
+				if err := store.Decode(blob); err != nil {
+					return nil, fmt.Errorf("analysis: importing facts of %s into %s: %v", imp, pkg.Path, err)
+				}
+			}
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				PkgPath:  pkg.Path,
+				Info:     pkg.Info,
+				Facts:    store,
+				diags:    &diags,
+				ignores:  allIgnores,
+			}
+			a.Run(pass)
+		}
+		blob, err := store.Encode()
+		if err != nil {
+			return nil, fmt.Errorf("analysis: encoding facts of %s: %v", pkg.Path, err)
+		}
+		encoded[pkg.Path] = blob
+		sessionFacts.Merge(store)
+	}
+
+	// Whole-program phase.
+	builder := callgraph.NewBuilder()
+	for _, pkg := range ordered {
+		builder.AddPackage(pkg.Fset, pkg.Files, pkg.Info, pkg.Types)
+	}
+	session := &Session{
+		Packages: ordered,
+		Facts:    sessionFacts,
+		Graph:    builder.Graph(),
+		diags:    &diags,
+		ignores:  allIgnores,
+	}
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		session.current = a
+		a.Finish(session)
+	}
+
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -187,7 +300,91 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags
+	return diags, nil
+}
+
+// topoOrder sorts packages dependencies-first (imports before importers);
+// ties and unrelated packages keep their input (path-sorted) order.
+func topoOrder(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	var out []*Package
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		switch state[p.Path] {
+		case 1, 2:
+			return // cycle (impossible in Go) or done
+		}
+		state[p.Path] = 1
+		for _, imp := range p.Imports {
+			if dep, ok := byPath[imp]; ok {
+				visit(dep)
+			}
+		}
+		state[p.Path] = 2
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
+}
+
+// knownAnalyzerNames is every analyzer name an ignore directive may
+// legitimately reference.
+func knownAnalyzerNames() map[string]bool {
+	names := make(map[string]bool)
+	for _, a := range Analyzers() {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// reportUnknownDirectiveNames flags //amrivet:ignore[...] directives that
+// reference analyzers which do not exist: such a directive suppresses
+// nothing today and silently rots when an analyzer is renamed.
+func reportUnknownDirectiveNames(pkgs []*Package, ignores map[string]map[int]ignoreDirective, report func(Diagnostic)) {
+	known := knownAnalyzerNames()
+	for _, pkg := range pkgs {
+		for file, lines := range ignores {
+			if !fileBelongsTo(pkg, file) {
+				continue
+			}
+			for line, d := range lines {
+				for _, name := range d.analyzers {
+					if !known[name] {
+						report(Diagnostic{
+							Analyzer: "amrivet",
+							Pos:      token.Position{Filename: file, Line: line, Column: 1},
+							Message: fmt.Sprintf(
+								"amrivet:ignore names unknown analyzer %q (known: %s)",
+								name, strings.Join(analyzerNameList(), ", ")),
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+func fileBelongsTo(pkg *Package, file string) bool {
+	for _, f := range pkg.Files {
+		if pkg.Fset.Position(f.Pos()).Filename == file {
+			return true
+		}
+	}
+	return false
+}
+
+func analyzerNameList() []string {
+	var names []string
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return names
 }
 
 // Analyzers returns amrivet's full suite in reporting order.
@@ -198,6 +395,10 @@ func Analyzers() []*Analyzer {
 		WallClock,
 		DetRand,
 		AtomicMix,
+		LockOrder,
+		ChanProtocol,
+		HotAlloc,
+		ErrDrop,
 	}
 }
 

@@ -70,7 +70,10 @@ func TestLoadModulePackage(t *testing.T) {
 // TestAnalyzersRegistered pins the suite contents: CI's gate is only as
 // strong as the analyzers actually wired in.
 func TestAnalyzersRegistered(t *testing.T) {
-	want := []string{"mutexguard", "bitbudget", "wallclock", "detrand", "atomicmix"}
+	want := []string{
+		"mutexguard", "bitbudget", "wallclock", "detrand", "atomicmix",
+		"lockorder", "chanprotocol", "hotalloc", "errdrop",
+	}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("got %d analyzers, want %d", len(got), len(want))

@@ -5,6 +5,8 @@ import (
 	"go/constant"
 	"go/token"
 	"go/types"
+
+	"amri/internal/analysis/facts"
 )
 
 // bitindexPath is the package owning the IC bit-budget invariant.
@@ -25,54 +27,114 @@ const bitindexPath = "amri/internal/bitindex"
 //  2. A bitindex.Config composite literal built outside the bitindex
 //     package must be validated in the same function — NewConfig/Uniform
 //     plus Validate are the sanctioned construction paths.
+//
+// A function that guards — directly or by calling another guarding
+// function, in this package or an imported one — exports a
+// ValidatesBudgetFact, so delegating the bound to a helper keeps callers
+// in the clear across package boundaries.
 var BitBudget = &Analyzer{
 	Name: "bitbudget",
 	Doc:  "reports IC bit-width arithmetic and Config construction sites that skip the 64-bit budget check",
 	Run:  runBitBudget,
 }
 
+// ValidatesBudgetFact marks a function that bounds the IC bit budget:
+// calls Config.Validate, compares against MaxTotalBits, or delegates to
+// another function carrying this fact.
+type ValidatesBudgetFact struct{}
+
+// FactName implements facts.Fact.
+func (*ValidatesBudgetFact) FactName() string { return "amrivet.validatesbudget" }
+
+func init() { facts.Register(&ValidatesBudgetFact{}) }
+
+// bitBudgetInfo is one function's collected budget-relevant constructs.
+type bitBudgetInfo struct {
+	obj       *types.Func
+	usesBits  bool
+	hasGuard  bool
+	varShifts []*ast.BinaryExpr
+	cfgLits   []*ast.CompositeLit
+	callees   []*types.Func
+}
+
 func runBitBudget(pass *Pass) {
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
+	var infos []*bitBudgetInfo
+	forEachFuncDecl(pass, func(fd *ast.FuncDecl, obj *types.Func) {
+		info := collectBitBudget(pass, fd)
+		info.obj = obj
+		infos = append(infos, info)
+	})
+
+	// Fixpoint: a call to any ValidatesBudgetFact carrier (imported, or
+	// exported by an earlier round over this package) counts as a guard.
+	for _, info := range infos {
+		if info.hasGuard {
+			pass.ExportFact(info.obj, &ValidatesBudgetFact{})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, info := range infos {
+			if info.hasGuard {
 				continue
 			}
-			checkBitBudgetFunc(pass, fd)
+			for _, callee := range info.callees {
+				var vf ValidatesBudgetFact
+				if pass.Facts.Lookup(facts.ObjectID(callee), &vf) {
+					info.hasGuard = true
+					pass.ExportFact(info.obj, &ValidatesBudgetFact{})
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for _, info := range infos {
+		if info.usesBits && !info.hasGuard {
+			for _, sh := range info.varShifts {
+				pass.Reportf(sh.OpPos,
+					"variable shift in a function reading IC bit widths without a MaxTotalBits bound; compare against bitindex.MaxTotalBits or call Config.Validate")
+			}
+		}
+		if !info.hasGuard {
+			for _, lit := range info.cfgLits {
+				pass.Reportf(lit.Pos(),
+					"bitindex.Config constructed outside package bitindex without a Validate call in this function")
+			}
 		}
 	}
 }
 
-func checkBitBudgetFunc(pass *Pass, fd *ast.FuncDecl) {
-	var (
-		usesBits  bool
-		hasGuard  bool
-		varShifts []*ast.BinaryExpr
-		cfgLits   []*ast.CompositeLit
-	)
+func collectBitBudget(pass *Pass, fd *ast.FuncDecl) *bitBudgetInfo {
+	info := &bitBudgetInfo{}
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch e := n.(type) {
 		case *ast.SelectorExpr:
 			if isConfigBitsAccess(pass, e) {
-				usesBits = true
+				info.usesBits = true
 			}
 		case *ast.CallExpr:
 			if name := calleeName(e); name == "TotalBits" || name == "BitsFor" {
 				if isConfigMethodCall(pass, e) {
-					usesBits = true
+					info.usesBits = true
 				}
 			} else if name == "Validate" {
-				hasGuard = true
+				info.hasGuard = true
+			}
+			if fn := calleeFunc(pass, e); fn != nil {
+				info.callees = append(info.callees, fn)
 			}
 		case *ast.BinaryExpr:
 			switch e.Op {
 			case token.SHL, token.SHR:
 				if !isConstExpr(pass, e.Y) {
-					varShifts = append(varShifts, e)
+					info.varShifts = append(info.varShifts, e)
 				}
 			case token.LSS, token.GTR, token.LEQ, token.GEQ:
 				if isBudgetBound(pass, e.X) || isBudgetBound(pass, e.Y) {
-					hasGuard = true
+					info.hasGuard = true
 				}
 			}
 		case *ast.CompositeLit:
@@ -80,23 +142,12 @@ func checkBitBudgetFunc(pass *Pass, fd *ast.FuncDecl) {
 			// only literals that assign bits need validation.
 			if tv, ok := pass.Info.Types[e]; ok && len(e.Elts) > 0 &&
 				isNamed(tv.Type, bitindexPath, "Config") && pass.PkgPath != bitindexPath {
-				cfgLits = append(cfgLits, e)
+				info.cfgLits = append(info.cfgLits, e)
 			}
 		}
 		return true
 	})
-	if usesBits && !hasGuard {
-		for _, sh := range varShifts {
-			pass.Reportf(sh.OpPos,
-				"variable shift in a function reading IC bit widths without a MaxTotalBits bound; compare against bitindex.MaxTotalBits or call Config.Validate")
-		}
-	}
-	if !hasGuard {
-		for _, lit := range cfgLits {
-			pass.Reportf(lit.Pos(),
-				"bitindex.Config constructed outside package bitindex without a Validate call in this function")
-		}
-	}
+	return info
 }
 
 // isConfigBitsAccess reports whether sel reads the Bits field of

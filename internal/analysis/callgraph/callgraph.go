@@ -1,0 +1,232 @@
+// Package callgraph builds a lightweight whole-program call-graph
+// approximation over the packages amrivet loads: static calls (package
+// functions and methods with concrete receivers) plus interface method
+// calls resolved by type-set — a call through interface I's method M gains
+// an edge to T.M for every named type T in the loaded corpus whose method
+// set implements I. Calls through plain function values are not modelled
+// (no edges), which errs toward missing edges: reachability-based
+// analyzers (hotalloc) under-approximate and lock-order propagation never
+// invents impossible nesting.
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"amri/internal/analysis/facts"
+)
+
+// Node is one function in the graph.
+type Node struct {
+	// ID is the facts.ObjectID of the function.
+	ID string
+	// Func is the type-checked object.
+	Func *types.Func
+	// Decl is the function's syntax when its defining package was
+	// loaded from source; nil otherwise.
+	Decl *ast.FuncDecl
+	// Fset positions Decl.
+	Fset *token.FileSet
+}
+
+// Edge is one call site.
+type Edge struct {
+	CallerID string
+	CalleeID string
+	// Pos is the call site's position.
+	Pos token.Position
+}
+
+// Graph is the finalized call graph.
+type Graph struct {
+	// Nodes maps function ID → node for every function declared in the
+	// loaded packages.
+	Nodes map[string]*Node
+	// edges maps caller ID → callee ID set.
+	edges map[string]map[string][]token.Position
+}
+
+// Callees returns the IDs this function calls, sorted.
+func (g *Graph) Callees(id string) []string {
+	m := g.edges[id]
+	out := make([]string, 0, len(m))
+	for callee := range m {
+		out = append(out, callee)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CallSites returns the positions at which caller calls callee.
+func (g *Graph) CallSites(caller, callee string) []token.Position {
+	return g.edges[caller][callee]
+}
+
+// Reachable returns the set of function IDs reachable from the roots,
+// including the roots themselves. The stop predicate, when non-nil, prunes
+// traversal: a function for which stop returns true is included in the
+// result but its callees are not followed (hotalloc's coldpath boundary).
+func (g *Graph) Reachable(roots []string, stop func(id string) bool) map[string]bool {
+	seen := make(map[string]bool)
+	var work []string
+	for _, r := range roots {
+		if !seen[r] {
+			seen[r] = true
+			work = append(work, r)
+		}
+	}
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		if stop != nil && stop(id) {
+			continue
+		}
+		for callee := range g.edges[id] {
+			if !seen[callee] {
+				seen[callee] = true
+				work = append(work, callee)
+			}
+		}
+	}
+	return seen
+}
+
+// ifaceCall is an unresolved call through an interface method.
+type ifaceCall struct {
+	callerID string
+	iface    *types.Interface
+	method   string
+	// pkg is the interface method's package, needed to resolve
+	// unexported method names during lookup.
+	pkg *types.Package
+	pos token.Position
+}
+
+// Builder accumulates packages, then finalizes the graph.
+type Builder struct {
+	nodes      map[string]*Node
+	edges      map[string]map[string][]token.Position
+	ifaceCalls []ifaceCall
+	// named collects every named type seen, for type-set resolution.
+	named []*types.Named
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		nodes: make(map[string]*Node),
+		edges: make(map[string]map[string][]token.Position),
+	}
+}
+
+// AddPackage scans one type-checked package's syntax: function
+// declarations become nodes, call expressions become edges (or pending
+// interface calls), and every defined named type joins the resolution
+// corpus. FuncLit bodies are attributed to their enclosing declaration.
+func (b *Builder) AddPackage(fset *token.FileSet, files []*ast.File, info *types.Info, pkg *types.Package) {
+	// Collect named types for the type-set.
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		if tn, ok := scope.Lookup(name).(*types.TypeName); ok {
+			if n, ok := tn.Type().(*types.Named); ok {
+				b.named = append(b.named, n)
+			}
+		}
+	}
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			id := facts.ObjectID(obj)
+			b.nodes[id] = &Node{ID: id, Func: obj, Decl: fd, Fset: fset}
+			if fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				b.addCall(fset, info, id, call)
+				return true
+			})
+		}
+	}
+}
+
+// addCall records one call expression from caller.
+func (b *Builder) addCall(fset *token.FileSet, info *types.Info, callerID string, call *ast.CallExpr) {
+	pos := fset.Position(call.Pos())
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			b.edge(callerID, facts.ObjectID(fn), pos)
+		}
+	case *ast.SelectorExpr:
+		sel := info.Selections[fun]
+		if sel == nil {
+			// Qualified call pkg.F.
+			if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+				b.edge(callerID, facts.ObjectID(fn), pos)
+			}
+			return
+		}
+		fn, ok := sel.Obj().(*types.Func)
+		if !ok {
+			return // field of func type: unmodelled function value
+		}
+		recv := sel.Recv()
+		if types.IsInterface(recv) {
+			if iface, ok := recv.Underlying().(*types.Interface); ok {
+				b.ifaceCalls = append(b.ifaceCalls, ifaceCall{
+					callerID: callerID, iface: iface, method: fn.Name(), pkg: fn.Pkg(), pos: pos,
+				})
+			}
+			return
+		}
+		b.edge(callerID, facts.ObjectID(fn), pos)
+	}
+}
+
+func (b *Builder) edge(caller, callee string, pos token.Position) {
+	if callee == "" {
+		return
+	}
+	m, ok := b.edges[caller]
+	if !ok {
+		m = make(map[string][]token.Position)
+		b.edges[caller] = m
+	}
+	m[callee] = append(m[callee], pos)
+}
+
+// Graph resolves pending interface calls against the accumulated type-set
+// and returns the finished graph.
+func (b *Builder) Graph() *Graph {
+	for _, ic := range b.ifaceCalls {
+		for _, n := range b.named {
+			if types.IsInterface(n) {
+				continue
+			}
+			impl := types.Implements(n, ic.iface) || types.Implements(types.NewPointer(n), ic.iface)
+			if !impl {
+				continue
+			}
+			// Find the concrete method the dynamic dispatch would reach.
+			obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(n), true, ic.pkg, ic.method)
+			if fn, ok := obj.(*types.Func); ok {
+				b.edge(ic.callerID, facts.ObjectID(fn), ic.pos)
+			}
+		}
+	}
+	b.ifaceCalls = nil
+	return &Graph{Nodes: b.nodes, edges: b.edges}
+}

@@ -1,0 +1,113 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+const graphSrc = `package p
+
+type Doer interface{ Do() }
+
+type A struct{}
+
+func (a *A) Do() { helper() }
+
+type B struct{}
+
+func (b B) Do() {}
+
+func helper() {}
+
+func Run(d Doer) { d.Do() }
+
+func Top() {
+	a := &A{}
+	Run(a)
+}
+`
+
+func buildTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", graphSrc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var conf types.Config
+	pkg, err := conf.Check("example.com/p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder()
+	b.AddPackage(fset, []*ast.File{f}, info, pkg)
+	return b.Graph()
+}
+
+func hasCallee(g *Graph, caller, callee string) bool {
+	for _, c := range g.Callees(caller) {
+		if c == callee {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStaticAndInterfaceEdges(t *testing.T) {
+	g := buildTestGraph(t)
+
+	if n := g.Nodes["example.com/p.Top"]; n == nil || n.Decl == nil {
+		t.Fatal("Top missing from the graph or lacks its declaration")
+	}
+	if !hasCallee(g, "example.com/p.Top", "example.com/p.Run") {
+		t.Errorf("static edge Top -> Run missing; callees: %v", g.Callees("example.com/p.Top"))
+	}
+	// The call through Doer.Do resolves by type-set: both implementations
+	// gain an edge, concrete receivers included.
+	for _, impl := range []string{"example.com/p.(A).Do", "example.com/p.(B).Do"} {
+		if !hasCallee(g, "example.com/p.Run", impl) {
+			t.Errorf("interface edge Run -> %s missing; callees: %v", impl, g.Callees("example.com/p.Run"))
+		}
+	}
+	if !hasCallee(g, "example.com/p.(A).Do", "example.com/p.helper") {
+		t.Errorf("edge (A).Do -> helper missing; callees: %v", g.Callees("example.com/p.(A).Do"))
+	}
+	if sites := g.CallSites("example.com/p.Top", "example.com/p.Run"); len(sites) != 1 {
+		t.Errorf("got %d call sites for Top -> Run, want 1", len(sites))
+	}
+}
+
+func TestReachableWithStopBoundary(t *testing.T) {
+	g := buildTestGraph(t)
+
+	all := g.Reachable([]string{"example.com/p.Top"}, nil)
+	for _, want := range []string{
+		"example.com/p.Top", "example.com/p.Run",
+		"example.com/p.(A).Do", "example.com/p.(B).Do", "example.com/p.helper",
+	} {
+		if !all[want] {
+			t.Errorf("unrestricted reachability misses %s", want)
+		}
+	}
+
+	// A stop boundary at (A).Do keeps the boundary itself in the set but
+	// does not expand through it: helper becomes unreachable.
+	stopped := g.Reachable([]string{"example.com/p.Top"}, func(id string) bool {
+		return id == "example.com/p.(A).Do"
+	})
+	if !stopped["example.com/p.(A).Do"] {
+		t.Error("stop boundary itself should be reachable")
+	}
+	if stopped["example.com/p.helper"] {
+		t.Error("traversal crossed the stop boundary into helper")
+	}
+}

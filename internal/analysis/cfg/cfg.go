@@ -1,0 +1,403 @@
+// Package cfg builds per-function control-flow graphs over go/ast and runs
+// forward/backward worklist dataflow over them. It is the intraprocedural
+// backbone of amrivet's flow-sensitive analyzers (lockorder's held-lock
+// sets, chanprotocol's closed-channel states): a statement-level CFG is
+// precise enough to distinguish "the lock is released on this branch" from
+// "the lock is held on every path to this acquisition", which a purely
+// lexical walk cannot.
+//
+// The graph is deliberately statement-granular: each Block holds a run of
+// statements with no internal control transfer, and expressions are not
+// split (short-circuit && / || does not fork blocks). Panics and calls to
+// runtime-terminating functions are not modelled — a statement after a
+// call that always panics is treated as reachable, which errs toward
+// reporting, the right direction for a linter.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is a maximal straight-line run of statements.
+type Block struct {
+	// Index is the block's position in Graph.Blocks (entry is 0).
+	Index int
+	// Stmts are the block's statements in execution order. Branch
+	// statements (return, break, continue, goto) appear as the final
+	// statement of their block.
+	Stmts []ast.Stmt
+	// Succs are the possible control-flow successors.
+	Succs []*Block
+	// Preds are the inverse of Succs, filled by Build.
+	Preds []*Block
+}
+
+// Graph is one function's control-flow graph.
+type Graph struct {
+	// Blocks lists every block, entry first. The exit block is a
+	// distinguished empty block every terminating path reaches.
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+}
+
+// builder carries the state of one Build run.
+type builder struct {
+	g *Graph
+	// cur is the block under construction; nil after a terminator.
+	cur *Block
+	// breakTo / continueTo map loop & switch scopes to their targets.
+	breaks    []*branchTarget
+	continues []*branchTarget
+	// labels maps label names to their blocks for goto resolution;
+	// gotos are patched at the end.
+	labels map[string]*Block
+	gotos  []pendingGoto
+	// pendingLabel is the name of the LabeledStmt wrapping the statement
+	// about to be lowered, so labeled break/continue find their scope.
+	pendingLabel string
+}
+
+type branchTarget struct {
+	label string
+	block *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// Build constructs the CFG for a function body. A nil body yields a graph
+// with only entry and exit.
+func Build(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}, labels: make(map[string]*Block)}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = &Block{}
+	b.cur = b.g.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	// Fall off the end of the function.
+	b.edgeTo(b.g.Exit)
+	// Resolve gotos now every label has a block.
+	for _, pg := range b.gotos {
+		if target, ok := b.labels[pg.label]; ok {
+			addEdge(pg.from, target)
+		} else {
+			addEdge(pg.from, b.g.Exit) // unresolvable: treat as exit
+		}
+	}
+	b.g.Exit.Index = len(b.g.Blocks)
+	b.g.Blocks = append(b.g.Blocks, b.g.Exit)
+	for _, blk := range b.g.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+	return b.g
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func addEdge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// edgeTo links the current block to target; a nil current block (dead
+// code after a terminator) is a no-op.
+func (b *builder) edgeTo(target *Block) {
+	if b.cur != nil {
+		addEdge(b.cur, target)
+	}
+}
+
+// startBlock begins a fresh current block and returns it.
+func (b *builder) startBlock() *Block {
+	blk := b.newBlock()
+	b.cur = blk
+	return blk
+}
+
+func (b *builder) add(s ast.Stmt) {
+	if b.cur == nil {
+		// Unreachable statement (after return/branch): give it its own
+		// block so dataflow still visits it, with no predecessors.
+		b.startBlock()
+	}
+	b.cur.Stmts = append(b.cur.Stmts, s)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(st.List)
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			b.add(st.Init)
+		}
+		b.add(&ast.ExprStmt{X: st.Cond})
+		condBlock := b.cur
+		after := b.newBlock()
+
+		thenBlock := b.startBlock()
+		if condBlock != nil {
+			addEdge(condBlock, thenBlock)
+		}
+		b.stmtList(st.Body.List)
+		b.edgeTo(after)
+
+		if st.Else != nil {
+			elseBlock := b.startBlock()
+			if condBlock != nil {
+				addEdge(condBlock, elseBlock)
+			}
+			b.stmt(st.Else)
+			b.edgeTo(after)
+		} else if condBlock != nil {
+			addEdge(condBlock, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			b.add(st.Init)
+		}
+		head := b.newBlock()
+		b.edgeTo(head)
+		b.cur = head
+		if st.Cond != nil {
+			b.add(&ast.ExprStmt{X: st.Cond})
+		}
+		after := b.newBlock()
+		if st.Cond != nil {
+			addEdge(head, after) // condition false
+		}
+		body := b.startBlock()
+		addEdge(head, body)
+		b.pushLoop(b.takeLabel(), after, head)
+		b.stmtList(st.Body.List)
+		b.popLoop()
+		if st.Post != nil {
+			b.add(st.Post)
+		}
+		b.edgeTo(head)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.edgeTo(head)
+		b.cur = head
+		b.add(&ast.ExprStmt{X: st.X})
+		after := b.newBlock()
+		addEdge(head, after) // range exhausted
+		body := b.startBlock()
+		addEdge(head, body)
+		b.pushLoop(b.takeLabel(), after, head)
+		b.stmtList(st.Body.List)
+		b.popLoop()
+		b.edgeTo(head)
+		b.cur = after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		b.switchStmt(st)
+
+	case *ast.SelectStmt:
+		head := b.cur
+		if head == nil {
+			head = b.startBlock()
+		}
+		after := b.newBlock()
+		hasDefault := false
+		b.pushBreak(b.takeLabel(), after)
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			caseBlock := b.startBlock()
+			addEdge(head, caseBlock)
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.edgeTo(after)
+		}
+		_ = hasDefault // a select with no default still always takes a case
+		b.popBreak()
+		b.cur = after
+
+	case *ast.LabeledStmt:
+		target := b.newBlock()
+		b.edgeTo(target)
+		b.cur = target
+		b.labels[st.Label.Name] = target
+		b.pendingLabel = st.Label.Name
+		b.stmt(st.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch st.Tok {
+		case token.BREAK:
+			if t := b.findTarget(b.breaks, st.Label); t != nil {
+				b.edgeTo(t)
+			} else {
+				b.edgeTo(b.g.Exit)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if t := b.findTarget(b.continues, st.Label); t != nil {
+				b.edgeTo(t)
+			} else {
+				b.edgeTo(b.g.Exit)
+			}
+			b.cur = nil
+		case token.GOTO:
+			if b.cur != nil && st.Label != nil {
+				b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: st.Label.Name})
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Handled by switchStmt via edge to the next case block.
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edgeTo(b.g.Exit)
+		b.cur = nil
+
+	default:
+		// Straight-line statement (incl. go/defer/send/assign/expr/decl).
+		b.add(s)
+	}
+}
+
+// switchStmt lowers expression and type switches: the head flows to every
+// case (and past the switch when no default exists); fallthrough chains a
+// case into the next one.
+func (b *builder) switchStmt(s ast.Stmt) {
+	var init ast.Stmt
+	var tag ast.Expr
+	var body *ast.BlockStmt
+	label := b.takeLabel()
+	switch st := s.(type) {
+	case *ast.SwitchStmt:
+		init, tag, body = st.Init, st.Tag, st.Body
+	case *ast.TypeSwitchStmt:
+		init, body = st.Init, st.Body
+		b.stmtIfNotNil(st.Assign)
+	}
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(&ast.ExprStmt{X: tag})
+	}
+	head := b.cur
+	if head == nil {
+		head = b.startBlock()
+	}
+	after := b.newBlock()
+	b.pushBreak(label, after)
+
+	hasDefault := false
+	var caseBlocks []*Block
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		clauses = append(clauses, cc)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		caseBlocks = append(caseBlocks, b.newBlock())
+	}
+	for i, cc := range clauses {
+		addEdge(head, caseBlocks[i])
+		b.cur = caseBlocks[i]
+		b.stmtList(cc.Body)
+		if fallsThrough(cc.Body) && i+1 < len(caseBlocks) {
+			b.edgeTo(caseBlocks[i+1])
+			b.cur = nil
+		} else {
+			b.edgeTo(after)
+		}
+	}
+	if !hasDefault {
+		addEdge(head, after)
+	}
+	b.popBreak()
+	b.cur = after
+}
+
+func (b *builder) stmtIfNotNil(s ast.Stmt) {
+	if s != nil {
+		b.add(s)
+	}
+}
+
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+// takeLabel consumes the label of the enclosing LabeledStmt, if the
+// statement being lowered is its direct body.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) pushLoop(name string, breakTo, continueTo *Block) {
+	b.breaks = append(b.breaks, &branchTarget{label: name, block: breakTo})
+	b.continues = append(b.continues, &branchTarget{label: name, block: continueTo})
+}
+
+func (b *builder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+func (b *builder) pushBreak(name string, to *Block) {
+	b.breaks = append(b.breaks, &branchTarget{label: name, block: to})
+}
+
+func (b *builder) popBreak() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+}
+
+func (b *builder) findTarget(stack []*branchTarget, label *ast.Ident) *Block {
+	if len(stack) == 0 {
+		return nil
+	}
+	if label == nil {
+		return stack[len(stack)-1].block
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].label == label.Name {
+			return stack[i].block
+		}
+	}
+	return stack[len(stack)-1].block
+}

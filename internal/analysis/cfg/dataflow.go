@@ -1,0 +1,153 @@
+package cfg
+
+// Worklist dataflow over a Graph. The framework is generic over the
+// lattice value T: an analysis supplies the boundary value, the join, an
+// equality test (for the fixpoint check) and the block transfer function.
+// Forward propagates entry→exit (e.g. "which locks are held here"),
+// Backward exit→entry (e.g. liveness). Both run the classic round-robin
+// worklist to a fixpoint; termination is the analysis' responsibility (the
+// transfer/join pair must be monotone over a finite lattice, which all of
+// amrivet's uses are — finite sets of locks and channels).
+
+// Flow describes one dataflow problem over lattice values of type T.
+type Flow[T any] struct {
+	// Entry is the boundary value at the entry block (Forward) or exit
+	// block (Backward).
+	Entry T
+	// Bottom produces the initial value for every other block — the
+	// lattice bottom (e.g. the full set for a must-analysis with
+	// intersection join, the empty set for a may-analysis with union).
+	Bottom func() T
+	// Join combines two incoming values. It must not mutate its inputs.
+	Join func(a, b T) T
+	// Equal reports lattice-value equality; the fixpoint stops when no
+	// block's input changes.
+	Equal func(a, b T) bool
+	// Transfer computes a block's output value from its input. It must
+	// not mutate in.
+	Transfer func(b *Block, in T) T
+}
+
+// Result carries the per-block fixpoint values of one dataflow run.
+type Result[T any] struct {
+	// In is the value at block entry (in execution order, regardless of
+	// analysis direction).
+	In map[*Block]T
+	// Out is the value at block exit.
+	Out map[*Block]T
+}
+
+// Forward runs the problem over g in execution order and returns the
+// per-block fixpoint.
+func Forward[T any](g *Graph, f Flow[T]) Result[T] {
+	return run(g, f, false)
+}
+
+// Backward runs the problem against execution order: Transfer sees the
+// value flowing in from a block's successors and produces the value its
+// predecessors observe. In the returned Result, In is still the value at
+// block entry in execution order (the analysis' output for a backward
+// problem) and Out the value at block exit (its input).
+func Backward[T any](g *Graph, f Flow[T]) Result[T] {
+	return run(g, f, true)
+}
+
+func run[T any](g *Graph, f Flow[T], backward bool) Result[T] {
+	res := Result[T]{In: make(map[*Block]T), Out: make(map[*Block]T)}
+	boundary := g.Entry
+	if backward {
+		boundary = g.Exit
+	}
+	// sources(b) are the blocks whose values flow into b; sink(b) is
+	// where b's transferred value lands.
+	sources := func(b *Block) []*Block {
+		if backward {
+			return b.Succs
+		}
+		return b.Preds
+	}
+	input := func(b *Block) T {
+		srcs := sources(b)
+		if b == boundary {
+			// The boundary keeps its value; joins cover the (rare) case
+			// of a back-edge into it.
+			v := f.Entry
+			for _, s := range srcs {
+				v = f.Join(v, out(res, s, backward))
+			}
+			return v
+		}
+		if len(srcs) == 0 {
+			return f.Bottom()
+		}
+		v := out(res, srcs[0], backward)
+		for _, s := range srcs[1:] {
+			v = f.Join(v, out(res, s, backward))
+		}
+		return v
+	}
+
+	for _, b := range g.Blocks {
+		setIn(res, b, backward, f.Bottom())
+		setOut(res, b, backward, f.Bottom())
+	}
+	setIn(res, boundary, backward, f.Entry)
+
+	work := make([]*Block, len(g.Blocks))
+	copy(work, g.Blocks)
+	inWork := make(map[*Block]bool, len(work))
+	for _, b := range work {
+		inWork[b] = true
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+
+		in := input(b)
+		setIn(res, b, backward, in)
+		o := f.Transfer(b, in)
+		if f.Equal(o, out(res, b, backward)) {
+			continue
+		}
+		setOut(res, b, backward, o)
+		var next []*Block
+		if backward {
+			next = b.Preds
+		} else {
+			next = b.Succs
+		}
+		for _, s := range next {
+			if !inWork[s] {
+				inWork[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return res
+}
+
+// out / setIn / setOut hide the direction flip: for a backward problem the
+// "input" of a block in analysis order is its Out in execution order.
+func out[T any](res Result[T], b *Block, backward bool) T {
+	if backward {
+		return res.In[b]
+	}
+	return res.Out[b]
+}
+
+func setIn[T any](res Result[T], b *Block, backward bool, v T) {
+	if backward {
+		res.Out[b] = v
+	} else {
+		res.In[b] = v
+	}
+}
+
+func setOut[T any](res Result[T], b *Block, backward bool, v T) {
+	if backward {
+		res.In[b] = v
+	} else {
+		res.Out[b] = v
+	}
+}

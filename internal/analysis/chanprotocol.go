@@ -1,0 +1,324 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"amri/internal/analysis/cfg"
+	"amri/internal/analysis/facts"
+)
+
+// ChanProtocol enforces the channel ownership protocol: a channel is closed
+// exactly once, by its owner, and never sent on afterwards. A CFG forward
+// must-analysis (intersection join) tracks the channels definitely closed
+// on every path to each statement, so a close inside one branch does not
+// poison the other; only operations on a channel that is closed on all
+// incoming paths are reported:
+//
+//   - close of a definitely-closed channel (double close: panics)
+//   - send on a definitely-closed channel (panics)
+//   - close of a channel received as a parameter (the callee does not own
+//     it; Go convention is that only the sender/owner closes) — exported as
+//     a ClosesChanFact so callers inherit the close interprocedurally: a
+//     send after calling a helper that closes the channel is also reported.
+//
+// Re-making a channel (x = make(chan T)) clears its closed state. Channels
+// captured by function literals and function-valued fields are unmodelled.
+var ChanProtocol = &Analyzer{
+	Name: "chanprotocol",
+	Doc:  "reports double close, send-after-close and close-by-non-owner channel protocol violations",
+	Run:  runChanProtocol,
+}
+
+// ClosesChanFact marks a function that closes one or more of its channel
+// parameters, identified by parameter index.
+type ClosesChanFact struct {
+	Params []int `json:"params"`
+}
+
+// FactName implements facts.Fact.
+func (*ClosesChanFact) FactName() string { return "amrivet.closeschan" }
+
+func init() { facts.Register(&ClosesChanFact{}) }
+
+// chanState is the must-closed lattice: channel class → definitely closed.
+// The bottomMark entry distinguishes "no information yet" (the initial
+// value of unvisited blocks, absorbing in the intersection join) from the
+// empty set "definitely nothing closed".
+type chanState map[string]bool
+
+const bottomMark = "\x00bottom"
+
+func copyChanState(in chanState) chanState {
+	out := make(chanState, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+func runChanProtocol(pass *Pass) {
+	// First pass: export ClosesChanFact for every function closing a
+	// parameter, so same-package callers see the facts below.
+	type funcInfo struct {
+		fd  *ast.FuncDecl
+		obj *types.Func
+	}
+	var fns []funcInfo
+	forEachFuncDecl(pass, func(fd *ast.FuncDecl, obj *types.Func) {
+		fns = append(fns, funcInfo{fd, obj})
+		params := closedParams(pass, fd)
+		if len(params) > 0 {
+			pass.ExportFact(obj, &ClosesChanFact{Params: params})
+		}
+	})
+	for _, fi := range fns {
+		checkChanProtocolFunc(pass, fi.fd)
+	}
+}
+
+// closedParams returns the indices of fd's parameters that the body closes.
+func closedParams(pass *Pass, fd *ast.FuncDecl) []int {
+	paramIndex := paramIndexOf(pass, fd)
+	seen := make(map[int]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isBuiltinClose(pass, call) {
+			return true
+		}
+		if id, ok := call.Args[0].(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil {
+				if i, ok := paramIndex[obj]; ok {
+					seen[i] = true
+				}
+			}
+		}
+		return true
+	})
+	var out []int
+	for i := range seen {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// paramIndexOf maps fd's parameter objects to their positional index.
+func paramIndexOf(pass *Pass, fd *ast.FuncDecl) map[types.Object]int {
+	out := make(map[types.Object]int)
+	i := 0
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			i++
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pass.Info.Defs[name]; obj != nil {
+				out[obj] = i
+			}
+			i++
+		}
+	}
+	return out
+}
+
+func isBuiltinClose(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "close" || len(call.Args) != 1 {
+		return false
+	}
+	_, isBuiltin := pass.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func checkChanProtocolFunc(pass *Pass, fd *ast.FuncDecl) {
+	g := cfg.Build(fd.Body)
+	flow := cfg.Flow[chanState]{
+		Entry:  chanState{},
+		Bottom: func() chanState { return chanState{bottomMark: true} },
+		Join: func(a, b chanState) chanState {
+			if a[bottomMark] {
+				return copyChanState(b)
+			}
+			if b[bottomMark] {
+				return copyChanState(a)
+			}
+			out := chanState{}
+			for k := range a {
+				if b[k] {
+					out[k] = true
+				}
+			}
+			return out
+		},
+		Equal: func(a, b chanState) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(b *cfg.Block, in chanState) chanState {
+			out := copyChanState(in)
+			delete(out, bottomMark)
+			for _, s := range b.Stmts {
+				chanTransferStmt(pass, s, out, nil)
+			}
+			return out
+		},
+	}
+	res := cfg.Forward(g, flow)
+
+	paramIndex := paramIndexOf(pass, fd)
+	for _, b := range g.Blocks {
+		state := copyChanState(res.In[b])
+		delete(state, bottomMark)
+		for _, s := range b.Stmts {
+			chanTransferStmt(pass, s, state, func(pos token.Pos, format string, args ...any) {
+				pass.Reportf(pos, format, args...)
+			})
+		}
+	}
+
+	// Close-by-non-owner is flow-insensitive: any close of a parameter.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isBuiltinClose(pass, call) {
+			return true
+		}
+		id, ok := call.Args[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.Info.Uses[id]; obj != nil {
+			if _, isParam := paramIndex[obj]; isParam {
+				pass.Reportf(call.Pos(),
+					"close of channel parameter %s: channels should be closed by their owning sender, not by callees",
+					id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// chanTransferStmt applies one statement's channel effects to state; when
+// report is non-nil, protocol violations are diagnosed against the state
+// holding before the operation.
+func chanTransferStmt(pass *Pass, s ast.Stmt, state chanState, report func(pos token.Pos, format string, args ...any)) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			class := chanClass(pass, x.Chan)
+			if class != "" && state[class] && report != nil {
+				report(x.Arrow, "send on %s, which is closed on every path reaching this statement", chanExprName(x.Chan))
+			}
+		case *ast.AssignStmt:
+			// Any assignment to a tracked channel resets its state (a fresh
+			// make, or a value of unknown provenance).
+			for _, lhs := range x.Lhs {
+				if class := chanClass(pass, lhs); class != "" {
+					delete(state, class)
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltinClose(pass, x) {
+				class := chanClass(pass, x.Args[0])
+				if class == "" {
+					return true
+				}
+				if state[class] && report != nil {
+					report(x.Pos(), "double close of %s: already closed on every path reaching this statement", chanExprName(x.Args[0]))
+				}
+				state[class] = true
+				return true
+			}
+			// A call to a function that closes one of its channel
+			// parameters closes the corresponding argument here.
+			if fn := calleeFunc(pass, x); fn != nil {
+				var cf ClosesChanFact
+				if pass.Facts.Lookup(facts.ObjectID(fn), &cf) {
+					for _, idx := range cf.Params {
+						if idx < len(x.Args) {
+							if class := chanClass(pass, x.Args[idx]); class != "" {
+								state[class] = true
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// chanClass identifies a channel-typed expression by its variable: locals
+// and parameters by object ID, fields by their declaring struct field.
+func chanClass(pass *Pass, e ast.Expr) string {
+	tv, ok := pass.Info.Types[e]
+	if !ok {
+		return ""
+	}
+	if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+		return ""
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := pass.Info.Uses[x]; obj != nil {
+			return facts.ObjectID(obj)
+		}
+		if obj := pass.Info.Defs[x]; obj != nil {
+			return facts.ObjectID(obj)
+		}
+	case *ast.SelectorExpr:
+		if sel := pass.Info.Selections[x]; sel != nil && sel.Kind() == types.FieldVal {
+			if owner := namedType(sel.Recv()); owner != nil {
+				return facts.FieldID(owner, x.Sel.Name)
+			}
+		}
+		if obj := pass.Info.Uses[x.Sel]; obj != nil {
+			return facts.ObjectID(obj)
+		}
+	}
+	return ""
+}
+
+func chanExprName(e ast.Expr) string {
+	return types.ExprString(e)
+}
+
+// calleeFunc resolves a call's static callee, if any.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fn, ok := pass.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel := pass.Info.Selections[fun]; sel != nil {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+		}
+		if fn, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"amri/internal/analysis/facts"
+)
+
+// Hot-path annotations. Two doc-comment directives parameterize the
+// interprocedural analyzers:
+//
+//	//amrivet:hotpath <reason>
+//
+// marks a function as a probe hot-path root: hotalloc reports heap
+// allocations in every function reachable from it through the call graph.
+//
+//	//amrivet:coldpath <reason>
+//
+// marks a function as a deliberate boundary: traversal stops there (its
+// body and callees are exempt). Both require a reason, like amrivet:ignore.
+
+var (
+	hotpathRE  = regexp.MustCompile(`^//\s*amrivet:hotpath\s*(.*)$`)
+	coldpathRE = regexp.MustCompile(`^//\s*amrivet:coldpath\s*(.*)$`)
+)
+
+// HotPathFact marks a function as a hot-path root for reachability.
+type HotPathFact struct {
+	Reason string `json:"reason"`
+}
+
+// FactName implements facts.Fact.
+func (*HotPathFact) FactName() string { return "amrivet.hotpath" }
+
+// ColdPathFact marks a function as a hot-path traversal boundary.
+type ColdPathFact struct {
+	Reason string `json:"reason"`
+}
+
+// FactName implements facts.Fact.
+func (*ColdPathFact) FactName() string { return "amrivet.coldpath" }
+
+func init() {
+	facts.Register(&HotPathFact{})
+	facts.Register(&ColdPathFact{})
+}
+
+// exportPathDirectives scans fd's doc comment for hotpath/coldpath
+// directives and exports the matching facts. A directive without a reason
+// is reported (mirroring amrivet:ignore's mandatory-reason rule).
+func exportPathDirectives(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Doc == nil {
+		return
+	}
+	obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	for _, c := range fd.Doc.List {
+		if m := hotpathRE.FindStringSubmatch(c.Text); m != nil {
+			reason := strings.TrimSpace(m[1])
+			if reason == "" {
+				pass.Reportf(c.Pos(), "amrivet:hotpath directive is missing a reason")
+				continue
+			}
+			pass.ExportFact(obj, &HotPathFact{Reason: reason})
+		}
+		if m := coldpathRE.FindStringSubmatch(c.Text); m != nil {
+			reason := strings.TrimSpace(m[1])
+			if reason == "" {
+				pass.Reportf(c.Pos(), "amrivet:coldpath directive is missing a reason")
+				continue
+			}
+			pass.ExportFact(obj, &ColdPathFact{Reason: reason})
+		}
+	}
+}
+
+// forEachFuncDecl applies fn to every function declaration with a body.
+func forEachFuncDecl(pass *Pass, fn func(fd *ast.FuncDecl, obj *types.Func)) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fn(fd, obj)
+		}
+	}
+}

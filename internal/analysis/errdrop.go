@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"amri/internal/analysis/facts"
+)
+
+// ErrDrop reports silently discarded error returns from this module's own
+// functions: a call in statement position (including go and defer) whose
+// callee returns an error throws the value away with no record of the
+// decision. Explicitly assigning the error — even to _ — is accepted: the
+// drop is then visible in review and greppable.
+//
+// The check is interprocedural in both directions. A function whose error
+// result is provably always nil (every return supplies a nil literal, or
+// forwards another never-failing function) exports a NeverFailsFact, and
+// discarding its result is fine — callers across package boundaries
+// inherit that via the facts store. Only module-internal callees are
+// checked: the standard library's error-returning conveniences
+// (fmt.Println, buffer writes) are conventionally discarded and flagging
+// them would drown the signal.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "reports discarded error returns from module-internal calls, modulo provably never-failing callees",
+	Run:  runErrDrop,
+}
+
+// NeverFailsFact marks a function whose error results are always nil.
+type NeverFailsFact struct{}
+
+// FactName implements facts.Fact.
+func (*NeverFailsFact) FactName() string { return "amrivet.neverfails" }
+
+func init() { facts.Register(&NeverFailsFact{}) }
+
+func runErrDrop(pass *Pass) {
+	type funcInfo struct {
+		fd  *ast.FuncDecl
+		obj *types.Func
+	}
+	var fns []funcInfo
+	forEachFuncDecl(pass, func(fd *ast.FuncDecl, obj *types.Func) {
+		fns = append(fns, funcInfo{fd, obj})
+	})
+
+	// Fixpoint: a function never fails if every return supplies nil (or a
+	// never-failing call) at each error position; wrappers of wrappers
+	// converge in a few rounds.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range fns {
+			id := facts.ObjectID(fi.obj)
+			var nf NeverFailsFact
+			if pass.Facts.Lookup(id, &nf) {
+				continue
+			}
+			if neverFails(pass, fi.fd, fi.obj) {
+				pass.ExportFact(fi.obj, &NeverFailsFact{})
+				changed = true
+			}
+		}
+	}
+
+	for _, fi := range fns {
+		checkErrDropFunc(pass, fi.fd)
+	}
+}
+
+// errorPositions returns the indices of fn's results with type error.
+func errorPositions(fn *types.Func) []int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []int
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// neverFails reports whether every return of fd provides a provably-nil
+// error at each error result position. Functions with naked returns or
+// result-count mismatches (multi-value forwarding of a possibly-failing
+// call) do not qualify.
+func neverFails(pass *Pass, fd *ast.FuncDecl, obj *types.Func) bool {
+	errPos := errorPositions(obj)
+	if len(errPos) == 0 {
+		return false // nothing to assert; the fact would be noise
+	}
+	sig := obj.Type().(*types.Signature)
+	ok := true
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if !ok {
+			return false
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		ret, isRet := n.(*ast.ReturnStmt)
+		if !isRet {
+			return true
+		}
+		if len(ret.Results) == 0 {
+			ok = false // naked return: named results of unknown value
+			return true
+		}
+		if len(ret.Results) != sig.Results().Len() {
+			// Single-call multi-value forwarding: return g().
+			if len(ret.Results) == 1 {
+				if call, isCall := ret.Results[0].(*ast.CallExpr); isCall {
+					if fn := calleeFunc(pass, call); fn != nil {
+						var nf NeverFailsFact
+						if pass.Facts.Lookup(facts.ObjectID(fn), &nf) {
+							return true
+						}
+					}
+				}
+			}
+			ok = false
+			return true
+		}
+		for _, i := range errPos {
+			if !provablyNilError(pass, ret.Results[i]) {
+				ok = false
+				return true
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// provablyNilError reports whether e is the nil literal or a call to a
+// never-failing function's sole error result.
+func provablyNilError(pass *Pass, e ast.Expr) bool {
+	if id, isIdent := e.(*ast.Ident); isIdent && id.Name == "nil" {
+		return true
+	}
+	if call, isCall := e.(*ast.CallExpr); isCall {
+		if fn := calleeFunc(pass, call); fn != nil {
+			var nf NeverFailsFact
+			return pass.Facts.Lookup(facts.ObjectID(fn), &nf)
+		}
+	}
+	return false
+}
+
+// checkErrDropFunc flags statement-position calls discarding errors.
+func checkErrDropFunc(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var call *ast.CallExpr
+		var how string
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if c, isCall := s.X.(*ast.CallExpr); isCall {
+				call, how = c, "call"
+			}
+		case *ast.GoStmt:
+			call, how = s.Call, "go statement"
+		case *ast.DeferStmt:
+			call, how = s.Call, "deferred call"
+		}
+		if call == nil {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || len(errorPositions(fn)) == 0 {
+			return true
+		}
+		if !moduleInternal(fn) {
+			return true
+		}
+		var nf NeverFailsFact
+		if pass.Facts.Lookup(facts.ObjectID(fn), &nf) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"%s discards the error returned by %s; assign it (_ = ... for a deliberate drop)",
+			how, callName(call, fn))
+		return true
+	})
+}
+
+// moduleInternal reports whether fn belongs to this module (or an analyzer
+// fixture, which loads under a synthetic amrivet/fixture path).
+func moduleInternal(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	return strings.HasPrefix(pkg.Path(), "amri/") || pkg.Path() == "amri" ||
+		strings.HasPrefix(pkg.Path(), "amrivet/fixture")
+}
+
+// callName renders the callee for diagnostics.
+func callName(call *ast.CallExpr, fn *types.Func) string {
+	if sel, isSel := call.Fun.(*ast.SelectorExpr); isSel {
+		return types.ExprString(sel.X) + "." + fn.Name()
+	}
+	return fn.Name()
+}

@@ -1,0 +1,239 @@
+// Package facts is the cross-package fact store behind amrivet's
+// interprocedural analyzers, mirroring the shape of go/analysis Facts: an
+// analyzer running over one package may attach serializable facts to that
+// package's objects (functions, methods, struct fields), and analyzers
+// running later over dependent packages import those facts and build on
+// them — e.g. mutexguard learns that (*Directory).swap acquires mu while
+// analyzing bitindex, and uses that knowledge when checking pipeline.
+//
+// Facts are keyed by a stable textual object ID (see ObjectID) rather than
+// by *types.Object pointers so a package's fact set survives encoding: the
+// driver serializes each analyzed package's facts to JSON and decodes them
+// into the store of every dependent, exactly like export data flows through
+// `go list -export`.
+package facts
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// Fact is one serializable datum attached to an object. Implementations
+// must be pointer types with JSON-encodable exported fields, and must be
+// registered via Register before use.
+type Fact interface {
+	// FactName identifies the fact type in encoded form; it must be
+	// unique across all registered facts.
+	FactName() string
+}
+
+// registry maps fact names to prototypes for decoding.
+var registry = make(map[string]reflect.Type)
+
+// Register records a fact prototype so encoded packages mentioning it can
+// be decoded. It panics on duplicate names (a programming error).
+func Register(proto Fact) {
+	name := proto.FactName()
+	t := reflect.TypeOf(proto)
+	if t.Kind() != reflect.Pointer {
+		panic(fmt.Sprintf("facts: prototype %s is not a pointer type", name))
+	}
+	if prev, ok := registry[name]; ok && prev != t.Elem() {
+		panic(fmt.Sprintf("facts: duplicate fact name %q", name))
+	}
+	registry[name] = t.Elem()
+}
+
+// ObjectID returns a stable, package-qualified identifier for obj:
+//
+//	pkgpath.Name                    package-level func/var/type/const
+//	pkgpath.(Recv).Method           method (pointer receivers stripped)
+//	pkgpath.Struct.Field            struct field (via FieldID)
+//	pkgpath.local.Name              anything scoped inside a function
+//
+// The ID is stable across loads of the same source, which is what lets a
+// fact exported while analyzing one package be found by its importers.
+func ObjectID(obj types.Object) string {
+	if obj == nil {
+		return ""
+	}
+	pkg := ""
+	if obj.Pkg() != nil {
+		pkg = obj.Pkg().Path()
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return fmt.Sprintf("%s.(%s).%s", pkg, recvName(sig.Recv().Type()), fn.Name())
+		}
+		return pkg + "." + fn.Name()
+	}
+	// Fields and locals have a non-package parent scope; mark them so two
+	// same-named locals in different functions do not collide with a
+	// package-level object. (Collisions between sibling locals are
+	// acceptable at the granularity facts are used: lock and channel
+	// classes.)
+	if v, ok := obj.(*types.Var); ok && !isPackageLevel(v) {
+		return pkg + ".local." + v.Name()
+	}
+	return pkg + "." + obj.Name()
+}
+
+// FieldID returns the identifier for field fieldName of the named struct
+// type owner (as ObjectID would, but computable from a types.Selection's
+// receiver where the *types.Var alone does not reveal its struct).
+func FieldID(owner *types.Named, fieldName string) string {
+	obj := owner.Obj()
+	pkg := ""
+	if obj.Pkg() != nil {
+		pkg = obj.Pkg().Path()
+	}
+	return pkg + "." + obj.Name() + "." + fieldName
+}
+
+func recvName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch n := t.(type) {
+	case *types.Named:
+		return n.Obj().Name()
+	default:
+		return strings.ReplaceAll(t.String(), " ", "")
+	}
+}
+
+func isPackageLevel(v *types.Var) bool {
+	if v.Pkg() == nil {
+		return false
+	}
+	return v.Parent() == v.Pkg().Scope()
+}
+
+// entry is one stored fact instance.
+type entry struct {
+	pkg  string // exporting package path
+	fact Fact
+}
+
+// Store holds facts for one analysis session. The zero value is not ready;
+// use NewStore.
+type Store struct {
+	// byObject maps object ID → fact name → entry.
+	byObject map[string]map[string]entry
+}
+
+// NewStore returns an empty fact store.
+func NewStore() *Store {
+	return &Store{byObject: make(map[string]map[string]entry)}
+}
+
+// Export attaches a fact to the object identified by objID on behalf of
+// pkgPath. Exporting a second fact of the same type to the same object
+// overwrites the first.
+func (s *Store) Export(pkgPath, objID string, f Fact) {
+	if _, ok := registry[f.FactName()]; !ok {
+		panic(fmt.Sprintf("facts: exporting unregistered fact %q", f.FactName()))
+	}
+	m, ok := s.byObject[objID]
+	if !ok {
+		m = make(map[string]entry)
+		s.byObject[objID] = m
+	}
+	m[f.FactName()] = entry{pkg: pkgPath, fact: f}
+}
+
+// Lookup copies the fact of ptr's type attached to objID into ptr,
+// reporting whether one was found. ptr must be a registered pointer-typed
+// Fact, as in go/analysis' ImportObjectFact.
+func (s *Store) Lookup(objID string, ptr Fact) bool {
+	m, ok := s.byObject[objID]
+	if !ok {
+		return false
+	}
+	e, ok := m[ptr.FactName()]
+	if !ok {
+		return false
+	}
+	rv := reflect.ValueOf(ptr).Elem()
+	rv.Set(reflect.ValueOf(e.fact).Elem())
+	return true
+}
+
+// Objects returns the IDs of every object carrying a fact named name,
+// sorted for deterministic iteration.
+func (s *Store) Objects(name string) []string {
+	var ids []string
+	for id, m := range s.byObject {
+		if _, ok := m[name]; ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Merge copies every fact from other into s.
+func (s *Store) Merge(other *Store) {
+	for id, m := range other.byObject {
+		for _, e := range m {
+			s.Export(e.pkg, id, e.fact)
+		}
+	}
+}
+
+// encodedFact is the serialized form of one fact.
+type encodedFact struct {
+	Object string          `json:"object"`
+	Pkg    string          `json:"pkg"`
+	Name   string          `json:"name"`
+	Data   json.RawMessage `json:"data"`
+}
+
+// Encode serializes the store's complete fact set — including facts merged
+// in from dependencies, so importing one blob transitively imports the
+// whole dependency cone, as go/analysis does.
+func (s *Store) Encode() ([]byte, error) {
+	var out []encodedFact
+	for id, m := range s.byObject {
+		for name, e := range m {
+			data, err := json.Marshal(e.fact)
+			if err != nil {
+				return nil, fmt.Errorf("facts: encoding %s on %s: %v", name, id, err)
+			}
+			out = append(out, encodedFact{Object: id, Pkg: e.pkg, Name: name, Data: data})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Object != out[j].Object {
+			return out[i].Object < out[j].Object
+		}
+		return out[i].Name < out[j].Name
+	})
+	return json.Marshal(out)
+}
+
+// Decode merges an encoded fact set into the store. Facts of unregistered
+// types are an error: an analyzer that consumes a fact must have
+// registered it.
+func (s *Store) Decode(data []byte) error {
+	var in []encodedFact
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("facts: decoding store: %v", err)
+	}
+	for _, ef := range in {
+		t, ok := registry[ef.Name]
+		if !ok {
+			return fmt.Errorf("facts: decoded unregistered fact type %q", ef.Name)
+		}
+		ptr := reflect.New(t)
+		if err := json.Unmarshal(ef.Data, ptr.Interface()); err != nil {
+			return fmt.Errorf("facts: decoding %s on %s: %v", ef.Name, ef.Object, err)
+		}
+		s.Export(ef.Pkg, ef.Object, ptr.Interface().(Fact))
+	}
+	return nil
+}

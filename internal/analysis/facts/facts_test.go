@@ -1,0 +1,148 @@
+package facts
+
+import (
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+type flowFact struct{ Value string }
+
+func (*flowFact) FactName() string { return "facts.test.flow" }
+
+type otherFact struct{ N int }
+
+func (*otherFact) FactName() string { return "facts.test.other" }
+
+func init() {
+	Register(&flowFact{})
+	Register(&otherFact{})
+}
+
+func TestObjectIDForms(t *testing.T) {
+	pkg := types.NewPackage("example.com/p", "p")
+
+	fn := types.NewFunc(token.NoPos, pkg, "F", types.NewSignatureType(nil, nil, nil, nil, nil, false))
+	if got := ObjectID(fn); got != "example.com/p.F" {
+		t.Errorf("package func: got %q", got)
+	}
+
+	named := types.NewNamed(types.NewTypeName(token.NoPos, pkg, "T", nil), types.NewStruct(nil, nil), nil)
+	recv := types.NewVar(token.NoPos, pkg, "t", types.NewPointer(named))
+	method := types.NewFunc(token.NoPos, pkg, "M", types.NewSignatureType(recv, nil, nil, nil, nil, false))
+	if got := ObjectID(method); got != "example.com/p.(T).M" {
+		t.Errorf("method (pointer receiver stripped): got %q", got)
+	}
+
+	if got := FieldID(named, "mu"); got != "example.com/p.T.mu" {
+		t.Errorf("field: got %q", got)
+	}
+
+	pkgVar := types.NewVar(token.NoPos, pkg, "G", types.Typ[types.Int])
+	pkg.Scope().Insert(pkgVar)
+	if got := ObjectID(pkgVar); got != "example.com/p.G" {
+		t.Errorf("package var: got %q", got)
+	}
+
+	local := types.NewVar(token.NoPos, pkg, "x", types.Typ[types.Int])
+	if got := ObjectID(local); got != "example.com/p.local.x" {
+		t.Errorf("local var: got %q", got)
+	}
+
+	if got := ObjectID(nil); got != "" {
+		t.Errorf("nil object: got %q", got)
+	}
+}
+
+func TestExportLookupRoundTrip(t *testing.T) {
+	s := NewStore()
+	s.Export("p", "p.F", &flowFact{Value: "a"})
+
+	var got flowFact
+	if !s.Lookup("p.F", &got) || got.Value != "a" {
+		t.Fatalf("Lookup after Export: ok with %+v", got)
+	}
+	// Re-exporting the same fact type overwrites.
+	s.Export("p", "p.F", &flowFact{Value: "b"})
+	if !s.Lookup("p.F", &got) || got.Value != "b" {
+		t.Errorf("Lookup after overwrite: %+v", got)
+	}
+	if s.Lookup("p.Missing", &got) {
+		t.Error("Lookup succeeded for an object with no facts")
+	}
+	var wrong otherFact
+	if s.Lookup("p.F", &wrong) {
+		t.Error("Lookup succeeded for a fact type never exported on the object")
+	}
+}
+
+func TestObjectsSorted(t *testing.T) {
+	s := NewStore()
+	s.Export("p", "p.B", &flowFact{})
+	s.Export("p", "p.A", &flowFact{})
+	s.Export("p", "p.C", &otherFact{})
+	got := s.Objects("facts.test.flow")
+	if len(got) != 2 || got[0] != "p.A" || got[1] != "p.B" {
+		t.Errorf("Objects = %v, want [p.A p.B]", got)
+	}
+}
+
+// Encoding a store that already merged a dependency's facts must carry the
+// whole cone: decoding one blob transitively imports everything upstream,
+// the property RunAll's per-package import step relies on.
+func TestEncodeDecodeTransitiveCone(t *testing.T) {
+	dep := NewStore()
+	dep.Export("example.com/dep", "example.com/dep.F", &flowFact{Value: "from-dep"})
+	blob1, err := dep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mid := NewStore()
+	if err := mid.Decode(blob1); err != nil {
+		t.Fatal(err)
+	}
+	mid.Export("example.com/mid", "example.com/mid.G", &flowFact{Value: "from-mid"})
+	blob2, err := mid.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	top := NewStore()
+	if err := top.Decode(blob2); err != nil {
+		t.Fatal(err)
+	}
+	var got flowFact
+	if !top.Lookup("example.com/dep.F", &got) || got.Value != "from-dep" {
+		t.Errorf("dep fact lost through two encode/decode hops: %+v", got)
+	}
+	if !top.Lookup("example.com/mid.G", &got) || got.Value != "from-mid" {
+		t.Errorf("mid fact lost through encode/decode: %+v", got)
+	}
+}
+
+func TestDecodeUnregisteredFactIsError(t *testing.T) {
+	s := NewStore()
+	err := s.Decode([]byte(`[{"object":"p.F","pkg":"p","name":"facts.test.unregistered","data":{}}]`))
+	if err == nil || !strings.Contains(err.Error(), "unregistered") {
+		t.Fatalf("Decode of unregistered fact: err = %v", err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewStore()
+	a.Export("p1", "p1.F", &flowFact{Value: "one"})
+	b := NewStore()
+	b.Export("p2", "p2.G", &otherFact{N: 2})
+
+	a.Merge(b)
+	var f flowFact
+	var o otherFact
+	if !a.Lookup("p1.F", &f) || f.Value != "one" {
+		t.Errorf("own fact lost after Merge: %+v", f)
+	}
+	if !a.Lookup("p2.G", &o) || o.N != 2 {
+		t.Errorf("merged fact missing: %+v", o)
+	}
+}

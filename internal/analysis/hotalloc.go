@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"amri/internal/analysis/facts"
+)
+
+// HotAlloc keeps the probe hot path allocation-free. Functions annotated
+// with an //amrivet:hotpath doc directive (Index.Search, AdaptiveIndex.
+// Search, STeM.Probe, the operator probe loop) are reachability roots: the
+// whole-program phase walks the call graph from them and reports every
+// heap-allocating construct — make, new, &composite{} and slice-growing
+// append — in any reachable function. An //amrivet:coldpath directive cuts
+// traversal at deliberate slow-path boundaries (tuning, compression).
+//
+// The sanctioned alternative is receiver-attached scratch storage: append
+// whose destination is a field reached from the method's receiver (e.g.
+// ix.wildFields = append(ix.wildFields[:0], ...)) amortizes to zero
+// allocations and is not reported. Allocations inside function literals
+// are not attributed to the enclosing function (closures are not modelled
+// in the call graph), and map writes — which may allocate on growth — are
+// accepted as unavoidable for the counter structures.
+var HotAlloc = &Analyzer{
+	Name:   "hotalloc",
+	Doc:    "reports heap allocations in functions reachable from amrivet:hotpath roots",
+	Run:    runHotAlloc,
+	Finish: finishHotAlloc,
+}
+
+// AllocSite is one allocating construct.
+type AllocSite struct {
+	What string `json:"what"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+// AllocFact lists a function's allocation sites.
+type AllocFact struct {
+	Sites []AllocSite `json:"sites"`
+}
+
+// FactName implements facts.Fact.
+func (*AllocFact) FactName() string { return "amrivet.allocs" }
+
+func init() { facts.Register(&AllocFact{}) }
+
+func runHotAlloc(pass *Pass) {
+	forEachFuncDecl(pass, func(fd *ast.FuncDecl, obj *types.Func) {
+		exportPathDirectives(pass, fd)
+		sites := collectAllocSites(pass, fd)
+		if len(sites) > 0 {
+			pass.ExportFact(obj, &AllocFact{Sites: sites})
+		}
+	})
+}
+
+// collectAllocSites walks fd's body (not descending into function
+// literals) for heap-allocating constructs.
+func collectAllocSites(pass *Pass, fd *ast.FuncDecl) []AllocSite {
+	recv := receiverObject(pass, fd)
+	var sites []AllocSite
+	add := func(pos token.Pos, what string) {
+		p := pass.Fset.Position(pos)
+		sites = append(sites, AllocSite{What: what, File: p.Filename, Line: p.Line, Col: p.Column})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			id, ok := x.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			switch id.Name {
+			case "make":
+				add(x.Pos(), "make")
+			case "new":
+				add(x.Pos(), "new")
+			case "append":
+				if len(x.Args) > 0 && !isReceiverScratch(pass, x.Args[0], recv) {
+					add(x.Pos(), "append to non-receiver slice")
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := x.X.(*ast.CompositeLit); ok {
+					add(x.Pos(), "address of composite literal")
+				}
+			}
+		}
+		return true
+	})
+	return sites
+}
+
+// receiverObject returns fd's receiver variable, if any.
+func receiverObject(pass *Pass, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return pass.Info.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// isReceiverScratch reports whether e is (a slice of) a field chain rooted
+// at the method's receiver — the reusable-scratch idiom hotalloc permits.
+func isReceiverScratch(pass *Pass, e ast.Expr, recv types.Object) bool {
+	if recv == nil {
+		return false
+	}
+	for {
+		switch x := e.(type) {
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.Ident:
+			return pass.Info.Uses[x] == recv
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// finishHotAlloc walks the call graph from hotpath roots, stopping at
+// coldpath boundaries, and reports the allocation sites of every function
+// on the hot path.
+func finishHotAlloc(s *Session) {
+	roots := s.Facts.Objects((&HotPathFact{}).FactName())
+	if len(roots) == 0 {
+		return
+	}
+	isCold := func(id string) bool {
+		var cold ColdPathFact
+		return s.Facts.Lookup(id, &cold)
+	}
+	reachable := s.Graph.Reachable(roots, isCold)
+	var ids []string
+	for id := range reachable {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if isCold(id) {
+			continue
+		}
+		var af AllocFact
+		if !s.Facts.Lookup(id, &af) {
+			continue
+		}
+		for _, site := range af.Sites {
+			s.Reportf(token.Position{Filename: site.File, Line: site.Line, Column: site.Col},
+				"%s in %s, which is on the probe hot path (reachable from an amrivet:hotpath root); use receiver-attached scratch storage or mark a boundary with amrivet:coldpath",
+				site.What, shortLock(id))
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -26,6 +27,9 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// Imports are the package's direct import paths, used to order
+	// packages dependencies-first so facts flow along the import DAG.
+	Imports []string
 }
 
 // listPackage is the subset of `go list -json` output the loader consumes.
@@ -33,6 +37,7 @@ type listPackage struct {
 	ImportPath string
 	Dir        string
 	GoFiles    []string
+	Imports    []string
 	Export     string
 	Standard   bool
 	DepOnly    bool
@@ -46,7 +51,7 @@ type listPackage struct {
 func goList(dir string, patterns []string) ([]listPackage, error) {
 	args := []string{
 		"list", "-export", "-deps",
-		"-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,Error",
+		"-json=ImportPath,Dir,GoFiles,Imports,Export,Standard,DepOnly,Error",
 		"--",
 	}
 	args = append(args, patterns...)
@@ -132,6 +137,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		pkg.Imports = t.Imports
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
@@ -168,7 +174,10 @@ func checkPackage(fset *token.FileSet, imp types.Importer, path, dir string, goF
 }
 
 // LoadDir parses and type-checks the .go files of a single directory as
-// one package — the fixture loader behind the analyzer tests. Imports are
+// one package — the fixture loader behind the analyzer tests. It applies
+// the same file selection `go list` would: _test.go variants are skipped,
+// and build constraints (//go:build lines and GOOS/GOARCH filename
+// suffixes) are evaluated against the default build context. Imports are
 // resolved by running `go list -export` over the files' import paths, so
 // fixtures may import both the standard library and this module's own
 // packages. moduleDir anchors the `go` command (fixtures live outside the
@@ -182,7 +191,10 @@ func LoadDir(moduleDir, dir string) (*Package, error) {
 	var files []*ast.File
 	importSet := make(map[string]bool)
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		if match, err := build.Default.MatchFile(dir, e.Name()); err != nil || !match {
 			continue
 		}
 		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
@@ -226,12 +238,18 @@ func LoadDir(moduleDir, dir string) (*Package, error) {
 	if len(typeErrs) > 0 {
 		return nil, fmt.Errorf("type-checking fixture %s: %v", dir, typeErrs[0])
 	}
+	var imports []string
+	for p := range importSet {
+		imports = append(imports, p)
+	}
+	sort.Strings(imports)
 	return &Package{
-		Path:  pkgPath,
-		Dir:   dir,
-		Fset:  fset,
-		Files: files,
-		Types: typesPkg,
-		Info:  info,
+		Path:    pkgPath,
+		Dir:     dir,
+		Fset:    fset,
+		Files:   files,
+		Types:   typesPkg,
+		Info:    info,
+		Imports: imports,
 	}, nil
 }

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSource(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// LoadDir must apply the same file selection `go list` applies to a
+// production build: _test.go variants and files excluded by build
+// constraints (//go:build lines or GOOS/GOARCH filename suffixes) are not
+// part of the analyzed package. The skipped files here carry type errors,
+// so accidentally including any of them fails the load outright.
+func TestLoadDirSkipsTestAndConstrainedFiles(t *testing.T) {
+	dir := t.TempDir()
+	writeSource(t, dir, "keep.go", "package fx\n\nfunc Keep() int { return 1 }\n")
+	writeSource(t, dir, "keep_test.go", "package fx\n\nfunc broken() int { return \"not an int\" }\n")
+	writeSource(t, dir, "tagged.go", "//go:build amrivetneverenabled\n\npackage fx\n\nfunc alsoBroken() int { return \"no\" }\n")
+	writeSource(t, dir, "broken_plan9.go", "package fx\n\nfunc plan9Broken() int { return \"no\" }\n")
+
+	pkg, err := LoadDir(moduleRoot(t), dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if len(pkg.Files) != 1 {
+		t.Errorf("got %d files, want 1 (only keep.go)", len(pkg.Files))
+	}
+	if pkg.Types.Scope().Lookup("Keep") == nil {
+		t.Error("Keep not in package scope")
+	}
+	for _, name := range []string{"broken", "alsoBroken", "plan9Broken"} {
+		if pkg.Types.Scope().Lookup(name) != nil {
+			t.Errorf("%s leaked into the package scope from an excluded file", name)
+		}
+	}
+}
+
+// A package that fails type-checking must come back as an error carrying
+// the first type error, never as a panic or a half-checked package.
+func TestLoadDirTypeCheckFailureIsError(t *testing.T) {
+	dir := t.TempDir()
+	writeSource(t, dir, "bad.go", "package fx\n\nfunc F() int { return \"nope\" }\n")
+
+	pkg, err := LoadDir(moduleRoot(t), dir)
+	if err == nil {
+		t.Fatalf("LoadDir succeeded on a type-broken package: %v", pkg)
+	}
+	if !strings.Contains(err.Error(), "type-checking") {
+		t.Errorf("error %q does not mention type-checking", err)
+	}
+}
+
+func TestLoadDirEmptyDirIsError(t *testing.T) {
+	if _, err := LoadDir(moduleRoot(t), t.TempDir()); err == nil {
+		t.Fatal("LoadDir succeeded on a directory with no .go files")
+	}
+}
+
+// Load over a real module package must populate the fields RunAll depends
+// on, in particular Imports (which orders the fact flow).
+func TestLoadPopulatesImports(t *testing.T) {
+	pkgs, err := Load(moduleRoot(t), "./internal/hh")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.Path != "amri/internal/hh" {
+		t.Errorf("Path = %q, want amri/internal/hh", pkg.Path)
+	}
+	if pkg.Types == nil || pkg.Info == nil || len(pkg.Files) == 0 {
+		t.Fatal("Load returned an incompletely populated package")
+	}
+	hasSort := false
+	for _, imp := range pkg.Imports {
+		if imp == "sort" {
+			hasSort = true
+		}
+	}
+	if !hasSort {
+		t.Errorf("Imports %v does not include %q", pkg.Imports, "sort")
+	}
+}
+
+func TestLoadBadPatternIsError(t *testing.T) {
+	if _, err := Load(moduleRoot(t), "./does/not/exist"); err == nil {
+		t.Fatal("Load succeeded on a nonexistent package pattern")
+	}
+}

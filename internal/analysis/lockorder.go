@@ -1,0 +1,478 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"amri/internal/analysis/cfg"
+	"amri/internal/analysis/facts"
+)
+
+// LockOrder builds a global mutex acquisition-order graph and reports
+// cycles. Per package, a flow-sensitive pass computes the may-held lock set
+// at every statement (CFG forward analysis, union join: "some path reaches
+// here with mu held") and exports, per function, the locks it acquires, the
+// held→acquired orderings it establishes, and the calls it makes while
+// holding locks. The whole-program phase propagates acquisitions through
+// the call graph to a fixpoint — a call made under a lock contributes an
+// ordering edge to every lock the callee's transitive closure acquires —
+// then reports every edge on a cycle of the resulting order graph, plus
+// self-edges (acquiring a lock that may already be held: self-deadlock for
+// Go's non-reentrant mutexes).
+//
+// Lock identity is the mutex's declaration — field mu of type T is one lock
+// class regardless of instance — so two instances of one struct locked in
+// inconsistent order are reported. RLock is treated like Lock: reader-
+// writer interleavings deadlock the same way. Locks taken inside function
+// literals are attributed to nothing (a closure's body does not run at its
+// definition site); calls through function values are likewise unmodelled.
+var LockOrder = &Analyzer{
+	Name:   "lockorder",
+	Doc:    "reports inconsistent mutex acquisition orders (deadlock cycles) across the whole program",
+	Run:    runLockOrder,
+	Finish: finishLockOrder,
+}
+
+// LockEdge is one observed ordering: After acquired while Before was held.
+type LockEdge struct {
+	Before string `json:"before"`
+	After  string `json:"after"`
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Col    int    `json:"col"`
+}
+
+// HeldCall is one call made while holding locks.
+type HeldCall struct {
+	Callee string   `json:"callee"`
+	Held   []string `json:"held"`
+	File   string   `json:"file"`
+	Line   int      `json:"line"`
+	Col    int      `json:"col"`
+}
+
+// LockOrderFact is one function's contribution to the global order graph.
+type LockOrderFact struct {
+	Acquires []string   `json:"acquires"`
+	Edges    []LockEdge `json:"edges"`
+	Calls    []HeldCall `json:"calls"`
+}
+
+// FactName implements facts.Fact.
+func (*LockOrderFact) FactName() string { return "amrivet.lockorder" }
+
+func init() { facts.Register(&LockOrderFact{}) }
+
+// lockSet is the may-held lattice value: lock class → held.
+type lockSet map[string]bool
+
+func copyLockSet(in lockSet) lockSet {
+	out := make(lockSet, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+// lockOp is one Lock/Unlock recognized inside a statement, or a call.
+type lockOp struct {
+	class   string // lock class for acquire/release, callee ID for calls
+	acquire bool
+	release bool
+	call    bool
+	pos     token.Pos
+}
+
+func runLockOrder(pass *Pass) {
+	forEachFuncDecl(pass, func(fd *ast.FuncDecl, obj *types.Func) {
+		fact := analyzeLockOrderFunc(pass, fd)
+		if len(fact.Acquires) == 0 && len(fact.Edges) == 0 && len(fact.Calls) == 0 {
+			return
+		}
+		pass.ExportFact(obj, fact)
+	})
+}
+
+// analyzeLockOrderFunc runs the held-lock dataflow over one function and
+// assembles its fact.
+func analyzeLockOrderFunc(pass *Pass, fd *ast.FuncDecl) *LockOrderFact {
+	g := cfg.Build(fd.Body)
+	flow := cfg.Flow[lockSet]{
+		Entry:  lockSet{},
+		Bottom: func() lockSet { return lockSet{} },
+		Join: func(a, b lockSet) lockSet {
+			out := copyLockSet(a)
+			for k := range b {
+				out[k] = true
+			}
+			return out
+		},
+		Equal: func(a, b lockSet) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(b *cfg.Block, in lockSet) lockSet {
+			out := copyLockSet(in)
+			for _, s := range b.Stmts {
+				for _, op := range lockOpsOf(pass, s) {
+					switch {
+					case op.acquire:
+						out[op.class] = true
+					case op.release:
+						delete(out, op.class)
+					}
+				}
+			}
+			return out
+		},
+	}
+	res := cfg.Forward(g, flow)
+
+	fact := &LockOrderFact{}
+	acquired := make(map[string]bool)
+	edgeSeen := make(map[string]bool)
+	for _, b := range g.Blocks {
+		held := copyLockSet(res.In[b])
+		for _, s := range b.Stmts {
+			for _, op := range lockOpsOf(pass, s) {
+				pos := pass.Fset.Position(op.pos)
+				switch {
+				case op.acquire:
+					acquired[op.class] = true
+					for h := range held {
+						key := h + "\x00" + op.class
+						if !edgeSeen[key] {
+							edgeSeen[key] = true
+							fact.Edges = append(fact.Edges, LockEdge{
+								Before: h, After: op.class,
+								File: pos.Filename, Line: pos.Line, Col: pos.Column,
+							})
+						}
+					}
+					held[op.class] = true
+				case op.release:
+					delete(held, op.class)
+				case op.call:
+					if len(held) == 0 {
+						continue
+					}
+					var hs []string
+					for h := range held {
+						hs = append(hs, h)
+					}
+					sort.Strings(hs)
+					fact.Calls = append(fact.Calls, HeldCall{
+						Callee: op.class, Held: hs,
+						File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					})
+				}
+			}
+		}
+	}
+	for c := range acquired {
+		fact.Acquires = append(fact.Acquires, c)
+	}
+	sort.Strings(fact.Acquires)
+	sort.Slice(fact.Edges, func(i, j int) bool {
+		if fact.Edges[i].Line != fact.Edges[j].Line {
+			return fact.Edges[i].Line < fact.Edges[j].Line
+		}
+		return fact.Edges[i].Before < fact.Edges[j].Before
+	})
+	return fact
+}
+
+// lockOpsOf extracts the lock operations and calls of one statement in
+// source order, not descending into function literals.
+func lockOpsOf(pass *Pass, s ast.Stmt) []lockOp {
+	var ops []lockOp
+	deferred := make(map[ast.Node]bool)
+	if d, ok := s.(*ast.DeferStmt); ok {
+		// A deferred Unlock releases at return, not here: the lock stays
+		// held for the rest of the function. A deferred Lock (perverse) is
+		// likewise not an acquisition at this point.
+		deferred[d.Call] = true
+	}
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || deferred[call] {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			// Plain ident call f(...).
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				if fn, ok := pass.Info.Uses[id].(*types.Func); ok {
+					ops = append(ops, lockOp{class: facts.ObjectID(fn), call: true, pos: call.Pos()})
+				}
+			}
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			if class := mutexClass(pass, sel.X); class != "" {
+				ops = append(ops, lockOp{class: class, acquire: true, pos: call.Pos()})
+				return true
+			}
+		case "Unlock", "RUnlock":
+			if class := mutexClass(pass, sel.X); class != "" {
+				ops = append(ops, lockOp{class: class, release: true, pos: call.Pos()})
+				return true
+			}
+		}
+		// Method or qualified call.
+		if selection := pass.Info.Selections[sel]; selection != nil {
+			if fn, ok := selection.Obj().(*types.Func); ok {
+				ops = append(ops, lockOp{class: facts.ObjectID(fn), call: true, pos: call.Pos()})
+			}
+		} else if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok {
+			ops = append(ops, lockOp{class: facts.ObjectID(fn), call: true, pos: call.Pos()})
+		}
+		return true
+	})
+	return ops
+}
+
+// mutexClass returns the lock class of e when e is a sync.Mutex/RWMutex
+// expression: fields are identified by their declaring struct (one class
+// per field, all instances), variables by their object ID.
+func mutexClass(pass *Pass, e ast.Expr) string {
+	tv, ok := pass.Info.Types[e]
+	if !ok || !(isNamed(tv.Type, "sync", "Mutex") || isNamed(tv.Type, "sync", "RWMutex")) {
+		return ""
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := pass.Info.Uses[x]; obj != nil {
+			return facts.ObjectID(obj)
+		}
+	case *ast.SelectorExpr:
+		if sel := pass.Info.Selections[x]; sel != nil && sel.Kind() == types.FieldVal {
+			if owner := namedType(sel.Recv()); owner != nil {
+				return facts.FieldID(owner, x.Sel.Name)
+			}
+		}
+		if obj := pass.Info.Uses[x.Sel]; obj != nil {
+			return facts.ObjectID(obj) // package-qualified var
+		}
+	}
+	return ""
+}
+
+// finishLockOrder assembles the global order graph and reports cycles.
+func finishLockOrder(s *Session) {
+	// Transitive acquisitions per function, to a fixpoint over call edges.
+	acquires := make(map[string]map[string]bool)
+	factOf := make(map[string]*LockOrderFact)
+	for _, id := range s.Facts.Objects((&LockOrderFact{}).FactName()) {
+		var f LockOrderFact
+		if !s.Facts.Lookup(id, &f) {
+			continue
+		}
+		ff := f
+		factOf[id] = &ff
+		set := make(map[string]bool)
+		for _, c := range f.Acquires {
+			set[c] = true
+		}
+		acquires[id] = set
+	}
+	ids := make([]string, 0, len(s.Graph.Nodes))
+	for id := range s.Graph.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for changed := true; changed; {
+		changed = false
+		for _, id := range ids {
+			for _, callee := range s.Graph.Callees(id) {
+				for c := range acquires[callee] {
+					if !acquires[id][c] {
+						if acquires[id] == nil {
+							acquires[id] = make(map[string]bool)
+						}
+						acquires[id][c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Global edge set: direct orderings plus call-derived ones.
+	type edgeKey struct{ before, after string }
+	edges := make(map[edgeKey]token.Position)
+	addEdge := func(before, after string, pos token.Position) {
+		k := edgeKey{before, after}
+		if _, ok := edges[k]; !ok {
+			edges[k] = pos
+		}
+	}
+	var factIDs []string
+	for id := range factOf {
+		factIDs = append(factIDs, id)
+	}
+	sort.Strings(factIDs)
+	for _, id := range factIDs {
+		f := factOf[id]
+		for _, e := range f.Edges {
+			addEdge(e.Before, e.After, token.Position{Filename: e.File, Line: e.Line, Column: e.Col})
+		}
+		for _, hc := range f.Calls {
+			var acq []string
+			for c := range acquires[hc.Callee] {
+				acq = append(acq, c)
+			}
+			sort.Strings(acq)
+			for _, h := range hc.Held {
+				for _, a := range acq {
+					addEdge(h, a, token.Position{Filename: hc.File, Line: hc.Line, Column: hc.Col})
+				}
+			}
+		}
+	}
+
+	// Self-edges: acquiring a lock that may already be held.
+	var keys []edgeKey
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].before != keys[j].before {
+			return keys[i].before < keys[j].before
+		}
+		return keys[i].after < keys[j].after
+	})
+	succ := make(map[string][]string)
+	for _, k := range keys {
+		if k.before == k.after {
+			s.Reportf(edges[k],
+				"lock %s acquired while it may already be held; sync mutexes are not reentrant (self-deadlock)",
+				shortLock(k.before))
+			continue
+		}
+		succ[k.before] = append(succ[k.before], k.after)
+	}
+
+	// Cycles: every edge inside a strongly connected component of ≥2 locks.
+	comp := sccOf(succ)
+	for _, k := range keys {
+		if k.before == k.after {
+			continue
+		}
+		cb, ca := comp[k.before], comp[k.after]
+		if cb != "" && cb == ca {
+			s.Reportf(edges[k],
+				"lock-order cycle: %s acquired while holding %s, but the reverse order also occurs (cycle through %s)",
+				shortLock(k.after), shortLock(k.before), shortCycle(comp, cb))
+		}
+	}
+}
+
+// sccOf computes strongly connected components of the lock graph and maps
+// each node in a component of size ≥ 2 to a canonical component ID (its
+// smallest member); nodes in trivial components map to "".
+func sccOf(succ map[string][]string) map[string]string {
+	var nodes []string
+	seen := make(map[string]bool)
+	for n, outs := range succ {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+		for _, o := range outs {
+			if !seen[o] {
+				seen[o] = true
+				nodes = append(nodes, o)
+			}
+		}
+	}
+	sort.Strings(nodes)
+
+	// Kosaraju: order by finish time, then traverse the transpose.
+	var order []string
+	visited := make(map[string]bool)
+	var dfs1 func(n string)
+	dfs1 = func(n string) {
+		visited[n] = true
+		for _, o := range succ[n] {
+			if !visited[o] {
+				dfs1(o)
+			}
+		}
+		order = append(order, n)
+	}
+	for _, n := range nodes {
+		if !visited[n] {
+			dfs1(n)
+		}
+	}
+	pred := make(map[string][]string)
+	for n, outs := range succ {
+		for _, o := range outs {
+			pred[o] = append(pred[o], n)
+		}
+	}
+	comp := make(map[string]string)
+	assigned := make(map[string]bool)
+	var members []string
+	var dfs2 func(n string)
+	dfs2 = func(n string) {
+		assigned[n] = true
+		members = append(members, n)
+		for _, p := range pred[n] {
+			if !assigned[p] {
+				dfs2(p)
+			}
+		}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		if assigned[n] {
+			continue
+		}
+		members = nil
+		dfs2(n)
+		if len(members) < 2 {
+			continue
+		}
+		sort.Strings(members)
+		for _, m := range members {
+			comp[m] = members[0]
+		}
+	}
+	return comp
+}
+
+// shortLock renders a lock class for diagnostics: the last two path
+// segments of the object ID.
+func shortLock(class string) string {
+	parts := strings.Split(class, "/")
+	return parts[len(parts)-1]
+}
+
+// shortCycle names a component by its canonical member.
+func shortCycle(comp map[string]string, id string) string {
+	var members []string
+	for m, c := range comp {
+		if c == id {
+			members = append(members, shortLock(m))
+		}
+	}
+	sort.Strings(members)
+	return fmt.Sprintf("{%s}", strings.Join(members, ", "))
+}

@@ -1,0 +1,25 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLockOrderFixture(t *testing.T) {
+	diags := runFixture(t, LockOrder, "lockorder")
+	var cycles, selfLocks int
+	for _, d := range diags {
+		if strings.Contains(d.Message, "lock-order cycle") {
+			cycles++
+		}
+		if strings.Contains(d.Message, "may already be held") {
+			selfLocks++
+		}
+	}
+	if cycles != 2 {
+		t.Errorf("got %d cycle findings, want 2 (one per inverted edge)", cycles)
+	}
+	if selfLocks != 1 {
+		t.Errorf("got %d self-deadlock findings, want 1", selfLocks)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"go/types"
 	"regexp"
 	"strings"
+
+	"amri/internal/analysis/facts"
 )
 
 // MutexGuard enforces the pipeline's lock discipline around shared state
@@ -21,11 +23,15 @@ import (
 //
 // An access is accepted when the enclosing function lexically calls
 // <base>.<mutex>.Lock() (or RLock()) on the same base expression before
-// the access, or when the base is a local variable freshly built from a
-// composite literal (construction precedes sharing). This is a lexical
-// approximation, not a happens-before proof: it will not catch a Lock on
-// one branch guarding an access on another, but it reliably flags the
-// dangerous default — touching guarded state with no lock call in sight.
+// the access — directly, or through a lock helper: a method that acquires
+// its receiver's mutex and returns still holding it exports an
+// AcquiresMutexFact, and a call to it counts as a lock acquisition at the
+// call site, across package boundaries. Bases that are local variables
+// freshly built from a composite literal are exempt (construction precedes
+// sharing). This is a lexical approximation, not a happens-before proof:
+// it will not catch a Lock on one branch guarding an access on another,
+// but it reliably flags the dangerous default — touching guarded state
+// with no lock call in sight.
 //
 // The analyzer also flags methods and functions that take a lock-bearing
 // struct by value: the copy's mutex starts unlocked and guards nothing.
@@ -34,6 +40,18 @@ var MutexGuard = &Analyzer{
 	Doc:  "reports accesses to mutex-guarded struct fields outside a Lock/Unlock span, and lock-bearing structs passed by value",
 	Run:  runMutexGuard,
 }
+
+// AcquiresMutexFact marks a function that returns holding its receiver's
+// mutex (a lock helper): it contains a Lock/RLock of the named mutex field
+// and no matching release.
+type AcquiresMutexFact struct {
+	Mutex string `json:"mutex"`
+}
+
+// FactName implements facts.Fact.
+func (*AcquiresMutexFact) FactName() string { return "amrivet.acquiresmutex" }
+
+func init() { facts.Register(&AcquiresMutexFact{}) }
 
 var guardedByRE = regexp.MustCompile(`(?i)guarded by (\w+)`)
 
@@ -48,6 +66,13 @@ type guardedField struct {
 
 func runMutexGuard(pass *Pass) {
 	guarded := collectGuardedFields(pass)
+	// Export lock-helper facts first so same-package callers (and, via the
+	// encoded store, dependent packages) can credit calls to them.
+	forEachFuncDecl(pass, func(fd *ast.FuncDecl, obj *types.Func) {
+		if mutex := lockHelperMutex(pass, fd); mutex != "" {
+			pass.ExportFact(obj, &AcquiresMutexFact{Mutex: mutex})
+		}
+	})
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -58,6 +83,50 @@ func runMutexGuard(pass *Pass) {
 			checkGuardedAccesses(pass, fd, guarded)
 		}
 	}
+}
+
+// lockHelperMutex reports the receiver mutex field a method acquires and
+// never releases — the "lock and return held" helper shape — or "".
+func lockHelperMutex(pass *Pass, fd *ast.FuncDecl) string {
+	if fd.Recv == nil {
+		return ""
+	}
+	locked := make(map[string]bool)
+	released := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[sel.X]
+		if !ok || !(isNamed(tv.Type, "sync", "Mutex") || isNamed(tv.Type, "sync", "RWMutex")) {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			locked[inner.Sel.Name] = true
+		case "Unlock", "RUnlock":
+			released[inner.Sel.Name] = true
+		}
+		return true
+	})
+	for name := range locked {
+		if !released[name] {
+			return name
+		}
+	}
+	return ""
 }
 
 // collectGuardedFields scans struct declarations for mutex-guarded field
@@ -164,7 +233,22 @@ func checkGuardedAccesses(pass *Pass, fd *ast.FuncDecl, guarded map[token.Pos]gu
 			return true
 		}
 		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+			// A call to a lock helper (exported AcquiresMutexFact) counts
+			// as acquiring its receiver's mutex on this base.
+			if fn := calleeFunc(pass, call); fn != nil {
+				var af AcquiresMutexFact
+				if pass.Facts.Lookup(facts.ObjectID(fn), &af) {
+					locks = append(locks, lockCall{
+						base:  types.ExprString(sel.X),
+						mutex: af.Mutex,
+						pos:   call.Pos(),
+					})
+				}
+			}
 			return true
 		}
 		inner, ok := sel.X.(*ast.SelectorExpr)

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/token"
+	"testing"
+
+	"amri/internal/analysis/facts"
+)
+
+type crossFlowFact struct{ From string }
+
+func (*crossFlowFact) FactName() string { return "amrivet.test.crossflow" }
+
+func init() { facts.Register(&crossFlowFact{}) }
+
+// RunAll must visit packages dependencies-first and decode each import's
+// encoded fact blob into the dependent's store: a fact exported while
+// analyzing bitindex is visible when core (which imports it) is analyzed,
+// and again in the merged session store during the Finish phase.
+func TestRunAllFactsFlowAcrossPackages(t *testing.T) {
+	pkgs, err := Load(moduleRoot(t), "./internal/bitindex", "./internal/core")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+
+	probe := &Analyzer{
+		Name: "crossflowprobe",
+		Doc:  "test-only: verifies facts flow along the import DAG",
+		Run: func(p *Pass) {
+			switch p.PkgPath {
+			case "amri/internal/bitindex":
+				obj := p.Pkg.Scope().Lookup("New")
+				if obj == nil {
+					t.Error("bitindex.New not found")
+					return
+				}
+				p.ExportFact(obj, &crossFlowFact{From: p.PkgPath})
+			case "amri/internal/core":
+				var f crossFlowFact
+				if p.Facts.Lookup("amri/internal/bitindex.New", &f) && f.From == "amri/internal/bitindex" {
+					p.Reportf(p.Files[0].Pos(), "fact received in dependent")
+				}
+			}
+		},
+		Finish: func(s *Session) {
+			var f crossFlowFact
+			if s.Facts.Lookup("amri/internal/bitindex.New", &f) {
+				s.Reportf(token.Position{Filename: "session", Line: 1, Column: 1}, "fact in session store")
+			}
+		},
+	}
+
+	diags, err := RunAll(pkgs, []*Analyzer{probe})
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	var inDependent, inSession bool
+	for _, d := range diags {
+		switch d.Message {
+		case "fact received in dependent":
+			inDependent = true
+		case "fact in session store":
+			inSession = true
+		}
+	}
+	if !inDependent {
+		t.Error("fact exported while analyzing bitindex was not visible while analyzing core")
+	}
+	if !inSession {
+		t.Error("fact missing from the merged session store in the Finish phase")
+	}
+}

@@ -45,6 +45,21 @@ func checkedConfig(n int) (bitindex.Config, error) {
 	return c, nil
 }
 
+// delegatedGuard leaves the bound to a helper: the helper's
+// ValidatesBudgetFact (computed by the in-package fixpoint even though the
+// helper is declared later in the file) keeps this function in the clear.
+func delegatedGuard(c bitindex.Config, n int) uint64 {
+	if !helperValidates(c, n) {
+		return 0
+	}
+	return 1 << uint(c.TotalBits())
+}
+
+// helperValidates carries the Validate call delegatedGuard relies on.
+func helperValidates(c bitindex.Config, n int) bool {
+	return c.Validate(n) == nil
+}
+
 // zeroConfig is trivially within budget: the empty literal needs no check.
 func zeroConfig() bitindex.Config { return bitindex.Config{} }
 

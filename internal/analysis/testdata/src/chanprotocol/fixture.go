@@ -1,0 +1,81 @@
+// Package chanprotocol exercises the channel ownership protocol: close
+// exactly once, close only what you own, never send after close. The
+// analysis is a must-closed dataflow — a close on one branch does not
+// poison the join — plus interprocedural close propagation through
+// ClosesChanFact.
+package chanprotocol
+
+func doubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want `double close of ch`
+}
+
+func sendAfterClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want `send on ch`
+}
+
+// branchClose documents the must-analysis choice: the channel is closed on
+// only one of two paths, so neither the send nor the second close is a
+// definite violation and the analyzer stays silent.
+func branchClose(b bool) {
+	ch := make(chan int, 1)
+	if b {
+		close(ch)
+	}
+	ch <- 1
+	close(ch)
+}
+
+// bothBranchesClose closes on every path, so the send after the join is a
+// definite violation.
+func bothBranchesClose(b bool) {
+	ch := make(chan int, 1)
+	if b {
+		close(ch)
+	} else {
+		close(ch)
+	}
+	ch <- 1 // want `send on ch`
+}
+
+// closeParam is a callee closing a channel it does not own.
+func closeParam(ch chan int) {
+	close(ch) // want `close of channel parameter ch`
+}
+
+// callerInherits sees the close performed inside closeParam via its
+// exported fact: the send afterwards is reported interprocedurally.
+func callerInherits() {
+	ch := make(chan int, 1)
+	closeParam(ch)
+	ch <- 1 // want `send on ch`
+}
+
+// remade resets the closed state: a fresh make is a fresh channel.
+func remade() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch = make(chan int, 1)
+	ch <- 1
+	close(ch)
+}
+
+// suppressedCloser is the sanctioned exception: a helper documented to
+// close its argument, with the finding acknowledged in-line. The close
+// still exports a ClosesChanFact for callers.
+func suppressedCloser(ch chan int) {
+	//amrivet:ignore[chanprotocol] fixture: closer helper, ownership transferred by contract
+	close(ch)
+}
+
+// receiveAfterClose is fine: receiving from a closed channel drains it and
+// then yields zero values, a defined and common pattern.
+func receiveAfterClose() int {
+	ch := make(chan int, 1)
+	ch <- 1
+	close(ch)
+	return <-ch
+}

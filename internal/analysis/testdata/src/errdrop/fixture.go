@@ -1,0 +1,54 @@
+// Package errdrop exercises discarded-error detection: statement-position
+// calls that throw away an error result are reported unless the callee
+// provably never fails, the drop is explicit (_ =), or the finding is
+// acknowledged in-line.
+package errdrop
+
+import "errors"
+
+func mayFail(n int) error {
+	if n > 0 {
+		return errors.New("boom")
+	}
+	return nil
+}
+
+func lookup(k int) (int, error) {
+	if k > 0 {
+		return k, nil
+	}
+	return 0, errors.New("missing")
+}
+
+// neverFails always returns a nil error; discarding it is harmless and
+// the NeverFailsFact records that.
+func neverFails() error {
+	return nil
+}
+
+// wraps forwards a never-failing callee, so it never fails either — the
+// fact propagates through the in-package fixpoint.
+func wraps() error {
+	return neverFails()
+}
+
+func drops() {
+	mayFail(1)   // want `call discards the error returned by mayFail`
+	lookup(1)    // want `call discards the error returned by lookup`
+	neverFails() // not reported: provably nil
+	wraps()      // not reported: transitively nil
+
+	go mayFail(2)    // want `go statement discards the error`
+	defer mayFail(3) // want `deferred call discards the error`
+
+	_ = mayFail(4) // not reported: explicit drop
+	if v, _ := lookup(2); v > 0 {
+		_ = v // not reported: explicit drop of the error position
+	}
+	if err := mayFail(5); err != nil {
+		return
+	}
+
+	//amrivet:ignore[errdrop] fixture: teardown error is unactionable here
+	mayFail(6)
+}

@@ -1,0 +1,58 @@
+// Package hotalloc exercises hot-path allocation tracking: the Search
+// method is an amrivet:hotpath root, everything it (transitively) calls is
+// on the hot path, and a coldpath directive fences off the deliberate
+// slow path.
+package hotalloc
+
+// Index carries receiver-attached scratch storage, the sanctioned
+// allocation-free pattern.
+type Index struct {
+	scratch []int
+	n       int
+}
+
+// Search is the probe entry point.
+//
+//amrivet:hotpath fixture probe root
+func (ix *Index) Search(keys []int) int {
+	ix.scratch = ix.scratch[:0]
+	for _, k := range keys {
+		ix.scratch = append(ix.scratch, k) // receiver scratch: not reported
+	}
+	return ix.helper(keys)
+}
+
+// helper is reachable from Search and allocates three ways.
+func (ix *Index) helper(keys []int) int {
+	buf := make([]int, 0, len(keys)) // want `make in `
+	for _, k := range keys {
+		buf = append(buf, k) // want `append to non-receiver slice`
+	}
+	box := &Index{n: 1} // want `address of composite literal`
+	_ = box
+	ix.acknowledged()
+	return len(buf) + ix.tune()
+}
+
+// acknowledged allocates, but the finding is suppressed in-line.
+func (ix *Index) acknowledged() *Index {
+	return &Index{n: 2} //amrivet:ignore[hotalloc] fixture: one-off sentinel, measured as negligible
+}
+
+// tune is the deliberate slow path: allocations behind the boundary are
+// exempt, as are any functions it calls.
+//
+//amrivet:coldpath fixture tuning boundary
+func (ix *Index) tune() int {
+	big := make([]int, 1024) // not reported: behind the coldpath boundary
+	return len(big) + cold()
+}
+
+func cold() int {
+	return len(make([]int, 8)) // not reported: only reachable through tune
+}
+
+// offPath allocates freely: it is not reachable from any hotpath root.
+func offPath() []int {
+	return make([]int, 8)
+}

@@ -1,0 +1,158 @@
+// Package lockorder seeds the tuner-vs-operator deadlock shape: the tuner
+// locks its own mutex and then reaches into an operator (locking the
+// operator's mutex), while the operator's snapshot path locks in the
+// reverse order. Each acquisition is fine in isolation; only the global
+// order graph exposes the cycle.
+package lockorder
+
+import "sync"
+
+// Tuner mirrors the index tuner: it applies epoch decisions to operators.
+type Tuner struct {
+	mu    sync.Mutex
+	epoch int
+}
+
+// Operator mirrors a pipeline operator holding per-route state.
+type Operator struct {
+	mu     sync.Mutex
+	routes int
+}
+
+// Apply holds the tuner's lock while pushing the epoch into the operator:
+// tuner.mu is acquired before operator.mu.
+func (t *Tuner) Apply(op *Operator) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	op.Set(t.epoch) // want `lock-order cycle`
+}
+
+// Set is the operator-side half of Apply's ordering.
+func (op *Operator) Set(epoch int) {
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	op.routes = epoch
+}
+
+// Snapshot holds the operator's lock while reading tuner statistics:
+// operator.mu before tuner.mu — the reverse of Apply's order.
+func (op *Operator) Snapshot(t *Tuner) int {
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	return t.Stats() // want `lock-order cycle`
+}
+
+// Stats is the tuner-side half of Snapshot's ordering.
+func (t *Tuner) Stats() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.epoch
+}
+
+// Counter demonstrates the self-deadlock case: bump re-acquires a mutex
+// its caller already holds, and Go mutexes are not reentrant.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Add calls a locking helper while holding the same lock.
+func (c *Counter) Add() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump() // want `may already be held`
+}
+
+func (c *Counter) bump() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Consistent ordering between two locks never reported: every path takes
+// source.mu before sink.mu.
+type Source struct{ mu sync.Mutex }
+
+// Sink is the second lock of the consistent pair.
+type Sink struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Feed nests the locks directly, in the canonical order.
+func Feed(a *Source, b *Sink) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// FeedAgain establishes the same order through a call, which is consistent
+// with Feed and therefore silent.
+func FeedAgain(a *Source, b *Sink) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	Drain(b)
+}
+
+// Drain locks only the sink.
+func Drain(b *Sink) {
+	b.mu.Lock()
+	b.n--
+	b.mu.Unlock()
+}
+
+// Released shows flow sensitivity: the first lock is dropped before the
+// second is taken, so no ordering edge exists in either direction.
+func Released(b *Sink, a *Source) {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// QuietTuner and QuietOp reproduce the cycle shape under suppression: the
+// inversion is acknowledged in-line, so the analyzer stays silent.
+type QuietTuner struct {
+	mu sync.Mutex
+	n  int
+}
+
+// QuietOp is the operator half of the suppressed pair.
+type QuietOp struct {
+	mu sync.Mutex
+	n  int
+}
+
+// ApplyQuiet holds the tuner lock while reaching the operator.
+func (t *QuietTuner) ApplyQuiet(op *QuietOp) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	//amrivet:ignore[lockorder] fixture: inversion is documented and fenced by the run loop
+	op.Inc()
+}
+
+// Inc locks only the operator.
+func (op *QuietOp) Inc() {
+	op.mu.Lock()
+	op.n++
+	op.mu.Unlock()
+}
+
+// ReadQuiet holds the operator lock while reaching the tuner — the reverse
+// edge of the suppressed pair.
+func (op *QuietOp) ReadQuiet(t *QuietTuner) {
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	//amrivet:ignore[lockorder] fixture: reverse edge of the documented inversion
+	t.Poke()
+}
+
+// Poke locks only the tuner.
+func (t *QuietTuner) Poke() {
+	t.mu.Lock()
+	t.n++
+	t.mu.Unlock()
+}

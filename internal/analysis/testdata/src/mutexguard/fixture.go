@@ -70,6 +70,29 @@ func (a *annotated) bumpLocked() {
 	a.lock.Unlock()
 }
 
+// lockForUpdate is a lock helper: it acquires mu and returns still holding
+// it, so the analyzer exports an AcquiresMutexFact for it and callers get
+// credit for the acquisition.
+func (s *server) lockForUpdate() {
+	s.mu.Lock()
+	s.conns++ // locked directly above: accepted
+}
+
+// viaHelper accesses guarded state after calling the lock helper: the
+// exported fact makes this equivalent to a direct Lock call.
+func (s *server) viaHelper() int {
+	s.lockForUpdate()
+	defer s.mu.Unlock()
+	return s.conns
+}
+
+// helperWrongBase locks one instance but touches another: still reported.
+func helperWrongBase(a, b *server) int {
+	a.lockForUpdate()
+	defer a.mu.Unlock()
+	return b.conns // want `server\.conns is guarded by "mu" but accessed without a preceding b\.mu\.Lock`
+}
+
 func byValue(s server) { // want `parameter passes lock by value`
 	_ = s
 }

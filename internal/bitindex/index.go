@@ -166,6 +166,8 @@ func (ix *Index) Delete(t *tuple.Tuple) (Stats, bool) {
 // stop early. Visited tuples are bucket candidates: the caller still
 // applies the join predicates (a bucket can contain non-matching tuples
 // whenever an attribute has fewer bits than its value space).
+//
+//amrivet:hotpath bucket-span scan, the innermost per-probe loop
 func (ix *Index) Search(p query.Pattern, vals []tuple.Value, visit func(*tuple.Tuple) bool) Stats {
 	var st Stats
 	// During an incremental migration not-yet-moved tuples live in the old

@@ -143,11 +143,13 @@ func (ix *Index) migDelete(t *tuple.Tuple) (Stats, bool) {
 }
 
 // migSearch runs the search against the old directory with the old layout.
+// It borrows the receiver's wildFields scratch; the caller (Search) resets
+// it for its own pass only after migSearch returns.
 func (ix *Index) migSearch(p query.Pattern, vals []tuple.Value, visit func(*tuple.Tuple) bool) Stats {
 	m := ix.mig
 	var st Stats
 	var base uint64
-	var wild []wildField
+	ix.wildFields = ix.wildFields[:0]
 	wildBits := 0
 	for i, bits := range m.oldCfg.Bits {
 		if bits == 0 {
@@ -158,7 +160,7 @@ func (ix *Index) migSearch(p query.Pattern, vals []tuple.Value, visit func(*tupl
 			base |= m.oldLay.fieldOf(i, h, bits)
 			st.Hashes++
 		} else {
-			wild = append(wild, wildField{shift: m.oldLay.shift[i], bits: bits})
+			ix.wildFields = append(ix.wildFields, wildField{shift: m.oldLay.shift[i], bits: bits})
 			wildBits += int(bits)
 		}
 	}
@@ -173,7 +175,7 @@ func (ix *Index) migSearch(p query.Pattern, vals []tuple.Value, visit func(*tupl
 		for c := uint64(0); c < span; c++ {
 			id := base
 			cc := c
-			for _, f := range wild {
+			for _, f := range ix.wildFields {
 				id |= (cc & ((1 << uint(f.bits)) - 1)) << f.shift
 				cc >>= uint(f.bits)
 			}

@@ -197,6 +197,8 @@ func (a *AdaptiveIndex) Delete(t *tuple.Tuple) (bitindex.Stats, bool) {
 // assessor, the matching bucket span is scanned, and — when auto-tuning is
 // enabled — a tuning pass runs once enough requests have been observed.
 // Visited tuples are bucket candidates; the caller applies its predicates.
+//
+//amrivet:hotpath per-probe adaptive search entry point
 func (a *AdaptiveIndex) Search(p query.Pattern, vals []tuple.Value, visit func(*tuple.Tuple) bool) bitindex.Stats {
 	a.asr.Observe(p)
 	a.requests++
@@ -212,6 +214,8 @@ func (a *AdaptiveIndex) Search(p query.Pattern, vals []tuple.Value, visit func(*
 // the modelled improvement clears the hysteresis. It reports whether a
 // migration happened and the now-active configuration, and resets the
 // assessment window.
+//
+//amrivet:coldpath tuning pass, runs once per assessment window
 func (a *AdaptiveIndex) Tune() (migrated bool, active bitindex.Config) {
 	stats := a.asr.Results(a.opts.Theta)
 	params := a.opts.Cost

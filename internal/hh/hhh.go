@@ -67,7 +67,9 @@ type HierarchicalCounter[K comparable] struct {
 	rng     *rand.Rand
 	entries map[K]*lcEntry
 
-	parentBuf []K // scratch
+	parentBuf  []K // scratch for chooseParent's lattice parents
+	levelBuf   []K // scratch for sweep's per-level key list
+	trackedBuf []K // scratch for chooseParent's tracked-parent subset
 }
 
 // NewHierarchicalCounter returns a counter over the given hierarchy with
@@ -109,7 +111,9 @@ func (c *HierarchicalCounter[K]) Observe(k K) bool {
 	if e, ok := c.entries[k]; ok {
 		e.count++
 	} else {
-		c.entries[k] = &lcEntry{count: 1, delta: sid - 1}
+		// One entry per newly tracked node; the table is bounded at
+		// O((1/ε)·log(ε·n)) entries by the lossy-counting eviction.
+		c.entries[k] = &lcEntry{count: 1, delta: sid - 1} //amrivet:ignore[hotalloc] bounded lossy-counting table, amortized by compression
 	}
 	c.n++
 	if c.n%c.width == 0 {
@@ -141,14 +145,14 @@ func (c *HierarchicalCounter[K]) sweep(entries map[K]*lcEntry, sid uint64, keep 
 			maxLevel = l
 		}
 	}
-	var atLevel []K
 	for lvl := maxLevel; lvl >= 0; lvl-- {
-		atLevel = atLevel[:0]
+		c.levelBuf = c.levelBuf[:0]
 		for k := range entries {
 			if c.hier.Level(k) == lvl {
-				atLevel = append(atLevel, k)
+				c.levelBuf = append(c.levelBuf, k)
 			}
 		}
+		atLevel := c.levelBuf
 		sort.Slice(atLevel, func(i, j int) bool { return c.hier.Order(atLevel[i]) < c.hier.Order(atLevel[j]) })
 		for _, k := range atLevel {
 			e := entries[k]
@@ -183,12 +187,13 @@ func (c *HierarchicalCounter[K]) chooseParent(entries map[K]*lcEntry, k K, sid u
 	}
 	sort.Slice(parents, func(i, j int) bool { return c.hier.Order(parents[i]) < c.hier.Order(parents[j]) })
 
-	var tracked []K
+	c.trackedBuf = c.trackedBuf[:0]
 	for _, p := range parents {
 		if _, ok := entries[p]; ok {
-			tracked = append(tracked, p)
+			c.trackedBuf = append(c.trackedBuf, p)
 		}
 	}
+	tracked := c.trackedBuf
 	pick := func(cands []K) K {
 		switch {
 		case len(cands) == 1:
@@ -220,7 +225,9 @@ func (c *HierarchicalCounter[K]) chooseParent(entries map[K]*lcEntry, k K, sid u
 		chosen = pick(tracked)
 	} else {
 		chosen = pick(parents)
-		entries[chosen] = &lcEntry{count: 0, delta: sid - 1}
+		// Fresh parent entries are bounded by the same lossy-counting table
+		// cap as Observe's insertions.
+		entries[chosen] = &lcEntry{count: 0, delta: sid - 1} //amrivet:ignore[hotalloc] bounded lossy-counting table, amortized by compression
 	}
 	return chosen, true
 }

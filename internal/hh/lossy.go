@@ -83,7 +83,9 @@ func (c *LossyCounter[K]) Observe(k K) bool {
 	if e, ok := c.entries[k]; ok {
 		e.count++
 	} else {
-		c.entries[k] = &lcEntry{count: 1, delta: sid - 1}
+		// One entry per newly tracked key; the table is bounded at
+		// O((1/ε)·log(ε·n)) entries by the lossy-counting eviction.
+		c.entries[k] = &lcEntry{count: 1, delta: sid - 1} //amrivet:ignore[hotalloc] bounded lossy-counting table, amortized by compression
 	}
 	c.n++
 	if c.n%c.width == 0 {

@@ -145,7 +145,8 @@ type operator struct {
 	inflight message
 	restarts int
 
-	valsBuf []tuple.Value
+	valsBuf  []tuple.Value
+	matchBuf []*tuple.Tuple // probe-match scratch, reused across probes
 }
 
 // insert stores one arrival and reports whether a checkpoint is due.
@@ -223,6 +224,11 @@ func (o *operator) shedAssessment() {
 }
 
 // probe runs one search request against the state, returning the matches.
+// The returned slice aliases receiver-attached scratch and is valid only
+// until this operator's next probe (safe: each operator is probed solely
+// from its own serve goroutine, which consumes the matches first).
+//
+//amrivet:hotpath per-message probe in the operator loop
 func (o *operator) probe(c *tuple.Composite) []*tuple.Tuple {
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -236,7 +242,7 @@ func (o *operator) probe(c *tuple.Composite) []*tuple.Tuple {
 	}
 	drv := c.Driver()
 	driver := drv.Arrival
-	var matches []*tuple.Tuple
+	o.matchBuf = o.matchBuf[:0]
 	o.ix.Search(p, o.valsBuf, func(x *tuple.Tuple) bool {
 		if driver != 0 && x.Arrival >= driver {
 			return true // exactly-once: only the newest member drives a result
@@ -252,13 +258,13 @@ func (o *operator) probe(c *tuple.Composite) []*tuple.Tuple {
 			}
 		}
 		if ok {
-			matches = append(matches, x)
+			o.matchBuf = append(o.matchBuf, x)
 		}
 		return true
 	})
 	o.probes.Add(1)
 	o.length.Store(int64(o.ix.Len()))
-	return matches
+	return o.matchBuf
 }
 
 // run bundles one Run invocation's shared machinery: the operator set, the

@@ -33,7 +33,8 @@ type STeM struct {
 	// exact even when arrivals are out of order.
 	retained *window.Buckets
 
-	valsBuf []tuple.Value // scratch for probe values
+	valsBuf  []tuple.Value  // scratch for probe values
+	matchBuf []*tuple.Tuple // scratch for probe matches, reused across probes
 }
 
 // ProbeResult reports one probe (search request) against the state.
@@ -102,6 +103,10 @@ func (s *STeM) Expire(now int64) int {
 // the access pattern and the probe values; candidates surfaced by the
 // backend are verified against every constrained attribute. The assessor
 // observes the pattern, and all index and comparison work is charged.
+// The returned Matches slice aliases receiver-attached scratch storage
+// and is valid only until the next Probe on this state.
+//
+//amrivet:hotpath per-probe search path, one call per routed composite
 func (s *STeM) Probe(c *tuple.Composite) ProbeResult {
 	p := s.Spec.PatternForDone(c.Done)
 	for i, ja := range s.Spec.JAS {
@@ -118,6 +123,7 @@ func (s *STeM) Probe(c *tuple.Composite) ProbeResult {
 	}
 
 	res := ProbeResult{Pattern: p}
+	s.matchBuf = s.matchBuf[:0]
 	drv := c.Driver()
 	driver := drv.Arrival
 	st := s.store.Probe(p, s.valsBuf, func(x *tuple.Tuple) bool {
@@ -149,10 +155,11 @@ func (s *STeM) Probe(c *tuple.Composite) ProbeResult {
 			}
 		}
 		if match {
-			res.Matches = append(res.Matches, x)
+			s.matchBuf = append(s.matchBuf, x)
 		}
 		return true
 	})
+	res.Matches = s.matchBuf
 	res.Stats = st
 	s.clock.ChargeCat(sim.CatSearch, sim.Units(st.Hashes)*s.costs.Hash+
 		sim.Units(st.Buckets)*s.costs.Bucket+
