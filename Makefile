@@ -5,7 +5,7 @@
 GO ?= go
 AMRIVET := bin/amrivet
 
-.PHONY: all build vet lint fixtures test race chaos bench-smoke ci clean
+.PHONY: all build vet lint fixtures test race chaos bench-smoke bench-json ci clean
 
 all: build
 
@@ -53,6 +53,12 @@ chaos:
 # it is a compile-and-execute gate, not a performance measurement.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/bitindex ./internal/hh ./internal/stem ./internal/assess
+
+# bench-json regenerates the committed sharded-index worker-sweep artifact
+# (full horizon; -check enforces the digest-equality and >=2x-at-8-workers
+# acceptance bars plus the "flat never beats sharded" dominance).
+bench-json:
+	$(GO) run ./cmd/amribench -json -check -out BENCH_shard.json
 
 ci: build lint test race
 

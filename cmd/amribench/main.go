@@ -58,6 +58,47 @@ func writeSeriesCSV(exp string, opts bench.Options, path string) error {
 	return metrics.WriteCSV(f, runs)
 }
 
+// runShardBench executes the sharded-index worker sweep (see
+// internal/bench/shard.go) and writes the JSON artifact.
+func runShardBench(path, workerList string, shards int, quick, check bool) error {
+	opts := bench.ShardBenchOptions{Shards: shards, Quick: quick}
+	for _, s := range strings.Split(workerList, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		w, err := strconv.Atoi(s)
+		if err != nil || w < 1 {
+			return fmt.Errorf("bad -workers entry %q", s)
+		}
+		opts.Workers = append(opts.Workers, w)
+	}
+	r, err := bench.ShardBench(opts)
+	if err != nil {
+		return err
+	}
+	r.Summary(os.Stdout)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	if check {
+		if err := r.Check(2.0); err != nil {
+			return fmt.Errorf("check failed: %w", err)
+		}
+		fmt.Println("check passed: digests match; speedup and serialization bounds hold")
+	}
+	return nil
+}
+
 func main() {
 	var (
 		list  = flag.Bool("list", false, "list experiments and exit")
@@ -66,8 +107,22 @@ func main() {
 		quick = flag.Bool("quick", false, "shrink the horizon ~5x")
 		seeds = flag.String("seeds", "1", "comma-separated workload seeds to average over")
 		csv   = flag.String("csv", "", "also write the figure series (fig6/fig6hash/fig7) as CSV to this file")
+
+		jsonOut = flag.Bool("json", false, "run the shard bench and write BENCH_shard.json-style output")
+		out     = flag.String("out", "BENCH_shard.json", "output path for -json")
+		workers = flag.String("workers", "1,2,4,8", "probe worker pool sizes to sweep for -json")
+		shards  = flag.Int("shards", 8, "index shard count for -json (1 = flat serialized index)")
+		check   = flag.Bool("check", false, "with -json: fail unless digests match and 8-worker speedup >= 2x")
 	)
 	flag.Parse()
+
+	if *jsonOut {
+		if err := runShardBench(*out, *workers, *shards, *quick, *check); err != nil {
+			fmt.Fprintln(os.Stderr, "amribench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range bench.Registry() {

@@ -2,6 +2,7 @@ package assess
 
 import (
 	"math"
+	"math/rand/v2"
 	"testing"
 	"testing/quick"
 
@@ -184,6 +185,68 @@ func TestCSRIAEvictsTrueNoise(t *testing.T) {
 	}
 	if cs.Len() > 3 {
 		t.Fatalf("CSRIA tracks %d patterns; noise should be evicted", cs.Len())
+	}
+}
+
+// TestCSRIAWithinErrorBoundOfSRIA drives CSRIA and exact SRIA with the
+// same skewed pattern stream and checks the Manku–Motwani contract pattern
+// by pattern: every pattern SRIA puts at or above θ appears in CSRIA's
+// report, nothing below θ−ε does, and each reported frequency undercounts
+// the exact one by at most ε (and never overcounts). The skew matters —
+// a long tail of sub-ε patterns is what the segment eviction actually
+// works on, so this is where a wrong eviction segment id shows up as a
+// blown bound.
+func TestCSRIAWithinErrorBoundOfSRIA(t *testing.T) {
+	const (
+		epsilon = 0.01
+		theta   = 0.05
+		n       = 30000
+	)
+	sria := NewSRIA()
+	cs, err := NewCSRIA(epsilon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := query.FullPattern(8) // 255 non-empty patterns
+	rng := rand.New(rand.NewPCG(17, 17))
+	for i := 0; i < n; i++ {
+		// Zipf-ish skew: a handful of heavy patterns over a long tail.
+		p := query.Pattern(uint32(math.Floor(math.Pow(rng.Float64(), 4)*float64(full)))) & full
+		sria.Observe(p)
+		cs.Observe(p)
+	}
+	exact := map[query.Pattern]float64{}
+	for _, st := range sria.Results(0) {
+		exact[st.P] = st.Freq
+	}
+	reported := map[query.Pattern]float64{}
+	for _, st := range cs.Results(theta) {
+		reported[st.P] = st.Freq
+	}
+	if len(reported) == 0 || len(reported) >= len(exact) {
+		t.Fatalf("reduction not exercised: CSRIA reported %d of %d patterns",
+			len(reported), len(exact))
+	}
+	for p, f := range exact {
+		if f >= theta {
+			if _, ok := reported[p]; !ok {
+				t.Errorf("pattern %v with exact freq %.4f >= θ missing from CSRIA", p, f)
+			}
+		}
+		if f < theta-epsilon {
+			if _, ok := reported[p]; ok {
+				t.Errorf("pattern %v with exact freq %.4f < θ−ε reported by CSRIA", p, f)
+			}
+		}
+	}
+	for p, f := range reported {
+		ex := exact[p]
+		if f > ex+1e-9 {
+			t.Errorf("pattern %v overcounted: CSRIA %.5f > exact %.5f", p, f, ex)
+		}
+		if ex-f > epsilon+1.0/float64(n) {
+			t.Errorf("pattern %v undercounted beyond ε: CSRIA %.5f, exact %.5f", p, f, ex)
+		}
 	}
 }
 

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"amri/internal/pipeline"
+)
+
+func TestLPTSchedule(t *testing.T) {
+	// 4 jobs on 2 workers: LPT pairs 5 with 2 and 4 with 3 → makespan 7.
+	m, done := lptSchedule([]float64{3, 5, 2, 4}, 2)
+	if m != 7 {
+		t.Fatalf("makespan = %g, want 7", m)
+	}
+	if len(done) != 4 {
+		t.Fatalf("completions %v", done)
+	}
+	// More workers never lengthen the schedule; one worker sums the jobs.
+	if m1, _ := lptSchedule([]float64{3, 5, 2, 4}, 1); m1 != 14 {
+		t.Fatalf("1-worker makespan = %g, want 14", m1)
+	}
+	if m8, _ := lptSchedule([]float64{3, 5, 2, 4}, 8); m8 != 5 {
+		t.Fatalf("8-worker makespan = %g, want the longest job", m8)
+	}
+	if m0, c := lptSchedule(nil, 4); m0 != 0 || c != nil {
+		t.Fatal("empty job list must schedule to nothing")
+	}
+}
+
+func TestSerializedScheduleDominates(t *testing.T) {
+	// Two ops with two probes each: unconstrained LPT on 4 jobs of cost 1
+	// over 4 workers finishes in 1; per-op chains need 2.
+	tick := []pipeline.ProbeCost{{Op: 0, Units: 1}, {Op: 0, Units: 1}, {Op: 1, Units: 1}, {Op: 1, Units: 1}}
+	un, _ := lptSchedule([]float64{1, 1, 1, 1}, 4)
+	m, done := serializedSchedule(tick, 4, un)
+	if m != 2 {
+		t.Fatalf("serialized makespan = %g, want 2", m)
+	}
+	if un != 1 {
+		t.Fatalf("unconstrained makespan = %g, want 1", un)
+	}
+	// Chain completions are prefix sums: each op's second probe at 2.
+	if done[1] != 2 || done[3] != 2 {
+		t.Fatalf("chain completions %v", done)
+	}
+}
+
+// TestShardBenchQuick runs the whole artifact pipeline at test scale: the
+// sweep must show parallel gain, the serialized model must never exceed
+// the sharded one, every verification digest must match the serial
+// reference, and the JSON must round-trip.
+func TestShardBenchQuick(t *testing.T) {
+	r, err := ShardBench(ShardBenchOptions{
+		Ticks:   40,
+		Workers: []int{1, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Check(1.5); err != nil {
+		t.Fatal(err)
+	}
+	if r.Workload.Probes == 0 || r.Workload.Results == 0 {
+		t.Fatalf("workload not exercised: %+v", r.Workload)
+	}
+	if len(r.Sweep) != 2 || r.Sweep[1].Speedup <= r.Sweep[0].Speedup {
+		t.Fatalf("sweep not monotone: %+v", r.Sweep)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back ShardBenchResult
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.SerialDigest != r.SerialDigest || len(back.Sweep) != len(r.Sweep) {
+		t.Fatal("JSON round-trip lost fields")
+	}
+
+	var sum bytes.Buffer
+	r.Summary(&sum)
+	if !strings.Contains(sum.String(), "MATCH") || !strings.Contains(sum.String(), "tuples/sec") {
+		t.Fatalf("summary incomplete:\n%s", sum.String())
+	}
+}

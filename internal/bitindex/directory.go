@@ -16,14 +16,22 @@ type directory interface {
 }
 
 func newDirectory(cfg Config, denseLimit int) directory {
+	return newDirectoryBits(cfg.TotalBits(), denseLimit)
+}
+
+// newDirectoryBits builds a directory for an id space of the given width.
+// Sharded indexes use it directly: each shard's directory spans only the
+// local (low) bits of the bucket id, so a configuration too wide for a
+// dense directory as a whole can still get dense shards.
+func newDirectoryBits(totalBits, denseLimit int) directory {
 	if denseLimit >= MaxTotalBits {
 		// A dense directory as wide as the 64-bit bucket id cannot exist
 		// (1<<64 overflows the slot count to zero); such configurations
 		// must take the sparse path.
 		denseLimit = MaxTotalBits - 1
 	}
-	if tb := cfg.TotalBits(); tb <= denseLimit {
-		return &denseDir{buckets: make([][]*tuple.Tuple, uint64(1)<<uint(tb))}
+	if totalBits <= denseLimit {
+		return &denseDir{buckets: make([][]*tuple.Tuple, uint64(1)<<uint(totalBits))}
 	}
 	return &sparseDir{buckets: make(map[uint64][]*tuple.Tuple)}
 }

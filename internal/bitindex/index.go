@@ -68,6 +68,13 @@ type Index struct {
 	mig *migration
 
 	wildFields []wildField // scratch for searches
+
+	// hashVal/hashOK memoize per-attribute hash computations within one
+	// operation that consults both migration directories, so an attribute
+	// hashed for the old layout is not hashed (or charged) again for the
+	// new one. Reset via resetHashMemo at the start of each such operation.
+	hashVal []uint64
+	hashOK  []bool
 }
 
 type wildField struct {
@@ -97,6 +104,8 @@ func New(cfg Config, attrMap []int, hasher Hasher, opts ...Option) (*Index, erro
 		opts:    o,
 	}
 	ix.dir = newDirectory(ix.cfg, o.denseLimit)
+	ix.hashVal = make([]uint64, len(ix.attrMap))
+	ix.hashOK = make([]bool, len(ix.attrMap))
 	return ix, nil
 }
 
@@ -140,16 +149,10 @@ func (ix *Index) Insert(t *tuple.Tuple) Stats {
 // incremental migration the tuple may still live in the old directory,
 // which is tried first (expiring tuples are the oldest ones).
 func (ix *Index) Delete(t *tuple.Tuple) (Stats, bool) {
-	var st Stats
 	if ix.mig != nil {
-		mst, ok := ix.migDelete(t)
-		st.Add(mst)
-		if ok {
-			ix.count--
-			ix.tupleBytes -= t.MemBytes()
-			return st, true
-		}
+		return ix.deleteMigrating(t)
 	}
+	var st Stats
 	id, hashes := ix.BucketID(t)
 	st.Hashes += hashes
 	ok := ix.dir.remove(id, t)
@@ -169,24 +172,13 @@ func (ix *Index) Delete(t *tuple.Tuple) (Stats, bool) {
 //
 //amrivet:hotpath bucket-span scan, the innermost per-probe loop
 func (ix *Index) Search(p query.Pattern, vals []tuple.Value, visit func(*tuple.Tuple) bool) Stats {
-	var st Stats
 	// During an incremental migration not-yet-moved tuples live in the old
-	// directory: probe it too (with its own layout), stopping early if the
-	// visitor does.
+	// directory: a dual-directory search probes both, hashing each
+	// constrained attribute only once.
 	if ix.mig != nil {
-		stop := false
-		mst := ix.migSearch(p, vals, func(t *tuple.Tuple) bool {
-			if !visit(t) {
-				stop = true
-				return false
-			}
-			return true
-		})
-		st.Add(mst)
-		if stop {
-			return st
-		}
+		return ix.searchMigrating(p, vals, visit)
 	}
+	var st Stats
 	var base uint64
 	ix.wildFields = ix.wildFields[:0]
 	wildBits := 0
@@ -257,6 +249,96 @@ func (ix *Index) spread(c uint64) uint64 {
 		c >>= uint(f.bits)
 	}
 	return id
+}
+
+// resetHashMemo prepares the per-operation hash memo (allocated in New)
+// used by the dual-directory (migrating) operations.
+func (ix *Index) resetHashMemo() {
+	for i := range ix.hashOK {
+		ix.hashOK[i] = false
+	}
+}
+
+// memoHash returns hasher(i, v), computing and charging it at most once per
+// operation. The hash of an attribute value does not depend on the index
+// configuration — only the field placement does — so an operation that
+// consults both migration directories must pay C_h once per attribute, not
+// once per directory.
+func (ix *Index) memoHash(i int, v tuple.Value, st *Stats) uint64 {
+	if !ix.hashOK[i] {
+		ix.hashVal[i] = ix.hasher(i, v)
+		ix.hashOK[i] = true
+		st.Hashes++
+	}
+	return ix.hashVal[i]
+}
+
+// bucketIDUnder computes the bucket id of t under an arbitrary
+// configuration, drawing hashes from the operation's memo.
+func (ix *Index) bucketIDUnder(cfg Config, lay layout, t *tuple.Tuple, st *Stats) uint64 {
+	var id uint64
+	for i, bits := range cfg.Bits {
+		if bits == 0 {
+			continue
+		}
+		h := ix.memoHash(i, t.Attrs[ix.attrMap[i]], st)
+		id |= lay.fieldOf(i, h, bits)
+	}
+	return id
+}
+
+// searchDir probes one directory under the given configuration, drawing
+// hash computations from the operation's memo. It returns false when the
+// visitor stopped early.
+func (ix *Index) searchDir(dir directory, cfg Config, lay layout, p query.Pattern, vals []tuple.Value, st *Stats, visit func(*tuple.Tuple) bool) bool {
+	var base uint64
+	ix.wildFields = ix.wildFields[:0]
+	wildBits := 0
+	for i, bits := range cfg.Bits {
+		if bits == 0 {
+			continue
+		}
+		if p.Has(i) {
+			h := ix.memoHash(i, vals[i], st)
+			base |= lay.fieldOf(i, h, bits)
+		} else {
+			ix.wildFields = append(ix.wildFields, wildField{shift: lay.shift[i], bits: bits})
+			wildBits += int(bits)
+		}
+	}
+	enumerate := true
+	if _, sparse := dir.(*sparseDir); sparse {
+		if wildBits >= 63 || (1<<uint(wildBits)) > uint64(dir.occupied()) {
+			enumerate = false
+		}
+	}
+	if enumerate {
+		span := uint64(1) << uint(wildBits)
+		for c := uint64(0); c < span; c++ {
+			id := base | ix.spread(c)
+			st.Buckets++
+			if !scanBucket(dir.bucket(id), st, visit) {
+				return false
+			}
+		}
+		return true
+	}
+	mask := lay.patternMask(p)
+	want := base & mask
+	ok := true
+	dir.forEach(func(id uint64, b []*tuple.Tuple) bool {
+		st.DirScans++
+		if id&mask != want {
+			return true
+		}
+		st.Buckets++
+		if !scanBucket(b, st, visit) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
 }
 
 // Scan visits every stored tuple (the full-scan access path), including

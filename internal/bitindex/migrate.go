@@ -124,82 +124,40 @@ func (ix *Index) AbortMigration() (Stats, bool) {
 	return st, true
 }
 
-// migDelete removes t from the old directory during a migration; reports
-// whether it was found there.
-func (ix *Index) migDelete(t *tuple.Tuple) (Stats, bool) {
+// deleteMigrating removes t while a migration is in flight: the old
+// directory is tried first (expiring tuples are the oldest ones), then the
+// new one. Both bucket ids draw from one hash memo, so each attribute is
+// hashed — and charged — exactly once even though two layouts are consulted.
+func (ix *Index) deleteMigrating(t *tuple.Tuple) (Stats, bool) {
+	var st Stats
+	ix.resetHashMemo()
 	m := ix.mig
-	var id uint64
-	hashes := 0
-	for i, bits := range m.oldCfg.Bits {
-		if bits == 0 {
-			continue
-		}
-		h := ix.hasher(i, t.Attrs[ix.attrMap[i]])
-		id |= m.oldLay.fieldOf(i, h, bits)
-		hashes++
+	oldID := ix.bucketIDUnder(m.oldCfg, m.oldLay, t, &st)
+	if m.oldDir.remove(oldID, t) {
+		ix.count--
+		ix.tupleBytes -= t.MemBytes()
+		return st, true
 	}
-	ok := m.oldDir.remove(id, t)
-	return Stats{Hashes: hashes}, ok
+	newID := ix.bucketIDUnder(ix.cfg, ix.lay, t, &st)
+	if ix.dir.remove(newID, t) {
+		ix.count--
+		ix.tupleBytes -= t.MemBytes()
+		return st, true
+	}
+	return st, false
 }
 
-// migSearch runs the search against the old directory with the old layout.
-// It borrows the receiver's wildFields scratch; the caller (Search) resets
-// it for its own pass only after migSearch returns.
-func (ix *Index) migSearch(p query.Pattern, vals []tuple.Value, visit func(*tuple.Tuple) bool) Stats {
-	m := ix.mig
+// searchMigrating probes the old directory (with its own layout) and then
+// the new one, stopping early if the visitor does. Hash computations are
+// memoized across the two passes: a constrained attribute indexed under
+// both configurations contributes a single C_h, never two.
+func (ix *Index) searchMigrating(p query.Pattern, vals []tuple.Value, visit func(*tuple.Tuple) bool) Stats {
 	var st Stats
-	var base uint64
-	ix.wildFields = ix.wildFields[:0]
-	wildBits := 0
-	for i, bits := range m.oldCfg.Bits {
-		if bits == 0 {
-			continue
-		}
-		if p.Has(i) {
-			h := ix.hasher(i, vals[i])
-			base |= m.oldLay.fieldOf(i, h, bits)
-			st.Hashes++
-		} else {
-			ix.wildFields = append(ix.wildFields, wildField{shift: m.oldLay.shift[i], bits: bits})
-			wildBits += int(bits)
-		}
-	}
-	enumerate := true
-	if _, sparse := m.oldDir.(*sparseDir); sparse {
-		if wildBits >= 63 || (1<<uint(wildBits)) > uint64(m.oldDir.occupied()) {
-			enumerate = false
-		}
-	}
-	if enumerate {
-		span := uint64(1) << uint(wildBits)
-		for c := uint64(0); c < span; c++ {
-			id := base
-			cc := c
-			for _, f := range ix.wildFields {
-				id |= (cc & ((1 << uint(f.bits)) - 1)) << f.shift
-				cc >>= uint(f.bits)
-			}
-			st.Buckets++
-			if !scanBucket(m.oldDir.bucket(id), &st, visit) {
-				return st
-			}
-		}
+	ix.resetHashMemo()
+	m := ix.mig
+	if !ix.searchDir(m.oldDir, m.oldCfg, m.oldLay, p, vals, &st, visit) {
 		return st
 	}
-	mask := uint64(0)
-	for i := range m.oldLay.mask {
-		if p.Has(i) {
-			mask |= m.oldLay.mask[i]
-		}
-	}
-	want := base & mask
-	m.oldDir.forEach(func(id uint64, b []*tuple.Tuple) bool {
-		st.DirScans++
-		if id&mask != want {
-			return true
-		}
-		st.Buckets++
-		return scanBucket(b, &st, visit)
-	})
+	ix.searchDir(ix.dir, ix.cfg, ix.lay, p, vals, &st, visit)
 	return st
 }

@@ -345,3 +345,94 @@ func TestAbortThenRestartMigration(t *testing.T) {
 		}
 	}
 }
+
+// TestMidMigrationStatsNoDoubleHash pins exact hash accounting while both
+// directories are live: an attribute constrained by the pattern is hashed
+// once per probe — its value does not depend on the configuration, so
+// consulting the old AND the new layout must still charge a single C_h.
+// The same invariant holds for deletes, which compute two bucket ids, and
+// for the sharded index. A regression that hashes per directory doubles
+// the probe cost the tuner feeds into the paper's Crq model.
+func TestMidMigrationStatsNoDoubleHash(t *testing.T) {
+	build := func() *Index {
+		ix := mustNew(t, NewConfig(4, 4, 4), []int{0, 1, 2}, nil)
+		for i := 0; i < 40; i++ {
+			ix.Insert(tuple.New(0, uint64(i), 0, []tuple.Value{
+				tuple.Value(i % 5), tuple.Value(i % 3), tuple.Value(i % 7),
+			}))
+		}
+		if err := ix.StartMigration(NewConfig(6, 6, 0)); err != nil {
+			t.Fatal(err)
+		}
+		ix.MigrateStep(15) // leave both directories populated
+		return ix
+	}
+
+	vals := []tuple.Value{2, 1, 3}
+	cases := []struct {
+		p          query.Pattern
+		wantHashes int
+	}{
+		// Attrs 0 and 1 are indexed under both configurations: one hash
+		// each, never two.
+		{query.PatternOf(0, 1), 2},
+		// Attr 2 is indexed only under the old configuration: it is hashed
+		// for the old probe and skipped (0 bits) by the new one.
+		{query.PatternOf(0, 2), 2},
+		{query.FullPattern(3), 3},
+		{query.PatternOf(2), 1},
+	}
+	for _, c := range cases {
+		ix := build()
+		if !ix.Migrating() {
+			t.Fatal("migration finished prematurely; shrink the step")
+		}
+		st := ix.Search(c.p, vals, func(*tuple.Tuple) bool { return true })
+		if st.Hashes != c.wantHashes {
+			t.Errorf("search %v: Hashes = %d, want %d", c.p, st.Hashes, c.wantHashes)
+		}
+	}
+
+	// Deletes compute the tuple's bucket id under both layouts from three
+	// attribute hashes — the memo must dedupe them too.
+	ix := build()
+	victim := tuple.New(0, 1000, 0, []tuple.Value{1, 1, 1})
+	ix.Insert(victim)
+	st, ok := ix.Delete(victim)
+	if !ok {
+		t.Fatal("delete failed")
+	}
+	if st.Hashes != 3 {
+		t.Errorf("delete mid-migration: Hashes = %d, want 3", st.Hashes)
+	}
+
+	// Sharded twin of the same invariant.
+	sx := mustNewSharded(t, NewConfig(4, 4, 4), []int{0, 1, 2}, nil, 8)
+	for i := 0; i < 40; i++ {
+		sx.Insert(tuple.New(0, uint64(i), 0, []tuple.Value{
+			tuple.Value(i % 5), tuple.Value(i % 3), tuple.Value(i % 7),
+		}))
+	}
+	if err := sx.StartMigration(NewConfig(6, 6, 0)); err != nil {
+		t.Fatal(err)
+	}
+	sx.MigrateStep(15)
+	if !sx.Migrating() {
+		t.Fatal("sharded migration finished prematurely")
+	}
+	for _, c := range cases {
+		st := sx.Search(c.p, vals, func(*tuple.Tuple) bool { return true })
+		if st.Hashes != c.wantHashes {
+			t.Errorf("sharded search %v: Hashes = %d, want %d", c.p, st.Hashes, c.wantHashes)
+		}
+	}
+	svict := tuple.New(0, 1001, 0, []tuple.Value{1, 1, 1})
+	sx.Insert(svict)
+	sst, ok := sx.Delete(svict)
+	if !ok {
+		t.Fatal("sharded delete failed")
+	}
+	if sst.Hashes != 3 {
+		t.Errorf("sharded delete mid-migration: Hashes = %d, want 3", sst.Hashes)
+	}
+}

@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"amri/internal/assess"
 	"amri/internal/bitindex"
@@ -99,6 +100,18 @@ type Options struct {
 	Cost cost.Params
 	// Seed fixes the random-combination RNG.
 	Seed uint64
+	// Shards, when positive, backs the index with a lock-striped
+	// bitindex.ShardedIndex of that many sub-directories (a power of two,
+	// at most 256) and makes every AdaptiveIndex method safe for
+	// concurrent use. Tuning then migrates incrementally — StartMigration
+	// plus bounded MigrateStep advances on the insert path — so a retune
+	// never stops the world. Zero keeps the flat single-threaded index
+	// and the stop-the-world Migrate the deterministic simulator relies
+	// on.
+	Shards int
+	// MigrateStepTuples bounds the incremental-migration work advanced
+	// per insert while a sharded migration drains (default 64).
+	MigrateStepTuples int
 
 	autoCost bool
 }
@@ -135,20 +148,53 @@ func (o *Options) fill() error {
 		o.autoCost = true
 		o.Cost = cost.Params{LambdaD: 1, LambdaR: 1, Ch: 1, Cc: 0.25, Window: 1}
 	}
+	if o.MigrateStepTuples == 0 {
+		o.MigrateStepTuples = 64
+	}
 	return nil
 }
 
-// AdaptiveIndex is a self-tuning bit-address index for one state.
-type AdaptiveIndex struct {
-	opts Options
-	ix   *bitindex.Index
-	asr  assess.Assessor
+// backend is the bit-address index behind an AdaptiveIndex: the flat
+// single-threaded bitindex.Index or the lock-striped bitindex.ShardedIndex,
+// selected by Options.Shards.
+type backend interface {
+	Insert(t *tuple.Tuple) bitindex.Stats
+	Delete(t *tuple.Tuple) (bitindex.Stats, bool)
+	Search(p query.Pattern, vals []tuple.Value, visit func(*tuple.Tuple) bool) bitindex.Stats
+	Config() bitindex.Config
+	Len() int
+	MemBytes() int
+	Migrating() bool
+	StartMigration(newCfg bitindex.Config) error
+	MigrateStep(n int) (bitindex.Stats, bool)
+	AbortMigration() (bitindex.Stats, bool)
+	Migrate(newCfg bitindex.Config) (bitindex.Stats, error)
+}
 
+var (
+	_ backend = (*bitindex.Index)(nil)
+	_ backend = (*bitindex.ShardedIndex)(nil)
+)
+
+// AdaptiveIndex is a self-tuning bit-address index for one state. With
+// Options.Shards set it is safe for concurrent use: index operations run
+// on the lock-striped backend, while the assessor and the bookkeeping
+// counters — which have no internal synchronization — are guarded by mu.
+// The guarded critical sections never enclose an index operation, so
+// concurrent probes only serialize on the (cheap) statistics update.
+type AdaptiveIndex struct {
+	opts        Options
+	ix          backend
+	incremental bool // sharded backend: tuning migrates via MigrateStep
+
+	mu        sync.Mutex
+	asr       assess.Assessor
 	inserts   uint64
 	requests  uint64
 	sinceTune uint64
 	retunes   int
 	aborted   int
+	tuning    bool // claimed by the goroutine running a tuning pass
 }
 
 // New builds an AdaptiveIndex with a uniform starting configuration.
@@ -156,8 +202,15 @@ func New(opts Options) (*AdaptiveIndex, error) {
 	if err := opts.fill(); err != nil {
 		return nil, err
 	}
-	ix, err := bitindex.New(bitindex.Uniform(opts.NumAttrs, opts.BitBudget), opts.AttrMap,
-		opts.Hasher, bitindex.WithDenseLimit(opts.DenseLimit))
+	var ix backend
+	var err error
+	if opts.Shards > 0 {
+		ix, err = bitindex.NewSharded(bitindex.Uniform(opts.NumAttrs, opts.BitBudget), opts.AttrMap,
+			opts.Hasher, opts.Shards, bitindex.WithDenseLimit(opts.DenseLimit))
+	} else {
+		ix, err = bitindex.New(bitindex.Uniform(opts.NumAttrs, opts.BitBudget), opts.AttrMap,
+			opts.Hasher, bitindex.WithDenseLimit(opts.DenseLimit))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -179,13 +232,27 @@ func New(opts Options) (*AdaptiveIndex, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &AdaptiveIndex{opts: opts, ix: ix, asr: asr}, nil
+	a := &AdaptiveIndex{opts: opts, ix: ix, incremental: opts.Shards > 0}
+	a.mu.Lock()
+	a.asr = asr
+	a.mu.Unlock()
+	return a, nil
 }
 
-// Insert stores a tuple.
+// Insert stores a tuple. While an incremental migration is draining (the
+// sharded backend's retune path) each insert also advances the drain by a
+// bounded step, so migration work is paid on the maintenance path the
+// paper's C_dt term prices, never as one stop-the-world stall.
 func (a *AdaptiveIndex) Insert(t *tuple.Tuple) bitindex.Stats {
+	a.mu.Lock()
 	a.inserts++
-	return a.ix.Insert(t)
+	a.mu.Unlock()
+	st := a.ix.Insert(t)
+	if a.incremental && a.ix.Migrating() {
+		mst, _ := a.ix.MigrateStep(a.opts.MigrateStepTuples)
+		st.Add(mst)
+	}
+	return st
 }
 
 // Delete removes a stored tuple (pointer identity).
@@ -200,12 +267,18 @@ func (a *AdaptiveIndex) Delete(t *tuple.Tuple) (bitindex.Stats, bool) {
 //
 //amrivet:hotpath per-probe adaptive search entry point
 func (a *AdaptiveIndex) Search(p query.Pattern, vals []tuple.Value, visit func(*tuple.Tuple) bool) bitindex.Stats {
+	a.mu.Lock()
 	a.asr.Observe(p)
 	a.requests++
 	a.sinceTune++
+	due := a.opts.AutoTuneEvery > 0 && a.sinceTune >= a.opts.AutoTuneEvery && !a.tuning
+	if due {
+		a.tuning = true
+	}
+	a.mu.Unlock()
 	st := a.ix.Search(p, vals, visit)
-	if a.opts.AutoTuneEvery > 0 && a.sinceTune >= a.opts.AutoTuneEvery {
-		a.Tune()
+	if due {
+		a.tunePass()
 	}
 	return st
 }
@@ -213,61 +286,96 @@ func (a *AdaptiveIndex) Search(p query.Pattern, vals []tuple.Value, visit func(*
 // Tune runs one assessment + index-selection pass, migrating the index when
 // the modelled improvement clears the hysteresis. It reports whether a
 // migration happened and the now-active configuration, and resets the
-// assessment window.
+// assessment window. If another goroutine is already tuning, Tune is a
+// no-op.
+func (a *AdaptiveIndex) Tune() (migrated bool, active bitindex.Config) {
+	a.mu.Lock()
+	if a.tuning {
+		a.mu.Unlock()
+		return false, a.ix.Config()
+	}
+	a.tuning = true
+	a.mu.Unlock()
+	return a.tunePass()
+}
+
+// tunePass is the body of a tuning pass; the caller must have claimed the
+// tuning flag. The assessment snapshot and the counter updates run under
+// mu, the index-selection search and any migration run outside it so
+// concurrent probes are never blocked on the tuner.
 //
 //amrivet:coldpath tuning pass, runs once per assessment window
-func (a *AdaptiveIndex) Tune() (migrated bool, active bitindex.Config) {
+func (a *AdaptiveIndex) tunePass() (migrated bool, active bitindex.Config) {
+	a.mu.Lock()
 	stats := a.asr.Results(a.opts.Theta)
 	params := a.opts.Cost
+	requests, inserts := a.requests, a.inserts
+	a.asr.Reset()
+	a.sinceTune = 0
+	a.mu.Unlock()
 	if a.opts.autoCost {
 		// Self-calibrate Eq. 1: the expected scan LambdaD·Window is the
 		// observed state size, and the request rate is relative to the
 		// insert rate seen so far.
 		params.Window = float64(max(1, a.ix.Len()))
-		if a.inserts > 0 {
-			params.LambdaR = params.LambdaD * float64(a.requests) / float64(a.inserts)
+		if inserts > 0 {
+			params.LambdaR = params.LambdaD * float64(requests) / float64(inserts)
 		}
 	}
-	a.asr.Reset()
-	a.sinceTune = 0
-	if len(stats) == 0 {
-		return false, a.ix.Config()
-	}
-	ctl := &tuner.Controller{
-		Params:        params,
-		Budget:        a.opts.BitBudget,
-		MinGain:       a.opts.MinGain,
-		UseExhaustive: a.opts.NumAttrs <= 4 && a.opts.BitBudget <= 16,
-		Opt:           tuner.Options{MaxBitsPerAttr: a.opts.MaxBitsPerAttr},
-	}
-	next, improve := ctl.Propose(a.ix.Config(), stats)
-	if !improve {
-		return false, a.ix.Config()
-	}
-	if a.opts.MigrateGate != nil && !a.opts.MigrateGate() {
-		// Injected fault mid-migration: run the real incremental
-		// machinery a bounded step in, then roll it back, so the abort
-		// path exercised here is the one production recovery relies on.
-		if err := a.ix.StartMigration(next); err == nil {
-			a.ix.MigrateStep(64)
-			a.ix.AbortMigration()
+	aborts := 0
+	if len(stats) != 0 {
+		ctl := &tuner.Controller{
+			Params:        params,
+			Budget:        a.opts.BitBudget,
+			MinGain:       a.opts.MinGain,
+			UseExhaustive: a.opts.NumAttrs <= 4 && a.opts.BitBudget <= 16,
+			Opt:           tuner.Options{MaxBitsPerAttr: a.opts.MaxBitsPerAttr},
 		}
-		a.aborted++
-		return false, a.ix.Config()
+		next, improve := ctl.Propose(a.ix.Config(), stats)
+		switch {
+		case !improve:
+		case a.opts.MigrateGate != nil && !a.opts.MigrateGate():
+			// Injected fault mid-migration: run the real incremental
+			// machinery a bounded step in, then roll it back, so the abort
+			// path exercised here is the one production recovery relies on.
+			if err := a.ix.StartMigration(next); err == nil {
+				a.ix.MigrateStep(a.opts.MigrateStepTuples)
+				a.ix.AbortMigration()
+			}
+			aborts = 1
+		case a.incremental:
+			// Sharded backend: begin an incremental migration and let the
+			// insert path drain it in bounded steps — retuning never stops
+			// the world. A still-draining previous migration makes
+			// StartMigration fail; the proposal is simply dropped and
+			// re-evaluated next window.
+			if err := a.ix.StartMigration(next); err == nil {
+				migrated = true
+			}
+		default:
+			if _, err := a.ix.Migrate(next); err == nil {
+				migrated = true
+			}
+		}
 	}
-	if _, err := a.ix.Migrate(next); err != nil {
-		return false, a.ix.Config()
+	a.mu.Lock()
+	a.aborted += aborts
+	if migrated {
+		a.retunes++
 	}
-	a.retunes++
-	return true, next
+	a.tuning = false
+	a.mu.Unlock()
+	return migrated, a.ix.Config()
 }
 
 // ShedAssessment drops the assessor's accumulated statistics and restarts
 // the tuning window — the degradation response to memory pressure: the
 // statistics are reconstructible, stored tuples are not.
 func (a *AdaptiveIndex) ShedAssessment() {
+	a.mu.Lock()
 	a.asr.Reset()
 	a.sinceTune = 0
+	a.mu.Unlock()
 }
 
 // Config returns the active index configuration.
@@ -276,29 +384,66 @@ func (a *AdaptiveIndex) Config() bitindex.Config { return a.ix.Config() }
 // Len returns the number of stored tuples.
 func (a *AdaptiveIndex) Len() int { return a.ix.Len() }
 
+// Migrating reports whether an incremental migration is draining.
+func (a *AdaptiveIndex) Migrating() bool { return a.ix.Migrating() }
+
 // MemBytes returns the simulated resident size (index + statistics).
-func (a *AdaptiveIndex) MemBytes() int { return a.ix.MemBytes() + a.asr.MemBytes() }
+func (a *AdaptiveIndex) MemBytes() int {
+	a.mu.Lock()
+	sb := a.asr.MemBytes()
+	a.mu.Unlock()
+	return a.ix.MemBytes() + sb
+}
 
 // Requests returns the number of search requests observed.
-func (a *AdaptiveIndex) Requests() uint64 { return a.requests }
+func (a *AdaptiveIndex) Requests() uint64 {
+	a.mu.Lock()
+	n := a.requests
+	a.mu.Unlock()
+	return n
+}
 
 // Retunes returns the number of migrations performed.
-func (a *AdaptiveIndex) Retunes() int { return a.retunes }
+func (a *AdaptiveIndex) Retunes() int {
+	a.mu.Lock()
+	n := a.retunes
+	a.mu.Unlock()
+	return n
+}
 
 // MigrationAborts returns the number of migrations rolled back by the
 // MigrateGate fault hook.
-func (a *AdaptiveIndex) MigrationAborts() int { return a.aborted }
+func (a *AdaptiveIndex) MigrationAborts() int {
+	a.mu.Lock()
+	n := a.aborted
+	a.mu.Unlock()
+	return n
+}
 
 // Method returns the active assessment method's name.
-func (a *AdaptiveIndex) Method() string { return a.asr.Name() }
+func (a *AdaptiveIndex) Method() string {
+	a.mu.Lock()
+	name := a.asr.Name()
+	a.mu.Unlock()
+	return name
+}
 
 // Stats exposes the assessor's current report (for inspection and demos).
-func (a *AdaptiveIndex) Stats() []cost.APStat { return a.asr.Results(a.opts.Theta) }
+func (a *AdaptiveIndex) Stats() []cost.APStat {
+	a.mu.Lock()
+	st := a.asr.Results(a.opts.Theta)
+	a.mu.Unlock()
+	return st
+}
 
 // String summarizes the adaptive index.
 func (a *AdaptiveIndex) String() string {
+	a.mu.Lock()
+	name := a.asr.Name()
+	retunes := a.retunes
+	a.mu.Unlock()
 	return fmt.Sprintf("AMRI{%v, %s, %d tuples, %d retunes}",
-		a.ix.Config(), a.asr.Name(), a.ix.Len(), a.retunes)
+		a.ix.Config(), name, a.ix.Len(), retunes)
 }
 
 func max(a, b int) int {

@@ -73,12 +73,37 @@ func TestSoftWatermarkInertWithoutPressure(t *testing.T) {
 	if soft.End != metrics.EndCompleted {
 		t.Fatalf("unpressured watermarked run ended %s", soft.End)
 	}
-	if soft.ShedTasks != 0 || soft.DegradedTicks != 0 {
+	if soft.ShedTasks != 0 || soft.DegradedTicks != 0 || soft.WatermarkMisses != 0 {
 		t.Fatal("watermark fired with memory to spare")
 	}
 	if soft.TotalResults != base.TotalResults {
 		t.Fatalf("inert watermark changed the run: %d vs %d results",
 			soft.TotalResults, base.TotalResults)
+	}
+}
+
+// TestWatermarkMissReported pins the degrade re-check: when the soft
+// watermark sits below what the resident data alone occupies, shedding
+// every reconstructible byte cannot reach it, and each such pass must be
+// counted as a watermark miss rather than silently reported as a
+// successful degrade. (The original degrade path never re-read the meter
+// after shedding, so these passes were indistinguishable from effective
+// ones.)
+func TestWatermarkMissReported(t *testing.T) {
+	run := pressureConfig()
+	// 5% of the 1MiB cap is far below the stored-tuple resident set the
+	// pressure workload accumulates, so degradation is structurally unable
+	// to satisfy the watermark even though it still sheds the backlog.
+	run.SoftMemRatio = 0.05
+	res := mustRun(t, run, AMRI(AssessCDIAHighest))
+	if res.DegradedTicks == 0 {
+		t.Fatal("watermark never fired; the scenario exercises nothing")
+	}
+	if res.WatermarkMisses == 0 {
+		t.Fatal("every degrade pass ended over the watermark, yet no miss was reported")
+	}
+	if res.WatermarkMisses > res.DegradedTicks {
+		t.Fatalf("misses %d exceed degrade passes %d", res.WatermarkMisses, res.DegradedTicks)
 	}
 }
 

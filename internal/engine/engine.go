@@ -68,8 +68,9 @@ type Engine struct {
 	retunes   int
 	latencies []int64 // emission tick - driver arrival tick, per result
 
-	shedTasks     uint64 // probe tasks dropped by soft-watermark degradation
-	degradedTicks int64  // ticks that ended over the soft watermark
+	shedTasks       uint64 // probe tasks dropped by soft-watermark degradation
+	degradedTicks   int64  // ticks that ended over the soft watermark
+	watermarkMisses int64  // degrade passes that could not reach the soft watermark
 
 	probesPerState []uint64 // since last tuning pass, for λ_r estimation
 	lensBuf        []int
@@ -362,6 +363,7 @@ func (e *Engine) Run() *metrics.RunResult {
 	}
 	res.ShedTasks = e.shedTasks
 	res.DegradedTicks = e.degradedTicks
+	res.WatermarkMisses = e.watermarkMisses
 	res.EndTick = tick
 	res.TotalResults = e.results
 	res.Probes = e.probes
@@ -414,6 +416,13 @@ func (e *Engine) degrade() {
 		live[i] = task{}
 	}
 	e.queue = e.queue[:e.queueHead+len(kept)]
+	// Shedding frees reconstructible memory only; when the resident set is
+	// dominated by stored tuples, even a full sweep can leave the system
+	// over the watermark. Re-check so the miss is visible in the run
+	// metrics instead of silently reporting a successful degrade.
+	if e.meter.Used() > soft {
+		e.watermarkMisses++
+	}
 }
 
 func (e *Engine) push(t task) {

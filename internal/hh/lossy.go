@@ -107,10 +107,15 @@ func (c *LossyCounter[K]) Count(k K) (count, delta uint64, ok bool) {
 }
 
 // Compress evicts every entry whose count plus undercount bound no longer
-// reaches the completed segment id. Called automatically at segment
+// reaches the current segment id ⌈n/w⌉. Called automatically at segment
 // boundaries; exposed for tests and for callers that shrink on demand.
+// The segment id must round UP: mid-segment, ⌊n/w⌋ names the previous
+// segment, and evicting against it retains entries whose undercount bound
+// already allows eviction — the table then exceeds its O((1/ε)·log(ε·n))
+// bound for callers that compress on demand. At exact boundaries (the
+// automatic path) floor and ceiling agree, so this changes nothing there.
 func (c *LossyCounter[K]) Compress() {
-	sid := c.n / c.width // completed segments
+	sid := (c.n + c.width - 1) / c.width // current segment id, ⌈n/w⌉
 	for k, e := range c.entries {
 		if e.count+e.delta <= sid {
 			delete(c.entries, k)

@@ -61,6 +61,39 @@ func TestLossySegmentEviction(t *testing.T) {
 	}
 }
 
+// TestLossyCompressMidSegmentUsesCeiling pins the eviction segment id at
+// ⌈n/w⌉: an on-demand Compress in the middle of a segment must evict
+// against the segment currently in progress, not the last completed one.
+// With ⌊n/w⌋ the singleton below survives and the table overshoots its
+// bound for any caller that compresses between boundaries to shed memory
+// on demand.
+func TestLossyCompressMidSegmentUsesCeiling(t *testing.T) {
+	c, _ := NewLossyCounter[int](0.25) // width 4
+	// Segment 1 is all heavy key; the 4th observation auto-compresses.
+	for i := 0; i < 4; i++ {
+		c.Observe(1)
+	}
+	// Mid-segment 2: a singleton enters with count 1, delta = 1.
+	c.Observe(99)
+	// Current segment id is ⌈5/4⌉ = 2 and 1+1 ≤ 2, so an on-demand
+	// compress evicts it; the floor id ⌊5/4⌋ = 1 would have kept it.
+	c.Compress()
+	if _, _, ok := c.Count(99); ok {
+		t.Fatal("mid-segment compress kept an entry the current segment id evicts")
+	}
+	if _, _, ok := c.Count(1); !ok {
+		t.Fatal("heavy key must survive compression")
+	}
+	// At an exact boundary floor and ceiling agree: re-observing up to n=8
+	// must evict a fresh boundary singleton exactly as before the fix.
+	c.Observe(1)
+	c.Observe(1)
+	c.Observe(7) // n=8: auto-compress with sid 2; 7 has count 1, delta 1
+	if _, _, ok := c.Count(7); ok {
+		t.Fatal("boundary eviction changed: singleton survived the n=8 compress")
+	}
+}
+
 func TestLossyDeltaForLateArrivals(t *testing.T) {
 	c, _ := NewLossyCounter[int](0.25) // width 4
 	for i := 0; i < 8; i++ {

@@ -72,6 +72,11 @@ type RunResult struct {
 	// watermark (both zero unless SoftMemRatio is configured).
 	ShedTasks     uint64
 	DegradedTicks int64
+	// WatermarkMisses counts degrade passes that shed every
+	// reconstructible byte and still ended over the soft watermark —
+	// resident data alone exceeds it, so degradation cannot help and only
+	// the hard cap remains between the system and OOM.
+	WatermarkMisses int64
 }
 
 // LatencySummary is a compact latency distribution.

@@ -1,0 +1,135 @@
+package pipeline
+
+// Same-seed determinism across the concurrency axes the tentpole added:
+// the result SET of a run must not depend on the probe worker count or the
+// index shard count — parallel fan-out may reorder result emission, never
+// change membership. The digest tests pin that for fault-free runs and for
+// a seeded chaos plan (panics, saturation, delays, migration aborts), the
+// configuration the acceptance bar "sharded digest == serial digest"
+// names.
+
+import (
+	"testing"
+	"time"
+
+	"amri/internal/core"
+	"amri/internal/fault"
+)
+
+// detConfig is the shared base: bounded mailboxes under PolicyBlock (the
+// spill-don't-shed policy that keeps the probe path lossless) and live
+// tuning aggressive enough that migrations interleave with traffic.
+func detConfig(workers, shards int, plan fault.Plan) Config {
+	return Config{
+		Profile:         smallProfile(),
+		Seed:            23,
+		Ticks:           100,
+		Method:          core.MethodCDIAHighest,
+		AutoTuneEvery:   300,
+		Explore:         0.1,
+		MailboxCap:      64,
+		ShedPolicy:      PolicyBlock,
+		Fault:           plan,
+		CheckpointEvery: 64,
+		MaxRestarts:     50,
+		RestartBackoff:  50 * time.Microsecond,
+		ProbeWorkers:    workers,
+		Shards:          shards,
+	}
+}
+
+func digestRun(t *testing.T, cfg Config) (*Result, *resultDigest) {
+	t.Helper()
+	d := &resultDigest{}
+	cfg.OnResult = d.add
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, d
+}
+
+func assertSameResultSet(t *testing.T, label string, serial, got *Result, want, d *resultDigest) {
+	t.Helper()
+	if got.TuplesIngested != serial.TuplesIngested {
+		t.Errorf("%s: ingested %d, serial %d", label, got.TuplesIngested, serial.TuplesIngested)
+	}
+	if got.Results != serial.Results {
+		t.Errorf("%s: results %d, serial %d", label, got.Results, serial.Results)
+	}
+	if d.n != want.n || d.xor != want.xor {
+		t.Errorf("%s: digest (n=%d, %#x) != serial (n=%d, %#x)",
+			label, d.n, d.xor, want.n, want.xor)
+	}
+}
+
+// TestShardedDigestMatchesSerial: the 1-worker flat-index run is the
+// reference; every combination of worker pool size and shard count must
+// reproduce its exact result set.
+func TestShardedDigestMatchesSerial(t *testing.T) {
+	serial, want := digestRun(t, detConfig(1, 0, fault.None))
+	if serial.Results == 0 {
+		t.Fatal("serial run produced no results; workload broken")
+	}
+	cases := []struct {
+		label           string
+		workers, shards int
+	}{
+		{"1 worker, 1 shard", 1, 1},
+		{"4 workers, flat index", 4, 0},
+		{"4 workers, 8 shards", 4, 8},
+		{"8 workers, 8 shards", 8, 8},
+	}
+	for _, c := range cases {
+		got, d := digestRun(t, detConfig(c.workers, c.shards, fault.None))
+		assertSameResultSet(t, c.label, serial, got, want, d)
+	}
+}
+
+// TestShardedDigestMatchesSerialUnderFaults repeats the digest comparison
+// with the chaos plan live: operator panics, forced saturation, delivery
+// stalls, every migration aborted mid-step, memory pressure. Fault
+// decisions are keyed to per-(kind, actor) event counters whose ingest
+// sequences do not depend on probe scheduling, so the loss is identical
+// run to run — and therefore so is the surviving result set.
+func TestShardedDigestMatchesSerialUnderFaults(t *testing.T) {
+	plan := fault.Plan{
+		Seed:         7,
+		PanicRate:    0.004,
+		SaturateRate: 0.01,
+		DelayRate:    0.002,
+		Delay:        10 * time.Microsecond,
+		AbortRate:    1.0,
+		PressureRate: 0.01,
+	}
+	serial, want := digestRun(t, detConfig(1, 0, plan))
+	if serial.Results == 0 {
+		t.Fatal("serial chaos run produced no results")
+	}
+	if serial.Restarts == 0 || serial.IngestShed == 0 {
+		t.Fatalf("chaos plan not exercised: %+v", serial)
+	}
+	cases := []struct {
+		label           string
+		workers, shards int
+	}{
+		{"1 worker, 8 shards", 1, 8},
+		{"4 workers, 8 shards", 4, 8},
+		{"8 workers, 8 shards", 8, 8},
+	}
+	for _, c := range cases {
+		got, d := digestRun(t, detConfig(c.workers, c.shards, plan))
+		assertSameResultSet(t, c.label, serial, got, want, d)
+		// Fault loss accounting must be reproducible too, not just the
+		// survivors: same panics, same restarts, same forced sheds.
+		if got.Restarts != serial.Restarts {
+			t.Errorf("%s: restarts %d, serial %d", c.label, got.Restarts, serial.Restarts)
+		}
+		if got.IngestShed != serial.IngestShed {
+			t.Errorf("%s: ingest sheds %d, serial %d", c.label, got.IngestShed, serial.IngestShed)
+		}
+		if got.StateLost != serial.StateLost {
+			t.Errorf("%s: state lost %d, serial %d", c.label, got.StateLost, serial.StateLost)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package pipeline
 import (
 	"sync"
 	"testing"
+
+	"amri/internal/tuple"
 )
 
 func TestMailboxDropNewest(t *testing.T) {
@@ -169,6 +171,86 @@ func TestMailboxClosePushRace(t *testing.T) {
 		if len(drained) != nAccepted {
 			t.Fatalf("iter %d: drained %d != accepted %d", iter, len(drained), nAccepted)
 		}
+	}
+}
+
+// TestMailboxDropOldestAccountsVictimKind pins the shed-accounting
+// contract Run relies on: under drop-oldest the onShed hook receives the
+// EVICTED message, so the ingest/probe split is charged to the message
+// actually lost — not to whatever the pusher happened to be carrying. A
+// full mailbox holding an ingest that a composite pushes past must record
+// one ingest shed and zero probe sheds.
+func TestMailboxDropOldestAccountsVictimKind(t *testing.T) {
+	var ingestShed, probeShed int
+	account := func(m message, r PushResult) {
+		if r != PushShedOldest {
+			t.Errorf("onShed reason = %v, want PushShedOldest", r)
+		}
+		// Mirrors run.accountShed's kind split.
+		if m.ingest != nil {
+			ingestShed++
+		} else {
+			probeShed++
+		}
+	}
+	mb := newBoundedMailbox[message](1, PolicyDropOldest, account)
+
+	queuedIngest := message{ingest: &tuple.Tuple{Seq: 1}}
+	pushedComp := message{comp: tuple.NewComposite(4, &tuple.Tuple{Seq: 2})}
+	mb.Push(queuedIngest)
+	if got := mb.Push(pushedComp); got != PushShedOldest {
+		t.Fatalf("push past cap = %v, want PushShedOldest", got)
+	}
+	if ingestShed != 1 || probeShed != 0 {
+		t.Fatalf("shed split = %d ingest / %d probe, want the evicted ingest charged",
+			ingestShed, probeShed)
+	}
+	// The survivor is the pushed composite.
+	if v, ok := mb.Pop(); !ok || v.comp == nil || v.comp.Parts[0].Seq != 2 {
+		t.Fatalf("survivor = %+v, want the pushed composite", v)
+	}
+
+	// And symmetrically: evicting a queued composite with an ingest push
+	// charges the probe side.
+	ingestShed, probeShed = 0, 0
+	mb2 := newBoundedMailbox[message](1, PolicyDropOldest, account)
+	mb2.Push(message{comp: tuple.NewComposite(4, &tuple.Tuple{Seq: 3})})
+	mb2.Push(message{ingest: &tuple.Tuple{Seq: 4}})
+	if ingestShed != 0 || probeShed != 1 {
+		t.Fatalf("shed split = %d ingest / %d probe, want the evicted composite charged",
+			ingestShed, probeShed)
+	}
+	if v, ok := mb2.Pop(); !ok || v.ingest == nil || v.ingest.Seq != 4 {
+		t.Fatalf("survivor = %+v, want the pushed ingest", v)
+	}
+}
+
+// TestMailboxDropNewestAccountsPusherKind is the drop-newest twin: the
+// shed message IS the pushed one, so its kind is charged even when the
+// queue holds the other kind.
+func TestMailboxDropNewestAccountsPusherKind(t *testing.T) {
+	var ingestShed, probeShed int
+	mb := newBoundedMailbox[message](1, PolicyDropNewest, func(m message, r PushResult) {
+		if r != PushShedNewest {
+			t.Errorf("onShed reason = %v, want PushShedNewest", r)
+		}
+		if m.ingest != nil {
+			ingestShed++
+		} else {
+			probeShed++
+		}
+	})
+	mb.Push(message{ingest: &tuple.Tuple{Seq: 1}})
+	if got := mb.Push(message{comp: tuple.NewComposite(4, &tuple.Tuple{Seq: 2})}); got != PushShedNewest {
+		t.Fatalf("push past cap = %v, want PushShedNewest", got)
+	}
+	if ingestShed != 0 || probeShed != 1 {
+		t.Fatalf("shed split = %d ingest / %d probe, want the refused composite charged",
+			ingestShed, probeShed)
+	}
+	// The queued ingest survives untouched.
+	if v, ok := mb.Pop(); !ok || v.ingest == nil || v.ingest.Seq != 1 {
+		t.Fatalf("survivor = %+v, want the queued ingest", v)
 	}
 }
 

@@ -3,14 +3,17 @@ package pipeline
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"amri/internal/bitindex"
 	"amri/internal/core"
 	"amri/internal/fault"
 	"amri/internal/query"
 	"amri/internal/router"
+	"amri/internal/sim"
 	"amri/internal/stream"
 	"amri/internal/tuple"
 	"amri/internal/window"
@@ -35,6 +38,25 @@ type Config struct {
 	AutoTuneEvery uint64
 	// Explore is the router's suboptimal-route probability.
 	Explore float64
+
+	// ProbeWorkers sizes the shared probe worker pool: composite (probe)
+	// messages from every operator fan out over this many goroutines,
+	// while ingests stay on each operator's own serve goroutine (default
+	// runtime.NumCPU()). The result set is identical at any worker count;
+	// see the determinism tests.
+	ProbeWorkers int
+	// Shards, when positive, lock-stripes every operator's bit-index over
+	// that many sub-directories (a power of two, at most 256): probes of
+	// the same state then proceed concurrently under a read lock, and
+	// retune migrations drain incrementally instead of stopping the
+	// world. Zero keeps the flat index; probes of a state then serialize
+	// on its operator lock even when ProbeWorkers > 1.
+	Shards int
+	// CollectProbeCosts records every probe's modeled cost units, grouped
+	// by tick phase, into Result.ProbeCosts — the raw material for the
+	// offline throughput model in internal/bench. Off by default (it
+	// allocates per tick).
+	CollectProbeCosts bool
 
 	// MailboxCap bounds every operator mailbox to that many queued
 	// messages (0 = unbounded, the pre-fault-tolerance behaviour).
@@ -104,6 +126,22 @@ type Result struct {
 	// classes that fired.
 	InjectedDelays uint64
 	PressureEvents uint64
+
+	// ProbeCosts is the per-tick probe cost trace (one inner slice per
+	// tick, one entry per probe executed in that tick's probe phase),
+	// populated only when Config.CollectProbeCosts is set. Entries within
+	// a tick are in completion order, which varies with scheduling;
+	// consumers must treat each tick as an unordered multiset.
+	ProbeCosts [][]ProbeCost
+}
+
+// ProbeCost is one probe's modeled work in simulation cost units, tagged
+// with the operator that executed it. Units follow sim.DefaultCosts: the
+// same per-hash / per-bucket / per-candidate weights the deterministic
+// engine charges its clock.
+type ProbeCost struct {
+	Op    int
+	Units float64
 }
 
 // message is one unit of operator work.
@@ -113,20 +151,23 @@ type message struct {
 }
 
 // operator is one STeM running as a goroutine: it owns its state's
-// AdaptiveIndex (lock-guarded — live tuning migrates it concurrently with
-// probes from its own loop only, but Len is read cross-operator), plus the
-// checkpoint its supervisor restarts it from after a panic.
+// AdaptiveIndex, plus the checkpoint its supervisor restarts it from after
+// a panic. Ingests, expiry and restores hold mu exclusively; probes hold
+// it for reading when the index is sharded (concurrent probes of one state
+// are then safe all the way down the lock-striped directory) and
+// exclusively when it is flat.
 type operator struct {
 	id        int
 	spec      *query.StateSpec
 	mb        *mailbox[message]
 	ckptEvery int
+	sharded   bool // probes may share the lock (Config.Shards > 0)
 	// newIx / newRetained rebuild the operator's state from scratch on a
 	// supervisor restart.
 	newIx       func() (*core.AdaptiveIndex, error)
 	newRetained func() *window.Buckets
 
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	ix       *core.AdaptiveIndex
 	retained *window.Buckets
 	// checkpoint is the retained-tuple snapshot a restart replays;
@@ -144,9 +185,14 @@ type operator struct {
 	// panic's recover can release it) and the restart count.
 	inflight message
 	restarts int
+}
 
-	valsBuf  []tuple.Value
-	matchBuf []*tuple.Tuple // probe-match scratch, reused across probes
+// probeScratch is one probe worker's reusable buffers: probe values and
+// match collection live per worker, not per operator, so concurrent
+// probes of the same state never share scratch.
+type probeScratch struct {
+	vals    []tuple.Value
+	matches []*tuple.Tuple
 }
 
 // insert stores one arrival and reports whether a checkpoint is due.
@@ -223,27 +269,35 @@ func (o *operator) shedAssessment() {
 	o.ix.ShedAssessment()
 }
 
-// probe runs one search request against the state, returning the matches.
-// The returned slice aliases receiver-attached scratch and is valid only
-// until this operator's next probe (safe: each operator is probed solely
-// from its own serve goroutine, which consumes the matches first).
+// probe runs one search request against the state, returning the matches
+// and the index work performed. The returned slice aliases the worker's
+// scratch and is valid only until that worker's next probe (safe: the
+// worker consumes the matches before popping another job). With a sharded
+// index the state lock is held for reading, so probes of one state fan out
+// across workers; a flat index demands exclusivity.
 //
-//amrivet:hotpath per-message probe in the operator loop
-func (o *operator) probe(c *tuple.Composite) []*tuple.Tuple {
-	o.mu.Lock()
-	defer o.mu.Unlock()
+//amrivet:hotpath per-message probe in the worker pool
+func (o *operator) probe(c *tuple.Composite, sc *probeScratch) ([]*tuple.Tuple, bitindex.Stats) {
+	if o.sharded {
+		o.mu.RLock()
+		defer o.mu.RUnlock()
+	} else {
+		o.mu.Lock()
+		defer o.mu.Unlock()
+	}
 	p := o.spec.PatternForDone(c.Done)
+	vals := sc.vals[:o.spec.NumAttrs()]
 	for i, ja := range o.spec.JAS {
 		if p.Has(i) {
-			o.valsBuf[i] = c.Parts[ja.Partner].Attrs[ja.PartnerAttr]
+			vals[i] = c.Parts[ja.Partner].Attrs[ja.PartnerAttr]
 		} else {
-			o.valsBuf[i] = 0
+			vals[i] = 0
 		}
 	}
 	drv := c.Driver()
 	driver := drv.Arrival
-	o.matchBuf = o.matchBuf[:0]
-	o.ix.Search(p, o.valsBuf, func(x *tuple.Tuple) bool {
+	sc.matches = sc.matches[:0]
+	st := o.ix.Search(p, vals, func(x *tuple.Tuple) bool {
 		if driver != 0 && x.Arrival >= driver {
 			return true // exactly-once: only the newest member drives a result
 		}
@@ -252,19 +306,19 @@ func (o *operator) probe(c *tuple.Composite) []*tuple.Tuple {
 		}
 		ok := true
 		for i, ja := range o.spec.JAS {
-			if p.Has(i) && x.Attrs[ja.Attr] != o.valsBuf[i] {
+			if p.Has(i) && x.Attrs[ja.Attr] != vals[i] {
 				ok = false
 				break
 			}
 		}
 		if ok {
-			o.matchBuf = append(o.matchBuf, x)
+			sc.matches = append(sc.matches, x)
 		}
 		return true
 	})
 	o.probes.Add(1)
 	o.length.Store(int64(o.ix.Len()))
-	return o.matchBuf
+	return sc.matches, st
 }
 
 // run bundles one Run invocation's shared machinery: the operator set, the
@@ -279,6 +333,13 @@ type run struct {
 	// wg tracks in-flight messages: every delivered message is Added once
 	// and Done exactly once — when handled, shed, or lost to a panic.
 	wg sync.WaitGroup
+
+	// probeCh feeds the shared probe worker pool: serve goroutines forward
+	// composite messages here, workers execute them. A job's wg slot is
+	// released by the worker that handles (or sheds) it.
+	probeCh chan probeJob
+	costs   sim.CostTable
+	collect *costCollector // nil unless Config.CollectProbeCosts
 
 	nextHop func(done uint32) int
 	observe func(i, j, matches, stateLen int)
@@ -296,6 +357,41 @@ type run struct {
 	stateLost  atomic.Uint64
 	delays     atomic.Uint64
 	pressure   atomic.Uint64
+}
+
+// probeJob is one composite dispatched to the probe worker pool.
+type probeJob struct {
+	o    *operator
+	comp *tuple.Composite
+}
+
+// costCollector accumulates the per-tick probe cost trace under its own
+// lock (workers append concurrently; the tick loop flushes between
+// phases).
+type costCollector struct {
+	mu    sync.Mutex
+	tick  []ProbeCost
+	ticks [][]ProbeCost
+}
+
+func (c *costCollector) add(pc ProbeCost) {
+	c.mu.Lock()
+	c.tick = append(c.tick, pc)
+	c.mu.Unlock()
+}
+
+func (c *costCollector) flush() {
+	c.mu.Lock()
+	c.ticks = append(c.ticks, c.tick)
+	c.tick = nil
+	c.mu.Unlock()
+}
+
+func (c *costCollector) trace() [][]ProbeCost {
+	c.mu.Lock()
+	t := c.ticks
+	c.mu.Unlock()
+	return t
 }
 
 // accountShed records one dropped message against its target operator.
@@ -345,27 +441,34 @@ func (p *run) deliver(target int, m message, fromSource bool) {
 	}
 }
 
-// handle processes one popped message on the operator's goroutine.
-func (p *run) handle(o *operator, msg message) {
-	if msg.ingest != nil {
-		// The panic fault fires while an arrival is being handled —
-		// after the message left the mailbox, before it reached the
-		// state — the worst spot for an unassisted crash.
-		if p.inj.Decide(fault.OperatorPanic, o.id) {
-			panic(fmt.Sprintf("pipeline: injected panic at operator %d", o.id))
-		}
-		if o.insert(msg.ingest) {
-			o.snapshot()
-		}
-		p.ingested.Add(1)
-		return
+// handleIngest processes one arrival on the operator's own goroutine.
+func (p *run) handleIngest(o *operator, msg message) {
+	// The panic fault fires while an arrival is being handled — after the
+	// message left the mailbox, before it reached the state — the worst
+	// spot for an unassisted crash.
+	if p.inj.Decide(fault.OperatorPanic, o.id) {
+		panic(fmt.Sprintf("pipeline: injected panic at operator %d", o.id))
 	}
-	comp := msg.comp
+	if o.insert(msg.ingest) {
+		o.snapshot()
+	}
+	p.ingested.Add(1)
+}
+
+// handleComp processes one probe on a worker goroutine.
+func (p *run) handleComp(o *operator, comp *tuple.Composite, sc *probeScratch) {
 	if p.inj.Decide(fault.MemoryPressure, o.id) {
 		o.shedAssessment()
 		p.pressure.Add(1)
 	}
-	matches := o.probe(comp)
+	matches, st := o.probe(comp, sc)
+	if p.collect != nil {
+		p.collect.add(ProbeCost{Op: o.id, Units: float64(
+			sim.Units(st.Hashes)*p.costs.Hash +
+				sim.Units(st.Buckets)*p.costs.Bucket +
+				sim.Units(st.DirScans)*p.costs.DirScan +
+				sim.Units(st.Tuples)*p.costs.Compare)})
+	}
 	if comp.Count() == 1 {
 		src := bits.TrailingZeros32(comp.Done)
 		p.observe(src, o.id, len(matches), int(o.length.Load()))
@@ -385,16 +488,39 @@ func (p *run) handle(o *operator, msg message) {
 	}
 }
 
-// serve drains the mailbox until closed-and-empty; a panic escapes to the
-// recover in superviseOnce.
+// probeWorker drains the shared probe channel until it closes. Follow-up
+// deliveries from a worker use the non-blocking mailbox push, so workers
+// always make progress and the pool cannot deadlock against the serve
+// goroutines feeding it.
+func (p *run) probeWorker(sc *probeScratch) {
+	for job := range p.probeCh {
+		// The target may have failed permanently after the job was
+		// dispatched; shed it exactly as a mailbox drain would.
+		if job.o.failed.Load() {
+			p.accountShed(job.o.id, message{comp: job.comp})
+		} else {
+			p.handleComp(job.o, job.comp, sc)
+		}
+		p.wg.Done()
+	}
+}
+
+// serve drains the mailbox until closed-and-empty: arrivals are handled
+// inline (state mutation stays on the operator's goroutine, so an injected
+// panic is attributable to it), probes are forwarded to the worker pool. A
+// panic escapes to the recover in superviseOnce.
 func (p *run) serve(o *operator) {
 	for {
 		msg, ok := o.mb.Pop()
 		if !ok {
 			return
 		}
+		if msg.comp != nil {
+			p.probeCh <- probeJob{o: o, comp: msg.comp}
+			continue
+		}
 		o.inflight = msg
-		p.handle(o, msg)
+		p.handleIngest(o, msg)
 		o.inflight = message{}
 		p.wg.Done()
 	}
@@ -488,6 +614,15 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.MailboxCap < 0 {
 		return nil, fmt.Errorf("pipeline: MailboxCap must be >= 0")
 	}
+	if cfg.ProbeWorkers < 0 {
+		return nil, fmt.Errorf("pipeline: ProbeWorkers must be >= 0")
+	}
+	if cfg.ProbeWorkers == 0 {
+		cfg.ProbeWorkers = runtime.NumCPU()
+	}
+	if cfg.Shards < 0 || cfg.Shards > 256 || cfg.Shards&(cfg.Shards-1) != 0 {
+		return nil, fmt.Errorf("pipeline: Shards %d must be 0 or a power of two in [1, 256]", cfg.Shards)
+	}
 	if cfg.BitBudget == 0 {
 		cfg.BitBudget = 12
 	}
@@ -510,14 +645,23 @@ func Run(cfg Config) (*Result, error) {
 
 	n := q.NumStreams()
 	p := &run{
-		cfg:   cfg,
-		n:     n,
-		ops:   make([]*operator, n),
-		inj:   fault.New(cfg.Fault, n),
-		sheds: make([]atomic.Uint64, n),
+		cfg:     cfg,
+		n:       n,
+		ops:     make([]*operator, n),
+		inj:     fault.New(cfg.Fault, n),
+		sheds:   make([]atomic.Uint64, n),
+		probeCh: make(chan probeJob, cfg.ProbeWorkers),
+		costs:   sim.DefaultCosts(),
 	}
+	if cfg.CollectProbeCosts {
+		p.collect = &costCollector{}
+	}
+	maxAttrs := 0
 	for s := 0; s < n; s++ {
 		spec := q.States[s]
+		if spec.NumAttrs() > maxAttrs {
+			maxAttrs = spec.NumAttrs()
+		}
 		attrMap := make([]int, spec.NumAttrs())
 		for i, ja := range spec.JAS {
 			attrMap[i] = ja.Attr
@@ -529,6 +673,7 @@ func Run(cfg Config) (*Result, error) {
 			Method:        cfg.Method,
 			AutoTuneEvery: cfg.AutoTuneEvery,
 			Seed:          cfg.Seed + uint64(s),
+			Shards:        cfg.Shards,
 		}
 		if p.inj != nil {
 			id := s
@@ -546,11 +691,11 @@ func Run(cfg Config) (*Result, error) {
 			id:          s,
 			spec:        spec,
 			ckptEvery:   cfg.CheckpointEvery,
+			sharded:     cfg.Shards > 0,
 			newIx:       newIx,
 			newRetained: newRetained,
 			ix:          ix,
 			retained:    newRetained(),
-			valsBuf:     make([]tuple.Value, spec.NumAttrs()),
 		}
 		o.mb = newBoundedMailbox[message](cfg.MailboxCap, cfg.ShedPolicy,
 			func(m message, _ PushResult) {
@@ -588,6 +733,17 @@ func Run(cfg Config) (*Result, error) {
 		}(p.ops[s])
 	}
 
+	// Probe workers: the bounded pool every operator's probes fan out
+	// over. Each worker owns its scratch for the life of the run.
+	var workerWG sync.WaitGroup
+	for w := 0; w < cfg.ProbeWorkers; w++ {
+		workerWG.Add(1)
+		go func() {
+			defer workerWG.Done()
+			p.probeWorker(&probeScratch{vals: make([]tuple.Value, maxAttrs)})
+		}()
+	}
+
 	start := time.Now()
 	// Source: ticks are delivered in two quiesced phases — all of a tick's
 	// arrivals are inserted before any of them starts probing, exactly the
@@ -618,11 +774,16 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		p.wg.Wait()
+		if p.collect != nil {
+			p.collect.flush()
+		}
 	}
 	for _, o := range p.ops {
 		o.mb.Close()
 	}
 	opWG.Wait()
+	close(p.probeCh)
+	workerWG.Wait()
 
 	res := &Result{
 		Results:           p.results.Load(),
@@ -639,6 +800,9 @@ func Run(cfg Config) (*Result, error) {
 		StateLost:         p.stateLost.Load(),
 		InjectedDelays:    p.delays.Load(),
 		PressureEvents:    p.pressure.Load(),
+	}
+	if p.collect != nil {
+		res.ProbeCosts = p.collect.trace()
 	}
 	for i, o := range p.ops {
 		res.ShedsPerOp[i] = p.sheds[i].Load()

@@ -20,8 +20,9 @@ import (
 )
 
 // newTestOperator assembles a real operator for state 0 of the four-way
-// join, mirroring Run's construction.
-func newTestOperator(t *testing.T, q *query.Query, autoTuneEvery uint64, seed uint64) *operator {
+// join, mirroring Run's construction. shards > 0 builds the lock-striped
+// index and the shared-lock probe path.
+func newTestOperator(t *testing.T, q *query.Query, autoTuneEvery uint64, seed uint64, shards int) *operator {
 	t.Helper()
 	spec := q.States[0]
 	attrMap := make([]int, spec.NumAttrs())
@@ -34,6 +35,7 @@ func newTestOperator(t *testing.T, q *query.Query, autoTuneEvery uint64, seed ui
 		BitBudget:     12,
 		AutoTuneEvery: autoTuneEvery,
 		Seed:          seed,
+		Shards:        shards,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -41,9 +43,9 @@ func newTestOperator(t *testing.T, q *query.Query, autoTuneEvery uint64, seed ui
 	return &operator{
 		spec:     spec,
 		mb:       newMailbox[message](),
+		sharded:  shards > 0,
 		ix:       ix,
 		retained: window.New(q.WindowTicks, 0),
-		valsBuf:  make([]tuple.Value, spec.NumAttrs()),
 	}
 }
 
@@ -55,8 +57,20 @@ func newTestOperator(t *testing.T, q *query.Query, autoTuneEvery uint64, seed ui
 // the index never loses tuples across them; under -race the run also
 // validates the locking protocol itself.
 func TestConcurrentProbeRetuneRace(t *testing.T) {
+	runConcurrentProbeRetune(t, 0)
+}
+
+// TestConcurrentProbeRetuneRaceSharded is the same hammer against the
+// lock-striped index: probes hold the operator lock for reading, so they
+// genuinely overlap each other AND the incremental migrations the insert
+// path advances.
+func TestConcurrentProbeRetuneRaceSharded(t *testing.T) {
+	runConcurrentProbeRetune(t, 8)
+}
+
+func runConcurrentProbeRetune(t *testing.T, shards int) {
 	q := query.FourWay(60)
-	op := newTestOperator(t, q, 64, 7)
+	op := newTestOperator(t, q, 64, 7, shards)
 
 	gen, err := stream.New(q, smallProfile(), 7)
 	if err != nil {
@@ -89,9 +103,10 @@ func TestConcurrentProbeRetuneRace(t *testing.T) {
 		workers.Add(1)
 		go func(slot, src int) {
 			defer workers.Done()
+			sc := &probeScratch{vals: make([]tuple.Value, op.spec.NumAttrs())}
 			for _, tp := range byStream[src] {
 				comp := tuple.NewComposite(q.NumStreams(), tp)
-				op.probe(comp)
+				op.probe(comp, sc)
 				probed[slot]++
 			}
 		}(i, s)

@@ -180,3 +180,70 @@ func TestOutOfOrderExpiryIsExact(t *testing.T) {
 		t.Fatal("young tuple lost by out-of-order expiry")
 	}
 }
+
+// TestShardedStoreMatchesFlat drives two identical STeMs — one over the
+// flat BitStore, one over the lock-striped ShardedBitStore — through the
+// same inserts, probes and expiries, asserting identical matches,
+// candidates, index stats and clock charges. The sharded backend is a
+// drop-in for an operator's state: same IC semantics, same cost
+// accounting, just concurrency-safe.
+func TestShardedStoreMatchesFlat(t *testing.T) {
+	q := query.FourWay(60)
+	spec := q.States[1]
+	attrMap := make([]int, spec.NumAttrs())
+	for i, ja := range spec.JAS {
+		attrMap[i] = ja.Attr
+	}
+	flat, err := bitindex.New(bitindex.Uniform(spec.NumAttrs(), 12), attrMap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := bitindex.NewSharded(bitindex.Uniform(spec.NumAttrs(), 12), attrMap, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clockF := sim.NewClock(1 << 30)
+	clockS := sim.NewClock(1 << 30)
+	sf := New(spec, storage.NewBitStore(flat), nil, 60, sim.DefaultCosts(), clockF)
+	ss := New(spec, storage.NewShardedBitStore(sharded), nil, 60, sim.DefaultCosts(), clockS)
+
+	mk := func(seq uint64, ts int64) *tuple.Tuple {
+		return tuple.New(1, seq, ts, []tuple.Value{
+			tuple.Value(seq % 7), tuple.Value(seq % 5), tuple.Value(seq % 3),
+		})
+	}
+	for i := 0; i < 400; i++ {
+		tp := mk(uint64(i), int64(i/4))
+		sf.Insert(tp)
+		ss.Insert(tp)
+		if i%37 == 0 {
+			sf.Expire(int64(i / 4))
+			ss.Expire(int64(i / 4))
+		}
+	}
+	if sf.Len() != ss.Len() {
+		t.Fatalf("Len: flat %d, sharded %d", sf.Len(), ss.Len())
+	}
+
+	for probe := 0; probe < 50; probe++ {
+		attrs := []tuple.Value{
+			tuple.Value(probe % 7), tuple.Value(probe % 5), tuple.Value(probe % 3),
+		}
+		comp := tuple.NewComposite(4, tuple.New(0, uint64(1000+probe), 50, attrs))
+		rf := sf.Probe(comp)
+		rs := ss.Probe(comp)
+		if len(rf.Matches) != len(rs.Matches) {
+			t.Fatalf("probe %d: matches flat %d, sharded %d", probe, len(rf.Matches), len(rs.Matches))
+		}
+		if rf.Candidates != rs.Candidates || rf.Comparisons != rs.Comparisons {
+			t.Fatalf("probe %d: candidates/comparisons flat %d/%d, sharded %d/%d",
+				probe, rf.Candidates, rf.Comparisons, rs.Candidates, rs.Comparisons)
+		}
+		if rf.Stats != rs.Stats {
+			t.Fatalf("probe %d: stats flat %+v, sharded %+v", probe, rf.Stats, rs.Stats)
+		}
+	}
+	if clockF.Spent() != clockS.Spent() {
+		t.Fatalf("clock charges diverge: flat %v, sharded %v", clockF.Spent(), clockS.Spent())
+	}
+}
