@@ -5,7 +5,7 @@
 GO ?= go
 AMRIVET := bin/amrivet
 
-.PHONY: all build vet lint fixtures test race chaos bench-smoke bench-json ci clean
+.PHONY: all build vet lint fixtures test race chaos bench-smoke bench-json bench-contention ci clean
 
 all: build
 
@@ -20,8 +20,9 @@ $(AMRIVET): FORCE
 
 # lint runs the repo's own static-analysis suite (see internal/analysis):
 # mutexguard, bitbudget, wallclock, detrand, atomicmix, lockorder,
-# chanprotocol, hotalloc, errdrop. The second invocation is the self-check:
-# the analyzers must come up clean over their own implementation.
+# chanprotocol, hotalloc, errdrop, lockhold, critescape, waitleak,
+# falseshare. The second invocation is the self-check: the analyzers must
+# come up clean over their own implementation.
 # (`go build` in the build target warms the export data `go list -export`
 # resolves imports from, so the amrivet runs hit the build cache.)
 lint: vet $(AMRIVET)
@@ -52,13 +53,21 @@ chaos:
 # bench-smoke proves the hot-path benchmarks still run (1 iteration each);
 # it is a compile-and-execute gate, not a performance measurement.
 bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/bitindex ./internal/hh ./internal/stem ./internal/assess
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/bitindex ./internal/hh ./internal/stem ./internal/assess ./internal/bench
 
 # bench-json regenerates the committed sharded-index worker-sweep artifact
 # (full horizon; -check enforces the digest-equality and >=2x-at-8-workers
 # acceptance bars plus the "flat never beats sharded" dominance).
 bench-json:
 	$(GO) run ./cmd/amribench -json -check -out BENCH_shard.json
+
+# bench-contention regenerates the committed operator-lock contention A/B
+# (held-lock probe baseline vs the lock-free epoch probe path at 8 workers
+# x 8 shards, mutex wait cycles via runtime.SetMutexProfileFraction(1));
+# the embedded Check enforces digest equality and a >=50% wait-cycle
+# reduction before the artifact is written.
+bench-contention:
+	$(GO) test -run TestWriteContentionArtifact -count=1 ./internal/bench -contention-out $(CURDIR)/BENCH_contention.json
 
 ci: build lint test race
 

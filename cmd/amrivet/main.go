@@ -1,29 +1,40 @@
 // Command amrivet runs AMRI's project-specific static-analysis suite over
-// the module. Five per-package analyzers check lock discipline around
+// the module. Six per-package analyzers check lock discipline around
 // shared index state (mutexguard), the 64-bit IC budget (bitbudget),
 // wall-clock hygiene in hot paths (wallclock), seeded determinism
-// (detrand) and consistent atomic access (atomicmix); four interprocedural
-// analyzers built on the cross-package facts store and call graph check
-// global mutex acquisition order (lockorder), channel ownership protocol
-// (chanprotocol), allocation-free probe hot paths (hotalloc) and discarded
-// error returns (errdrop). It is the third link in the CI gate chain:
+// (detrand), consistent atomic access (atomicmix) and references escaping
+// critical sections (critescape); seven interprocedural analyzers built on
+// the cross-package facts store and call graph check global mutex
+// acquisition order (lockorder), channel ownership protocol
+// (chanprotocol), allocation-free probe hot paths (hotalloc), discarded
+// error returns (errdrop), costly work inside hot-path critical sections
+// (lockhold), leaked goroutines blocked forever (waitleak) and
+// cache-line-sharing contended fields (falseshare). It is the third link
+// in the CI gate chain:
 //
 //	go build ./...  →  go vet ./...  →  amrivet ./...  →  go test -race ./...
 //
 // Usage:
 //
-//	amrivet [-run name,name] [-list] [-json] [packages]
+//	amrivet [-run name,name] [-list] [-json] [-baseline file] [packages]
 //
 // Packages default to ./... relative to the current directory. With -json
 // each diagnostic is emitted as one JSON object per line on stdout
-// (analyzer, file, line, col, message) for tooling to consume. The exit
-// status is exitFindings (1) when any diagnostic survives suppression and
-// exitError (2) on usage, load or type-check errors, so CI can distinguish
-// "the code has findings" from "the analysis never ran". Findings can be
-// suppressed with an in-source directive:
+// (analyzer, file, line, col, message) for tooling to consume; the output
+// is sorted by (file, line, col, analyzer) after path relativization, so
+// two runs over the same tree diff cleanly. With -baseline, findings
+// recorded in the given file (itself captured with -json) are suppressed —
+// matched by analyzer, file and message, deliberately not line/col, so
+// unrelated edits do not invalidate the baseline — and only new findings
+// fail the run. The exit status is exitFindings (1) when any diagnostic
+// survives suppression and exitError (2) on usage, load or type-check
+// errors, so CI can distinguish "the code has findings" from "the
+// analysis never ran". Findings can be suppressed with an in-source
+// directive:
 //
-//	//amrivet:ignore <reason>            (all analyzers, this/next line)
-//	//amrivet:ignore[wallclock] <reason> (one analyzer only)
+//	//amrivet:ignore <reason>             (all analyzers, this/next line)
+//	//amrivet:ignore[wallclock] <reason>  (one analyzer only)
+//	//amrivet:lockhold <reason>           (shorthand for ignore[lockhold])
 package main
 
 import (
@@ -32,6 +43,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"amri/internal/analysis"
@@ -64,9 +76,10 @@ func run(args []string, stdout, stderr *os.File) int {
 		runList  = fs.String("run", "", "comma-separated analyzer names to run (default all)")
 		listOnly = fs.Bool("list", false, "list analyzers and exit")
 		jsonOut  = fs.Bool("json", false, "emit one JSON diagnostic per line instead of text")
+		baseline = fs.String("baseline", "", "suppress findings recorded in this file (captured with -json); fail only on new ones")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: amrivet [-run name,name] [-list] [-json] [packages]")
+		fmt.Fprintln(fs.Output(), "usage: amrivet [-run name,name] [-list] [-json] [-baseline file] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -101,14 +114,48 @@ func run(args []string, stdout, stderr *os.File) int {
 		return exitError
 	}
 
+	// Relativize paths first, then re-sort: RunAll's order is by absolute
+	// filename, and relativization can reorder (the module root sorts
+	// differently from its parents), so the -json stream would not be
+	// diff-stable without a second pass.
 	cwd, _ := os.Getwd()
+	for i := range diags {
+		if cwd == "" {
+			break
+		}
+		if rel, err := filepath.Rel(cwd, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].Pos.Filename = rel
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+
+	var known map[string]int
+	if *baseline != "" {
+		known, err = loadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintf(stderr, "amrivet: %v\n", err)
+			return exitError
+		}
+	}
+
 	enc := json.NewEncoder(stdout)
 	total := 0
 	for _, d := range diags {
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-				d.Pos.Filename = rel
-			}
+		if key := baselineKey(d.Analyzer, d.Pos.Filename, d.Message); known[key] > 0 {
+			known[key]--
+			continue
 		}
 		if *jsonOut {
 			if err := enc.Encode(jsonDiagnostic{
@@ -131,6 +178,35 @@ func run(args []string, stdout, stderr *os.File) int {
 		return exitFindings
 	}
 	return exitClean
+}
+
+// baselineKey identifies a finding for baseline matching: analyzer, file
+// and message, deliberately not line/col, so edits elsewhere in a file do
+// not invalidate its recorded findings.
+func baselineKey(analyzer, file, message string) string {
+	return analyzer + "\x00" + file + "\x00" + message
+}
+
+// loadBaseline parses a recorded -json finding stream into a multiset of
+// baseline keys: each recorded finding forgives exactly one live finding.
+func loadBaseline(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %v", err)
+	}
+	known := make(map[string]int)
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var d jsonDiagnostic
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			return nil, fmt.Errorf("baseline %s:%d: %v", path, i+1, err)
+		}
+		known[baselineKey(d.Analyzer, d.File, d.Message)]++
+	}
+	return known, nil
 }
 
 func selectAnalyzers(all []*analysis.Analyzer, names string) []*analysis.Analyzer {

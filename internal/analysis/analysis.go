@@ -163,41 +163,56 @@ func (d ignoreDirective) covers(analyzer string) bool {
 	return false
 }
 
-var ignoreRE = regexp.MustCompile(`^//\s*amrivet:ignore(?:\[([\w,\s-]+)\])?\s*(.*)$`)
+var (
+	ignoreRE = regexp.MustCompile(`^//\s*amrivet:ignore(?:\[([\w,\s-]+)\])?\s*(.*)$`)
+	// amrivet:lockhold <reason> is sugar for amrivet:ignore[lockhold]: it
+	// accepts one deliberate costly-under-lock operation, with the reason
+	// documenting why the hold is sound.
+	lockholdRE = regexp.MustCompile(`^//\s*amrivet:lockhold\s*(.*)$`)
+)
 
-// parseIgnores scans a file's comments for amrivet:ignore directives,
-// keyed by line number. Malformed directives (no reason) are reported as
-// diagnostics so the suppression mechanism cannot rot silently.
+// parseIgnores scans a file's comments for amrivet:ignore and
+// amrivet:lockhold directives, keyed by line number. Malformed directives
+// (no reason) are reported as diagnostics so the suppression mechanism
+// cannot rot silently.
 func parseIgnores(fset *token.FileSet, files []*ast.File, report func(Diagnostic)) map[string]map[int]ignoreDirective {
 	out := make(map[string]map[int]ignoreDirective)
+	record := func(c *ast.Comment, d ignoreDirective, what string) {
+		pos := fset.Position(c.Pos())
+		if d.reason == "" {
+			report(Diagnostic{
+				Analyzer: "amrivet",
+				Pos:      pos,
+				Message:  fmt.Sprintf("amrivet:%s directive is missing a reason", what),
+			})
+			return
+		}
+		lines, ok := out[pos.Filename]
+		if !ok {
+			lines = make(map[int]ignoreDirective)
+			out[pos.Filename] = lines
+		}
+		lines[pos.Line] = d
+	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				m := ignoreRE.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				d := ignoreDirective{reason: strings.TrimSpace(m[2])}
-				if m[1] != "" {
-					for _, name := range strings.Split(m[1], ",") {
-						d.analyzers = append(d.analyzers, strings.TrimSpace(name))
+				if m := ignoreRE.FindStringSubmatch(c.Text); m != nil {
+					d := ignoreDirective{reason: strings.TrimSpace(m[2])}
+					if m[1] != "" {
+						for _, name := range strings.Split(m[1], ",") {
+							d.analyzers = append(d.analyzers, strings.TrimSpace(name))
+						}
 					}
-				}
-				pos := fset.Position(c.Pos())
-				if d.reason == "" {
-					report(Diagnostic{
-						Analyzer: "amrivet",
-						Pos:      pos,
-						Message:  "amrivet:ignore directive is missing a reason",
-					})
+					record(c, d, "ignore")
 					continue
 				}
-				lines, ok := out[pos.Filename]
-				if !ok {
-					lines = make(map[int]ignoreDirective)
-					out[pos.Filename] = lines
+				if m := lockholdRE.FindStringSubmatch(c.Text); m != nil {
+					record(c, ignoreDirective{
+						analyzers: []string{"lockhold"},
+						reason:    strings.TrimSpace(m[1]),
+					}, "lockhold")
 				}
-				lines[pos.Line] = d
 			}
 		}
 	}
@@ -399,6 +414,10 @@ func Analyzers() []*Analyzer {
 		ChanProtocol,
 		HotAlloc,
 		ErrDrop,
+		LockHold,
+		CritEscape,
+		WaitLeak,
+		FalseShare,
 	}
 }
 

@@ -73,6 +73,7 @@ func TestAnalyzersRegistered(t *testing.T) {
 	want := []string{
 		"mutexguard", "bitbudget", "wallclock", "detrand", "atomicmix",
 		"lockorder", "chanprotocol", "hotalloc", "errdrop",
+		"lockhold", "critescape", "waitleak", "falseshare",
 	}
 	got := Analyzers()
 	if len(got) != len(want) {

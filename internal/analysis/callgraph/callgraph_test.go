@@ -86,6 +86,62 @@ func TestStaticAndInterfaceEdges(t *testing.T) {
 	}
 }
 
+const funcValueSrc = `package q
+
+func target() {}
+
+type holder struct{ fn func() }
+
+func store() *holder { return &holder{fn: target} }
+
+func invoke(h *holder) { h.fn() }
+`
+
+// TestFunctionValueDispatchUnmodelled pins the graph's documented blind
+// spot: storing a function in a field is a reference, not a call, and
+// invoking it through the function value resolves to no declaration —
+// neither site produces an edge to target. Analyzers built on the graph
+// (lockorder, lockhold) inherit this: orderings that exist only inside a
+// stored closure cannot produce phantom cycles, and costs behind a
+// function value are invisible. The lockorder fixture's closure.go is the
+// analyzer-level twin of this assertion.
+func TestFunctionValueDispatchUnmodelled(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "q.go", funcValueSrc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var conf types.Config
+	pkg, err := conf.Check("example.com/q", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder()
+	b.AddPackage(fset, []*ast.File{f}, info, pkg)
+	g := b.Graph()
+
+	if n := g.Nodes["example.com/q.target"]; n == nil {
+		t.Fatal("target missing from the graph")
+	}
+	if hasCallee(g, "example.com/q.store", "example.com/q.target") {
+		t.Errorf("store -> target edge exists: a stored function reference must not count as a call; callees: %v",
+			g.Callees("example.com/q.store"))
+	}
+	if hasCallee(g, "example.com/q.invoke", "example.com/q.target") {
+		t.Errorf("invoke -> target edge exists: function-value dispatch must stay unmodelled; callees: %v",
+			g.Callees("example.com/q.invoke"))
+	}
+	if reach := g.Reachable([]string{"example.com/q.invoke"}, nil); reach["example.com/q.target"] {
+		t.Error("target reachable from invoke through a function value")
+	}
+}
+
 func TestReachableWithStopBoundary(t *testing.T) {
 	g := buildTestGraph(t)
 

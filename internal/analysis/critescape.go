@@ -1,0 +1,345 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"amri/internal/analysis/cfg"
+	"amri/internal/analysis/facts"
+)
+
+// CritEscape flags values that escape a critical section by reference: a
+// slice, map, pointer or channel read out of lock-guarded state while the
+// lock is held, then returned or stored somewhere the lock no longer
+// protects. This is the static root of the "probes hold the operator lock
+// for reading" problem — the tempting fix for a long read-side hold is to
+// grab an internal reference under the lock and use it after Unlock, which
+// trades a visible hold for an invisible data race.
+//
+// The analysis is intraprocedural and runs the lockorder may-held dataflow
+// alongside a taint lattice: while lock class C (acquired through owner
+// expression o.mu) is held, an assignment that reads a reference-typed
+// selector/index chain rooted at o taints the destination local with C.
+// Escapes reported:
+//
+//   - returning a tainted local, or returning an owner-rooted reference
+//     directly (the deferred-unlock form: the alias outlives the section)
+//   - storing a tainted local into a non-local, non-owner destination
+//     (package variable, field of another object)
+//   - sending a tainted local on a channel
+//
+// Call results are deliberately not tainted (a method called under a lock
+// that returns a fresh copy is the sanctioned idiom), and type parameters
+// are treated as non-reference (generic containers hand elements out by
+// value). Re-assigning a tainted local from a clean source clears its
+// taint. Suppress a deliberate hand-off with //amrivet:ignore[critescape].
+var CritEscape = &Analyzer{
+	Name: "critescape",
+	Doc:  "reports lock-guarded state escaping a critical section by reference (returned or stored for use after unlock)",
+	Run:  runCritEscape,
+}
+
+// escState is the combined lattice: the may-held lock set plus the taint
+// map local object ID → lock class whose guarded state it aliases.
+type escState struct {
+	held   lockSet
+	taints map[string]string
+}
+
+func copyEscState(in escState) escState {
+	out := escState{held: copyLockSet(in.held), taints: make(map[string]string, len(in.taints))}
+	for k, v := range in.taints {
+		out.taints[k] = v
+	}
+	return out
+}
+
+func runCritEscape(pass *Pass) {
+	forEachFuncDecl(pass, func(fd *ast.FuncDecl, obj *types.Func) {
+		checkCritEscapeFunc(pass, fd)
+	})
+}
+
+func checkCritEscapeFunc(pass *Pass, fd *ast.FuncDecl) {
+	owners := lockOwnersOf(pass, fd)
+	if len(owners) == 0 {
+		return
+	}
+	g := cfg.Build(fd.Body)
+	flow := cfg.Flow[escState]{
+		Entry:  escState{held: lockSet{}, taints: map[string]string{}},
+		Bottom: func() escState { return escState{held: lockSet{}, taints: map[string]string{}} },
+		Join: func(a, b escState) escState {
+			out := copyEscState(a)
+			for k := range b.held {
+				out.held[k] = true
+			}
+			for k, v := range b.taints {
+				out.taints[k] = v
+			}
+			return out
+		},
+		Equal: func(a, b escState) bool {
+			if len(a.held) != len(b.held) || len(a.taints) != len(b.taints) {
+				return false
+			}
+			for k := range a.held {
+				if !b.held[k] {
+					return false
+				}
+			}
+			for k, v := range a.taints {
+				if b.taints[k] != v {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(b *cfg.Block, in escState) escState {
+			out := copyEscState(in)
+			for _, s := range b.Stmts {
+				escTransferStmt(pass, s, owners, out, nil)
+			}
+			return out
+		},
+	}
+	res := cfg.Forward(g, flow)
+
+	for _, b := range g.Blocks {
+		state := copyEscState(res.In[b])
+		for _, s := range b.Stmts {
+			escTransferStmt(pass, s, owners, state, func(pos token.Pos, format string, args ...any) {
+				pass.Reportf(pos, format, args...)
+			})
+		}
+	}
+}
+
+// lockOwnersOf maps each lock class acquired in fd to the objects its
+// acquisitions are rooted at (the o of o.mu.Lock()).
+func lockOwnersOf(pass *Pass, fd *ast.FuncDecl) map[string]map[types.Object]bool {
+	owners := make(map[string]map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			class := mutexClass(pass, sel.X)
+			if class == "" {
+				return true
+			}
+			if obj := rootObject(pass, sel.X); obj != nil {
+				if owners[class] == nil {
+					owners[class] = make(map[types.Object]bool)
+				}
+				owners[class][obj] = true
+			}
+		}
+		return true
+	})
+	return owners
+}
+
+// rootObject resolves the base identifier of a selector/index chain.
+func rootObject(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			if obj := pass.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return pass.Info.Defs[x]
+		default:
+			return nil
+		}
+	}
+}
+
+// guardClassOf returns the held lock class whose owner roots e, when e is a
+// reference-typed selector/index chain into guarded state — "" otherwise.
+// A bare owner identifier does not count: passing o itself around is not an
+// escape of o's guarded internals.
+func guardClassOf(pass *Pass, e ast.Expr, owners map[string]map[types.Object]bool, held lockSet) string {
+	if _, isIdent := e.(*ast.Ident); isIdent {
+		return ""
+	}
+	if !isRefType(exprType(pass, e)) {
+		return ""
+	}
+	obj := rootObject(pass, e)
+	if obj == nil {
+		return ""
+	}
+	for class := range held {
+		if owners[class][obj] {
+			return class
+		}
+	}
+	return ""
+}
+
+func exprType(pass *Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// isRefType reports whether t aliases underlying storage when copied.
+func isRefType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, isParam := t.(*types.TypeParam); isParam {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// taintKeyOf returns the taint-map key for a local identifier target.
+func taintKeyOf(pass *Pass, e ast.Expr) (string, types.Object) {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return "", nil
+	}
+	obj := pass.Info.Defs[id]
+	if obj == nil {
+		obj = pass.Info.Uses[id]
+	}
+	if v, ok := obj.(*types.Var); ok && !v.IsField() && v.Pkg() != nil && v.Parent() != v.Pkg().Scope() {
+		return facts.ObjectID(obj), obj
+	}
+	return "", nil
+}
+
+// taintOf returns the lock class e carries: either a tainted local or a
+// direct owner-rooted reference under a held lock.
+func taintOf(pass *Pass, e ast.Expr, owners map[string]map[types.Object]bool, st escState) string {
+	if key, _ := taintKeyOf(pass, e); key != "" {
+		if class, ok := st.taints[key]; ok {
+			return class
+		}
+	}
+	return guardClassOf(pass, e, owners, st.held)
+}
+
+// escTransferStmt applies one statement's lock, taint and escape effects;
+// when report is non-nil, escapes are diagnosed.
+func escTransferStmt(pass *Pass, s ast.Stmt, owners map[string]map[types.Object]bool, st escState, report func(pos token.Pos, format string, args ...any)) {
+	// Lock effects first: an acquire at the top of the statement guards the
+	// reads inside it (the common `mu.Lock()` statement stands alone, so
+	// ordering within a statement is immaterial in practice).
+	for _, op := range lockOpsOf(pass, s) {
+		switch {
+		case op.acquire:
+			st.held[op.class] = true
+		case op.release:
+			delete(st.held, op.class)
+		}
+	}
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				var rhs ast.Expr
+				if len(x.Rhs) == len(x.Lhs) {
+					rhs = x.Rhs[i]
+				} else if len(x.Rhs) == 1 {
+					rhs = x.Rhs[0] // multi-value: taint every target alike
+				}
+				if rhs == nil {
+					continue
+				}
+				class := taintOf(pass, rhs, owners, st)
+				if key, _ := taintKeyOf(pass, lhs); key != "" {
+					if class != "" {
+						st.taints[key] = class
+					} else {
+						delete(st.taints, key)
+					}
+					continue
+				}
+				if class == "" {
+					continue
+				}
+				// Storing into the owner's own state keeps the reference
+				// inside the section; anything else leaks it.
+				if lhsObj := rootObject(pass, x.Lhs[i]); lhsObj != nil && owners[class][lhsObj] {
+					continue
+				}
+				if report != nil {
+					report(x.Pos(),
+						"reference to state guarded by %s stored outside the critical section (aliases the guarded %s after unlock)",
+						shortLock(class), refKind(exprType(pass, rhs)))
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				class := taintOf(pass, r, owners, st)
+				if class == "" {
+					continue
+				}
+				if report != nil {
+					report(r.Pos(),
+						"reference to state guarded by %s escapes the critical section via return (caller aliases the guarded %s after unlock); return a copy instead",
+						shortLock(class), refKind(exprType(pass, r)))
+				}
+			}
+		case *ast.SendStmt:
+			class := taintOf(pass, x.Value, owners, st)
+			if class == "" {
+				return true
+			}
+			if report != nil {
+				report(x.Arrow,
+					"reference to state guarded by %s escapes the critical section via channel send",
+					shortLock(class))
+			}
+		}
+		return true
+	})
+}
+
+// refKind names a reference type's flavour for diagnostics.
+func refKind(t types.Type) string {
+	if t == nil {
+		return "storage"
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice storage"
+	case *types.Map:
+		return "map storage"
+	case *types.Pointer:
+		return "pointee"
+	case *types.Chan:
+		return "channel"
+	}
+	return "storage"
+}

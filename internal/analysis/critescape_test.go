@@ -1,0 +1,10 @@
+package analysis
+
+import "testing"
+
+func TestCritEscapeFixture(t *testing.T) {
+	diags := runFixture(t, CritEscape, "critescape")
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics: the analyzer catches nothing")
+	}
+}

@@ -52,6 +52,18 @@ func init() {
 // directives and exports the matching facts. A directive without a reason
 // is reported (mirroring amrivet:ignore's mandatory-reason rule).
 func exportPathDirectives(pass *Pass, fd *ast.FuncDecl) {
+	exportPathDirectivesImpl(pass, fd, true)
+}
+
+// exportPathDirectivesQuiet exports the facts without reporting malformed
+// directives — for analyzers that consume hotpath facts alongside hotalloc
+// (which owns the missing-reason diagnostic) but must also be
+// self-contained when run alone.
+func exportPathDirectivesQuiet(pass *Pass, fd *ast.FuncDecl) {
+	exportPathDirectivesImpl(pass, fd, false)
+}
+
+func exportPathDirectivesImpl(pass *Pass, fd *ast.FuncDecl, report bool) {
 	if fd.Doc == nil {
 		return
 	}
@@ -63,7 +75,9 @@ func exportPathDirectives(pass *Pass, fd *ast.FuncDecl) {
 		if m := hotpathRE.FindStringSubmatch(c.Text); m != nil {
 			reason := strings.TrimSpace(m[1])
 			if reason == "" {
-				pass.Reportf(c.Pos(), "amrivet:hotpath directive is missing a reason")
+				if report {
+					pass.Reportf(c.Pos(), "amrivet:hotpath directive is missing a reason")
+				}
 				continue
 			}
 			pass.ExportFact(obj, &HotPathFact{Reason: reason})
@@ -71,7 +85,9 @@ func exportPathDirectives(pass *Pass, fd *ast.FuncDecl) {
 		if m := coldpathRE.FindStringSubmatch(c.Text); m != nil {
 			reason := strings.TrimSpace(m[1])
 			if reason == "" {
-				pass.Reportf(c.Pos(), "amrivet:coldpath directive is missing a reason")
+				if report {
+					pass.Reportf(c.Pos(), "amrivet:coldpath directive is missing a reason")
+				}
 				continue
 			}
 			pass.ExportFact(obj, &ColdPathFact{Reason: reason})

@@ -1,0 +1,536 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"amri/internal/analysis/facts"
+)
+
+// FalseShare finds cache-line false sharing before the profiler does:
+// contended fields — sync.Mutex/RWMutex and sync/atomic types — packed
+// into the same 64-byte cache line of one struct but written from distinct
+// goroutine contexts, and slices/arrays whose element type contains a
+// contended field without being padded to a cache-line multiple (adjacent
+// elements then share lines: the shard-header problem).
+//
+// Layout is computed with the gc/amd64 size rules and a 64-byte line — the
+// reference geometry the benchmarks run on; other platforms differ only in
+// being more or less forgiving of the same layout. A goroutine context is
+// a spawn root: a function started by a go statement (or a spawned
+// function literal, which is its own context). A function's contexts are
+// the spawn roots that reach it through the call graph, plus the implicit
+// caller context when it is also callable from un-spawned code. Two fields
+// only false-share if distinct contexts write them concurrently, so:
+//
+//   - fields written by exactly the same set of functions are exempt (they
+//     move together under one writer at a time)
+//   - a pair is reported only when its writers span two different contexts
+//
+// Struct-typed fields are not descended into for the same-line rule — a
+// wrapper struct padded to 64 bytes is precisely the sanctioned fix — but
+// slice/array element types are searched recursively for the padding rule.
+// Suppress a deliberate layout with //amrivet:ignore[falseshare].
+var FalseShare = &Analyzer{
+	Name:   "falseshare",
+	Doc:    "reports contended fields sharing a cache line across goroutine contexts, and unpadded slices of contended structs",
+	Run:    runFalseShare,
+	Finish: finishFalseShare,
+}
+
+// cacheLineSize is the reference cache-line geometry (gc/amd64).
+const cacheLineSize = 64
+
+// falseShareSizes computes field offsets under the reference platform.
+var falseShareSizes = types.SizesFor("gc", "amd64")
+
+func runFalseShare(pass *Pass) {
+	// Spawn roots feed the goroutine-context analysis; exporting them here
+	// (as well as in waitleak) keeps the analyzer self-contained when run
+	// alone. Identical facts overwrite harmlessly.
+	forEachFuncDecl(pass, func(fd *ast.FuncDecl, obj *types.Func) {
+		if roots := collectSpawnRoots(pass, fd); len(roots) > 0 {
+			pass.ExportFact(obj, &GoSpawnFact{Roots: roots})
+		}
+	})
+}
+
+// isContendedType reports whether t itself is a synchronization type whose
+// memory is written on every operation.
+func isContendedType(t types.Type) bool {
+	n := namedType(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "sync":
+		return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+	case "sync/atomic":
+		return true
+	}
+	return false
+}
+
+// isContendedField treats direct sync/atomic fields and arrays of them as
+// contended; struct wrappers are deliberately opaque (padding idiom).
+func isContendedField(t types.Type) bool {
+	if isContendedType(t) {
+		return true
+	}
+	if arr, ok := t.Underlying().(*types.Array); ok {
+		return isContendedField(arr.Elem())
+	}
+	return false
+}
+
+// containsContended searches t recursively (structs, arrays) for a
+// contended type — the slice-element padding rule.
+func containsContended(t types.Type) bool {
+	if isContendedType(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsContended(u.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsContended(u.Elem())
+	}
+	return false
+}
+
+// atomicWriteMethods are the mutating methods of sync and sync/atomic
+// types; Load/RLocker and TryLock failures read, everything else writes.
+var atomicWriteMethods = map[string]bool{
+	"Add": true, "Store": true, "Swap": true, "CompareAndSwap": true,
+	"Or": true, "And": true,
+	"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true,
+}
+
+// fieldWrite is one write to a contended field.
+type fieldWrite struct {
+	field  string // facts.FieldID
+	writer string // function ID, possibly with a $go suffix for spawned literals
+}
+
+// contendedFieldID returns the FieldID when e is a FieldVal selector of a
+// contended field.
+func contendedFieldID(info *types.Info, e ast.Expr) string {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	selection := info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return ""
+	}
+	v, ok := selection.Obj().(*types.Var)
+	if !ok || !isContendedField(v.Type()) {
+		return ""
+	}
+	owner := namedType(selection.Recv())
+	if owner == nil {
+		return ""
+	}
+	return facts.FieldID(owner, sel.Sel.Name)
+}
+
+// collectFieldWrites walks one function body attributing contended-field
+// writes to writerID; spawned literals become their own writer context.
+func collectFieldWrites(fset *token.FileSet, info *types.Info, body ast.Node, writerID string, out *[]fieldWrite) {
+	spawned := make(map[*ast.FuncLit]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				spawned[lit] = true
+			}
+		}
+		return true
+	})
+	var walk func(node ast.Node, writer string)
+	walk = func(node ast.Node, writer string) {
+		ast.Inspect(node, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				if x == node {
+					return true
+				}
+				w := writer
+				if spawned[x] {
+					w = fmt.Sprintf("%s$go%d", writerID, fset.Position(x.Pos()).Line)
+				}
+				walk(x.Body, w)
+				return false
+			case *ast.CallExpr:
+				sel, ok := x.Fun.(*ast.SelectorExpr)
+				if !ok || !atomicWriteMethods[sel.Sel.Name] {
+					return true
+				}
+				if id := contendedFieldID(info, sel.X); id != "" {
+					*out = append(*out, fieldWrite{field: id, writer: writer})
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					if id := contendedFieldID(info, lhs); id != "" {
+						*out = append(*out, fieldWrite{field: id, writer: writer})
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body, writerID)
+}
+
+// structLayout is one named struct's contended-field layout.
+type structLayout struct {
+	name   string
+	fields []layoutField
+}
+
+type layoutField struct {
+	name      string
+	id        string
+	offset    int64
+	size      int64
+	contended bool
+	pos       token.Position
+}
+
+// finishFalseShare computes layouts, writer contexts and the two rules.
+func finishFalseShare(s *Session) {
+	// Field writes per function, from every loaded package.
+	var writes []fieldWrite
+	for _, pkg := range s.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				collectFieldWrites(pkg.Fset, pkg.Info, fd.Body, facts.ObjectID(obj), &writes)
+			}
+		}
+	}
+	writersOf := make(map[string]map[string]bool) // fieldID -> writer funcs
+	for _, w := range writes {
+		if writersOf[w.field] == nil {
+			writersOf[w.field] = make(map[string]bool)
+		}
+		writersOf[w.field][w.writer] = true
+	}
+
+	ctxOf := goroutineContexts(s, writersOf)
+
+	// Rule 1: same cache line, distinct writer contexts.
+	for _, pkg := range s.Packages {
+		for _, layout := range structLayouts(pkg) {
+			reportSharedLines(s, layout, writersOf, ctxOf)
+		}
+	}
+
+	// Rule 2: slices/arrays of contended element types not padded to a
+	// cache-line multiple.
+	for _, pkg := range s.Packages {
+		reportUnpaddedElems(s, pkg)
+	}
+}
+
+// goroutineContexts maps each writer function to the spawn roots that can
+// run it. Spawned-literal writers (the $go forms) are their own context.
+func goroutineContexts(s *Session, writersOf map[string]map[string]bool) map[string]map[string]bool {
+	var roots []string
+	rootSeen := make(map[string]bool)
+	for _, id := range s.Facts.Objects((&GoSpawnFact{}).FactName()) {
+		var f GoSpawnFact
+		if !s.Facts.Lookup(id, &f) {
+			continue
+		}
+		for _, r := range f.Roots {
+			if !rootSeen[r] {
+				rootSeen[r] = true
+				roots = append(roots, r)
+			}
+		}
+	}
+	sort.Strings(roots)
+
+	inAnyCone := make(map[string]bool)
+	cones := make(map[string]map[string]bool, len(roots))
+	for _, r := range roots {
+		cone := s.Graph.Reachable([]string{r}, nil)
+		cones[r] = cone
+		for f := range cone {
+			inAnyCone[f] = true
+		}
+	}
+	// Reverse edges, to detect functions also callable from un-spawned code.
+	callersOf := make(map[string][]string)
+	for id := range s.Graph.Nodes {
+		for _, callee := range s.Graph.Callees(id) {
+			callersOf[callee] = append(callersOf[callee], id)
+		}
+	}
+
+	out := make(map[string]map[string]bool)
+	for _, byWriter := range writersOf {
+		for w := range byWriter {
+			if out[w] != nil {
+				continue
+			}
+			ctx := make(map[string]bool)
+			if i := strings.Index(w, "$go"); i >= 0 {
+				ctx[w] = true // a spawned literal is its own goroutine
+				out[w] = ctx
+				continue
+			}
+			for _, r := range roots {
+				if cones[r][w] {
+					ctx[r] = true
+				}
+			}
+			if len(ctx) == 0 {
+				ctx["caller"] = true
+			} else {
+				callerReachable := len(callersOf[w]) == 0
+				for _, c := range callersOf[w] {
+					if !inAnyCone[c] {
+						callerReachable = true
+					}
+				}
+				if callerReachable {
+					ctx["caller"] = true
+				}
+			}
+			out[w] = ctx
+		}
+	}
+	return out
+}
+
+// containsTypeParam reports whether t's layout depends on a type
+// parameter; generic code has no concrete layout to check.
+func containsTypeParam(t types.Type) bool {
+	if _, ok := t.(*types.TypeParam); ok {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsTypeParam(u.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsTypeParam(u.Elem())
+	}
+	return false
+}
+
+// structLayouts computes the layouts of pkg's package-level named structs.
+func structLayouts(pkg *Package) []structLayout {
+	var out []structLayout
+	scope := pkg.Types.Scope()
+	names := scope.Names()
+	sort.Strings(names)
+	for _, name := range names {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		// Generic structs have no concrete layout until instantiated; the
+		// sizes oracle rejects type-parameter fields outright.
+		if named.TypeParams().Len() > 0 {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok || st.NumFields() == 0 {
+			continue
+		}
+		vars := make([]*types.Var, st.NumFields())
+		for i := range vars {
+			vars[i] = st.Field(i)
+		}
+		offsets := falseShareSizes.Offsetsof(vars)
+		layout := structLayout{name: facts.ObjectID(tn)}
+		for i, v := range vars {
+			layout.fields = append(layout.fields, layoutField{
+				name:      v.Name(),
+				id:        facts.FieldID(named, v.Name()),
+				offset:    offsets[i],
+				size:      falseShareSizes.Sizeof(v.Type()),
+				contended: isContendedField(v.Type()),
+				pos:       pkg.Fset.Position(v.Pos()),
+			})
+		}
+		out = append(out, layout)
+	}
+	return out
+}
+
+// reportSharedLines applies rule 1 to one struct: contended fields in the
+// same cache line written from distinct goroutine contexts. One diagnostic
+// per offending cache line, at the second field of the first bad pair.
+func reportSharedLines(s *Session, layout structLayout, writersOf, ctxOf map[string]map[string]bool) {
+	byLine := make(map[int64][]layoutField)
+	for _, f := range layout.fields {
+		if !f.contended {
+			continue
+		}
+		if len(writersOf[f.id]) == 0 {
+			continue // never written in the loaded corpus
+		}
+		byLine[f.offset/cacheLineSize] = append(byLine[f.offset/cacheLineSize], f)
+	}
+	var lines []int64
+	for l := range byLine {
+		lines = append(lines, l)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, l := range lines {
+		group := byLine[l]
+		if len(group) < 2 {
+			continue
+		}
+		for i := 0; i < len(group); i++ {
+			for j := i + 1; j < len(group); j++ {
+				a, b := group[i], group[j]
+				if sameWriterSet(writersOf[a.id], writersOf[b.id]) {
+					continue // updated in lockstep by the same code
+				}
+				ra, rb, ok := distinctContexts(writersOf[a.id], writersOf[b.id], ctxOf)
+				if !ok {
+					continue
+				}
+				s.Reportf(b.pos,
+					"contended fields %s (offset %d) and %s (offset %d) of %s share a %d-byte cache line but are written from distinct goroutine contexts (%s vs %s); pad or regroup so concurrent writers do not invalidate each other's line",
+					a.name, a.offset, b.name, b.offset, shortLock(layout.name), cacheLineSize,
+					shortCtx(ra), shortCtx(rb))
+				return // one finding per struct is enough to force the fix
+			}
+		}
+	}
+}
+
+func sameWriterSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// distinctContexts finds goroutine contexts r1 ≠ r2 with r1 writing via a
+// writer of field a and r2 via a writer of field b.
+func distinctContexts(wa, wb map[string]bool, ctxOf map[string]map[string]bool) (string, string, bool) {
+	var ras, rbs []string
+	for w := range wa {
+		for r := range ctxOf[w] {
+			ras = append(ras, r)
+		}
+	}
+	for w := range wb {
+		for r := range ctxOf[w] {
+			rbs = append(rbs, r)
+		}
+	}
+	sort.Strings(ras)
+	sort.Strings(rbs)
+	for _, ra := range ras {
+		for _, rb := range rbs {
+			if ra != rb {
+				return ra, rb, true
+			}
+		}
+	}
+	return "", "", false
+}
+
+func shortCtx(r string) string {
+	if r == "caller" {
+		return "caller"
+	}
+	return shortLock(r)
+}
+
+// reportUnpaddedElems applies rule 2 to one package: make/composite
+// allocations of slices or arrays whose element type contains a contended
+// field and is not a cache-line multiple.
+func reportUnpaddedElems(s *Session, pkg *Package) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var t types.Type
+			var pos token.Pos
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				id, ok := x.Fun.(*ast.Ident)
+				if !ok || id.Name != "make" || len(x.Args) == 0 {
+					return true
+				}
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				if tv, ok := pkg.Info.Types[x.Args[0]]; ok {
+					t = tv.Type
+				}
+				pos = x.Pos()
+			case *ast.CompositeLit:
+				if tv, ok := pkg.Info.Types[x]; ok {
+					t = tv.Type
+				}
+				pos = x.Pos()
+			default:
+				return true
+			}
+			if t == nil {
+				return true
+			}
+			var elem types.Type
+			switch u := t.Underlying().(type) {
+			case *types.Slice:
+				elem = u.Elem()
+			case *types.Array:
+				if u.Len() < 2 {
+					return true
+				}
+				elem = u.Elem()
+			default:
+				return true
+			}
+			if !containsContended(elem) || containsTypeParam(elem) {
+				return true
+			}
+			size := falseShareSizes.Sizeof(elem)
+			if size <= 0 || size%cacheLineSize == 0 {
+				return true
+			}
+			s.Reportf(pkg.Fset.Position(pos),
+				"slice/array elements of type %s are %d bytes and contain contended (sync/atomic) state; adjacent elements share a %d-byte cache line — pad the element type to a cache-line multiple",
+				elem.String(), size, cacheLineSize)
+			return true
+		})
+	}
+}

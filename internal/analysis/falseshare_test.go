@@ -1,0 +1,10 @@
+package analysis
+
+import "testing"
+
+func TestFalseShareFixture(t *testing.T) {
+	diags := runFixture(t, FalseShare, "falseshare")
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics: the analyzer catches nothing")
+	}
+}

@@ -1,0 +1,430 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"amri/internal/analysis/cfg"
+	"amri/internal/analysis/facts"
+)
+
+// LockHold keeps critical sections that guard the probe hot path cheap.
+// Shahvarani & Jacobsen's multicore stream-join result is blunt: concurrent
+// index access only pays when critical sections are short and
+// allocation-free. This analyzer proves where we violate that. Per package,
+// the lockorder may-held dataflow is rerun and every statement executed
+// with a lock held is scanned for costly operations:
+//
+//   - heap allocations (make, new, &composite{}, append to a non-receiver
+//     slice — the same constructs hotalloc tracks)
+//   - channel sends and receives (scheduler round-trips under a lock)
+//   - map writes (growth can allocate and rehash mid-section)
+//   - I/O and sleeps (fmt/os/io/log/bufio calls, time.Sleep)
+//   - blocking waits (sync.WaitGroup.Wait, sync.Cond.Wait)
+//   - nested lock acquisitions (each inner class extends the outer hold)
+//
+// Each function also exports the costly-op kinds its own body performs
+// unconditionally; the whole-program phase propagates those through the
+// call graph (stopping at amrivet:coldpath boundaries, like hotalloc), so a
+// call made while holding a lock is charged with everything its transitive
+// callees do. Findings are reported only inside functions reachable from an
+// //amrivet:hotpath root — cold-side sections may hold locks across
+// whatever they like.
+//
+// A deliberate hold is accepted with a dedicated directive on the line (or
+// the line above):
+//
+//	//amrivet:lockhold <reason>
+//
+// The reason is mandatory and should say why the hold is sound (e.g. "flat
+// index demands exclusivity by contract"). Operations inside function
+// literals are not attributed to the enclosing function, and deferred calls
+// run at return, outside the section bodies analyzed here.
+var LockHold = &Analyzer{
+	Name:   "lockhold",
+	Doc:    "reports costly operations (allocation, channel ops, I/O, nested locks) performed while holding a lock on the hot path",
+	Run:    runLockHold,
+	Finish: finishLockHold,
+}
+
+// Costly-op kinds, also the vocabulary of LockHoldFact.Costs.
+const (
+	costAlloc  = "allocation"
+	costChan   = "channel operation"
+	costMap    = "map write"
+	costIO     = "I/O"
+	costWait   = "blocking wait"
+	costNested = "nested lock acquisition"
+)
+
+// HeldOp is one costly operation observed while at least one lock is held.
+type HeldOp struct {
+	Kind   string   `json:"kind"`
+	Detail string   `json:"detail"`
+	Held   []string `json:"held"`
+	File   string   `json:"file"`
+	Line   int      `json:"line"`
+	Col    int      `json:"col"`
+}
+
+// LockHoldFact is one function's contribution: the costly ops it performs
+// under its own locks, the calls it makes under locks, and the cost kinds
+// its body performs regardless of lock state (inherited by callers that
+// hold locks across a call to it).
+type LockHoldFact struct {
+	Ops   []HeldOp   `json:"ops"`
+	Calls []HeldCall `json:"calls"`
+	Costs []string   `json:"costs"`
+}
+
+// FactName implements facts.Fact.
+func (*LockHoldFact) FactName() string { return "amrivet.lockhold" }
+
+func init() { facts.Register(&LockHoldFact{}) }
+
+func runLockHold(pass *Pass) {
+	forEachFuncDecl(pass, func(fd *ast.FuncDecl, obj *types.Func) {
+		// Export hotpath/coldpath facts here as well as in hotalloc, so the
+		// analyzer is self-contained when run alone (identical facts
+		// overwrite harmlessly). Reason-less directives are reported once,
+		// by hotalloc, not twice.
+		exportPathDirectivesQuiet(pass, fd)
+		fact := analyzeLockHoldFunc(pass, fd)
+		if len(fact.Ops) == 0 && len(fact.Calls) == 0 && len(fact.Costs) == 0 {
+			return
+		}
+		pass.ExportFact(obj, fact)
+	})
+}
+
+// costOp is one costly operation found inside a single statement.
+type costOp struct {
+	kind   string
+	detail string
+	pos    token.Pos
+}
+
+// analyzeLockHoldFunc reruns the may-held lock dataflow over fd and records
+// every costly operation and call executed with a non-empty held set, plus
+// the function's unconditional cost summary.
+func analyzeLockHoldFunc(pass *Pass, fd *ast.FuncDecl) *LockHoldFact {
+	g := cfg.Build(fd.Body)
+	flow := cfg.Flow[lockSet]{
+		Entry:  lockSet{},
+		Bottom: func() lockSet { return lockSet{} },
+		Join: func(a, b lockSet) lockSet {
+			out := copyLockSet(a)
+			for k := range b {
+				out[k] = true
+			}
+			return out
+		},
+		Equal: func(a, b lockSet) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(b *cfg.Block, in lockSet) lockSet {
+			out := copyLockSet(in)
+			for _, s := range b.Stmts {
+				for _, op := range lockOpsOf(pass, s) {
+					switch {
+					case op.acquire:
+						out[op.class] = true
+					case op.release:
+						delete(out, op.class)
+					}
+				}
+			}
+			return out
+		},
+	}
+	res := cfg.Forward(g, flow)
+
+	fact := &LockHoldFact{}
+	recv := receiverObject(pass, fd)
+	for _, b := range g.Blocks {
+		held := copyLockSet(res.In[b])
+		for _, s := range b.Stmts {
+			if len(held) > 0 {
+				for _, op := range costlyOpsOf(pass, s, recv) {
+					pos := pass.Fset.Position(op.pos)
+					fact.Ops = append(fact.Ops, HeldOp{
+						Kind: op.kind, Detail: op.detail, Held: sortedClasses(held),
+						File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					})
+				}
+			}
+			for _, op := range lockOpsOf(pass, s) {
+				pos := pass.Fset.Position(op.pos)
+				switch {
+				case op.acquire:
+					if len(held) > 0 && !held[op.class] {
+						fact.Ops = append(fact.Ops, HeldOp{
+							Kind: costNested, Detail: shortLock(op.class), Held: sortedClasses(held),
+							File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						})
+					}
+					held[op.class] = true
+				case op.release:
+					delete(held, op.class)
+				case op.call:
+					if len(held) == 0 {
+						continue
+					}
+					fact.Calls = append(fact.Calls, HeldCall{
+						Callee: op.class, Held: sortedClasses(held),
+						File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					})
+				}
+			}
+		}
+	}
+	fact.Costs = costSummaryOf(pass, fd, recv)
+	return fact
+}
+
+// sortedClasses renders a held set for facts and messages.
+func sortedClasses(held lockSet) []string {
+	out := make([]string, 0, len(held))
+	for c := range held {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// costlyOpsOf scans one statement (not descending into function literals,
+// not counting deferred calls — those run at return) for the costly
+// operations lockhold charges to a critical section. Lock operations are
+// handled separately by the caller.
+func costlyOpsOf(pass *Pass, s ast.Stmt, recv types.Object) []costOp {
+	var ops []costOp
+	if _, isDefer := s.(*ast.DeferStmt); isDefer {
+		return nil
+	}
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			ops = append(ops, costOp{kind: costChan, detail: "send", pos: x.Arrow})
+		case *ast.UnaryExpr:
+			switch x.Op {
+			case token.ARROW:
+				ops = append(ops, costOp{kind: costChan, detail: "receive", pos: x.Pos()})
+			case token.AND:
+				if _, ok := x.X.(*ast.CompositeLit); ok {
+					ops = append(ops, costOp{kind: costAlloc, detail: "address of composite literal", pos: x.Pos()})
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				ix, ok := lhs.(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				if tv, ok := pass.Info.Types[ix.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						ops = append(ops, costOp{kind: costMap, detail: "map assignment", pos: ix.Pos()})
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					switch id.Name {
+					case "make":
+						ops = append(ops, costOp{kind: costAlloc, detail: "make", pos: x.Pos()})
+					case "new":
+						ops = append(ops, costOp{kind: costAlloc, detail: "new", pos: x.Pos()})
+					case "append":
+						if len(x.Args) > 0 && !isReceiverScratch(pass, x.Args[0], recv) {
+							ops = append(ops, costOp{kind: costAlloc, detail: "append to non-receiver slice", pos: x.Pos()})
+						}
+					}
+					return true
+				}
+			}
+			if kind, detail := blockingCallKind(pass, x); kind != "" {
+				ops = append(ops, costOp{kind: kind, detail: detail, pos: x.Pos()})
+			}
+		}
+		return true
+	})
+	return ops
+}
+
+// ioPackages are stdlib packages whose calls count as I/O under a lock.
+var ioPackages = map[string]bool{
+	"fmt": true, "os": true, "io": true, "log": true, "bufio": true, "net": true,
+}
+
+// blockingCallKind classifies a call as I/O or a blocking wait, if it is
+// one of the well-known stdlib forms.
+func blockingCallKind(pass *Pass, call *ast.CallExpr) (kind, detail string) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", ""
+	}
+	path := fn.Pkg().Path()
+	if ioPackages[path] {
+		return costIO, path + "." + fn.Name()
+	}
+	if path == "time" && fn.Name() == "Sleep" {
+		return costIO, "time.Sleep"
+	}
+	if path == "sync" && fn.Name() == "Wait" {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if tv, ok := pass.Info.Types[sel.X]; ok &&
+				(isNamed(tv.Type, "sync", "WaitGroup") || isNamed(tv.Type, "sync", "Cond")) {
+				return costWait, types.ExprString(sel.X) + ".Wait"
+			}
+		}
+	}
+	return "", ""
+}
+
+// costSummaryOf computes the cost kinds fd's body performs unconditionally
+// (under its own locks or not): callers holding a lock across a call to fd
+// inherit these.
+func costSummaryOf(pass *Pass, fd *ast.FuncDecl, recv types.Object) []string {
+	kinds := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if s, ok := n.(ast.Stmt); ok {
+			for _, op := range costlyOpsOf(pass, s, recv) {
+				kinds[op.kind] = true
+			}
+			for _, op := range lockOpsOf(pass, s) {
+				if op.acquire {
+					kinds[costNested] = true
+				}
+			}
+			// costlyOpsOf/lockOpsOf already recurse through the statement;
+			// stop here so nested statements are not double-counted (the
+			// kinds set dedups anyway, but avoid the quadratic walk).
+			return false
+		}
+		return true
+	})
+	var out []string
+	for k := range kinds {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// finishLockHold restricts reporting to the hot cone, propagates cost
+// summaries through the call graph, and reports direct ops plus held calls
+// whose callees transitively do costly work.
+func finishLockHold(s *Session) {
+	roots := s.Facts.Objects((&HotPathFact{}).FactName())
+	if len(roots) == 0 {
+		return
+	}
+	isCold := func(id string) bool {
+		var cold ColdPathFact
+		return s.Facts.Lookup(id, &cold)
+	}
+	hot := s.Graph.Reachable(roots, isCold)
+
+	// Transitive cost kinds per function, to a fixpoint over call edges.
+	// Coldpath boundaries contribute nothing — a hold that only reaches
+	// deliberate slow-path work is that boundary's problem, not the lock's.
+	trans := make(map[string]map[string]bool)
+	factOf := make(map[string]*LockHoldFact)
+	for _, id := range s.Facts.Objects((&LockHoldFact{}).FactName()) {
+		var f LockHoldFact
+		if !s.Facts.Lookup(id, &f) {
+			continue
+		}
+		ff := f
+		factOf[id] = &ff
+		if isCold(id) {
+			continue
+		}
+		set := make(map[string]bool)
+		for _, k := range f.Costs {
+			set[k] = true
+		}
+		trans[id] = set
+	}
+	ids := make([]string, 0, len(s.Graph.Nodes))
+	for id := range s.Graph.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for changed := true; changed; {
+		changed = false
+		for _, id := range ids {
+			if isCold(id) {
+				continue
+			}
+			for _, callee := range s.Graph.Callees(id) {
+				if isCold(callee) {
+					continue
+				}
+				for k := range trans[callee] {
+					if !trans[id][k] {
+						if trans[id] == nil {
+							trans[id] = make(map[string]bool)
+						}
+						trans[id][k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	var hotIDs []string
+	for id := range factOf {
+		if hot[id] && !isCold(id) {
+			hotIDs = append(hotIDs, id)
+		}
+	}
+	sort.Strings(hotIDs)
+	for _, id := range hotIDs {
+		f := factOf[id]
+		for _, op := range f.Ops {
+			s.Reportf(token.Position{Filename: op.File, Line: op.Line, Column: op.Col},
+				"%s (%s) while holding %s in %s, which guards hot-path code; shrink the critical section or accept with amrivet:lockhold <reason>",
+				op.Kind, op.Detail, shortHeld(op.Held), shortLock(id))
+		}
+		for _, hc := range f.Calls {
+			var kinds []string
+			for k := range trans[hc.Callee] {
+				kinds = append(kinds, k)
+			}
+			if len(kinds) == 0 {
+				continue
+			}
+			sort.Strings(kinds)
+			s.Reportf(token.Position{Filename: hc.File, Line: hc.Line, Column: hc.Col},
+				"call to %s while holding %s in %s: the callee transitively performs %s under the lock; shrink the critical section or accept with amrivet:lockhold <reason>",
+				shortLock(hc.Callee), shortHeld(hc.Held), shortLock(id), strings.Join(kinds, ", "))
+		}
+	}
+}
+
+// shortHeld renders a held set compactly for diagnostics.
+func shortHeld(held []string) string {
+	short := make([]string, len(held))
+	for i, h := range held {
+		short[i] = shortLock(h)
+	}
+	return strings.Join(short, ", ")
+}

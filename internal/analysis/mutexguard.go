@@ -28,7 +28,9 @@ import (
 // AcquiresMutexFact, and a call to it counts as a lock acquisition at the
 // call site, across package boundaries. Bases that are local variables
 // freshly built from a composite literal are exempt (construction precedes
-// sharing). This is a lexical approximation, not a happens-before proof:
+// sharing), as are receiver accesses in a method whose name ends in
+// "Locked" — the standard Go marker that the caller must already hold the
+// receiver's mutex. This is a lexical approximation, not a happens-before proof:
 // it will not catch a Lock on one branch guarding an access on another,
 // but it reliably flags the dangerous default — touching guarded state
 // with no lock call in sight.
@@ -265,6 +267,13 @@ func checkGuardedAccesses(pass *Pass, fd *ast.FuncDecl, guarded map[token.Pos]gu
 		return true
 	})
 	fresh := freshLocals(pass, fd)
+	// A method named *Locked documents that its caller already holds the
+	// receiver's mutex: receiver-based accesses inside it are accepted.
+	recvHeld := ""
+	if fd.Recv != nil && strings.HasSuffix(fd.Name.Name, "Locked") &&
+		len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		recvHeld = fd.Recv.List[0].Names[0].Name
+	}
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		sel, ok := n.(*ast.SelectorExpr)
 		if !ok {
@@ -279,6 +288,9 @@ func checkGuardedAccesses(pass *Pass, fd *ast.FuncDecl, guarded map[token.Pos]gu
 			return true
 		}
 		base := types.ExprString(sel.X)
+		if recvHeld != "" && base == recvHeld {
+			return true // caller holds the receiver's mutex by contract
+		}
 		if ident, ok := sel.X.(*ast.Ident); ok {
 			if obj := pass.Info.Uses[ident]; obj != nil && fresh[obj] {
 				return true // freshly constructed local: not yet shared

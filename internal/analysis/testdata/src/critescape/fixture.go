@@ -1,0 +1,102 @@
+// Package critescape exercises reference escape from critical sections:
+// aliases of lock-guarded storage grabbed under the lock and then
+// returned, published or sent once the lock no longer protects them.
+package critescape
+
+import "sync"
+
+// Store is lock-guarded state with reference-typed internals.
+type Store struct {
+	mu  sync.Mutex
+	buf []int
+	tab map[string]int
+}
+
+var leaked []int
+var sink = make(chan []int, 1)
+
+// Grab aliases the guarded slice under the lock and returns the alias
+// after unlock: the caller now reads storage the lock no longer protects.
+func (s *Store) Grab() []int {
+	s.mu.Lock()
+	view := s.buf
+	s.mu.Unlock()
+	return view // want `escapes the critical section via return`
+}
+
+// Direct is the deferred-unlock form: the alias outlives the section the
+// moment the caller receives it.
+func (s *Store) Direct() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf // want `escapes the critical section via return`
+}
+
+// Table leaks the guarded map the same way.
+func (s *Store) Table() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tab // want `map storage`
+}
+
+// Publish stores the alias into a package variable.
+func (s *Store) Publish() {
+	s.mu.Lock()
+	view := s.buf
+	s.mu.Unlock()
+	leaked = view // want `stored outside the critical section`
+}
+
+// Send hands the alias to another goroutine over a channel.
+func (s *Store) Send() {
+	s.mu.Lock()
+	view := s.buf
+	s.mu.Unlock()
+	sink <- view // want `escapes the critical section via channel send`
+}
+
+// Copy is the sanctioned fix: a fresh slice owns its own storage, so
+// nothing guarded escapes.
+func (s *Store) Copy() []int {
+	s.mu.Lock()
+	out := append([]int(nil), s.buf...)
+	s.mu.Unlock()
+	return out
+}
+
+// Rebind shows taint clearing: the alias is replaced by a fresh copy
+// before it leaves the function.
+func (s *Store) Rebind() []int {
+	s.mu.Lock()
+	view := s.buf
+	s.mu.Unlock()
+	view = append([]int(nil), view...)
+	return view
+}
+
+// Internal stores a guarded reference back into the owner's own state:
+// still inside the section's protection, so silent.
+func (s *Store) Internal() {
+	s.mu.Lock()
+	s.buf = s.buf[:0]
+	s.mu.Unlock()
+}
+
+// Scalar escapes by value, not by reference: silent.
+func (s *Store) Scalar() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.buf)
+	return n
+}
+
+// Handoff is a deliberate ownership transfer, accepted in-line: the store
+// forgets the slice before the caller takes it.
+func (s *Store) Handoff() []int {
+	s.mu.Lock()
+	view := s.buf
+	s.buf = nil
+	s.mu.Unlock()
+	//amrivet:ignore[critescape] fixture: ownership transfer, the store forgets the slice
+	return view
+}

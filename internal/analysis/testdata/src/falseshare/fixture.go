@@ -1,0 +1,93 @@
+// Package falseshare exercises cache-line layout checking: contended
+// fields packed into one line but written from distinct goroutine
+// contexts, and unpadded slices of contended element types.
+package falseshare
+
+import "sync/atomic"
+
+// Counters packs two atomics written by different goroutines into the
+// same cache line: every write invalidates the other writer's line.
+type Counters struct {
+	hits   atomic.Uint64
+	misses atomic.Uint64 // want `share a 64-byte cache line`
+}
+
+// Padded separates the same two writers by a full cache line: silent.
+type Padded struct {
+	hits   atomic.Uint64
+	_      [56]byte
+	misses atomic.Uint64
+}
+
+// Spin starts the two writer goroutines.
+func Spin(c *Counters, p *Padded) {
+	go hitter(c, p)
+	go misser(c, p)
+}
+
+func hitter(c *Counters, p *Padded) {
+	for i := 0; i < 1000; i++ {
+		c.hits.Add(1)
+		p.hits.Add(1)
+	}
+}
+
+func misser(c *Counters, p *Padded) {
+	for i := 0; i < 1000; i++ {
+		c.misses.Add(1)
+		p.misses.Add(1)
+	}
+}
+
+// Pair moves together: both fields are written by exactly the same
+// functions, so one goroutine at a time updates both — no false sharing
+// between them, whatever the layout.
+type Pair struct {
+	lo atomic.Uint64
+	hi atomic.Uint64
+}
+
+func bump(p *Pair) {
+	p.lo.Add(1)
+	p.hi.Add(1)
+}
+
+// SpinPair runs bump concurrently; same writer set, still silent.
+func SpinPair(p *Pair) {
+	go bump(p)
+	go bump(p)
+}
+
+// MakeCounters allocates 8-byte atomic elements back to back: eight
+// independent counters per cache line.
+func MakeCounters(n int) []atomic.Uint64 {
+	return make([]atomic.Uint64, n) // want `adjacent elements share a 64-byte cache line`
+}
+
+// PaddedSlot is the sanctioned fix for slice elements: one slot per line.
+type PaddedSlot struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// MakeSlots allocates cache-line-sized elements: silent.
+func MakeSlots(n int) []PaddedSlot {
+	return make([]PaddedSlot, n)
+}
+
+// Accepted reproduces the shared-line shape under suppression: the
+// counters are cold and the layout is deliberate.
+type Accepted struct {
+	a atomic.Uint64
+	//amrivet:ignore[falseshare] fixture: cold counters, contention measured irrelevant
+	b atomic.Uint64
+}
+
+// SpinAccepted runs the two suppressed writers.
+func SpinAccepted(x *Accepted) {
+	go incA(x)
+	go incB(x)
+}
+
+func incA(x *Accepted) { x.a.Add(1) }
+func incB(x *Accepted) { x.b.Add(1) }

@@ -1,0 +1,84 @@
+// Package lockhold exercises the hot-lock cost analysis: Probe is an
+// amrivet:hotpath root whose critical section performs every costly-op
+// kind; work after the unlock, cold-side sections and amrivet:lockhold
+// acceptances stay silent.
+package lockhold
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Op mirrors a pipeline operator: a guarding lock plus the state kinds a
+// careless critical section touches.
+type Op struct {
+	mu    sync.RWMutex
+	inner sync.Mutex
+	buf   []int
+	tab   map[int]int
+	ch    chan int
+}
+
+// Probe holds mu across allocation, map growth, channel traffic, I/O and a
+// nested acquisition — every one a scheduler or allocator round-trip that
+// extends the hold.
+//
+//amrivet:hotpath fixture probe root
+func (o *Op) Probe(keys []int) int {
+	o.mu.Lock()
+	tmp := make([]int, 0, len(keys)) // want `allocation .make. while holding`
+	o.tab[1] = 2                     // want `map write`
+	o.ch <- 1                        // want `channel operation .send. while holding`
+	v := <-o.ch                      // want `channel operation .receive. while holding`
+	fmt.Sprintln(v)                  // want `I/O`
+	o.inner.Lock()                   // want `nested lock acquisition`
+	o.inner.Unlock()
+	n := o.costly(keys) // want `callee transitively performs allocation`
+	o.mu.Unlock()
+	return n + len(tmp) + o.afterwards()
+}
+
+// costly allocates; charged to whichever section calls it under a lock.
+func (o *Op) costly(keys []int) int {
+	return len(make([]int, len(keys)))
+}
+
+// afterwards allocates too, but Probe calls it after the unlock: silent.
+func (o *Op) afterwards() int {
+	return len(make([]int, 4))
+}
+
+// Flat holds the lock across the costly call deliberately — the flat-index
+// exclusivity contract — and accepts it in-line.
+//
+//amrivet:hotpath fixture flat probe root
+func (o *Op) Flat(keys []int) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	//amrivet:lockhold fixture: flat path demands exclusivity by contract
+	return o.costly(keys)
+}
+
+// ColdSide holds its lock across an allocation but is not reachable from
+// any hotpath root, so lockhold has nothing to say about it.
+func (o *Op) ColdSide() {
+	o.mu.Lock()
+	x := make([]int, 9)
+	o.buf = append(o.buf[:0], x...)
+	o.mu.Unlock()
+}
+
+// Tune is reachable from a root but fenced behind a coldpath boundary:
+// its lock-held allocation is the slow path's business.
+//
+//amrivet:hotpath fixture tuning entry
+func (o *Op) Retune() int {
+	return o.tune()
+}
+
+//amrivet:coldpath fixture deliberate slow path
+func (o *Op) tune() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(make([]int, 1024))
+}

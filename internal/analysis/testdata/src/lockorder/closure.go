@@ -1,0 +1,58 @@
+package lockorder
+
+import "sync"
+
+// Ledger and Journal are a fresh pair of lock classes (disjoint from the
+// Tuner/Operator cycle in fixture.go) that document the analyzer's
+// function-value blind spot: the forward ordering below is direct, while
+// the inverse ordering exists only inside a closure stored into a field
+// and invoked through a function value. A closure's body does not run at
+// its definition site and calls through function values are unmodelled,
+// so neither side contributes the inverse edge — there must be NO phantom
+// lock-order cycle reported anywhere in this file.
+type Ledger struct {
+	mu      sync.Mutex
+	balance int
+	// flush is installed by WireFlush and invoked through the function
+	// value in Post; the call graph has no edge to its body.
+	flush func()
+}
+
+// Journal is the second lock class of the would-be cycle.
+type Journal struct {
+	mu      sync.Mutex
+	entries int
+}
+
+// Record establishes the direct ordering Ledger.mu -> Journal.mu.
+func (l *Ledger) Record(j *Journal) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	j.mu.Lock()
+	j.entries++
+	j.mu.Unlock()
+	l.balance++
+}
+
+// WireFlush stores a closure that, if it were attributed to this function
+// or to its eventual caller, would establish the inverse ordering
+// Journal.mu -> Ledger.mu and close a cycle with Record. It is attributed
+// to nothing: definition is not execution.
+func (l *Ledger) WireFlush(j *Journal) {
+	l.flush = func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		l.mu.Lock()
+		l.balance = 0
+		l.mu.Unlock()
+		j.entries++
+	}
+}
+
+// Post invokes the stored closure through the function value; the
+// dispatch is unmodelled, so no ordering flows through it either.
+func (l *Ledger) Post() {
+	if l.flush != nil {
+		l.flush()
+	}
+}

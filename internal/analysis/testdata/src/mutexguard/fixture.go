@@ -98,3 +98,16 @@ func byValue(s server) { // want `parameter passes lock by value`
 }
 
 func (s server) valueRecv() {} // want `receiver passes lock by value`
+
+// closeLocked follows the *Locked naming convention: the caller holds
+// s.mu by contract, so receiver accesses are accepted without a lexical
+// Lock in this body.
+func (s *server) closeLocked() {
+	s.conns = 0
+}
+
+// closeOther ends in "Locked" but touches a DIFFERENT instance: the
+// contract only covers the receiver, so this is still reported.
+func (s *server) copyFromLocked(o *server) {
+	s.conns = o.conns // want `server\.conns is guarded by "mu" but accessed without a preceding o\.mu\.Lock`
+}

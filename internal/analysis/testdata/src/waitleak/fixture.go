@@ -1,0 +1,117 @@
+// Package waitleak exercises the static goroutine-leak check: spawned
+// goroutines whose blocking receive or Wait has no send, close or Done
+// anywhere in the program, with cancellable selects and properly closed
+// feeds staying silent.
+package waitleak
+
+import "sync"
+
+// Worker carries the channel and WaitGroup plumbing under test.
+type Worker struct {
+	stop  chan struct{}
+	dead  chan struct{}
+	dead2 chan struct{}
+	dead3 chan struct{}
+	feed  chan int
+	wg    sync.WaitGroup
+	wg2   sync.WaitGroup
+}
+
+// Leak spawns a goroutine that receives from a channel nothing ever sends
+// to or closes.
+func (w *Worker) Leak() {
+	go w.waitDead()
+}
+
+func (w *Worker) waitDead() {
+	<-w.dead // want `blocking receive on .* has no matching send or close`
+}
+
+// LitLeak blocks directly inside the spawned literal on a local channel
+// with no counterpart.
+func (w *Worker) LitLeak() {
+	never := make(chan int)
+	go func() {
+		<-never // want `goroutine leak`
+	}()
+	_ = never
+}
+
+// WgLeak waits on a WaitGroup nobody ever Dones.
+func (w *Worker) WgLeak() {
+	go w.waitForever()
+}
+
+func (w *Worker) waitForever() {
+	w.wg.Wait() // want `Wait on .* has no matching Done`
+}
+
+// Doomed selects over two counterpart-free channels with no default: every
+// case blocks forever.
+func (w *Worker) Doomed() {
+	go w.doomed()
+}
+
+func (w *Worker) doomed() {
+	select { // want `select in .* blocks forever`
+	case <-w.dead:
+	case <-w.dead2:
+	}
+}
+
+// Run spawns a drain whose feed is closed after use: silent.
+func (w *Worker) Run() {
+	go w.drain()
+	for i := 0; i < 3; i++ {
+		w.feed <- i
+	}
+	close(w.feed)
+}
+
+func (w *Worker) drain() {
+	for range w.feed {
+	}
+}
+
+// Watch blocks in a select that also has a cancel case — the close edge in
+// Stop releases it, so the counterpart-free dead2 case is fine.
+func (w *Worker) Watch() {
+	go w.watch()
+}
+
+func (w *Worker) watch() {
+	for {
+		select {
+		case <-w.dead2:
+		case <-w.stop:
+			return
+		}
+	}
+}
+
+// Stop is the cancel edge for watch.
+func (w *Worker) Stop() {
+	close(w.stop)
+}
+
+// Fork pairs its Wait with a Done: silent.
+func (w *Worker) Fork() {
+	w.wg2.Add(1)
+	go w.task()
+	w.wg2.Wait()
+}
+
+func (w *Worker) task() {
+	w.wg2.Done()
+}
+
+// Quiet reproduces the leak shape under suppression: the forever-block is
+// deliberate (process-lifetime goroutine).
+func (w *Worker) Quiet() {
+	go w.quiet()
+}
+
+func (w *Worker) quiet() {
+	//amrivet:ignore[waitleak] fixture: intentional process-lifetime block
+	<-w.dead3
+}

@@ -1,0 +1,431 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"amri/internal/analysis/facts"
+)
+
+// WaitLeak is the static twin of pipeline/leak_test.go: it reports
+// goroutines spawned on paths where a blocking receive or Wait is not
+// matched by any cancel/close edge, so the goroutine can never be released.
+//
+// The per-package phase records, for every function: the goroutines it
+// spawns (named callees of `go f()` / `go o.m()`, plus the direct callees
+// and channel operations of spawned function literals), its blocking
+// channel receives, range-over-channel loops and sync.WaitGroup.Wait calls
+// (with positions), and — as potential release edges — every send, close
+// and WaitGroup.Done it performs anywhere, including inside function
+// literals (a closer goroutine is itself usually a literal).
+//
+// The whole-program phase walks the call graph from every spawn root and
+// reports each blocking site whose channel class has no send and no close
+// anywhere in the program (for Wait: no Done on that WaitGroup class). A
+// select statement blocks forever only if every receive case is
+// counterpart-free and there is no default clause, which approximates "the
+// blocking receive is post-dominated by a cancel/close edge" without a
+// post-dominator pass: a select that also watches a cancellable channel
+// has its release edge in the other case.
+//
+// Channels identified only dynamically (call results, elements of
+// collections) are not classified and never reported; function values are
+// unmodelled, so spawn roots through stored closures are missed — the same
+// deliberate under-approximation as the call graph itself.
+var WaitLeak = &Analyzer{
+	Name:   "waitleak",
+	Doc:    "reports goroutines whose blocking receive/Wait has no matching send, close or Done anywhere in the program",
+	Run:    runWaitLeak,
+	Finish: finishWaitLeak,
+}
+
+// GoSpawnFact lists the goroutine entry points a function spawns.
+type GoSpawnFact struct {
+	Roots []string `json:"roots"`
+}
+
+// FactName implements facts.Fact.
+func (*GoSpawnFact) FactName() string { return "amrivet.gospawn" }
+
+// BlockSite is one potentially-forever-blocking operation.
+type BlockSite struct {
+	Kind  string `json:"kind"` // "receive", "range", "wait"
+	Class string `json:"class"`
+	File  string `json:"file"`
+	Line  int    `json:"line"`
+	Col   int    `json:"col"`
+}
+
+// SelectSite is one select statement's receive cases, reported only when
+// every case is counterpart-free.
+type SelectSite struct {
+	Classes    []string `json:"classes"`
+	HasDefault bool     `json:"hasDefault"`
+	File       string   `json:"file"`
+	Line       int      `json:"line"`
+	Col        int      `json:"col"`
+}
+
+// ChanUseFact is one function's blocking sites and release edges. Spawned
+// and SpawnedSelects hold the blocking sites of goroutine literals declared
+// in this function — those run on a fresh goroutine even though the call
+// graph attributes the body to the enclosing declaration.
+type ChanUseFact struct {
+	Blocking       []BlockSite  `json:"blocking"`
+	Selects        []SelectSite `json:"selects"`
+	Spawned        []BlockSite  `json:"spawned"`
+	SpawnedSelects []SelectSite `json:"spawnedSelects"`
+	Sends          []string     `json:"sends"`
+	Closes         []string     `json:"closes"`
+	Dones          []string     `json:"dones"`
+}
+
+// FactName implements facts.Fact.
+func (*ChanUseFact) FactName() string { return "amrivet.chanuse" }
+
+func init() {
+	facts.Register(&GoSpawnFact{})
+	facts.Register(&ChanUseFact{})
+}
+
+func runWaitLeak(pass *Pass) {
+	forEachFuncDecl(pass, func(fd *ast.FuncDecl, obj *types.Func) {
+		if roots := collectSpawnRoots(pass, fd); len(roots) > 0 {
+			pass.ExportFact(obj, &GoSpawnFact{Roots: roots})
+		}
+		fact := collectChanUses(pass, fd)
+		if len(fact.Blocking) == 0 && len(fact.Selects) == 0 && len(fact.Spawned) == 0 &&
+			len(fact.SpawnedSelects) == 0 && len(fact.Sends) == 0 && len(fact.Closes) == 0 &&
+			len(fact.Dones) == 0 {
+			return
+		}
+		pass.ExportFact(obj, fact)
+	})
+}
+
+// collectSpawnRoots finds the goroutine entry points fd spawns: named
+// callees of go statements, and the direct callees of spawned literals.
+func collectSpawnRoots(pass *Pass, fd *ast.FuncDecl) []string {
+	seen := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if _, ok := m.(*ast.FuncLit); ok {
+					return false
+				}
+				if call, ok := m.(*ast.CallExpr); ok {
+					if fn := calleeFunc(pass, call); fn != nil {
+						seen[facts.ObjectID(fn)] = true
+					}
+				}
+				return true
+			})
+			return true
+		}
+		if fn := calleeFunc(pass, g.Call); fn != nil {
+			seen[facts.ObjectID(fn)] = true
+		}
+		return true
+	})
+	var out []string
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// wgClass identifies a sync.WaitGroup expression like mutexClass does for
+// mutexes: fields by declaring struct, variables by object ID.
+func wgClass(pass *Pass, e ast.Expr) string {
+	tv, ok := pass.Info.Types[e]
+	if !ok || !isNamed(tv.Type, "sync", "WaitGroup") {
+		return ""
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := pass.Info.Uses[x]; obj != nil {
+			return facts.ObjectID(obj)
+		}
+	case *ast.SelectorExpr:
+		if sel := pass.Info.Selections[x]; sel != nil && sel.Kind() == types.FieldVal {
+			if owner := namedType(sel.Recv()); owner != nil {
+				return facts.FieldID(owner, x.Sel.Name)
+			}
+		}
+		if obj := pass.Info.Uses[x.Sel]; obj != nil {
+			return facts.ObjectID(obj)
+		}
+	}
+	return ""
+}
+
+// collectChanUses gathers fd's blocking sites and release edges. Release
+// edges (sends, closes, Dones) are collected everywhere including function
+// literals; blocking sites only outside literals, except literals spawned
+// by a go statement, whose blocking sites land in Spawned.
+func collectChanUses(pass *Pass, fd *ast.FuncDecl) *ChanUseFact {
+	fact := &ChanUseFact{
+		Blocking:       []BlockSite{},
+		Spawned:        []BlockSite{},
+		Selects:        []SelectSite{},
+		SpawnedSelects: []SelectSite{},
+	}
+	sends := make(map[string]bool)
+	closes := make(map[string]bool)
+	dones := make(map[string]bool)
+
+	// Release edges: whole body, literals included.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			if class := chanClass(pass, x.Chan); class != "" {
+				sends[class] = true
+			}
+		case *ast.CallExpr:
+			if isBuiltinClose(pass, x) {
+				if class := chanClass(pass, x.Args[0]); class != "" {
+					closes[class] = true
+				}
+				return true
+			}
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if class := wgClass(pass, sel.X); class != "" {
+					dones[class] = true
+				}
+			}
+		}
+		return true
+	})
+
+	spawnedLits := make(map[*ast.FuncLit]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				spawnedLits[lit] = true
+			}
+		}
+		return true
+	})
+
+	var collectBlocking func(root ast.Node, into *[]BlockSite, selects *[]SelectSite)
+	collectBlocking = func(root ast.Node, into *[]BlockSite, selects *[]SelectSite) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				if x == root {
+					return true
+				}
+				if spawnedLits[x] {
+					collectBlocking(x, &fact.Spawned, &fact.SpawnedSelects)
+				}
+				return false
+			case *ast.SelectStmt:
+				site := SelectSite{}
+				pos := pass.Fset.Position(x.Pos())
+				site.File, site.Line, site.Col = pos.Filename, pos.Line, pos.Column
+				for _, clause := range x.Body.List {
+					cc, ok := clause.(*ast.CommClause)
+					if !ok {
+						continue
+					}
+					if cc.Comm == nil {
+						site.HasDefault = true
+						continue
+					}
+					switch comm := cc.Comm.(type) {
+					case *ast.ExprStmt:
+						if u, ok := comm.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+							site.Classes = append(site.Classes, chanClass(pass, u.X))
+						}
+					case *ast.AssignStmt:
+						if len(comm.Rhs) == 1 {
+							if u, ok := comm.Rhs[0].(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+								site.Classes = append(site.Classes, chanClass(pass, u.X))
+							}
+						}
+					case *ast.SendStmt:
+						// A send case releases when some receiver exists;
+						// treat it like a receive on the same class for the
+						// all-cases-dead test.
+						site.Classes = append(site.Classes, chanClass(pass, comm.Chan))
+					}
+				}
+				*selects = append(*selects, site)
+				return false // cases handled above; don't double-count receives
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					if class := chanClass(pass, x.X); class != "" {
+						p := pass.Fset.Position(x.Pos())
+						*into = append(*into, BlockSite{Kind: "receive", Class: class,
+							File: p.Filename, Line: p.Line, Col: p.Column})
+					}
+				}
+			case *ast.RangeStmt:
+				if class := chanClass(pass, x.X); class != "" {
+					p := pass.Fset.Position(x.Pos())
+					*into = append(*into, BlockSite{Kind: "range", Class: class,
+						File: p.Filename, Line: p.Line, Col: p.Column})
+				}
+			case *ast.CallExpr:
+				if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+					if class := wgClass(pass, sel.X); class != "" {
+						p := pass.Fset.Position(x.Pos())
+						*into = append(*into, BlockSite{Kind: "wait", Class: class,
+							File: p.Filename, Line: p.Line, Col: p.Column})
+					}
+				}
+			}
+			return true
+		})
+	}
+	collectBlocking(fd.Body, &fact.Blocking, &fact.Selects)
+
+	for class := range sends {
+		fact.Sends = append(fact.Sends, class)
+	}
+	for class := range closes {
+		fact.Closes = append(fact.Closes, class)
+	}
+	for class := range dones {
+		fact.Dones = append(fact.Dones, class)
+	}
+	sort.Strings(fact.Sends)
+	sort.Strings(fact.Closes)
+	sort.Strings(fact.Dones)
+	return fact
+}
+
+// finishWaitLeak assembles the program-wide release-edge sets, walks the
+// call graph from every spawn root, and reports counterpart-free blocking
+// sites reachable on a spawned goroutine.
+func finishWaitLeak(s *Session) {
+	released := make(map[string]bool) // chan classes with a send or close
+	doned := make(map[string]bool)    // wg classes with a Done
+	factOf := make(map[string]*ChanUseFact)
+	for _, id := range s.Facts.Objects((&ChanUseFact{}).FactName()) {
+		var f ChanUseFact
+		if !s.Facts.Lookup(id, &f) {
+			continue
+		}
+		ff := f
+		factOf[id] = &ff
+		for _, c := range f.Sends {
+			released[c] = true
+		}
+		for _, c := range f.Closes {
+			released[c] = true
+		}
+		for _, c := range f.Dones {
+			doned[c] = true
+		}
+	}
+
+	var roots []string
+	rootSeen := make(map[string]bool)
+	for _, id := range s.Facts.Objects((&GoSpawnFact{}).FactName()) {
+		var f GoSpawnFact
+		if !s.Facts.Lookup(id, &f) {
+			continue
+		}
+		for _, r := range f.Roots {
+			if !rootSeen[r] {
+				rootSeen[r] = true
+				roots = append(roots, r)
+			}
+		}
+	}
+	sort.Strings(roots)
+
+	dead := func(site BlockSite) bool {
+		if site.Kind == "wait" {
+			return !doned[site.Class]
+		}
+		return !released[site.Class]
+	}
+	report := func(site BlockSite, where string) {
+		verb, counterpart := "blocking receive on", "send or close"
+		switch site.Kind {
+		case "range":
+			verb = "range over"
+		case "wait":
+			verb, counterpart = "Wait on", "Done"
+		}
+		s.Reportf(token.Position{Filename: site.File, Line: site.Line, Column: site.Col},
+			"%s %s in %s has no matching %s anywhere in the program: the spawned goroutine blocks forever (goroutine leak)",
+			verb, shortLock(site.Class), where, counterpart)
+	}
+	deadSelect := func(sel SelectSite) bool {
+		if sel.HasDefault || len(sel.Classes) == 0 {
+			return false
+		}
+		for _, c := range sel.Classes {
+			if c == "" || released[c] {
+				return false
+			}
+		}
+		return true
+	}
+	reportSelect := func(sel SelectSite, where string) {
+		s.Reportf(token.Position{Filename: sel.File, Line: sel.Line, Column: sel.Col},
+			"select in %s has no case with a matching send or close anywhere in the program and no default: the spawned goroutine blocks forever (goroutine leak)",
+			where)
+	}
+
+	var ids []string
+	for id := range factOf {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	reported := make(map[string]bool)
+	once := func(file string, line, col int) bool {
+		key := fmt.Sprintf("%s:%d:%d", file, line, col)
+		if reported[key] {
+			return false
+		}
+		reported[key] = true
+		return true
+	}
+
+	// Blocking sites directly inside spawned literals leak regardless of
+	// reachability: the literal is the goroutine.
+	for _, id := range ids {
+		f := factOf[id]
+		for _, site := range f.Spawned {
+			if dead(site) && once(site.File, site.Line, site.Col) {
+				report(site, "goroutine spawned by "+shortLock(id))
+			}
+		}
+		for _, sel := range f.SpawnedSelects {
+			if deadSelect(sel) && once(sel.File, sel.Line, sel.Col) {
+				reportSelect(sel, "goroutine spawned by "+shortLock(id))
+			}
+		}
+	}
+
+	// Blocking sites in functions reachable from a spawn root.
+	reach := s.Graph.Reachable(roots, nil)
+	for _, id := range ids {
+		if !reach[id] {
+			continue
+		}
+		f := factOf[id]
+		for _, site := range f.Blocking {
+			if dead(site) && once(site.File, site.Line, site.Col) {
+				report(site, shortLock(id)+" (reachable from a go statement)")
+			}
+		}
+		for _, sel := range f.Selects {
+			if deadSelect(sel) && once(sel.File, sel.Line, sel.Col) {
+				reportSelect(sel, shortLock(id)+" (reachable from a go statement)")
+			}
+		}
+	}
+}

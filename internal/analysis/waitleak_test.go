@@ -1,0 +1,10 @@
+package analysis
+
+import "testing"
+
+func TestWaitLeakFixture(t *testing.T) {
+	diags := runFixture(t, WaitLeak, "waitleak")
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics: the analyzer catches nothing")
+	}
+}

@@ -1,0 +1,296 @@
+package bench
+
+// Contention bench: the measured A/B behind BENCH_contention.json. Unlike
+// the shard bench, which models throughput in deterministic cost units,
+// this one measures a quantity the runtime meters exactly: mutex wait
+// cycles from the contention profile (runtime.SetMutexProfileFraction(1) +
+// runtime.MutexProfile). The same workload runs twice at full fan-out —
+// once with Config.HeldLockProbes (the pre-epoch baseline that takes the
+// operator lock around every sharded probe) and once on the default
+// lock-free epoch probe path — and the report compares wait cycles
+// attributed to operator-lock frames (amri/internal/pipeline.(*operator)).
+//
+// Why this is robust enough to commit: the profile counts cycles
+// goroutines spent BLOCKED on a sync primitive, attributed at the
+// contended Unlock, and both runs share one process, one profile fraction
+// and one seed, so the comparison is cycles to cycles on identical work
+// (the digest equality in Check proves the work identical). The fault plan
+// drives the contention: seeded MemoryPressure events make shed
+// assessments hold the operator write lock for Plan.AssessCost — the
+// reclamation stall — while probes are in flight. That convoy is real
+// blocking on any core count, including the single-CPU runner case where
+// short uncontended critical sections never overlap at all: the stalled
+// writer parks, the scheduler runs the probe workers, and in the held-lock
+// mode every one of them parks behind the write lock and is metered. The
+// epoch probe path never touches the lock, so its probes sail past the
+// same stalls — exactly the pathology the tentpole removed.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"amri/internal/core"
+	"amri/internal/fault"
+	"amri/internal/pipeline"
+)
+
+// ContentionOptions size the A/B measurement.
+type ContentionOptions struct {
+	// Seed fixes the workload and the fault schedule (default 23).
+	Seed uint64
+	// Ticks is the horizon (default 300).
+	Ticks int64
+	// Workers is the probe pool width (default 8 — the acceptance point).
+	Workers int
+	// Shards is the index sharding degree (default 8). Must be > 0: with a
+	// flat index both modes take the same exclusive lock and the A/B is
+	// vacuous.
+	Shards int
+	// PressureRate is the seeded MemoryPressure probability that forces
+	// shed assessments (operator write locks) into the probe phase
+	// (default 0.002).
+	PressureRate float64
+	// AssessCost is the simulated reclamation stall each shed assessment
+	// holds the operator write lock for (default 150µs). Without it a
+	// single-CPU runner never parks a goroutine inside the short critical
+	// sections and the profile records nothing; with it the baseline's
+	// probe convoy behind the stalled writer is real blocking on any core
+	// count.
+	AssessCost time.Duration
+}
+
+func (o ContentionOptions) fill() ContentionOptions {
+	if o.Seed == 0 {
+		o.Seed = 23
+	}
+	if o.Ticks == 0 {
+		o.Ticks = 300
+	}
+	if o.Workers == 0 {
+		o.Workers = 8
+	}
+	if o.Shards == 0 {
+		o.Shards = 8
+	}
+	if o.PressureRate == 0 {
+		o.PressureRate = 0.002
+	}
+	if o.AssessCost == 0 {
+		o.AssessCost = 150 * time.Microsecond
+	}
+	return o
+}
+
+func (o ContentionOptions) config(heldLock bool) pipeline.Config {
+	return pipeline.Config{
+		Seed:           o.Seed,
+		Ticks:          o.Ticks,
+		Method:         core.MethodCDIAHighest,
+		AutoTuneEvery:  2000,
+		Explore:        0.1,
+		MailboxCap:     64,
+		ShedPolicy:     pipeline.PolicyBlock,
+		ProbeWorkers:   o.Workers,
+		Shards:         o.Shards,
+		HeldLockProbes: heldLock,
+		Fault: fault.Plan{
+			Seed:         o.Seed,
+			PressureRate: o.PressureRate,
+			AssessCost:   o.AssessCost,
+		},
+	}
+}
+
+// ContentionSample is one mode's measurement.
+type ContentionSample struct {
+	Mode string `json:"mode"`
+	// OperatorWaitCycles is the contention-profile cycle delta over stacks
+	// passing through amri/internal/pipeline.(*operator) — the operator
+	// lock by construction, since every o.mu site is an operator method.
+	OperatorWaitCycles int64 `json:"operator_lock_wait_cycles"`
+	// OperatorWaitEvents is the matching contended-event count.
+	OperatorWaitEvents int64 `json:"operator_lock_wait_events"`
+	// ModuleWaitCycles widens the filter to any amri frame (mailboxes,
+	// router, index stripes) for context; the bars compare only the
+	// operator numbers.
+	ModuleWaitCycles int64 `json:"module_wait_cycles"`
+	// Digest fingerprints the result set; both modes must agree.
+	Digest  string `json:"digest"`
+	Results uint64 `json:"results"`
+	// WallMS is advisory only: scheduler noise on shared runners makes it
+	// unfit for a bar, unlike the blocked-cycle counts.
+	WallMS float64 `json:"wall_ms_advisory"`
+}
+
+// ContentionResult is the committed BENCH_contention.json payload.
+type ContentionResult struct {
+	Workers      int              `json:"workers"`
+	Shards       int              `json:"shards"`
+	Ticks        int64            `json:"ticks"`
+	Seed         uint64           `json:"seed"`
+	PressureRate float64          `json:"pressure_rate"`
+	AssessCostUS float64          `json:"assess_cost_us"`
+	HeldLock     ContentionSample `json:"held_lock_baseline"`
+	Epoch        ContentionSample `json:"epoch_probes"`
+	// Reduction is 1 - epoch/baseline over operator wait cycles.
+	Reduction float64 `json:"operator_lock_cycle_reduction"`
+	Note      string  `json:"note"`
+}
+
+// amriMutexWait reads the cumulative mutex-contention profile and sums
+// wait cycles over stacks that pass through this module, separating
+// operator-lock frames. Cycles are cputicks exactly as runtime.MutexProfile
+// reports them; every bar compares cycles to cycles within one process, so
+// the tick rate never matters. Callers take before/after snapshots — the
+// profile is cumulative — and must have the profile fraction set first.
+func amriMutexWait() (opCycles, opEvents, modCycles int64) {
+	var recs []runtime.BlockProfileRecord
+	n, _ := runtime.MutexProfile(nil)
+	for {
+		recs = make([]runtime.BlockProfileRecord, n+64)
+		var ok bool
+		n, ok = runtime.MutexProfile(recs)
+		if ok {
+			recs = recs[:n]
+			break
+		}
+	}
+	for _, r := range recs {
+		var inModule, inOperator bool
+		frames := runtime.CallersFrames(r.Stack())
+		for {
+			f, more := frames.Next()
+			if strings.HasPrefix(f.Function, "amri/") {
+				inModule = true
+				if strings.Contains(f.Function, "pipeline.(*operator)") {
+					inOperator = true
+				}
+			}
+			if !more {
+				break
+			}
+		}
+		if inModule {
+			modCycles += r.Cycles
+		}
+		if inOperator {
+			opCycles += r.Cycles
+			opEvents += r.Count
+		}
+	}
+	return opCycles, opEvents, modCycles
+}
+
+// runContention executes one measured pipeline run and returns the
+// profile deltas it induced.
+func runContention(mode string, cfg pipeline.Config) (ContentionSample, error) {
+	var d shardDigest
+	cfg.OnResult = d.add
+	runtime.GC() // keep GC assists out of the measured window where possible
+	opC0, opE0, modC0 := amriMutexWait()
+	start := time.Now()
+	res, err := pipeline.Run(cfg)
+	wall := time.Since(start)
+	opC1, opE1, modC1 := amriMutexWait()
+	if err != nil {
+		return ContentionSample{}, fmt.Errorf("bench: contention %s run: %w", mode, err)
+	}
+	return ContentionSample{
+		Mode:               mode,
+		OperatorWaitCycles: opC1 - opC0,
+		OperatorWaitEvents: opE1 - opE0,
+		ModuleWaitCycles:   modC1 - modC0,
+		Digest:             d.String(),
+		Results:            res.Results,
+		WallMS:             float64(wall.Microseconds()) / 1e3,
+	}, nil
+}
+
+// ContentionBench runs the held-lock baseline and the epoch path under the
+// mutex-contention profile and reports the operator-lock wait-cycle A/B.
+func ContentionBench(o ContentionOptions) (*ContentionResult, error) {
+	o = o.fill()
+	prev := runtime.SetMutexProfileFraction(1)
+	defer runtime.SetMutexProfileFraction(prev)
+
+	// Unmeasured warm-up run so first-touch costs (page faults, cache
+	// build-out, scheduler ramp) land outside both measured windows.
+	warm := o.config(false)
+	warm.Ticks = o.Ticks / 4
+	if warm.Ticks < 10 {
+		warm.Ticks = 10
+	}
+	if _, err := pipeline.Run(warm); err != nil {
+		return nil, fmt.Errorf("bench: contention warm-up run: %w", err)
+	}
+
+	held, err := runContention("held-lock probes (HeldLockProbes baseline)", o.config(true))
+	if err != nil {
+		return nil, err
+	}
+	epoch, err := runContention("epoch probes (default)", o.config(false))
+	if err != nil {
+		return nil, err
+	}
+
+	r := &ContentionResult{
+		Workers:      o.Workers,
+		Shards:       o.Shards,
+		Ticks:        o.Ticks,
+		Seed:         o.Seed,
+		PressureRate: o.PressureRate,
+		AssessCostUS: float64(o.AssessCost.Nanoseconds()) / 1e3,
+		HeldLock:     held,
+		Epoch:        epoch,
+		Note: "wait cycles from runtime.MutexProfile at fraction 1, delta over one run, " +
+			"filtered to stacks through amri/internal/pipeline.(*operator); identical seeded " +
+			"workload both modes (digests must match)",
+	}
+	if held.OperatorWaitCycles > 0 {
+		r.Reduction = 1 - float64(epoch.OperatorWaitCycles)/float64(held.OperatorWaitCycles)
+	}
+	return r, nil
+}
+
+// WriteJSON writes the result as indented JSON.
+func (r *ContentionResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Check enforces the committed artifact's bars: both modes did the same
+// work (digest and result-count equality — otherwise the cycle comparison
+// is meaningless), the baseline actually exhibited operator-lock
+// contention (a zero baseline means the workload failed to drive the lock
+// and proves nothing), and the epoch path cut the operator-lock wait
+// cycles by at least minReduction.
+func (r *ContentionResult) Check(minReduction float64) error {
+	if r.HeldLock.Digest != r.Epoch.Digest || r.HeldLock.Results != r.Epoch.Results {
+		return fmt.Errorf("modes diverged: held-lock %s (%d results) vs epoch %s (%d results)",
+			r.HeldLock.Digest, r.HeldLock.Results, r.Epoch.Digest, r.Epoch.Results)
+	}
+	if r.HeldLock.OperatorWaitCycles <= 0 {
+		return fmt.Errorf("held-lock baseline recorded no operator-lock contention; workload did not drive the lock")
+	}
+	if r.Reduction < minReduction {
+		return fmt.Errorf("operator-lock wait cycles reduced %.1f%% (held-lock %d -> epoch %d), below the %.0f%% bar",
+			r.Reduction*100, r.HeldLock.OperatorWaitCycles, r.Epoch.OperatorWaitCycles, minReduction*100)
+	}
+	return nil
+}
+
+// Summary renders the human-readable comparison.
+func (r *ContentionResult) Summary(w io.Writer) {
+	fmt.Fprintf(w, "contention bench: %d workers x %d shards, %d ticks, seed %d, pressure %.3g @ %.0fus stalls\n",
+		r.Workers, r.Shards, r.Ticks, r.Seed, r.PressureRate, r.AssessCostUS)
+	for _, s := range []ContentionSample{r.HeldLock, r.Epoch} {
+		fmt.Fprintf(w, "%-45s op-lock wait %12d cycles (%d events), module %12d, %d results, %.1fms\n",
+			s.Mode, s.OperatorWaitCycles, s.OperatorWaitEvents, s.ModuleWaitCycles, s.Results, s.WallMS)
+	}
+	fmt.Fprintf(w, "operator-lock wait-cycle reduction: %.1f%%\n", r.Reduction*100)
+}

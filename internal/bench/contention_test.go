@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"runtime"
+	"testing"
+
+	"amri/internal/pipeline"
+)
+
+// contentionOut enables the artifact writer: `make bench-contention` runs
+// TestWriteContentionArtifact with this flag pointed at the repo root's
+// BENCH_contention.json.
+var contentionOut = flag.String("contention-out", "",
+	"write the full-scale contention artifact to this path and enforce its bars")
+
+// TestContentionBenchQuick exercises the measurement machinery at test
+// scale: both modes must run, do identical work, and produce a
+// round-trippable report. It deliberately does NOT assert a contention
+// reduction — at 60 ticks on an arbitrary CI runner the baseline may
+// sample too few contended events for a ratio to be meaningful; the
+// committed artifact (full scale, Check-enforced) owns that bar.
+func TestContentionBenchQuick(t *testing.T) {
+	r, err := ContentionBench(ContentionOptions{Ticks: 60, Workers: 4, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HeldLock.Digest != r.Epoch.Digest || r.HeldLock.Results != r.Epoch.Results {
+		t.Fatalf("modes diverged: held-lock %s (%d) vs epoch %s (%d)",
+			r.HeldLock.Digest, r.HeldLock.Results, r.Epoch.Digest, r.Epoch.Results)
+	}
+	if r.HeldLock.Results == 0 {
+		t.Fatal("no results produced; workload broken")
+	}
+	if r.HeldLock.OperatorWaitCycles < 0 || r.Epoch.OperatorWaitCycles < 0 {
+		t.Fatalf("negative wait-cycle delta: held-lock %d, epoch %d",
+			r.HeldLock.OperatorWaitCycles, r.Epoch.OperatorWaitCycles)
+	}
+	t.Logf("op-lock wait cycles: held-lock %d (%d events) vs epoch %d (%d events)",
+		r.HeldLock.OperatorWaitCycles, r.HeldLock.OperatorWaitEvents,
+		r.Epoch.OperatorWaitCycles, r.Epoch.OperatorWaitEvents)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back ContentionResult
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("artifact does not round-trip: %v", err)
+	}
+	if back.HeldLock.OperatorWaitCycles != r.HeldLock.OperatorWaitCycles {
+		t.Fatalf("round-trip lost cycles: %d != %d",
+			back.HeldLock.OperatorWaitCycles, r.HeldLock.OperatorWaitCycles)
+	}
+}
+
+// TestWriteContentionArtifact regenerates BENCH_contention.json at full
+// scale (8 workers x 8 shards) and enforces the acceptance bars via Check.
+// Gated behind -contention-out so `go test ./...` stays fast.
+func TestWriteContentionArtifact(t *testing.T) {
+	if *contentionOut == "" {
+		t.Skip("artifact regeneration only: run via `make bench-contention`")
+	}
+	r, err := ContentionBench(ContentionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Check(0.5); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(*contentionOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := r.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	r.Summary(&buf)
+	t.Log("\n" + buf.String())
+}
+
+// benchProbePath is the shared body of the two probe-path benchmarks: one
+// seeded pipeline run per iteration under the contention profile, with the
+// operator-lock wait cycles reported per op alongside wall time.
+func benchProbePath(b *testing.B, heldLock bool) {
+	prev := runtime.SetMutexProfileFraction(1)
+	defer runtime.SetMutexProfileFraction(prev)
+	opts := ContentionOptions{Ticks: 60, Workers: 8, Shards: 8}.fill()
+	cfg := opts.config(heldLock)
+	opC0, _, _ := amriMutexWait()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	opC1, _, _ := amriMutexWait()
+	b.ReportMetric(float64(opC1-opC0)/float64(b.N), "oplock-wait-cycles/op")
+}
+
+func BenchmarkProbePathHeldLock(b *testing.B) { benchProbePath(b, true) }
+
+func BenchmarkProbePathEpoch(b *testing.B) { benchProbePath(b, false) }

@@ -121,10 +121,10 @@ type ShardWorkerPoint struct {
 // ShardVerifyRun is one real pipeline execution checked against the serial
 // reference digest.
 type ShardVerifyRun struct {
-	Workers int    `json:"workers"`
-	Shards  int    `json:"shards"`
-	Digest  string `json:"digest"`
-	Results uint64 `json:"results"`
+	Workers int     `json:"workers"`
+	Shards  int     `json:"shards"`
+	Digest  string  `json:"digest"`
+	Results uint64  `json:"results"`
 	WallMS  float64 `json:"wall_ms"`
 	Match   bool    `json:"digest_matches_serial"`
 }

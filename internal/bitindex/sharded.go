@@ -41,6 +41,10 @@ const MaxShardBits = 8
 type shard struct {
 	mu  sync.RWMutex
 	dir directory
+	// Pad to a full cache line: shard headers sit in one contiguous array
+	// and their stripe locks are taken from every probe worker at once, so
+	// an unpadded neighbour's lock traffic would invalidate this line.
+	_ [64 - 24 - 16]byte
 }
 
 // migShard is one slice of a migration's old directory. It is deliberately
@@ -232,6 +236,7 @@ func (ix *ShardedIndex) Insert(t *tuple.Tuple) Stats {
 	defer ix.mu.RUnlock()
 	id := shardBucketID(ix.hasher, ix.attrMap, ix.live, t, &st)
 	sh := &ix.shards[ix.live.shardOf(id)]
+	//amrivet:lockhold stripe lock nests inside the epoch read lock by design: ix.mu only pins the directory geometry, the stripe serializes one bucket span (lock DAG, DESIGN.md §10)
 	sh.mu.Lock()
 	sh.dir.put(ix.live.localOf(id), t)
 	sh.mu.Unlock()
@@ -393,6 +398,7 @@ func (ix *ShardedIndex) Search(p query.Pattern, vals []tuple.Value, visit func(*
 				continue
 			}
 			os := &m.shards[k]
+			//amrivet:lockhold old-shard read lock nests inside the epoch read lock by design: probes scan a draining migration's slices one stripe at a time (lock DAG, DESIGN.md §10)
 			os.mu.RLock()
 			cont := probeShardDir(os.dir, m.old, &pl, &st, visit)
 			os.mu.RUnlock()
@@ -409,6 +415,7 @@ func (ix *ShardedIndex) Search(p query.Pattern, vals []tuple.Value, visit func(*
 			continue
 		}
 		sh := &ix.shards[k]
+		//amrivet:lockhold stripe read lock nests inside the epoch read lock by design: concurrent probes of disjoint stripes proceed in parallel (lock DAG, DESIGN.md §10)
 		sh.mu.RLock()
 		cont := probeShardDir(sh.dir, ix.live, &pl, &st, visit)
 		sh.mu.RUnlock()

@@ -82,6 +82,13 @@ type Plan struct {
 	AbortRate float64
 	// PressureRate fires MemoryPressure per handled probe.
 	PressureRate float64
+	// AssessCost is the simulated wall cost of one MemoryPressure shed
+	// assessment: the operator holds its write lock for this long,
+	// modeling the state reclamation a real low-memory signal triggers.
+	// Zero charges nothing (the default; existing chaos plans keep their
+	// timing). The contention benchmark drives its lock-convoy A/B with
+	// this knob — see internal/bench/contention.go.
+	AssessCost time.Duration
 }
 
 // None is the empty plan: no faults are ever injected.
@@ -135,8 +142,16 @@ func Default(seed uint64) Plan {
 type Injector struct {
 	plan   Plan
 	actors int
-	seq    []atomic.Uint64 // event counters, kind-major
-	hits   []atomic.Uint64 // injected-fault counters, kind-major
+	seq    []counter // event counters, kind-major
+	hits   []counter // injected-fault counters, kind-major
+}
+
+// counter is an atomic event counter alone on its cache line. The counter
+// arrays are kind-major with one slot per actor, and every actor bumps its
+// slot on every event — unpadded neighbours would false-share the line.
+type counter struct {
+	atomic.Uint64
+	_ [56]byte
 }
 
 // New builds an injector for the plan over `actors` actors. A disabled
@@ -152,8 +167,8 @@ func New(plan Plan, actors int) *Injector {
 	return &Injector{
 		plan:   plan,
 		actors: actors,
-		seq:    make([]atomic.Uint64, n),
-		hits:   make([]atomic.Uint64, n),
+		seq:    make([]counter, n),
+		hits:   make([]counter, n),
 	}
 }
 
@@ -184,6 +199,14 @@ func (in *Injector) Delay() time.Duration {
 		return 0
 	}
 	return in.plan.Delay
+}
+
+// AssessCost returns the plan's simulated shed-assessment duration.
+func (in *Injector) AssessCost() time.Duration {
+	if in == nil {
+		return 0
+	}
+	return in.plan.AssessCost
 }
 
 // Hits returns how many faults of kind k were injected at actor.

@@ -118,6 +118,11 @@ func newBoundedMailbox[T any](capacity int, policy OverloadPolicy, onShed func(T
 func (m *mailbox[T]) Push(v T) PushResult {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.pushLocked(v)
+}
+
+// pushLocked is Push's body; the caller holds mu.
+func (m *mailbox[T]) pushLocked(v T) PushResult {
 	if m.closed {
 		return PushClosed
 	}
@@ -163,6 +168,28 @@ func (m *mailbox[T]) PushWait(v T) PushResult {
 		m.mu.Unlock()
 	}
 	return m.Push(v)
+}
+
+// PushWaitBatch enqueues a whole batch under one lock acquisition, with
+// PushWait's backpressure per item: under PolicyBlock each item waits for
+// space before it is enqueued (Cond.Wait releases the lock, so the owner
+// drains concurrently). Unlike PushWait's separate wait-then-push critical
+// sections, the wait and the push are atomic here, so a batch never
+// overshoots the cap. The returned results are positional: a PushClosed
+// entry means that item and every later one were refused.
+func (m *mailbox[T]) PushWaitBatch(vs []T) []PushResult {
+	res := make([]PushResult, len(vs))
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, v := range vs {
+		if m.policy == PolicyBlock {
+			for m.capacity > 0 && len(m.items)-m.head >= m.capacity && !m.closed {
+				m.notFull.Wait()
+			}
+		}
+		res[i] = m.pushLocked(v)
+	}
+	return res
 }
 
 // Pop blocks until an item is available or the mailbox is closed and

@@ -52,6 +52,12 @@ type Config struct {
 	// world. Zero keeps the flat index; probes of a state then serialize
 	// on its operator lock even when ProbeWorkers > 1.
 	Shards int
+	// HeldLockProbes restores the pre-epoch probe path: sharded probes
+	// hold the operator lock for reading instead of pinning an index epoch
+	// with one atomic pointer load. The contention benchmark uses it as the
+	// baseline it measures the epoch path against; production runs leave
+	// it false.
+	HeldLockProbes bool
 	// CollectProbeCosts records every probe's modeled cost units, grouped
 	// by tick phase, into Result.ProbeCosts — the raw material for the
 	// offline throughput model in internal/bench. Off by default (it
@@ -161,11 +167,20 @@ type operator struct {
 	spec      *query.StateSpec
 	mb        *mailbox[message]
 	ckptEvery int
-	sharded   bool // probes may share the lock (Config.Shards > 0)
+	window    int64 // event-time window, immutable after construction
+	sharded   bool  // the index is lock-striped (Config.Shards > 0)
+	heldLock  bool  // legacy baseline: sharded probes hold mu (Config.HeldLockProbes)
 	// newIx / newRetained rebuild the operator's state from scratch on a
 	// supervisor restart.
 	newIx       func() (*core.AdaptiveIndex, error)
 	newRetained func() *window.Buckets
+
+	// cur is the epoch pointer the lock-free probe path reads: it always
+	// names the operator's live index incarnation, and is republished by
+	// restore after a checkpoint rebuild. Padded onto its own cache line —
+	// every probe worker loads it, so it must not share a line with mu.
+	cur atomic.Pointer[core.AdaptiveIndex]
+	_   [56]byte
 
 	mu       sync.RWMutex
 	ix       *core.AdaptiveIndex
@@ -177,9 +192,13 @@ type operator struct {
 	retunesBase int // retunes from pre-restart incarnations
 	abortsBase  int // migration aborts from pre-restart incarnations
 
-	length atomic.Int64
-	probes atomic.Uint64
-	failed atomic.Bool
+	// Routed length, probe count and the failure flag are written from
+	// different goroutine contexts (supervisors mutate length on ingest,
+	// probe workers bump probes and length, supervisors raise failed), so
+	// each lives on its own cache line.
+	length padInt64
+	probes padUint64
+	failed padBool
 
 	// Supervisor-goroutine-local state: the message being handled (so a
 	// panic's recover can release it) and the restart count.
@@ -187,10 +206,32 @@ type operator struct {
 	restarts int
 }
 
+// padUint64, padInt64 and padBool are atomic cells padded to a full cache
+// line. The pipeline's counters are bumped concurrently from supervisors,
+// probe workers and the source goroutine; padding keeps one writer's
+// traffic from invalidating an unrelated neighbour's line (false sharing —
+// see DESIGN.md §9 and the falseshare analyzer that enforces this).
+type padUint64 struct {
+	atomic.Uint64
+	_ [56]byte
+}
+
+type padInt64 struct {
+	atomic.Int64
+	_ [56]byte
+}
+
+type padBool struct {
+	atomic.Bool
+	_ [60]byte
+}
+
 // probeScratch is one probe worker's reusable buffers: probe values and
 // match collection live per worker, not per operator, so concurrent
-// probes of the same state never share scratch.
+// probes of the same state never share scratch. w is the worker's index
+// into the cost collector's slot array.
 type probeScratch struct {
+	w       int
 	vals    []tuple.Value
 	matches []*tuple.Tuple
 }
@@ -242,6 +283,10 @@ func (o *operator) restore() (replayed, lost uint64, err error) {
 	lost = uint64(o.sinceCkpt)
 	o.sinceCkpt = 0
 	o.length.Store(int64(o.ix.Len()))
+	// Publish the new incarnation to the lock-free probe path. A probe
+	// that already loaded the old pointer finishes against the old index —
+	// the same old-or-new atomicity the read lock provided.
+	o.cur.Store(o.ix)
 	return uint64(len(o.checkpoint)), lost, nil
 }
 
@@ -263,21 +308,55 @@ func (o *operator) migrationAborts() int {
 
 // shedAssessment drops the state's tuning statistics — the memory-pressure
 // degradation response (statistics are reconstructible; tuples are not).
-func (o *operator) shedAssessment() {
+// The injected cost, when the fault plan sets one, is charged WHILE the
+// write lock is held: a real reclamation walks the state it is shrinking,
+// so the stall-under-lock is the faithful model — and it is precisely the
+// convoy that the held-lock probe baseline suffers and the epoch probe
+// path sidesteps, which is what internal/bench/contention.go measures.
+func (o *operator) shedAssessment(cost time.Duration) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	if cost > 0 {
+		//amrivet:lockhold fault injection: the stall models reclamation walking the locked state; the contention benchmark's A/B depends on it being under the lock
+		time.Sleep(cost)
+	}
 	o.ix.ShedAssessment()
 }
 
 // probe runs one search request against the state, returning the matches
 // and the index work performed. The returned slice aliases the worker's
 // scratch and is valid only until that worker's next probe (safe: the
-// worker consumes the matches before popping another job). With a sharded
-// index the state lock is held for reading, so probes of one state fan out
-// across workers; a flat index demands exclusivity.
+// worker consumes the matches before popping another job). A sharded index
+// is probed lock-free against the current epoch pointer, so probes of one
+// state fan out across workers without touching the operator lock; a flat
+// index demands exclusivity.
 //
 //amrivet:hotpath per-message probe in the worker pool
 func (o *operator) probe(c *tuple.Composite, sc *probeScratch) ([]*tuple.Tuple, bitindex.Stats) {
+	if o.sharded && !o.heldLock {
+		return o.probeEpoch(c, sc)
+	}
+	return o.probeLocked(c, sc)
+}
+
+// probeEpoch is the lock-free probe path: one atomic load pins the index
+// incarnation for the whole search — exactly the old-or-new atomicity the
+// read lock gave against a concurrent restore — and the sharded backend
+// synchronizes internally all the way down its striped directory. The
+// operator lock is never taken, so a retune, checkpoint or restore on the
+// serve goroutine cannot stall the probe fan-out behind it.
+func (o *operator) probeEpoch(c *tuple.Composite, sc *probeScratch) ([]*tuple.Tuple, bitindex.Stats) {
+	ix := o.cur.Load()
+	st := o.searchInto(ix, c, sc)
+	o.probes.Add(1)
+	o.length.Store(int64(ix.Len()))
+	return sc.matches, st
+}
+
+// probeLocked serves the flat index (which demands exclusivity) and the
+// HeldLockProbes baseline (which shares the lock for reading): the whole
+// search runs under the operator lock.
+func (o *operator) probeLocked(c *tuple.Composite, sc *probeScratch) ([]*tuple.Tuple, bitindex.Stats) {
 	if o.sharded {
 		o.mu.RLock()
 		defer o.mu.RUnlock()
@@ -285,6 +364,18 @@ func (o *operator) probe(c *tuple.Composite, sc *probeScratch) ([]*tuple.Tuple, 
 		o.mu.Lock()
 		defer o.mu.Unlock()
 	}
+	//amrivet:lockhold flat index demands exclusivity for the whole search; the held-lock sharded form exists only as the contention benchmark's baseline
+	st := o.searchInto(o.ix, c, sc)
+	o.probes.Add(1)
+	o.length.Store(int64(o.ix.Len()))
+	return sc.matches, st
+}
+
+// searchInto runs one pattern search against the given index incarnation,
+// collecting matches into the worker's scratch. Locking (or the absence of
+// it) is the caller's business: the body reads only the immutable spec,
+// the cached window, and the passed-in index.
+func (o *operator) searchInto(ix *core.AdaptiveIndex, c *tuple.Composite, sc *probeScratch) bitindex.Stats {
 	p := o.spec.PatternForDone(c.Done)
 	vals := sc.vals[:o.spec.NumAttrs()]
 	for i, ja := range o.spec.JAS {
@@ -297,11 +388,11 @@ func (o *operator) probe(c *tuple.Composite, sc *probeScratch) ([]*tuple.Tuple, 
 	drv := c.Driver()
 	driver := drv.Arrival
 	sc.matches = sc.matches[:0]
-	st := o.ix.Search(p, vals, func(x *tuple.Tuple) bool {
+	return ix.Search(p, vals, func(x *tuple.Tuple) bool {
 		if driver != 0 && x.Arrival >= driver {
 			return true // exactly-once: only the newest member drives a result
 		}
-		if driver != 0 && x.TS <= drv.TS-o.retained.Window() {
+		if driver != 0 && x.TS <= drv.TS-o.window {
 			return true // outside the driver's event-time window
 		}
 		ok := true
@@ -316,9 +407,6 @@ func (o *operator) probe(c *tuple.Composite, sc *probeScratch) ([]*tuple.Tuple, 
 		}
 		return true
 	})
-	o.probes.Add(1)
-	o.length.Store(int64(o.ix.Len()))
-	return sc.matches, st
 }
 
 // run bundles one Run invocation's shared machinery: the operator set, the
@@ -344,19 +432,23 @@ type run struct {
 	nextHop func(done uint32) int
 	observe func(i, j, matches, stateLen int)
 
-	results    atomic.Uint64
-	ingested   atomic.Uint64
-	sheds      []atomic.Uint64
-	ingestShed atomic.Uint64
-	probeShed  atomic.Uint64
-	ingestLost atomic.Uint64
-	probeLost  atomic.Uint64
-	restarts   atomic.Uint64
-	permFailed atomic.Uint64
-	replayed   atomic.Uint64
-	stateLost  atomic.Uint64
-	delays     atomic.Uint64
-	pressure   atomic.Uint64
+	// Every run counter is cache-line padded: results and probeShed are
+	// bumped by probe workers, ingested and restarts by supervisors,
+	// delays by the source — all concurrently, and unpadded they would
+	// pack thirteen hot words into two lines.
+	results    padUint64
+	ingested   padUint64
+	sheds      []padUint64
+	ingestShed padUint64
+	probeShed  padUint64
+	ingestLost padUint64
+	probeLost  padUint64
+	restarts   padUint64
+	permFailed padUint64
+	replayed   padUint64
+	stateLost  padUint64
+	delays     padUint64
+	pressure   padUint64
 }
 
 // probeJob is one composite dispatched to the probe worker pool.
@@ -365,33 +457,46 @@ type probeJob struct {
 	comp *tuple.Composite
 }
 
-// costCollector accumulates the per-tick probe cost trace under its own
-// lock (workers append concurrently; the tick loop flushes between
-// phases).
+// costCollector accumulates the per-tick probe cost trace in per-worker
+// slots: each worker appends lock-free to its own slot, and the tick loop
+// merges them after the phase barrier (p.wg.Wait orders every append
+// before the flush, so the merge needs no lock either). Entries within a
+// tick were always an unordered multiset — see Result.ProbeCosts — so the
+// slot-order merge changes nothing observable.
 type costCollector struct {
-	mu    sync.Mutex
-	tick  []ProbeCost
+	slots []costSlot
 	ticks [][]ProbeCost
 }
 
-func (c *costCollector) add(pc ProbeCost) {
-	c.mu.Lock()
-	c.tick = append(c.tick, pc)
-	c.mu.Unlock()
+// costSlot is one worker's private buffer, padded so neighbouring workers'
+// append bookkeeping does not share a cache line.
+type costSlot struct {
+	buf []ProbeCost
+	_   [40]byte
 }
 
+func newCostCollector(workers int) *costCollector {
+	return &costCollector{slots: make([]costSlot, workers)}
+}
+
+// add records one probe's cost in worker w's slot. Only worker w calls it.
+func (c *costCollector) add(w int, pc ProbeCost) {
+	c.slots[w].buf = append(c.slots[w].buf, pc)
+}
+
+// flush merges the slots into one tick entry; callers must have quiesced
+// the workers first.
 func (c *costCollector) flush() {
-	c.mu.Lock()
-	c.ticks = append(c.ticks, c.tick)
-	c.tick = nil
-	c.mu.Unlock()
+	var tick []ProbeCost
+	for i := range c.slots {
+		tick = append(tick, c.slots[i].buf...)
+		c.slots[i].buf = c.slots[i].buf[:0]
+	}
+	c.ticks = append(c.ticks, tick)
 }
 
 func (c *costCollector) trace() [][]ProbeCost {
-	c.mu.Lock()
-	t := c.ticks
-	c.mu.Unlock()
-	return t
+	return c.ticks
 }
 
 // accountShed records one dropped message against its target operator.
@@ -441,6 +546,45 @@ func (p *run) deliver(target int, m message, fromSource bool) {
 	}
 }
 
+// deliverIngestBatch routes one tick's arrivals for a single operator with
+// deliver's per-message fault and overload accounting, but one batched
+// mailbox push for the survivors — one lock acquisition per (operator,
+// tick) instead of one per tuple. The injector decisions run first, in
+// arrival order, so every (kind, actor) decision sequence is exactly the
+// per-message schedule; only the lock traffic changes.
+func (p *run) deliverIngestBatch(target int, ts []*tuple.Tuple) {
+	o := p.ops[target]
+	msgs := make([]message, 0, len(ts))
+	for _, t := range ts {
+		m := message{ingest: t}
+		if o.failed.Load() {
+			p.accountShed(target, m)
+			continue
+		}
+		if p.inj.Decide(fault.MailboxSaturate, target) {
+			p.accountShed(target, m)
+			continue
+		}
+		if p.inj.Decide(fault.MailboxDelay, target) {
+			p.delays.Add(1)
+			time.Sleep(p.inj.Delay())
+		}
+		msgs = append(msgs, m)
+	}
+	if len(msgs) == 0 {
+		return
+	}
+	p.wg.Add(len(msgs))
+	for i, r := range o.mb.PushWaitBatch(msgs) {
+		// Shed results are accounted by the mailbox's onShed hook, as in
+		// deliver; a closed mailbox leaves the refused message to us.
+		if r == PushClosed {
+			p.accountShed(target, msgs[i])
+			p.wg.Done()
+		}
+	}
+}
+
 // handleIngest processes one arrival on the operator's own goroutine.
 func (p *run) handleIngest(o *operator, msg message) {
 	// The panic fault fires while an arrival is being handled — after the
@@ -458,12 +602,12 @@ func (p *run) handleIngest(o *operator, msg message) {
 // handleComp processes one probe on a worker goroutine.
 func (p *run) handleComp(o *operator, comp *tuple.Composite, sc *probeScratch) {
 	if p.inj.Decide(fault.MemoryPressure, o.id) {
-		o.shedAssessment()
+		o.shedAssessment(p.inj.AssessCost())
 		p.pressure.Add(1)
 	}
 	matches, st := o.probe(comp, sc)
 	if p.collect != nil {
-		p.collect.add(ProbeCost{Op: o.id, Units: float64(
+		p.collect.add(sc.w, ProbeCost{Op: o.id, Units: float64(
 			sim.Units(st.Hashes)*p.costs.Hash +
 				sim.Units(st.Buckets)*p.costs.Bucket +
 				sim.Units(st.DirScans)*p.costs.DirScan +
@@ -649,12 +793,12 @@ func Run(cfg Config) (*Result, error) {
 		n:       n,
 		ops:     make([]*operator, n),
 		inj:     fault.New(cfg.Fault, n),
-		sheds:   make([]atomic.Uint64, n),
+		sheds:   make([]padUint64, n),
 		probeCh: make(chan probeJob, cfg.ProbeWorkers),
 		costs:   sim.DefaultCosts(),
 	}
 	if cfg.CollectProbeCosts {
-		p.collect = &costCollector{}
+		p.collect = newCostCollector(cfg.ProbeWorkers)
 	}
 	maxAttrs := 0
 	for s := 0; s < n; s++ {
@@ -691,12 +835,15 @@ func Run(cfg Config) (*Result, error) {
 			id:          s,
 			spec:        spec,
 			ckptEvery:   cfg.CheckpointEvery,
+			window:      q.WindowTicks,
 			sharded:     cfg.Shards > 0,
+			heldLock:    cfg.HeldLockProbes,
 			newIx:       newIx,
 			newRetained: newRetained,
 			ix:          ix,
 			retained:    newRetained(),
 		}
+		o.cur.Store(ix)
 		o.mb = newBoundedMailbox[message](cfg.MailboxCap, cfg.ShedPolicy,
 			func(m message, _ PushResult) {
 				p.accountShed(o.id, m)
@@ -738,10 +885,10 @@ func Run(cfg Config) (*Result, error) {
 	var workerWG sync.WaitGroup
 	for w := 0; w < cfg.ProbeWorkers; w++ {
 		workerWG.Add(1)
-		go func() {
+		go func(w int) {
 			defer workerWG.Done()
-			p.probeWorker(&probeScratch{vals: make([]tuple.Value, maxAttrs)})
-		}()
+			p.probeWorker(&probeScratch{w: w, vals: make([]tuple.Value, maxAttrs)})
+		}(w)
 	}
 
 	start := time.Now()
@@ -751,6 +898,7 @@ func Run(cfg Config) (*Result, error) {
 	// the arrival-stamp filter this makes the concurrent result set equal
 	// to the engine's (routing order cannot change a join's result set).
 	// Operators still run fully in parallel within each phase.
+	perOp := make([][]*tuple.Tuple, n)
 	for tick := int64(0); tick < cfg.Ticks; tick++ {
 		batch := gen.Tick(tick)
 		if len(q.Filters) > 0 {
@@ -763,8 +911,17 @@ func Run(cfg Config) (*Result, error) {
 			}
 			batch = kept
 		}
+		// Group the tick's arrivals per target operator and deliver each
+		// group as one batched push: same fault schedule, one mailbox lock
+		// acquisition per operator instead of one per tuple.
 		for _, t := range batch {
-			p.deliver(t.Stream, message{ingest: t}, true)
+			perOp[t.Stream] = append(perOp[t.Stream], t)
+		}
+		for s := 0; s < n; s++ {
+			if len(perOp[s]) > 0 {
+				p.deliverIngestBatch(s, perOp[s])
+				perOp[s] = perOp[s][:0]
+			}
 		}
 		p.wg.Wait()
 		for _, t := range batch {

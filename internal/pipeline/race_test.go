@@ -40,13 +40,16 @@ func newTestOperator(t *testing.T, q *query.Query, autoTuneEvery uint64, seed ui
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &operator{
+	o := &operator{
 		spec:     spec,
 		mb:       newMailbox[message](),
+		window:   q.WindowTicks,
 		sharded:  shards > 0,
 		ix:       ix,
 		retained: window.New(q.WindowTicks, 0),
 	}
+	o.cur.Store(ix)
+	return o
 }
 
 // TestConcurrentProbeRetuneRace hammers one operator from concurrent
