@@ -5,7 +5,7 @@
 GO ?= go
 AMRIVET := bin/amrivet
 
-.PHONY: all build vet lint fixtures test race chaos bench-smoke bench-json bench-contention ci clean
+.PHONY: all build vet lint fixtures test race chaos chaos-sweep bench-smoke bench-json bench-contention ci clean
 
 all: build
 
@@ -49,6 +49,18 @@ chaos:
 	$(GO) test -race -count=1 \
 		-run 'Chaos|Leak|Mailbox|MigrateGate|AbortMigration|Watermark' \
 		./internal/pipeline ./internal/bitindex ./internal/core ./internal/engine
+
+# chaos-sweep is the durability gate (DESIGN.md §11): the crash/recover
+# exploration harness sweeps seeds × fault plans × crash points under the
+# race detector, checking the invariants after every recovery; then the
+# lying-disk self-test proves the harness still catches a real failure,
+# minimizes it to chaos-repro.json, and the repro replays to a failure
+# through `amripipe -replay`.
+chaos-sweep:
+	$(GO) run -race ./cmd/amrichaos -seeds 3 -ticks 24
+	$(GO) run -race ./cmd/amrichaos -seeds 1 -ticks 20 -flake-every 2 \
+		-expect-fail -out chaos-repro.json
+	$(GO) run -race ./cmd/amripipe -replay chaos-repro.json; test $$? -eq 1
 
 # bench-smoke proves the hot-path benchmarks still run (1 iteration each);
 # it is a compile-and-execute gate, not a performance measurement.

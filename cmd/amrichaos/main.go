@@ -1,0 +1,119 @@
+// Command amrichaos is the chaos-exploration harness: it sweeps workload
+// seeds × fault plans × crash points through the durable concurrent
+// pipeline, checks the durability invariants after every recovery (result
+// digest vs an uncrashed serial reference, conservation, lossless restore,
+// WAL/checkpoint audit, goroutine leaks), and on the first failure
+// delta-debugs the scenario down to a minimal JSON repro that
+// `amripipe -replay` reproduces deterministically.
+//
+// Usage:
+//
+//	amrichaos [-seeds 3] [-ticks 24] [-workers 8] [-shards 8]
+//	          [-flake-every 0] [-out chaos-repro.json] [-budget 64]
+//	          [-expect-fail] [-v]
+//
+// Exit status: 0 when every scenario passes (or, with -expect-fail, when a
+// failure was found and its minimized repro still fails); 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"amri/internal/chaos"
+	"amri/internal/fault"
+)
+
+func main() {
+	var (
+		seeds      = flag.Uint64("seeds", 3, "sweep workload seeds 1..N")
+		ticks      = flag.Int64("ticks", 24, "run horizon per scenario")
+		workers    = flag.Int("workers", 8, "probe workers per scenario")
+		shards     = flag.Int("shards", 8, "index shards per scenario (0 = flat)")
+		flakeEvery = flag.Int("flake-every", 0, "wrap the store in a lying disk dropping every Nth WAL append (0 = honest store)")
+		out        = flag.String("out", "chaos-repro.json", "where to write the minimized repro on failure")
+		budget     = flag.Int("budget", 64, "Explore-probe budget for minimization")
+		expectFail = flag.Bool("expect-fail", false, "invert the verdict: succeed only if a failure is found and its minimized repro still fails")
+		verbose    = flag.Bool("v", false, "print every scenario, not just failures")
+	)
+	flag.Parse()
+
+	explored := 0
+	for seed := uint64(1); seed <= *seeds; seed++ {
+		for _, plan := range plans(seed, *ticks) {
+			sc := chaos.Scenario{
+				Seed:       seed,
+				Ticks:      *ticks,
+				Workers:    *workers,
+				Shards:     *shards,
+				Plan:       plan,
+				FlakeEvery: *flakeEvery,
+			}
+			rep := chaos.Explore(sc)
+			explored++
+			if *verbose || rep.Failed() {
+				fmt.Printf("seed %d crashes %v faults(p=%g s=%g a=%g): %s\n",
+					seed, plan.CrashTicks, plan.PanicRate, plan.SaturateRate, plan.AbortRate, verdict(rep))
+			}
+			if rep.Failed() {
+				os.Exit(fail(sc, rep, *out, *budget, *expectFail))
+			}
+		}
+	}
+	fmt.Printf("amrichaos: %d scenarios explored, every invariant held\n", explored)
+	if *expectFail {
+		fmt.Fprintln(os.Stderr, "amrichaos: -expect-fail set but no scenario failed")
+		os.Exit(1)
+	}
+}
+
+// plans builds the fault-plan axis of the sweep for one seed: a pure crash
+// schedule, light background chaos, and heavy chaos with aborted
+// migrations — each paired with seed-staggered crash points.
+func plans(seed uint64, ticks int64) []fault.Plan {
+	c1 := int64(seed) % ticks
+	c2 := (ticks/2 + int64(seed)) % ticks
+	if c2 <= c1 {
+		c1, c2 = c2, c1+ticks/3+1
+		if c2 >= ticks {
+			c2 = ticks - 1
+		}
+	}
+	crashes := []int64{c1, c2}
+	return []fault.Plan{
+		{Seed: seed, CrashTicks: crashes},
+		{Seed: seed, PanicRate: 0.002, DelayRate: 0.002, Delay: 10_000, CrashTicks: crashes},
+		{Seed: seed, PanicRate: 0.005, SaturateRate: 0.01, AbortRate: 1.0, PressureRate: 0.01, CrashTicks: crashes},
+	}
+}
+
+func verdict(rep *chaos.Report) string {
+	if !rep.Failed() {
+		return fmt.Sprintf("ok (%d results, %d recoveries)", rep.Results, rep.Recoveries)
+	}
+	return fmt.Sprintf("FAIL (%d violations)", len(rep.Violations))
+}
+
+// fail minimizes the failing scenario, writes the repro, and returns the
+// process exit status honoring -expect-fail.
+func fail(sc chaos.Scenario, rep *chaos.Report, out string, budget int, expectFail bool) int {
+	for _, v := range rep.Violations {
+		fmt.Printf("  violation: %s\n", v)
+	}
+	fmt.Printf("minimizing (budget %d probes)...\n", budget)
+	min, st := chaos.Minimize(sc, budget)
+	minRep := chaos.Explore(min)
+	fmt.Printf("minimized after %d probes: seed %d, %d ticks, %d workers, %d shards, crashes %v — %s\n",
+		st.Probes, min.Seed, min.Ticks, min.Workers, min.Shards, min.Plan.CrashTicks, verdict(minRep))
+	if err := chaos.WriteRepro(out, min); err != nil {
+		fmt.Fprintln(os.Stderr, "amrichaos: write repro:", err)
+		return 1
+	}
+	fmt.Printf("repro written to %s (replay with: amripipe -replay %s)\n", out, out)
+	if expectFail && minRep.Failed() {
+		fmt.Println("amrichaos: failure found and minimized repro still fails, as expected")
+		return 0
+	}
+	return 1
+}

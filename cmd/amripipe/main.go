@@ -5,10 +5,14 @@
 // restart from checkpoints, deliveries stall or saturate, and migrations
 // abort mid-step, all on a reproducible seeded schedule.
 //
+// With -replay it loads a fault-plan repro emitted by cmd/amrichaos and
+// replays it deterministically, re-checking every durability invariant.
+//
 // Usage:
 //
 //	amripipe [-ticks 300] [-seed 1] [-method cdia-h] [-rate 50] [-procs N]
 //	         [-mailbox-cap 0] [-shed-policy block] [-chaos-seed 0]
+//	amripipe -replay repro.json
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"os"
 	"runtime"
 
+	"amri/internal/chaos"
 	"amri/internal/core"
 	"amri/internal/fault"
 	"amri/internal/pipeline"
@@ -33,11 +38,16 @@ func main() {
 		mboxCap   = flag.Int("mailbox-cap", 0, "operator mailbox capacity (0 = unbounded)")
 		shedPol   = flag.String("shed-policy", "block", "overload policy: block, drop-newest, drop-oldest")
 		chaosSeed = flag.Uint64("chaos-seed", 0, "fault-injection seed (0 = no faults)")
+		replay    = flag.String("replay", "", "replay a chaos repro file instead of running the workload")
 	)
 	flag.Parse()
 
 	if *procs > 0 {
 		runtime.GOMAXPROCS(*procs)
+	}
+
+	if *replay != "" {
+		os.Exit(replayRepro(*replay))
 	}
 
 	var m core.Method
@@ -107,4 +117,33 @@ func main() {
 		fmt.Printf("faults:          %d migration aborts, %d delivery stalls, %d pressure events\n",
 			r.MigrationAborts, r.InjectedDelays, r.PressureEvents)
 	}
+}
+
+// replayRepro re-runs a scenario emitted by cmd/amrichaos and reports
+// whether the recorded failure still reproduces. Exit status: 0 if every
+// invariant now holds, 1 if the repro still fails.
+func replayRepro(path string) int {
+	sc, err := chaos.LoadRepro(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amripipe:", err)
+		return 2
+	}
+	fmt.Printf("replaying %s: seed %d, %d ticks, %d workers, %d shards, crashes %v",
+		path, sc.Seed, sc.Ticks, sc.Workers, sc.Shards, sc.Plan.CrashTicks)
+	if sc.FlakeEvery > 1 {
+		fmt.Printf(", flaky store (drop every %d)", sc.FlakeEvery)
+	}
+	fmt.Println()
+	rep := chaos.Explore(sc)
+	fmt.Printf("results:    %d (reference %d), %d recoveries, %d WAL appends dropped\n",
+		rep.Results, rep.RefResults, rep.Recoveries, rep.Dropped)
+	if !rep.Failed() {
+		fmt.Println("verdict:    PASS — every durability invariant holds")
+		return 0
+	}
+	fmt.Printf("verdict:    FAIL — %d invariant violation(s)\n", len(rep.Violations))
+	for _, v := range rep.Violations {
+		fmt.Printf("  - %s\n", v)
+	}
+	return 1
 }

@@ -1,0 +1,130 @@
+package chaos
+
+// Scenario minimization: a failing scenario is delta-debugged down to a
+// minimal reproduction — fault classes are cleared one by one, the crash
+// schedule is ddmin-reduced, the horizon and fan-out shrink, and finally
+// the seeds are canonicalized — keeping each reduction only if the smaller
+// scenario still fails. Every probe is a full Explore, so the result is a
+// scenario that provably still violates an invariant.
+
+import "amri/internal/fault"
+
+// MinimizeStats reports what the minimizer did.
+type MinimizeStats struct {
+	// Probes is how many Explore runs the search spent.
+	Probes int `json:"probes"`
+	// Budget is the probe cap the search ran under.
+	Budget int `json:"budget"`
+}
+
+// Minimize shrinks a failing scenario, spending at most budget Explore
+// probes (<= 0 means a default of 64). The returned scenario is the
+// smallest failing one found; if sc does not fail at all it is returned
+// unchanged.
+func Minimize(sc Scenario, budget int) (Scenario, MinimizeStats) {
+	if budget <= 0 {
+		budget = 64
+	}
+	st := MinimizeStats{Budget: budget}
+	fails := func(s Scenario) bool {
+		if st.Probes >= budget {
+			return false // out of budget: treat as not-failing, keep current best
+		}
+		st.Probes++
+		return Explore(s).Failed()
+	}
+	if !fails(sc) {
+		return sc, st
+	}
+	best := sc.withDefaults()
+
+	// 1. Fault classes: clear each event family; keep it cleared if the
+	// failure survives without it.
+	classes := []struct {
+		name  string
+		clear func(*fault.Plan)
+	}{
+		{"panic", func(p *fault.Plan) { p.PanicRate = 0 }},
+		{"saturate", func(p *fault.Plan) { p.SaturateRate = 0 }},
+		{"delay", func(p *fault.Plan) { p.DelayRate = 0; p.Delay = 0 }},
+		{"abort", func(p *fault.Plan) { p.AbortRate = 0 }},
+		{"pressure", func(p *fault.Plan) { p.PressureRate = 0 }},
+		{"assess-cost", func(p *fault.Plan) { p.AssessCost = 0 }},
+	}
+	for _, c := range classes {
+		cand := best
+		cand.Plan = best.Plan
+		c.clear(&cand.Plan)
+		if fails(cand) {
+			best = cand
+		}
+	}
+
+	// 2. Crash schedule: try dropping it wholesale, then ddmin the
+	// remaining ticks one element at a time until no single removal keeps
+	// the failure alive.
+	if len(best.Plan.CrashTicks) > 0 {
+		cand := best
+		cand.Plan.CrashTicks = nil
+		if fails(cand) {
+			best = cand
+		}
+	}
+	for changed := true; changed && len(best.Plan.CrashTicks) > 1; {
+		changed = false
+		for i := range best.Plan.CrashTicks {
+			cand := best
+			cand.Plan.CrashTicks = append(append([]int64(nil), best.Plan.CrashTicks[:i]...), best.Plan.CrashTicks[i+1:]...)
+			if fails(cand) {
+				best = cand
+				changed = true
+				break
+			}
+		}
+	}
+
+	// 3. Horizon: halve while the failure survives (never below the crash
+	// schedule — a crash tick past the horizon never fires).
+	minTicks := int64(2)
+	for _, ct := range best.Plan.CrashTicks {
+		if ct+2 > minTicks {
+			minTicks = ct + 2
+		}
+	}
+	for best.Ticks/2 >= minTicks {
+		cand := best
+		cand.Ticks = best.Ticks / 2
+		if !fails(cand) {
+			break
+		}
+		best = cand
+	}
+
+	// 4. Fan-out: smallest configuration that still fails.
+	for _, fan := range [][2]int{{1, 0}, {2, 2}, {4, 4}} {
+		if fan[0] >= best.Workers {
+			break
+		}
+		cand := best
+		cand.Workers, cand.Shards = fan[0], fan[1]
+		if fails(cand) {
+			best = cand
+			break
+		}
+	}
+
+	// 5. Seeds: canonicalize to the smallest failing seed.
+	for s := uint64(1); s <= 3; s++ {
+		if s == best.Seed {
+			continue
+		}
+		cand := best
+		cand.Seed = s
+		cand.Plan.Seed = s
+		if fails(cand) {
+			best = cand
+			break
+		}
+	}
+	return best, st
+}

@@ -381,6 +381,20 @@ func (a *AdaptiveIndex) ShedAssessment() {
 // Config returns the active index configuration.
 func (a *AdaptiveIndex) Config() bitindex.Config { return a.ix.Config() }
 
+// ForceConfig migrates the index straight to cfg, bypassing the tuner, the
+// hysteresis and the MigrateGate fault hook, and without counting a retune.
+// It exists for crash recovery: a rebuilt index must come back under the
+// configuration the tuner had reached — re-imposing persisted state, not
+// making a new tuning decision, so no fault-injection event is consumed and
+// the injector's schedule stays aligned with the pre-crash run.
+func (a *AdaptiveIndex) ForceConfig(cfg bitindex.Config) error {
+	if cfg.Equal(a.ix.Config()) {
+		return nil
+	}
+	_, err := a.ix.Migrate(cfg)
+	return err
+}
+
 // Len returns the number of stored tuples.
 func (a *AdaptiveIndex) Len() int { return a.ix.Len() }
 

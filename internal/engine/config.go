@@ -13,6 +13,7 @@ import (
 
 	"amri/internal/query"
 	"amri/internal/sim"
+	"amri/internal/storage"
 	"amri/internal/stream"
 	"amri/internal/tuple"
 )
@@ -207,6 +208,26 @@ type RunConfig struct {
 	ContentRouting bool
 	// SampleEvery is the metrics sampling period in ticks.
 	SampleEvery int64
+	// Durable, when non-nil, makes the run recoverable: at every quiescent
+	// DurableEvery boundary (backlog empty) the engine persists a full
+	// checkpoint — each state's retained window and index configuration,
+	// plus a run record with the cumulative counters — and engine.Recover
+	// can rebuild the run from the newest one. Requires the internal
+	// generator (Source must be nil): recovery rolls the run back to the
+	// checkpoint boundary and replays forward deterministically, so the
+	// workload source must be regenerable.
+	Durable storage.CheckpointStore
+	// DurableEvery is the checkpoint cadence in ticks (default 1 when
+	// Durable is set). Boundaries with a non-empty backlog are skipped —
+	// a checkpoint is only exact when the tick's work has fully drained —
+	// so a CPU-starved run checkpoints at the next quiescent boundary.
+	DurableEvery int64
+	// CrashAfterTicks, when positive, kills the run at the boundary after
+	// that many completed ticks (EndCrashed), modelling a whole-process
+	// death for the crash/recover tests and the chaos harness. Requires
+	// Durable. CrashAfterTicks == N crashes after tick N-1's boundary work,
+	// checkpoint included.
+	CrashAfterTicks int64
 	// OnResult, when set, receives every emitted join result with the tick
 	// it was produced at — the hook the aggregation layer (internal/agg)
 	// and custom consumers attach to. The composite is shared; consumers
@@ -265,6 +286,18 @@ func (c *RunConfig) Validate() error {
 	}
 	if c.SampleEvery <= 0 {
 		return fmt.Errorf("engine: SampleEvery must be positive")
+	}
+	if c.DurableEvery < 0 {
+		return fmt.Errorf("engine: DurableEvery must be non-negative")
+	}
+	if c.CrashAfterTicks < 0 {
+		return fmt.Errorf("engine: CrashAfterTicks must be non-negative")
+	}
+	if c.CrashAfterTicks > 0 && c.Durable == nil {
+		return fmt.Errorf("engine: CrashAfterTicks requires Durable — a crash without a store loses the run")
+	}
+	if c.Durable != nil && c.Source != nil {
+		return fmt.Errorf("engine: Durable requires the internal generator; an external Source cannot be replayed on recovery")
 	}
 	return c.Profile.Validate()
 }

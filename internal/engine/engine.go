@@ -77,6 +77,10 @@ type Engine struct {
 
 	curTick int64
 
+	// durableErr latches the first durable-store failure; persistence stops
+	// there but the run continues (see DurableErr).
+	durableErr error
+
 	// allowance is the cumulative CPU capacity granted so far. Every
 	// charge — expiry, tuning, migration, queue processing — draws from
 	// the same pool, so maintenance-heavy contenders genuinely crowd out
@@ -261,7 +265,13 @@ func (e *Engine) newAssessor(spec *query.StateSpec, salt uint64) (assess.Assesso
 // Run executes the workload to the horizon or until the memory cap trips,
 // returning the sampled throughput series.
 func (e *Engine) Run() *metrics.RunResult {
-	res := &metrics.RunResult{Name: e.sys.Name, End: metrics.EndCompleted}
+	return e.runFrom(0)
+}
+
+// runFrom is Run's body, parameterized on the starting tick so Recover can
+// resume a restored engine mid-run.
+func (e *Engine) runFrom(startTick int64) *metrics.RunResult {
+	res := &metrics.RunResult{Name: e.sys.Name, End: metrics.EndCompleted, ResumedTick: startTick}
 	sample := func(tick int64) {
 		used := e.meter.Used()
 		if used > res.PeakMemBytes {
@@ -274,7 +284,7 @@ func (e *Engine) Run() *metrics.RunResult {
 	}
 
 	var tick int64
-	for tick = 0; tick < e.run.MaxTicks; tick++ {
+	for tick = startTick; tick < e.run.MaxTicks; tick++ {
 		e.curTick = tick
 		// 0. Re-exploration: routes are re-learned at the start of every
 		// drift epoch, then the router settles down.
@@ -351,6 +361,19 @@ func (e *Engine) Run() *metrics.RunResult {
 		}
 		if e.meter.OverCap() {
 			res.End = metrics.EndOOM
+			break
+		}
+
+		// 6. Durability boundary: persist a checkpoint at the cadence (only
+		// when quiescent — with work still queued the states are mid-tick in
+		// a way the checkpoint cannot represent, so the boundary is skipped
+		// and recovery rolls back to the previous quiescent one), then honor
+		// a scheduled crash point.
+		if e.run.Durable != nil && (tick+1)%e.durableEvery() == 0 && e.Backlog() == 0 {
+			e.persistCheckpoint(tick)
+		}
+		if e.run.CrashAfterTicks > 0 && tick+1 == e.run.CrashAfterTicks {
+			res.End = metrics.EndCrashed
 			break
 		}
 	}

@@ -1,0 +1,299 @@
+package engine
+
+// Whole-engine crash recovery. The deterministic engine's durability model
+// is rollback-replay: at every quiescent DurableEvery boundary the run
+// persists each state's retained window (in deterministic timestamp order)
+// and index configuration plus a run record with the cumulative counters;
+// Recover rebuilds the states from the newest checkpoint, fast-forwards the
+// seeded generator past the consumed ticks, and replays forward. Everything
+// regenerable is regenerated rather than persisted — arrivals come back out
+// of the generator, and learned statistics (router estimates, assessor
+// tables, in-flight incremental migrations) rebuild from live traffic, the
+// same reconstructibility argument the degrade path already makes. With the
+// CPU budget ample enough that every tick drains, the recovered result set
+// is identical to the uncrashed run's; constrained-CPU runs recover with the
+// same guarantees but per-segment cost accounting.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"amri/internal/metrics"
+	"amri/internal/storage"
+	"amri/internal/tuple"
+)
+
+// engineWALRunRecord is the engine WAL's only record kind: one cumulative
+// counter snapshot per persisted boundary.
+const engineWALRunRecord byte = 1
+
+// engineCkptVersion guards the per-state checkpoint wire format.
+const engineCkptVersion byte = 1
+
+// runRecord snapshots the run's cumulative accounting at a durable tick
+// boundary. Probes and retunes are advisory (the replayed segment may route
+// and tune differently); results and the degradation counters are exact.
+type runRecord struct {
+	Tick            int64
+	Results         uint64
+	Probes          uint64
+	Retunes         int64
+	ShedTasks       uint64
+	DegradedTicks   int64
+	WatermarkMisses int64
+}
+
+func (r *runRecord) encode() []byte {
+	buf := make([]byte, 0, 1+7*8)
+	buf = append(buf, engineWALRunRecord)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Tick))
+	buf = binary.LittleEndian.AppendUint64(buf, r.Results)
+	buf = binary.LittleEndian.AppendUint64(buf, r.Probes)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Retunes))
+	buf = binary.LittleEndian.AppendUint64(buf, r.ShedTasks)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.DegradedTicks))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.WatermarkMisses))
+	return buf
+}
+
+func decodeRunRecord(buf []byte) (*runRecord, error) {
+	if len(buf) != 1+7*8 || buf[0] != engineWALRunRecord {
+		return nil, fmt.Errorf("engine: malformed run record (%d bytes)", len(buf))
+	}
+	return &runRecord{
+		Tick:            int64(binary.LittleEndian.Uint64(buf[1:9])),
+		Results:         binary.LittleEndian.Uint64(buf[9:17]),
+		Probes:          binary.LittleEndian.Uint64(buf[17:25]),
+		Retunes:         int64(binary.LittleEndian.Uint64(buf[25:33])),
+		ShedTasks:       binary.LittleEndian.Uint64(buf[33:41]),
+		DegradedTicks:   int64(binary.LittleEndian.Uint64(buf[41:49])),
+		WatermarkMisses: int64(binary.LittleEndian.Uint64(buf[49:57])),
+	}, nil
+}
+
+// stateCheckpoint is one state's durable snapshot: its retained tuples in
+// ascending timestamp order and, for bit-index states, the tuned directory
+// configuration they should be re-indexed under.
+type stateCheckpoint struct {
+	State   int
+	CfgBits []uint8 // nil for non-bit backends
+	Tuples  []*tuple.Tuple
+}
+
+func (c *stateCheckpoint) encode() []byte {
+	buf := make([]byte, 0, 16+len(c.CfgBits)+64*len(c.Tuples))
+	buf = append(buf, engineCkptVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.State))
+	if c.CfgBits != nil {
+		buf = append(buf, 1)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(c.CfgBits)))
+		buf = append(buf, c.CfgBits...)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.Tuples)))
+	for _, t := range c.Tuples {
+		buf = tuple.AppendTuple(buf, t)
+	}
+	return buf
+}
+
+func decodeStateCheckpoint(buf []byte) (*stateCheckpoint, error) {
+	if len(buf) < 1+4+1 || buf[0] != engineCkptVersion {
+		return nil, fmt.Errorf("engine: malformed state checkpoint (%d bytes)", len(buf))
+	}
+	c := &stateCheckpoint{State: int(binary.LittleEndian.Uint32(buf[1:5]))}
+	hasCfg := buf[5]
+	buf = buf[6:]
+	if hasCfg != 0 {
+		if len(buf) < 2 {
+			return nil, fmt.Errorf("engine: truncated checkpoint config length")
+		}
+		nbits := int(binary.LittleEndian.Uint16(buf[:2]))
+		buf = buf[2:]
+		if len(buf) < nbits {
+			return nil, fmt.Errorf("engine: truncated checkpoint config")
+		}
+		c.CfgBits = append([]uint8(nil), buf[:nbits]...)
+		buf = buf[nbits:]
+	}
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("engine: truncated checkpoint tuple count")
+	}
+	ntuples := int(binary.LittleEndian.Uint32(buf[:4]))
+	buf = buf[4:]
+	c.Tuples = make([]*tuple.Tuple, 0, ntuples)
+	for i := 0; i < ntuples; i++ {
+		t, rest, err := tuple.DecodeTuple(buf)
+		if err != nil {
+			return nil, fmt.Errorf("engine: checkpoint tuple %d: %w", i, err)
+		}
+		buf = rest
+		c.Tuples = append(c.Tuples, t)
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("engine: %d trailing bytes in state checkpoint", len(buf))
+	}
+	return c, nil
+}
+
+// durableEvery resolves the checkpoint cadence (default 1).
+func (e *Engine) durableEvery() int64 {
+	if e.run.DurableEvery > 0 {
+		return e.run.DurableEvery
+	}
+	return 1
+}
+
+// persistCheckpoint writes every state's snapshot and the boundary's run
+// record, then syncs. A store failure latches into durableErr and disables
+// further persistence — the run continues, but Recover will resume from the
+// last boundary that made it out.
+func (e *Engine) persistCheckpoint(tick int64) {
+	if e.durableErr != nil {
+		return
+	}
+	for s, st := range e.stems {
+		ck := stateCheckpoint{State: s}
+		if bs, ok := st.Store().(storage.BitStore); ok {
+			ck.CfgBits = append([]uint8(nil), bs.Config().Bits...)
+		}
+		ck.Tuples = make([]*tuple.Tuple, 0, st.Len())
+		st.EachRetained(func(t *tuple.Tuple) {
+			ck.Tuples = append(ck.Tuples, t)
+		})
+		if err := e.run.Durable.SaveCheckpoint(s, ck.encode()); err != nil {
+			e.durableErr = err
+			return
+		}
+	}
+	rec := runRecord{
+		Tick:            tick,
+		Results:         e.results,
+		Probes:          e.probes,
+		Retunes:         int64(e.retunes),
+		ShedTasks:       e.shedTasks,
+		DegradedTicks:   e.degradedTicks,
+		WatermarkMisses: e.watermarkMisses,
+	}
+	if err := e.run.Durable.AppendWAL(rec.encode()); err != nil {
+		e.durableErr = err
+		return
+	}
+	if err := e.run.Durable.Sync(); err != nil {
+		e.durableErr = err
+	}
+}
+
+// DurableErr reports the first durable-store failure the run hit, if any;
+// the run itself continues past store failures (durability degrades, the
+// computation does not).
+func (e *Engine) DurableErr() error { return e.durableErr }
+
+// Recover rebuilds a crashed durable run from its store and executes the
+// remaining ticks. run must be the same RunConfig the crashed run was given
+// (store included) with CrashAfterTicks adjusted or cleared as desired —
+// leaving a later crash point in place crashes again at it. The returned
+// result's ResumedTick records where the run picked up; TotalResults,
+// Retunes and the degradation counters continue the crashed run's.
+func Recover(run RunConfig, sys System) (*metrics.RunResult, error) {
+	if run.Durable == nil {
+		return nil, fmt.Errorf("engine: Recover requires RunConfig.Durable")
+	}
+	e, err := New(run, sys)
+	if err != nil {
+		return nil, err
+	}
+	resume, err := e.restoreFromStore()
+	if err != nil {
+		return nil, err
+	}
+	return e.runFrom(resume), nil
+}
+
+// restoreFromStore rebuilds the engine from the newest durable boundary and
+// returns the tick to resume at.
+func (e *Engine) restoreFromStore() (int64, error) {
+	var last *runRecord
+	err := e.run.Durable.ReplayWAL(func(rec []byte) error {
+		r, err := decodeRunRecord(rec)
+		if err != nil {
+			return err
+		}
+		last = r
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if last == nil {
+		return 0, fmt.Errorf("engine: no durable run record to resume from")
+	}
+	if last.Tick+1 > e.run.MaxTicks {
+		return 0, fmt.Errorf("engine: durable state runs through tick %d but the config stops at %d", last.Tick, e.run.MaxTicks)
+	}
+
+	e.results = last.Results
+	e.probes = last.Probes
+	e.retunes = int(last.Retunes)
+	e.shedTasks = last.ShedTasks
+	e.degradedTicks = last.DegradedTicks
+	e.watermarkMisses = last.WatermarkMisses
+
+	for s, st := range e.stems {
+		blob, ok, err := e.run.Durable.LoadCheckpoint(s)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return 0, fmt.Errorf("engine: state %d has no checkpoint", s)
+		}
+		ck, err := decodeStateCheckpoint(blob)
+		if err != nil {
+			return 0, err
+		}
+		if ck.State != s {
+			return 0, fmt.Errorf("engine: checkpoint slot %d holds state %d's snapshot", s, ck.State)
+		}
+		if bs, isBit := st.Store().(storage.BitStore); isBit && ck.CfgBits != nil {
+			cfg := bs.Config()
+			cfg.Bits = ck.CfgBits
+			if !cfg.Equal(bs.Config()) {
+				if _, err := bs.Migrate(cfg); err != nil {
+					return 0, err
+				}
+			}
+		}
+		for _, t := range ck.Tuples {
+			st.Insert(t)
+		}
+	}
+
+	// The rebuild charged real insert work to the fresh clock; forgive it so
+	// the first resumed tick starts with its full CPU grant, like the
+	// uncrashed run's tick would have. (The cost is still visible in the
+	// clock's maintenance category.)
+	e.allowance = e.clock.Spent()
+
+	// Fast-forward the seeded generator past the consumed ticks: it is
+	// stateful (per-stream rngs, sequence numbers, arrival stamps), so
+	// replaying and discarding puts it exactly where the crashed run's
+	// source stood.
+	resume := last.Tick + 1
+	for t := int64(0); t < resume; t++ {
+		e.src.Tick(t)
+	}
+	e.curTick = resume
+
+	// Re-apply the warmup transition if it happened before the crash: the
+	// one-shot tuning pass already ran, and non-adapting contenders froze.
+	if resume >= e.run.WarmupTicks {
+		e.warmupDone = true
+		if !e.sys.Adaptive {
+			for _, st := range e.stems {
+				st.Assessor = nil
+			}
+		}
+	}
+	return resume, nil
+}

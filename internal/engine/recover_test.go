@@ -1,0 +1,222 @@
+package engine
+
+// Whole-engine crash/recover regression: with durability on and an ample
+// CPU budget (every tick fully drains), a run killed at any boundary and
+// resumed by Recover produces exactly the uncrashed run's result set — the
+// engine-level twin of the pipeline's crash-point sweep pin.
+
+import (
+	"testing"
+
+	"amri/internal/metrics"
+	"amri/internal/storage"
+	"amri/internal/stream"
+	"amri/internal/tuple"
+)
+
+// runDigest is an order-independent fingerprint of a run's emitted results:
+// each result hashes its member tuples' identities and XORs into the
+// accumulator, so two runs match iff they emitted the same result multiset.
+type runDigest struct {
+	xor, n uint64
+}
+
+func mix(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+func (d *runDigest) add(c *tuple.Composite, _ int64) {
+	var h uint64 = 0x9e3779b97f4a7c15
+	for _, p := range c.Parts {
+		if p == nil {
+			continue
+		}
+		h += mix(uint64(p.Stream)*0x100000001b3 ^ p.Seq ^ uint64(p.TS)<<20)
+	}
+	d.xor ^= mix(h)
+	d.n++
+}
+
+// durableQuick is quickConfig scaled for crash sweeps: short horizon and an
+// effectively unbounded CPU budget so every tick drains (the regime where
+// recovery is exactly lossless; see recover.go).
+func durableQuick() RunConfig {
+	run := quickConfig()
+	run.MaxTicks = 40
+	run.WarmupTicks = 10
+	run.AssessInterval = 10
+	run.CPUBudget = 1 << 30
+	return run
+}
+
+func TestEngineDurabilityUnperturbed(t *testing.T) {
+	run := durableQuick()
+	plain := mustRun(t, run, AMRI(AssessCDIAHighest))
+	run.Durable = storage.NewMemStore()
+	durable := mustRun(t, run, AMRI(AssessCDIAHighest))
+	if plain.TotalResults != durable.TotalResults || plain.CostUnits != durable.CostUnits ||
+		plain.Retunes != durable.Retunes || plain.End != durable.End {
+		t.Fatalf("durable store perturbed the run: %+v vs %+v", plain, durable)
+	}
+}
+
+// TestEngineCrashRecoverSweep kills a durable run at every tick boundary
+// and recovers it; each recovered run must end digest-identical to the
+// uncrashed reference with the cumulative result counter intact.
+func TestEngineCrashRecoverSweep(t *testing.T) {
+	base := durableQuick()
+	ref := &runDigest{}
+	run := base
+	run.OnResult = ref.add
+	serial := mustRun(t, run, AMRI(AssessCDIAHighest))
+	if serial.TotalResults == 0 {
+		t.Fatal("reference run produced no results")
+	}
+	if serial.TotalResults != ref.n {
+		t.Fatalf("OnResult saw %d results, counter says %d", ref.n, serial.TotalResults)
+	}
+
+	for crash := int64(1); crash < base.MaxTicks; crash++ {
+		st := storage.NewMemStore()
+		d := &runDigest{}
+		run := base
+		run.Durable = st
+		run.CrashAfterTicks = crash
+		run.OnResult = d.add
+		res := mustRun(t, run, AMRI(AssessCDIAHighest))
+		if res.End != metrics.EndCrashed || res.EndTick != crash-1 {
+			t.Fatalf("crash@%d: End=%s EndTick=%d", crash, res.End, res.EndTick)
+		}
+		run.CrashAfterTicks = 0
+		rec, err := Recover(run, AMRI(AssessCDIAHighest))
+		if err != nil {
+			t.Fatalf("crash@%d: Recover: %v", crash, err)
+		}
+		if rec.End != metrics.EndCompleted {
+			t.Fatalf("crash@%d: recovered run ended %s", crash, rec.End)
+		}
+		if rec.ResumedTick != crash {
+			t.Fatalf("crash@%d: resumed at %d", crash, rec.ResumedTick)
+		}
+		if rec.TotalResults != serial.TotalResults {
+			t.Fatalf("crash@%d: %d results, want %d", crash, rec.TotalResults, serial.TotalResults)
+		}
+		if d.xor != ref.xor || d.n != ref.n {
+			t.Fatalf("crash@%d: result digest diverged (%d results xor %x, want %d xor %x)",
+				crash, d.n, d.xor, ref.n, ref.xor)
+		}
+	}
+}
+
+// TestEngineRecoverCoarseCadence: with DurableEvery > 1 recovery rolls back
+// to the last quiescent boundary and replays the gap; re-emitted results
+// fold into the restored counter, so the final totals and the final state
+// contents still match the uncrashed run exactly.
+func TestEngineRecoverCoarseCadence(t *testing.T) {
+	base := durableQuick()
+	sys := AMRI(AssessCDIAHighest)
+	es, err := New(base, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := es.Run()
+
+	run := base
+	run.Durable = storage.NewMemStore()
+	run.DurableEvery = 5
+	run.CrashAfterTicks = 13 // rolls back to the boundary after tick 9
+	if res := mustRun(t, run, sys); res.End != metrics.EndCrashed {
+		t.Fatalf("crash segment ended %s", res.End)
+	}
+	run.CrashAfterTicks = 0
+	er, err := New(run, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resume, err := er.restoreFromStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resume != 10 {
+		t.Fatalf("resumed at %d, want rollback to 10", resume)
+	}
+	rec := er.runFrom(resume)
+	if rec.TotalResults != serial.TotalResults {
+		t.Fatalf("recovered %d results, want %d", rec.TotalResults, serial.TotalResults)
+	}
+	// State fidelity: the retained windows end identical state by state.
+	for s := range es.stems {
+		if es.stems[s].Len() != er.stems[s].Len() {
+			t.Errorf("state %d: recovered len %d, serial len %d", s, er.stems[s].Len(), es.stems[s].Len())
+		}
+	}
+	if err := er.DurableErr(); err != nil {
+		t.Fatalf("durable store failed during recovered run: %v", err)
+	}
+}
+
+// TestEngineFileStoreRecover drives the whole-process model through the
+// real file path: crash, close the store, reopen the directory, recover.
+func TestEngineFileStoreRecover(t *testing.T) {
+	base := durableQuick()
+	ref := &runDigest{}
+	run := base
+	run.OnResult = ref.add
+	serial := mustRun(t, run, AMRI(AssessCDIAHighest))
+
+	fs, err := storage.OpenFileStore(t.TempDir(), storage.WithSyncEvery(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &runDigest{}
+	run = base
+	run.Durable = fs
+	run.CrashAfterTicks = 17
+	run.OnResult = d.add
+	if res := mustRun(t, run, AMRI(AssessCDIAHighest)); res.End != metrics.EndCrashed {
+		t.Fatalf("crash segment ended %s", res.End)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dir := fs.Dir()
+	fs2, err := storage.OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	run.Durable = fs2
+	rec, err := Recover(run, AMRI(AssessCDIAHighest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.TotalResults != serial.TotalResults || d.xor != ref.xor {
+		t.Fatalf("recovered %d results xor %x, want %d xor %x", rec.TotalResults, d.xor, serial.TotalResults, ref.xor)
+	}
+}
+
+func TestEngineDurableValidation(t *testing.T) {
+	run := durableQuick()
+	run.CrashAfterTicks = 5
+	if _, err := New(run, AMRI(AssessCDIAHighest)); err == nil {
+		t.Error("CrashAfterTicks without Durable accepted")
+	}
+	run = durableQuick()
+	run.Durable = storage.NewMemStore()
+	run.Source = &stream.Trace{}
+	if _, err := New(run, AMRI(AssessCDIAHighest)); err == nil {
+		t.Error("Durable with an external Source accepted")
+	}
+	run = durableQuick()
+	if _, err := Recover(run, AMRI(AssessCDIAHighest)); err == nil {
+		t.Error("Recover without Durable accepted")
+	}
+	run.Durable = storage.NewMemStore()
+	if _, err := Recover(run, AMRI(AssessCDIAHighest)); err == nil {
+		t.Error("Recover from an empty store accepted")
+	}
+}

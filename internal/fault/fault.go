@@ -65,39 +65,65 @@ func (k Kind) String() string {
 // Plan is a seeded fault schedule. Rates are per-event probabilities in
 // [0, 1] at each kind's injection site; a rate of 1 fires on every event,
 // 0 never. The zero value injects nothing.
+//
+// Plans round-trip through JSON losslessly (durations encode as integer
+// nanoseconds): amrichaos writes a minimized repro plan as JSON and
+// `amripipe -replay` reloads it byte-for-byte equivalent, so a repro found
+// in CI replays identically at a desk.
 type Plan struct {
 	// Seed keys every decision; the same seed reproduces the same fault
 	// schedule against the same workload.
-	Seed uint64
+	Seed uint64 `json:"seed"`
 	// PanicRate fires OperatorPanic per handled arrival.
-	PanicRate float64
+	PanicRate float64 `json:"panic_rate,omitempty"`
 	// SaturateRate fires MailboxSaturate per arrival delivery.
-	SaturateRate float64
+	SaturateRate float64 `json:"saturate_rate,omitempty"`
 	// DelayRate fires MailboxDelay per delivery, stalling it by Delay.
-	DelayRate float64
+	DelayRate float64 `json:"delay_rate,omitempty"`
 	// Delay is the injected delivery stall (default 50µs when DelayRate
-	// is set but Delay is zero).
-	Delay time.Duration
+	// is set but Delay is zero). Encodes in JSON as nanoseconds.
+	Delay time.Duration `json:"delay_ns,omitempty"`
 	// AbortRate fires MigrationAbort per proposed index migration.
-	AbortRate float64
+	AbortRate float64 `json:"abort_rate,omitempty"`
 	// PressureRate fires MemoryPressure per handled probe.
-	PressureRate float64
+	PressureRate float64 `json:"pressure_rate,omitempty"`
 	// AssessCost is the simulated wall cost of one MemoryPressure shed
 	// assessment: the operator holds its write lock for this long,
 	// modeling the state reclamation a real low-memory signal triggers.
 	// Zero charges nothing (the default; existing chaos plans keep their
 	// timing). The contention benchmark drives its lock-convoy A/B with
 	// this knob — see internal/bench/contention.go.
-	AssessCost time.Duration
+	AssessCost time.Duration `json:"assess_cost_ns,omitempty"`
+	// CrashTicks schedules whole-run crashes: after the run completes
+	// simulated tick T (state quiesced, WAL synced) for each T listed, the
+	// run stops as if the process died, and pipeline.Recover resumes it at
+	// T+1 from the durable store. Ticks must be ascending; a tick at or
+	// past the run length never fires. Requires a durable store — the
+	// pipeline rejects CrashTicks without one, because there would be
+	// nothing to recover from.
+	CrashTicks []int64 `json:"crash_ticks,omitempty"`
 }
 
 // None is the empty plan: no faults are ever injected.
 var None = Plan{}
 
-// Enabled reports whether the plan can inject anything at all.
+// Enabled reports whether the plan can inject anything at all. Crash
+// scheduling is deliberately excluded: CrashTicks alone does not need an
+// Injector, only a durable store.
 func (p Plan) Enabled() bool {
 	return p.PanicRate > 0 || p.SaturateRate > 0 || p.DelayRate > 0 ||
 		p.AbortRate > 0 || p.PressureRate > 0
+}
+
+// NextCrash returns the first scheduled crash tick strictly after `after`,
+// or ok=false when none remains. Pass -1 for the first crash of a run.
+func (p Plan) NextCrash(after int64) (int64, bool) {
+	for _, t := range p.CrashTicks {
+		if t > after {
+			return t, true
+		}
+	}
+	return 0, false
 }
 
 // rate returns the plan's probability for one kind.
@@ -227,6 +253,48 @@ func (in *Injector) TotalHits(k Kind) uint64 {
 		total += in.hits[int(k)*in.actors+a].Load()
 	}
 	return total
+}
+
+// Snapshot captures every (kind, actor) event and hit counter as a flat
+// slice — seq counters first, hits second, both kind-major. Because every
+// decision is a pure function of (seed, kind, actor, counter), restoring
+// the counters into a fresh injector resumes the fault schedule exactly
+// where the snapshot left it: recovery replays no fault twice and skips
+// none. A nil injector snapshots to nil.
+func (in *Injector) Snapshot() []uint64 {
+	if in == nil {
+		return nil
+	}
+	out := make([]uint64, 2*len(in.seq))
+	for i := range in.seq {
+		out[i] = in.seq[i].Load()
+	}
+	for i := range in.hits {
+		out[len(in.seq)+i] = in.hits[i].Load()
+	}
+	return out
+}
+
+// Restore loads a Snapshot taken from an injector with the same plan and
+// actor count. A mismatched length means the checkpoint came from a
+// differently-shaped run and is rejected.
+func (in *Injector) Restore(snap []uint64) error {
+	if in == nil {
+		if len(snap) == 0 {
+			return nil
+		}
+		return fmt.Errorf("fault: restoring %d counters into nil injector", len(snap))
+	}
+	if len(snap) != 2*len(in.seq) {
+		return fmt.Errorf("fault: snapshot has %d counters, injector wants %d", len(snap), 2*len(in.seq))
+	}
+	for i := range in.seq {
+		in.seq[i].Store(snap[i])
+	}
+	for i := range in.hits {
+		in.hits[i].Store(snap[len(in.seq)+i])
+	}
+	return nil
 }
 
 // hashDecide maps (seed, kind, actor, n) to a uniform draw in [0,1) and

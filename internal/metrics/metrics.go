@@ -35,6 +35,10 @@ const (
 	// work under memory pressure (the soft-watermark degradation path):
 	// the output is complete in time but not in content.
 	EndDegraded EndReason = "degraded"
+	// EndCrashed means a scheduled crash point killed the run at a tick
+	// boundary; the durable store holds everything needed for Recover to
+	// resume it.
+	EndCrashed EndReason = "crashed"
 )
 
 // RunResult is the full record of one system's run.
@@ -46,6 +50,10 @@ type RunResult struct {
 	// End is why and when the run stopped.
 	End     EndReason
 	EndTick int64
+	// ResumedTick is the tick a recovered run resumed at (0 for a run
+	// started from scratch). Cumulative counters (TotalResults, Retunes,
+	// Probes) continue the crashed run's; cost and latency are per-segment.
+	ResumedTick int64
 	// TotalResults is the cumulative throughput at the end.
 	TotalResults uint64
 	// PeakMemBytes is the largest sampled resident set.

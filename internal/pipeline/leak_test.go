@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"amri/internal/core"
+	"amri/internal/storage"
 )
 
 // settleGoroutines polls until the goroutine count drops to at most want,
@@ -68,6 +69,34 @@ func TestChaosRunLeavesNoGoroutines(t *testing.T) {
 	cfg.MaxRestarts = 1
 	if _, err := Run(cfg); err != nil {
 		t.Fatal(err)
+	}
+	assertNoLeak(t, before)
+}
+
+// TestCrashRecoverCyclesLeaveNoGoroutines: repeated crash/recover cycles —
+// each one spawning a full set of supervisors and probe workers — must tear
+// every one of them down, including the extra segments' worker pools.
+func TestCrashRecoverCyclesLeaveNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	plan := chaosConfig(19).Fault
+	plan.CrashTicks = []int64{5, 6, 20, 39}
+	cfg := chaosConfig(19)
+	cfg.Fault = plan
+	cfg.Ticks = 40
+	cfg.Durable = storage.NewMemStore()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles := 0
+	for res.Crashed {
+		if res, err = Recover(cfg); err != nil {
+			t.Fatal(err)
+		}
+		cycles++
+	}
+	if cycles != len(plan.CrashTicks) {
+		t.Fatalf("recovered %d times, want %d", cycles, len(plan.CrashTicks))
 	}
 	assertNoLeak(t, before)
 }

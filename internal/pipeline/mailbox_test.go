@@ -270,3 +270,73 @@ func TestParsePolicy(t *testing.T) {
 		t.Error("bogus policy must not parse")
 	}
 }
+
+// TestMailboxCloseMidBatch pins PushWaitBatch's close semantics under a
+// racing consumer: when Close lands while the producer is parked mid-batch,
+// the results must be a clean bisection — an accepted prefix (every one of
+// which the consumer can drain) followed by a PushClosed suffix, nothing
+// interleaved, nothing lost, nothing double-owned.
+func TestMailboxCloseMidBatch(t *testing.T) {
+	const batchLen, cap, popBefore = 100, 4, 20
+	for iter := 0; iter < 25; iter++ {
+		m := newBoundedMailbox[int](cap, PolicyBlock, nil)
+		done := make(chan []PushResult, 1)
+		batch := make([]int, batchLen)
+		for i := range batch {
+			batch[i] = i
+		}
+		go func() { done <- m.PushWaitBatch(batch) }()
+
+		// Drain a prefix, close mid-batch, then drain whatever landed before
+		// the close won the lock.
+		popped := 0
+		for popped < popBefore {
+			v, ok := m.Pop()
+			if !ok {
+				t.Fatal("mailbox closed before the consumer closed it")
+			}
+			if v != popped {
+				t.Fatalf("FIFO broken: got %d, want %d", v, popped)
+			}
+			popped++
+		}
+		m.Close()
+		for {
+			v, ok := m.Pop()
+			if !ok {
+				break
+			}
+			if v != popped {
+				t.Fatalf("FIFO broken after close: got %d, want %d", v, popped)
+			}
+			popped++
+		}
+
+		res := <-done
+		accepted := 0
+		for i, r := range res {
+			switch r {
+			case PushAccepted:
+				if i != accepted {
+					t.Fatalf("iter %d: accepts are not a prefix: item %d accepted after a refusal", iter, i)
+				}
+				accepted++
+			case PushClosed:
+				// Must stay closed for the rest of the batch; the prefix
+				// check above catches any accept that follows.
+			default:
+				t.Fatalf("iter %d: item %d got unexpected result %d", iter, i, r)
+			}
+		}
+		// Ownership is exact: every accepted item was drained, every refused
+		// item was never enqueued.
+		if accepted != popped {
+			t.Fatalf("iter %d: %d items accepted but %d drained", iter, accepted, popped)
+		}
+		// The close genuinely bisected the batch: at most cap more items can
+		// land between the consumer's last pop and the close.
+		if accepted < popBefore || accepted > popBefore+cap {
+			t.Fatalf("iter %d: accepted %d, want within [%d, %d]", iter, accepted, popBefore, popBefore+cap)
+		}
+	}
+}

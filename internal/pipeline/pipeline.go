@@ -14,6 +14,7 @@ import (
 	"amri/internal/query"
 	"amri/internal/router"
 	"amri/internal/sim"
+	"amri/internal/storage"
 	"amri/internal/stream"
 	"amri/internal/tuple"
 	"amri/internal/window"
@@ -80,9 +81,27 @@ type Config struct {
 	// MaxRestarts is how many times the supervisor restarts a panicking
 	// operator before declaring it permanently failed (default 3).
 	MaxRestarts int
+	// MaxRestartWindow is the supervisor's wall budget in simulated ticks:
+	// an operator that keeps panicking continuously for this many ticks is
+	// declared permanently failed even with MaxRestarts remaining — a
+	// flapping operator must convert to a verdict by elapsed time too, not
+	// only by count. A healthy stretch longer than the window re-arms the
+	// budget. Zero disables the wall budget (count-only, the old policy).
+	MaxRestartWindow int64
 	// RestartBackoff is the supervisor's initial restart delay, doubled
 	// per consecutive restart and capped at 8x (default 1ms).
 	RestartBackoff time.Duration
+	// Durable, when non-nil, turns on crash durability: every applied
+	// arrival is appended to this store's WAL, operator checkpoints are
+	// persisted (serialized retained tuples + index config + applied
+	// count), and each completed tick writes a tick record (run counters +
+	// injector snapshot) followed by a store Sync. A run killed at a tick
+	// boundary is then resumed by Recover with nothing lost: replay =
+	// checkpoint + WAL suffix. Durability also makes supervisor restarts
+	// lossless — the since-checkpoint tail is retained and replayed, so
+	// StateLost stays zero. Nil (the default) keeps the in-memory-only
+	// behaviour.
+	Durable storage.CheckpointStore
 	// OnResult, when set, receives every complete join result. It is
 	// called concurrently from operator goroutines and must be
 	// goroutine-safe.
@@ -139,6 +158,21 @@ type Result struct {
 	// a tick are in completion order, which varies with scheduling;
 	// consumers must treat each tick as an unordered multiset.
 	ProbeCosts [][]ProbeCost
+
+	// Crashed reports that the run stopped at a scheduled crash point
+	// (Fault.CrashTicks) instead of completing; CrashTick is the last tick
+	// fully processed and made durable before the kill. Call Recover with
+	// the same Config to resume at CrashTick+1.
+	Crashed   bool
+	CrashTick int64
+	// ResumedTick is the first tick this run segment processed: 0 for Run,
+	// the crash point + 1 for Recover.
+	ResumedTick int64
+	// Recovered is how many tuples this segment's whole-run recovery
+	// re-inserted from the durable store (checkpoints + WAL suffixes). It
+	// counts only this segment's rebuild, unlike the cumulative counters
+	// above, which continue the crashed run's totals.
+	Recovered uint64
 }
 
 // ProbeCost is one probe's modeled work in simulation cost units, tagged
@@ -182,6 +216,8 @@ type operator struct {
 	cur atomic.Pointer[core.AdaptiveIndex]
 	_   [56]byte
 
+	durable bool // a CheckpointStore backs this operator (Config.Durable)
+
 	mu       sync.RWMutex
 	ix       *core.AdaptiveIndex
 	retained *window.Buckets
@@ -191,19 +227,29 @@ type operator struct {
 	sinceCkpt   int
 	retunesBase int // retunes from pre-restart incarnations
 	abortsBase  int // migration aborts from pre-restart incarnations
+	// applied is the total arrivals this operator has applied across all
+	// incarnations — the WAL cursor: a durable checkpoint stores it so
+	// recovery knows where this op's WAL suffix begins. tail mirrors that
+	// suffix in memory (durable mode only): the tuples inserted since the
+	// last checkpoint, replayed by a supervisor restore so nothing is lost.
+	applied uint64
+	tail    []*tuple.Tuple
 
 	// Routed length, probe count and the failure flag are written from
 	// different goroutine contexts (supervisors mutate length on ingest,
 	// probe workers bump probes and length, supervisors raise failed), so
-	// each lives on its own cache line.
-	length padInt64
-	probes padUint64
-	failed padBool
+	// each lives on its own cache line. restarts is written only by the
+	// supervisor but read by the source goroutine when it builds a tick
+	// record, hence atomic (it shares a line with supervisor-local state,
+	// which is fine — the writers are one goroutine).
+	length   padInt64
+	probes   padUint64
+	failed   padBool
+	restarts atomic.Int64
 
 	// Supervisor-goroutine-local state: the message being handled (so a
-	// panic's recover can release it) and the restart count.
+	// panic's recover can release it).
 	inflight message
-	restarts int
 }
 
 // padUint64, padInt64 and padBool are atomic cells padded to a full cache
@@ -249,22 +295,38 @@ func (o *operator) insert(t *tuple.Tuple) (ckpt bool) {
 	})
 	o.length.Store(int64(o.ix.Len()))
 	o.sinceCkpt++
+	o.applied++
+	if o.durable {
+		o.tail = append(o.tail, t)
+	}
 	return o.ckptEvery > 0 && o.sinceCkpt >= o.ckptEvery
 }
 
-// snapshot captures the retained tuples as the new checkpoint.
-func (o *operator) snapshot() {
+// snapshot captures the retained tuples as the new checkpoint. In durable
+// mode it also returns the serializable form — retained tuples, tuned
+// config, WAL cursor — for the caller to persist OUTSIDE the operator lock
+// (encode + store I/O must not stall the probe path); non-durable mode
+// returns nil. The returned tuples alias the in-memory checkpoint, which
+// is safe: tuples are immutable once created.
+func (o *operator) snapshot() *opCheckpoint {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	snap := make([]*tuple.Tuple, 0, o.retained.Len())
 	o.retained.Each(func(t *tuple.Tuple) { snap = append(snap, t) })
 	o.checkpoint = snap
 	o.sinceCkpt = 0
+	if !o.durable {
+		return nil
+	}
+	o.tail = nil
+	return &opCheckpoint{Op: o.id, Applied: o.applied, Cfg: o.ix.Config(), Tuples: snap}
 }
 
 // restore rebuilds the operator's state from its last checkpoint after a
 // panic, reporting how many tuples were replayed and how many (inserted
-// since that checkpoint) are gone for good.
+// since that checkpoint) are gone for good. In durable mode the
+// since-checkpoint tail is replayed too, so lost is always zero — the WAL
+// vouches for those tuples, and the in-memory tail saves re-reading it.
 func (o *operator) restore() (replayed, lost uint64, err error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -280,14 +342,29 @@ func (o *operator) restore() (replayed, lost uint64, err error) {
 		o.ix.Insert(t)
 		o.retained.Add(t)
 	}
-	lost = uint64(o.sinceCkpt)
-	o.sinceCkpt = 0
+	replayed = uint64(len(o.checkpoint))
+	if o.durable {
+		// Tail replay runs the full insert path (expiry included), exactly
+		// re-deriving the pre-panic retained set. sinceCkpt is unchanged:
+		// the tail is still not covered by a checkpoint.
+		for _, t := range o.tail {
+			o.ix.Insert(t)
+			o.retained.Add(t)
+			o.retained.Expire(t.TS, func(old *tuple.Tuple) {
+				o.ix.Delete(old)
+			})
+		}
+		replayed += uint64(len(o.tail))
+	} else {
+		lost = uint64(o.sinceCkpt)
+		o.sinceCkpt = 0
+	}
 	o.length.Store(int64(o.ix.Len()))
 	// Publish the new incarnation to the lock-free probe path. A probe
 	// that already loaded the old pointer finishes against the old index —
 	// the same old-or-new atomicity the read lock provided.
 	o.cur.Store(o.ix)
-	return uint64(len(o.checkpoint)), lost, nil
+	return replayed, lost, nil
 }
 
 // retunes reads the state's migration count under the operator lock (the
@@ -413,10 +490,16 @@ func (o *operator) searchInto(ix *core.AdaptiveIndex, c *tuple.Composite, sc *pr
 // fault injector, the in-flight message WaitGroup, and every counter the
 // Result aggregates. It is always handled by pointer.
 type run struct {
-	cfg Config
-	n   int
-	ops []*operator
-	inj *fault.Injector
+	cfg  Config
+	n    int
+	q    *query.Query
+	prof stream.Profile
+	gen  *stream.Generator
+	ops  []*operator
+	inj  *fault.Injector
+
+	maxAttrs int
+	store    storage.CheckpointStore // nil unless Config.Durable
 
 	// wg tracks in-flight messages: every delivered message is Added once
 	// and Done exactly once — when handled, shed, or lost to a panic.
@@ -432,10 +515,20 @@ type run struct {
 	nextHop func(done uint32) int
 	observe func(i, j, matches, stateLen int)
 
+	// storeMu guards storeErr: the first durable-store failure, recorded by
+	// whichever goroutine hits it and surfaced as the run's error. Later
+	// store calls still run (the run drains normally) but the result is
+	// untrusted once any append or save was lost.
+	storeMu  sync.Mutex
+	storeErr error
+
 	// Every run counter is cache-line padded: results and probeShed are
 	// bumped by probe workers, ingested and restarts by supervisors,
 	// delays by the source — all concurrently, and unpadded they would
-	// pack thirteen hot words into two lines.
+	// pack these hot words into a couple of lines. curTick is published by
+	// the source each tick and read by supervisors enforcing the
+	// MaxRestartWindow wall budget.
+	curTick    padInt64
 	results    padUint64
 	ingested   padUint64
 	sheds      []padUint64
@@ -449,6 +542,27 @@ type run struct {
 	stateLost  padUint64
 	delays     padUint64
 	pressure   padUint64
+	recovered  padUint64
+}
+
+// recordStoreErr keeps the first durable-store failure for finish to
+// surface.
+func (p *run) recordStoreErr(err error) {
+	if err == nil {
+		return
+	}
+	p.storeMu.Lock()
+	if p.storeErr == nil {
+		p.storeErr = err
+	}
+	p.storeMu.Unlock()
+}
+
+// firstStoreErr returns the recorded failure, if any.
+func (p *run) firstStoreErr() error {
+	p.storeMu.Lock()
+	defer p.storeMu.Unlock()
+	return p.storeErr
 }
 
 // probeJob is one composite dispatched to the probe worker pool.
@@ -589,12 +703,23 @@ func (p *run) deliverIngestBatch(target int, ts []*tuple.Tuple) {
 func (p *run) handleIngest(o *operator, msg message) {
 	// The panic fault fires while an arrival is being handled — after the
 	// message left the mailbox, before it reached the state — the worst
-	// spot for an unassisted crash.
+	// spot for an unassisted crash. It fires before the insert, so a
+	// panic-killed tuple is in neither the state nor the WAL: replay can
+	// never resurrect a tuple the live run lost.
 	if p.inj.Decide(fault.OperatorPanic, o.id) {
 		panic(fmt.Sprintf("pipeline: injected panic at operator %d", o.id))
 	}
-	if o.insert(msg.ingest) {
-		o.snapshot()
+	ckptDue := o.insert(msg.ingest)
+	if p.store != nil {
+		// One WAL record per applied arrival, appended after the insert
+		// succeeded; the append runs on the serve goroutine, outside the
+		// operator lock, so store latency never stalls the probe path.
+		p.recordStoreErr(p.store.AppendWAL(encodeIngestRecord(o.id, msg.ingest)))
+	}
+	if ckptDue {
+		if ck := o.snapshot(); ck != nil {
+			p.recordStoreErr(p.store.SaveCheckpoint(ck.Op, ck.encode()))
+		}
 	}
 	p.ingested.Add(1)
 }
@@ -695,19 +820,42 @@ func (p *run) superviseOnce(o *operator) (done bool) {
 
 // supervise wraps one operator goroutine for its whole life: serve until
 // clean exit, restart from checkpoint after each panic with capped
-// exponential backoff, and after MaxRestarts declare the operator
-// permanently failed and shed its backlog so the run still drains.
+// exponential backoff, and declare the operator permanently failed — by
+// restart count (MaxRestarts) or by flapping time (MaxRestartWindow) —
+// shedding its backlog so the run still drains. An operator already failed
+// when supervision starts (a recovered run resuming a pre-crash verdict)
+// goes straight to the drain without re-counting the failure.
 func (p *run) supervise(o *operator) {
+	if o.failed.Load() {
+		p.drainFailed(o)
+		return
+	}
 	backoff := p.cfg.RestartBackoff
+	// The wall budget tracks one "flap": windowStart is the tick of the
+	// first panic in the current unhealthy stretch, lastPanic the most
+	// recent. A healthy gap longer than the window re-arms the budget;
+	// flapping continuously from windowStart for the whole window converts
+	// to a permanent failure even with MaxRestarts remaining.
+	windowStart, lastPanic := int64(-1), int64(-1)
 	for {
 		if p.superviseOnce(o) {
 			return
 		}
-		if o.restarts >= p.cfg.MaxRestarts {
+		if w := p.cfg.MaxRestartWindow; w > 0 {
+			now := p.curTick.Load()
+			if windowStart < 0 || now-lastPanic > w {
+				windowStart = now
+			} else if now-windowStart >= w {
+				p.failOperator(o)
+				return
+			}
+			lastPanic = now
+		}
+		if o.restarts.Load() >= int64(p.cfg.MaxRestarts) {
 			p.failOperator(o)
 			return
 		}
-		o.restarts++
+		o.restarts.Add(1)
 		p.restarts.Add(1)
 		time.Sleep(backoff)
 		if backoff < p.cfg.RestartBackoff*8 {
@@ -731,6 +879,11 @@ func (p *run) failOperator(o *operator) {
 	o.failed.Store(true)
 	o.length.Store(0)
 	p.permFailed.Add(1)
+	p.drainFailed(o)
+}
+
+// drainFailed sheds a failed operator's backlog until the mailbox closes.
+func (p *run) drainFailed(o *operator) {
 	for {
 		msg, ok := o.mb.Pop()
 		if !ok {
@@ -742,8 +895,22 @@ func (p *run) failOperator(o *operator) {
 }
 
 // Run executes the workload concurrently and blocks until every message has
-// drained.
+// drained — or, when the fault plan schedules crashes and Config.Durable is
+// set, until the first crash point kills the run at a tick boundary (the
+// Result then has Crashed set; resume it with Recover).
 func Run(cfg Config) (*Result, error) {
+	p, err := newRun(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.execute(0)
+}
+
+// newRun validates the configuration and builds the run machinery —
+// generator, operators, router, injector — without starting any goroutine.
+// Run executes it from tick 0; Recover first reloads state from the
+// durable store and executes it from the crash point + 1.
+func newRun(cfg Config) (*run, error) {
 	q := cfg.Query
 	if q == nil {
 		q = query.FourWay(60)
@@ -766,6 +933,19 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.Shards < 0 || cfg.Shards > 256 || cfg.Shards&(cfg.Shards-1) != 0 {
 		return nil, fmt.Errorf("pipeline: Shards %d must be 0 or a power of two in [1, 256]", cfg.Shards)
+	}
+	if cfg.MaxRestartWindow < 0 {
+		return nil, fmt.Errorf("pipeline: MaxRestartWindow must be >= 0")
+	}
+	if len(cfg.Fault.CrashTicks) > 0 {
+		if cfg.Durable == nil {
+			return nil, fmt.Errorf("pipeline: Fault.CrashTicks requires Config.Durable (nothing to recover from)")
+		}
+		for i := 1; i < len(cfg.Fault.CrashTicks); i++ {
+			if cfg.Fault.CrashTicks[i] < cfg.Fault.CrashTicks[i-1] {
+				return nil, fmt.Errorf("pipeline: Fault.CrashTicks must be ascending")
+			}
+		}
 	}
 	if cfg.BitBudget == 0 {
 		cfg.BitBudget = 12
@@ -791,8 +971,12 @@ func Run(cfg Config) (*Result, error) {
 	p := &run{
 		cfg:     cfg,
 		n:       n,
+		q:       q,
+		prof:    prof,
+		gen:     gen,
 		ops:     make([]*operator, n),
 		inj:     fault.New(cfg.Fault, n),
+		store:   cfg.Durable,
 		sheds:   make([]padUint64, n),
 		probeCh: make(chan probeJob, cfg.ProbeWorkers),
 		costs:   sim.DefaultCosts(),
@@ -800,11 +984,10 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.CollectProbeCosts {
 		p.collect = newCostCollector(cfg.ProbeWorkers)
 	}
-	maxAttrs := 0
 	for s := 0; s < n; s++ {
 		spec := q.States[s]
-		if spec.NumAttrs() > maxAttrs {
-			maxAttrs = spec.NumAttrs()
+		if spec.NumAttrs() > p.maxAttrs {
+			p.maxAttrs = spec.NumAttrs()
 		}
 		attrMap := make([]int, spec.NumAttrs())
 		for i, ja := range spec.JAS {
@@ -838,6 +1021,7 @@ func Run(cfg Config) (*Result, error) {
 			window:      q.WindowTicks,
 			sharded:     cfg.Shards > 0,
 			heldLock:    cfg.HeldLockProbes,
+			durable:     cfg.Durable != nil,
 			newIx:       newIx,
 			newRetained: newRetained,
 			ix:          ix,
@@ -868,6 +1052,15 @@ func Run(cfg Config) (*Result, error) {
 		defer rtMu.Unlock()
 		rt.ObservePair(i, j, matches, stateLen)
 	}
+	return p, nil
+}
+
+// execute spawns the supervisors and the probe worker pool, then runs the
+// source tick loop from startTick, stopping early at the first scheduled
+// crash point past startTick-1. It blocks until every message has drained
+// and returns the aggregated Result.
+func (p *run) execute(startTick int64) (*Result, error) {
+	cfg, n := p.cfg, p.n
 
 	// Supervisors: one per operator, each owning its operator's whole
 	// lifecycle (serve, restart, permanent failure).
@@ -887,10 +1080,12 @@ func Run(cfg Config) (*Result, error) {
 		workerWG.Add(1)
 		go func(w int) {
 			defer workerWG.Done()
-			p.probeWorker(&probeScratch{w: w, vals: make([]tuple.Value, maxAttrs)})
+			p.probeWorker(&probeScratch{w: w, vals: make([]tuple.Value, p.maxAttrs)})
 		}(w)
 	}
 
+	crashTick, crashArmed := cfg.Fault.NextCrash(startTick - 1)
+	crashed := false
 	start := time.Now()
 	// Source: ticks are delivered in two quiesced phases — all of a tick's
 	// arrivals are inserted before any of them starts probing, exactly the
@@ -899,13 +1094,15 @@ func Run(cfg Config) (*Result, error) {
 	// to the engine's (routing order cannot change a join's result set).
 	// Operators still run fully in parallel within each phase.
 	perOp := make([][]*tuple.Tuple, n)
-	for tick := int64(0); tick < cfg.Ticks; tick++ {
-		batch := gen.Tick(tick)
-		if len(q.Filters) > 0 {
+	var lastTick int64 = startTick - 1
+	for tick := startTick; tick < cfg.Ticks; tick++ {
+		p.curTick.Store(tick)
+		batch := p.gen.Tick(tick)
+		if len(p.q.Filters) > 0 {
 			// Selection push-down, same as the simulation engine.
 			kept := batch[:0]
 			for _, t := range batch {
-				if q.Accepts(t) {
+				if p.q.Accepts(t) {
 					kept = append(kept, t)
 				}
 			}
@@ -934,6 +1131,22 @@ func Run(cfg Config) (*Result, error) {
 		if p.collect != nil {
 			p.collect.flush()
 		}
+		lastTick = tick
+		if p.store != nil {
+			// Tick record + Sync at the boundary: both barriers have
+			// passed, so every ingest record for this tick is already
+			// appended and the snapshot below is quiescent.
+			p.recordStoreErr(p.store.AppendWAL(p.tickRecordNow(tick).encode()))
+			p.recordStoreErr(p.store.Sync())
+		}
+		if crashArmed && tick == crashTick {
+			// The scheduled kill: stop mid-run at a durable boundary, as
+			// if the process died here. The drain below is orderly only
+			// because everything past this tick is abandoned — Recover
+			// rebuilds from the store, not from this process's memory.
+			crashed = true
+			break
+		}
 	}
 	for _, o := range p.ops {
 		o.mb.Close()
@@ -957,6 +1170,12 @@ func Run(cfg Config) (*Result, error) {
 		StateLost:         p.stateLost.Load(),
 		InjectedDelays:    p.delays.Load(),
 		PressureEvents:    p.pressure.Load(),
+		Crashed:           crashed,
+		ResumedTick:       startTick,
+		Recovered:         p.recovered.Load(),
+	}
+	if crashed {
+		res.CrashTick = lastTick
 	}
 	if p.collect != nil {
 		res.ProbeCosts = p.collect.trace()
@@ -967,6 +1186,9 @@ func Run(cfg Config) (*Result, error) {
 		res.Probes += o.probes.Load()
 		res.Retunes += o.retunes()
 		res.MigrationAborts += o.migrationAborts()
+	}
+	if err := p.firstStoreErr(); err != nil {
+		return nil, fmt.Errorf("pipeline: durable store failed mid-run: %w", err)
 	}
 	return res, nil
 }

@@ -1,0 +1,59 @@
+package pipeline
+
+// MaxRestartWindow regression: the wall budget declares a flapping operator
+// permanently failed even when the MaxRestarts count budget is nowhere near
+// exhausted — and a healthy stretch longer than the window re-arms it.
+
+import (
+	"testing"
+
+	"amri/internal/fault"
+)
+
+// flapPlan panics often enough that every operator restarts on most ticks,
+// which is exactly the crash-loop shape the window budget exists to stop.
+func flapPlan() fault.Plan {
+	return fault.Plan{Seed: 5, PanicRate: 0.08}
+}
+
+func TestMaxRestartWindowTripsUnderFlap(t *testing.T) {
+	cfg := detConfig(4, 4, flapPlan())
+	cfg.Ticks = 60
+	cfg.MaxRestarts = 1 << 20 // count budget unreachable; only the window can trip
+	cfg.MaxRestartWindow = 2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PermanentFailures == 0 {
+		t.Fatalf("window of 2 ticks under continuous flapping (restarts=%d) tripped no operator", res.Restarts)
+	}
+	if got := res.TuplesIngested + res.IngestShed + res.IngestLost; got != arrivals(cfg) {
+		t.Errorf("conservation broken after window failures: %d of %d arrivals accounted", got, arrivals(cfg))
+	}
+}
+
+func TestMaxRestartWindowZeroMeansCountOnly(t *testing.T) {
+	cfg := detConfig(4, 4, flapPlan())
+	cfg.Ticks = 60
+	cfg.MaxRestarts = 1 << 20
+	cfg.MaxRestartWindow = 0
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PermanentFailures != 0 {
+		t.Fatalf("window disabled and count budget unreachable, yet %d operators failed permanently", res.PermanentFailures)
+	}
+	if res.Restarts == 0 {
+		t.Fatal("flap plan produced no restarts; the window test above is vacuous")
+	}
+}
+
+func TestMaxRestartWindowValidation(t *testing.T) {
+	cfg := detConfig(1, 0, fault.None)
+	cfg.MaxRestartWindow = -1
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("negative MaxRestartWindow accepted")
+	}
+}

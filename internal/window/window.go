@@ -5,7 +5,11 @@
 // tuples long enough for late drivers to find their event-time matches.
 package window
 
-import "amri/internal/tuple"
+import (
+	"slices"
+
+	"amri/internal/tuple"
+)
 
 // Buckets retains tuples per logical timestamp.
 type Buckets struct {
@@ -67,6 +71,23 @@ func (b *Buckets) Expire(now int64, drop func(*tuple.Tuple)) int {
 func (b *Buckets) Each(visit func(*tuple.Tuple)) {
 	for _, bucket := range b.byTS {
 		for _, t := range bucket {
+			visit(t)
+		}
+	}
+}
+
+// EachOrdered visits every retained tuple in ascending timestamp order
+// (insertion order within a timestamp) — the deterministic order durable
+// checkpoints are encoded in, where Each's map-order walk would make the
+// same state serialize differently run to run.
+func (b *Buckets) EachOrdered(visit func(*tuple.Tuple)) {
+	keys := make([]int64, 0, len(b.byTS))
+	for ts := range b.byTS {
+		keys = append(keys, ts)
+	}
+	slices.Sort(keys)
+	for _, ts := range keys {
+		for _, t := range b.byTS[ts] {
 			visit(t)
 		}
 	}
