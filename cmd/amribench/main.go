@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -62,17 +64,11 @@ func writeSeriesCSV(exp string, opts bench.Options, path string) error {
 // internal/bench/shard.go) and writes the JSON artifact.
 func runShardBench(path, workerList string, shards int, quick, check bool) error {
 	opts := bench.ShardBenchOptions{Shards: shards, Quick: quick}
-	for _, s := range strings.Split(workerList, ",") {
-		s = strings.TrimSpace(s)
-		if s == "" {
-			continue
-		}
-		w, err := strconv.Atoi(s)
-		if err != nil || w < 1 {
-			return fmt.Errorf("bad -workers entry %q", s)
-		}
-		opts.Workers = append(opts.Workers, w)
+	ws, err := parseWorkers(workerList)
+	if err != nil {
+		return err
 	}
+	opts.Workers = ws
 	r, err := bench.ShardBench(opts)
 	if err != nil {
 		return err
@@ -99,6 +95,71 @@ func runShardBench(path, workerList string, shards int, quick, check bool) error
 	return nil
 }
 
+// parseWorkers splits a comma-separated pool-size list.
+func parseWorkers(s string) ([]int, error) {
+	var ws []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		w, err := strconv.Atoi(part)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -workers entry %q", part)
+		}
+		ws = append(ws, w)
+	}
+	return ws, nil
+}
+
+// runPipelineBench executes the measured dispatch sweep (see
+// internal/bench/pipeline.go), writes the artifact, and optionally gates
+// against a committed baseline.
+func runPipelineBench(opts bench.PipelineBenchOptions, out, gate string, check bool) error {
+	r, err := bench.PipelineBench(opts)
+	if err != nil {
+		return err
+	}
+	r.Summary(os.Stdout)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := r.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	if gate != "" {
+		f, err := os.Open(gate)
+		if err != nil {
+			return fmt.Errorf("gate baseline: %w", err)
+		}
+		baseline, err := bench.ReadPipelineBench(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if err := r.Gate(baseline, 2.0, 0.10); err != nil {
+			return fmt.Errorf("gate failed: %w", err)
+		}
+		fmt.Println("gate passed: digests match, speedup >= 2x, no >10% regression vs baseline")
+		return nil
+	}
+	if check {
+		if err := r.Check(2.0); err != nil {
+			return fmt.Errorf("check failed: %w", err)
+		}
+		fmt.Println("check passed: digests match and measured speedup holds")
+	}
+	return nil
+}
+
 func main() {
 	var (
 		list  = flag.Bool("list", false, "list experiments and exit")
@@ -108,16 +169,87 @@ func main() {
 		seeds = flag.String("seeds", "1", "comma-separated workload seeds to average over")
 		csv   = flag.String("csv", "", "also write the figure series (fig6/fig6hash/fig7) as CSV to this file")
 
-		jsonOut = flag.Bool("json", false, "run the shard bench and write BENCH_shard.json-style output")
-		out     = flag.String("out", "BENCH_shard.json", "output path for -json")
-		workers = flag.String("workers", "1,2,4,8", "probe worker pool sizes to sweep for -json")
-		shards  = flag.Int("shards", 8, "index shard count for -json (1 = flat serialized index)")
-		check   = flag.Bool("check", false, "with -json: fail unless digests match and 8-worker speedup >= 2x")
+		jsonOut = flag.Bool("json", false, "run the modeled shard bench and write BENCH_shard.json-style output")
+		out     = flag.String("out", "", "output path (-json default BENCH_shard.json, -measure default BENCH_pipeline.json)")
+		workers = flag.String("workers", "", "comma-separated probe pool sizes (-json default 1,2,4,8; -measure default 1,2,8)")
+		shards  = flag.Int("shards", 8, "index shard count (1 = flat serialized index)")
+		check   = flag.Bool("check", false, "with -json/-measure: fail unless digests match and the speedup bar holds")
+
+		measure = flag.Bool("measure", false, "run the measured dispatch bench and write BENCH_pipeline.json-style output")
+		reps    = flag.Int("reps", 5, "with -measure: timed repetitions per point (median reported)")
+		warmup  = flag.Int("warmup", 1, "with -measure: untimed repetitions before the timed ones")
+		gate    = flag.String("gate", "", "with -measure: committed BENCH_pipeline.json to gate against (speedup >= 2x, regression <= 10%)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+		mtxprofile = flag.String("mutexprofile", "", "write a mutex contention profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file")
 	)
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amribench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "amribench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *mtxprofile != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer func() {
+			if f, err := os.Create(*mtxprofile); err == nil {
+				pprof.Lookup("mutex").WriteTo(f, 0)
+				f.Close()
+			}
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			runtime.GC()
+			if f, err := os.Create(*memprofile); err == nil {
+				pprof.Lookup("allocs").WriteTo(f, 0)
+				f.Close()
+			}
+		}()
+	}
+
+	if *measure {
+		ws, err := parseWorkers(*workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amribench:", err)
+			os.Exit(2)
+		}
+		opts := bench.PipelineBenchOptions{
+			Shards: *shards, Workers: ws,
+			Reps: *reps, Warmup: *warmup, Quick: *quick,
+		}
+		path := *out
+		if path == "" && *gate == "" {
+			// Default output only outside gate mode: a -gate run must
+			// never clobber the committed baseline it compares against.
+			path = "BENCH_pipeline.json"
+		}
+		if err := runPipelineBench(opts, path, *gate, *check); err != nil {
+			fmt.Fprintln(os.Stderr, "amribench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *jsonOut {
-		if err := runShardBench(*out, *workers, *shards, *quick, *check); err != nil {
+		path := *out
+		if path == "" {
+			path = "BENCH_shard.json"
+		}
+		wlist := *workers
+		if wlist == "" {
+			wlist = "1,2,4,8"
+		}
+		if err := runShardBench(path, wlist, *shards, *quick, *check); err != nil {
 			fmt.Fprintln(os.Stderr, "amribench:", err)
 			os.Exit(1)
 		}

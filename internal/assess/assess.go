@@ -105,6 +105,8 @@ func (s *SRIA) Len() int { return len(s.counts) }
 func (s *SRIA) MemBytes() int { return 96 + 48*len(s.counts) }
 
 // Reset clears the table.
+//
+//amrivet:coldpath per-window maintenance: runs once per assessment window, not per probe; the fresh map is the reset
 func (s *SRIA) Reset() {
 	s.counts = make(map[query.Pattern]uint64)
 	s.n = 0

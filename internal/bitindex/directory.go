@@ -31,22 +31,35 @@ func newDirectoryBits(totalBits, denseLimit int) directory {
 		denseLimit = MaxTotalBits - 1
 	}
 	if totalBits <= denseLimit {
-		return &denseDir{buckets: make([][]*tuple.Tuple, uint64(1)<<uint(totalBits))}
+		slots := uint64(1) << uint(totalBits)
+		return &denseDir{
+			buckets: make([][]*tuple.Tuple, slots),
+			occBits: make([]uint64, (slots+63)/64),
+		}
 	}
 	return &sparseDir{buckets: make(map[uint64][]*tuple.Tuple)}
 }
 
 // denseDir materializes every bucket slot in a flat array: O(1) addressing,
-// 24 bytes of slice header per slot.
+// 24 bytes of slice header per slot. occBits mirrors per-slot occupancy as a
+// bitmap so wildcard enumerations can skip empty buckets with one bit test
+// instead of loading the slot's slice header.
 type denseDir struct {
 	buckets [][]*tuple.Tuple
+	occBits []uint64
 	occ     int
 	stored  int
+}
+
+// has reports whether bucket id is non-empty via the occupancy bitmap.
+func (d *denseDir) has(id uint64) bool {
+	return d.occBits[id>>6]&(1<<(id&63)) != 0
 }
 
 func (d *denseDir) put(id uint64, t *tuple.Tuple) {
 	if len(d.buckets[id]) == 0 {
 		d.occ++
+		d.occBits[id>>6] |= 1 << (id & 63)
 	}
 	d.buckets[id] = append(d.buckets[id], t)
 	d.stored++
@@ -62,6 +75,7 @@ func (d *denseDir) remove(id uint64, t *tuple.Tuple) bool {
 			d.stored--
 			if len(d.buckets[id]) == 0 {
 				d.occ--
+				d.occBits[id>>6] &^= 1 << (id & 63)
 			}
 			return true
 		}

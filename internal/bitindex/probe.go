@@ -1,0 +1,399 @@
+package bitindex
+
+import (
+	"amri/internal/query"
+	"amri/internal/tuple"
+)
+
+// This file implements the match-collecting probe fast path. Search visits
+// candidates through a per-tuple callback, which the hot probe loop pays
+// for twice: an indirect call per candidate and a closure environment the
+// caller must allocate or keep live. SearchMatch instead takes a Matcher —
+// the standard stream-join candidate filter (exactly-once driver stamp,
+// event-time window, join-attribute equality) — and applies it inline while
+// scanning, appending survivors to a caller-owned slice. Stats accounting
+// is identical to Search, entry for entry: both paths charge the same
+// hashes, enumerate the same bucket ids and scan the same candidates, so
+// the cost model and its tests see no difference.
+
+// Matcher is the inline candidate filter of one probe. Zero Driver disables
+// the driver-stamp and window tests (a probe with no driver context); the
+// equality conditions always apply.
+type Matcher struct {
+	// Driver is the driving tuple's arrival stamp: candidates with
+	// Arrival >= Driver are rejected (exactly-once — only the newest
+	// member of a result drives it).
+	Driver uint64
+	// MinTS is the driver's event-time window floor: candidates with
+	// TS <= MinTS are rejected.
+	MinTS int64
+	// The first NEq entries of EqAttr/EqVal are the equality conditions:
+	// a candidate must satisfy Attrs[EqAttr[k]] == EqVal[k] for all k.
+	NEq    int
+	EqAttr [query.MaxAttrs]int
+	EqVal  [query.MaxAttrs]tuple.Value
+}
+
+// SearchScratch carries per-caller reusable buffers for SearchMatch, so a
+// probe worker re-probing shard after shard (or probe after probe) never
+// reallocates its enumeration scratch. It also caches spread tables: the
+// wildcard enumeration spread(0..span) depends only on the pattern and the
+// live epoch's geometry — not on the probe's values — so across the
+// thousands of probes between retunes it is the same table, and recomputing
+// it per probe was measurable (bit-interleaving per id on the hot path).
+type SearchScratch struct {
+	ids  []uint64
+	tabs []spreadTab
+}
+
+// spreadTab is one cached wildcard spread table: the enumeration for one
+// pattern under one epoch generation. Generations are process-wide unique
+// (epochGen), so a (pat, gen) pair can never mean two different geometries
+// even though one scratch serves every operator's index.
+type spreadTab struct {
+	pat query.Pattern
+	gen uint64
+	tbl []uint64
+}
+
+// spreadTable returns spread(c) for c in [0, span) under the plan, cached
+// per (pattern, epoch generation). gen must be read under the index lock
+// the caller already holds. A full cache is flushed wholesale: entries with
+// dead generations are the common overflow cause (retunes), and a flush
+// costs one rebuild per live pattern.
+func (ss *SearchScratch) spreadTable(pat query.Pattern, gen uint64, pl *shardPlan, span uint64) []uint64 {
+	for i := range ss.tabs {
+		if ss.tabs[i].pat == pat && ss.tabs[i].gen == gen {
+			return ss.tabs[i].tbl
+		}
+	}
+	//amrivet:ignore[hotalloc] cache-miss build path: one allocation per (pattern, epoch), amortized to zero over the thousands of probes between retunes
+	tbl := make([]uint64, span)
+	for c := uint64(0); c < span; c++ {
+		tbl[c] = pl.spread(c)
+	}
+	if len(ss.tabs) >= maxSpreadTabs {
+		ss.tabs = ss.tabs[:0]
+	}
+	ss.tabs = append(ss.tabs, spreadTab{pat: pat, gen: gen, tbl: tbl})
+	return tbl
+}
+
+// maxSharedSpan caps the wildcard span SearchMatch materializes into the
+// scratch id list for reuse across shards; wider spans enumerate per shard
+// (the flat-index behaviour) to bound scratch memory.
+const maxSharedSpan = 1 << 16
+
+// maxCachedSpan bounds the spans worth caching in a SearchScratch spread
+// table (32 KiB per table); maxSpreadTabs bounds how many distinct patterns
+// one scratch holds before new ones stop being cached (workloads have a
+// handful of live patterns — an overflow means churn, not working set).
+const (
+	maxCachedSpan = 1 << 12
+	maxSpreadTabs = 64
+)
+
+// scanBucketMatch is scanBucket with the Matcher applied inline: same
+// Stats.Tuples accounting (every candidate is charged, bulk-added up
+// front), no per-candidate indirect call. The single-equality case — the
+// overwhelmingly common probe shape, one join predicate per hop — gets its
+// own loop with the condition hoisted into locals; the general loop serves
+// the rest.
+func scanBucketMatch(b []*tuple.Tuple, st *Stats, m *Matcher, out []*tuple.Tuple) []*tuple.Tuple {
+	st.Tuples += len(b)
+	drv, minTS := m.Driver, m.MinTS
+	if drv != 0 {
+		switch m.NEq {
+		case 1:
+			a0, v0 := m.EqAttr[0], m.EqVal[0]
+			for _, x := range b {
+				if x.Arrival >= drv || x.TS <= minTS || x.Attrs[a0] != v0 {
+					continue
+				}
+				out = append(out, x) //amrivet:ignore[hotalloc] appends into the caller's receiver-attached scratch, returned for reslice-reuse
+			}
+			return out
+		case 2:
+			a0, v0 := m.EqAttr[0], m.EqVal[0]
+			a1, v1 := m.EqAttr[1], m.EqVal[1]
+			for _, x := range b {
+				if x.Arrival >= drv || x.TS <= minTS || x.Attrs[a0] != v0 || x.Attrs[a1] != v1 {
+					continue
+				}
+				out = append(out, x) //amrivet:ignore[hotalloc] appends into the caller's receiver-attached scratch, returned for reslice-reuse
+			}
+			return out
+		}
+	}
+	neq := m.NEq
+	for _, x := range b {
+		if drv != 0 && (x.Arrival >= drv || x.TS <= minTS) {
+			continue
+		}
+		ok := true
+		for k := 0; k < neq; k++ {
+			if x.Attrs[m.EqAttr[k]] != m.EqVal[k] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, x) //amrivet:ignore[hotalloc] appends into the caller's receiver-attached scratch, returned for reslice-reuse
+		}
+	}
+	return out
+}
+
+// matchTuple applies the Matcher to one candidate (the slow-path twin of
+// scanBucketMatch's inline filter, for the visit-based migration fallback).
+func matchTuple(m *Matcher, x *tuple.Tuple) bool {
+	if m.Driver != 0 && (x.Arrival >= m.Driver || x.TS <= m.MinTS) {
+		return false
+	}
+	for k := 0; k < m.NEq; k++ {
+		if x.Attrs[m.EqAttr[k]] != m.EqVal[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchMatch is Search with the candidate filter applied inline: it scans
+// the buckets the access pattern addresses, appends the tuples accepted by
+// the Matcher to out, and returns the (Search-identical) work stats plus
+// the extended slice. out's backing array is reused; pass out[:0] of a
+// caller-owned scratch slice.
+//
+//amrivet:hotpath match-collecting bucket-span scan, the innermost per-probe loop
+func (ix *Index) SearchMatch(p query.Pattern, vals []tuple.Value, m *Matcher, _ *SearchScratch, out []*tuple.Tuple) (Stats, []*tuple.Tuple) {
+	if ix.mig != nil {
+		return ix.searchMatchMigrating(p, vals, m, out)
+	}
+	var st Stats
+	var base uint64
+	ix.wildFields = ix.wildFields[:0]
+	wildBits := 0
+	for i, bits := range ix.cfg.Bits {
+		if bits == 0 {
+			continue
+		}
+		if p.Has(i) {
+			h := ix.hasher(i, vals[i])
+			base |= ix.lay.fieldOf(i, h, bits)
+			st.Hashes++
+		} else {
+			ix.wildFields = append(ix.wildFields, wildField{shift: ix.lay.shift[i], bits: bits})
+			wildBits += int(bits)
+		}
+	}
+
+	dd, dense := ix.dir.(*denseDir)
+	enumerate := true
+	if !dense {
+		if wildBits >= 63 || (1<<uint(wildBits)) > uint64(ix.dir.occupied()) {
+			enumerate = false
+		}
+	}
+
+	if enumerate {
+		span := uint64(1) << uint(wildBits)
+		if dense {
+			for c := uint64(0); c < span; c++ {
+				id := base | ix.spread(c)
+				st.Buckets++
+				if !dd.has(id) {
+					continue
+				}
+				out = scanBucketMatch(dd.buckets[id], &st, m, out)
+			}
+			return st, out
+		}
+		for c := uint64(0); c < span; c++ {
+			id := base | ix.spread(c)
+			st.Buckets++
+			out = scanBucketMatch(ix.dir.bucket(id), &st, m, out)
+		}
+		return st, out
+	}
+
+	mst, out := searchMatchMasked(ix.dir, ix.lay.patternMask(p), base, m, out)
+	st.DirScans += mst.DirScans
+	st.Buckets += mst.Buckets
+	st.Tuples += mst.Tuples
+	return st, out
+}
+
+// searchMatchMigrating serves SearchMatch's rare dual-directory migration
+// window through the visit-based path. It lives in its own function so the
+// closure's captures are boxed only when a migration is actually in flight —
+// inlined into SearchMatch they forced `out` onto the heap on every probe.
+func (ix *Index) searchMatchMigrating(p query.Pattern, vals []tuple.Value, m *Matcher, out []*tuple.Tuple) (Stats, []*tuple.Tuple) {
+	st := ix.searchMigrating(p, vals, func(x *tuple.Tuple) bool {
+		if matchTuple(m, x) {
+			out = append(out, x)
+		}
+		return true
+	})
+	return st, out
+}
+
+// searchMatchMasked is the full-directory masked scan shared by the flat and
+// sharded non-enumerating fallbacks (wildcard span wider than the occupied
+// slot count). Separated for the same escape reason as searchMatchMigrating:
+// the forEach closure boxes what it captures, so it must capture locals of a
+// cold function, not the hot probe loop's accumulators.
+func searchMatchMasked(d directory, mask, base uint64, m *Matcher, out []*tuple.Tuple) (Stats, []*tuple.Tuple) {
+	var st Stats
+	want := base & mask
+	d.forEach(func(id uint64, b []*tuple.Tuple) bool {
+		st.DirScans++
+		if id&mask != want {
+			return true
+		}
+		st.Buckets++
+		out = scanBucketMatch(b, &st, m, out)
+		return true
+	})
+	return st, out
+}
+
+// probeShardDirMatch is probeShardDir with the Matcher applied inline. ids,
+// when non-nil, is the epoch's pre-enumerated local bucket-id list (base
+// bits included) — the enumeration is identical for every shard of one
+// epoch, so the caller computes it once and each shard only tests occupancy
+// and scans. A nil ids enumerates per shard (migration's old epoch, or a
+// span too wide to materialize). Stats accounting matches probeShardDir
+// entry for entry.
+func probeShardDirMatch(d directory, e epoch, pl *shardPlan, ids []uint64, st *Stats, m *Matcher, out []*tuple.Tuple) []*tuple.Tuple {
+	enumerate := true
+	if _, sparse := d.(*sparseDir); sparse {
+		if pl.wildBits >= 63 || (1<<uint(pl.wildBits)) > uint64(d.occupied()) {
+			enumerate = false
+		}
+	}
+	if enumerate {
+		if dd, dense := d.(*denseDir); dense {
+			if ids != nil {
+				for _, id := range ids {
+					st.Buckets++
+					if !dd.has(id) {
+						continue
+					}
+					out = scanBucketMatch(dd.buckets[id], st, m, out)
+				}
+				return out
+			}
+			localBase := pl.base & e.localMask()
+			span := uint64(1) << uint(pl.wildBits)
+			for c := uint64(0); c < span; c++ {
+				id := localBase | pl.spread(c)
+				st.Buckets++
+				if !dd.has(id) {
+					continue
+				}
+				out = scanBucketMatch(dd.buckets[id], st, m, out)
+			}
+			return out
+		}
+		if ids != nil {
+			for _, id := range ids {
+				st.Buckets++
+				out = scanBucketMatch(d.bucket(id), st, m, out)
+			}
+			return out
+		}
+		localBase := pl.base & e.localMask()
+		span := uint64(1) << uint(pl.wildBits)
+		for c := uint64(0); c < span; c++ {
+			id := localBase | pl.spread(c)
+			st.Buckets++
+			out = scanBucketMatch(d.bucket(id), st, m, out)
+		}
+		return out
+	}
+	lmask := pl.mask & e.localMask()
+	mst, out := searchMatchMasked(d, lmask, pl.base&e.localMask(), m, out)
+	st.DirScans += mst.DirScans
+	st.Buckets += mst.Buckets
+	st.Tuples += mst.Tuples
+	return out
+}
+
+// SearchMatch is the sharded twin of Index.SearchMatch: identical Stats
+// accounting to ShardedIndex.Search, with the candidate filter inline and
+// the wildcard enumeration computed once per epoch instead of once per
+// shard (every shard of an epoch enumerates the same local ids — only the
+// high shard-selecting bits differ, and those pick which shards are
+// visited, not which local buckets).
+//
+//amrivet:hotpath concurrent match-collecting scan with per-shard fan-out
+func (ix *ShardedIndex) SearchMatch(p query.Pattern, vals []tuple.Value, m *Matcher, ss *SearchScratch, out []*tuple.Tuple) (Stats, []*tuple.Tuple) {
+	var st Stats
+	var hm hashMemo
+	var pl shardPlan
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if mg := ix.mig; mg != nil {
+		// Old shards first, per-shard enumeration (the old epoch's geometry
+		// is transient; not worth a shared id list).
+		buildShardPlan(mg.old, ix.hasher, &hm, p, vals, &st, &pl)
+		hiMask := pl.mask &^ mg.old.localMask()
+		hiWant := pl.base & hiMask
+		for k := 0; k < mg.old.n; k++ {
+			if (uint64(k)<<mg.old.localBits)&hiMask != hiWant {
+				continue
+			}
+			os := &mg.shards[k]
+			//amrivet:lockhold old-shard read lock nests inside the epoch read lock by design (lock DAG, DESIGN.md §10)
+			os.mu.RLock()
+			//amrivet:lockhold old-shard read lock nests inside the epoch read lock by design: probes scan a draining migration's slices one stripe at a time (lock DAG, DESIGN.md §10)
+			out = probeShardDirMatch(os.dir, mg.old, &pl, nil, &st, m, out)
+			os.mu.RUnlock()
+		}
+	}
+	buildShardPlan(ix.live, ix.hasher, &hm, p, vals, &st, &pl)
+	var ids []uint64
+	if span := uint64(1) << uint(pl.wildBits); pl.wildBits < 63 && span <= maxSharedSpan && ss != nil {
+		localBase := pl.base & ix.live.localMask()
+		ids = ss.ids[:0]
+		if span <= maxCachedSpan {
+			//amrivet:lockhold spread-table lookup under the epoch read lock: gen is only stable while mu is held, and the build path amortizes to zero across the epoch
+			for _, s := range ss.spreadTable(p, ix.gen, &pl, span) {
+				//amrivet:ignore[hotalloc,lockhold] append into the worker's SearchScratch id list (receiver-attached via ss), resliced across probes
+				ids = append(ids, localBase|s)
+			}
+		} else {
+			for c := uint64(0); c < span; c++ {
+				//amrivet:ignore[hotalloc,lockhold] append into the worker's SearchScratch id list (receiver-attached via ss), resliced across probes
+				ids = append(ids, localBase|pl.spread(c))
+			}
+		}
+		ss.ids = ids
+	}
+	hiMask := pl.mask &^ ix.live.localMask()
+	hiWant := pl.base & hiMask
+	for k := 0; k < ix.live.n; k++ {
+		if (uint64(k)<<ix.live.localBits)&hiMask != hiWant {
+			continue
+		}
+		sh := &ix.shards[k]
+		//amrivet:lockhold stripe read lock nests inside the epoch read lock by design (lock DAG, DESIGN.md §10)
+		sh.mu.RLock()
+		//amrivet:lockhold stripe read lock nests inside the epoch read lock by design: concurrent probes of disjoint stripes proceed in parallel (lock DAG, DESIGN.md §10)
+		out = probeShardDirMatch(sh.dir, ix.live, &pl, ids, &st, m, out)
+		sh.mu.RUnlock()
+	}
+	return st, out
+}
+
+// ShardOf returns the live-epoch shard the tuple's bucket id routes to —
+// the partition key for shard-affine batched inserts. The hash work is not
+// charged to any Stats: partition routing is dispatch bookkeeping, and the
+// insert itself pays the modeled maintenance cost.
+func (ix *ShardedIndex) ShardOf(t *tuple.Tuple) int {
+	var st Stats
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	id := shardBucketID(ix.hasher, ix.attrMap, ix.live, t, &st)
+	return ix.live.shardOf(id)
+}

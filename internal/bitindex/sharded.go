@@ -116,7 +116,12 @@ type ShardedIndex struct {
 	// mu guards the configuration epoch and the in-flight migration.
 	mu   sync.RWMutex
 	live epoch
-	mig  *shardedMigration
+	// gen identifies the live epoch; drawn from the process-wide epochGen
+	// counter so generations are unique ACROSS indexes — workers share one
+	// SearchScratch over every operator's index, and the spread-table cache
+	// keys on (pattern, gen) alone. Read under mu (any mode).
+	gen uint64
+	mig *shardedMigration
 
 	shards []shard
 
@@ -149,6 +154,7 @@ func NewSharded(cfg Config, attrMap []int, hasher Hasher, shards int, opts ...Op
 		shards:    make([]shard, shards),
 	}
 	ix.live = newEpoch(cfg.Clone(), ix.shardBits)
+	ix.gen = epochGen.Add(1)
 	for k := 0; k < ix.live.n; k++ {
 		sh := &ix.shards[k]
 		sh.mu.Lock()
@@ -469,6 +475,7 @@ func (ix *ShardedIndex) StartMigration(newCfg Config) error {
 	}
 	m.left.Store(total)
 	ix.live = newEpoch(newCfg.Clone(), ix.shardBits)
+	ix.gen = epochGen.Add(1)
 	for k := 0; k < ix.live.n; k++ {
 		sh := &ix.shards[k]
 		sh.mu.Lock()
@@ -565,6 +572,7 @@ func (ix *ShardedIndex) AbortMigration() (Stats, bool) {
 		sh.mu.Unlock()
 	}
 	ix.live = m.old
+	ix.gen = epochGen.Add(1)
 	for k := 0; k < ix.live.n; k++ {
 		ms := &m.shards[k]
 		ms.mu.Lock()
@@ -616,6 +624,7 @@ func (ix *ShardedIndex) Migrate(newCfg Config) (Stats, error) {
 		sh.mu.Unlock()
 	}
 	ix.live = newEpoch(newCfg.Clone(), ix.shardBits)
+	ix.gen = epochGen.Add(1)
 	for k := 0; k < ix.live.n; k++ {
 		sh := &ix.shards[k]
 		sh.mu.Lock()
@@ -687,3 +696,6 @@ func (ix *ShardedIndex) String() string {
 	return fmt.Sprintf("ShardedBitIndex{%v, %d shards, %d tuples}",
 		ix.live.cfg, len(ix.shards), ix.count.Load())
 }
+
+// epochGen issues process-wide unique epoch generations — see ShardedIndex.gen.
+var epochGen atomic.Uint64

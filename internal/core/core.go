@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"amri/internal/assess"
 	"amri/internal/bitindex"
@@ -161,6 +162,7 @@ type backend interface {
 	Insert(t *tuple.Tuple) bitindex.Stats
 	Delete(t *tuple.Tuple) (bitindex.Stats, bool)
 	Search(p query.Pattern, vals []tuple.Value, visit func(*tuple.Tuple) bool) bitindex.Stats
+	SearchMatch(p query.Pattern, vals []tuple.Value, m *bitindex.Matcher, ss *bitindex.SearchScratch, out []*tuple.Tuple) (bitindex.Stats, []*tuple.Tuple)
 	Config() bitindex.Config
 	Len() int
 	MemBytes() int
@@ -187,9 +189,15 @@ type AdaptiveIndex struct {
 	ix          backend
 	incremental bool // sharded backend: tuning migrates via MigrateStep
 
+	// inserts is atomic (not mu-guarded) so concurrent shard-affine insert
+	// workers never serialize on the statistics mutex. Padded onto its own
+	// cache line: insert workers increment it while probe workers take mu,
+	// and sharing the line would ping-pong it between cores.
+	inserts atomic.Uint64
+	_       [64]byte
+
 	mu        sync.Mutex
 	asr       assess.Assessor
-	inserts   uint64
 	requests  uint64
 	sinceTune uint64
 	retunes   int
@@ -244,9 +252,7 @@ func New(opts Options) (*AdaptiveIndex, error) {
 // bounded step, so migration work is paid on the maintenance path the
 // paper's C_dt term prices, never as one stop-the-world stall.
 func (a *AdaptiveIndex) Insert(t *tuple.Tuple) bitindex.Stats {
-	a.mu.Lock()
-	a.inserts++
-	a.mu.Unlock()
+	a.inserts.Add(1)
 	st := a.ix.Insert(t)
 	if a.incremental && a.ix.Migrating() {
 		mst, _ := a.ix.MigrateStep(a.opts.MigrateStepTuples)
@@ -283,6 +289,61 @@ func (a *AdaptiveIndex) Search(p query.Pattern, vals []tuple.Value, visit func(*
 	return st
 }
 
+// SearchMatch executes the index scan of one probe with the candidate
+// filter applied inline and WITHOUT touching the assessor or the tuning
+// counters: no mutex, no per-probe closure, survivors appended to the
+// caller-owned out slice. It exists for dispatchers that batch their
+// statistics — record the probes afterwards with ObserveSearches and run a
+// due pass via TuneClaimed. Stats are identical to Search's, so the cost
+// model sees the same work either way.
+//
+//amrivet:hotpath lock-free per-probe scan for the batched dispatch path
+func (a *AdaptiveIndex) SearchMatch(p query.Pattern, vals []tuple.Value, m *bitindex.Matcher, ss *bitindex.SearchScratch, out []*tuple.Tuple) (bitindex.Stats, []*tuple.Tuple) {
+	return a.ix.SearchMatch(p, vals, m, ss, out)
+}
+
+// ObserveSearches records n search requests with access pattern p — the
+// deferred statistics half of n SearchMatch calls — under one statistics
+// lock instead of n. It returns true when the observations make a tuning
+// pass due AND the call claimed it: the caller must then invoke TuneClaimed
+// (exactly once) to run the pass. Callers that batch per tick flush
+// op-major in a deterministic order, which makes the tuning schedule
+// reproducible across worker counts.
+func (a *AdaptiveIndex) ObserveSearches(p query.Pattern, n uint64) (due bool) {
+	if n == 0 {
+		return false
+	}
+	a.mu.Lock()
+	for i := uint64(0); i < n; i++ {
+		a.asr.Observe(p)
+	}
+	a.requests += n
+	a.sinceTune += n
+	due = a.opts.AutoTuneEvery > 0 && a.sinceTune >= a.opts.AutoTuneEvery && !a.tuning
+	if due {
+		a.tuning = true
+	}
+	a.mu.Unlock()
+	return due
+}
+
+// TuneClaimed runs the tuning pass a true ObserveSearches return claimed.
+// Calling it without holding a claim corrupts the tuning flag; it is the
+// pairing of the two methods that keeps Tune's single-flight guarantee.
+func (a *AdaptiveIndex) TuneClaimed() (migrated bool, active bitindex.Config) {
+	return a.tunePass()
+}
+
+// ShardOf returns the shard the tuple's bucket id routes to on a sharded
+// backend, or 0 on the flat index — the partition key for shard-affine
+// ingest batching.
+func (a *AdaptiveIndex) ShardOf(t *tuple.Tuple) int {
+	if sx, ok := a.ix.(*bitindex.ShardedIndex); ok {
+		return sx.ShardOf(t)
+	}
+	return 0
+}
+
 // Tune runs one assessment + index-selection pass, migrating the index when
 // the modelled improvement clears the hysteresis. It reports whether a
 // migration happened and the now-active configuration, and resets the
@@ -309,7 +370,7 @@ func (a *AdaptiveIndex) tunePass() (migrated bool, active bitindex.Config) {
 	a.mu.Lock()
 	stats := a.asr.Results(a.opts.Theta)
 	params := a.opts.Cost
-	requests, inserts := a.requests, a.inserts
+	requests, inserts := a.requests, a.inserts.Load()
 	a.asr.Reset()
 	a.sinceTune = 0
 	a.mu.Unlock()

@@ -300,6 +300,8 @@ func (c *HierarchicalCounter[K]) MemBytes() int {
 }
 
 // Reset clears all state, keeping configuration and RNG position.
+//
+//amrivet:coldpath per-window maintenance: runs once per assessment window, not per probe; the fresh map is the reset
 func (c *HierarchicalCounter[K]) Reset() {
 	c.n = 0
 	c.entries = make(map[K]*lcEntry)

@@ -162,6 +162,8 @@ func (c *LossyCounter[K]) MemBytes() int {
 }
 
 // Reset clears all state, keeping the configuration.
+//
+//amrivet:coldpath per-window maintenance: runs once per assessment window, not per probe; the fresh map is the reset
 func (c *LossyCounter[K]) Reset() {
 	c.n = 0
 	c.entries = make(map[K]*lcEntry)

@@ -1,0 +1,210 @@
+package pipeline
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the deque dispatch layer: per-worker bounded-batch deques
+// with work stealing, replacing the single shared probe channel. The old
+// channel serialized every probe hand-off through one runtime queue — one
+// channel operation per composite — which the mutex profile showed eating
+// the epoch probe path's wins at high worker counts. Here a producer moves
+// a whole batch under one deque lock (the PushWaitBatch idiom extended to
+// dispatch), workers pop batches off their own deque's tail and steal half
+// a victim's queue off the head when dry, and parking goes through one
+// condition variable armed by a global pending count.
+//
+// Determinism is unaffected by stealing: the result set is routing- and
+// scheduling-independent (the arrival-stamp exactly-once filter makes any
+// execution order of one tick's probes produce the same verified matches),
+// and every statistic that feeds tuning or routing is flushed at the tick
+// barrier in a fixed order, not at probe completion. See DESIGN.md §10.
+
+// wsDeque is one worker's job queue: the owner pushes follow-up batches and
+// pops from the tail; thieves take half the queue from the head. A plain
+// mutex-and-slice deque is deliberate — batching makes the lock traffic one
+// acquisition per ~DispatchBatch jobs, so a lock-free ring would buy
+// nothing measurable while costing the invariant audit.
+type wsDeque struct {
+	mu   sync.Mutex
+	jobs []probeJob
+	head int
+	_    [24]byte // line-pad: deques sit in one slice, owners are distinct goroutines
+}
+
+// push appends a batch at the tail.
+func (q *wsDeque) push(jobs []probeJob) {
+	q.mu.Lock()
+	if q.head > 1024 && q.head*2 > len(q.jobs) {
+		q.jobs = append(q.jobs[:0], q.jobs[q.head:]...)
+		q.head = 0
+	}
+	//amrivet:lockhold batched hand-off: one append per ~DispatchBatch jobs is the design (the shared channel this replaces took one lock per job)
+	q.jobs = append(q.jobs, jobs...)
+	q.mu.Unlock()
+}
+
+// pop moves up to max jobs from the tail into buf (newest first batch-wise;
+// order within the batch is preserved) and reports how many.
+func (q *wsDeque) pop(max int, buf *[]probeJob) int {
+	q.mu.Lock()
+	n := len(q.jobs) - q.head
+	if n == 0 {
+		q.jobs = q.jobs[:0]
+		q.head = 0
+		q.mu.Unlock()
+		return 0
+	}
+	if n > max {
+		n = max
+	}
+	cut := len(q.jobs) - n
+	//amrivet:lockhold batched hand-off: one copy per batch replaces n channel operations
+	*buf = append((*buf)[:0], q.jobs[cut:]...)
+	for i := cut; i < len(q.jobs); i++ {
+		q.jobs[i] = probeJob{}
+	}
+	q.jobs = q.jobs[:cut]
+	q.mu.Unlock()
+	return n
+}
+
+// steal moves half the victim's queue (rounded up) from the HEAD into buf —
+// the opposite end from the owner's pop, so a thief and the owner contend
+// only on the lock, never on the same jobs.
+func (q *wsDeque) steal(buf *[]probeJob) int {
+	q.mu.Lock()
+	avail := len(q.jobs) - q.head
+	if avail == 0 {
+		q.mu.Unlock()
+		return 0
+	}
+	n := (avail + 1) / 2
+	//amrivet:lockhold batched hand-off: stealing half the queue in one copy is what bounds steal frequency
+	*buf = append((*buf)[:0], q.jobs[q.head:q.head+n]...)
+	for i := q.head; i < q.head+n; i++ {
+		q.jobs[i] = probeJob{}
+	}
+	q.head += n
+	if q.head == len(q.jobs) {
+		q.jobs = q.jobs[:0]
+		q.head = 0
+	}
+	q.mu.Unlock()
+	return n
+}
+
+// dispatcher owns the worker deques and the parking protocol. pending
+// counts queued jobs across all deques; it is maintained by the push/pop
+// wrappers below and lets an idle worker decide to park with one atomic
+// load instead of sweeping every deque's lock. waiting counts parked
+// workers, atomically, so the push fast path skips the mutex entirely
+// when nobody is parked (the common case mid-tick).
+type dispatcher struct {
+	deques  []wsDeque
+	pending atomic.Int64
+	// pending is hammered by every push/pop; waiting only flips around
+	// park/unpark. Separate cache lines so the per-job pending traffic
+	// does not invalidate the line the push fast path reads waiting from.
+	_       [64]byte
+	waiting atomic.Int32
+	_       [64]byte
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	closed bool
+}
+
+func newDispatcher(workers int) *dispatcher {
+	d := &dispatcher{deques: make([]wsDeque, workers)}
+	d.cond = sync.NewCond(&d.mu)
+	return d
+}
+
+// push hands a batch to worker w's deque and wakes one parked worker. The
+// wake can never be missed: push publishes pending BEFORE loading waiting,
+// and park publishes waiting BEFORE re-loading pending (both sequentially
+// consistent), so either the pusher sees the parker and signals, or the
+// parker sees the new jobs and never sleeps. Waking ONE worker (not all)
+// avoids the thundering herd on every push; wakeSibling propagates wakes
+// while backlog remains, so a fleet still ramps up to a large batch.
+func (d *dispatcher) push(w int, jobs []probeJob) {
+	if len(jobs) == 0 {
+		return
+	}
+	d.deques[w].push(jobs)
+	d.pending.Add(int64(len(jobs)))
+	if d.waiting.Load() > 0 {
+		d.mu.Lock()
+		d.cond.Signal()
+		d.mu.Unlock()
+	}
+}
+
+// wakeSibling wakes one more parked worker if there is still backlog —
+// called by a worker right after it took a batch, chaining wake-ups at the
+// rate work is actually being consumed.
+func (d *dispatcher) wakeSibling() {
+	if d.pending.Load() > 0 && d.waiting.Load() > 0 {
+		d.mu.Lock()
+		d.cond.Signal()
+		d.mu.Unlock()
+	}
+}
+
+// popOwn takes a batch off worker w's own deque.
+func (d *dispatcher) popOwn(w, max int, buf *[]probeJob) int {
+	n := d.deques[w].pop(max, buf)
+	if n > 0 {
+		d.pending.Add(-int64(n))
+	}
+	return n
+}
+
+// stealAny sweeps the other deques from w+1 round-robin and steals from the
+// first non-empty victim.
+func (d *dispatcher) stealAny(w int, buf *[]probeJob) int {
+	nd := len(d.deques)
+	for off := 1; off < nd; off++ {
+		if n := d.deques[(w+off)%nd].steal(buf); n > 0 {
+			d.pending.Add(-int64(n))
+			return n
+		}
+	}
+	return 0
+}
+
+// park blocks the calling worker until jobs appear or the dispatcher
+// closes; it returns false when the worker should exit (closed and
+// nothing pending anywhere). waiting is published BEFORE the final
+// pending re-check — the other half of push's lock-free wake handshake.
+func (d *dispatcher) park() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.pending.Load() > 0 {
+			return true
+		}
+		if d.closed {
+			return false
+		}
+		d.waiting.Add(1)
+		if d.pending.Load() > 0 {
+			d.waiting.Add(-1)
+			return true
+		}
+		d.cond.Wait()
+		d.waiting.Add(-1)
+	}
+}
+
+// close wakes every parked worker for exit. Callers close only after the
+// final tick barrier, so pending is already zero and workers fall straight
+// through park.
+func (d *dispatcher) close() {
+	d.mu.Lock()
+	d.closed = true
+	d.mu.Unlock()
+	d.cond.Broadcast()
+}

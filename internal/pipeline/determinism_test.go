@@ -9,6 +9,7 @@ package pipeline
 // names.
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -122,6 +123,45 @@ func TestEpochProbeMatchesHeldLockBaseline(t *testing.T) {
 		}
 		if got.Sheds != held.Sheds {
 			t.Errorf("%s: sheds %d, held-lock %d", pc.label, got.Sheds, held.Sheds)
+		}
+	}
+}
+
+// TestDispatchBatchDeterminism pins the deque-dispatch refactor along its
+// new tuning axis: the result set must not depend on the hand-off grain.
+// DispatchBatch changes how jobs clump onto deques and therefore how much
+// stealing happens — a digest shift at any grain means some statistic or
+// result leaked out of the tick-barrier flush order. Swept with chaos off
+// and on (grain also reshapes which goroutine trips an injected fault).
+func TestDispatchBatchDeterminism(t *testing.T) {
+	chaos := fault.Plan{
+		Seed:         7,
+		PanicRate:    0.004,
+		SaturateRate: 0.01,
+		DelayRate:    0.002,
+		Delay:        10 * time.Microsecond,
+		AbortRate:    1.0,
+		PressureRate: 0.01,
+	}
+	for _, pc := range []struct {
+		label string
+		plan  fault.Plan
+	}{
+		{"fault-free", fault.None},
+		{"chaos", chaos},
+	} {
+		serial, want := digestRun(t, detConfig(1, 0, pc.plan))
+		if serial.Results == 0 {
+			t.Fatalf("%s: serial reference produced no results; workload broken", pc.label)
+		}
+		for _, batch := range []int{1, 16, 256} {
+			for _, workers := range []int{1, 2, 8} {
+				cfg := detConfig(workers, 8, pc.plan)
+				cfg.DispatchBatch = batch
+				got, d := digestRun(t, cfg)
+				label := fmt.Sprintf("%s batch=%d workers=%d", pc.label, batch, workers)
+				assertSameResultSet(t, label, serial, got, want, d)
+			}
 		}
 	}
 }

@@ -8,6 +8,7 @@ package pipeline
 // and off.
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 	"time"
@@ -121,6 +122,38 @@ func TestCrashPointSweep(t *testing.T) {
 			if !res.Crashed && res.ResumedTick != crash+1 {
 				t.Errorf("%s: final segment resumed at %d, want %d", label, res.ResumedTick, crash+1)
 			}
+		}
+	}
+}
+
+// TestCrashSweepAcrossDispatchBatch: the durable crash/recover cycle must
+// be grain-independent too — a crash can land while worker deques hold any
+// amount of stolen work, and recovery replays from the WAL regardless. A
+// few representative crash points at the extreme hand-off grains, chaos on.
+func TestCrashSweepAcrossDispatchBatch(t *testing.T) {
+	const ticks = 25
+	ref := detConfig(1, 0, sweepChaos())
+	ref.Ticks = ticks
+	ref.Durable = storage.NewMemStore()
+	serial, want := digestRun(t, ref)
+	if serial.Results == 0 {
+		t.Fatal("serial reference produced no results; workload broken")
+	}
+	for _, batch := range []int{1, 256} {
+		for _, crash := range []int64{0, 7, 19} {
+			plan := sweepChaos()
+			plan.CrashTicks = []int64{crash}
+			cfg := detConfig(8, 8, plan)
+			cfg.Ticks = ticks
+			cfg.DispatchBatch = batch
+			cfg.Durable = storage.NewMemStore()
+			res, d := runThroughCrashes(t, cfg)
+			label := fmt.Sprintf("batch=%d crash@%d", batch, crash)
+			assertSameResultSet(t, label, serial, res, want, d)
+			if res.StateLost != 0 {
+				t.Errorf("%s: StateLost = %d, want 0 with durability on", label, res.StateLost)
+			}
+			assertConserved(t, label, cfg, res)
 		}
 	}
 }

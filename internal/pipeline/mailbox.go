@@ -215,6 +215,29 @@ func (m *mailbox[T]) Pop() (v T, ok bool) {
 	return v, true
 }
 
+// TryPop is Pop without the wait: it returns the head item if one is
+// queued right now and ok=false otherwise (empty OR closed-and-drained —
+// callers distinguishing the two keep using Pop). The partitioned ingest
+// path uses it to gather everything immediately available into one batch
+// without ever blocking behind the source.
+func (m *mailbox[T]) TryPop() (v T, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.head >= len(m.items) {
+		return v, false
+	}
+	v = m.items[m.head]
+	var zero T
+	m.items[m.head] = zero
+	m.head++
+	if m.head > 1024 && m.head*2 > len(m.items) {
+		m.items = append([]T(nil), m.items[m.head:]...)
+		m.head = 0
+	}
+	m.notFull.Signal()
+	return v, true
+}
+
 // Len returns the queued item count.
 func (m *mailbox[T]) Len() int {
 	m.mu.Lock()

@@ -3,7 +3,9 @@ package pipeline
 import (
 	"fmt"
 	"math/bits"
+	"math/rand/v2"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -64,6 +66,18 @@ type Config struct {
 	// offline throughput model in internal/bench. Off by default (it
 	// allocates per tick).
 	CollectProbeCosts bool
+	// DispatchBatch is the deque dispatch's hand-off grain: the source and
+	// the workers move probe jobs between deques in chunks of this many
+	// (default 64), so the dispatch pays one lock acquisition per batch
+	// instead of one channel operation per composite. The digest is
+	// identical at any batch size; see the determinism tests.
+	DispatchBatch int
+	// LegacyDispatch restores the shared-channel dispatch this PR's deque
+	// path replaced: one probeCh feeding the worker pool, follow-up matches
+	// delivered through operator mailboxes, per-probe assessor updates. It
+	// exists as the measured A/B baseline for BENCH_pipeline.json and the
+	// bench-gate; production runs leave it false.
+	LegacyDispatch bool
 
 	// MailboxCap bounds every operator mailbox to that many queued
 	// messages (0 = unbounded, the pre-fault-tolerance behaviour).
@@ -188,6 +202,13 @@ type ProbeCost struct {
 type message struct {
 	ingest *tuple.Tuple
 	comp   *tuple.Composite
+	// doPanic pre-decides the OperatorPanic fault at delivery time (one
+	// injector decision per surviving ingest, in arrival order — the same
+	// per-(kind, actor) sequence the old handle-time decision consumed).
+	// Deciding at delivery lets the partitioned ingest path see a batch's
+	// panics BEFORE it fans the inserts out, so an injected panic always
+	// fires before its tuple reaches the state or the WAL.
+	doPanic bool
 }
 
 // operator is one STeM running as a goroutine: it owns its state's
@@ -217,6 +238,9 @@ type operator struct {
 	_   [56]byte
 
 	durable bool // a CheckpointStore backs this operator (Config.Durable)
+	// partitioned enables the shard-affine batched ingest path: sharded
+	// epoch-probe runs under the deque dispatch with more than one worker.
+	partitioned bool
 
 	mu       sync.RWMutex
 	ix       *core.AdaptiveIndex
@@ -248,8 +272,13 @@ type operator struct {
 	restarts atomic.Int64
 
 	// Supervisor-goroutine-local state: the message being handled (so a
-	// panic's recover can release it).
-	inflight message
+	// panic's recover can release it), the accumulated-but-unapplied ingest
+	// batch (serve resumes it after a restart; drainFailed sheds it), and
+	// the per-worker shard-affine insert groups the partitioned path reuses
+	// tick to tick.
+	inflight  message
+	pending   []message
+	insGroups [][]*tuple.Tuple
 }
 
 // padUint64, padInt64 and padBool are atomic cells padded to a full cache
@@ -275,11 +304,62 @@ type padBool struct {
 // probeScratch is one probe worker's reusable buffers: probe values and
 // match collection live per worker, not per operator, so concurrent
 // probes of the same state never share scratch. w is the worker's index
-// into the cost collector's slot array.
+// into the cost collector's slot array. The fields below vals/matches
+// serve only the deque dispatch: the inline-filter Matcher and index
+// enumeration scratch, the popped-batch and follow-up job buffers, the
+// composite freelist (dead driving composites recycled into the next
+// extension instead of allocating), and the tick-local statistics (result
+// count, per-op probe counts, router observations, per-(op, pattern)
+// assessor counts or — when the pattern space is too wide to materialize —
+// the claimed tuning ops) that flushWorkers merges at the barrier.
 type probeScratch struct {
 	w       int
 	vals    []tuple.Value
 	matches []*tuple.Tuple
+
+	matcher bitindex.Matcher
+	ss      bitindex.SearchScratch
+	rng     *rand.Rand
+	buf     []probeJob
+	pend    []probeJob
+	free    []*tuple.Composite
+	nres    uint64
+	ndec    uint64
+	nexp    uint64
+	nprobes []uint64
+	robs    []routerObs
+	obs     []uint64
+	dueOps  []int
+}
+
+// freeCap bounds a worker's composite freelist; composites past it are
+// left to the GC (the list only needs to cover one batch's fan-out).
+const freeCap = 1024
+
+// takeSpare pops a recycled composite, or nil when the freelist is dry.
+func (sc *probeScratch) takeSpare() *tuple.Composite {
+	if n := len(sc.free); n > 0 {
+		c := sc.free[n-1]
+		sc.free[n-1] = nil
+		sc.free = sc.free[:n-1]
+		return c
+	}
+	return nil
+}
+
+// recycle returns a dead composite to the freelist.
+func (sc *probeScratch) recycle(c *tuple.Composite) {
+	if len(sc.free) < freeCap {
+		sc.free = append(sc.free, c)
+	}
+}
+
+// routerObs is one deferred router observation (a first-hop probe's match
+// feedback), replayed at the tick barrier in a canonical order.
+type routerObs struct {
+	i, j     int
+	matches  int
+	stateLen int
 }
 
 // insert stores one arrival and reports whether a checkpoint is due.
@@ -290,6 +370,30 @@ func (o *operator) insert(t *tuple.Tuple) (ckpt bool) {
 	o.retained.Add(t)
 	// Timestamp-bucket expiry with watermark slack: exact under
 	// out-of-order arrivals.
+	o.retained.Expire(t.TS, func(old *tuple.Tuple) {
+		o.ix.Delete(old)
+	})
+	o.length.Store(int64(o.ix.Len()))
+	o.sinceCkpt++
+	o.applied++
+	if o.durable {
+		o.tail = append(o.tail, t)
+	}
+	return o.ckptEvery > 0 && o.sinceCkpt >= o.ckptEvery
+}
+
+// applyArrival is insert's bookkeeping half for the partitioned ingest
+// path: the index insert already ran shard-affinely on the workers, so this
+// applies everything else — retention, expiry, the WAL cursor — in arrival
+// order under the operator lock. Splitting insert this way keeps the final
+// state set-identical to the serial path: every batch insert completed
+// before the first applyArrival, so each expiry's Delete targets are always
+// present, and the (insert set − expired set) the serial path computes is
+// computed here too, just with the inserts hoisted ahead of the walk.
+func (o *operator) applyArrival(t *tuple.Tuple) (ckpt bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.retained.Add(t)
 	o.retained.Expire(t.TS, func(old *tuple.Tuple) {
 		o.ix.Delete(old)
 	})
@@ -397,6 +501,7 @@ func (o *operator) shedAssessment(cost time.Duration) {
 		//amrivet:lockhold fault injection: the stall models reclamation walking the locked state; the contention benchmark's A/B depends on it being under the lock
 		time.Sleep(cost)
 	}
+	//amrivet:lockhold reclamation rewrites the assessor state o.mu guards; the epoch probe path never takes this lock, so the hold convoys only other maintenance
 	o.ix.ShedAssessment()
 }
 
@@ -486,6 +591,57 @@ func (o *operator) searchInto(ix *core.AdaptiveIndex, c *tuple.Composite, sc *pr
 	})
 }
 
+// probeMatch is the deque dispatch's probe: the same search as probe, but
+// through the inline-filter SearchMatch path — the candidate filter runs
+// inside the bucket scan (no per-candidate closure call), matches land in
+// the worker's scratch slice, and the assessor is NOT touched (the worker
+// defers the observation to the tick barrier, where flushWorkers batches it
+// through ObserveSearches). Sharded epoch probes pin the index incarnation
+// with one atomic load; the flat index still demands exclusivity and the
+// HeldLockProbes baseline still reads under the operator lock, exactly as
+// the legacy path's probeLocked.
+//
+//amrivet:hotpath batched-dispatch probe: inline-filter search with worker-owned scratch
+func (o *operator) probeMatch(c *tuple.Composite, sc *probeScratch) ([]*tuple.Tuple, bitindex.Stats) {
+	pt := o.spec.PatternForDone(c.Done)
+	vals := sc.vals[:o.spec.NumAttrs()]
+	m := &sc.matcher
+	m.NEq = 0
+	for i, ja := range o.spec.JAS {
+		if pt.Has(i) {
+			v := c.Parts[ja.Partner].Attrs[ja.PartnerAttr]
+			vals[i] = v
+			m.EqAttr[m.NEq] = ja.Attr
+			m.EqVal[m.NEq] = v
+			m.NEq++
+		} else {
+			vals[i] = 0
+		}
+	}
+	drv := c.Driver()
+	m.Driver = drv.Arrival
+	m.MinTS = drv.TS - o.window
+	sc.matches = sc.matches[:0]
+	var st bitindex.Stats
+	switch {
+	case o.sharded && !o.heldLock:
+		ix := o.cur.Load()
+		st, sc.matches = ix.SearchMatch(pt, vals, m, &sc.ss, sc.matches)
+	case o.sharded:
+		o.mu.RLock()
+		//amrivet:lockhold HeldLockProbes baseline: the whole search under the read lock is the contention the A/B benchmark measures
+		st, sc.matches = o.ix.SearchMatch(pt, vals, m, &sc.ss, sc.matches)
+		o.mu.RUnlock()
+	default:
+		o.mu.Lock()
+		//amrivet:lockhold flat index scratch demands exclusivity for the whole search, as in probeLocked
+		st, sc.matches = o.ix.SearchMatch(pt, vals, m, &sc.ss, sc.matches)
+		o.mu.Unlock()
+	}
+	sc.nprobes[o.id]++ // flushed to o.probes at the tick barrier
+	return sc.matches, st
+}
+
 // run bundles one Run invocation's shared machinery: the operator set, the
 // fault injector, the in-flight message WaitGroup, and every counter the
 // Result aggregates. It is always handled by pointer.
@@ -505,15 +661,37 @@ type run struct {
 	// and Done exactly once — when handled, shed, or lost to a panic.
 	wg sync.WaitGroup
 
-	// probeCh feeds the shared probe worker pool: serve goroutines forward
-	// composite messages here, workers execute them. A job's wg slot is
-	// released by the worker that handles (or sheds) it.
+	// probeCh feeds the shared probe worker pool under LegacyDispatch:
+	// serve goroutines forward composite messages here, workers execute
+	// them. A job's wg slot is released by the worker that handles (or
+	// sheds) it.
 	probeCh chan probeJob
 	costs   sim.CostTable
 	collect *costCollector // nil unless Config.CollectProbeCosts
 
-	nextHop func(done uint32) int
-	observe func(i, j, matches, stateLen int)
+	// Deque dispatch state (nil/zero under LegacyDispatch): the dispatcher
+	// and its hand-off grain, the per-worker scratches flushWorkers merges,
+	// the materialized (op, pattern) space for deferred assessor counts (0
+	// = too wide, workers observe directly), the source's reusable
+	// job/router-observation buffers, and the per-tick operator-length
+	// snapshot (lengths only change in the ingest phase, so one snapshot
+	// taken at probe dispatch serves every routing decision of the tick —
+	// no per-hop atomic loads).
+	dsp       *dispatcher
+	batch     int
+	scratches []*probeScratch
+	patSpace  int
+	jobBuf    []probeJob
+	tickLens  []int
+	robsBuf   []routerObs
+	rt        *router.Router
+	srcRng    *rand.Rand
+	srcDec    uint64
+	srcExp    uint64
+
+	nextHop     func(done uint32) int
+	observe     func(i, j, matches, stateLen int)
+	recordRoute func(total, explored uint64)
 
 	// storeMu guards storeErr: the first durable-store failure, recorded by
 	// whichever goroutine hits it and surfaced as the run's error. Later
@@ -565,10 +743,28 @@ func (p *run) firstStoreErr() error {
 	return p.storeErr
 }
 
-// probeJob is one composite dispatched to the probe worker pool.
+// probeJob is one unit of worker-pool work: a composite probe, or — on the
+// partitioned ingest path — a shard-affine insert batch (ins non-nil): the
+// worker inserts every tuple into insIx and signals insDone once. Insert
+// jobs are not tracked by run.wg; the serve goroutine that fanned them out
+// waits on insDone before it runs the batch's serial bookkeeping.
+// probeJob is one unit of deque work: a probe (o+comp) or, rarely, a
+// shard-affine insert fan-out (ins != nil). The insert fields live behind a
+// pointer deliberately — jobs are copied on every push/pop/steal and zeroed
+// on every consume, and at three words the copies compile to plain register
+// moves instead of duffcopy (which a 56-byte flat layout put at ~4% of a
+// drift-run profile).
 type probeJob struct {
 	o    *operator
 	comp *tuple.Composite
+	ins  *insBatch
+}
+
+// insBatch carries one worker's slice of an operator's ingest batch.
+type insBatch struct {
+	tuples []*tuple.Tuple
+	ix     *core.AdaptiveIndex
+	done   *sync.WaitGroup
 }
 
 // costCollector accumulates the per-tick probe cost trace in per-worker
@@ -683,6 +879,10 @@ func (p *run) deliverIngestBatch(target int, ts []*tuple.Tuple) {
 			p.delays.Add(1)
 			time.Sleep(p.inj.Delay())
 		}
+		// Pre-decide the handling-time panic (see message.doPanic): one
+		// decision per survivor, in arrival order — the sequence the
+		// handle-time decision consumed under PolicyBlock.
+		m.doPanic = p.inj.Decide(fault.OperatorPanic, target)
 		msgs = append(msgs, m)
 	}
 	if len(msgs) == 0 {
@@ -701,12 +901,13 @@ func (p *run) deliverIngestBatch(target int, ts []*tuple.Tuple) {
 
 // handleIngest processes one arrival on the operator's own goroutine.
 func (p *run) handleIngest(o *operator, msg message) {
-	// The panic fault fires while an arrival is being handled — after the
-	// message left the mailbox, before it reached the state — the worst
-	// spot for an unassisted crash. It fires before the insert, so a
-	// panic-killed tuple is in neither the state nor the WAL: replay can
-	// never resurrect a tuple the live run lost.
-	if p.inj.Decide(fault.OperatorPanic, o.id) {
+	// The panic fault (pre-decided at delivery, see message.doPanic) fires
+	// while an arrival is being handled — after the message left the
+	// mailbox, before it reached the state — the worst spot for an
+	// unassisted crash. It fires before the insert, so a panic-killed tuple
+	// is in neither the state nor the WAL: replay can never resurrect a
+	// tuple the live run lost.
+	if msg.doPanic {
 		panic(fmt.Sprintf("pipeline: injected panic at operator %d", o.id))
 	}
 	ckptDue := o.insert(msg.ingest)
@@ -774,12 +975,132 @@ func (p *run) probeWorker(sc *probeScratch) {
 	}
 }
 
+// handleCompDeque is handleComp's deque-dispatch twin: the probe runs
+// through the inline-filter probeMatch, follow-up composites go to the
+// worker's pending batch (one deque push per popped batch, no mailbox in
+// the loop), and every statistic that feeds tuning or routing is deferred
+// to the worker's tick-local scratch for flushWorkers to merge at the
+// barrier. Result emission stays inline: OnResult's concurrency contract is
+// unchanged and the digest is order-insensitive.
+//
+//amrivet:hotpath deque worker probe execution
+func (p *run) handleCompDeque(o *operator, comp *tuple.Composite, sc *probeScratch) {
+	if p.inj.Decide(fault.MemoryPressure, o.id) {
+		o.shedAssessment(p.inj.AssessCost())
+		p.pressure.Add(1)
+	}
+	matches, st := o.probeMatch(comp, sc)
+	if p.collect != nil {
+		p.collect.add(sc.w, ProbeCost{Op: o.id, Units: float64(
+			sim.Units(st.Hashes)*p.costs.Hash +
+				sim.Units(st.Buckets)*p.costs.Bucket +
+				sim.Units(st.DirScans)*p.costs.DirScan +
+				sim.Units(st.Tuples)*p.costs.Compare)})
+	}
+	if sc.obs != nil {
+		sc.obs[o.id*p.patSpace+int(o.spec.PatternForDone(comp.Done))]++
+	} else if o.cur.Load().ObserveSearches(o.spec.PatternForDone(comp.Done), 1) {
+		sc.dueOps = append(sc.dueOps, o.id) //amrivet:ignore[hotalloc] append into the worker's tick-local scratch, drained and resliced at the barrier
+	}
+	if comp.Count() == 1 {
+		src := bits.TrailingZeros32(comp.Done)
+		//amrivet:ignore[hotalloc] append into the worker's tick-local scratch, drained and resliced at the barrier
+		sc.robs = append(sc.robs, routerObs{i: src, j: o.id, matches: len(matches), stateLen: p.tickLens[o.id]})
+	}
+	for _, m := range matches {
+		nc := comp.ExtendInto(sc.takeSpare(), m)
+		if nc.Complete(p.n) {
+			sc.nres++
+			if p.cfg.OnResult != nil {
+				p.cfg.OnResult(nc) // escapes to the caller; never recycled
+			} else {
+				sc.recycle(nc)
+			}
+			continue
+		}
+		if next := p.routeTick(nc.Done, sc.rng, &sc.ndec, &sc.nexp); next >= 0 {
+			// The follow-up's wg slot is taken by the batched Add in
+			// dequeWorker, before the parent batch's release.
+			//amrivet:ignore[hotalloc] append into the worker's pending-batch scratch, pushed and resliced once per popped batch
+			sc.pend = append(sc.pend, probeJob{o: p.ops[next], comp: nc})
+		} else {
+			sc.recycle(nc)
+		}
+	}
+}
+
+// dequeWorker is one deque-dispatch worker: pop a batch off the own deque,
+// steal half a victim's queue when dry, park when the whole dispatcher is
+// empty. Follow-up jobs accumulated during a batch are pushed to the own
+// deque in one operation (their wg slots were taken at creation, before the
+// parent's release, so the tick barrier cannot pass while they are
+// pending). Insert jobs from the partitioned ingest path execute here too.
+func (p *run) dequeWorker(sc *probeScratch) {
+	for {
+		n := p.dsp.popOwn(sc.w, p.batch, &sc.buf)
+		if n == 0 {
+			n = p.dsp.stealAny(sc.w, &sc.buf)
+		}
+		if n == 0 {
+			if !p.dsp.park() {
+				return
+			}
+			continue
+		}
+		p.dsp.wakeSibling()
+		handled := 0
+		for i := 0; i < n; i++ {
+			job := sc.buf[i]
+			sc.buf[i] = probeJob{}
+			if job.ins != nil {
+				for _, t := range job.ins.tuples {
+					job.ins.ix.Insert(t)
+				}
+				job.ins.done.Done()
+				continue
+			}
+			// The target may have failed permanently after dispatch; shed
+			// exactly as a mailbox drain would.
+			if job.o.failed.Load() {
+				p.accountShed(job.o.id, message{comp: job.comp})
+			} else {
+				p.handleCompDeque(job.o, job.comp, sc)
+			}
+			// The driving composite dies with its probe (extensions copy,
+			// results escape): recycle it into the worker's freelist.
+			sc.recycle(job.comp)
+			handled++
+		}
+		// One wg round-trip per batch, not per job: take the follow-ups'
+		// slots first, then release the handled jobs', so the barrier count
+		// can never touch zero while this batch's children are pending.
+		if len(sc.pend) > 0 {
+			p.wg.Add(len(sc.pend))
+			p.dsp.push(sc.w, sc.pend)
+			for i := range sc.pend {
+				sc.pend[i] = probeJob{}
+			}
+			sc.pend = sc.pend[:0]
+		}
+		if handled > 0 {
+			p.wg.Add(-handled)
+		}
+	}
+}
+
 // serve drains the mailbox until closed-and-empty: arrivals are handled
 // inline (state mutation stays on the operator's goroutine, so an injected
-// panic is attributable to it), probes are forwarded to the worker pool. A
-// panic escapes to the recover in superviseOnce.
+// panic is attributable to it), probes are forwarded to the worker pool
+// (LegacyDispatch only — the deque dispatch never routes probes through
+// mailboxes). A partitioned operator gathers every immediately available
+// arrival into one batch and fans the index inserts out shard-affinely;
+// batches that are too small to pay for the fan-out, or that contain a
+// pre-decided panic, fall back to the per-message path. A panic escapes to
+// the recover in superviseOnce, and the interrupted batch remainder is
+// resumed by the drain at the top of the loop.
 func (p *run) serve(o *operator) {
 	for {
+		p.drainPendingBatch(o)
 		msg, ok := o.mb.Pop()
 		if !ok {
 			return
@@ -788,11 +1109,106 @@ func (p *run) serve(o *operator) {
 			p.probeCh <- probeJob{o: o, comp: msg.comp}
 			continue
 		}
+		if !o.partitioned {
+			o.inflight = msg
+			p.handleIngest(o, msg)
+			o.inflight = message{}
+			p.wg.Done()
+			continue
+		}
+		o.pending = append(o.pending, msg)
+		hasPanic := msg.doPanic
+		for len(o.pending) < partitionMaxBatch {
+			m2, ok2 := o.mb.TryPop()
+			if !ok2 {
+				break
+			}
+			o.pending = append(o.pending, m2)
+			hasPanic = hasPanic || m2.doPanic
+		}
+		if hasPanic || len(o.pending) < partitionMinBatch {
+			p.drainPendingBatch(o)
+			continue
+		}
+		p.ingestPartitioned(o)
+	}
+}
+
+// partitionMinBatch is the accumulated-batch size below which the
+// partitioned ingest path is not worth its fan-out overhead and the
+// per-message path runs instead; partitionMaxBatch caps how much one
+// accumulation gathers so checkpoint latency stays bounded. The choice of
+// path is timing-dependent and deliberately unobservable: both produce the
+// same state, the same WAL order and the same counters.
+const (
+	partitionMinBatch = 16
+	partitionMaxBatch = 256
+)
+
+// drainPendingBatch applies accumulated arrivals one at a time through the
+// full per-message path. It doubles as the panic-resume point: a restarted
+// serve finishes the interrupted batch before popping the mailbox again
+// (the panicked message itself was already removed here and accounted by
+// superviseOnce's recover).
+func (p *run) drainPendingBatch(o *operator) {
+	for len(o.pending) > 0 {
+		msg := o.pending[0]
+		o.pending[0] = message{}
+		o.pending = o.pending[1:]
 		o.inflight = msg
 		p.handleIngest(o, msg)
 		o.inflight = message{}
 		p.wg.Done()
 	}
+}
+
+// ingestPartitioned applies one accumulated ingest batch in two stages:
+// the index inserts fan out over the worker deques grouped by the live
+// epoch's shard (tuples of distinct workers touch disjoint lock stripes),
+// and after the insDone barrier the serial bookkeeping — retention,
+// expiry, WAL, checkpoints — runs in arrival order, so everything the
+// durable store or a recovery sees is byte-identical to the per-message
+// path.
+func (p *run) ingestPartitioned(o *operator) {
+	//amrivet:ignore[mutexguard] the serve goroutine owns o.ix between restores (only superviseOnce's restore path swaps it, on this same goroutine); concurrent probes pin o.cur, never o.ix
+	ix := o.ix
+	nw := len(p.dsp.deques)
+	if o.insGroups == nil {
+		o.insGroups = make([][]*tuple.Tuple, nw)
+	}
+	for _, msg := range o.pending {
+		w := ix.ShardOf(msg.ingest) % nw
+		o.insGroups[w] = append(o.insGroups[w], msg.ingest)
+	}
+	var insWG sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		if len(o.insGroups[w]) == 0 {
+			continue
+		}
+		insWG.Add(1)
+		p.dsp.push(w, []probeJob{{o: o, ins: &insBatch{tuples: o.insGroups[w], ix: ix, done: &insWG}}})
+	}
+	//amrivet:ignore[waitleak] the matching Done is job.ins.done.Done() in dequeWorker — the analyzer cannot trace the WaitGroup pointer through the insBatch field
+	insWG.Wait()
+	for w := 0; w < nw; w++ {
+		o.insGroups[w] = o.insGroups[w][:0]
+	}
+	for i := range o.pending {
+		msg := o.pending[i]
+		o.pending[i] = message{}
+		ckptDue := o.applyArrival(msg.ingest)
+		if p.store != nil {
+			p.recordStoreErr(p.store.AppendWAL(encodeIngestRecord(o.id, msg.ingest)))
+		}
+		if ckptDue {
+			if ck := o.snapshot(); ck != nil {
+				p.recordStoreErr(p.store.SaveCheckpoint(ck.Op, ck.encode()))
+			}
+		}
+		p.ingested.Add(1)
+		p.wg.Done()
+	}
+	o.pending = o.pending[:0]
 }
 
 // superviseOnce runs one operator incarnation, converting a panic into
@@ -882,8 +1298,14 @@ func (p *run) failOperator(o *operator) {
 	p.drainFailed(o)
 }
 
-// drainFailed sheds a failed operator's backlog until the mailbox closes.
+// drainFailed sheds a failed operator's backlog — any accumulated batch
+// remainder first, then the mailbox until it closes.
 func (p *run) drainFailed(o *operator) {
+	for _, msg := range o.pending {
+		p.accountShed(o.id, msg)
+		p.wg.Done()
+	}
+	o.pending = nil
 	for {
 		msg, ok := o.mb.Pop()
 		if !ok {
@@ -936,6 +1358,12 @@ func newRun(cfg Config) (*run, error) {
 	}
 	if cfg.MaxRestartWindow < 0 {
 		return nil, fmt.Errorf("pipeline: MaxRestartWindow must be >= 0")
+	}
+	if cfg.DispatchBatch < 0 {
+		return nil, fmt.Errorf("pipeline: DispatchBatch must be >= 0")
+	}
+	if cfg.DispatchBatch == 0 {
+		cfg.DispatchBatch = 64
 	}
 	if len(cfg.Fault.CrashTicks) > 0 {
 		if cfg.Durable == nil {
@@ -1021,6 +1449,7 @@ func newRun(cfg Config) (*run, error) {
 			window:      q.WindowTicks,
 			sharded:     cfg.Shards > 0,
 			heldLock:    cfg.HeldLockProbes,
+			partitioned: cfg.Shards > 0 && !cfg.HeldLockProbes && !cfg.LegacyDispatch && cfg.ProbeWorkers > 1,
 			durable:     cfg.Durable != nil,
 			newIx:       newIx,
 			newRetained: newRetained,
@@ -1038,6 +1467,7 @@ func newRun(cfg Config) (*run, error) {
 
 	rt := router.New(n, cfg.Explore, cfg.Seed+99)
 	var rtMu sync.Mutex
+	p.rt = rt
 	p.nextHop = func(done uint32) int {
 		lens := make([]int, n)
 		for i, o := range p.ops {
@@ -1052,7 +1482,159 @@ func newRun(cfg Config) (*run, error) {
 		defer rtMu.Unlock()
 		rt.ObservePair(i, j, matches, stateLen)
 	}
+	p.recordRoute = func(total, explored uint64) {
+		rtMu.Lock()
+		defer rtMu.Unlock()
+		rt.RecordDecisions(total, explored)
+	}
+	if !cfg.LegacyDispatch {
+		p.dsp = newDispatcher(cfg.ProbeWorkers)
+		p.batch = cfg.DispatchBatch
+		p.tickLens = make([]int, n)
+		p.srcRng = rand.New(rand.NewPCG(cfg.Seed+199, cfg.Seed^0x85ebca6b))
+		// Materialize the deferred-observation table only when the (op,
+		// pattern) space is small enough; wider queries fall back to
+		// direct (mutex-per-probe) observation on the workers.
+		if p.maxAttrs <= 16 && n*(1<<uint(p.maxAttrs)) <= 1<<20 {
+			p.patSpace = 1 << uint(p.maxAttrs)
+		}
+		p.scratches = make([]*probeScratch, cfg.ProbeWorkers)
+		for w := range p.scratches {
+			sc := &probeScratch{w: w, vals: make([]tuple.Value, p.maxAttrs), nprobes: make([]uint64, n)}
+			sc.rng = rand.New(rand.NewPCG(cfg.Seed+199+uint64(w+1)*0x9e3779b9, cfg.Seed^uint64(w)*0xc2b2ae35))
+			if p.patSpace > 0 {
+				sc.obs = make([]uint64, n*p.patSpace)
+			}
+			p.scratches[w] = sc
+		}
+	}
 	return p, nil
+}
+
+// routeTick routes one hop during the probe phase: a lock-free read of the
+// router's barrier-stable estimates against the tick's length snapshot,
+// with the exploration draw from the caller's own rng and the decision
+// counted in the caller's scratch (flushed at the barrier). The routing
+// sequence differs per worker count — which probes run where and in what
+// order always has — but the verified result set provably does not.
+func (p *run) routeTick(done uint32, rng *rand.Rand, ndec, nexp *uint64) int {
+	next, explored := p.rt.NextWith(done, p.tickLens, rng)
+	*ndec++
+	if explored {
+		*nexp++
+	}
+	return next
+}
+
+// dispatchProbes builds one tick's root probe jobs (one composite per
+// surviving arrival, routed to its first hop) and hands them to the worker
+// deques in DispatchBatch chunks, round-robin. It snapshots the operator
+// lengths first — the ingest phase is over, so they are constant until the
+// next tick's — and all wg slots are taken before the first push so the
+// tick barrier cannot pass early.
+func (p *run) dispatchProbes(batch []*tuple.Tuple) {
+	for i, o := range p.ops {
+		p.tickLens[i] = int(o.length.Load())
+	}
+	jobs := p.jobBuf[:0]
+	for _, t := range batch {
+		comp := tuple.NewComposite(p.n, t)
+		if next := p.routeTick(comp.Done, p.srcRng, &p.srcDec, &p.srcExp); next >= 0 {
+			jobs = append(jobs, probeJob{o: p.ops[next], comp: comp})
+		}
+	}
+	p.jobBuf = jobs
+	if len(jobs) == 0 {
+		return
+	}
+	p.wg.Add(len(jobs))
+	nw := len(p.dsp.deques)
+	w := 0
+	for off := 0; off < len(jobs); off += p.batch {
+		end := off + p.batch
+		if end > len(jobs) {
+			end = len(jobs)
+		}
+		p.dsp.push(w, jobs[off:end])
+		w = (w + 1) % nw
+	}
+	for i := range jobs {
+		jobs[i] = probeJob{}
+	}
+}
+
+// flushWorkers merges the workers' tick-local statistics at the probe
+// barrier, in a fixed order so the run's adaptive state evolves identically
+// at any worker count, batch size or steal schedule: result counts first,
+// then router observations (sorted into a canonical order — the multiset
+// is deterministic, the per-worker arrival order is not), then assessor
+// observations op-major and pattern-ascending through ObserveSearches, and
+// finally the tuning passes those observations claimed, in operator order —
+// which also fixes the injector's migration-abort decision sequence.
+func (p *run) flushWorkers() {
+	var due []int
+	ndec, nexp := p.srcDec, p.srcExp
+	p.srcDec, p.srcExp = 0, 0
+	for _, sc := range p.scratches {
+		ndec += sc.ndec
+		nexp += sc.nexp
+		sc.ndec, sc.nexp = 0, 0
+		p.results.Add(sc.nres)
+		sc.nres = 0
+		for opID, np := range sc.nprobes {
+			if np > 0 {
+				p.ops[opID].probes.Add(np)
+				sc.nprobes[opID] = 0
+			}
+		}
+		p.robsBuf = append(p.robsBuf, sc.robs...)
+		sc.robs = sc.robs[:0]
+		due = append(due, sc.dueOps...)
+		sc.dueOps = sc.dueOps[:0]
+	}
+	if ndec > 0 {
+		p.recordRoute(ndec, nexp)
+	}
+	sort.Slice(p.robsBuf, func(a, b int) bool {
+		x, y := p.robsBuf[a], p.robsBuf[b]
+		if x.i != y.i {
+			return x.i < y.i
+		}
+		if x.j != y.j {
+			return x.j < y.j
+		}
+		if x.matches != y.matches {
+			return x.matches < y.matches
+		}
+		return x.stateLen < y.stateLen
+	})
+	for _, ro := range p.robsBuf {
+		p.observe(ro.i, ro.j, ro.matches, ro.stateLen)
+	}
+	p.robsBuf = p.robsBuf[:0]
+	if p.patSpace > 0 {
+		for opID, o := range p.ops {
+			ix := o.cur.Load()
+			base := opID * p.patSpace
+			for pat := 0; pat < p.patSpace; pat++ {
+				var total uint64
+				for _, sc := range p.scratches {
+					total += sc.obs[base+pat]
+					sc.obs[base+pat] = 0
+				}
+				if total == 0 {
+					continue
+				}
+				if ix.ObserveSearches(query.Pattern(pat), total) {
+					due = append(due, opID)
+				}
+			}
+		}
+	}
+	sort.Ints(due)
+	for _, opID := range due {
+		p.ops[opID].cur.Load().TuneClaimed()
+	}
 }
 
 // execute spawns the supervisors and the probe worker pool, then runs the
@@ -1073,11 +1655,20 @@ func (p *run) execute(startTick int64) (*Result, error) {
 		}(p.ops[s])
 	}
 
-	// Probe workers: the bounded pool every operator's probes fan out
-	// over. Each worker owns its scratch for the life of the run.
+	// Probe workers: the pool every operator's probes fan out over. Each
+	// worker owns its scratch for the life of the run. The deque dispatch
+	// gives each worker its own deque plus work stealing; LegacyDispatch
+	// restores the shared channel.
 	var workerWG sync.WaitGroup
 	for w := 0; w < cfg.ProbeWorkers; w++ {
 		workerWG.Add(1)
+		if p.dsp != nil {
+			go func(sc *probeScratch) {
+				defer workerWG.Done()
+				p.dequeWorker(sc)
+			}(p.scratches[w])
+			continue
+		}
 		go func(w int) {
 			defer workerWG.Done()
 			p.probeWorker(&probeScratch{w: w, vals: make([]tuple.Value, p.maxAttrs)})
@@ -1121,13 +1712,20 @@ func (p *run) execute(startTick int64) (*Result, error) {
 			}
 		}
 		p.wg.Wait()
-		for _, t := range batch {
-			comp := tuple.NewComposite(n, t)
-			if next := p.nextHop(comp.Done); next >= 0 {
-				p.deliver(next, message{comp: comp}, true)
+		if p.dsp != nil {
+			p.dispatchProbes(batch)
+		} else {
+			for _, t := range batch {
+				comp := tuple.NewComposite(n, t)
+				if next := p.nextHop(comp.Done); next >= 0 {
+					p.deliver(next, message{comp: comp}, true)
+				}
 			}
 		}
 		p.wg.Wait()
+		if p.dsp != nil {
+			p.flushWorkers()
+		}
 		if p.collect != nil {
 			p.collect.flush()
 		}
@@ -1153,6 +1751,9 @@ func (p *run) execute(startTick int64) (*Result, error) {
 	}
 	opWG.Wait()
 	close(p.probeCh)
+	if p.dsp != nil {
+		p.dsp.close()
+	}
 	workerWG.Wait()
 
 	res := &Result{

@@ -57,18 +57,36 @@ func New(n int, explore float64, seed uint64) *Router {
 // explore a uniformly random remaining state is used instead.
 func (r *Router) Next(doneMask uint32, stateLens []int) int {
 	r.decisions++
-	var remaining []int
+	next, explored := r.NextWith(doneMask, stateLens, r.rng)
+	if explored {
+		r.explored++
+	}
+	return next
+}
+
+// NextWith is Next as a pure read: the selectivity matrix is consulted but
+// no counter moves and the exploration draw comes from the caller's rng.
+// It exists for concurrent dispatchers — estimates only change at their
+// tick barrier, so during a probe phase many workers may route off the
+// same matrix lock-free, each with its own seeded rng, and report their
+// decision counts afterwards via RecordDecisions. The caller owns the
+// phase discipline: NextWith must not race with ObservePair/SetExplore.
+func (r *Router) NextWith(doneMask uint32, stateLens []int, rng *rand.Rand) (next int, explored bool) {
+	// remaining lives in a fixed-size stack buffer: NextWith runs once per
+	// probe on the pipeline's hot dispatch path, and a heap append here
+	// was one allocation per probe.
+	var remBuf [32]int
+	remaining := remBuf[:0]
 	for j := 0; j < r.n; j++ {
 		if doneMask&(1<<uint(j)) == 0 {
 			remaining = append(remaining, j)
 		}
 	}
 	if len(remaining) == 0 {
-		return -1
+		return -1, false
 	}
-	if len(remaining) > 1 && r.explore > 0 && r.rng.Float64() < r.explore {
-		r.explored++
-		return remaining[r.rng.IntN(len(remaining))]
+	if len(remaining) > 1 && r.explore > 0 && rng.Float64() < r.explore {
+		return remaining[rng.IntN(len(remaining))], true
 	}
 	best, bestScore := remaining[0], 0.0
 	for k, j := range remaining {
@@ -82,7 +100,14 @@ func (r *Router) Next(doneMask uint32, stateLens []int) int {
 			best, bestScore = j, score
 		}
 	}
-	return best
+	return best, false
+}
+
+// RecordDecisions folds a batch of NextWith outcomes into the decision
+// counters — called at the same barrier that applies ObservePair updates.
+func (r *Router) RecordDecisions(total, explored uint64) {
+	r.decisions += total
+	r.explored += explored
 }
 
 // ObservePair feeds one clean single-predicate observation: a probe from a
