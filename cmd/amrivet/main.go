@@ -1,36 +1,55 @@
 // Command amrivet runs AMRI's project-specific static-analysis suite over
-// the module. Six per-package analyzers check lock discipline around
+// the module. Seventeen analyzers machine-check the invariants the
+// concurrent pipeline relies on. Per-package: lock discipline around
 // shared index state (mutexguard), the 64-bit IC budget (bitbudget),
 // wall-clock hygiene in hot paths (wallclock), seeded determinism
-// (detrand), consistent atomic access (atomicmix) and references escaping
-// critical sections (critescape); seven interprocedural analyzers built on
-// the cross-package facts store and call graph check global mutex
-// acquisition order (lockorder), channel ownership protocol
-// (chanprotocol), allocation-free probe hot paths (hotalloc), discarded
-// error returns (errdrop), costly work inside hot-path critical sections
-// (lockhold), leaked goroutines blocked forever (waitleak) and
-// cache-line-sharing contended fields (falseshare). It is the third link
-// in the CI gate chain:
+// (detrand), consistent atomic access (atomicmix), references escaping
+// critical sections (critescape), map-iteration order reaching
+// order-sensitive sinks (maporder), goroutine-written scratch read before
+// its barrier (barrierflush) and the WAL durability protocol (walorder).
+// Interprocedural, built on the cross-package facts store, the value-flow
+// layer and the call graph: global mutex acquisition order (lockorder),
+// channel ownership protocol (chanprotocol), allocation-free probe hot
+// paths (hotalloc), discarded error returns (errdrop), costly work inside
+// hot-path critical sections (lockhold), leaked goroutines blocked forever
+// (waitleak), cache-line-sharing contended fields (falseshare) and
+// lock-free handshake/republish pairing (atomicproto). It is the third
+// link in the CI gate chain:
 //
 //	go build ./...  →  go vet ./...  →  amrivet ./...  →  go test -race ./...
 //
 // Usage:
 //
-//	amrivet [-run name,name] [-list] [-json] [-baseline file] [packages]
+//	amrivet [-run name,name] [-list] [-json] [-sarif file] [-baseline file]
+//	        [-prune-baseline] [-p n] [-timing] [packages]
 //
-// Packages default to ./... relative to the current directory. With -json
-// each diagnostic is emitted as one JSON object per line on stdout
-// (analyzer, file, line, col, message) for tooling to consume; the output
-// is sorted by (file, line, col, analyzer) after path relativization, so
-// two runs over the same tree diff cleanly. With -baseline, findings
-// recorded in the given file (itself captured with -json) are suppressed —
-// matched by analyzer, file and message, deliberately not line/col, so
-// unrelated edits do not invalidate the baseline — and only new findings
-// fail the run. The exit status is exitFindings (1) when any diagnostic
-// survives suppression and exitError (2) on usage, load or type-check
-// errors, so CI can distinguish "the code has findings" from "the
-// analysis never ran". Findings can be suppressed with an in-source
-// directive:
+// Packages default to ./... relative to the current directory. Packages at
+// the same import depth analyze concurrently (-p bounds the workers);
+// output is byte-identical to a serial run. With -json each diagnostic is
+// emitted as one JSON object per line on stdout (analyzer, file, line,
+// col, message) for tooling to consume; the output is sorted by (file,
+// line, col, analyzer, message) after path relativization, so two runs
+// over the same tree diff cleanly. -sarif additionally writes the
+// surviving findings as a SARIF 2.1.0 log for code-scanning upload.
+//
+// With -baseline, findings recorded in the given file (itself captured
+// with -json) are suppressed — matched by analyzer, file and message,
+// deliberately not line/col, so unrelated edits do not invalidate the
+// baseline — and only new findings fail the run. Baseline entries that no
+// longer fire are stale: an explicitly named baseline reports them and
+// exits exitStaleBaseline (3) so CI notices the debt was paid;
+// -prune-baseline instead rewrites the file without them. The default
+// -baseline=auto uses ./.amrivet-baseline.json when present in
+// suppress-only mode (no stale exit), so partial-tree runs — like the
+// lint self-check over ./internal/analysis/... — do not misread
+// out-of-tree entries as stale. -baseline=off disables suppression.
+//
+// The exit status is exitFindings (1) when any diagnostic survives
+// suppression, exitError (2) on usage, load or type-check errors, and
+// exitStaleBaseline (3) when the only problem is stale baseline entries,
+// so CI can distinguish "the code has findings" from "the analysis never
+// ran" from "the baseline rotted". Findings can be suppressed with an
+// in-source directive:
 //
 //	//amrivet:ignore <reason>             (all analyzers, this/next line)
 //	//amrivet:ignore[wallclock] <reason>  (one analyzer only)
@@ -43,18 +62,25 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"amri/internal/analysis"
 )
 
 // Exit statuses, part of the command's contract with CI.
 const (
-	exitClean    = 0 // analysis ran, no findings
-	exitFindings = 1 // analysis ran, at least one diagnostic survived
-	exitError    = 2 // usage, load or type-check failure: analysis did not run
+	exitClean         = 0 // analysis ran, no findings
+	exitFindings      = 1 // analysis ran, at least one diagnostic survived
+	exitError         = 2 // usage, load or type-check failure: analysis did not run
+	exitStaleBaseline = 3 // clean, but baseline entries no longer fire
 )
+
+// autoBaseline is the baseline file the default -baseline=auto mode picks
+// up from the working directory, in suppress-only mode.
+const autoBaseline = ".amrivet-baseline.json"
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -76,10 +102,14 @@ func run(args []string, stdout, stderr *os.File) int {
 		runList  = fs.String("run", "", "comma-separated analyzer names to run (default all)")
 		listOnly = fs.Bool("list", false, "list analyzers and exit")
 		jsonOut  = fs.Bool("json", false, "emit one JSON diagnostic per line instead of text")
-		baseline = fs.String("baseline", "", "suppress findings recorded in this file (captured with -json); fail only on new ones")
+		baseline = fs.String("baseline", "auto", "suppress findings recorded in this file (captured with -json); 'auto' uses ./"+autoBaseline+" when present without stale detection, 'off' disables")
+		prune    = fs.Bool("prune-baseline", false, "rewrite the baseline file keeping only entries that still fire")
+		sarifOut = fs.String("sarif", "", "additionally write surviving findings to this file as SARIF 2.1.0")
+		workers  = fs.Int("p", runtime.GOMAXPROCS(0), "max packages analyzed concurrently (import-independent packages only)")
+		timing   = fs.Bool("timing", false, "report per-package analysis wall time on stderr")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: amrivet [-run name,name] [-list] [-json] [-baseline file] [packages]")
+		fmt.Fprintln(fs.Output(), "usage: amrivet [-run name,name] [-list] [-json] [-sarif file] [-baseline file] [-prune-baseline] [-p n] [-timing] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -101,6 +131,25 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 	}
 
+	// Resolve the baseline mode before loading anything: auto is
+	// suppress-only (partial-tree runs must not misread out-of-tree
+	// entries as stale), an explicit path also detects staleness.
+	baselinePath, staleDetect := "", false
+	switch *baseline {
+	case "off", "":
+	case "auto":
+		if _, err := os.Stat(autoBaseline); err == nil {
+			baselinePath = autoBaseline
+		}
+	default:
+		baselinePath = *baseline
+		staleDetect = true
+	}
+	if *prune && baselinePath == "" {
+		fmt.Fprintln(stderr, "amrivet: -prune-baseline needs a baseline file (explicit -baseline or ./"+autoBaseline+")")
+		return exitError
+	}
+
 	patterns := fs.Args()
 	pkgs, err := analysis.Load(".", patterns...)
 	if err != nil {
@@ -108,7 +157,19 @@ func run(args []string, stdout, stderr *os.File) int {
 		return exitError
 	}
 
-	diags, err := analysis.RunAll(pkgs, analyzers)
+	opts := analysis.RunOptions{Workers: *workers}
+	if *timing {
+		var total time.Duration
+		opts.Timing = func(path string, d time.Duration) {
+			total += d
+			fmt.Fprintf(stderr, "amrivet: %8.1fms %s\n", float64(d.Microseconds())/1e3, path)
+		}
+		defer func() {
+			fmt.Fprintf(stderr, "amrivet: %8.1fms total analysis time across %d package(s)\n",
+				float64(total.Microseconds())/1e3, len(pkgs))
+		}()
+	}
+	diags, err := analysis.RunAllWith(pkgs, analyzers, opts)
 	if err != nil {
 		fmt.Fprintf(stderr, "amrivet: %v\n", err)
 		return exitError
@@ -138,25 +199,31 @@ func run(args []string, stdout, stderr *os.File) int {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 
-	var known map[string]int
-	if *baseline != "" {
-		known, err = loadBaseline(*baseline)
+	var known, fired map[string]int
+	if baselinePath != "" {
+		known, err = loadBaseline(baselinePath)
 		if err != nil {
 			fmt.Fprintf(stderr, "amrivet: %v\n", err)
 			return exitError
 		}
+		fired = make(map[string]int)
 	}
 
 	enc := json.NewEncoder(stdout)
-	total := 0
+	var surviving []analysis.Diagnostic
 	for _, d := range diags {
 		if key := baselineKey(d.Analyzer, d.Pos.Filename, d.Message); known[key] > 0 {
 			known[key]--
+			fired[key]++
 			continue
 		}
+		surviving = append(surviving, d)
 		if *jsonOut {
 			if err := enc.Encode(jsonDiagnostic{
 				Analyzer: d.Analyzer,
@@ -171,13 +238,60 @@ func run(args []string, stdout, stderr *os.File) int {
 		} else {
 			fmt.Fprintln(stdout, d)
 		}
-		total++
 	}
-	if total > 0 {
-		fmt.Fprintf(stderr, "amrivet: %d finding(s) in %d package(s)\n", total, len(pkgs))
+	if *sarifOut != "" {
+		if err := writeSARIF(*sarifOut, analyzers, surviving); err != nil {
+			fmt.Fprintf(stderr, "amrivet: %v\n", err)
+			return exitError
+		}
+	}
+
+	// Stale-baseline accounting: entries with unconsumed forgiveness no
+	// longer fire. Explicit baselines report (or prune) them so the
+	// recorded debt cannot outlive the code it described.
+	stale := 0
+	var staleKeys []string
+	for key, left := range known {
+		if left > 0 {
+			stale += left
+			staleKeys = append(staleKeys, key)
+		}
+	}
+	sort.Strings(staleKeys)
+	if staleDetect && !*prune {
+		for _, key := range staleKeys {
+			analyzer, file, message := splitBaselineKey(key)
+			fmt.Fprintf(stderr, "amrivet: stale baseline entry (no longer fires): %s: %s: %s\n", file, analyzer, message)
+		}
+	}
+	if *prune && stale > 0 {
+		kept, err := pruneBaseline(baselinePath, fired)
+		if err != nil {
+			fmt.Fprintf(stderr, "amrivet: %v\n", err)
+			return exitError
+		}
+		fmt.Fprintf(stderr, "amrivet: pruned %d stale baseline entr%s from %s (%d kept)\n",
+			stale, plural(stale, "y", "ies"), baselinePath, kept)
+		stale = 0
+	}
+
+	if len(surviving) > 0 {
+		fmt.Fprintf(stderr, "amrivet: %d finding(s) in %d package(s)\n", len(surviving), len(pkgs))
 		return exitFindings
 	}
+	if staleDetect && stale > 0 {
+		fmt.Fprintf(stderr, "amrivet: %d stale baseline entr%s in %s (re-capture with -json or run -prune-baseline)\n",
+			stale, plural(stale, "y", "ies"), baselinePath)
+		return exitStaleBaseline
+	}
 	return exitClean
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // baselineKey identifies a finding for baseline matching: analyzer, file
@@ -185,6 +299,14 @@ func run(args []string, stdout, stderr *os.File) int {
 // not invalidate its recorded findings.
 func baselineKey(analyzer, file, message string) string {
 	return analyzer + "\x00" + file + "\x00" + message
+}
+
+func splitBaselineKey(key string) (analyzer, file, message string) {
+	parts := strings.SplitN(key, "\x00", 3)
+	for len(parts) < 3 {
+		parts = append(parts, "")
+	}
+	return parts[0], parts[1], parts[2]
 }
 
 // loadBaseline parses a recorded -json finding stream into a multiset of
@@ -207,6 +329,44 @@ func loadBaseline(path string) (map[string]int, error) {
 		known[baselineKey(d.Analyzer, d.File, d.Message)]++
 	}
 	return known, nil
+}
+
+// pruneBaseline rewrites the baseline keeping, per key, only as many
+// entries as findings actually fired — original order and formatting of
+// the kept lines are preserved. Returns how many entries were kept.
+func pruneBaseline(path string, fired map[string]int) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("baseline: %v", err)
+	}
+	budget := make(map[string]int, len(fired))
+	for k, n := range fired {
+		budget[k] = n
+	}
+	var kept []string
+	for i, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		var d jsonDiagnostic
+		if err := json.Unmarshal([]byte(trimmed), &d); err != nil {
+			return 0, fmt.Errorf("baseline %s:%d: %v", path, i+1, err)
+		}
+		key := baselineKey(d.Analyzer, d.File, d.Message)
+		if budget[key] > 0 {
+			budget[key]--
+			kept = append(kept, line)
+		}
+	}
+	out := strings.Join(kept, "\n")
+	if len(kept) > 0 {
+		out += "\n"
+	}
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		return 0, fmt.Errorf("baseline: %v", err)
+	}
+	return len(kept), nil
 }
 
 func selectAnalyzers(all []*analysis.Analyzer, names string) []*analysis.Analyzer {

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"amri/internal/analysis"
+)
+
+// SARIF 2.1.0 output, the subset code-scanning backends consume. One run,
+// one rule per analyzer, one result per surviving finding. Structs rather
+// than a dependency: the schema slice we need is a dozen fields.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// writeSARIF writes the surviving findings as a SARIF 2.1.0 log. Rules
+// cover the full registered suite (not just analyzers that fired) so the
+// code-scanning UI can show suite coverage; results reference rules by
+// index as the spec recommends.
+func writeSARIF(path string, analyzers []*analysis.Analyzer, diags []analysis.Diagnostic) error {
+	rules := make([]sarifRule, len(analyzers))
+	index := make(map[string]int, len(analyzers))
+	for i, a := range analyzers {
+		rules[i] = sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}}
+		index[a.Name] = i
+	}
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		ri, ok := index[d.Analyzer]
+		if !ok {
+			// Framework diagnostics (analyzer "amrivet") have no rule
+			// entry; attach them to a synthetic trailing rule once.
+			ri = len(rules)
+			index[d.Analyzer] = ri
+			rules = append(rules, sarifRule{
+				ID:               d.Analyzer,
+				ShortDescription: sarifMessage{Text: "amrivet framework diagnostic"},
+			})
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: ri,
+			Level:     "warning",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: filepath.ToSlash(d.Pos.Filename)},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://docs.oasis-open.org/sarif/sarif/v2.1.0/cos02/schemas/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: sarifDriver{Name: "amrivet", Rules: rules}}, Results: results}},
+	}
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return fmt.Errorf("sarif: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("sarif: %v", err)
+	}
+	return nil
+}

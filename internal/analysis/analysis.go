@@ -30,6 +30,8 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"amri/internal/analysis/callgraph"
 	"amri/internal/analysis/facts"
@@ -227,17 +229,52 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	return diags
 }
 
+// RunOptions tunes a RunAllWith session.
+type RunOptions struct {
+	// Workers bounds how many import-independent packages are analyzed
+	// concurrently. Values below 2 run the session serially. Output is
+	// byte-identical either way: diagnostics merge in dependency order
+	// and sort on (position, analyzer, message).
+	Workers int
+	// Timing, when set, receives each package's analysis wall time. It is
+	// called serially, in dependency order.
+	Timing func(pkgPath string, d time.Duration)
+	// EncodedFacts, when non-nil, receives each package's encoded
+	// transitive fact cone (keyed by import path).
+	EncodedFacts map[string][]byte
+}
+
 // RunAll executes the analyzers over every package in dependency order —
 // facts exported while analyzing an import are serialized per package and
 // decoded into each dependent's store, mirroring how export data flows —
 // then builds the cross-package call graph and runs each analyzer's Finish
 // phase over the whole session. Diagnostics come back sorted by position.
 func RunAll(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunAllWith(pkgs, analyzers, RunOptions{})
+}
+
+// pkgResult is one package's analysis output: its diagnostics, its encoded
+// transitive fact cone, and its wall time.
+type pkgResult struct {
+	diags []Diagnostic
+	blob  []byte
+	dur   time.Duration
+	err   error
+}
+
+// RunAllWith is RunAll with options: topo-levelled parallelism across
+// import-independent packages and per-package timing. Packages at the same
+// dependency depth share no fact edges, so they analyze concurrently; each
+// level is a barrier, which keeps every import's fact blob complete before
+// any dependent decodes it. The Finish phase stays serial — it runs over
+// the merged whole-program session.
+func RunAllWith(pkgs []*Package, analyzers []*Analyzer, opts RunOptions) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	ordered := topoOrder(pkgs)
 
 	// Parse ignore directives for every package up front; Finish-phase
-	// reporting needs the global map.
+	// reporting needs the global map, and the per-package workers read it
+	// concurrently, so it must be complete (and immutable) first.
 	allIgnores := make(map[string]map[int]ignoreDirective)
 	for _, pkg := range ordered {
 		ignores := parseIgnores(pkg.Fset, pkg.Files, func(d Diagnostic) { diags = append(diags, d) })
@@ -247,39 +284,59 @@ func RunAll(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	}
 	reportUnknownDirectiveNames(ordered, allIgnores, func(d Diagnostic) { diags = append(diags, d) })
 
-	// Per-package phase: decode the dependency cone's facts, run the
-	// analyzers, encode this package's (now transitive) fact set.
-	sessionFacts := facts.NewStore()
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Per-package phase, one dependency level at a time: decode the
+	// dependency cone's facts, run the analyzers, encode this package's
+	// (now transitive) fact set. Within a level no package imports
+	// another, so the encoded map is read-only while workers run.
 	encoded := make(map[string][]byte)
+	results := make(map[string]*pkgResult, len(ordered))
+	for _, level := range topoLevels(ordered) {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		sem := make(chan struct{}, workers)
+		for _, pkg := range level {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(pkg *Package) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				start := time.Now()
+				res := analyzeOnePackage(pkg, analyzers, encoded, allIgnores)
+				res.dur = time.Since(start)
+				mu.Lock()
+				results[pkg.Path] = res
+				mu.Unlock()
+			}(pkg)
+		}
+		wg.Wait()
+		for _, pkg := range level {
+			res := results[pkg.Path]
+			if res.err != nil {
+				return nil, res.err
+			}
+			encoded[pkg.Path] = res.blob
+		}
+	}
+
+	// Merge in dependency order so output is independent of scheduling.
+	sessionFacts := facts.NewStore()
 	for _, pkg := range ordered {
-		store := facts.NewStore()
-		for _, imp := range pkg.Imports {
-			if blob, ok := encoded[imp]; ok {
-				if err := store.Decode(blob); err != nil {
-					return nil, fmt.Errorf("analysis: importing facts of %s into %s: %v", imp, pkg.Path, err)
-				}
-			}
+		res := results[pkg.Path]
+		diags = append(diags, res.diags...)
+		if err := sessionFacts.Decode(res.blob); err != nil {
+			return nil, fmt.Errorf("analysis: merging facts of %s: %v", pkg.Path, err)
 		}
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				PkgPath:  pkg.Path,
-				Info:     pkg.Info,
-				Facts:    store,
-				diags:    &diags,
-				ignores:  allIgnores,
-			}
-			a.Run(pass)
+		if opts.Timing != nil {
+			opts.Timing(pkg.Path, res.dur)
 		}
-		blob, err := store.Encode()
-		if err != nil {
-			return nil, fmt.Errorf("analysis: encoding facts of %s: %v", pkg.Path, err)
+		if opts.EncodedFacts != nil {
+			opts.EncodedFacts[pkg.Path] = res.blob
 		}
-		encoded[pkg.Path] = blob
-		sessionFacts.Merge(store)
 	}
 
 	// Whole-program phase.
@@ -313,9 +370,72 @@ func RunAll(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return diags[i].Analyzer < diags[j].Analyzer
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
 	})
 	return diags, nil
+}
+
+// analyzeOnePackage runs every analyzer's per-package phase over pkg: its
+// imports' fact blobs decode into a private store, the analyzers run, and
+// the store — now the package's transitive fact cone — encodes for the
+// packages above it.
+func analyzeOnePackage(pkg *Package, analyzers []*Analyzer, encoded map[string][]byte, ignores map[string]map[int]ignoreDirective) *pkgResult {
+	res := &pkgResult{}
+	store := facts.NewStore()
+	for _, imp := range pkg.Imports {
+		if blob, ok := encoded[imp]; ok {
+			if err := store.Decode(blob); err != nil {
+				res.err = fmt.Errorf("analysis: importing facts of %s into %s: %v", imp, pkg.Path, err)
+				return res
+			}
+		}
+	}
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			PkgPath:  pkg.Path,
+			Info:     pkg.Info,
+			Facts:    store,
+			diags:    &res.diags,
+			ignores:  ignores,
+		}
+		a.Run(pass)
+	}
+	blob, err := store.Encode()
+	if err != nil {
+		res.err = fmt.Errorf("analysis: encoding facts of %s: %v", pkg.Path, err)
+		return res
+	}
+	res.blob = blob
+	return res
+}
+
+// topoLevels groups dependency-ordered packages by depth: a package's
+// level is one past its deepest in-set import, so packages within a level
+// never import each other.
+func topoLevels(ordered []*Package) [][]*Package {
+	level := make(map[string]int, len(ordered))
+	var levels [][]*Package
+	for _, p := range ordered {
+		l := 0
+		for _, imp := range p.Imports {
+			if il, ok := level[imp]; ok && il+1 > l {
+				l = il + 1
+			}
+		}
+		level[p.Path] = l
+		for len(levels) <= l {
+			levels = append(levels, nil)
+		}
+		levels[l] = append(levels[l], p)
+	}
+	return levels
 }
 
 // topoOrder sorts packages dependencies-first (imports before importers);
@@ -418,6 +538,10 @@ func Analyzers() []*Analyzer {
 		CritEscape,
 		WaitLeak,
 		FalseShare,
+		MapOrder,
+		BarrierFlush,
+		WALOrder,
+		AtomicProto,
 	}
 }
 

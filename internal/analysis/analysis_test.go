@@ -74,6 +74,7 @@ func TestAnalyzersRegistered(t *testing.T) {
 		"mutexguard", "bitbudget", "wallclock", "detrand", "atomicmix",
 		"lockorder", "chanprotocol", "hotalloc", "errdrop",
 		"lockhold", "critescape", "waitleak", "falseshare",
+		"maporder", "barrierflush", "walorder", "atomicproto",
 	}
 	got := Analyzers()
 	if len(got) != len(want) {

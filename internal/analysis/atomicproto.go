@@ -1,0 +1,375 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"amri/internal/analysis/facts"
+)
+
+// AtomicProto checks the two lock-free protocols the dispatcher relies on,
+// whole-program across packages.
+//
+// Dekker handshake symmetry: the park/push protocol works because each
+// side stores its own flag before loading the other's — push stores
+// pending then loads waiting, park stores waiting then loads pending. If
+// either side loads first, both can observe the pre-store state and a
+// wakeup is lost. The analyzer collects each function's atomic field
+// operations in syntax order (AtomicOpsFact); when one function
+// establishes a store-A-then-load-B edge over two fields of one struct,
+// any other function that touches the mirror pair (stores B, loads A) must
+// order the store first — a function whose every load of A precedes its
+// every store of B is reported.
+//
+// Republish-on-restore: when a plain field is published through an
+// atomic.Pointer (p.Store(x.field) — the adaptive index's epoch pointer),
+// every later assignment to that field must re-Store the pointer, or
+// readers keep dereferencing the stale epoch. Assignments established and
+// consumed through the facts store, so restore paths in other packages are
+// covered.
+var AtomicProto = &Analyzer{
+	Name:   "atomicproto",
+	Doc:    "reports asymmetric Dekker-handshake orderings on atomic field pairs and atomic.Pointer fields not republished after their source is reassigned",
+	Run:    runAtomicProto,
+	Finish: finishAtomicProto,
+}
+
+// AtomicOp is one atomic operation on a struct field, in syntax order.
+type AtomicOp struct {
+	Owner string `json:"owner"` // owning struct, e.g. "pkg.deque"
+	Field string `json:"field"` // full field ID, e.g. "pkg.deque.pending"
+	Kind  string `json:"kind"`  // "load" or "store"
+	File  string `json:"file"`
+	Line  int    `json:"line"`
+	Col   int    `json:"col"`
+}
+
+// AtomicRepublish is an atomic.Pointer Store whose argument is a plain
+// field of the same object: the pointer publishes that field.
+type AtomicRepublish struct {
+	Pointer string `json:"pointer"` // field ID of the atomic.Pointer
+	Source  string `json:"source"`  // field ID of the published field
+}
+
+// AtomicAssign is a plain assignment to a pointer-typed field, with the
+// atomic.Pointer fields of the same object Store-d later in the function.
+type AtomicAssign struct {
+	Field       string   `json:"field"`
+	LaterStores []string `json:"later_stores,omitempty"`
+	File        string   `json:"file"`
+	Line        int      `json:"line"`
+	Col         int      `json:"col"`
+}
+
+// AtomicOpsFact summarizes one function's atomic-protocol surface.
+type AtomicOpsFact struct {
+	Func        string            `json:"func"`
+	Ops         []AtomicOp        `json:"ops,omitempty"`
+	Republishes []AtomicRepublish `json:"republishes,omitempty"`
+	Assigns     []AtomicAssign    `json:"assigns,omitempty"`
+}
+
+// FactName implements facts.Fact.
+func (*AtomicOpsFact) FactName() string { return "amrivet.atomicproto" }
+
+func init() { facts.Register(&AtomicOpsFact{}) }
+
+func runAtomicProto(pass *Pass) {
+	forEachFuncDecl(pass, func(fd *ast.FuncDecl, obj *types.Func) {
+		fact := collectAtomicOps(pass, fd)
+		if len(fact.Ops) > 0 || len(fact.Republishes) > 0 || len(fact.Assigns) > 0 {
+			fact.Func = obj.Name()
+			pass.ExportFact(obj, fact)
+		}
+	})
+}
+
+// atomicEvent is the per-function working form, before positions and
+// later-store resolution are baked into the fact.
+type atomicEvent struct {
+	op      AtomicOp
+	root    types.Object // base object of the field chain, if an identifier
+	ptrRecv bool         // the operation's receiver is an atomic.Pointer
+	arg     ast.Expr     // Store argument, when there is exactly one
+}
+
+func collectAtomicOps(pass *Pass, fd *ast.FuncDecl) *AtomicOpsFact {
+	fact := &AtomicOpsFact{}
+	var events []atomicEvent
+	type pendingAssign struct {
+		assign AtomicAssign
+		root   types.Object
+		index  int // events seen before this assignment
+	}
+	var assigns []pendingAssign
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if ev, ok := classifyAtomicCall(pass, x); ok {
+				events = append(events, ev)
+			}
+		case *ast.AssignStmt:
+			if x.Tok != token.ASSIGN {
+				return true
+			}
+			for _, lhs := range x.Lhs {
+				owner, field, root := fieldChainOf(pass, lhs)
+				if owner == "" || root == nil {
+					continue
+				}
+				t := exprType(pass, lhs)
+				if t == nil {
+					continue
+				}
+				if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+					continue
+				}
+				p := pass.Fset.Position(lhs.Pos())
+				assigns = append(assigns, pendingAssign{
+					assign: AtomicAssign{Field: field, File: p.Filename, Line: p.Line, Col: p.Column},
+					root:   root,
+					index:  len(events),
+				})
+			}
+		}
+		return true
+	})
+
+	for _, ev := range events {
+		fact.Ops = append(fact.Ops, ev.op)
+		if ev.ptrRecv && atomicWrites(ev.op.Kind) && ev.arg != nil && ev.root != nil {
+			_, src, argRoot := fieldChainOf(pass, ev.arg)
+			if src != "" && argRoot == ev.root {
+				fact.Republishes = append(fact.Republishes, AtomicRepublish{Pointer: ev.op.Field, Source: src})
+			}
+		}
+	}
+	for _, pa := range assigns {
+		for _, ev := range events[pa.index:] {
+			if ev.ptrRecv && atomicWrites(ev.op.Kind) && ev.root == pa.root {
+				pa.assign.LaterStores = append(pa.assign.LaterStores, ev.op.Field)
+			}
+		}
+		fact.Assigns = append(fact.Assigns, pa.assign)
+	}
+	return fact
+}
+
+// classifyAtomicCall recognizes an atomic operation on a struct field:
+// method form (x.f.Store(v), including atomic.Pointer) or function form
+// (atomic.StoreInt64(&x.f, v)).
+func classifyAtomicCall(pass *Pass, call *ast.CallExpr) (atomicEvent, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return atomicEvent{}, false
+	}
+	if s := pass.Info.Selections[sel]; s != nil {
+		fn, ok := s.Obj().(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return atomicEvent{}, false
+		}
+		owner, field, root := fieldChainOf(pass, sel.X)
+		if owner == "" {
+			return atomicEvent{}, false
+		}
+		ev := atomicEvent{root: root}
+		ev.op = atomicOpAt(pass, call.Pos(), owner, field, atomicKindOf(fn.Name()))
+		recv := namedType(s.Recv())
+		ev.ptrRecv = recv != nil && recv.Obj().Pkg() != nil &&
+			recv.Obj().Pkg().Path() == "sync/atomic" && recv.Obj().Name() == "Pointer"
+		if len(call.Args) == 1 {
+			ev.arg = call.Args[0]
+		}
+		return ev, ev.op.Kind != ""
+	}
+	// Function form: atomic.LoadInt64(&x.f) / atomic.StoreInt64(&x.f, v).
+	if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+		if len(call.Args) == 0 {
+			return atomicEvent{}, false
+		}
+		ue, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+		if !ok || ue.Op != token.AND {
+			return atomicEvent{}, false
+		}
+		owner, field, root := fieldChainOf(pass, ue.X)
+		if owner == "" {
+			return atomicEvent{}, false
+		}
+		ev := atomicEvent{root: root}
+		ev.op = atomicOpAt(pass, call.Pos(), owner, field, atomicKindOf(fn.Name()))
+		return ev, ev.op.Kind != ""
+	}
+	return atomicEvent{}, false
+}
+
+func atomicOpAt(pass *Pass, pos token.Pos, owner, field, kind string) AtomicOp {
+	p := pass.Fset.Position(pos)
+	return AtomicOp{Owner: owner, Field: field, Kind: kind, File: p.Filename, Line: p.Line, Col: p.Column}
+}
+
+// atomicKindOf maps a sync/atomic method or function name to one of
+// "load", "store", or "rmw". Read-modify-writes (Add, Swap, CAS, Or, And)
+// are kept apart from plain stores: a counter increment is not a
+// handshake-flag publication, so only true stores create handshake edges,
+// while any write satisfies the republish check.
+func atomicKindOf(name string) string {
+	if strings.HasPrefix(name, "Load") {
+		return "load"
+	}
+	if strings.HasPrefix(name, "Store") {
+		return "store"
+	}
+	for _, p := range []string{"Add", "Swap", "CompareAndSwap", "Or", "And"} {
+		if strings.HasPrefix(name, p) {
+			return "rmw"
+		}
+	}
+	return ""
+}
+
+// atomicWrites reports whether an op kind mutates the value.
+func atomicWrites(kind string) bool { return kind == "store" || kind == "rmw" }
+
+// fieldChainOf resolves a selector chain x.a.b to its owning struct
+// ("pkg.T" of x's type), the full field ID ("pkg.T.a.b"), and the base
+// object (x), or empty strings when e is not a field chain.
+func fieldChainOf(pass *Pass, e ast.Expr) (owner, field string, root types.Object) {
+	var names []string
+	cur := ast.Unparen(e)
+	var ownerNamed *types.Named
+	for {
+		sel, ok := cur.(*ast.SelectorExpr)
+		if !ok {
+			break
+		}
+		s := pass.Info.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return "", "", nil
+		}
+		names = append([]string{sel.Sel.Name}, names...)
+		ownerNamed = namedType(s.Recv())
+		cur = ast.Unparen(sel.X)
+	}
+	if len(names) == 0 || ownerNamed == nil {
+		return "", "", nil
+	}
+	owner = facts.FieldID(ownerNamed, "")
+	owner = strings.TrimSuffix(owner, ".")
+	field = facts.FieldID(ownerNamed, strings.Join(names, "."))
+	if id, ok := cur.(*ast.Ident); ok {
+		root = identObject(pass, id)
+	}
+	return owner, field, root
+}
+
+// finishAtomicProto runs the whole-program pairing checks over the
+// exported AtomicOpsFacts.
+func finishAtomicProto(s *Session) {
+	ids := s.Facts.Objects((&AtomicOpsFact{}).FactName())
+	type funcOps struct {
+		id   string
+		fact AtomicOpsFact
+	}
+	var fns []funcOps
+	for _, id := range ids {
+		var f AtomicOpsFact
+		if s.Facts.Lookup(id, &f) {
+			fns = append(fns, funcOps{id: id, fact: f})
+		}
+	}
+
+	// Handshake symmetry.
+	type edge struct{ A, B string }
+	edgesOf := func(f *AtomicOpsFact) map[edge]bool {
+		out := map[edge]bool{}
+		for i, a := range f.Ops {
+			if a.Kind != "store" {
+				continue
+			}
+			for _, b := range f.Ops[i+1:] {
+				if b.Kind == "load" && b.Owner == a.Owner && b.Field != a.Field {
+					out[edge{A: a.Field, B: b.Field}] = true
+				}
+			}
+		}
+		return out
+	}
+	reported := map[string]bool{}
+	for _, f := range fns {
+		for e := range edgesOf(&f.fact) {
+			for _, g := range fns {
+				if g.id == f.id {
+					continue
+				}
+				var storesB, loadsA []int
+				for i, op := range g.fact.Ops {
+					if op.Field == e.B && op.Kind == "store" {
+						storesB = append(storesB, i)
+					}
+					if op.Field == e.A && op.Kind == "load" {
+						loadsA = append(loadsA, i)
+					}
+				}
+				if len(storesB) == 0 || len(loadsA) == 0 {
+					continue
+				}
+				ordered := false
+				for _, si := range storesB {
+					if si < loadsA[len(loadsA)-1] {
+						ordered = true
+						break
+					}
+				}
+				if ordered {
+					continue
+				}
+				key := g.id + "\x00" + e.A + "\x00" + e.B
+				if reported[key] {
+					continue
+				}
+				reported[key] = true
+				op := g.fact.Ops[loadsA[0]]
+				s.Reportf(token.Position{Filename: op.File, Line: op.Line, Column: op.Col},
+					"asymmetric handshake: %s stores %s before loading %s, but %s loads %s before storing %s; store your own flag before loading the other side's or both can pass simultaneously",
+					f.fact.Func, shortLock(e.A), shortLock(e.B), g.fact.Func, shortLock(e.A), shortLock(e.B))
+			}
+		}
+	}
+
+	// Republish-on-restore.
+	published := map[string][]string{} // source field ID -> pointer field IDs
+	seenPub := map[AtomicRepublish]bool{}
+	for _, f := range fns {
+		for _, r := range f.fact.Republishes {
+			if seenPub[r] {
+				continue
+			}
+			seenPub[r] = true
+			published[r.Source] = append(published[r.Source], r.Pointer)
+		}
+	}
+	for _, f := range fns {
+		for _, a := range f.fact.Assigns {
+			for _, ptr := range published[a.Field] {
+				stored := false
+				for _, ls := range a.LaterStores {
+					if ls == ptr {
+						stored = true
+						break
+					}
+				}
+				if stored {
+					continue
+				}
+				s.Reportf(token.Position{Filename: a.File, Line: a.Line, Column: a.Col},
+					"%s is published to readers through atomic pointer %s, but this assignment does not re-Store it; readers keep dereferencing the stale value",
+					shortLock(a.Field), shortLock(ptr))
+			}
+		}
+	}
+}

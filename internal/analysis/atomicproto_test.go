@@ -1,0 +1,24 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAtomicProtoFixture(t *testing.T) {
+	diags := runFixture(t, AtomicProto, "atomicproto")
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics: the analyzer catches nothing")
+	}
+	// Injected-bug smoke case: the reordered handshake load produces
+	// exactly one asymmetry finding.
+	handshakes := 0
+	for _, d := range diags {
+		if strings.Contains(d.Message, "asymmetric handshake") {
+			handshakes++
+		}
+	}
+	if handshakes != 1 {
+		t.Fatalf("reordered-handshake smoke case: want exactly 1 finding, got %d", handshakes)
+	}
+}

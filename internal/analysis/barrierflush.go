@@ -1,0 +1,370 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"amri/internal/analysis/cfg"
+	"amri/internal/analysis/facts"
+	"amri/internal/analysis/valueflow"
+)
+
+// BarrierFlush enforces the flushWorkers discipline: a field written by a
+// goroutine spawned in this function (a worker's scratch, an operator's
+// serve-loop state) may only be read back after a happens-before barrier —
+// a sync.WaitGroup.Wait call, or a call to a function annotated
+//
+//	//amrivet:barrier <reason>
+//
+// (the dispatcher's park-join, exported as a BarrierFact). Reading such a
+// field before the barrier is a data race even when it happens to work on
+// one machine. The analysis is flow-sensitive: a go statement adds the
+// spawned function's transitive field-write set (valueflow.FieldAccessFact,
+// composed through the facts store across packages) to the dirty set, a
+// barrier clears it, and a read — direct, or transitively through a call —
+// of a dirty field before the next barrier is reported.
+//
+// Mutex-guarded accesses are exempt (the lock, not the barrier,
+// synchronizes them — see valueflow's guardedOwners), and atomics never
+// enter write sets (they mutate through method calls). The companion
+// canonical-merge check flags ranging over a map field a spawned goroutine
+// wrote while appending the elements to a slice: the merge order then
+// depends on map iteration, which breaks digest-identical runs — the
+// multiset must be collected and sorted (or the keys iterated in a fixed
+// order) instead.
+var BarrierFlush = &Analyzer{
+	Name: "barrierflush",
+	Doc:  "reports goroutine-written scratch fields read before a happens-before barrier (WaitGroup.Wait or an amrivet:barrier function), and unsorted map-range merges of them",
+	Run:  runBarrierFlush,
+}
+
+// BarrierFact marks a function as a happens-before barrier: returning from
+// it orders every prior spawned write before subsequent reads.
+type BarrierFact struct {
+	Reason string `json:"reason"`
+}
+
+// FactName implements facts.Fact.
+func (*BarrierFact) FactName() string { return "amrivet.barrier" }
+
+var barrierRE = regexp.MustCompile(`^//\s*amrivet:barrier\s*(.*)$`)
+
+func init() { facts.Register(&BarrierFact{}) }
+
+func runBarrierFlush(pass *Pass) {
+	// Directive pass first so same-package barrier calls resolve.
+	forEachFuncDecl(pass, func(fd *ast.FuncDecl, obj *types.Func) {
+		if fd.Doc == nil {
+			return
+		}
+		for _, c := range fd.Doc.List {
+			if m := barrierRE.FindStringSubmatch(c.Text); m != nil {
+				reason := strings.TrimSpace(m[1])
+				if reason == "" {
+					pass.Reportf(c.Pos(), "amrivet:barrier directive is missing a reason")
+					continue
+				}
+				pass.ExportFact(obj, &BarrierFact{Reason: reason})
+			}
+		}
+	})
+
+	fam := valueflow.CollectFieldAccess(valueflow.Package{
+		Fset:    pass.Fset,
+		Files:   pass.Files,
+		Pkg:     pass.Pkg,
+		PkgPath: pass.PkgPath,
+		Info:    pass.Info,
+		Facts:   pass.Facts,
+	})
+	forEachFuncDecl(pass, func(fd *ast.FuncDecl, obj *types.Func) {
+		checkBarrierFunc(pass, fd, fam)
+	})
+}
+
+// accessOf resolves a callee's transitive field accesses: same-package map
+// first, then the imported facts store.
+func accessOf(pass *Pass, fam map[*types.Func]*valueflow.FieldAccessFact, fn *types.Func) *valueflow.FieldAccessFact {
+	if f, ok := fam[fn]; ok {
+		return f
+	}
+	var f valueflow.FieldAccessFact
+	if pass.Facts.Lookup(facts.ObjectID(fn), &f) {
+		return &f
+	}
+	return nil
+}
+
+// spawnedWrites collects the transitive field-write set of a go
+// statement's target: a static callee's summary, or a function literal's
+// direct writes plus the summaries of everything it calls.
+func spawnedWrites(pass *Pass, fam map[*types.Func]*valueflow.FieldAccessFact, call *ast.CallExpr) []string {
+	set := make(map[string]bool)
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		_, writes, callees := valueflow.BodyFieldAccess(pass.Info, lit)
+		for _, w := range writes {
+			set[w] = true
+		}
+		for _, fn := range callees {
+			if f := accessOf(pass, fam, fn); f != nil {
+				for _, w := range f.Writes {
+					set[w] = true
+				}
+			}
+		}
+	} else if fn := valueflow.StaticCallee(pass.Info, call); fn != nil {
+		if f := accessOf(pass, fam, fn); f != nil {
+			for _, w := range f.Writes {
+				set[w] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for w := range set {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// isBarrierCall reports whether the call establishes a happens-before
+// barrier: sync.WaitGroup.Wait or an amrivet:barrier-annotated function.
+func isBarrierCall(pass *Pass, call *ast.CallExpr) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+		if s := pass.Info.Selections[sel]; s != nil && isNamed(s.Recv(), "sync", "WaitGroup") {
+			return true
+		}
+	}
+	if fn := valueflow.StaticCallee(pass.Info, call); fn != nil {
+		var f BarrierFact
+		if pass.Facts.Lookup(facts.ObjectID(fn), &f) {
+			return true
+		}
+	}
+	return false
+}
+
+// dirtySet is the lattice: may-dirty field IDs (union join).
+type dirtySet map[string]bool
+
+func copyDirty(in dirtySet) dirtySet {
+	out := make(dirtySet, len(in))
+	for k := range in {
+		out[k] = true
+	}
+	return out
+}
+
+func checkBarrierFunc(pass *Pass, fd *ast.FuncDecl, fam map[*types.Func]*valueflow.FieldAccessFact) {
+	// Only functions that spawn goroutines carry a barrier obligation.
+	spawns := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if _, ok := n.(*ast.GoStmt); ok {
+			spawns = true
+		}
+		return true
+	})
+	if !spawns {
+		return
+	}
+
+	g := cfg.Build(fd.Body)
+	flow := cfg.Flow[dirtySet]{
+		Entry:  dirtySet{},
+		Bottom: func() dirtySet { return dirtySet{} },
+		Join: func(a, b dirtySet) dirtySet {
+			out := copyDirty(a)
+			for k := range b {
+				out[k] = true
+			}
+			return out
+		},
+		Equal: func(a, b dirtySet) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(b *cfg.Block, in dirtySet) dirtySet {
+			out := copyDirty(in)
+			for _, s := range b.Stmts {
+				barrierTransferStmt(pass, s, fam, out, false)
+			}
+			return out
+		},
+	}
+	res := cfg.Forward(g, flow)
+
+	// Everything any spawned goroutine may write, for the merge check.
+	universe := make(dirtySet)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if gs, ok := n.(*ast.GoStmt); ok {
+			for _, w := range spawnedWrites(pass, fam, gs.Call) {
+				universe[w] = true
+			}
+		}
+		return true
+	})
+
+	for _, b := range g.Blocks {
+		st := copyDirty(res.In[b])
+		for _, s := range b.Stmts {
+			barrierTransferStmt(pass, s, fam, st, true)
+		}
+	}
+	checkMergeLoops(pass, fd, universe)
+}
+
+// barrierTransferStmt applies one statement's spawn/barrier effects; with
+// report set, pre-barrier reads of dirty fields are diagnosed.
+func barrierTransferStmt(pass *Pass, s ast.Stmt, fam map[*types.Func]*valueflow.FieldAccessFact, st dirtySet, report bool) {
+	// Reads are checked against the state BEFORE this statement's own
+	// spawn takes effect (the spawn's arguments are evaluated first).
+	if report {
+		reportDirtyReads(pass, s, fam, st)
+	}
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			for _, w := range spawnedWrites(pass, fam, x.Call) {
+				st[w] = true
+			}
+			return false // the spawned call itself is not a read here
+		case *ast.CallExpr:
+			if isBarrierCall(pass, x) {
+				for k := range st {
+					delete(st, k)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reportDirtyReads diagnoses reads of dirty fields in one statement:
+// direct selector reads, and calls whose transitive read set intersects
+// the dirty set.
+func reportDirtyReads(pass *Pass, s ast.Stmt, fam map[*types.Func]*valueflow.FieldAccessFact, st dirtySet) {
+	if len(st) == 0 {
+		return
+	}
+	if gs, ok := s.(*ast.GoStmt); ok {
+		_ = gs
+		return // a sibling goroutine's own accesses are its business
+	}
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SelectorExpr:
+			sel := pass.Info.Selections[x]
+			if sel == nil || sel.Kind() != types.FieldVal {
+				return true
+			}
+			owner := namedType(sel.Recv())
+			if owner == nil {
+				return true
+			}
+			id := facts.FieldID(owner, x.Sel.Name)
+			if st[id] {
+				pass.Reportf(x.Pos(),
+					"%s is written by a goroutine spawned above and read here before any barrier (WaitGroup.Wait or an amrivet:barrier call)",
+					shortLock(id))
+			}
+		case *ast.CallExpr:
+			fn := valueflow.StaticCallee(pass.Info, x)
+			if fn == nil {
+				return true
+			}
+			if isBarrierCall(pass, x) {
+				return true
+			}
+			f := accessOf(pass, fam, fn)
+			if f == nil {
+				return true
+			}
+			for _, r := range f.Reads {
+				if st[r] {
+					pass.Reportf(x.Pos(),
+						"call to %s reads %s, written by a goroutine spawned above, before any barrier (WaitGroup.Wait or an amrivet:barrier call)",
+						fn.Name(), shortLock(r))
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkMergeLoops flags non-canonical merges: ranging over a map field a
+// spawned goroutine wrote while appending its elements to a slice — the
+// accumulated order then follows map iteration, which differs run to run.
+func checkMergeLoops(pass *Pass, fd *ast.FuncDecl, universe dirtySet) {
+	if len(universe) == 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := exprType(pass, rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		sel, ok := ast.Unparen(rs.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := pass.Info.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		owner := namedType(s.Recv())
+		if owner == nil || !universe[facts.FieldID(owner, sel.Sel.Name)] {
+			return true
+		}
+		// The body must accumulate by append for the order to matter.
+		appends := false
+		ast.Inspect(rs.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					appends = true
+				}
+			}
+			return true
+		})
+		if appends {
+			pass.Reportf(rs.Pos(),
+				"merge loop ranges over goroutine-written map field %s and appends its elements: the merged order follows map iteration and differs run to run; sort the keys (or the result) for a canonical merge",
+				shortLock(facts.FieldID(namedType(s.Recv()), sel.Sel.Name)))
+		}
+		return true
+	})
+}

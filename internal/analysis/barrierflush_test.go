@@ -1,0 +1,24 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarrierFlushFixture(t *testing.T) {
+	diags := runFixture(t, BarrierFlush, "barrierflush")
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics: the analyzer catches nothing")
+	}
+	// Injected-bug smoke case: the pre-barrier scratch read produces
+	// exactly one direct-read finding.
+	direct := 0
+	for _, d := range diags {
+		if strings.Contains(d.Message, "scratch.ndec is written by a goroutine") {
+			direct++
+		}
+	}
+	if direct != 1 {
+		t.Fatalf("early-read smoke case: want exactly 1 finding, got %d", direct)
+	}
+}

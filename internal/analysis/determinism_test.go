@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// renderDiags flattens diagnostics to the byte form the driver prints, so
+// two runs can be compared with bytes.Equal rather than a structural walk.
+func renderDiags(diags []Diagnostic) []byte {
+	var buf bytes.Buffer
+	for _, d := range diags {
+		fmt.Fprintln(&buf, d)
+	}
+	return buf.Bytes()
+}
+
+// TestRunDeterminism pins the suite's output contract: repeated runs and
+// parallel runs over the same packages produce byte-identical diagnostics
+// and byte-identical encoded fact blobs. Everything downstream — the
+// -json baseline format, CI fact caching, diffable lint logs — assumes
+// this holds.
+func TestRunDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and analyzes a whole package tree")
+	}
+	pkgs, err := Load(moduleRoot(t), "amri/internal/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers := Analyzers()
+
+	run := func(workers int) ([]byte, map[string][]byte) {
+		opts := RunOptions{Workers: workers, EncodedFacts: make(map[string][]byte)}
+		diags, err := RunAllWith(pkgs, analyzers, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return renderDiags(diags), opts.EncodedFacts
+	}
+
+	serialDiags, serialFacts := run(1)
+	againDiags, againFacts := run(1)
+	parallelDiags, parallelFacts := run(runtime.NumCPU())
+
+	if !bytes.Equal(serialDiags, againDiags) {
+		t.Errorf("two serial runs rendered different diagnostics:\nfirst:\n%s\nsecond:\n%s", serialDiags, againDiags)
+	}
+	if !bytes.Equal(serialDiags, parallelDiags) {
+		t.Errorf("parallel run rendered different diagnostics from serial:\nserial:\n%s\nparallel:\n%s", serialDiags, parallelDiags)
+	}
+	compareFacts(t, "serial vs repeat", serialFacts, againFacts)
+	compareFacts(t, "serial vs parallel", serialFacts, parallelFacts)
+}
+
+func compareFacts(t *testing.T, label string, a, b map[string][]byte) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Errorf("%s: %d vs %d fact blobs", label, len(a), len(b))
+	}
+	for path, blob := range a {
+		other, ok := b[path]
+		if !ok {
+			t.Errorf("%s: package %s has a fact blob in one run only", label, path)
+			continue
+		}
+		if !bytes.Equal(blob, other) {
+			t.Errorf("%s: fact blob for %s differs (%d vs %d bytes)", label, path, len(blob), len(other))
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"amri/internal/analysis/facts"
+	"amri/internal/analysis/valueflow"
+)
+
+// MapOrder enforces the determinism discipline behind AMRI's
+// digest-identical parallel runs: a value derived from ranging over a map
+// iterates in a nondeterministic order, so feeding it into an
+// order-sensitive sink — a WAL append, a cumulative digest write, emitted
+// output — makes two runs of the same input diverge. The sanctioned fix is
+// an intervening sort: collect the keys, sort them, iterate the slice.
+//
+// Built on the valueflow engine: taint seeds at map ranges, propagates
+// through value-preserving moves (assignment, conversion, append,
+// indexing, string concatenation) and across function and package
+// boundaries via FlowFact summaries, and is cleared by the sort family
+// (sort.Sort/Slice/Strings/Ints/... and slices.Sort*). Commutative numeric
+// aggregation (sum += v, h ^= v — the shard digests' XOR fold) never
+// carries taint: order-independent folds are the other sanctioned idiom.
+//
+// Built-in sinks: methods named AppendWAL; Write/WriteString on a
+// hash.Hash-shaped receiver (has Sum and BlockSize); the fmt.Fprint and
+// fmt.Print families (emitted output order is observable). A project
+// function can be declared a sink with a doc directive:
+//
+//	//amrivet:ordersink <reason>
+//
+// which exports an OrderSinkFact: every argument of every call to it is
+// then order-sensitive, transitively through the facts store.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "reports map-range-derived values flowing into order-sensitive sinks (WAL appends, digest writes, emitted output) without an intervening sort",
+	Run:  runMapOrder,
+}
+
+// OrderSinkFact marks a function's parameters as order-sensitive sinks.
+type OrderSinkFact struct {
+	Reason string `json:"reason"`
+}
+
+// FactName implements facts.Fact.
+func (*OrderSinkFact) FactName() string { return "amrivet.ordersink" }
+
+var ordersinkRE = regexp.MustCompile(`^//\s*amrivet:ordersink\s*(.*)$`)
+
+func init() { facts.Register(&OrderSinkFact{}) }
+
+func runMapOrder(pass *Pass) {
+	// Export ordersink directives first so same-package calls resolve.
+	forEachFuncDecl(pass, func(fd *ast.FuncDecl, obj *types.Func) {
+		if fd.Doc == nil {
+			return
+		}
+		for _, c := range fd.Doc.List {
+			if m := ordersinkRE.FindStringSubmatch(c.Text); m != nil {
+				reason := strings.TrimSpace(m[1])
+				if reason == "" {
+					pass.Reportf(c.Pos(), "amrivet:ordersink directive is missing a reason")
+					continue
+				}
+				pass.ExportFact(obj, &OrderSinkFact{Reason: reason})
+			}
+		}
+	})
+
+	spec := valueflow.Spec{
+		TaintsRange: func(x ast.Expr, t types.Type) bool {
+			_, isMap := t.Underlying().(*types.Map)
+			return isMap
+		},
+		Sink:      func(call *ast.CallExpr) (string, []int) { return mapOrderSink(pass, call) },
+		Sanitizes: func(call *ast.CallExpr) []int { return sortSanitizer(pass, call) },
+	}
+	findings := valueflow.AnalyzePackage(valueflow.Package{
+		Fset:    pass.Fset,
+		Files:   pass.Files,
+		Pkg:     pass.Pkg,
+		PkgPath: pass.PkgPath,
+		Info:    pass.Info,
+		Facts:   pass.Facts,
+	}, spec)
+	for _, f := range findings {
+		if f.Via != "" {
+			pass.Reportf(f.Pos, "map-range-derived value reaches %s via call to %s without an intervening sort; iterate sorted keys instead", f.Sink, f.Via)
+			continue
+		}
+		pass.Reportf(f.Pos, "map-range-derived value flows into %s without an intervening sort; iterate sorted keys instead", f.Sink)
+	}
+}
+
+// allArgs returns every argument index of a call.
+func allArgs(call *ast.CallExpr) []int {
+	idxs := make([]int, len(call.Args))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	return idxs
+}
+
+// mapOrderSink classifies the built-in order-sensitive sinks.
+func mapOrderSink(pass *Pass, call *ast.CallExpr) (string, []int) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return orderSinkFactOf(pass, call)
+	}
+	// Method sinks.
+	if s := pass.Info.Selections[sel]; s != nil {
+		switch sel.Sel.Name {
+		case "AppendWAL":
+			return "a WAL append", allArgs(call)
+		case "Write", "WriteString":
+			if isHashShaped(s.Recv()) {
+				return "a digest write", allArgs(call)
+			}
+		}
+		return orderSinkFactOf(pass, call)
+	}
+	// Package-qualified sinks: the fmt output family.
+	if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Fprint", "Fprintf", "Fprintln":
+			idxs := allArgs(call)
+			if len(idxs) > 0 {
+				return "emitted output", idxs[1:] // skip the writer
+			}
+		case "Print", "Printf", "Println":
+			return "emitted output", allArgs(call)
+		}
+	}
+	return orderSinkFactOf(pass, call)
+}
+
+// orderSinkFactOf resolves amrivet:ordersink-annotated callees.
+func orderSinkFactOf(pass *Pass, call *ast.CallExpr) (string, []int) {
+	fn := valueflow.StaticCallee(pass.Info, call)
+	if fn == nil {
+		return "", nil
+	}
+	var f OrderSinkFact
+	if pass.Facts.Lookup(facts.ObjectID(fn), &f) {
+		return "order-sensitive sink " + fn.Name() + " (" + f.Reason + ")", allArgs(call)
+	}
+	return "", nil
+}
+
+// isHashShaped reports whether t's method set looks like hash.Hash (Sum
+// and BlockSize), without importing the hash package.
+func isHashShaped(t types.Type) bool {
+	for _, name := range []string{"Sum", "BlockSize"} {
+		obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+		if _, ok := obj.(*types.Func); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// sortSanitizer recognizes the sort family: a call that establishes a
+// canonical order on its first argument clears that argument's taint.
+func sortSanitizer(pass *Pass, call *ast.CallExpr) []int {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		switch fn.Name() {
+		case "Sort", "Stable", "Slice", "SliceStable", "Strings", "Ints", "Float64s":
+			return []int{0}
+		}
+	case "slices":
+		switch fn.Name() {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return []int{0}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMapOrderFixture(t *testing.T) {
+	diags := runFixture(t, MapOrder, "maporder")
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics: the analyzer catches nothing")
+	}
+	// Injected-bug smoke case: the unsorted map range feeding the digest
+	// produces exactly one finding.
+	digest := 0
+	for _, d := range diags {
+		if strings.Contains(d.Message, "digest write") {
+			digest++
+		}
+	}
+	if digest != 1 {
+		t.Fatalf("digest smoke case: want exactly 1 finding, got %d", digest)
+	}
+}

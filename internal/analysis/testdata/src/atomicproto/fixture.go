@@ -1,0 +1,71 @@
+// Package atomicproto exercises the lock-free protocol checks: Dekker
+// handshake symmetry and atomic.Pointer republish-on-restore.
+package atomicproto
+
+import "sync/atomic"
+
+// gate is the push/park handshake pair.
+type gate struct {
+	pending atomic.Int64
+	waiting atomic.Int32
+}
+
+// push is the publish side: store pending, then load waiting.
+func (g *gate) push() bool {
+	g.pending.Store(1)
+	return g.waiting.Load() == 1
+}
+
+// parkOK mirrors it: store waiting, then re-check pending. Clean.
+func (g *gate) parkOK() bool {
+	g.waiting.Store(1)
+	if g.pending.Load() > 0 {
+		g.waiting.Store(0)
+		return false
+	}
+	return true
+}
+
+// parkBroken is the injected-bug smoke case: the pending re-check moved
+// before the waiting store, so push can miss the parked worker while
+// parkBroken misses the pending item. Exactly one finding.
+func (g *gate) parkBroken() bool {
+	if g.pending.Load() > 0 { // want `asymmetric handshake: push stores atomicproto.gate.pending before loading atomicproto.gate.waiting, but parkBroken loads atomicproto.gate.pending before storing atomicproto.gate.waiting`
+		return false
+	}
+	g.waiting.Store(1)
+	return true
+}
+
+// epoch is the published payload.
+type epoch struct{ n int }
+
+// holder publishes its current epoch through an atomic pointer.
+type holder struct {
+	cur atomic.Pointer[epoch]
+	ix  *epoch
+}
+
+// install establishes the protocol: assign, then republish.
+func (h *holder) install(e *epoch) {
+	h.ix = e
+	h.cur.Store(h.ix)
+}
+
+// restoreBad swaps the field without republishing: readers of cur keep
+// dereferencing the pre-restore epoch.
+func (h *holder) restoreBad(e *epoch) {
+	h.ix = e // want `holder.ix is published to readers through atomic pointer atomicproto.holder.cur, but this assignment does not re-Store it`
+}
+
+// restoreOK republishes after the swap: clean.
+func (h *holder) restoreOK(e *epoch) {
+	h.ix = e
+	h.cur.Store(h.ix)
+}
+
+// Suppressed records a deliberate exception with the standard directive.
+func (h *holder) suppressedRestore(e *epoch) {
+	//amrivet:ignore[atomicproto] single-goroutine setup path; no reader exists yet
+	h.ix = e
+}

@@ -1,0 +1,140 @@
+// Package barrierflush exercises the flushWorkers discipline: fields
+// written by spawned goroutines may only be read after a happens-before
+// barrier, and merges over goroutine-written maps must be canonical.
+package barrierflush
+
+import "sync"
+
+// scratch is a per-worker accumulator, written only by its goroutine.
+type scratch struct {
+	ndec uint64
+	obs  []uint64
+}
+
+// pool owns the workers and joins them with a WaitGroup.
+type pool struct {
+	wg      sync.WaitGroup
+	workers []*scratch
+}
+
+// RunEarlyRead is the injected-bug smoke case: the scratch counter is read
+// while the workers are still running. Exactly one finding.
+func (p *pool) RunEarlyRead() uint64 {
+	for _, sc := range p.workers {
+		p.wg.Add(1)
+		go func(sc *scratch) {
+			defer p.wg.Done()
+			sc.ndec++
+		}(sc)
+	}
+	total := p.workers[0].ndec // want `scratch.ndec is written by a goroutine spawned above and read here before any barrier`
+	p.wg.Wait()
+	return total
+}
+
+// RunBarriered reads only after the WaitGroup barrier: clean.
+func (p *pool) RunBarriered() uint64 {
+	for _, sc := range p.workers {
+		p.wg.Add(1)
+		go func(sc *scratch) {
+			defer p.wg.Done()
+			sc.ndec++
+		}(sc)
+	}
+	p.wg.Wait()
+	return p.workers[0].ndec
+}
+
+// snapshotNdec reads worker scratch: callers before a barrier inherit the
+// violation through the field-access summary.
+func (p *pool) snapshotNdec() uint64 {
+	return p.workers[0].ndec
+}
+
+// RunHelperRead reaches the dirty field through a helper call.
+func (p *pool) RunHelperRead() uint64 {
+	for _, sc := range p.workers {
+		p.wg.Add(1)
+		go func(sc *scratch) {
+			defer p.wg.Done()
+			sc.ndec++
+		}(sc)
+	}
+	v := p.snapshotNdec() // want `call to snapshotNdec reads .*scratch.ndec, written by a goroutine spawned above, before any barrier`
+	p.wg.Wait()
+	return v
+}
+
+// parkJoin is the dispatcher-style barrier: annotated so callers treat it
+// like WaitGroup.Wait.
+//
+//amrivet:barrier every worker parks before this returns
+func (p *pool) parkJoin() {
+	p.wg.Wait()
+}
+
+// RunParkJoin reads after the annotated barrier: clean.
+func (p *pool) RunParkJoin() uint64 {
+	for _, sc := range p.workers {
+		p.wg.Add(1)
+		go func(sc *scratch) {
+			defer p.wg.Done()
+			sc.ndec++
+		}(sc)
+	}
+	p.parkJoin()
+	return p.workers[0].ndec
+}
+
+// agg merges goroutine-filled partitions.
+type agg struct {
+	wg    sync.WaitGroup
+	parts map[string]uint64
+	out   []uint64
+}
+
+// MergeUnsorted joins correctly but merges by map iteration: the appended
+// order differs run to run even though the data race is gone.
+func (a *agg) MergeUnsorted() {
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		a.parts["x"] = 1
+	}()
+	a.wg.Wait()
+	for _, v := range a.parts { // want `merge loop ranges over goroutine-written map field .*agg.parts`
+		a.out = append(a.out, v)
+	}
+}
+
+// MergeCounted folds commutatively inside the range (no append), so the
+// iteration order cannot surface: clean.
+func (a *agg) MergeCounted() uint64 {
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		a.parts["x"] = 1
+	}()
+	a.wg.Wait()
+	var sum uint64
+	for _, v := range a.parts {
+		sum += v
+	}
+	return sum
+}
+
+// Suppressed records a deliberate pre-barrier read with the standard
+// directive.
+func (p *pool) Suppressed() uint64 {
+	for _, sc := range p.workers {
+		p.wg.Add(1)
+		go func(sc *scratch) {
+			defer p.wg.Done()
+			sc.ndec++
+		}(sc)
+	}
+	//amrivet:ignore[barrierflush] advisory telemetry snapshot; a stale read is acceptable here
+	v := p.workers[0].ndec
+	p.wg.Wait()
+	return v
+}

@@ -1,0 +1,126 @@
+// Package maporder exercises map-iteration-order taint: values derived
+// from ranging over a map flowing into order-sensitive sinks (WAL appends,
+// digest writes, emitted output) without an intervening sort.
+package maporder
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+)
+
+// wal is a CheckpointStore-shaped sink.
+type wal struct{ records [][]byte }
+
+func (w *wal) AppendWAL(rec []byte) error {
+	w.records = append(w.records, rec)
+	return nil
+}
+
+// DigestCounts is the injected-bug smoke case: an unsorted map range
+// feeding the digest — run-to-run the write order differs, so the digest
+// differs. Exactly one finding.
+func DigestCounts(counts map[string]uint64) []byte {
+	h := fnv.New64a()
+	for k := range counts {
+		h.Write([]byte(k)) // want `map-range-derived value flows into a digest write`
+	}
+	return h.Sum(nil)
+}
+
+// DigestSorted is the sanctioned fix: collect, sort, iterate the slice.
+func DigestSorted(counts map[string]uint64) []byte {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := fnv.New64a()
+	for _, k := range keys {
+		h.Write([]byte(k))
+	}
+	return h.Sum(nil)
+}
+
+// AppendState replays map-ordered state into the WAL: the record sequence
+// differs between runs, so recovery diverges.
+func AppendState(w *wal, state map[int][]byte) {
+	for _, rec := range state {
+		w.AppendWAL(rec) // want `map-range-derived value flows into a WAL append`
+	}
+}
+
+// XorFold is the sanctioned commutative aggregation: a numeric fold is
+// order-independent, so no taint survives into the digest.
+func XorFold(counts map[string]uint64) []byte {
+	var acc uint64
+	for _, v := range counts {
+		acc ^= v
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d", acc)
+	return h.Sum(nil)
+}
+
+// emitRecord forwards its argument into the WAL: callers with map-ordered
+// arguments are the real sink, found through the FlowFact summary.
+func emitRecord(w *wal, rec []byte) {
+	w.AppendWAL(rec)
+}
+
+// AppendViaHelper reaches the WAL through emitRecord: the interprocedural
+// case the value-flow layer exists for.
+func AppendViaHelper(w *wal, state map[int][]byte) {
+	for _, rec := range state {
+		emitRecord(w, rec) // want `reaches a WAL append via call to emitRecord`
+	}
+}
+
+// unsortedKeys returns map keys in iteration order: the taint rides the
+// summary's TaintedResults back to every caller.
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// PrintSummary emits values selected by a tainted helper result.
+func PrintSummary(m map[string]int) {
+	for _, k := range unsortedKeys(m) {
+		fmt.Fprintln(os.Stdout, k) // want `map-range-derived value flows into emitted output`
+	}
+}
+
+// PrintSorted sorts the helper's result first: the sanitizer clears the
+// summary-carried taint.
+func PrintSorted(m map[string]int) {
+	keys := unsortedKeys(m)
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintln(os.Stdout, k)
+	}
+}
+
+// canonMerge is a project-specific order-sensitive sink, declared with the
+// directive sugar.
+//
+//amrivet:ordersink the merge evolves adaptive state in call order
+func canonMerge(vals []uint64) {}
+
+// MergeStats feeds map-ordered values into the annotated sink.
+func MergeStats(stats map[int]uint64) {
+	for _, v := range stats {
+		canonMerge([]uint64{v}) // want `order-sensitive sink canonMerge`
+	}
+}
+
+// Suppressed records a deliberate exception with the standard directive.
+func Suppressed(w *wal, state map[int][]byte) {
+	for _, rec := range state {
+		//amrivet:ignore[maporder] records are idempotent single-key puts; replay order is immaterial here
+		w.AppendWAL(rec)
+	}
+}

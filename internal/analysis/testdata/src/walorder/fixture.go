@@ -1,0 +1,131 @@
+// Package walorder exercises the durability protocol: WAL append before
+// ack, Sync before checkpoint publication, write-temp→fsync→rename.
+package walorder
+
+import "os"
+
+// store is CheckpointStore-shaped.
+type store struct {
+	recs [][]byte
+	ck   []byte
+}
+
+func (s *store) AppendWAL(rec []byte) error {
+	s.recs = append(s.recs, rec)
+	return nil
+}
+
+func (s *store) Sync() error { return nil }
+
+func (s *store) SaveCheckpoint(op int, b []byte) error {
+	s.ck = b
+	return nil
+}
+
+// CheckpointUnsynced publishes a checkpoint over a buffered append: the
+// checkpoint cursor can outrun the durable log.
+func CheckpointUnsynced(s *store, rec, ck []byte) {
+	s.AppendWAL(rec)
+	s.SaveCheckpoint(1, ck) // want `checkpoint published while a WAL append may be unsynced`
+}
+
+// CheckpointSynced syncs first: clean.
+func CheckpointSynced(s *store, rec, ck []byte) {
+	s.AppendWAL(rec)
+	s.Sync()
+	s.SaveCheckpoint(1, ck)
+}
+
+// CheckpointBranch syncs on only one path: still a may-violation.
+func CheckpointBranch(s *store, rec, ck []byte, fast bool) {
+	s.AppendWAL(rec)
+	if !fast {
+		s.Sync()
+	}
+	s.SaveCheckpoint(1, ck) // want `checkpoint published while a WAL append may be unsynced`
+}
+
+// appendOnly leaves its append unsynced: the WALFact summary carries that
+// to every caller.
+func appendOnly(s *store, rec []byte) {
+	s.AppendWAL(rec)
+}
+
+// CheckpointViaHelper inherits the unsynced append through the summary.
+func CheckpointViaHelper(s *store, rec, ck []byte) {
+	appendOnly(s, rec)
+	s.SaveCheckpoint(1, ck) // want `checkpoint published while a WAL append may be unsynced`
+}
+
+// flush syncs on every path: its summary clears the caller's state.
+func flush(s *store) {
+	s.Sync()
+}
+
+// CheckpointViaFlush is clean through the AllSyncs summary.
+func CheckpointViaFlush(s *store, rec, ck []byte) {
+	s.AppendWAL(rec)
+	flush(s)
+	s.SaveCheckpoint(1, ck)
+}
+
+// AckBeforeAppend is the injected-bug smoke case: the WAL append moved
+// after its ack. Exactly one channel-send finding.
+func AckBeforeAppend(s *store, done chan struct{}, rec []byte) {
+	done <- struct{}{} // want `state change is acknowledged \(channel send\) before its WAL append`
+	s.AppendWAL(rec)
+	s.Sync()
+}
+
+// AckAfterAppend is the correct order: clean.
+func AckAfterAppend(s *store, done chan struct{}, rec []byte) {
+	s.AppendWAL(rec)
+	s.Sync()
+	done <- struct{}{}
+}
+
+// reply is an annotated acknowledgement point.
+//
+//amrivet:ack callers treat the replied change as durable
+func reply(done chan error) {
+	done <- nil
+}
+
+// AckHelperBeforeAppend acknowledges through the annotated helper before
+// appending.
+func AckHelperBeforeAppend(s *store, done chan error, rec []byte) {
+	reply(done) // want `state change is acknowledged \(call to reply\) before its WAL append`
+	s.AppendWAL(rec)
+	s.Sync()
+}
+
+// RenameUnsynced publishes a temp file whose contents may still be in the
+// page cache.
+func RenameUnsynced(path string, b []byte) error {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	f.Write(b)
+	f.Close()
+	return os.Rename(path+".tmp", path) // want `os.Rename while f has unsynced writes`
+}
+
+// RenameSynced follows write-temp, fsync, rename: clean.
+func RenameSynced(path string, b []byte) error {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	f.Write(b)
+	f.Sync()
+	f.Close()
+	return os.Rename(path+".tmp", path)
+}
+
+// Suppressed records a deliberate exception with the standard directive.
+func Suppressed(s *store, rec, ck []byte) {
+	s.AppendWAL(rec)
+	//amrivet:ignore[walorder] the checkpoint is advisory; recovery replays the WAL from offset zero
+	s.SaveCheckpoint(1, ck)
+}

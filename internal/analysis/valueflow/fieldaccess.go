@@ -1,0 +1,303 @@
+// Field-access summaries: the second interprocedural facet of the
+// value-flow layer. For every function, CollectFieldAccess computes the
+// set of struct fields it may read and write — directly or through any
+// statically-resolvable callee — keyed by facts.FieldID (owner struct +
+// field name, object-insensitive). barrierflush uses these to decide which
+// worker-scratch fields a spawned goroutine may dirty and which reads in
+// the spawning function observe them before a happens-before barrier.
+//
+// Accesses performed while the accessing function holds a lock on the
+// owner (it calls owner.mu.Lock()/RLock() somewhere in its body) are
+// excluded: mutex-guarded state is synchronized by the lock, not the
+// barrier, and is mutexguard/lockhold territory. Atomic fields never
+// appear in write sets because atomics are mutated through method calls
+// (Store/Add), not plain assignments — which is exactly the synchronized/
+// unsynchronized split the barrier discipline cares about.
+package valueflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"amri/internal/analysis/facts"
+)
+
+// FieldAccessFact lists the struct fields a function may read or write,
+// transitively through its static callees, as facts.FieldIDs.
+type FieldAccessFact struct {
+	Writes []string `json:"writes,omitempty"`
+	Reads  []string `json:"reads,omitempty"`
+}
+
+// FactName implements facts.Fact.
+func (*FieldAccessFact) FactName() string { return "amrivet.fieldaccess" }
+
+// CollectFieldAccess computes transitive field-access summaries for every
+// function in the package (fixpoint over same-package calls, imported
+// facts for cross-package callees), exports them, and returns the map.
+func CollectFieldAccess(p Package) map[*types.Func]*FieldAccessFact {
+	type direct struct {
+		fd      *ast.FuncDecl
+		writes  map[string]bool
+		reads   map[string]bool
+		callees []*types.Func
+	}
+	directs := make(map[*types.Func]*direct)
+	var order []*types.Func
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			d := &direct{fd: fd, writes: make(map[string]bool), reads: make(map[string]bool)}
+			reads, writes, callees := directFieldAccess(p.Info, fd.Body, true)
+			for _, r := range reads {
+				d.reads[r] = true
+			}
+			for _, w := range writes {
+				d.writes[w] = true
+			}
+			d.callees = callees
+			directs[obj] = d
+			order = append(order, obj)
+		}
+	}
+
+	// Transitive closure: seed with direct sets, fold in callee sets to a
+	// fixpoint (same-package callees evolve; imported ones are stable).
+	trans := make(map[*types.Func]*FieldAccessFact, len(order))
+	sets := make(map[*types.Func][2]map[string]bool, len(order))
+	for _, fn := range order {
+		d := directs[fn]
+		r := make(map[string]bool, len(d.reads))
+		w := make(map[string]bool, len(d.writes))
+		for k := range d.reads {
+			r[k] = true
+		}
+		for k := range d.writes {
+			w[k] = true
+		}
+		sets[fn] = [2]map[string]bool{r, w}
+	}
+	lookupImported := func(fn *types.Func) *FieldAccessFact {
+		var f FieldAccessFact
+		if p.Facts.Lookup(facts.ObjectID(fn), &f) {
+			return &f
+		}
+		return nil
+	}
+	for round := 0; round < 16; round++ {
+		changed := false
+		for _, fn := range order {
+			rw := sets[fn]
+			for _, callee := range directs[fn].callees {
+				if crw, ok := sets[callee]; ok {
+					for k := range crw[0] {
+						if !rw[0][k] {
+							rw[0][k] = true
+							changed = true
+						}
+					}
+					for k := range crw[1] {
+						if !rw[1][k] {
+							rw[1][k] = true
+							changed = true
+						}
+					}
+					continue
+				}
+				if f := lookupImported(callee); f != nil {
+					for _, k := range f.Reads {
+						if !rw[0][k] {
+							rw[0][k] = true
+							changed = true
+						}
+					}
+					for _, k := range f.Writes {
+						if !rw[1][k] {
+							rw[1][k] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, fn := range order {
+		rw := sets[fn]
+		f := &FieldAccessFact{Reads: sortedKeys(rw[0]), Writes: sortedKeys(rw[1])}
+		trans[fn] = f
+		if len(f.Reads) > 0 || len(f.Writes) > 0 {
+			p.Facts.Export(p.PkgPath, facts.ObjectID(fn), f)
+		}
+	}
+	return trans
+}
+
+func sortedKeys(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BodyFieldAccess exposes the direct (non-transitive) field accesses of an
+// arbitrary body — barrierflush uses it on spawned function literals —
+// plus the static callees invoked inside it.
+func BodyFieldAccess(info *types.Info, body ast.Node) (reads, writes []string, callees []*types.Func) {
+	return directFieldAccess(info, body, false)
+}
+
+// directFieldAccess walks one body collecting field reads/writes and
+// static callees. With skipFuncLits set, function literals are opaque
+// (their accesses happen when the closure runs, possibly on another
+// goroutine — barrierflush attributes them at the go statement instead).
+func directFieldAccess(info *types.Info, body ast.Node, skipFuncLits bool) (reads, writes []string, callees []*types.Func) {
+	guarded := guardedOwners(info, body)
+	readSet := make(map[string]bool)
+	writeSet := make(map[string]bool)
+	seenCallee := make(map[*types.Func]bool)
+	writeTargets := make(map[ast.Expr]bool)
+
+	fieldID := func(e ast.Expr) (string, bool) {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return "", false
+		}
+		s := info.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return "", false
+		}
+		owner := namedOf(s.Recv())
+		if owner == nil || guarded[owner.Obj()] {
+			return "", false
+		}
+		return facts.FieldID(owner, sel.Sel.Name), true
+	}
+	// unwrapTarget peels index/slice/star wrappers off an assignment
+	// target so `sc.obs[i] = v` counts as a write to field obs.
+	unwrapTarget := func(e ast.Expr) ast.Expr {
+		for {
+			switch x := e.(type) {
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.SliceExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.ParenExpr:
+				e = x.X
+			default:
+				return e
+			}
+		}
+	}
+	markWrite := func(e ast.Expr, alsoRead bool) {
+		t := unwrapTarget(e)
+		if id, ok := fieldID(t); ok {
+			writeSet[id] = true
+			if alsoRead {
+				readSet[id] = true
+			}
+		}
+		if !alsoRead {
+			writeTargets[t] = true
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if skipFuncLits && n != body {
+				return false
+			}
+		case *ast.AssignStmt:
+			alsoRead := x.Tok != token.ASSIGN && x.Tok != token.DEFINE
+			for _, lhs := range x.Lhs {
+				markWrite(lhs, alsoRead)
+			}
+		case *ast.IncDecStmt:
+			markWrite(x.X, true)
+		case *ast.CallExpr:
+			if fn := StaticCallee(info, x); fn != nil && !seenCallee[fn] {
+				seenCallee[fn] = true
+				callees = append(callees, fn)
+			}
+		case *ast.SelectorExpr:
+			// A plain-assign target is a pure write; everything else
+			// resolving to a field is a read.
+			if writeTargets[ast.Expr(x)] {
+				return true
+			}
+			if id, ok := fieldID(x); ok {
+				readSet[id] = true
+			}
+		}
+		return true
+	})
+	sort.Slice(callees, func(i, j int) bool {
+		return facts.ObjectID(callees[i]) < facts.ObjectID(callees[j])
+	})
+	return sortedKeys(readSet), sortedKeys(writeSet), callees
+}
+
+// guardedOwners returns the named types whose mutex the body locks
+// (x.mu.Lock() with mu a field of owner O): accesses to O's fields inside
+// this body are lock-synchronized, not barrier-synchronized.
+func guardedOwners(info *types.Info, body ast.Node) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := info.Selections[inner]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		if owner := namedOf(s.Recv()); owner != nil {
+			out[owner.Obj()] = true
+		}
+		return true
+	})
+	return out
+}
+
+// namedOf unwraps pointers/aliases to the named type, if any.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Alias:
+			t = types.Unalias(u)
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,749 @@
+// Package valueflow is amrivet's interprocedural value-flow (taint) layer:
+// a reusable engine that tracks how values propagate from sources (map
+// ranges, for maporder) through value-preserving moves — assignment,
+// conversion, append, indexing, ranging, string concatenation — into
+// order-sensitive sinks, across function and package boundaries.
+//
+// It generalizes critescape's local taint lattice: each function is
+// analyzed over its CFG with a bitmask lattice (bit 0 = "derived from a
+// source", bit i+1 = "derived from parameter i"), and the parameter bits
+// become a reusable summary recorded as a facts.Fact (FlowFact): which
+// parameters flow to which results, which results are tainted by an
+// internal source, and which parameters reach a sink inside the callee.
+// Callers consult callee summaries at every call site, so a source→sink
+// flow is found even when the source and the sink live in different
+// functions — or different packages, since FlowFact rides the same
+// encoded-facts channel as every other amrivet fact.
+//
+// Deliberate imprecision, chosen to match the invariants the maporder
+// analyzer enforces:
+//
+//   - Arithmetic between numeric operands drops taint (sum += v is the
+//     sanctioned commutative aggregation); string concatenation keeps it.
+//   - Comparisons drop taint (branching on map data is not an ordering
+//     hazard the sinks observe).
+//   - A call with no summary propagates the union of its argument taints
+//     to its results (strconv.Itoa(k) stays tainted); Spec.Sanitizes
+//     overrides this for the sort family.
+//   - Container taint is field-insensitive: a tainted struct taints its
+//     fields, writing a tainted element taints the container's root local.
+//   - Function literals are opaque (consistent with the call graph).
+package valueflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"amri/internal/analysis/cfg"
+	"amri/internal/analysis/facts"
+)
+
+// srcBit marks "derived from a source"; parameter i owns bit i+1.
+const srcBit = uint64(1)
+
+// maxParams caps how many parameters fit in the bitmask lattice.
+const maxParams = 62
+
+// Spec parameterizes one taint analysis.
+type Spec struct {
+	// TaintsRange reports whether ranging over x (of type t) seeds source
+	// taint on the iteration variables (maporder: t is a map).
+	TaintsRange func(x ast.Expr, t types.Type) bool
+	// Sink classifies a call as an order-sensitive sink: a non-empty
+	// description plus the indices of the order-sensitive arguments.
+	Sink func(call *ast.CallExpr) (string, []int)
+	// Sanitizes returns the indices of arguments whose taint the call
+	// clears (sort.Slice and friends clear argument 0).
+	Sanitizes func(call *ast.CallExpr) []int
+}
+
+// Finding is one source→sink flow.
+type Finding struct {
+	// Pos is the sink (or the call that transitively reaches it).
+	Pos token.Pos
+	// Sink describes the sink ("WAL append", "digest write", ...).
+	Sink string
+	// Via names the callee the flow passes through when the sink is
+	// inside another function; empty for a direct sink.
+	Via string
+}
+
+// ParamSink records that a function forwards one of its parameters into a
+// sink (directly or transitively).
+type ParamSink struct {
+	Param int    `json:"param"`
+	Sink  string `json:"sink"`
+}
+
+// FlowFact is a function's value-flow summary. Parameter numbering counts
+// the receiver as parameter 0 for methods.
+type FlowFact struct {
+	// TaintedResults lists result indices carrying source taint.
+	TaintedResults []int `json:"tainted_results,omitempty"`
+	// ParamFlows lists [param, result] value-preserving flows.
+	ParamFlows [][2]int `json:"param_flows,omitempty"`
+	// ParamSinks lists parameters that reach a sink inside the function.
+	ParamSinks []ParamSink `json:"param_sinks,omitempty"`
+}
+
+// FactName implements facts.Fact.
+func (*FlowFact) FactName() string { return "amrivet.valueflow" }
+
+func init() {
+	facts.Register(&FlowFact{})
+	facts.Register(&FieldAccessFact{})
+}
+
+// Package bundles the per-package inputs the engine needs (mirroring
+// analysis.Pass without importing it, which would cycle).
+type Package struct {
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	PkgPath string
+	Info    *types.Info
+	Facts   *facts.Store
+}
+
+// AnalyzePackage runs the taint engine over every function of the package
+// to a summary fixpoint (so same-package call chains converge regardless
+// of declaration order), exports each function's FlowFact, and returns the
+// source→sink findings.
+func AnalyzePackage(p Package, spec Spec) []Finding {
+	e := &engine{p: p, spec: spec, summaries: make(map[*types.Func]*FlowFact)}
+	var fns []*ast.FuncDecl
+	var objs []*types.Func
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fns = append(fns, fd)
+			objs = append(objs, obj)
+		}
+	}
+	// Summary fixpoint: monotone (sets only grow), so a handful of rounds
+	// converge; the cap bounds pathological mutual recursion.
+	for round := 0; round < 8; round++ {
+		changed := false
+		for i, fd := range fns {
+			sum := e.analyzeFunc(fd, objs[i], nil)
+			if !equalFlowFacts(e.summaries[objs[i]], sum) {
+				e.summaries[objs[i]] = sum
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	var findings []Finding
+	for i, fd := range fns {
+		e.analyzeFunc(fd, objs[i], func(f Finding) { findings = append(findings, f) })
+		if sum := e.summaries[objs[i]]; sum != nil && !sum.empty() {
+			p.Facts.Export(p.PkgPath, facts.ObjectID(objs[i]), sum)
+		}
+	}
+	return findings
+}
+
+func (f *FlowFact) empty() bool {
+	return f == nil || (len(f.TaintedResults) == 0 && len(f.ParamFlows) == 0 && len(f.ParamSinks) == 0)
+}
+
+func equalFlowFacts(a, b *FlowFact) bool {
+	if a == nil || b == nil {
+		return a.empty() && b.empty()
+	}
+	return fmt.Sprint(a.TaintedResults) == fmt.Sprint(b.TaintedResults) &&
+		fmt.Sprint(a.ParamFlows) == fmt.Sprint(b.ParamFlows) &&
+		fmt.Sprint(a.ParamSinks) == fmt.Sprint(b.ParamSinks)
+}
+
+// engine is one AnalyzePackage run's shared state.
+type engine struct {
+	p         Package
+	spec      Spec
+	summaries map[*types.Func]*FlowFact
+}
+
+// summaryOf resolves a callee's summary: same-package fixpoint state
+// first, then the imported facts store.
+func (e *engine) summaryOf(fn *types.Func) *FlowFact {
+	if s, ok := e.summaries[fn]; ok {
+		return s
+	}
+	var f FlowFact
+	if e.p.Facts.Lookup(facts.ObjectID(fn), &f) {
+		return &f
+	}
+	return nil
+}
+
+// taintState is the lattice value: local object → taint bitmask.
+type taintState map[types.Object]uint64
+
+func copyTaint(in taintState) taintState {
+	out := make(taintState, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+// funcAnalysis carries one function's analysis.
+type funcAnalysis struct {
+	e       *engine
+	fd      *ast.FuncDecl
+	params  []*types.Var // receiver first for methods
+	results []*types.Var
+	rangeX  map[ast.Expr]*ast.RangeStmt
+	// summary accumulators (report phase only).
+	taintedResults map[int]bool
+	paramFlows     map[[2]int]bool
+	paramSinks     map[ParamSink]bool
+	report         func(Finding)
+}
+
+// analyzeFunc runs the dataflow over fd; with report nil it only computes
+// the state fixpoint (phase 1 of the package-level summary fixpoint), with
+// report set it re-walks the blocks emitting findings and the summary.
+func (e *engine) analyzeFunc(fd *ast.FuncDecl, obj *types.Func, report func(Finding)) *FlowFact {
+	fa := &funcAnalysis{
+		e:              e,
+		fd:             fd,
+		rangeX:         make(map[ast.Expr]*ast.RangeStmt),
+		taintedResults: make(map[int]bool),
+		paramFlows:     make(map[[2]int]bool),
+		paramSinks:     make(map[ParamSink]bool),
+	}
+	sig := obj.Type().(*types.Signature)
+	if r := sig.Recv(); r != nil {
+		fa.params = append(fa.params, r)
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		fa.params = append(fa.params, sig.Params().At(i))
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		fa.results = append(fa.results, sig.Results().At(i))
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if rs, ok := n.(*ast.RangeStmt); ok {
+			fa.rangeX[rs.X] = rs
+		}
+		return true
+	})
+
+	entry := make(taintState)
+	for i, p := range fa.params {
+		if i < maxParams {
+			entry[p] = srcBit << (i + 1)
+		}
+	}
+	g := cfg.Build(fd.Body)
+	flow := cfg.Flow[taintState]{
+		Entry:  entry,
+		Bottom: func() taintState { return taintState{} },
+		Join: func(a, b taintState) taintState {
+			out := copyTaint(a)
+			for k, v := range b {
+				out[k] |= v
+			}
+			return out
+		},
+		Equal: func(a, b taintState) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k, v := range a {
+				if b[k] != v {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(b *cfg.Block, in taintState) taintState {
+			out := copyTaint(in)
+			for _, s := range b.Stmts {
+				fa.transferStmt(s, out)
+			}
+			return out
+		},
+	}
+	res := cfg.Forward(g, flow)
+
+	fa.report = report
+	for _, b := range g.Blocks {
+		st := copyTaint(res.In[b])
+		for _, s := range b.Stmts {
+			fa.transferStmt(s, st)
+		}
+	}
+	return fa.summary()
+}
+
+func (fa *funcAnalysis) summary() *FlowFact {
+	out := &FlowFact{}
+	for r := range fa.taintedResults {
+		out.TaintedResults = append(out.TaintedResults, r)
+	}
+	sort.Ints(out.TaintedResults)
+	for pf := range fa.paramFlows {
+		out.ParamFlows = append(out.ParamFlows, pf)
+	}
+	sort.Slice(out.ParamFlows, func(i, j int) bool {
+		a, b := out.ParamFlows[i], out.ParamFlows[j]
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		return a[1] < b[1]
+	})
+	for ps := range fa.paramSinks {
+		out.ParamSinks = append(out.ParamSinks, ps)
+	}
+	sort.Slice(out.ParamSinks, func(i, j int) bool {
+		a, b := out.ParamSinks[i], out.ParamSinks[j]
+		if a.Param != b.Param {
+			return a.Param < b.Param
+		}
+		return a.Sink < b.Sink
+	})
+	return out
+}
+
+// transferStmt applies one statement's taint effects to st, reporting
+// findings and accumulating the summary when fa.report is set.
+func (fa *funcAnalysis) transferStmt(s ast.Stmt, st taintState) {
+	// The CFG lowers `for k, v := range X` to an ExprStmt{X} in the loop
+	// head; recover the RangeStmt to seed the iteration variables.
+	if es, ok := s.(*ast.ExprStmt); ok {
+		if rs, ok := fa.rangeX[es.X]; ok {
+			fa.seedRange(rs, st)
+		}
+	}
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			fa.processCall(x, st)
+		case *ast.AssignStmt:
+			fa.transferAssign(x, st)
+		case *ast.ReturnStmt:
+			fa.transferReturn(x, st)
+		}
+		return true
+	})
+}
+
+// seedRange taints the key/value variables of a range loop: a map range
+// seeds source taint on both (iteration order picks them); a tainted
+// container passes its taint to the values it yields.
+func (fa *funcAnalysis) seedRange(rs *ast.RangeStmt, st taintState) {
+	ct := fa.evalTaint(rs.X, st)
+	t := fa.typeOf(rs.X)
+	if t == nil {
+		return
+	}
+	var kt, vt uint64
+	switch t.Underlying().(type) {
+	case *types.Map:
+		bits := ct
+		if fa.e.spec.TaintsRange != nil && fa.e.spec.TaintsRange(rs.X, t) {
+			bits |= srcBit
+		}
+		kt, vt = bits, bits
+	case *types.Slice, *types.Array:
+		vt = ct // indices are deterministic, elements carry the taint
+	case *types.Chan, *types.Basic:
+		kt = ct
+	}
+	fa.setIdent(rs.Key, kt, st)
+	fa.setIdent(rs.Value, vt, st)
+}
+
+func (fa *funcAnalysis) setIdent(e ast.Expr, bits uint64, st taintState) {
+	if e == nil {
+		return
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := fa.objOf(id)
+	if obj == nil {
+		return
+	}
+	if bits == 0 {
+		delete(st, obj)
+	} else {
+		st[obj] = bits
+	}
+}
+
+func (fa *funcAnalysis) objOf(id *ast.Ident) types.Object {
+	if obj := fa.e.p.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return fa.e.p.Info.Uses[id]
+}
+
+func (fa *funcAnalysis) typeOf(e ast.Expr) types.Type {
+	if tv, ok := fa.e.p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func isNumeric(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+// evalTaint computes the taint bits an expression carries. Pure: no
+// reporting, no state mutation.
+func (fa *funcAnalysis) evalTaint(e ast.Expr, st taintState) uint64 {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := fa.objOf(x); obj != nil {
+			return st[obj]
+		}
+	case *ast.SelectorExpr:
+		// Package-qualified names carry no local taint; field selection
+		// inherits the container's (field-insensitive).
+		if id, ok := x.X.(*ast.Ident); ok {
+			if _, isPkg := fa.e.p.Info.Uses[id].(*types.PkgName); isPkg {
+				return 0
+			}
+		}
+		return fa.evalTaint(x.X, st)
+	case *ast.IndexExpr:
+		return fa.evalTaint(x.X, st) | fa.evalTaint(x.Index, st)
+	case *ast.IndexListExpr:
+		return fa.evalTaint(x.X, st)
+	case *ast.SliceExpr:
+		return fa.evalTaint(x.X, st)
+	case *ast.StarExpr:
+		return fa.evalTaint(x.X, st)
+	case *ast.ParenExpr:
+		return fa.evalTaint(x.X, st)
+	case *ast.TypeAssertExpr:
+		return fa.evalTaint(x.X, st)
+	case *ast.UnaryExpr:
+		return fa.evalTaint(x.X, st)
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ, token.LAND, token.LOR:
+			return 0 // comparisons: order taint does not survive into booleans
+		}
+		if isNumeric(fa.typeOf(x.X)) && isNumeric(fa.typeOf(x.Y)) {
+			return 0 // commutative numeric aggregation is sanctioned
+		}
+		return fa.evalTaint(x.X, st) | fa.evalTaint(x.Y, st)
+	case *ast.CompositeLit:
+		var bits uint64
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				bits |= fa.evalTaint(kv.Value, st)
+				continue
+			}
+			bits |= fa.evalTaint(elt, st)
+		}
+		return bits
+	case *ast.CallExpr:
+		return fa.callResultTaint(x, st)
+	}
+	return 0
+}
+
+// calleeOf resolves a call's static callee, nil for builtins, conversions
+// and dynamic function values.
+func (fa *funcAnalysis) calleeOf(call *ast.CallExpr) *types.Func {
+	return StaticCallee(fa.e.p.Info, call)
+}
+
+// StaticCallee resolves a call expression to its static *types.Func
+// (package function, method, or interface method), nil otherwise.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel := info.Selections[fun]; sel != nil {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// callArgs returns the call's effective argument expressions with the
+// receiver prepended for method calls, aligning indices with FlowFact's
+// parameter numbering.
+func (fa *funcAnalysis) callArgs(call *ast.CallExpr) []ast.Expr {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s := fa.e.p.Info.Selections[sel]; s != nil {
+			args := make([]ast.Expr, 0, len(call.Args)+1)
+			args = append(args, sel.X)
+			return append(args, call.Args...)
+		}
+	}
+	return call.Args
+}
+
+// paramIndexOf maps an effective argument index to the callee's parameter
+// index, folding variadic overflow onto the last parameter.
+func paramIndexOf(fn *types.Func, arg int) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return arg
+	}
+	n := sig.Params().Len()
+	if sig.Recv() != nil {
+		n++
+	}
+	if arg >= n {
+		return n - 1
+	}
+	return arg
+}
+
+// callResultTaint computes the taint of a call's results: conversions and
+// value-preserving builtins pass taint through; callees with summaries
+// apply their recorded flows; summary-less callees default to propagating
+// the union of their argument taints.
+func (fa *funcAnalysis) callResultTaint(call *ast.CallExpr, st taintState) uint64 {
+	if tv, ok := fa.e.p.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return fa.evalTaint(call.Args[0], st)
+		}
+		return 0
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := fa.e.p.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "append", "min", "max":
+				var bits uint64
+				for _, a := range call.Args {
+					bits |= fa.evalTaint(a, st)
+				}
+				return bits
+			default:
+				return 0 // len, cap, make, new, delete, ...
+			}
+		}
+	}
+	argUnion := func() uint64 {
+		var bits uint64
+		for _, a := range fa.callArgs(call) {
+			bits |= fa.evalTaint(a, st)
+		}
+		return bits
+	}
+	fn := fa.calleeOf(call)
+	if fn == nil {
+		return argUnion()
+	}
+	sum := fa.e.summaryOf(fn)
+	if sum == nil {
+		return argUnion()
+	}
+	var bits uint64
+	if len(sum.TaintedResults) > 0 {
+		bits |= srcBit
+	}
+	if len(sum.ParamFlows) > 0 {
+		args := fa.callArgs(call)
+		argBits := make(map[int]uint64)
+		for i, a := range args {
+			argBits[paramIndexOf(fn, i)] |= fa.evalTaint(a, st)
+		}
+		for _, pf := range sum.ParamFlows {
+			bits |= argBits[pf[0]]
+		}
+	}
+	return bits
+}
+
+// processCall applies a call's side effects: sanitizer clearing, direct
+// sink checks, and transitive sink checks through the callee's summary.
+func (fa *funcAnalysis) processCall(call *ast.CallExpr, st taintState) {
+	spec := fa.e.spec
+	if spec.Sanitizes != nil {
+		for _, idx := range spec.Sanitizes(call) {
+			if idx < len(call.Args) {
+				if root := rootObjOf(fa.e.p.Info, call.Args[idx]); root != nil {
+					delete(st, root)
+				}
+			}
+		}
+	}
+	emit := func(bits uint64, desc, via string, pos token.Pos) {
+		if bits&srcBit != 0 && fa.report != nil {
+			fa.report(Finding{Pos: pos, Sink: desc, Via: via})
+		}
+		for i := 1; i < maxParams; i++ {
+			if bits&(srcBit<<uint(i)) != 0 {
+				fa.paramSinks[ParamSink{Param: i - 1, Sink: desc}] = true
+			}
+		}
+	}
+	if spec.Sink != nil {
+		if desc, idxs := spec.Sink(call); desc != "" {
+			for _, idx := range idxs {
+				if idx < len(call.Args) {
+					emit(fa.evalTaint(call.Args[idx], st), desc, "", call.Args[idx].Pos())
+				}
+			}
+			return
+		}
+	}
+	fn := fa.calleeOf(call)
+	if fn == nil {
+		return
+	}
+	sum := fa.e.summaryOf(fn)
+	if sum == nil || len(sum.ParamSinks) == 0 {
+		return
+	}
+	args := fa.callArgs(call)
+	argBits := make(map[int]uint64)
+	for i, a := range args {
+		argBits[paramIndexOf(fn, i)] |= fa.evalTaint(a, st)
+	}
+	for _, ps := range sum.ParamSinks {
+		emit(argBits[ps.Param], ps.Sink, fn.Name(), call.Pos())
+	}
+}
+
+// rootObjOf resolves the base local of a selector/index chain (the object
+// whose taint a container write or sanitizer affects).
+func rootObjOf(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.CallExpr:
+			// Unwrap single-argument conversions: sort.Sort(byKey(s))
+			// sanitizes s itself.
+			if tv, ok := info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+				e = x.Args[0]
+				continue
+			}
+			return nil
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		default:
+			return nil
+		}
+	}
+}
+
+// localVar reports whether obj is a function-scoped variable (taintable).
+func localVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && !v.IsField() && v.Pkg() != nil && v.Parent() != v.Pkg().Scope()
+}
+
+func (fa *funcAnalysis) transferAssign(x *ast.AssignStmt, st taintState) {
+	// Compound assignment: numeric folds (sum += v, h ^= v) are the
+	// sanctioned commutative aggregation and drop taint; string += keeps
+	// it (concatenation order is observable).
+	if x.Tok != token.ASSIGN && x.Tok != token.DEFINE {
+		if len(x.Lhs) == 1 && len(x.Rhs) == 1 {
+			if isNumeric(fa.typeOf(x.Lhs[0])) {
+				return
+			}
+			bits := fa.evalTaint(x.Lhs[0], st) | fa.evalTaint(x.Rhs[0], st)
+			fa.assignTo(x.Lhs[0], bits, st)
+		}
+		return
+	}
+	for i, lhs := range x.Lhs {
+		var rhs ast.Expr
+		if len(x.Rhs) == len(x.Lhs) {
+			rhs = x.Rhs[i]
+		} else if len(x.Rhs) == 1 {
+			rhs = x.Rhs[0] // multi-value: every target gets the union
+		}
+		if rhs == nil {
+			continue
+		}
+		fa.assignTo(lhs, fa.evalTaint(rhs, st), st)
+	}
+}
+
+// assignTo writes taint bits into an assignment target: a local ident is
+// set (or cleared), a container store unions into the container's root.
+func (fa *funcAnalysis) assignTo(lhs ast.Expr, bits uint64, st taintState) {
+	if id, ok := lhs.(*ast.Ident); ok {
+		if obj := fa.objOf(id); obj != nil && localVar(obj) {
+			if bits == 0 {
+				delete(st, obj)
+			} else {
+				st[obj] = bits
+			}
+		}
+		return
+	}
+	if bits == 0 {
+		return
+	}
+	if root := rootObjOf(fa.e.p.Info, lhs); root != nil && localVar(root) {
+		st[root] |= bits
+	}
+}
+
+func (fa *funcAnalysis) transferReturn(x *ast.ReturnStmt, st taintState) {
+	record := func(j int, bits uint64) {
+		if bits&srcBit != 0 {
+			fa.taintedResults[j] = true
+		}
+		for i := 1; i < maxParams; i++ {
+			if bits&(srcBit<<uint(i)) != 0 {
+				fa.paramFlows[[2]int{i - 1, j}] = true
+			}
+		}
+	}
+	if len(x.Results) == 0 {
+		// Bare return with named results.
+		for j, r := range fa.results {
+			if r.Name() != "" {
+				record(j, st[r])
+			}
+		}
+		return
+	}
+	for j, r := range x.Results {
+		record(j, fa.evalTaint(r, st))
+	}
+}

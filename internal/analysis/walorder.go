@@ -1,0 +1,400 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"amri/internal/analysis/cfg"
+	"amri/internal/analysis/facts"
+	"amri/internal/analysis/valueflow"
+)
+
+// WALOrder enforces the durability protocol around CheckpointStore: the
+// WAL append happens before the change is acknowledged, the store is
+// Synced before a checkpoint is published, and file-backed stores publish
+// by write-temp → fsync → rename. Each violation is a crash window where
+// an observer saw state the log cannot reproduce.
+//
+// Three checks:
+//
+//  1. Unsynced checkpoint: a forward may-analysis tracks whether a WAL
+//     append can still be buffered (AppendWAL sets it, Sync on the same
+//     store shape clears it); SaveCheckpoint in that state publishes a
+//     cursor that may outrun the durable log. Helper functions compose
+//     through WALFact summaries: a callee that may leave appends unsynced
+//     taints the caller, one that syncs on every path clears it.
+//
+//  2. Ack before append: within one statement list, a channel send (or a
+//     call annotated //amrivet:ack <reason>) followed by the WAL append
+//     that records the acknowledged change — a crash between the two loses
+//     state the client was told is durable.
+//
+//  3. Rename with unsynced writes: os.Rename while a written *os.File has
+//     not been Synced publishes a name whose contents may still be in the
+//     page cache (the write-temp → fsync → rename discipline).
+var WALOrder = &Analyzer{
+	Name: "walorder",
+	Doc:  "reports durability-protocol violations: checkpoints published over unsynced WAL appends, acks sent before their append, renames of unsynced files",
+	Run:  runWALOrder,
+}
+
+// WALFact summarizes a function's effect on WAL durability state.
+type WALFact struct {
+	// MayUnsynced: some path returns with an unsynced append pending.
+	MayUnsynced bool `json:"may_unsynced,omitempty"`
+	// AllSyncs: every path syncs the store before returning.
+	AllSyncs bool `json:"all_syncs,omitempty"`
+	// Appends: the function (transitively) appends to a WAL.
+	Appends bool `json:"appends,omitempty"`
+}
+
+// FactName implements facts.Fact.
+func (*WALFact) FactName() string { return "amrivet.walorder" }
+
+// AckFact marks a function as an acknowledgement point: callers must have
+// appended (and synced) the change it acknowledges before calling it.
+type AckFact struct {
+	Reason string `json:"reason"`
+}
+
+// FactName implements facts.Fact.
+func (*AckFact) FactName() string { return "amrivet.ack" }
+
+var ackRE = regexp.MustCompile(`^//\s*amrivet:ack\s*(.*)$`)
+
+func init() {
+	facts.Register(&WALFact{})
+	facts.Register(&AckFact{})
+}
+
+func runWALOrder(pass *Pass) {
+	forEachFuncDecl(pass, func(fd *ast.FuncDecl, obj *types.Func) {
+		if fd.Doc == nil {
+			return
+		}
+		for _, c := range fd.Doc.List {
+			if m := ackRE.FindStringSubmatch(c.Text); m != nil {
+				reason := strings.TrimSpace(m[1])
+				if reason == "" {
+					pass.Reportf(c.Pos(), "amrivet:ack directive is missing a reason")
+					continue
+				}
+				pass.ExportFact(obj, &AckFact{Reason: reason})
+			}
+		}
+	})
+
+	// Two summary rounds so same-package helpers resolve regardless of
+	// declaration order, then a reporting round.
+	for round := 0; round < 2; round++ {
+		forEachFuncDecl(pass, func(fd *ast.FuncDecl, obj *types.Func) {
+			analyzeWALFunc(pass, fd, obj, false)
+		})
+	}
+	forEachFuncDecl(pass, func(fd *ast.FuncDecl, obj *types.Func) {
+		analyzeWALFunc(pass, fd, obj, true)
+		checkAckOrder(pass, fd)
+	})
+}
+
+// walState is the forward lattice: may (OR-join) — an unsynced append can
+// be pending; all (AND-join) — every path has synced since the last
+// append; files — written-but-unsynced *os.File locals.
+type walState struct {
+	may   bool
+	all   bool
+	files map[types.Object]bool
+}
+
+func copyWAL(in walState) walState {
+	out := walState{may: in.may, all: in.all, files: make(map[types.Object]bool, len(in.files))}
+	for k := range in.files {
+		out.files[k] = true
+	}
+	return out
+}
+
+func analyzeWALFunc(pass *Pass, fd *ast.FuncDecl, obj *types.Func, report bool) {
+	g := cfg.Build(fd.Body)
+	flow := cfg.Flow[walState]{
+		Entry:  walState{files: map[types.Object]bool{}},
+		Bottom: func() walState { return walState{files: map[types.Object]bool{}} },
+		Join: func(a, b walState) walState {
+			out := copyWAL(a)
+			out.may = a.may || b.may
+			out.all = a.all && b.all
+			for k := range b.files {
+				out.files[k] = true
+			}
+			return out
+		},
+		Equal: func(a, b walState) bool {
+			if a.may != b.may || a.all != b.all || len(a.files) != len(b.files) {
+				return false
+			}
+			for k := range a.files {
+				if !b.files[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(b *cfg.Block, in walState) walState {
+			out := copyWAL(in)
+			for _, s := range b.Stmts {
+				walTransferStmt(pass, s, &out, false)
+			}
+			return out
+		},
+	}
+	res := cfg.Forward(g, flow)
+
+	if report {
+		for _, b := range g.Blocks {
+			st := copyWAL(res.In[b])
+			for _, s := range b.Stmts {
+				walTransferStmt(pass, s, &st, true)
+			}
+		}
+		return
+	}
+
+	exit := res.In[g.Exit]
+	appends := walFuncAppends(pass, fd)
+	if exit.may || exit.all || appends {
+		pass.ExportFact(obj, &WALFact{MayUnsynced: exit.may, AllSyncs: exit.all, Appends: appends})
+	}
+}
+
+// walFuncAppends reports whether fd (transitively, through facts) appends
+// to a WAL on any path.
+func walFuncAppends(pass *Pass, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isAppendWALCall(pass, call) {
+			found = true
+		} else if fn := valueflow.StaticCallee(pass.Info, call); fn != nil {
+			var f WALFact
+			if pass.Facts.Lookup(facts.ObjectID(fn), &f) && f.Appends {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// walTransferStmt applies one statement's durability effects to st; with
+// report set, violations are diagnosed. Deferred and go'd calls are
+// skipped: their effects are not ordered at their textual position.
+func walTransferStmt(pass *Pass, s ast.Stmt, st *walState, report bool) {
+	switch s.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		return
+	}
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			walTransferCall(pass, x, st, report)
+		}
+		return true
+	})
+}
+
+func walTransferCall(pass *Pass, call *ast.CallExpr, st *walState, report bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		walCalleeEffect(pass, call, st)
+		return
+	}
+	if s := pass.Info.Selections[sel]; s != nil {
+		recv := s.Recv()
+		switch sel.Sel.Name {
+		case "AppendWAL":
+			st.may = true
+			st.all = false
+			return
+		case "Sync":
+			if isNamed(recv, "os", "File") {
+				if obj := identObject(pass, sel.X); obj != nil {
+					delete(st.files, obj)
+				}
+				return
+			}
+			if hasMethodNamed(recv, "AppendWAL") {
+				st.may = false
+				st.all = true
+			}
+			return
+		case "SaveCheckpoint":
+			if report && st.may {
+				pass.Reportf(call.Pos(), "checkpoint published while a WAL append may be unsynced; Sync the store before SaveCheckpoint")
+			}
+			return
+		case "Write", "WriteString", "WriteAt", "Truncate":
+			if isNamed(recv, "os", "File") {
+				if obj := identObject(pass, sel.X); obj != nil {
+					st.files[obj] = true
+				}
+				return
+			}
+		}
+		walCalleeEffect(pass, call, st)
+		return
+	}
+	// Package-qualified: os.Rename publishes the temp file.
+	if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+		if fn.Pkg().Path() == "os" && fn.Name() == "Rename" {
+			if report && len(st.files) > 0 {
+				names := make([]string, 0, len(st.files))
+				for obj := range st.files {
+					names = append(names, obj.Name())
+				}
+				sort.Strings(names)
+				pass.Reportf(call.Pos(), "os.Rename while %s has unsynced writes; fsync before rename (write-temp, fsync, rename)", strings.Join(names, ", "))
+			}
+			return
+		}
+	}
+	walCalleeEffect(pass, call, st)
+}
+
+// walCalleeEffect applies a callee's WALFact summary to the caller state.
+func walCalleeEffect(pass *Pass, call *ast.CallExpr, st *walState) {
+	fn := valueflow.StaticCallee(pass.Info, call)
+	if fn == nil {
+		return
+	}
+	var f WALFact
+	if !pass.Facts.Lookup(facts.ObjectID(fn), &f) {
+		return
+	}
+	if f.MayUnsynced {
+		st.may = true
+		st.all = false
+	} else if f.AllSyncs {
+		st.may = false
+		st.all = true
+	}
+}
+
+// checkAckOrder flags acknowledgements that precede their WAL append
+// within one statement list: a channel send, or a call to an
+// amrivet:ack-annotated function, with an append later in the same list.
+func checkAckOrder(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BlockStmt:
+			list = x.List
+		case *ast.CaseClause:
+			list = x.Body
+		case *ast.CommClause:
+			list = x.Body
+		default:
+			return true
+		}
+		for i, s := range list {
+			kind, pos := ackPoint(pass, s)
+			if kind == "" {
+				continue
+			}
+			for _, later := range list[i+1:] {
+				if stmtAppends(pass, later) {
+					pass.Reportf(pos, "state change is acknowledged (%s) before its WAL append; a crash after the ack loses acknowledged state — append and Sync first", kind)
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+// ackPoint classifies a statement as an acknowledgement: a direct channel
+// send, or a call to an amrivet:ack-annotated function.
+func ackPoint(pass *Pass, s ast.Stmt) (string, token.Pos) {
+	switch x := s.(type) {
+	case *ast.SendStmt:
+		return "channel send", x.Pos()
+	case *ast.ExprStmt:
+		call, ok := x.X.(*ast.CallExpr)
+		if !ok {
+			return "", 0
+		}
+		fn := valueflow.StaticCallee(pass.Info, call)
+		if fn == nil {
+			return "", 0
+		}
+		var f AckFact
+		if pass.Facts.Lookup(facts.ObjectID(fn), &f) {
+			return "call to " + fn.Name(), call.Pos()
+		}
+	}
+	return "", 0
+}
+
+// stmtAppends reports whether the statement (outside nested functions and
+// go statements) performs a WAL append, directly or through a summary.
+func stmtAppends(pass *Pass, s ast.Stmt) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if isAppendWALCall(pass, x) {
+				found = true
+			} else if fn := valueflow.StaticCallee(pass.Info, x); fn != nil {
+				var f WALFact
+				if pass.Facts.Lookup(facts.ObjectID(fn), &f) && f.Appends {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isAppendWALCall reports a direct method call named AppendWAL.
+func isAppendWALCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "AppendWAL" {
+		return false
+	}
+	return pass.Info.Selections[sel] != nil
+}
+
+// hasMethodNamed reports whether t's method set includes name.
+func hasMethodNamed(t types.Type, name string) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+	_, ok := obj.(*types.Func)
+	return ok
+}
+
+// identObject resolves a plain identifier receiver to its object.
+func identObject(pass *Pass, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Defs[id]
+}

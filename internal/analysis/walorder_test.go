@@ -1,0 +1,24 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWALOrderFixture(t *testing.T) {
+	diags := runFixture(t, WALOrder, "walorder")
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics: the analyzer catches nothing")
+	}
+	// Injected-bug smoke case: the WAL append moved after its channel-send
+	// ack produces exactly one finding.
+	acks := 0
+	for _, d := range diags {
+		if strings.Contains(d.Message, "(channel send) before its WAL append") {
+			acks++
+		}
+	}
+	if acks != 1 {
+		t.Fatalf("ack-before-append smoke case: want exactly 1 finding, got %d", acks)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand/v2"
+	"sort"
 
 	"amri/internal/bitindex"
 	"amri/internal/cost"
@@ -483,12 +484,15 @@ func TopologyExperiment(o Options) ([]TopologyRow, error) {
 				ends[string(r.End)] = true
 			}
 			row.Results /= float64(len(o.seeds()))
+			endNames := make([]string, 0, len(ends))
 			for e := range ends {
-				if row.End != "" {
-					row.End = "mixed"
-					break
-				}
-				row.End = e
+				endNames = append(endNames, e)
+			}
+			sort.Strings(endNames)
+			if len(endNames) == 1 {
+				row.End = endNames[0]
+			} else {
+				row.End = "mixed"
 			}
 			rows = append(rows, row)
 		}

@@ -919,6 +919,12 @@ func (p *run) handleIngest(o *operator, msg message) {
 	}
 	if ckptDue {
 		if ck := o.snapshot(); ck != nil {
+			// The WAL tail must be durable before the checkpoint that
+			// acknowledges it publishes: a checkpoint whose Applied cursor
+			// outruns the synced log would make recovery skip records the
+			// crash erased. Sync batches at checkpoint cadence, so the
+			// cost is amortized over CheckpointEvery arrivals.
+			p.recordStoreErr(p.store.Sync())
 			p.recordStoreErr(p.store.SaveCheckpoint(ck.Op, ck.encode()))
 		}
 	}
@@ -1202,6 +1208,9 @@ func (p *run) ingestPartitioned(o *operator) {
 		}
 		if ckptDue {
 			if ck := o.snapshot(); ck != nil {
+				// Same discipline as handleIngest: the WAL tail becomes
+				// durable before the checkpoint that covers it publishes.
+				p.recordStoreErr(p.store.Sync())
 				p.recordStoreErr(p.store.SaveCheckpoint(ck.Op, ck.encode()))
 			}
 		}
