@@ -5,7 +5,7 @@
 GO ?= go
 AMRIVET := bin/amrivet
 
-.PHONY: all build vet lint prune-baseline fixtures test race chaos chaos-sweep bench-smoke bench-json bench-contention bench-measure bench-gate profile ci clean
+.PHONY: all build vet lint prune-baseline fixtures test race chaos chaos-sweep bench-smoke bench-json bench-contention bench-measure bench-tuner bench-gate profile ci clean
 
 all: build
 
@@ -101,12 +101,25 @@ bench-contention:
 bench-measure:
 	$(GO) run ./cmd/amribench -measure -check -out BENCH_pipeline.json
 
-# bench-gate re-measures and gates against the committed artifact: fails if
-# the measured speedup drops below 2x or the headline point regressed >10%
-# vs BENCH_pipeline.json (speedup-ratio compared when host core counts
-# differ — see PipelineBenchResult.Gate).
+# bench-tuner regenerates the committed retune-under-load artifact: the
+# thrash A/B (legacy vs v2 controller on an oscillating drift pattern) plus
+# the measured notune/legacy/v2 sweep on the drift workload (median of 5
+# in-process reps per point, digests checked against the no-tuning
+# reference). The embedded Check enforces zero v2 flip-flops vs >=2 legacy,
+# a v2 retune count at most 2/3 of legacy's, and v2 p99 tick latency within
+# 1.25x of the no-tuning run.
+bench-tuner:
+	$(GO) run ./cmd/amribench -tuner -check -out BENCH_tuner.json
+
+# bench-gate re-measures and gates against the committed artifacts: fails if
+# the measured dispatch speedup drops below 2x or the headline point
+# regressed >10% vs BENCH_pipeline.json (speedup-ratio compared when host
+# core counts differ — see PipelineBenchResult.Gate), then re-runs the
+# tuner suite and fails on thrash, digest drift, or a >10% p99 regression
+# vs BENCH_tuner.json (same core-count awareness — TunerBenchResult.Gate).
 bench-gate:
 	$(GO) run ./cmd/amribench -measure -quick -gate BENCH_pipeline.json
+	$(GO) run ./cmd/amribench -tuner -quick -gate BENCH_tuner.json
 
 # profile runs the measured bench once with CPU, mutex and allocation
 # profiles enabled; inspect with `go tool pprof cpu.prof` etc.

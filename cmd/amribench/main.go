@@ -160,6 +160,58 @@ func runPipelineBench(opts bench.PipelineBenchOptions, out, gate string, check b
 	return nil
 }
 
+// runTunerBench executes the retune-under-load suite (see
+// internal/bench/tuner.go), writes the artifact, and optionally gates
+// against a committed baseline. The acceptance ratio allows v2 p99 tick
+// latency up to 1.25x the no-tuning run (best-rep p99s still carry
+// single-box noise, and the v2 policy does pay for the migrations it
+// keeps); the gate allows up to 10% regression against the committed v2
+// point.
+func runTunerBench(opts bench.TunerBenchOptions, out, gate string, check bool) error {
+	r, err := bench.TunerBench(opts)
+	if err != nil {
+		return err
+	}
+	r.Summary(os.Stdout)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := r.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	if gate != "" {
+		f, err := os.Open(gate)
+		if err != nil {
+			return fmt.Errorf("gate baseline: %w", err)
+		}
+		baseline, err := bench.ReadTunerBench(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if err := r.Gate(baseline, 1.25, 0.10); err != nil {
+			return fmt.Errorf("gate failed: %w", err)
+		}
+		fmt.Println("gate passed: no thrash, digests match, no >10% p99 regression vs baseline")
+		return nil
+	}
+	if check {
+		if err := r.Check(1.25); err != nil {
+			return fmt.Errorf("check failed: %w", err)
+		}
+		fmt.Println("check passed: no thrash, digests match, p99 within bar")
+	}
+	return nil
+}
+
 func main() {
 	var (
 		list  = flag.Bool("list", false, "list experiments and exit")
@@ -176,9 +228,11 @@ func main() {
 		check   = flag.Bool("check", false, "with -json/-measure: fail unless digests match and the speedup bar holds")
 
 		measure = flag.Bool("measure", false, "run the measured dispatch bench and write BENCH_pipeline.json-style output")
-		reps    = flag.Int("reps", 5, "with -measure: timed repetitions per point (median reported)")
-		warmup  = flag.Int("warmup", 1, "with -measure: untimed repetitions before the timed ones")
-		gate    = flag.String("gate", "", "with -measure: committed BENCH_pipeline.json to gate against (speedup >= 2x, regression <= 10%)")
+		reps    = flag.Int("reps", 5, "with -measure/-tuner: timed repetitions per point (median reported)")
+		warmup  = flag.Int("warmup", 1, "with -measure/-tuner: untimed repetitions before the timed ones")
+		gate    = flag.String("gate", "", "with -measure/-tuner: committed baseline JSON to gate against (no >10% regression)")
+
+		tunerBench = flag.Bool("tuner", false, "run the retune-under-load bench and write BENCH_tuner.json-style output")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 		mtxprofile = flag.String("mutexprofile", "", "write a mutex contention profile to this file")
@@ -215,6 +269,24 @@ func main() {
 				f.Close()
 			}
 		}()
+	}
+
+	if *tunerBench {
+		opts := bench.TunerBenchOptions{
+			Shards: *shards,
+			Reps:   *reps, Warmup: *warmup, Quick: *quick,
+		}
+		path := *out
+		if path == "" && *gate == "" {
+			// Default output only outside gate mode: a -gate run must
+			// never clobber the committed baseline it compares against.
+			path = "BENCH_tuner.json"
+		}
+		if err := runTunerBench(opts, path, *gate, *check); err != nil {
+			fmt.Fprintln(os.Stderr, "amribench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *measure {

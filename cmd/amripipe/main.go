@@ -39,6 +39,7 @@ func main() {
 		shedPol   = flag.String("shed-policy", "block", "overload policy: block, drop-newest, drop-oldest")
 		chaosSeed = flag.Uint64("chaos-seed", 0, "fault-injection seed (0 = no faults)")
 		replay    = flag.String("replay", "", "replay a chaos repro file instead of running the workload")
+		legacyTun = flag.Bool("legacy-tuner", false, "use the v1 migrate-on-any-gain tuner (A/B baseline; v2 migration-cost-aware controller is the default)")
 	)
 	flag.Parse()
 
@@ -88,9 +89,10 @@ func main() {
 		Seed:       *seed,
 		Ticks:      *ticks,
 		Method:     m,
-		MailboxCap: *mboxCap,
-		ShedPolicy: policy,
-		Fault:      plan,
+		MailboxCap:  *mboxCap,
+		ShedPolicy:  policy,
+		Fault:       plan,
+		LegacyTuner: *legacyTun,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "amripipe:", err)
@@ -102,6 +104,14 @@ func main() {
 	fmt.Printf("join results:    %d\n", r.Results)
 	fmt.Printf("search requests: %d\n", r.Probes)
 	fmt.Printf("index retunes:   %d\n", r.Retunes)
+	if s := r.Tuner; s.Passes > 0 {
+		fmt.Printf("tuner:           %d passes, %d migrations, holds: %d cooldown, %d flip-flop, %d uneconomical\n",
+			s.Passes, s.Migrations, s.CooldownHolds, s.FlipFlopHolds, s.Uneconomical)
+		if s.PredictedMigCost > 0 {
+			fmt.Printf("what-if ledger:  predicted migration cost %.0f, realized %.0f (%d drains, %d aborted)\n",
+				s.PredictedMigCost, s.RealizedMigCost, s.Completed, s.Aborted)
+		}
+	}
 	fmt.Printf("wall time:       %v\n", r.Wall)
 	fmt.Printf("throughput:      %.0f tuples/s, %.0f probes/s (wall clock)\n",
 		float64(r.TuplesIngested)/r.Wall.Seconds(), float64(r.Probes)/r.Wall.Seconds())

@@ -4,13 +4,22 @@
 // the tuner selects from that report — the Table II exercise on arbitrary
 // inputs.
 //
+// With -current it becomes a what-if console for the v2 controller: the
+// proposal is priced against the configuration you are on — migration cost
+// from the state size and drain rate, amortization horizon, hysteresis —
+// and the printed ledger entry shows exactly why the controller would (or
+// would not) migrate.
+//
 // Usage:
 //
 //	amritune -budget 4 "<A,*,*>:4" "<*,B,*>:10" "<*,*,C>:10" \
 //	         "<A,B,*>:4" "<A,*,C>:16" "<*,B,C>:10" "<A,B,C>:46"
+//	amritune -budget 4 -current 4,0,0 -state-size 6000 -horizon 240 \
+//	         "<*,B,C>:60" "<A,B,C>:40"
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +27,7 @@ import (
 	"strings"
 
 	"amri/internal/assess"
+	"amri/internal/bitindex"
 	"amri/internal/cost"
 	"amri/internal/hh"
 	"amri/internal/query"
@@ -26,10 +36,16 @@ import (
 
 func main() {
 	var (
-		budget  = flag.Int("budget", 12, "total IC bits to allocate")
-		theta   = flag.Float64("theta", 0.05, "assessment threshold")
-		epsilon = flag.Float64("epsilon", 0.001, "assessment error rate")
-		reqs    = flag.Int("requests", 10000, "synthetic requests to replay")
+		budget    = flag.Int("budget", 12, "total IC bits to allocate")
+		theta     = flag.Float64("theta", 0.05, "assessment threshold")
+		epsilon   = flag.Float64("epsilon", 0.001, "assessment error rate")
+		reqs      = flag.Int("requests", 10000, "synthetic requests to replay")
+		current   = flag.String("current", "", "what-if: current configuration as comma-separated bits (e.g. 2,1,1); empty = one-shot selection")
+		stateSize = flag.Int("state-size", 0, "what-if: stored tuples the migration would relocate")
+		horizon   = flag.Float64("horizon", 0, "what-if: amortization horizon in cost-model time units (0 = don't price migrations)")
+		cooldown  = flag.Int("cooldown", 0, "what-if: min tuning passes between migrations")
+		drainRate = flag.Float64("drain-rate", 0, "what-if: incremental drain rate in tuples per time unit (0 = stop-the-world)")
+		minGain   = flag.Float64("mingain", 0, "what-if: fractional C_D improvement required to migrate")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -66,6 +82,17 @@ func main() {
 		mixes = append(mixes, mix{p: p, pct: pct})
 	}
 
+	var curCfg bitindex.Config
+	whatIf := *current != ""
+	if whatIf {
+		cfg, err := parseConfig(*current, numAttrs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amritune:", err)
+			os.Exit(2)
+		}
+		curCfg = cfg
+	}
+
 	cs, err := assess.NewCSRIA(*epsilon)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "amritune:", err)
@@ -95,17 +122,70 @@ func main() {
 	}
 
 	params := cost.Params{LambdaD: 100, LambdaR: 100, Ch: 0.001, Cc: 1, Window: 60}
-	opt := tuner.Options{RequireFullBudget: true}
+	opt := tuner.Options{RequireFullBudget: !whatIf}
 	for _, a := range methods {
 		stats := a.Results(*theta)
 		fmt.Printf("%s reports %d patterns:\n", a.Name(), len(stats))
 		for _, s := range stats {
 			fmt.Printf("  %-12s %6.2f%%\n", s.P.StringN(numAttrs), 100*s.Freq)
 		}
-		cfg, err := tuner.Exhaustive(numAttrs, *budget, params, stats, opt)
-		if err != nil {
-			cfg = tuner.Greedy(numAttrs, *budget, params, stats, opt)
+		if whatIf {
+			ctl := &tuner.Controller{
+				Params: params, Budget: *budget, MinGain: *minGain,
+				Opt: opt, UseExhaustive: true,
+				Horizon: *horizon, Cooldown: *cooldown, DrainRate: *drainRate,
+			}
+			pr, err := ctl.Propose(curCfg, stats, *stateSize)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "amritune:", err)
+				os.Exit(1)
+			}
+			printLedgerEntry(pr)
+			continue
 		}
-		fmt.Printf("  -> tuned %v (C_D = %.1f)\n\n", cfg, cost.CD(params, cfg, stats))
+		cfg, cd, err := tuner.Exhaustive(numAttrs, *budget, params, stats, opt)
+		if errors.Is(err, tuner.ErrSpaceTooLarge) {
+			cfg, cd = tuner.Greedy(numAttrs, *budget, params, stats, opt)
+		} else if err != nil {
+			fmt.Fprintln(os.Stderr, "amritune:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  -> tuned %v (C_D = %.1f)\n\n", cfg, cd)
 	}
+}
+
+// printLedgerEntry renders one controller proposal the way the what-if
+// ledger records it.
+func printLedgerEntry(pr tuner.Proposal) {
+	fmt.Printf("  -> what-if %v -> %v: C_D %.1f -> %.1f", pr.From, pr.To, pr.CurCD, pr.NextCD)
+	if pr.Gain > 0 {
+		fmt.Printf(" (gain %.1f/unit)", pr.Gain)
+	}
+	fmt.Println()
+	if pr.MigCost > 0 {
+		fmt.Printf("     migration cost %.1f over horizon %.0f (break-even %.1f)\n",
+			pr.MigCost, pr.Horizon, pr.Gain*pr.Horizon)
+	}
+	fmt.Printf("     decision: %s\n\n", pr.Decision)
+}
+
+// parseConfig reads a comma-separated bit vector, padding to numAttrs.
+func parseConfig(s string, numAttrs int) (bitindex.Config, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) > numAttrs {
+		numAttrs = len(parts)
+	}
+	bits := make([]uint8, numAttrs)
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 0 || v > bitindex.MaxTotalBits {
+			return bitindex.Config{}, fmt.Errorf("bad -current entry %q", p)
+		}
+		bits[i] = uint8(v)
+	}
+	cfg := bitindex.Config{Bits: bits}
+	if cfg.TotalBits() > bitindex.MaxTotalBits {
+		return bitindex.Config{}, fmt.Errorf("-current spends %d bits, max %d", cfg.TotalBits(), bitindex.MaxTotalBits)
+	}
+	return cfg, nil
 }

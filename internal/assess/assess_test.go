@@ -140,7 +140,7 @@ func TestTable2EndToEndTuning(t *testing.T) {
 
 	cd, _ := NewCDIA(3, 0.001, hh.RollupRandom, 1)
 	feedTable2(cd)
-	cdCfg, err := tuner.Exhaustive(3, 4, params, cd.Results(theta), opt)
+	cdCfg, _, err := tuner.Exhaustive(3, 4, params, cd.Results(theta), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestTable2EndToEndTuning(t *testing.T) {
 
 	cs, _ := NewCSRIA(0.001)
 	feedTable2(cs)
-	csCfg, err := tuner.Exhaustive(3, 4, params, cs.Results(theta), opt)
+	csCfg, _, err := tuner.Exhaustive(3, 4, params, cs.Results(theta), opt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -128,12 +128,11 @@ func OptimizerAblation(instances int, seed uint64) (*OptimizerAblationResult, er
 		if len(stats) == 0 {
 			stats = []cost.APStat{{P: query.PatternOf(0), Freq: 1}}
 		}
-		g := tuner.Greedy(numAttrs, budget, p, stats, tuner.Options{})
-		e, err := tuner.Exhaustive(numAttrs, budget, p, stats, tuner.Options{})
+		g, gcd := tuner.Greedy(numAttrs, budget, p, stats, tuner.Options{})
+		e, ecd, err := tuner.Exhaustive(numAttrs, budget, p, stats, tuner.Options{})
 		if err != nil {
 			return nil, err
 		}
-		gcd, ecd := cost.CD(p, g, stats), cost.CD(p, e, stats)
 		ratio := gcd / ecd
 		ratioSum += ratio
 		if ratio > res.WorstRatio {

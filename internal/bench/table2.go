@@ -73,11 +73,11 @@ func Table2(requests int) (*Table2Result, error) {
 	// hashing keeps the hash terms from tie-breaking the allocation.
 	params := cost.Params{LambdaD: 100, LambdaR: 100, Ch: 0.001, Cc: 1, Window: 60}
 	opt := tuner.Options{RequireFullBudget: true}
-	out.CSRIAConfig, err = tuner.Exhaustive(3, 4, params, out.CSRIAStats, opt)
+	out.CSRIAConfig, _, err = tuner.Exhaustive(3, 4, params, out.CSRIAStats, opt)
 	if err != nil {
 		return nil, err
 	}
-	out.CDIAConfig, err = tuner.Exhaustive(3, 4, params, out.CDIAStats, opt)
+	out.CDIAConfig, _, err = tuner.Exhaustive(3, 4, params, out.CDIAStats, opt)
 	if err != nil {
 		return nil, err
 	}

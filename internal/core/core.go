@@ -113,6 +113,28 @@ type Options struct {
 	// MigrateStepTuples bounds the incremental-migration work advanced
 	// per insert while a sharded migration drains (default 64).
 	MigrateStepTuples int
+	// LegacyTuner reverts the retuning policy to v1 — MinGain hysteresis
+	// only, no migration pricing, no cooldown — the A/B baseline the
+	// tuner bench compares against.
+	LegacyTuner bool
+	// TuneHorizon is the migration amortization horizon in cost-model time
+	// units: proposals migrate only when their modelled C_D gain over this
+	// horizon exceeds the predicted migration cost (state relocation plus
+	// the incremental drain's dual-directory window). Zero means auto:
+	// four assessment windows, converted from probes to model time through
+	// the calibrated request rate each pass (AutoTuneEvery counts probes;
+	// one model time unit is one insert interval, so a window spans
+	// AutoTuneEvery/LambdaR time units). Ignored under LegacyTuner.
+	TuneHorizon float64
+	// TuneCooldown is the minimum number of tuning passes between applied
+	// migrations (default 2 — one window of silence after a migration;
+	// sustained churn is damped by the economics gate, not by deafness);
+	// flipping back to the configuration a migration just left is held
+	// for twice as long. Ignored under LegacyTuner.
+	TuneCooldown int
+	// DriftSense scales how strongly observed access-pattern churn shrinks
+	// the amortization horizon (default 4). Ignored under LegacyTuner.
+	DriftSense float64
 
 	autoCost bool
 }
@@ -133,6 +155,11 @@ func (o *Options) fill() error {
 	if o.BitBudget == 0 {
 		o.BitBudget = 12
 	}
+	if o.BitBudget > bitindex.MaxTotalBits {
+		// A budget past the bucket id is a misconfiguration the optimizer
+		// would reject at every tuning pass; refuse it at construction.
+		return fmt.Errorf("core: BitBudget %d exceeds the %d-bit bucket id", o.BitBudget, bitindex.MaxTotalBits)
+	}
 	if o.DenseLimit == 0 {
 		o.DenseLimit = bitindex.DefaultDenseLimit
 	}
@@ -151,6 +178,16 @@ func (o *Options) fill() error {
 	}
 	if o.MigrateStepTuples == 0 {
 		o.MigrateStepTuples = 64
+	}
+	if !o.LegacyTuner {
+		// TuneHorizon 0 stays 0 here: it means auto, recomputed every
+		// tuning pass from the calibrated request rate (see tunePass).
+		if o.TuneCooldown == 0 {
+			o.TuneCooldown = 2
+		}
+		if o.DriftSense == 0 {
+			o.DriftSense = 4
+		}
 	}
 	return nil
 }
@@ -189,6 +226,12 @@ type AdaptiveIndex struct {
 	ix          backend
 	incremental bool // sharded backend: tuning migrates via MigrateStep
 
+	// ctl is the long-lived retuning controller: cooldown, drift and
+	// migration-cost calibration state live across tuning passes, and its
+	// what-if ledger records every proposal. It has its own lock and is
+	// never called with mu held.
+	ctl *tuner.Controller
+
 	// inserts is atomic (not mu-guarded) so concurrent shard-affine insert
 	// workers never serialize on the statistics mutex. Padded onto its own
 	// cache line: insert workers increment it while probe workers take mu,
@@ -203,6 +246,7 @@ type AdaptiveIndex struct {
 	retunes   int
 	aborted   int
 	tuning    bool // claimed by the goroutine running a tuning pass
+	tuneErr   error
 }
 
 // New builds an AdaptiveIndex with a uniform starting configuration.
@@ -241,6 +285,24 @@ func New(opts Options) (*AdaptiveIndex, error) {
 		return nil, err
 	}
 	a := &AdaptiveIndex{opts: opts, ix: ix, incremental: opts.Shards > 0}
+	// The concurrent backend drains MigrateStepTuples per insert, i.e.
+	// step·λ_d tuples per time unit; the flat backend migrates
+	// stop-the-world, so it has no dual-directory drain window.
+	var drainRate float64
+	if opts.Shards > 0 {
+		drainRate = float64(opts.MigrateStepTuples) * opts.Cost.LambdaD
+	}
+	a.ctl = &tuner.Controller{
+		Params:        opts.Cost,
+		Budget:        opts.BitBudget,
+		MinGain:       opts.MinGain,
+		UseExhaustive: opts.NumAttrs <= 4 && opts.BitBudget <= 16,
+		Opt:           tuner.Options{MaxBitsPerAttr: opts.MaxBitsPerAttr},
+		Horizon:       opts.TuneHorizon,
+		Cooldown:      opts.TuneCooldown,
+		DriftSense:    opts.DriftSense,
+		DrainRate:     drainRate,
+	}
 	a.mu.Lock()
 	a.asr = asr
 	a.mu.Unlock()
@@ -255,8 +317,12 @@ func (a *AdaptiveIndex) Insert(t *tuple.Tuple) bitindex.Stats {
 	a.inserts.Add(1)
 	st := a.ix.Insert(t)
 	if a.incremental && a.ix.Migrating() {
-		mst, _ := a.ix.MigrateStep(a.opts.MigrateStepTuples)
+		mst, done := a.ix.MigrateStep(a.opts.MigrateStepTuples)
 		st.Add(mst)
+		// Feed the realized drain work back to the controller: the what-if
+		// ledger gets its predicted-vs-realized row and the next migration
+		// price is calibrated from observed per-tuple cost.
+		a.ctl.RecordDrain(uint64(mst.Tuples), uint64(mst.Hashes), done)
 	}
 	return st
 }
@@ -384,38 +450,54 @@ func (a *AdaptiveIndex) tunePass() (migrated bool, active bitindex.Config) {
 		}
 	}
 	aborts := 0
-	if len(stats) != 0 {
-		ctl := &tuner.Controller{
-			Params:        params,
-			Budget:        a.opts.BitBudget,
-			MinGain:       a.opts.MinGain,
-			UseExhaustive: a.opts.NumAttrs <= 4 && a.opts.BitBudget <= 16,
-			Opt:           tuner.Options{MaxBitsPerAttr: a.opts.MaxBitsPerAttr},
+	var passErr error
+	// Skip the pass while a previous incremental migration is still
+	// draining: a second StartMigration would fail anyway, and proposing
+	// on top of an in-flight drain would clobber the controller's
+	// predicted-vs-realized accounting. The window's statistics were
+	// consumed; the next window re-evaluates on fresh ones.
+	if !(a.incremental && a.ix.Migrating()) {
+		if !a.opts.LegacyTuner && a.opts.TuneHorizon == 0 && params.LambdaR > 0 {
+			// Auto horizon: four assessment windows, converted from the
+			// probe-counted cadence to model time units (inserts) through
+			// the request rate this pass was calibrated with.
+			base := a.opts.AutoTuneEvery
+			if base == 0 {
+				base = 1024
+			}
+			a.ctl.SetHorizon(4 * float64(base) / params.LambdaR)
 		}
-		next, improve := ctl.Propose(a.ix.Config(), stats)
+		a.ctl.SetParams(params)
+		pr, err := a.ctl.Propose(a.ix.Config(), stats, a.ix.Len())
 		switch {
-		case !improve:
+		case err != nil:
+			passErr = err
+		case !pr.Migrate():
 		case a.opts.MigrateGate != nil && !a.opts.MigrateGate():
 			// Injected fault mid-migration: run the real incremental
 			// machinery a bounded step in, then roll it back, so the abort
 			// path exercised here is the one production recovery relies on.
-			if err := a.ix.StartMigration(next); err == nil {
+			if err := a.ix.StartMigration(pr.To); err == nil {
 				a.ix.MigrateStep(a.opts.MigrateStepTuples)
 				a.ix.AbortMigration()
 			}
+			a.ctl.RecordAbort()
 			aborts = 1
 		case a.incremental:
 			// Sharded backend: begin an incremental migration and let the
 			// insert path drain it in bounded steps — retuning never stops
-			// the world. A still-draining previous migration makes
-			// StartMigration fail; the proposal is simply dropped and
-			// re-evaluated next window.
-			if err := a.ix.StartMigration(next); err == nil {
+			// the world.
+			if err := a.ix.StartMigration(pr.To); err == nil {
 				migrated = true
+			} else {
+				a.ctl.RecordAbort()
 			}
 		default:
-			if _, err := a.ix.Migrate(next); err == nil {
+			if mst, err := a.ix.Migrate(pr.To); err == nil {
 				migrated = true
+				a.ctl.RecordDrain(uint64(mst.Tuples), uint64(mst.Hashes), true)
+			} else {
+				a.ctl.RecordAbort()
 			}
 		}
 	}
@@ -423,6 +505,9 @@ func (a *AdaptiveIndex) tunePass() (migrated bool, active bitindex.Config) {
 	a.aborted += aborts
 	if migrated {
 		a.retunes++
+	}
+	if passErr != nil && a.tuneErr == nil {
+		a.tuneErr = passErr
 	}
 	a.tuning = false
 	a.mu.Unlock()
@@ -493,6 +578,24 @@ func (a *AdaptiveIndex) MigrationAborts() int {
 	n := a.aborted
 	a.mu.Unlock()
 	return n
+}
+
+// TunerSummary returns the retuning controller's running decision counters
+// (passes, migrations, thrash holds, predicted vs realized migration cost).
+func (a *AdaptiveIndex) TunerSummary() tuner.Summary { return a.ctl.Summary() }
+
+// TunerLedger returns a copy of the controller's retained what-if entries,
+// oldest first.
+func (a *AdaptiveIndex) TunerLedger() []tuner.Proposal { return a.ctl.Ledger() }
+
+// TuneErr returns the first optimizer misconfiguration a tuning pass hit
+// (nil when none): such passes keep the current configuration but no longer
+// silently degrade to greedy, so the error is worth surfacing.
+func (a *AdaptiveIndex) TuneErr() error {
+	a.mu.Lock()
+	err := a.tuneErr
+	a.mu.Unlock()
+	return err
 }
 
 // Method returns the active assessment method's name.

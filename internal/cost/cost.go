@@ -83,6 +83,43 @@ func ExpectedBucketsProbed(cfg bitindex.Config, p query.Pattern) float64 {
 // profiles (pow → frexp/ldexp/modf was ~5% of a drift run).
 func pow2(bits int) float64 { return math.Ldexp(1, bits) }
 
+// Migration prices the one-time cost of moving a state of stateSize stored
+// tuples from one configuration to another, in the same cost units as CD:
+//
+//   - relocation: every stored tuple is re-hashed under the target
+//     configuration and re-linked into its new bucket. perTuple, when
+//     positive, is the observed per-tuple drain cost (realized hashes and
+//     relinks per tuple, fed back from completed incremental migrations);
+//     otherwise the model's prior IndexedAttrs(to)·C_h + C_c is used.
+//   - dual-directory overhead: an incremental drain relocates drainRate
+//     tuples per time unit (MigrateStepTuples per arriving tuple on the
+//     concurrent index, per tick in the simulator), so it stays live for
+//     roughly stateSize/drainRate time units, during which every search
+//     must hash and probe the old directory as well —
+//     λ_r·drainTime·N_A(from)·C_h of extra request work. drainRate <= 0
+//     means a stop-the-world migration: no dual-directory window,
+//     relocation cost only.
+//
+// Both terms are first-order: they deliberately ignore bucket-scan skew
+// while the directories are split, which the controller's predicted-vs-
+// realized ledger exists to audit.
+func Migration(p Params, from, to bitindex.Config, stateSize int, drainRate, perTuple float64) float64 {
+	if stateSize <= 0 {
+		return 0
+	}
+	per := perTuple
+	if per <= 0 {
+		per = float64(to.IndexedAttrs())*p.Ch + p.Cc
+	}
+	relocate := float64(stateSize) * per
+	var dual float64
+	if drainRate > 0 {
+		drainTime := float64(stateSize) / drainRate
+		dual = p.LambdaR * drainTime * float64(from.IndexedAttrs()) * p.Ch
+	}
+	return relocate + dual
+}
+
 // HashCost returns the pure hashing component of one search request under
 // the configuration: N_{A,ap}·C_h.
 func HashCost(p Params, cfg bitindex.Config, ap query.Pattern) float64 {

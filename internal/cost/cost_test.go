@@ -131,3 +131,46 @@ func TestCDAdditiveOverStats(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMigrationStopTheWorld: with no drain rate the cost is pure
+// relocation — stateSize tuples rehashed into the target directory.
+func TestMigrationStopTheWorld(t *testing.T) {
+	p := baseParams()
+	from := bitindex.NewConfig(2, 0)
+	to := bitindex.NewConfig(1, 1)
+	got := Migration(p, from, to, 1000, 0, 0)
+	want := 1000 * (float64(to.IndexedAttrs())*p.Ch + p.Cc)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Migration = %g, want %g", got, want)
+	}
+	if Migration(p, from, to, 0, 0, 0) != 0 {
+		t.Fatal("empty state migrates for free")
+	}
+}
+
+// TestMigrationIncrementalAddsDualDirectory: a finite drain rate stretches
+// the move over stateSize/drainRate time units during which every probe
+// pays the old directory's hash overhead on top.
+func TestMigrationIncrementalAddsDualDirectory(t *testing.T) {
+	p := baseParams()
+	from := bitindex.NewConfig(2, 1)
+	to := bitindex.NewConfig(0, 3)
+	stw := Migration(p, from, to, 5000, 0, 0)
+	inc := Migration(p, from, to, 5000, 250, 0)
+	wantDual := p.LambdaR * (5000.0 / 250.0) * float64(from.IndexedAttrs()) * p.Ch
+	if math.Abs(inc-stw-wantDual) > 1e-9 {
+		t.Fatalf("dual-directory overhead = %g, want %g", inc-stw, wantDual)
+	}
+}
+
+// TestMigrationCalibratedPerTuple: an observed per-tuple drain cost
+// overrides the analytic prior.
+func TestMigrationCalibratedPerTuple(t *testing.T) {
+	p := baseParams()
+	from := bitindex.NewConfig(1, 0)
+	to := bitindex.NewConfig(0, 1)
+	got := Migration(p, from, to, 300, 0, 2.5)
+	if math.Abs(got-300*2.5) > 1e-9 {
+		t.Fatalf("calibrated Migration = %g, want %g", got, 750.0)
+	}
+}

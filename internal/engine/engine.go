@@ -68,6 +68,17 @@ type Engine struct {
 	retunes   int
 	latencies []int64 // emission tick - driver arrival tick, per result
 
+	// ctls holds one long-lived retuning controller per bit-index state:
+	// cooldown, drift and migration-cost calibration accumulate across
+	// tuning passes (a fresh controller per pass cannot provide thrash
+	// protection). Built lazily on first tuning pass; nil entries are
+	// states without a bit index. Rebuilt empty on recovery — tuner state
+	// is regenerable, like the assessor tables (see recover.go).
+	ctls []*tuner.Controller
+	// tuneErr latches the first optimizer misconfiguration a tuning pass
+	// surfaced; the run continues on the current configurations.
+	tuneErr error
+
 	shedTasks       uint64 // probe tasks dropped by soft-watermark degradation
 	degradedTicks   int64  // ticks that ended over the soft watermark
 	watermarkMisses int64  // degrade passes that could not reach the soft watermark
@@ -121,6 +132,7 @@ func New(run RunConfig, sys System) (*Engine, error) {
 		meter:          sim.NewMemoryMeter(run.MemCap),
 		probesPerState: make([]uint64, q.NumStreams()),
 		lensBuf:        make([]int, q.NumStreams()),
+		ctls:           make([]*tuner.Controller, q.NumStreams()),
 	}
 
 	for s := 0; s < q.NumStreams(); s++ {
@@ -301,7 +313,7 @@ func (e *Engine) runFrom(startTick int64) *metrics.RunResult {
 
 		// 1. Window expiry (mandatory maintenance, charged), plus one
 		// bounded step of any in-flight incremental migration.
-		for _, st := range e.stems {
+		for s, st := range e.stems {
 			st.Expire(tick)
 			if e.run.IncrementalMigration {
 				if bs, ok := st.Store().(storage.BitStore); ok && bs.Migrating() {
@@ -309,9 +321,15 @@ func (e *Engine) runFrom(startTick int64) *metrics.RunResult {
 					if step <= 0 {
 						step = 500
 					}
-					mst, _ := bs.MigrateStep(step)
+					mst, done := bs.MigrateStep(step)
 					e.clock.ChargeCat(sim.CatMaintain, sim.Units(mst.Hashes)*e.run.Costs.Hash+
 						sim.Units(mst.Tuples)*e.run.Costs.Insert)
+					if ctl := e.ctls[s]; ctl != nil {
+						// Realized drain work feeds the controller's
+						// predicted-vs-realized ledger and calibrates the
+						// next migration price.
+						ctl.RecordDrain(uint64(mst.Tuples), uint64(mst.Hashes), done)
+					}
 				}
 			}
 		}
@@ -394,6 +412,23 @@ func (e *Engine) runFrom(startTick int64) *metrics.RunResult {
 	res.CostUnits = float64(e.clock.Spent())
 	res.CostBreakdown = e.clock.Breakdown()
 	res.Latency = metrics.SummarizeLatencies(e.latencies)
+	var tsum tuner.Summary
+	for _, ctl := range e.ctls {
+		if ctl != nil {
+			tsum.Add(ctl.Summary())
+		}
+	}
+	res.Tuner = metrics.TunerSummary{
+		Passes:           tsum.Passes,
+		Migrations:       tsum.Migrations,
+		CooldownHolds:    tsum.CooldownHolds,
+		FlipFlopHolds:    tsum.FlipFlopHolds,
+		Uneconomical:     tsum.Uneconomical,
+		PredictedMigCost: tsum.PredictedMigCost,
+		RealizedMigCost:  tsum.RealizedMigCost,
+		Completed:        tsum.Completed,
+		Aborted:          tsum.Aborted,
+	}
 	for s, st := range e.stems {
 		switch store := st.Store().(type) {
 		case storage.BitStore:
@@ -552,26 +587,37 @@ func (e *Engine) tuneAll() {
 			if e.run.AdaptiveBudget {
 				budget = adaptiveBudget(store.Len(), e.run.BitBudget)
 			}
-			ctl := &tuner.Controller{
-				Params:        params,
-				Budget:        budget,
-				MinGain:       e.run.MinGain,
-				UseExhaustive: st.Spec.NumAttrs() <= 4 && e.run.BitBudget <= 16,
-				Opt:           tuner.Options{MaxBitsPerAttr: e.domainCaps(st.Spec)},
+			ctl := e.ctls[s]
+			if ctl == nil {
+				ctl = e.newController(st.Spec)
+				e.ctls[s] = ctl
 			}
-			next, improve := ctl.Propose(store.Config(), stats)
-			if improve {
+			ctl.SetParams(params)
+			ctl.SetBudget(budget)
+			pr, err := ctl.Propose(store.Config(), stats, store.Len())
+			if err != nil {
+				if e.tuneErr == nil {
+					e.tuneErr = err
+				}
+				continue
+			}
+			if pr.Migrate() {
 				if e.run.IncrementalMigration {
-					if err := store.StartMigration(next); err == nil {
+					if err := store.StartMigration(pr.To); err == nil {
 						e.retunes++
+					} else {
+						ctl.RecordAbort()
 					}
 					continue
 				}
-				mst, err := store.Migrate(next)
+				mst, err := store.Migrate(pr.To)
 				if err == nil {
 					e.clock.ChargeCat(sim.CatMaintain, sim.Units(mst.Hashes)*e.run.Costs.Hash+
 						sim.Units(mst.Tuples)*e.run.Costs.Insert)
 					e.retunes++
+					ctl.RecordDrain(uint64(mst.Tuples), uint64(mst.Hashes), true)
+				} else {
+					ctl.RecordAbort()
 				}
 			}
 		case *hashindex.Store:
@@ -588,6 +634,46 @@ func (e *Engine) tuneAll() {
 		}
 	}
 }
+
+// newController builds one state's long-lived retuning controller. The v2
+// policy is the default; RunConfig.LegacyTuner zeroes every v2 knob, which
+// reproduces the old MinGain-only behaviour exactly.
+func (e *Engine) newController(spec *query.StateSpec) *tuner.Controller {
+	ctl := &tuner.Controller{
+		MinGain:       e.run.MinGain,
+		UseExhaustive: spec.NumAttrs() <= 4 && e.run.BitBudget <= 16,
+		Opt:           tuner.Options{MaxBitsPerAttr: e.domainCaps(spec)},
+	}
+	if e.run.LegacyTuner {
+		return ctl
+	}
+	ctl.Horizon = e.run.TuneHorizon
+	if ctl.Horizon == 0 {
+		ctl.Horizon = 4 * float64(e.run.AssessInterval)
+	}
+	ctl.Cooldown = e.run.TuneCooldown
+	if ctl.Cooldown == 0 {
+		ctl.Cooldown = 1
+	}
+	ctl.DriftSense = e.run.DriftSense
+	if ctl.DriftSense == 0 {
+		ctl.DriftSense = 4
+	}
+	if e.run.IncrementalMigration {
+		// The simulator drains MigrateStepTuples per tick, and a tick is
+		// the cost model's time unit.
+		step := e.run.MigrateStepTuples
+		if step <= 0 {
+			step = 500
+		}
+		ctl.DrainRate = float64(step)
+	}
+	return ctl
+}
+
+// TuneErr reports the first optimizer misconfiguration a tuning pass hit
+// (nil when none); such passes keep their configurations.
+func (e *Engine) TuneErr() error { return e.tuneErr }
 
 // adaptiveBudget sizes the IC to the state: enough bits that buckets hold a
 // handful of tuples each (log2(len)+2), never more than the configured cap

@@ -85,6 +85,36 @@ type RunResult struct {
 	// resident data alone exceeds it, so degradation cannot help and only
 	// the hard cap remains between the system and OOM.
 	WatermarkMisses int64
+	// Tuner aggregates the retuning controllers' what-if accounting across
+	// the run's states.
+	Tuner TunerSummary
+}
+
+// TunerSummary mirrors the tuner controllers' decision counters without
+// importing them (metrics stays dependency-free). Passes counts tuning
+// passes; Migrations, CooldownHolds, FlipFlopHolds and Uneconomical
+// partition the passes where a worthwhile candidate existed; the cost pair
+// compares predicted against realized migration cost in cost-model units.
+type TunerSummary struct {
+	Passes           int
+	Migrations       int
+	CooldownHolds    int
+	FlipFlopHolds    int
+	Uneconomical     int
+	PredictedMigCost float64
+	RealizedMigCost  float64
+	Completed        int
+	Aborted          int
+}
+
+// Holds returns the passes where thrash protection held the configuration.
+func (t TunerSummary) Holds() int { return t.CooldownHolds + t.FlipFlopHolds + t.Uneconomical }
+
+// String renders the summary for run reports.
+func (t TunerSummary) String() string {
+	return fmt.Sprintf("tuner passes=%d migrations=%d holds=%d (cooldown=%d flipflop=%d uneconomical=%d) predCost=%.0f realCost=%.0f",
+		t.Passes, t.Migrations, t.Holds(), t.CooldownHolds, t.FlipFlopHolds, t.Uneconomical,
+		t.PredictedMigCost, t.RealizedMigCost)
 }
 
 // LatencySummary is a compact latency distribution.

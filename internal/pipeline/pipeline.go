@@ -18,6 +18,7 @@ import (
 	"amri/internal/sim"
 	"amri/internal/storage"
 	"amri/internal/stream"
+	"amri/internal/tuner"
 	"amri/internal/tuple"
 	"amri/internal/window"
 )
@@ -39,6 +40,16 @@ type Config struct {
 	// AutoTuneEvery retunes a state after that many probes (default 2000;
 	// 0 disables live tuning).
 	AutoTuneEvery uint64
+	// LegacyTuner restores the v1 gain-only retune policy: no migration
+	// pricing, no cooldown, no drift-adaptive horizon. It exists as the
+	// measured A/B baseline for BENCH_tuner.json and the thrash
+	// regression; production runs leave it false.
+	LegacyTuner bool
+	// TuneHorizon, TuneCooldown and DriftSense forward to the v2 retune
+	// controller (see core.Options); zero takes the core defaults.
+	TuneHorizon  float64
+	TuneCooldown int
+	DriftSense   float64
 	// Explore is the router's suboptimal-route probability.
 	Explore float64
 
@@ -120,6 +131,11 @@ type Config struct {
 	// called concurrently from operator goroutines and must be
 	// goroutine-safe.
 	OnResult func(*tuple.Composite)
+	// OnTickEnd, when set, is called from the source goroutine after each
+	// tick's both phases have quiesced (and any durable tick record is
+	// synced) — a per-tick latency probe point for the retune-under-load
+	// benchmark.
+	OnTickEnd func(tick int64)
 }
 
 // Result summarizes a concurrent run.
@@ -161,6 +177,10 @@ type Result struct {
 	// MigrationAborts counts index migrations rolled back by injected
 	// mid-migration faults.
 	MigrationAborts int
+	// Tuner aggregates the retune controllers' what-if accounting across
+	// all operators (and restart incarnations): passes, migrations, holds,
+	// predicted vs realized migration cost.
+	Tuner tuner.Summary
 	// InjectedDelays and PressureEvents count the timing-only fault
 	// classes that fired.
 	InjectedDelays uint64
@@ -251,6 +271,9 @@ type operator struct {
 	sinceCkpt   int
 	retunesBase int // retunes from pre-restart incarnations
 	abortsBase  int // migration aborts from pre-restart incarnations
+	// tunerBase accumulates pre-restart incarnations' controller summaries
+	// (controller state itself is advisory and restarts fresh).
+	tunerBase tuner.Summary
 	// applied is the total arrivals this operator has applied across all
 	// incarnations — the WAL cursor: a durable checkpoint stores it so
 	// recovery knows where this op's WAL suffix begins. tail mirrors that
@@ -436,6 +459,7 @@ func (o *operator) restore() (replayed, lost uint64, err error) {
 	defer o.mu.Unlock()
 	o.retunesBase += o.ix.Retunes()
 	o.abortsBase += o.ix.MigrationAborts()
+	o.tunerBase.Add(o.ix.TunerSummary())
 	ix, err := o.newIx()
 	if err != nil {
 		return 0, 0, err
@@ -485,6 +509,15 @@ func (o *operator) migrationAborts() int {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	return o.abortsBase + o.ix.MigrationAborts()
+}
+
+// tunerSummary sums the controller's decision ledger across incarnations.
+func (o *operator) tunerSummary() tuner.Summary {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s := o.tunerBase
+	s.Add(o.ix.TunerSummary())
+	return s
 }
 
 // shedAssessment drops the state's tuning statistics — the memory-pressure
@@ -1438,6 +1471,10 @@ func newRun(cfg Config) (*run, error) {
 			AutoTuneEvery: cfg.AutoTuneEvery,
 			Seed:          cfg.Seed + uint64(s),
 			Shards:        cfg.Shards,
+			LegacyTuner:   cfg.LegacyTuner,
+			TuneHorizon:   cfg.TuneHorizon,
+			TuneCooldown:  cfg.TuneCooldown,
+			DriftSense:    cfg.DriftSense,
 		}
 		if p.inj != nil {
 			id := s
@@ -1746,6 +1783,9 @@ func (p *run) execute(startTick int64) (*Result, error) {
 			p.recordStoreErr(p.store.AppendWAL(p.tickRecordNow(tick).encode()))
 			p.recordStoreErr(p.store.Sync())
 		}
+		if cfg.OnTickEnd != nil {
+			cfg.OnTickEnd(tick)
+		}
 		if crashArmed && tick == crashTick {
 			// The scheduled kill: stop mid-run at a durable boundary, as
 			// if the process died here. The drain below is orderly only
@@ -1796,6 +1836,7 @@ func (p *run) execute(startTick int64) (*Result, error) {
 		res.Probes += o.probes.Load()
 		res.Retunes += o.retunes()
 		res.MigrationAborts += o.migrationAborts()
+		res.Tuner.Add(o.tunerSummary())
 	}
 	if err := p.firstStoreErr(); err != nil {
 		return nil, fmt.Errorf("pipeline: durable store failed mid-run: %w", err)

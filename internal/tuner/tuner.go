@@ -2,10 +2,24 @@
 // frequencies it searches the space of per-attribute bit allocations for the
 // one minimizing the paper's C_D cost (Equation 1), and decides when an
 // improvement is worth a migration.
+//
+// The Controller is the v2 ("migration-cost-aware") retuning policy. Beyond
+// the v1 hysteresis threshold (MinGain), it prices the migration itself —
+// relocation of the whole state plus the dual-directory window an
+// incremental drain keeps open — and migrates only when the modelled C_D
+// gain, accumulated over an amortization horizon, pays for the move. The
+// horizon shrinks as the observed access-pattern mix churns (a drifting
+// workload will not keep any configuration long enough to amortize an
+// expensive migration), a cooldown makes back-to-back retunes structurally
+// impossible, and every decision lands in a what-if ledger recording
+// predicted against realized migration cost so the model stays auditable.
 package tuner
 
 import (
+	"errors"
 	"fmt"
+	"sort"
+	"sync"
 
 	"amri/internal/bitindex"
 	"amri/internal/cost"
@@ -35,8 +49,14 @@ func (o Options) capFor(attr int) int {
 // improves the cost (unless RequireFullBudget). Each bit granted to an
 // attribute halves the scan term of every pattern constraining it, so the
 // marginal gains are diminishing and greedy tracks the optimum closely; the
-// exhaustive search below exists to verify exactly that.
-func Greedy(numAttrs, budget int, p cost.Params, stats []cost.APStat, opt Options) bitindex.Config {
+// exhaustive search below exists to verify exactly that. The returned score
+// is the chosen configuration's C_D — callers must not recompute it.
+//
+// Under RequireFullBudget the forced pick (no single bit improves C_D but
+// the budget is not yet spent) takes the least-bad attribute, which can
+// leave the final score above the unconstrained optimum — the score return
+// is what lets callers see that instead of assuming monotone improvement.
+func Greedy(numAttrs, budget int, p cost.Params, stats []cost.APStat, opt Options) (bitindex.Config, float64) {
 	cfg := bitindex.Config{Bits: make([]uint8, numAttrs)}
 	current := cost.CD(p, cfg, stats)
 	for spent := 0; spent < budget; spent++ {
@@ -60,30 +80,43 @@ func Greedy(numAttrs, budget int, p cost.Params, stats []cost.APStat, opt Option
 		cfg.Bits[bestAttr]++
 		current = bestCD
 	}
-	return cfg
+	return cfg, current
 }
 
 // maxExhaustiveSpace bounds the number of allocations Exhaustive will
 // enumerate before refusing.
 const maxExhaustiveSpace = 5_000_000
 
+// ErrSpaceTooLarge reports that Exhaustive refused a combinatorially large
+// search space. It is the only Exhaustive error greedy can stand in for:
+// every other error (budget beyond the bucket id, constraints that no
+// allocation satisfies) describes a misconfiguration greedy would inherit,
+// and must propagate instead of being silently absorbed.
+var ErrSpaceTooLarge = errors.New("tuner: exhaustive space too large")
+
 // Exhaustive enumerates every allocation of at most budget bits across the
 // attributes (exactly budget when RequireFullBudget) and returns the C_D
-// minimizer; ties break toward the lexicographically smallest bit vector so
-// results are deterministic. It refuses combinatorially large spaces — use
-// Greedy there.
-func Exhaustive(numAttrs, budget int, p cost.Params, stats []cost.APStat, opt Options) (bitindex.Config, error) {
+// minimizer with its score; ties break toward the lexicographically smallest
+// bit vector so results are deterministic. It refuses combinatorially large
+// spaces with ErrSpaceTooLarge — use Greedy there. The space estimate
+// honours the per-attribute caps: an attribute capped at c contributes
+// min(budget, c)+1 choices, not budget+1, so tightly capped searches over
+// many attributes stay eligible.
+func Exhaustive(numAttrs, budget int, p cost.Params, stats []cost.APStat, opt Options) (bitindex.Config, float64, error) {
 	if budget > bitindex.MaxTotalBits {
 		// Unlike Greedy, the recursive walk would happily allocate every
 		// budgeted bit, producing configurations no uint64 bucket id can
 		// address; refuse up front (amrivet:bitbudget surfaced this).
-		return bitindex.Config{}, fmt.Errorf("tuner: budget %d exceeds the %d-bit bucket id", budget, bitindex.MaxTotalBits)
+		return bitindex.Config{}, 0, fmt.Errorf("tuner: budget %d exceeds the %d-bit bucket id", budget, bitindex.MaxTotalBits)
+	}
+	if budget < 0 {
+		return bitindex.Config{}, 0, fmt.Errorf("tuner: negative budget %d", budget)
 	}
 	space := 1.0
 	for i := 0; i < numAttrs; i++ {
-		space *= float64(budget + 1)
+		space *= float64(min(budget, opt.capFor(i)) + 1)
 		if space > maxExhaustiveSpace {
-			return bitindex.Config{}, fmt.Errorf("tuner: exhaustive space too large for %d attrs x %d bits", numAttrs, budget)
+			return bitindex.Config{}, 0, fmt.Errorf("%w: %d attrs x %d bits", ErrSpaceTooLarge, numAttrs, budget)
 		}
 	}
 
@@ -116,15 +149,151 @@ func Exhaustive(numAttrs, budget int, p cost.Params, stats []cost.APStat, opt Op
 	}
 	walk(0, budget)
 	if !haveBest {
-		return bitindex.Config{}, fmt.Errorf("tuner: no allocation satisfies the constraints")
+		return bitindex.Config{}, 0, fmt.Errorf("tuner: no allocation satisfies the constraints")
 	}
-	return best, nil
+	return best, bestCD, nil
 }
 
-// Controller wraps the optimizer with a retuning policy: propose the best
-// configuration for fresh statistics, and migrate only when the modelled
-// cost improvement clears a hysteresis threshold (migration itself costs a
-// full relocation of the state, so marginal wins are not worth it).
+// Decision classifies what the controller did with one proposal.
+type Decision uint8
+
+const (
+	// DecideKeep: the optimizer's pick is no better than the current
+	// configuration, or the improvement is below the MinGain hysteresis.
+	DecideKeep Decision = iota
+	// DecideMigrate: the candidate clears every bar; migrate to it.
+	DecideMigrate
+	// DecideCooldown: a worthwhile candidate exists but the last migration
+	// is too recent — the cooldown window holds the configuration.
+	DecideCooldown
+	// DecideFlipFlop: the candidate is exactly the configuration the last
+	// migration moved away from; returning this soon would thrash.
+	DecideFlipFlop
+	// DecideUneconomical: the modelled C_D gain over the amortization
+	// horizon does not pay for the migration itself.
+	DecideUneconomical
+)
+
+// String renders the decision for ledger output.
+func (d Decision) String() string {
+	switch d {
+	case DecideKeep:
+		return "keep"
+	case DecideMigrate:
+		return "migrate"
+	case DecideCooldown:
+		return "cooldown"
+	case DecideFlipFlop:
+		return "flip-flop"
+	case DecideUneconomical:
+		return "uneconomical"
+	}
+	return fmt.Sprintf("decision(%d)", uint8(d))
+}
+
+// Proposal is one what-if ledger entry: what the optimizer proposed, how the
+// controller priced it, what it decided, and — for migrations — what the
+// drain actually cost once it ran.
+type Proposal struct {
+	// Pass is the 1-based Propose call this entry belongs to.
+	Pass int
+	// From and To are the current configuration and the optimizer's pick.
+	From, To bitindex.Config
+	// CurCD and NextCD are the modelled per-time-unit costs of From and To.
+	CurCD, NextCD float64
+	// Gain is CurCD − NextCD when positive (zero otherwise).
+	Gain float64
+	// MigCost is the predicted one-time migration cost; zero when the
+	// controller is not pricing migrations (legacy policy) or nothing
+	// needed pricing.
+	MigCost float64
+	// Horizon is the drift-adjusted amortization horizon the economics
+	// used, in the cost model's time units.
+	Horizon float64
+	// Drift is the EWMA access-pattern churn rate at decision time
+	// (0 = stable mix, 1 = complete turnover each window).
+	Drift float64
+	// Decision is what the controller did.
+	Decision Decision
+	// RealizedTuples/RealizedHashes/RealizedCost accumulate the observed
+	// drain work for an applied migration; Completed and Aborted record how
+	// the drain ended.
+	RealizedTuples uint64
+	RealizedHashes uint64
+	RealizedCost   float64
+	Completed      bool
+	Aborted        bool
+}
+
+// Migrate reports whether the controller decided to apply the proposal.
+func (pr Proposal) Migrate() bool { return pr.Decision == DecideMigrate }
+
+// Summary aggregates a controller's ledger into the counters metrics and
+// the pipeline expose.
+type Summary struct {
+	// Passes counts Propose calls; the decision counters partition them.
+	Passes        int
+	Keeps         int
+	Migrations    int
+	CooldownHolds int
+	FlipFlopHolds int
+	Uneconomical  int
+	// PredictedMigCost sums MigCost over applied migrations;
+	// RealizedMigCost and RealizedTuples sum the observed drain work, so
+	// predicted-vs-realized is auditable in aggregate too.
+	PredictedMigCost float64
+	RealizedMigCost  float64
+	RealizedTuples   uint64
+	// Completed/Aborted count how applied migrations' drains ended.
+	Completed int
+	Aborted   int
+	// Drift is the current EWMA churn rate; PerTupleCost the calibrated
+	// per-tuple drain cost (0 until a drain completes). Add takes the max
+	// of each, so an aggregate reports its most drifty / most expensive
+	// member.
+	Drift        float64
+	PerTupleCost float64
+}
+
+// Add folds another summary into s (counters sum, rates take the max).
+func (s *Summary) Add(o Summary) {
+	s.Passes += o.Passes
+	s.Keeps += o.Keeps
+	s.Migrations += o.Migrations
+	s.CooldownHolds += o.CooldownHolds
+	s.FlipFlopHolds += o.FlipFlopHolds
+	s.Uneconomical += o.Uneconomical
+	s.PredictedMigCost += o.PredictedMigCost
+	s.RealizedMigCost += o.RealizedMigCost
+	s.RealizedTuples += o.RealizedTuples
+	s.Completed += o.Completed
+	s.Aborted += o.Aborted
+	s.Drift = max(s.Drift, o.Drift)
+	s.PerTupleCost = max(s.PerTupleCost, o.PerTupleCost)
+}
+
+// Holds counts the passes where a worthwhile candidate existed but the
+// thrash protection held the configuration.
+func (s Summary) Holds() int { return s.CooldownHolds + s.FlipFlopHolds + s.Uneconomical }
+
+// defaultLedgerCap bounds the ledger when the owner does not choose a cap.
+const defaultLedgerCap = 64
+
+// driftAlpha is the EWMA weight of the newest inter-window churn sample.
+const driftAlpha = 0.5
+
+// perTupleAlpha is the EWMA weight of the newest completed drain's observed
+// per-tuple cost.
+const perTupleAlpha = 0.5
+
+// Controller wraps the optimizer with the retuning policy. The exported
+// fields configure it; the zero value of every v2 field (Horizon, Cooldown,
+// DriftSense, MigrateStepTuples) reproduces the legacy v1 policy exactly —
+// MinGain hysteresis only — which is what the thrash benchmark compares
+// against. A Controller must be long-lived to be useful: cooldown, drift and
+// calibration state accumulate across Propose calls. It is safe for
+// concurrent use; the exported fields must be set before first use and then
+// only changed through SetParams/SetBudget.
 type Controller struct {
 	// Params is the cost model the controller ranks configurations by.
 	Params cost.Params
@@ -136,41 +305,328 @@ type Controller struct {
 	// Opt constrains the allocation search.
 	Opt Options
 	// UseExhaustive selects the exact optimizer when the space allows;
-	// greedy otherwise (and as fallback).
+	// greedy otherwise (and as fallback for oversized spaces).
 	UseExhaustive bool
+
+	// Horizon is the amortization horizon in the cost model's time units:
+	// a migration is applied only when (CurCD−NextCD)·horizon exceeds the
+	// predicted migration cost, where horizon = Horizon/(1+DriftSense·drift)
+	// shrinks as the pattern mix churns. 0 disables migration pricing.
+	Horizon float64
+	// DriftSense scales how strongly observed churn shrinks the horizon.
+	DriftSense float64
+	// Cooldown is the minimum number of Propose passes between applied
+	// migrations; within it worthwhile candidates are held (DecideCooldown),
+	// and returning to the configuration the last migration left is held
+	// for twice as long (DecideFlipFlop). 0 disables both guards.
+	Cooldown int
+	// DrainRate is the incremental drain's relocation rate in tuples per
+	// cost-model time unit (MigrateStepTuples·λ_d on the concurrent index,
+	// MigrateStepTuples per tick in the simulator), which sets the
+	// dual-directory window the migration price includes; <= 0 models a
+	// stop-the-world migration.
+	DrainRate float64
+	// LedgerCap bounds the retained ledger (default 64; oldest dropped).
+	LedgerCap int
+
+	mu          sync.Mutex
+	pass        int
+	lastMigPass int
+	prevCfg     bitindex.Config // configuration the last migration left
+	haveMig     bool
+	lastFreq    []cost.APStat // previous normalized snapshot, sorted by P
+	drift       float64
+	perTuple    float64 // EWMA observed per-tuple drain cost
+	pendingPass int     // Pass of the in-flight migration's entry; 0 = none
+	pendTuples  uint64
+	pendCost    float64
+	ledger      []Proposal
+	sum         Summary
 }
 
-// Propose returns the best configuration for the statistics and whether it
-// improves on current enough to be worth migrating. With no statistics the
-// current configuration is kept.
-func (c *Controller) Propose(current bitindex.Config, stats []cost.APStat) (bitindex.Config, bool) {
+// SetParams swaps the cost model (owners recalibrate it per pass from live
+// rates). Safe against concurrent Propose/RecordDrain.
+func (c *Controller) SetParams(p cost.Params) {
+	c.mu.Lock()
+	c.Params = p
+	c.mu.Unlock()
+}
+
+// SetBudget swaps the bit budget. Safe against concurrent use.
+func (c *Controller) SetBudget(b int) {
+	c.mu.Lock()
+	c.Budget = b
+	c.mu.Unlock()
+}
+
+// SetHorizon swaps the amortization horizon. Owners whose assessment
+// cadence is counted in requests rather than model time recompute it per
+// pass from the calibrated request rate. Safe against concurrent use.
+func (c *Controller) SetHorizon(h float64) {
+	c.mu.Lock()
+	c.Horizon = h
+	c.mu.Unlock()
+}
+
+// Propose runs one retuning pass: observe the statistics' churn, search for
+// the C_D minimizer, and decide whether reaching it is worth the move for a
+// state currently holding stateSize tuples. The returned proposal is the
+// ledger entry it appended; callers act on pr.Migrate() and pr.To. The error
+// is non-nil only for optimizer misconfigurations (budget beyond the bucket
+// id, unsatisfiable constraints) — those propagate instead of silently
+// degrading to greedy, which previously masked them.
+func (c *Controller) Propose(current bitindex.Config, stats []cost.APStat, stateSize int) (Proposal, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pass++
+	drift := c.observeDriftLocked(stats)
+	pr := Proposal{
+		Pass:     c.pass,
+		From:     current.Clone(),
+		To:       current.Clone(),
+		Drift:    drift,
+		Decision: DecideKeep,
+	}
 	if len(stats) == 0 {
-		return current, false
+		c.recordLocked(pr)
+		return pr, nil
 	}
-	var next bitindex.Config
-	if c.UseExhaustive {
-		if ex, err := Exhaustive(current.NumAttrs(), c.Budget, c.Params, stats, c.Opt); err == nil {
-			next = ex
-		} else {
-			next = Greedy(current.NumAttrs(), c.Budget, c.Params, stats, c.Opt)
-		}
-	} else {
-		next = Greedy(current.NumAttrs(), c.Budget, c.Params, stats, c.Opt)
-	}
-	if next.Equal(current) {
-		return current, false
+
+	next, nextCD, err := c.searchLocked(current.NumAttrs(), stats)
+	if err != nil {
+		return Proposal{}, err
 	}
 	curCD := cost.CD(c.Params, current, stats)
-	nextCD := cost.CD(c.Params, next, stats)
-	if nextCD >= curCD*(1-c.MinGain) {
-		return current, false
+	pr.To, pr.CurCD, pr.NextCD = next, curCD, nextCD
+
+	switch {
+	case next.Equal(current) || nextCD >= curCD*(1-c.MinGain):
+		// No candidate, or below the hysteresis bar.
+	default:
+		pr.Gain = curCD - nextCD
+		pr.Decision = c.decideLocked(&pr, current, next, stateSize)
 	}
-	return next, true
+	if pr.Decision == DecideMigrate {
+		c.lastMigPass = c.pass
+		c.prevCfg = current.Clone()
+		c.haveMig = true
+		c.pendingPass = pr.Pass
+		c.pendTuples, c.pendCost = 0, 0
+		c.sum.PredictedMigCost += pr.MigCost
+	}
+	c.recordLocked(pr)
+	return pr, nil
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
+// decideLocked applies the v2 guards to a candidate that already cleared
+// MinGain: structural thrash protection first (cooldown, flip-flop), then
+// the migration economics.
+func (c *Controller) decideLocked(pr *Proposal, current, next bitindex.Config, stateSize int) Decision {
+	if c.Horizon > 0 {
+		pr.Horizon = c.Horizon / (1 + c.DriftSense*c.drift)
+		pr.MigCost = cost.Migration(c.Params, current, next, stateSize, c.DrainRate, c.perTuple)
 	}
-	return b
+	if c.Cooldown > 0 && c.haveMig {
+		since := c.pass - c.lastMigPass
+		if since <= c.Cooldown {
+			return DecideCooldown
+		}
+		if next.Equal(c.prevCfg) && since <= 2*c.Cooldown {
+			return DecideFlipFlop
+		}
+	}
+	if c.Horizon > 0 && pr.Gain*pr.Horizon <= pr.MigCost {
+		return DecideUneconomical
+	}
+	return DecideMigrate
+}
+
+// searchLocked picks the optimizer. Exhaustive errors fall back to greedy
+// only for the one condition greedy genuinely covers — an oversized search
+// space; misconfiguration errors propagate.
+func (c *Controller) searchLocked(numAttrs int, stats []cost.APStat) (bitindex.Config, float64, error) {
+	if c.UseExhaustive {
+		cfg, cd, err := Exhaustive(numAttrs, c.Budget, c.Params, stats, c.Opt)
+		if err == nil {
+			return cfg, cd, nil
+		}
+		if !errors.Is(err, ErrSpaceTooLarge) {
+			return bitindex.Config{}, 0, err
+		}
+	}
+	cfg, cd := Greedy(numAttrs, c.Budget, c.Params, stats, c.Opt)
+	return cfg, cd, nil
+}
+
+// observeDriftLocked folds the new statistics snapshot into the churn EWMA:
+// the sample is half the L1 distance between consecutive normalized
+// frequency vectors (0 = identical mix, 1 = complete turnover). Snapshots
+// are compared in ascending pattern order — a merge walk over sorted
+// copies — so the float accumulation order is deterministic regardless of
+// how the assessor ordered its results.
+func (c *Controller) observeDriftLocked(stats []cost.APStat) float64 {
+	cur := normalizeSorted(stats)
+	if cur == nil {
+		return c.drift
+	}
+	if c.lastFreq != nil {
+		var d float64
+		i, j := 0, 0
+		for i < len(cur) || j < len(c.lastFreq) {
+			switch {
+			case j >= len(c.lastFreq) || (i < len(cur) && cur[i].P < c.lastFreq[j].P):
+				d += cur[i].Freq
+				i++
+			case i >= len(cur) || c.lastFreq[j].P < cur[i].P:
+				d += c.lastFreq[j].Freq
+				j++
+			default:
+				diff := cur[i].Freq - c.lastFreq[j].Freq
+				if diff < 0 {
+					diff = -diff
+				}
+				d += diff
+				i++
+				j++
+			}
+		}
+		c.drift = (1-driftAlpha)*c.drift + driftAlpha*d/2
+	}
+	c.lastFreq = cur
+	return c.drift
+}
+
+// normalizeSorted returns a copy of the stats with frequencies scaled to
+// sum to 1, sorted by pattern, or nil when there is no mass to normalize.
+func normalizeSorted(stats []cost.APStat) []cost.APStat {
+	var total float64
+	for _, s := range stats {
+		total += s.Freq
+	}
+	if total <= 0 {
+		return nil
+	}
+	out := make([]cost.APStat, len(stats))
+	copy(out, stats)
+	sort.Slice(out, func(i, j int) bool { return out[i].P < out[j].P })
+	for i := range out {
+		out[i].Freq /= total
+	}
+	return out
+}
+
+// recordLocked appends the entry to the bounded ledger and updates the
+// running summary.
+func (c *Controller) recordLocked(pr Proposal) {
+	capLimit := c.LedgerCap
+	if capLimit <= 0 {
+		capLimit = defaultLedgerCap
+	}
+	if len(c.ledger) >= capLimit {
+		drop := len(c.ledger) - capLimit + 1
+		c.ledger = append(c.ledger[:0], c.ledger[drop:]...)
+	}
+	c.ledger = append(c.ledger, pr)
+	c.sum.Passes++
+	switch pr.Decision {
+	case DecideKeep:
+		c.sum.Keeps++
+	case DecideMigrate:
+		c.sum.Migrations++
+	case DecideCooldown:
+		c.sum.CooldownHolds++
+	case DecideFlipFlop:
+		c.sum.FlipFlopHolds++
+	case DecideUneconomical:
+		c.sum.Uneconomical++
+	}
+	c.sum.Drift = c.drift
+	c.sum.PerTupleCost = c.perTuple
+}
+
+// RecordDrain feeds the observed drain work of the in-flight migration back
+// into the controller: tuples relocated and hashes computed by one
+// MigrateStep (or by a whole stop-the-world Migrate), and whether the drain
+// just finished. The realized cost accumulates on the migration's ledger
+// entry, and each completed drain recalibrates the per-tuple cost the next
+// migration price uses — the model learns from what migrations actually
+// cost, not only from priors. Safe for concurrent use with Propose.
+func (c *Controller) RecordDrain(tuples, hashes uint64, done bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pendingPass == 0 {
+		return
+	}
+	dc := float64(hashes)*c.Params.Ch + float64(tuples)*c.Params.Cc
+	c.pendTuples += tuples
+	c.pendCost += dc
+	c.sum.RealizedMigCost += dc
+	c.sum.RealizedTuples += tuples
+	if e := c.findLocked(c.pendingPass); e != nil {
+		e.RealizedTuples += tuples
+		e.RealizedHashes += hashes
+		e.RealizedCost += dc
+		if done {
+			e.Completed = true
+		}
+	}
+	if done {
+		c.sum.Completed++
+		c.sum.PerTupleCost = c.perTuple
+		if c.pendTuples > 0 {
+			obs := c.pendCost / float64(c.pendTuples)
+			if c.perTuple == 0 {
+				c.perTuple = obs
+			} else {
+				c.perTuple = (1-perTupleAlpha)*c.perTuple + perTupleAlpha*obs
+			}
+			c.sum.PerTupleCost = c.perTuple
+		}
+		c.pendingPass = 0
+		c.pendTuples, c.pendCost = 0, 0
+	}
+}
+
+// RecordAbort marks the in-flight migration's drain as aborted (e.g. the
+// owner rolled the migration back under load) without recalibrating the
+// per-tuple cost from its partial work.
+func (c *Controller) RecordAbort() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pendingPass == 0 {
+		return
+	}
+	if e := c.findLocked(c.pendingPass); e != nil {
+		e.Aborted = true
+	}
+	c.sum.Aborted++
+	c.pendingPass = 0
+	c.pendTuples, c.pendCost = 0, 0
+}
+
+// findLocked returns the retained ledger entry for the pass, or nil when it
+// rotated out.
+func (c *Controller) findLocked(pass int) *Proposal {
+	for i := len(c.ledger) - 1; i >= 0; i-- {
+		if c.ledger[i].Pass == pass {
+			return &c.ledger[i]
+		}
+	}
+	return nil
+}
+
+// Ledger returns a copy of the retained what-if entries, oldest first.
+func (c *Controller) Ledger() []Proposal {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Proposal, len(c.ledger))
+	copy(out, c.ledger)
+	return out
+}
+
+// Summary returns the running decision counters.
+func (c *Controller) Summary() Summary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sum
 }
